@@ -1,0 +1,201 @@
+//! Plaintext oracle: exact, insecure reference results for every PRISM
+//! operation. Used as ground truth by tests and as the "what should the
+//! answer be" column of the benchmark harness.
+
+use std::collections::BTreeMap;
+
+/// Plaintext multi-owner dataset: per owner, `(set value, agg value)` rows.
+#[derive(Debug, Clone, Default)]
+pub struct PlainDataset {
+    /// Rows per owner.
+    pub owners: Vec<Vec<(u64, u64)>>,
+}
+
+impl PlainDataset {
+    /// Wrap rows.
+    pub fn new(owners: Vec<Vec<(u64, u64)>>) -> Self {
+        PlainDataset { owners }
+    }
+
+    /// Distinct set values of one owner.
+    fn owner_set(&self, j: usize) -> std::collections::BTreeSet<u64> {
+        self.owners[j].iter().map(|&(c, _)| c).collect()
+    }
+
+    /// PSI: values present at every owner (sorted).
+    pub fn intersection(&self) -> Vec<u64> {
+        if self.owners.is_empty() {
+            return Vec::new();
+        }
+        let mut acc = self.owner_set(0);
+        for j in 1..self.owners.len() {
+            let s = self.owner_set(j);
+            acc = acc.intersection(&s).copied().collect();
+        }
+        acc.into_iter().collect()
+    }
+
+    /// PSU: values present at any owner (sorted).
+    pub fn union(&self) -> Vec<u64> {
+        let mut acc = std::collections::BTreeSet::new();
+        for j in 0..self.owners.len() {
+            acc.extend(self.owner_set(j));
+        }
+        acc.into_iter().collect()
+    }
+
+    /// |PSI|.
+    pub fn intersection_count(&self) -> usize {
+        self.intersection().len()
+    }
+
+    /// PSI sum: per common value, the sum of agg values over all owners.
+    pub fn psi_sum(&self) -> BTreeMap<u64, u64> {
+        let common = self.intersection();
+        let mut out = BTreeMap::new();
+        for &c in &common {
+            let mut total = 0u64;
+            for rows in &self.owners {
+                for &(v, x) in rows {
+                    if v == c {
+                        total += x;
+                    }
+                }
+            }
+            out.insert(c, total);
+        }
+        out
+    }
+
+    /// PSI average: per common value, `(sum, count, avg)`.
+    pub fn psi_avg(&self) -> BTreeMap<u64, (u64, u64, f64)> {
+        let common = self.intersection();
+        let mut out = BTreeMap::new();
+        for &c in &common {
+            let mut total = 0u64;
+            let mut n = 0u64;
+            for rows in &self.owners {
+                for &(v, x) in rows {
+                    if v == c {
+                        total += x;
+                        n += 1;
+                    }
+                }
+            }
+            out.insert(c, (total, n, total as f64 / n as f64));
+        }
+        out
+    }
+
+    /// PSI max: per common value, `(max, owners holding it)`.
+    pub fn psi_max(&self) -> BTreeMap<u64, (u64, Vec<usize>)> {
+        let common = self.intersection();
+        let mut out = BTreeMap::new();
+        for &c in &common {
+            // Per-owner maxima for this value.
+            let owner_max: Vec<u64> = self
+                .owners
+                .iter()
+                .map(|rows| {
+                    rows.iter()
+                        .filter(|&&(v, _)| v == c)
+                        .map(|&(_, x)| x)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect();
+            let best = *owner_max.iter().max().expect("at least one owner");
+            let holders: Vec<usize> = owner_max
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &x)| (x == best).then_some(j))
+                .collect();
+            out.insert(c, (best, holders));
+        }
+        out
+    }
+
+    /// PSI median over the per-owner *sums* (§6.4 semantics): per common
+    /// value, the middle per-owner total(s).
+    pub fn psi_median(&self) -> BTreeMap<u64, Vec<u64>> {
+        let common = self.intersection();
+        let mut out = BTreeMap::new();
+        for &c in &common {
+            let mut totals: Vec<u64> = self
+                .owners
+                .iter()
+                .map(|rows| {
+                    rows.iter()
+                        .filter(|&&(v, _)| v == c)
+                        .map(|&(_, x)| x)
+                        .sum()
+                })
+                .collect();
+            totals.sort_unstable();
+            let m = totals.len();
+            let mids = if m % 2 == 1 {
+                vec![totals[m / 2]]
+            } else {
+                vec![totals[m / 2 - 1], totals[m / 2]]
+            };
+            out.insert(c, mids);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hospitals() -> PlainDataset {
+        // Cells: 1 = Cancer, 2 = Fever, 3 = Heart; agg = cost.
+        PlainDataset::new(vec![
+            vec![(1, 100), (1, 200), (3, 300)],
+            vec![(1, 100), (2, 70), (2, 50)],
+            vec![(1, 300), (1, 700), (3, 500)],
+        ])
+    }
+
+    #[test]
+    fn set_operations_match_section_2() {
+        let d = hospitals();
+        assert_eq!(d.intersection(), vec![1]); // {Cancer}
+        assert_eq!(d.union(), vec![1, 2, 3]); // {Cancer, Fever, Heart}
+        assert_eq!(d.intersection_count(), 1);
+    }
+
+    #[test]
+    fn aggregations_match_section_2() {
+        let d = hospitals();
+        assert_eq!(d.psi_sum()[&1], 1400);
+        let (sum, count, avg) = d.psi_avg()[&1];
+        assert_eq!((sum, count), (1400, 5));
+        assert!((avg - 280.0).abs() < 1e-9);
+        let (max, holders) = d.psi_max()[&1].clone();
+        assert_eq!(max, 700);
+        assert_eq!(holders, vec![2]);
+        assert_eq!(d.psi_median()[&1], vec![300]); // 300, 100, 1000 → 300
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let d = PlainDataset::new(vec![]);
+        assert!(d.intersection().is_empty());
+        assert!(d.union().is_empty());
+        let d = PlainDataset::new(vec![vec![], vec![(1, 5)]]);
+        assert!(d.intersection().is_empty());
+        assert_eq!(d.union(), vec![1]);
+    }
+
+    #[test]
+    fn median_even_owner_count() {
+        let d = PlainDataset::new(vec![
+            vec![(1, 10)],
+            vec![(1, 20)],
+            vec![(1, 30)],
+            vec![(1, 40)],
+        ]);
+        assert_eq!(d.psi_median()[&1], vec![20, 30]);
+    }
+}

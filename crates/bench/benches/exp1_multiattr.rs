@@ -1,0 +1,37 @@
+//! Criterion bench for Table 12: multi-column sum/max over 1–4 attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_bench::build::lineitem_cluster;
+
+const DOMAIN: u64 = 20_000;
+const OWNERS: usize = 10;
+
+fn bench_multiattr_sum(c: &mut Criterion) {
+    let cluster = lineitem_cluster(DOMAIN, OWNERS, 4, false, true, 4, 1);
+    let mut group = c.benchmark_group("table12/sum_vs_attrs");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 4] {
+        let attrs: Vec<usize> = (0..k).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &attrs, |b, attrs| {
+            b.iter(|| cluster.psi_sum_multi(attrs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiattr_max(c: &mut Criterion) {
+    // Smaller domain: max runs the blinded-polynomial round per cell.
+    let cluster = lineitem_cluster(2_000, OWNERS, 4, false, true, 4, 2);
+    let mut group = c.benchmark_group("table12/max_vs_attrs");
+    group.sample_size(10);
+    for k in [1usize, 2, 4] {
+        let attrs: Vec<usize> = (0..k).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &attrs, |b, attrs| {
+            b.iter(|| cluster.psi_max_multi(attrs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiattr_sum, bench_multiattr_max);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Exp 4 / Figure 5: the bucketization simulation and
+//! the real multi-round bucketized PSI protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_protocol::bucket::{bucketized_psi, simulate_actual_domain, BucketTree};
+use prism_protocol::params::{Initiator, SystemConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    // 10^6-leaf tree (height 7, fanout 10) at the paper's fill factors.
+    let mut group = c.benchmark_group("exp4/simulate_actual_domain");
+    group.sample_size(10);
+    for fill_pct in [100.0f64, 10.0, 1.0, 0.1, 0.01] {
+        let filled = ((fill_pct / 100.0) * 1_000_000.0).max(1.0) as usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fill_pct}pct")),
+            &filled,
+            |b, &filled| b.iter(|| simulate_actual_domain(7, 10, filled, 42)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let domain = 4096usize;
+    let setup = Initiator::new(SystemConfig::new(3, domain).with_seed(5))
+        .setup()
+        .unwrap();
+    let tree = BucketTree::new(domain, 4);
+    let mut group = c.benchmark_group("exp4/bucketized_psi_protocol");
+    group.sample_size(10);
+    for fill in [4usize, 400, 4096] {
+        // All owners share the same sparse leaf set (worst-case overlap).
+        let mut leaves = vec![0u64; domain];
+        for i in 0..fill {
+            leaves[(i * domain / fill).min(domain - 1)] = 1;
+        }
+        let owners = vec![leaves.clone(), leaves.clone(), leaves];
+        group.bench_with_input(BenchmarkId::from_parameter(fill), &owners, |b, owners| {
+            b.iter(|| bucketized_psi(owners, &tree, &setup, 2, 2, 9).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the §8.1 share-generation pipeline: one owner's
+//! LineItem relation → the 11-column Table 11 (paper: 121s at 5M, 548s at
+//! 20M, +20s/+90s per verification column; here at reduced domains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_protocol::params::{Initiator, SystemConfig};
+use prism_workload::{outsource_owner, LineItemConfig};
+
+fn bench_sharegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharegen/table11");
+    group.sample_size(10);
+    for domain in [50_000u64, 200_000] {
+        let setup = Initiator::new(SystemConfig::new(10, domain as usize).with_seed(1))
+            .setup()
+            .unwrap();
+        let rows = LineItemConfig::full(domain, 2).generate_owner(0);
+        group.bench_with_input(
+            BenchmarkId::new("data_columns", domain),
+            &rows,
+            |b, rows| b.iter(|| outsource_owner(rows, &setup.owner, 4, false, 3)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_with_verification", domain),
+            &rows,
+            |b, rows| b.iter(|| outsource_owner(rows, &setup.owner, 4, true, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharegen/data_fetch");
+    group.sample_size(10);
+    for domain in [200_000u64, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(domain), &domain, |b, &d| {
+            b.iter(|| prism_bench::exp1::measure_fetch(d, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharegen, bench_fetch);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for Table 13: PRISM vs the circuit-MPC baseline vs the
+//! pairwise delegated-PSI baseline, two owners, growing dataset sizes.
+//! The expected shape: PRISM and the hash baseline linear and fast; the
+//! circuit baseline linear in gates but paying inter-server communication;
+//! the pairwise extension exploding with owner count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_baseline::{multiparty_psi_by_pairwise, GmwPsi};
+use prism_bench::build::lean_cluster;
+use prism_core::Prg;
+
+fn bench_prism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table13/prism_psi");
+    group.sample_size(10);
+    for n in [32_768u64, 131_072, 524_288] {
+        let cluster = lean_cluster(n, 2, 4, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| cluster.psi().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gmw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table13/circuit_mpc_psi");
+    group.sample_size(10);
+    for n in [32_768usize, 131_072] {
+        let mut prg = Prg::from_seed(2);
+        let ind: Vec<Vec<u8>> = (0..2)
+            .map(|_| (0..n).map(|_| (prg.next_u64() & 1) as u8).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ind, |b, ind| {
+            b.iter(|| {
+                let mut gmw = GmwPsi::new(3);
+                gmw.psi(ind, 4)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairwise_owner_scaling(c: &mut Criterion) {
+    // The (nm)² story: fixed n, growing m.
+    let n = 10_000u64;
+    let mut group = c.benchmark_group("table13/pairwise_vs_owners");
+    group.sample_size(10);
+    for m in [2usize, 4, 8] {
+        let sets: Vec<Vec<u64>> = (0..m)
+            .map(|j| {
+                let mut prg = Prg::from_seed(5 + j as u64);
+                (0..n).map(|_| prg.range(1, n * 2)).collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &sets, |b, sets| {
+            b.iter(|| multiparty_psi_by_pairwise(sets, 9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prism, bench_gmw, bench_pairwise_owner_scaling);
+criterion_main!(benches);

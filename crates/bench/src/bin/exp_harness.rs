@@ -1,0 +1,116 @@
+//! `exp_harness` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|all]
+//!             [--scale small|medium|full] [--seed N]
+//! ```
+//!
+//! `small` (default) finishes in seconds; `medium` in minutes; `full`
+//! runs the paper-scale parameters (5M/20M domains, 10–50 owners, the
+//! 100M-leaf bucket tree) and needs a machine comparable to the paper's
+//! servers (tens of GB of RAM, tens of minutes).
+
+use prism_bench::{exp1, exp2, exp3, exp4, sharegen, table13};
+use prism_workload::configs::{self, Scale};
+
+struct Args {
+    which: Vec<String>,
+    scale: Scale,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut which = Vec::new();
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (small|medium|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|all]* \
+                     [--scale small|medium|full] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Args { which, scale, seed }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    let seed = args.seed;
+    let all = args.which.iter().any(|w| w == "all");
+    let wants = |name: &str| all || args.which.iter().any(|w| w == name);
+
+    println!(
+        "PRISM experiment harness — scale {:?}, seed {seed}",
+        scale
+    );
+
+    if wants("exp1") {
+        let cfg = configs::exp1(scale);
+        let rows = exp1::run(&cfg.domains, &cfg.threads, cfg.owners, seed);
+        exp1::print(&rows);
+    }
+    if wants("table12") {
+        let cfg = configs::exp1(scale);
+        let rows = exp1::run_table12(
+            &cfg.domains,
+            &configs::table12_attrs(),
+            cfg.owners,
+            4,
+            seed,
+        );
+        exp1::print_table12(&rows);
+    }
+    if wants("exp2") {
+        let cfg = configs::exp2(scale);
+        let rows = exp2::run(&cfg.domains, &cfg.owners, cfg.threads, seed);
+        exp2::print(&rows);
+    }
+    if wants("exp3") {
+        let domains = configs::ok_domains(scale);
+        // The paper used 50 owners for Table 14.
+        let owners = if scale == Scale::Full { 50 } else { 10 };
+        let rows = exp3::run(&domains, owners, 4, seed);
+        exp3::print(&rows);
+    }
+    if wants("exp4") {
+        let cfg = configs::exp4(scale);
+        let rows = exp4::run(cfg.height, cfg.fanout, &cfg.fill_percent, seed);
+        exp4::print(&rows);
+    }
+    if wants("table13") {
+        let sizes = configs::table13_sizes(scale);
+        let rows = table13::run(&sizes, 4, seed);
+        table13::print(&rows);
+    }
+    if wants("sharegen") {
+        let domains = configs::ok_domains(scale);
+        let rows = sharegen::run(&domains, 10, seed);
+        sharegen::print(&rows);
+    }
+}

@@ -1,0 +1,187 @@
+//! Exp 1 — Figure 3 (a, b): operation time vs thread count, 10 owners,
+//! plus Table 12 (multi-attribute sum/max) and the Data-Fetch series.
+
+use crate::build::{lean_cluster, lineitem_cluster};
+use crate::report::{print_table, secs};
+use prism_storage::{ServerStore, SharedTable};
+use std::time::Duration;
+
+/// One (domain, threads) measurement across operations.
+#[derive(Debug, Clone)]
+pub struct Exp1Row {
+    /// OK domain size.
+    pub domain: u64,
+    /// Threads per server.
+    pub threads: usize,
+    /// `(operation, server time, owner time)` per operation.
+    pub ops: Vec<(&'static str, Duration, Duration)>,
+    /// Data fetch time from the columnar store.
+    pub fetch: Duration,
+}
+
+/// Measure the data-fetch phase: persist one owner's OK share column and
+/// time reading it back.
+pub fn measure_fetch(domain: u64, seed: u64) -> Duration {
+    let dir = std::env::temp_dir().join(format!("prism_fetch_{domain}_{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ServerStore::open(&dir).expect("store");
+    let table = SharedTable {
+        ok: (0..domain).map(|i| i % 113).collect(),
+        ..Default::default()
+    };
+    store.put(0, &table).expect("put");
+    let (_, fetch) = store.fetch_ok(0).expect("fetch");
+    let _ = std::fs::remove_dir_all(&dir);
+    fetch
+}
+
+/// Run the Figure-3 grid. `owners` is 10 in the paper.
+pub fn run(domains: &[u64], threads: &[usize], owners: usize, seed: u64) -> Vec<Exp1Row> {
+    let mut rows = Vec::new();
+    for &domain in domains {
+        let fetch = measure_fetch(domain, seed);
+        // Lean cluster for the set operations, aggregation cluster for §6.
+        let mut lean = lean_cluster(domain, owners, 1, seed);
+        let mut agg = lineitem_cluster(domain, owners, 1, false, true, 1, seed);
+        for &t in threads {
+            lean.set_threads(t);
+            agg.set_threads(t);
+            let mut ops: Vec<(&'static str, Duration, Duration)> = Vec::new();
+            let (_, s) = lean.psi().expect("psi");
+            ops.push(("PSI", s.server_time, s.owner_time));
+            let (_, s) = lean.psu().expect("psu");
+            ops.push(("PSU", s.server_time, s.owner_time));
+            let (_, s) = lean.psi_count().expect("count");
+            ops.push(("PSI Count", s.server_time, s.owner_time));
+            let (_, s) = agg.psi_sum(0).expect("sum");
+            ops.push(("PSI Sum", s.server_time, s.owner_time));
+            let (_, s) = agg.psi_avg(0).expect("avg");
+            ops.push(("PSI Avg", s.server_time, s.owner_time));
+            let (_, s) = agg.psi_median(0).expect("median");
+            ops.push(("PSI Median", s.server_time + s.announcer_time, s.owner_time));
+            let (_, _, s) = agg.psi_max(0).expect("max");
+            ops.push(("PSI Max", s.server_time + s.announcer_time, s.owner_time));
+            rows.push(Exp1Row {
+                domain,
+                threads: t,
+                ops,
+                fetch,
+            });
+        }
+    }
+    rows
+}
+
+/// Print Figure-3-shaped output.
+pub fn print(rows: &[Exp1Row]) {
+    let mut domains: Vec<u64> = rows.iter().map(|r| r.domain).collect();
+    domains.dedup();
+    for &domain in &domains {
+        let subset: Vec<&Exp1Row> = rows.iter().filter(|r| r.domain == domain).collect();
+        let op_names: Vec<&'static str> = subset[0].ops.iter().map(|(n, _, _)| *n).collect();
+        let mut headers = vec!["Threads"];
+        headers.extend(op_names.iter().copied());
+        headers.push("Data Fetch");
+        let table_rows: Vec<Vec<String>> = subset
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.threads.to_string()];
+                row.extend(r.ops.iter().map(|(_, s, _)| secs(*s)));
+                row.push(secs(r.fetch));
+                row
+            })
+            .collect();
+        print_table(
+            &format!("Exp 1 / Figure 3 — {domain} OK domain, server time vs threads"),
+            &headers,
+            &table_rows,
+        );
+    }
+}
+
+/// Table 12: sum/max over 1–4 attributes.
+#[derive(Debug, Clone)]
+pub struct Table12Row {
+    /// Domain size.
+    pub domain: u64,
+    /// Attribute count.
+    pub attrs: usize,
+    /// Multi-attribute sum time (server).
+    pub sum: Duration,
+    /// Multi-attribute max time (server + announcer).
+    pub max: Duration,
+}
+
+/// Run the Table-12 grid.
+pub fn run_table12(
+    domains: &[u64],
+    attr_counts: &[usize],
+    owners: usize,
+    threads: usize,
+    seed: u64,
+) -> Vec<Table12Row> {
+    let mut out = Vec::new();
+    for &domain in domains {
+        let max_attrs = attr_counts.iter().copied().max().unwrap_or(1);
+        let cluster = lineitem_cluster(domain, owners, max_attrs, false, true, threads, seed);
+        for &k in attr_counts {
+            let attrs: Vec<usize> = (0..k).collect();
+            let (_, s_sum) = cluster.psi_sum_multi(&attrs).expect("sum multi");
+            let (_, s_max) = cluster.psi_max_multi(&attrs).expect("max multi");
+            out.push(Table12Row {
+                domain,
+                attrs: k,
+                sum: s_sum.server_time,
+                max: s_max.server_time + s_max.announcer_time,
+            });
+        }
+    }
+    out
+}
+
+/// Print Table-12-shaped output.
+pub fn print_table12(rows: &[Table12Row]) {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.domain.to_string(),
+                r.attrs.to_string(),
+                secs(r.sum),
+                secs(r.max),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 12 — multi-column aggregation (time per query)",
+        &["Domain", "Attrs", "Sum", "Max"],
+        &table_rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp1_smoke() {
+        let rows = run(&[200], &[1, 2], 3, 7);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].ops.len(), 7);
+        print(&rows);
+    }
+
+    #[test]
+    fn table12_smoke() {
+        let rows = run_table12(&[100], &[1, 2], 3, 1, 8);
+        assert_eq!(rows.len(), 2);
+        // More attributes must not be cheaper (allowing small noise).
+        assert!(rows[1].sum >= rows[0].sum / 4);
+        print_table12(&rows);
+    }
+
+    #[test]
+    fn fetch_is_measurable() {
+        assert!(measure_fetch(10_000, 1) > Duration::ZERO);
+    }
+}

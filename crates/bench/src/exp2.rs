@@ -1,0 +1,97 @@
+//! Exp 2 — Figure 4 (a, b): server processing time vs number of DB owners
+//! (10–50), for PSI, PSU and the aggregations over PSI.
+
+use crate::build::{lean_cluster, lineitem_cluster};
+use crate::report::{print_table, secs};
+use std::time::Duration;
+
+/// One (domain, owners) measurement.
+#[derive(Debug, Clone)]
+pub struct Exp2Row {
+    /// OK domain size.
+    pub domain: u64,
+    /// Number of DB owners.
+    pub owners: usize,
+    /// `(operation, server time)` per operation.
+    pub ops: Vec<(&'static str, Duration)>,
+}
+
+/// Run the Figure-4 grid.
+pub fn run(domains: &[u64], owner_counts: &[usize], threads: usize, seed: u64) -> Vec<Exp2Row> {
+    let mut rows = Vec::new();
+    for &domain in domains {
+        for &m in owner_counts {
+            let lean = {
+                let mut c = lean_cluster(domain, m, threads, seed);
+                c.set_threads(threads);
+                c
+            };
+            let mut ops: Vec<(&'static str, Duration)> = Vec::new();
+            let (_, s) = lean.psi().expect("psi");
+            ops.push(("PSI", s.server_time));
+            let (_, s) = lean.psu().expect("psu");
+            ops.push(("PSU", s.server_time));
+            let (_, s) = lean.psi_count().expect("count");
+            ops.push(("PSI Count", s.server_time));
+            drop(lean);
+
+            let agg = lineitem_cluster(domain, m, 1, false, true, threads, seed);
+            let (_, s) = agg.psi_sum(0).expect("sum");
+            ops.push(("PSI Sum", s.server_time));
+            let (_, s) = agg.psi_avg(0).expect("avg");
+            ops.push(("PSI Avg", s.server_time));
+            let (_, s) = agg.psi_median(0).expect("median");
+            ops.push(("PSI Median", s.server_time + s.announcer_time));
+            let (_, _, s) = agg.psi_max(0).expect("max");
+            ops.push(("PSI Max", s.server_time + s.announcer_time));
+            rows.push(Exp2Row {
+                domain,
+                owners: m,
+                ops,
+            });
+        }
+    }
+    rows
+}
+
+/// Print Figure-4-shaped output.
+pub fn print(rows: &[Exp2Row]) {
+    let mut domains: Vec<u64> = rows.iter().map(|r| r.domain).collect();
+    domains.dedup();
+    for &domain in &domains {
+        let subset: Vec<&Exp2Row> = rows.iter().filter(|r| r.domain == domain).collect();
+        let op_names: Vec<&'static str> = subset[0].ops.iter().map(|(n, _)| *n).collect();
+        let mut headers = vec!["Owners"];
+        headers.extend(op_names.iter().copied());
+        let table_rows: Vec<Vec<String>> = subset
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.owners.to_string()];
+                row.extend(r.ops.iter().map(|(_, s)| secs(*s)));
+                row
+            })
+            .collect();
+        print_table(
+            &format!("Exp 2 / Figure 4 — {domain} OK domain, server time vs owners"),
+            &headers,
+            &table_rows,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2_smoke_and_scaling_shape() {
+        let rows = run(&[500], &[4, 8], 1, 3);
+        assert_eq!(rows.len(), 2);
+        // PSI server time should grow with owners (linear in the paper) —
+        // allow generous noise at this tiny scale.
+        let psi4 = rows[0].ops[0].1;
+        let psi8 = rows[1].ops[0].1;
+        assert!(psi8 > psi4 / 4, "psi4={psi4:?} psi8={psi8:?}");
+        print(&rows);
+    }
+}

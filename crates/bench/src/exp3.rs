@@ -1,0 +1,83 @@
+//! Exp 3 — Table 14: DB-owner processing time in result construction.
+//!
+//! The owner-side work is share recombination: modular multiplication per
+//! cell for PSI (Equation 4), additions for PSU, Lagrange interpolation
+//! for the aggregation rounds. The paper reports it for 5M / 20M domains.
+
+use crate::build::{lean_cluster, lineitem_cluster};
+use crate::report::{print_table, secs};
+use std::time::Duration;
+
+/// Owner times per operation for one domain.
+#[derive(Debug, Clone)]
+pub struct Exp3Row {
+    /// OK domain size.
+    pub domain: u64,
+    /// `(operation, owner time)`.
+    pub ops: Vec<(&'static str, Duration)>,
+}
+
+/// Run the Table-14 grid (the paper used 50 owners; pass `owners`).
+pub fn run(domains: &[u64], owners: usize, threads: usize, seed: u64) -> Vec<Exp3Row> {
+    let mut rows = Vec::new();
+    for &domain in domains {
+        let lean = lean_cluster(domain, owners, threads, seed);
+        let mut ops: Vec<(&'static str, Duration)> = Vec::new();
+        let (_, s) = lean.psi().expect("psi");
+        ops.push(("PSI", s.owner_time));
+        let (_, s) = lean.psi_count().expect("count");
+        ops.push(("Count", s.owner_time));
+        let (_, s) = lean.psu().expect("psu");
+        let psu_owner = s.owner_time;
+        drop(lean);
+
+        let agg = lineitem_cluster(domain, owners, 1, false, true, threads, seed);
+        let (_, s) = agg.psi_sum(0).expect("sum");
+        ops.push(("Sum", s.owner_time));
+        let (_, s) = agg.psi_avg(0).expect("avg");
+        ops.push(("Avg", s.owner_time));
+        let (_, _, s) = agg.psi_max(0).expect("max");
+        ops.push(("Max", s.owner_time));
+        ops.push(("PSU", psu_owner));
+        rows.push(Exp3Row { domain, ops });
+    }
+    rows
+}
+
+/// Print Table-14-shaped output (operations as rows, domains as columns).
+pub fn print(rows: &[Exp3Row]) {
+    if rows.is_empty() {
+        return;
+    }
+    let op_names: Vec<&'static str> = rows[0].ops.iter().map(|(n, _)| *n).collect();
+    let mut headers = vec!["Op".to_string()];
+    headers.extend(rows.iter().map(|r| r.domain.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let table_rows: Vec<Vec<String>> = op_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut row = vec![name.to_string()];
+            row.extend(rows.iter().map(|r| secs(r.ops[i].1)));
+            row
+        })
+        .collect();
+    print_table(
+        "Exp 3 / Table 14 — owner result-construction time",
+        &header_refs,
+        &table_rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp3_smoke() {
+        let rows = run(&[300], 4, 1, 5);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].ops.len(), 6);
+        print(&rows);
+    }
+}

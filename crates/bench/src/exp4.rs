@@ -1,0 +1,90 @@
+//! Exp 4 — Figure 5: impact of bucketization.
+//!
+//! "Actual domain size" (cells PSI executes on) versus fill factor for a
+//! fanout-10, height-9 tree with 100M leaf values, compared against the
+//! flat (no-bucketization) cost of touching the whole domain every time.
+
+use crate::report::{count, print_table};
+use prism_protocol::bucket::{simulate_actual_domain, BucketSimReport};
+
+/// One fill-factor measurement.
+#[derive(Debug, Clone)]
+pub struct Exp4Row {
+    /// Fill factor in percent.
+    pub fill_percent: f64,
+    /// Simulation report.
+    pub report: BucketSimReport,
+}
+
+/// Run the Figure-5 sweep.
+pub fn run(height: usize, fanout: usize, fill_percent: &[f64], seed: u64) -> Vec<Exp4Row> {
+    let leaves = fanout.pow((height - 1) as u32);
+    fill_percent
+        .iter()
+        .map(|&pct| {
+            let filled = ((pct / 100.0) * leaves as f64).round() as usize;
+            Exp4Row {
+                fill_percent: pct,
+                report: simulate_actual_domain(height, fanout, filled.max(1), seed),
+            }
+        })
+        .collect()
+}
+
+/// Print Figure-5-shaped output.
+pub fn print(rows: &[Exp4Row]) {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.fill_percent),
+                count(r.report.filled_leaves as u64),
+                count(r.report.with_bucketization as u64),
+                count(r.report.without_bucketization as u64),
+                format!(
+                    "{:.2}x",
+                    r.report.without_bucketization as f64
+                        / r.report.with_bucketization.max(1) as f64
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Exp 4 / Figure 5 — bucketization: actual domain size vs fill factor",
+        &[
+            "Fill",
+            "Filled leaves",
+            "W bucketization",
+            "W/O bucketization",
+            "Reduction",
+        ],
+        &table_rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure_5() {
+        // Scaled-down tree: 10^4 leaves.
+        let rows = run(5, 10, &[100.0, 10.0, 1.0, 0.1], 9);
+        assert_eq!(rows.len(), 4);
+        // 100% fill: bucketization touches MORE than the domain (the
+        // paper's 111M vs 100M point).
+        assert!(rows[0].report.with_bucketization > rows[0].report.without_bucketization);
+        // Sparse fills win, monotonically.
+        assert!(rows[3].report.with_bucketization < rows[2].report.with_bucketization);
+        assert!(rows[2].report.with_bucketization < rows[1].report.with_bucketization);
+        assert!(rows[3].report.with_bucketization < rows[3].report.without_bucketization);
+        print(&rows);
+    }
+
+    #[test]
+    fn full_fill_counts_whole_tree() {
+        let rows = run(4, 10, &[100.0], 1);
+        // Levels 2..4: 10 + 100 + 1000 = 1110 (the "111M" shape at 10^3).
+        assert_eq!(rows[0].report.with_bucketization, 1110);
+    }
+}

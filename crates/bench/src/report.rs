@@ -1,0 +1,113 @@
+//! Fixed-width table printing for the experiment harness — the output is
+//! meant to sit next to the paper's tables for eyeball comparison.
+
+/// Print a titled table with padded columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a byte count.
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{n}B")
+    } else {
+        format!("{v:.1}{}", UNITS[u])
+    }
+}
+
+/// Format a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(Duration::from_secs(120)), "120s");
+        assert_eq!(secs(Duration::from_millis(2500)), "2.50s");
+        assert_eq!(secs(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(secs(Duration::from_nanos(900)), "0.9us");
+    }
+
+    #[test]
+    fn bytes_formats() {
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2.0KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0MiB");
+    }
+
+    #[test]
+    fn count_formats() {
+        assert_eq!(count(5), "5");
+        assert_eq!(count(5000), "5,000");
+        assert_eq!(count(5_000_000), "5,000,000");
+        assert_eq!(count(111_111_110), "111,111,110");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

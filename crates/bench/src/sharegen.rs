@@ -1,0 +1,75 @@
+//! Share-generation timing (§8.1's "Share generation time" paragraph) —
+//! the cost of turning one owner's LineItem relation into the 11-column
+//! secret-shared Table 11, plus the incremental cost of each verification
+//! column.
+
+use crate::report::{print_table, secs};
+use prism_protocol::params::{Initiator, SystemConfig};
+use prism_workload::{outsource_owner, LineItemConfig};
+use std::time::Duration;
+
+/// Timings for one domain size.
+#[derive(Debug, Clone)]
+pub struct ShareGenRow {
+    /// OK domain size.
+    pub domain: u64,
+    /// Time to share the five data columns (OK + PK LN SK DT + aOK).
+    pub data_columns: Duration,
+    /// Time including the verification columns too (full Table 11).
+    pub with_verification: Duration,
+}
+
+/// Run the share-generation measurement.
+pub fn run(domains: &[u64], owners: usize, seed: u64) -> Vec<ShareGenRow> {
+    domains
+        .iter()
+        .map(|&domain| {
+            let setup = Initiator::new(
+                SystemConfig::new(owners, domain as usize).with_seed(seed),
+            )
+            .setup()
+            .expect("setup");
+            let rows = LineItemConfig::full(domain, seed).generate_owner(0);
+            let plain = outsource_owner(&rows, &setup.owner, 4, false, seed);
+            let full = outsource_owner(&rows, &setup.owner, 4, true, seed);
+            ShareGenRow {
+                domain,
+                data_columns: plain.elapsed,
+                with_verification: full.elapsed,
+            }
+        })
+        .collect()
+}
+
+/// Print the §8.1-shaped output.
+pub fn print(rows: &[ShareGenRow]) {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.domain.to_string(),
+                secs(r.data_columns),
+                secs(r.with_verification),
+                secs(r.with_verification.saturating_sub(r.data_columns)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Share generation time (one owner, Table 11 pipeline)",
+        &["Domain", "Data columns", "Full Table 11", "Verification delta"],
+        &table_rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharegen_smoke() {
+        let rows = run(&[1000], 3, 2);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].with_verification >= rows[0].data_columns / 2);
+        print(&rows);
+    }
+}

@@ -1,0 +1,160 @@
+//! Table 13 — comparison against MPC-style baselines, two DB owners.
+//!
+//! PRISM's row is measured directly; the Jana/Sharemind-shaped row runs
+//! the metered GMW circuit baseline (server↔server communication made
+//! explicit), and the delegated-two-party row runs the pairwise hash PSI.
+//! Absolute times are this machine's; the *shape* — PRISM linear with no
+//! inter-server bytes, circuit MPC paying per-gate communication, the
+//! pairwise extension blowing up quadratically with owners — is the
+//! paper's claim.
+
+use crate::build::lean_cluster;
+use crate::report::{bytes, count, print_table, secs};
+use prism_baseline::{multiparty_psi_by_pairwise, GmwPsi};
+use prism_core::Prg;
+use std::time::{Duration, Instant};
+
+/// One system's row for one dataset size.
+#[derive(Debug, Clone)]
+pub struct Table13Row {
+    /// System label.
+    pub system: &'static str,
+    /// Dataset (domain) size.
+    pub n: u64,
+    /// Wall time of the query.
+    pub time: Duration,
+    /// Bytes exchanged *between servers* (PRISM: 0 by construction).
+    pub server_comm_bytes: u64,
+    /// Inter-server rounds.
+    pub server_rounds: u64,
+    /// Complexity formula from the paper's table.
+    pub complexity: &'static str,
+}
+
+/// Run the comparison at the given sizes (2 owners, as the paper's table).
+pub fn run(sizes: &[u64], threads: usize, seed: u64) -> Vec<Table13Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // PRISM: the protocol compute time (server max + owner combine),
+        // matching what the baseline rows measure for themselves.
+        let cluster = lean_cluster(n, 2, threads, seed);
+        let (_, stats) = cluster.psi().expect("psi");
+        let prism_time = stats.server_time + stats.owner_time;
+        rows.push(Table13Row {
+            system: "Prism",
+            n,
+            time: prism_time,
+            server_comm_bytes: 0,
+            server_rounds: 0,
+            complexity: "O(mX)",
+        });
+
+        // GMW circuit baseline (Jana/Sharemind/SMCQL shape).
+        let mut prg = Prg::from_seed(seed ^ 0xC1BC);
+        let ind: Vec<Vec<u8>> = (0..2)
+            .map(|_| (0..n).map(|_| (prg.next_u64() & 1) as u8).collect())
+            .collect();
+        let mut gmw = GmwPsi::new(seed);
+        let t0 = Instant::now();
+        let _ = gmw.psi(&ind, seed ^ 1);
+        let gmw_time = t0.elapsed();
+        // Add the network time the server↔server rounds would cost on a
+        // 1 ms-RTT / 1 Gbps LAN (PRISM pays none). Note this baseline is
+        // *generous*: it evaluates PRISM's own domain-indicator encoding
+        // as a circuit, not Jana's far heavier oblivious join.
+        let gmw_net = std::time::Duration::from_secs_f64(
+            gmw.cost.network_time(1.0, 1000.0),
+        );
+        rows.push(Table13Row {
+            system: "Circuit MPC (Jana-shape)",
+            n,
+            time: gmw_time + gmw_net,
+            server_comm_bytes: gmw.cost.bytes,
+            server_rounds: gmw.cost.rounds,
+            complexity: "O(nm) gates + comm",
+        });
+
+        // Pairwise delegated PSI ([3]-shape).
+        let sets: Vec<Vec<u64>> = (0..2)
+            .map(|j| {
+                let mut prg = Prg::from_seed(seed ^ (j + 7));
+                (0..n / 2).map(|_| prg.range(1, n + 1)).collect()
+            })
+            .collect();
+        let t0 = Instant::now();
+        let (_, cost) = multiparty_psi_by_pairwise(&sets, seed);
+        let pair_net = std::time::Duration::from_secs_f64(
+            prism_baseline::CircuitCost {
+                and_gates: 0,
+                rounds: cost.rounds,
+                bytes: cost.bytes,
+            }
+            .network_time(1.0, 1000.0),
+        );
+        let pair_time = t0.elapsed() + pair_net;
+        rows.push(Table13Row {
+            system: "Delegated 2P-PSI ([3]-shape)",
+            n,
+            time: pair_time,
+            server_comm_bytes: cost.bytes,
+            server_rounds: cost.rounds,
+            complexity: "O((nm)^2) extended",
+        });
+    }
+    rows
+}
+
+/// Print Table-13-shaped output.
+pub fn print(rows: &[Table13Row]) {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                count(r.n),
+                secs(r.time),
+                if r.system == "Prism" {
+                    "No".to_string()
+                } else {
+                    format!("Yes ({})", bytes(r.server_comm_bytes))
+                },
+                r.server_rounds.to_string(),
+                r.complexity.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 13 — comparison with cloud-based techniques (2 DB owners)",
+        &[
+            "System",
+            "Dataset",
+            "Time",
+            "Server<->server comm",
+            "Rounds",
+            "Complexity",
+        ],
+        &table_rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prism_has_no_server_communication() {
+        let rows = run(&[1000], 1, 3);
+        let prism = rows.iter().find(|r| r.system == "Prism").unwrap();
+        assert_eq!(prism.server_comm_bytes, 0);
+        assert_eq!(prism.server_rounds, 0);
+        let gmw = rows.iter().find(|r| r.system.starts_with("Circuit")).unwrap();
+        assert!(gmw.server_comm_bytes > 0);
+        print(&rows);
+    }
+
+    #[test]
+    fn rows_cover_all_systems_per_size() {
+        let rows = run(&[500, 1000], 1, 4);
+        assert_eq!(rows.len(), 6);
+    }
+}

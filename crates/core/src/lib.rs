@@ -1,0 +1,36 @@
+//! # prism-core
+//!
+//! Cryptographic building blocks for the PRISM private set computation
+//! system (Li et al., SIGMOD 2021): modular arithmetic, additive and Shamir
+//! secret sharing, cyclic-group parameter construction, seeded permutations,
+//! a portable PRG, domain maps, big integers, and the order-preserving
+//! blinding polynomial.
+//!
+//! Everything here is deterministic given explicit seeds, which is what
+//! lets two non-communicating servers agree on blinding streams and lets
+//! tests replay the paper's worked examples bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod additive;
+pub mod arith;
+pub mod bigint;
+pub mod domain;
+pub mod group;
+pub mod perm;
+pub mod polynomial;
+pub mod prg;
+pub mod shamir;
+pub mod wide;
+
+pub use additive::{reconstruct2, share2, share_vector2, AdditiveShare};
+pub use arith::MERSENNE_61;
+pub use bigint::{reconstruct_wide2, share_wide2, BigUint, WideShare};
+pub use domain::{DenseIntDomain, DomainMap, EnumeratedDomain, ProductDomain, SeededHashDomain};
+pub use group::{choose_delta, GroupError, GroupParams};
+pub use perm::{Permutation, PermutationFamily};
+pub use polynomial::{OrderPolynomial, PolyTable};
+pub use prg::Prg;
+pub use shamir::{ShamirCtx, ShamirShare};
+pub use wide::WideVec;

@@ -1,0 +1,272 @@
+//! Permutation functions `PF` (§3.1, §4).
+//!
+//! PRISM distributes several related permutations: one shared by owners and
+//! servers (max/median share shuffling), one known only to servers (count),
+//! one known only to owners (PSI verification), and the Equation-1 family
+//!
+//! ```text
+//! PF_s1 ∘ PF_db1 = PF_s2 ∘ PF_db2 = PF_i
+//! ```
+//!
+//! used so that two independently-permuted result paths land in the *same*
+//! final order without either side knowing the full composition.
+//! Permutations are represented in one-line notation: `map[i]` is where
+//! position `i` is sent.
+
+use crate::prg::Prg;
+use serde::{Deserialize, Serialize};
+
+/// A permutation of `0..n` in one-line notation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Permutation {
+    /// `map[i]` = destination index of source position `i`.
+    map: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n as u32).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `0..n` (Fisher–Yates, seeded).
+    pub fn random(n: usize, prg: &mut Prg) -> Self {
+        let mut map: Vec<u32> = (0..n as u32).collect();
+        // Standard Fisher–Yates walking down from the top.
+        for i in (1..n).rev() {
+            let j = prg.below((i + 1) as u64) as usize;
+            map.swap(i, j);
+        }
+        Permutation { map }
+    }
+
+    /// Build from an explicit one-line map. Returns `None` if `map` is not
+    /// a bijection of `0..map.len()`.
+    pub fn from_map(map: Vec<u32>) -> Option<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &d in &map {
+            let d = d as usize;
+            if d >= n || seen[d] {
+                return None;
+            }
+            seen[d] = true;
+        }
+        Some(Permutation { map })
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Where position `i` is sent.
+    #[inline]
+    pub fn dest(&self, i: usize) -> usize {
+        self.map[i] as usize
+    }
+
+    /// Apply to a slice: output[dest(i)] = input[i].
+    pub fn apply<T: Clone>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.map.len(), "length mismatch in apply");
+        let mut out: Vec<Option<T>> = vec![None; input.len()];
+        for (i, item) in input.iter().enumerate() {
+            out[self.map[i] as usize] = Some(item.clone());
+        }
+        out.into_iter().map(|o| o.expect("bijection")).collect()
+    }
+
+    /// The inverse permutation (`RPF` in §6.3 Step 5a).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.map.len()];
+        for (i, &d) in self.map.iter().enumerate() {
+            inv[d as usize] = i as u32;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Composition `other ∘ self`: first apply `self`, then `other`
+    /// (matches the ⊙ of Equation 1 read right-to-left).
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "length mismatch in composition");
+        let map = (0..self.map.len())
+            .map(|i| other.map[self.map[i] as usize])
+            .collect();
+        Permutation { map }
+    }
+
+    /// Apply to a single index.
+    pub fn apply_index(&self, i: usize) -> usize {
+        self.dest(i)
+    }
+}
+
+/// The Equation-1 family: given a target `PF_i`, produce
+/// `(PF_s1, PF_db1, PF_s2, PF_db2)` with
+/// `PF_s1 ∘ PF_db1 = PF_s2 ∘ PF_db2 = PF_i`.
+///
+/// `PF_db1`/`PF_db2` are drawn uniformly; each server-side factor is then
+/// forced (`PF_s = PF_i ∘ PF_db⁻¹`), mirroring how the initiator selects
+/// these over a permutation group (§4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PermutationFamily {
+    /// Known to servers only.
+    pub pf_s1: Permutation,
+    /// Known to servers only.
+    pub pf_s2: Permutation,
+    /// Known to DB owners only.
+    pub pf_db1: Permutation,
+    /// Known to DB owners only.
+    pub pf_db2: Permutation,
+    /// The common composition (held by the initiator; distributed to no one).
+    pub pf_i: Permutation,
+}
+
+impl PermutationFamily {
+    /// Generate a family over `0..n`.
+    pub fn generate(n: usize, prg: &mut Prg) -> Self {
+        let pf_i = Permutation::random(n, prg);
+        let pf_db1 = Permutation::random(n, prg);
+        let pf_db2 = Permutation::random(n, prg);
+        // pf_db1.then(pf_s1) == pf_i  ⟺  pf_s1 = pf_db1⁻¹ then pf_i
+        let pf_s1 = pf_db1.inverse().then(&pf_i);
+        let pf_s2 = pf_db2.inverse().then(&pf_i);
+        PermutationFamily {
+            pf_s1,
+            pf_s2,
+            pf_db1,
+            pf_db2,
+            pf_i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(5);
+        let v = vec![10, 20, 30, 40, 50];
+        assert_eq!(p.apply(&v), v);
+    }
+
+    #[test]
+    fn apply_moves_elements() {
+        // map = [2,0,1]: pos0→2, pos1→0, pos2→1.
+        let p = Permutation::from_map(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply(&[100, 200, 300]), vec![200, 300, 100]);
+    }
+
+    #[test]
+    fn from_map_rejects_non_bijections() {
+        assert!(Permutation::from_map(vec![0, 0]).is_none());
+        assert!(Permutation::from_map(vec![0, 2]).is_none());
+        assert!(Permutation::from_map(vec![]).is_some());
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let mut prg = Prg::from_seed(1);
+        let p = Permutation::random(100, &mut prg);
+        let v: Vec<u64> = (0..100).collect();
+        assert_eq!(p.inverse().apply(&p.apply(&v)), v);
+    }
+
+    #[test]
+    fn composition_associates_with_apply() {
+        let mut prg = Prg::from_seed(2);
+        let p = Permutation::random(50, &mut prg);
+        let q = Permutation::random(50, &mut prg);
+        let v: Vec<u64> = (0..50).map(|i| i * 7).collect();
+        assert_eq!(p.then(&q).apply(&v), q.apply(&p.apply(&v)));
+    }
+
+    #[test]
+    fn random_is_a_bijection() {
+        let mut prg = Prg::from_seed(3);
+        let p = Permutation::random(1000, &mut prg);
+        let mut seen = vec![false; 1000];
+        for i in 0..1000 {
+            assert!(!seen[p.dest(i)]);
+            seen[p.dest(i)] = true;
+        }
+    }
+
+    #[test]
+    fn random_is_seeded_deterministic() {
+        let p1 = Permutation::random(64, &mut Prg::from_seed(9));
+        let p2 = Permutation::random(64, &mut Prg::from_seed(9));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn family_satisfies_equation_1() {
+        let mut prg = Prg::from_seed(4);
+        for n in [1usize, 2, 10, 257] {
+            let fam = PermutationFamily::generate(n, &mut prg);
+            assert_eq!(fam.pf_db1.then(&fam.pf_s1), fam.pf_i, "n={n} path 1");
+            assert_eq!(fam.pf_db2.then(&fam.pf_s2), fam.pf_i, "n={n} path 2");
+        }
+    }
+
+    #[test]
+    fn family_paths_agree_on_data() {
+        let mut prg = Prg::from_seed(5);
+        let fam = PermutationFamily::generate(128, &mut prg);
+        let v: Vec<u64> = (0..128).map(|i| i * i).collect();
+        // Owner permutes with PF_db1, server with PF_s1 — and independently
+        // owner with PF_db2, server with PF_s2; results must coincide.
+        let path1 = fam.pf_s1.apply(&fam.pf_db1.apply(&v));
+        let path2 = fam.pf_s2.apply(&fam.pf_db2.apply(&v));
+        assert_eq!(path1, path2);
+        assert_eq!(path1, fam.pf_i.apply(&v));
+    }
+
+    #[test]
+    fn single_element_and_empty() {
+        let mut prg = Prg::from_seed(6);
+        let p0 = Permutation::random(0, &mut prg);
+        assert!(p0.is_empty());
+        assert_eq!(p0.apply(&Vec::<u8>::new()), Vec::<u8>::new());
+        let p1 = Permutation::random(1, &mut prg);
+        assert_eq!(p1.apply(&[42]), vec![42]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_composition_is_identity(seed: u64, n in 1usize..200) {
+            let mut prg = Prg::from_seed(seed);
+            let p = Permutation::random(n, &mut prg);
+            prop_assert_eq!(p.then(&p.inverse()), Permutation::identity(n));
+            prop_assert_eq!(p.inverse().then(&p), Permutation::identity(n));
+        }
+
+        #[test]
+        fn prop_apply_preserves_multiset(seed: u64, v in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let mut prg = Prg::from_seed(seed);
+            let p = Permutation::random(v.len(), &mut prg);
+            let mut before = v.clone();
+            let mut after = p.apply(&v);
+            before.sort_unstable();
+            after.sort_unstable();
+            prop_assert_eq!(before, after);
+        }
+
+        #[test]
+        fn prop_family_equation_holds(seed: u64, n in 1usize..100) {
+            let mut prg = Prg::from_seed(seed);
+            let fam = PermutationFamily::generate(n, &mut prg);
+            prop_assert_eq!(fam.pf_db1.then(&fam.pf_s1), fam.pf_db2.then(&fam.pf_s2));
+        }
+    }
+}

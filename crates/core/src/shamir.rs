@@ -1,0 +1,331 @@
+//! Shamir's secret sharing over `F_p` (§3.1) with the degree bookkeeping
+//! PRISM's aggregation round needs.
+//!
+//! PSI-Sum (§6.1) multiplies two degree-1 sharings pointwise (data × result
+//! indicator), producing a degree-2 sharing that three servers' evaluations
+//! can reconstruct by Lagrange interpolation at 0. The share type carries
+//! its evaluation point so interpolation never mis-pairs shares, and the
+//! default field is the Mersenne prime `2^61 − 1`.
+
+use crate::arith::{add_mod, inv_mod, mul_mod, sub_mod, MERSENNE_61};
+use crate::prg::Prg;
+use serde::{Deserialize, Serialize};
+
+/// A Shamir share: the evaluation `f(x)` of the sharing polynomial at a
+/// non-zero point `x`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ShamirShare {
+    /// Evaluation point (server index, 1-based; never 0).
+    pub x: u64,
+    /// `f(x) mod p`.
+    pub y: u64,
+}
+
+/// Field context for Shamir operations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ShamirCtx {
+    /// Field prime.
+    pub p: u64,
+    /// Polynomial degree `c'` (threshold − 1). PRISM uses degree 1.
+    pub degree: usize,
+}
+
+impl Default for ShamirCtx {
+    fn default() -> Self {
+        ShamirCtx {
+            p: MERSENNE_61,
+            degree: 1,
+        }
+    }
+}
+
+impl ShamirCtx {
+    /// Construct a context; `p` must be prime and `degree ≥ 1`.
+    pub fn new(p: u64, degree: usize) -> Self {
+        assert!(degree >= 1, "degree must be at least 1");
+        assert!(crate::arith::is_prime(p), "Shamir modulus must be prime");
+        ShamirCtx { p, degree }
+    }
+
+    /// Split `secret` into `count` shares at evaluation points `1..=count`.
+    ///
+    /// Requires `count > degree` (otherwise the secret would be
+    /// unreconstructable even with all shares).
+    pub fn share(&self, secret: u64, count: usize, prg: &mut Prg) -> Vec<ShamirShare> {
+        assert!(
+            count > self.degree,
+            "need more shares ({count}) than the degree ({})",
+            self.degree
+        );
+        // f(x) = secret + a₁x + … + a_d x^d with random aᵢ.
+        let mut coeffs = Vec::with_capacity(self.degree + 1);
+        coeffs.push(secret % self.p);
+        for _ in 0..self.degree {
+            coeffs.push(prg.below(self.p));
+        }
+        (1..=count as u64)
+            .map(|x| ShamirShare {
+                x,
+                y: self.eval_poly(&coeffs, x),
+            })
+            .collect()
+    }
+
+    /// Horner evaluation of a coefficient vector at `x`.
+    fn eval_poly(&self, coeffs: &[u64], x: u64) -> u64 {
+        coeffs
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &c| add_mod(mul_mod(acc, x, self.p), c, self.p))
+    }
+
+    /// Lagrange interpolation at 0 from an arbitrary set of shares with
+    /// distinct evaluation points. The caller must supply at least
+    /// `deg(f) + 1` shares of the (possibly product-raised) polynomial.
+    pub fn reconstruct(&self, shares: &[ShamirShare]) -> u64 {
+        assert!(!shares.is_empty(), "cannot interpolate zero shares");
+        let p = self.p;
+        let mut secret = 0u64;
+        for (i, si) in shares.iter().enumerate() {
+            // λᵢ = Π_{j≠i} xⱼ / (xⱼ − xᵢ), evaluated at 0.
+            let mut num = 1u64;
+            let mut den = 1u64;
+            for (j, sj) in shares.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_ne!(si.x, sj.x, "duplicate evaluation point {}", si.x);
+                num = mul_mod(num, sj.x % p, p);
+                den = mul_mod(den, sub_mod(sj.x, si.x, p), p);
+            }
+            let lambda = mul_mod(num, inv_mod(den, p).expect("field inverse"), p);
+            secret = add_mod(secret, mul_mod(si.y, lambda, p), p);
+        }
+        secret
+    }
+
+    /// Homomorphic addition of two shares at the same point.
+    #[inline]
+    pub fn add_shares(&self, a: ShamirShare, b: ShamirShare) -> ShamirShare {
+        assert_eq!(a.x, b.x, "cannot add shares at different points");
+        ShamirShare {
+            x: a.x,
+            y: add_mod(a.y, b.y, self.p),
+        }
+    }
+
+    /// Pointwise product of two shares — the degree of the underlying
+    /// polynomial doubles (§3.2: "that increases the degree of the
+    /// polynomial to two").
+    #[inline]
+    pub fn mul_shares(&self, a: ShamirShare, b: ShamirShare) -> ShamirShare {
+        assert_eq!(a.x, b.x, "cannot multiply shares at different points");
+        ShamirShare {
+            x: a.x,
+            y: mul_mod(a.y, b.y, self.p),
+        }
+    }
+
+    /// Multiply a share by a public scalar.
+    #[inline]
+    pub fn scale_share(&self, a: ShamirShare, k: u64) -> ShamirShare {
+        ShamirShare {
+            x: a.x,
+            y: mul_mod(a.y, k % self.p, self.p),
+        }
+    }
+
+    /// Bulk share of a vector: returns `count` parallel vectors of raw `y`
+    /// values (the x is implied by the server index, saving 8 bytes/cell on
+    /// the wire and in storage).
+    pub fn share_vector(&self, secrets: &[u64], count: usize, prg: &mut Prg) -> Vec<Vec<u64>> {
+        let mut out = vec![Vec::with_capacity(secrets.len()); count];
+        for &s in secrets {
+            let shares = self.share(s, count, prg);
+            for (k, sh) in shares.iter().enumerate() {
+                out[k].push(sh.y);
+            }
+        }
+        out
+    }
+
+    /// Reconstruct from raw per-server values `ys[k]` sampled at
+    /// points `k+1`.
+    pub fn reconstruct_raw(&self, ys: &[u64]) -> u64 {
+        let shares: Vec<ShamirShare> = ys
+            .iter()
+            .enumerate()
+            .map(|(k, &y)| ShamirShare {
+                x: (k + 1) as u64,
+                y,
+            })
+            .collect();
+        self.reconstruct(&shares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ctx() -> ShamirCtx {
+        ShamirCtx::default()
+    }
+
+    #[test]
+    fn roundtrip_degree_one_three_servers() {
+        let mut prg = Prg::from_seed(1);
+        let c = ctx();
+        for secret in [0u64, 1, 42, MERSENNE_61 - 1] {
+            let shares = c.share(secret, 3, &mut prg);
+            assert_eq!(c.reconstruct(&shares), secret);
+            // Any 2 of the 3 suffice for degree 1.
+            assert_eq!(c.reconstruct(&shares[..2]), secret);
+            assert_eq!(c.reconstruct(&shares[1..]), secret);
+            assert_eq!(c.reconstruct(&[shares[0], shares[2]]), secret);
+        }
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let mut prg = Prg::from_seed(2);
+        let c = ctx();
+        let a = c.share(100, 3, &mut prg);
+        let b = c.share(23, 3, &mut prg);
+        let sum: Vec<ShamirShare> = (0..3).map(|i| c.add_shares(a[i], b[i])).collect();
+        assert_eq!(c.reconstruct(&sum), 123);
+    }
+
+    #[test]
+    fn product_needs_three_shares() {
+        // Degree 1 × degree 1 = degree 2 ⇒ 3 shares reconstruct, 2 don't
+        // (in general).
+        let mut prg = Prg::from_seed(3);
+        let c = ctx();
+        let a = c.share(6, 3, &mut prg);
+        let b = c.share(7, 3, &mut prg);
+        let prod: Vec<ShamirShare> = (0..3).map(|i| c.mul_shares(a[i], b[i])).collect();
+        assert_eq!(c.reconstruct(&prod), 42);
+        // Reconstruction from only 2 points of a degree-2 polynomial is a
+        // different (wrong) value except on a measure-zero set; assert the
+        // 3-share answer is authoritative by checking a disagreement exists
+        // for at least one of several trials.
+        let mut any_mismatch = false;
+        for seed in 0..8 {
+            let mut prg = Prg::from_seed(1000 + seed);
+            let a = c.share(6, 3, &mut prg);
+            let b = c.share(7, 3, &mut prg);
+            let prod: Vec<ShamirShare> = (0..3).map(|i| c.mul_shares(a[i], b[i])).collect();
+            if c.reconstruct(&prod[..2]) != 42 {
+                any_mismatch = true;
+            }
+        }
+        assert!(any_mismatch, "two shares should not reliably open a product");
+    }
+
+    #[test]
+    fn psi_sum_inner_product_shape() {
+        // The exact Equation 11 computation: Σⱼ S(xⱼ)·S(z) over 3 servers.
+        let mut prg = Prg::from_seed(4);
+        let c = ctx();
+        let data = [300u64, 100, 700]; // per-owner sums for one cell
+        let z = 1u64; // cell is in the intersection
+        let z_shares = c.share(z, 3, &mut prg);
+        let data_shares: Vec<Vec<ShamirShare>> =
+            data.iter().map(|&d| c.share(d, 3, &mut prg)).collect();
+        // Server k computes Σⱼ data_shares[j][k] * z_shares[k].
+        let server_out: Vec<ShamirShare> = (0..3)
+            .map(|k| {
+                let mut acc = ShamirShare {
+                    x: (k + 1) as u64,
+                    y: 0,
+                };
+                for ds in &data_shares {
+                    acc = c.add_shares(acc, c.mul_shares(ds[k], z_shares[k]));
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(c.reconstruct(&server_out), 1100);
+    }
+
+    #[test]
+    fn zero_indicator_zeroes_the_sum() {
+        let mut prg = Prg::from_seed(5);
+        let c = ctx();
+        let z_shares = c.share(0, 3, &mut prg);
+        let d_shares = c.share(987654, 3, &mut prg);
+        let out: Vec<ShamirShare> = (0..3)
+            .map(|k| c.mul_shares(d_shares[k], z_shares[k]))
+            .collect();
+        assert_eq!(c.reconstruct(&out), 0);
+    }
+
+    #[test]
+    fn scale_share_is_public_scalar_mul() {
+        let mut prg = Prg::from_seed(6);
+        let c = ctx();
+        let shares = c.share(21, 3, &mut prg);
+        let scaled: Vec<ShamirShare> = shares.iter().map(|&s| c.scale_share(s, 2)).collect();
+        assert_eq!(c.reconstruct(&scaled), 42);
+    }
+
+    #[test]
+    fn share_vector_matches_scalar_path() {
+        let mut prg = Prg::from_seed(7);
+        let c = ctx();
+        let secrets: Vec<u64> = (0..100).collect();
+        let vecs = c.share_vector(&secrets, 3, &mut prg);
+        assert_eq!(vecs.len(), 3);
+        for i in 0..secrets.len() {
+            let ys: Vec<u64> = (0..3).map(|k| vecs[k][i]).collect();
+            assert_eq!(c.reconstruct_raw(&ys), secrets[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need more shares")]
+    fn too_few_shares_for_degree_panics() {
+        let mut prg = Prg::from_seed(8);
+        ShamirCtx::new(MERSENNE_61, 2).share(5, 2, &mut prg);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate evaluation point")]
+    fn duplicate_points_panic() {
+        let c = ctx();
+        let s = ShamirShare { x: 1, y: 10 };
+        c.reconstruct(&[s, s]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(secret in 0u64..MERSENNE_61, seed: u64, count in 2usize..6) {
+            let mut prg = Prg::from_seed(seed);
+            let c = ctx();
+            let shares = c.share(secret, count, &mut prg);
+            prop_assert_eq!(c.reconstruct(&shares), secret);
+        }
+
+        #[test]
+        fn prop_product_of_sums(a in 0u64..1_000_000, b in 0u64..1_000_000, seed: u64) {
+            let mut prg = Prg::from_seed(seed);
+            let c = ctx();
+            let sa = c.share(a, 3, &mut prg);
+            let sb = c.share(b, 3, &mut prg);
+            let prod: Vec<ShamirShare> = (0..3).map(|i| c.mul_shares(sa[i], sb[i])).collect();
+            prop_assert_eq!(c.reconstruct(&prod), mul_mod(a, b, MERSENNE_61));
+        }
+
+        #[test]
+        fn prop_single_share_uniform_coverage(secret in 0u64..97, seed: u64) {
+            // Over a tiny field, any share value is possible for any secret:
+            // sharing with different randomness moves the share around.
+            let c = ShamirCtx::new(97, 1);
+            let mut prg = Prg::from_seed(seed);
+            let sh = c.share(secret, 2, &mut prg);
+            prop_assert!(sh[0].y < 97);
+        }
+    }
+}

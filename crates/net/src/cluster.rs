@@ -1,0 +1,386 @@
+//! A deployed PRISM cluster: server nodes on threads, owners as clients.
+//!
+//! Topology is the security argument made physical: each [`ServerNode`]
+//! is constructed with exactly *one* link — to the owner side. There is no
+//! constructor that gives a server a link to another server, so the
+//! no-server-communication property of §3.2 holds by construction, and
+//! the per-link meters show exactly what crossed each edge.
+//!
+//! The cluster runs PSI, PSI-verification, PSU, count (±verification),
+//! sum (±verification) and average end-to-end over either transport.
+//! (Max/median add the announcer role; they are exercised through the
+//! in-memory driver, which shares all protocol code with this cluster.)
+
+use crate::transport::{channel_pair, Link, NetError, TcpLink};
+use crate::wire::{Column, Message, Op};
+use prism_protocol::params::{ServerParams, Setup, SHAMIR_SERVERS};
+use prism_protocol::{average, count, psi, psu, sum};
+use std::thread::JoinHandle;
+
+/// Per-owner column storage inside a server node.
+#[derive(Default)]
+struct NodeStore {
+    ok: Vec<Vec<u64>>,
+    v_ok: Vec<Vec<u64>>,
+    ok_db1: Vec<Vec<u64>>,
+    ok_db2: Vec<Vec<u64>>,
+    agg: [Vec<Vec<u64>>; 4],
+    v_agg: [Vec<Vec<u64>>; 4],
+    a_ok: Vec<Vec<u64>>,
+}
+
+impl NodeStore {
+    fn slot(&mut self, column: Column) -> &mut Vec<Vec<u64>> {
+        match column {
+            Column::Ok => &mut self.ok,
+            Column::VOk => &mut self.v_ok,
+            Column::OkDb1 => &mut self.ok_db1,
+            Column::OkDb2 => &mut self.ok_db2,
+            Column::Agg(a) => &mut self.agg[a as usize],
+            Column::VAgg(a) => &mut self.v_agg[a as usize],
+            Column::AOk => &mut self.a_ok,
+        }
+    }
+
+    fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
+        let slot = self.slot(column);
+        if slot.len() <= owner {
+            slot.resize(owner + 1, Vec::new());
+        }
+        slot[owner] = data;
+    }
+}
+
+fn refs(cols: &[Vec<u64>]) -> Vec<&[u64]> {
+    cols.iter().map(|v| v.as_slice()).collect()
+}
+
+/// Run one server's message loop until `Shutdown`.
+fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError> {
+    let mut store = NodeStore::default();
+    let mut pending_z: Option<Vec<u64>> = None;
+    loop {
+        match link.recv()? {
+            Message::Upload {
+                owner,
+                column,
+                data,
+            } => {
+                store.store(owner as usize, column, data);
+                link.send(&Message::Ack)?;
+            }
+            Message::ZShares(z) => {
+                pending_z = Some(z);
+                link.send(&Message::Ack)?;
+            }
+            Message::RunQuery { op, threads } => {
+                let threads = threads as usize;
+                let result = match op {
+                    Op::Psi => psi::server_psi_round(&refs(&store.ok), &params, threads),
+                    Op::PsiVerify => {
+                        psi::server_psi_verify_round(&refs(&store.v_ok), &params, threads)
+                    }
+                    Op::Psu => psu::server_psu_round(&refs(&store.ok), &params, threads),
+                    Op::Count => count::server_count_round(&refs(&store.ok), &params, threads),
+                    Op::CountVerify(which) => {
+                        let cols = if which == 1 {
+                            &store.ok_db1
+                        } else {
+                            &store.ok_db2
+                        };
+                        count::server_count_verify_round(&refs(cols), &params, which, threads)
+                    }
+                    Op::Sum(a) => {
+                        let z = pending_z.as_deref().unwrap_or(&[]);
+                        sum::server_sum_round(&refs(&store.agg[a as usize]), z, &params, threads)
+                    }
+                    Op::SumVerify(a) => {
+                        let z = pending_z.as_deref().unwrap_or(&[]);
+                        sum::server_sum_round(&refs(&store.v_agg[a as usize]), z, &params, threads)
+                    }
+                    Op::SumCounts => {
+                        let z = pending_z.as_deref().unwrap_or(&[]);
+                        sum::server_sum_round(&refs(&store.a_ok), z, &params, threads)
+                    }
+                };
+                match result {
+                    Ok(out) => link.send(&Message::Output(out))?,
+                    // Protocol errors are reported as empty outputs; the
+                    // owner-side combine will reject the length.
+                    Err(_) => link.send(&Message::Output(Vec::new()))?,
+                }
+            }
+            Message::Shutdown => return Ok(()),
+            Message::Output(_) | Message::Ack => {
+                // Servers never receive these; ignore defensively.
+            }
+        }
+    }
+}
+
+/// Communication report for one query.
+#[derive(Debug, Clone, Default)]
+pub struct NetReport {
+    /// Per-server `(bytes, messages)` sent by the owner side.
+    pub to_servers: Vec<(u64, u64)>,
+    /// Per-server `(bytes, messages)` received from servers.
+    pub from_servers: Vec<(u64, u64)>,
+}
+
+/// Owner-side handle to a running cluster.
+pub struct NetCluster {
+    setup: Setup,
+    links: Vec<Box<dyn Link>>,
+    handles: Vec<JoinHandle<Result<(), NetError>>>,
+    server_stats: Vec<std::sync::Arc<crate::transport::LinkStats>>,
+    threads: u32,
+}
+
+impl NetCluster {
+    /// Start servers on threads connected by in-process channels.
+    pub fn start_local(setup: Setup) -> NetCluster {
+        let mut links: Vec<Box<dyn Link>> = Vec::new();
+        let mut handles = Vec::new();
+        let mut server_stats = Vec::new();
+        for k in 0..SHAMIR_SERVERS {
+            let (owner_end, server_end) = channel_pair();
+            let params = setup.servers[k].clone();
+            server_stats.push(server_end.stats());
+            handles.push(std::thread::spawn(move || {
+                server_loop(params, Box::new(server_end))
+            }));
+            links.push(Box::new(owner_end));
+        }
+        NetCluster {
+            setup,
+            links,
+            handles,
+            server_stats,
+            threads: 1,
+        }
+    }
+
+    /// Start servers on threads behind loopback TCP sockets.
+    pub fn start_tcp(setup: Setup) -> std::io::Result<NetCluster> {
+        let mut links: Vec<Box<dyn Link>> = Vec::new();
+        let mut handles = Vec::new();
+        let mut server_stats = Vec::new();
+        for k in 0..SHAMIR_SERVERS {
+            let (owner_end, server_end) = TcpLink::loopback_pair()?;
+            let params = setup.servers[k].clone();
+            server_stats.push(server_end.stats());
+            handles.push(std::thread::spawn(move || {
+                server_loop(params, Box::new(server_end))
+            }));
+            links.push(Box::new(owner_end));
+        }
+        Ok(NetCluster {
+            setup,
+            links,
+            handles,
+            server_stats,
+            threads: 1,
+        })
+    }
+
+    /// Set the per-server thread count sent with queries.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads as u32;
+    }
+
+    /// The initiator's setup (owner view etc.).
+    pub fn setup(&self) -> &Setup {
+        &self.setup
+    }
+
+    /// Upload one owner's column to one server.
+    pub fn upload(
+        &self,
+        server: usize,
+        owner: usize,
+        column: Column,
+        data: Vec<u64>,
+    ) -> Result<(), NetError> {
+        self.links[server].send(&Message::Upload {
+            owner: owner as u32,
+            column,
+            data,
+        })?;
+        match self.links[server].recv()? {
+            Message::Ack => Ok(()),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    fn run_round(&self, servers: &[usize], op: Op) -> Result<Vec<Vec<u64>>, NetError> {
+        for &s in servers {
+            self.links[s].send(&Message::RunQuery {
+                op,
+                threads: self.threads,
+            })?;
+        }
+        let mut outs = Vec::with_capacity(servers.len());
+        for &s in servers {
+            match self.links[s].recv()? {
+                Message::Output(o) => outs.push(o),
+                _ => return Err(NetError::Disconnected),
+            }
+        }
+        Ok(outs)
+    }
+
+    fn send_z(&self, servers: &[usize], z_shares: &[Vec<u64>]) -> Result<(), NetError> {
+        for &s in servers {
+            self.links[s].send(&Message::ZShares(z_shares[s].clone()))?;
+            match self.links[s].recv()? {
+                Message::Ack => {}
+                _ => return Err(NetError::Disconnected),
+            }
+        }
+        Ok(())
+    }
+
+    /// PSI over the uploaded OK columns.
+    pub fn psi(&self) -> Result<Vec<u64>, ClusterError> {
+        let outs = self.run_round(&[0, 1], Op::Psi)?;
+        Ok(psi::owner_combine(&outs[0], &outs[1], &self.setup.owner)?)
+    }
+
+    /// PSI with verification.
+    pub fn psi_verified(&self) -> Result<Vec<u64>, ClusterError> {
+        let fop = self.psi()?;
+        let vouts = self.run_round(&[0, 1], Op::PsiVerify)?;
+        psi::owner_verify(&fop, &vouts[0], &vouts[1], &self.setup.owner)?;
+        Ok(fop)
+    }
+
+    /// PSU membership.
+    pub fn psu(&self) -> Result<Vec<bool>, ClusterError> {
+        let outs = self.run_round(&[0, 1], Op::Psu)?;
+        let combined = psu::owner_combine(&outs[0], &outs[1], &self.setup.owner)?;
+        Ok(psu::membership(&combined))
+    }
+
+    /// PSI cardinality.
+    pub fn psi_count(&self) -> Result<usize, ClusterError> {
+        let outs = self.run_round(&[0, 1], Op::Count)?;
+        Ok(count::owner_count(&outs[0], &outs[1], &self.setup.owner)?)
+    }
+
+    /// PSI cardinality with two-copy verification.
+    pub fn psi_count_verified(&self) -> Result<usize, ClusterError> {
+        let a = self.run_round(&[0, 1], Op::CountVerify(1))?;
+        let b = self.run_round(&[0, 1], Op::CountVerify(2))?;
+        Ok(count::owner_verify_count(
+            (&a[0], &a[1]),
+            (&b[0], &b[1]),
+            &self.setup.owner,
+        )?)
+    }
+
+    /// PSI sum over aggregation attribute `attr`.
+    pub fn psi_sum(&self, attr: u8, seed: u64) -> Result<Vec<u64>, ClusterError> {
+        let fop = self.psi()?;
+        let z = sum::owner_build_z(&fop);
+        let mut prg = prism_core::Prg::from_seed(seed);
+        let z_shares =
+            prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
+        let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
+        self.send_z(&all, &z_shares.shares)?;
+        let outs = self.run_round(&all, Op::Sum(attr))?;
+        Ok(sum::owner_finalize(
+            [&outs[0], &outs[1], &outs[2]],
+            &self.setup.owner,
+        )?)
+    }
+
+    /// PSI sum with permuted-copy verification.
+    pub fn psi_sum_verified(&self, attr: u8, seed: u64) -> Result<Vec<u64>, ClusterError> {
+        let fop = self.psi()?;
+        let z = sum::owner_build_z(&fop);
+        let op = &self.setup.owner;
+        let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
+        let mut prg = prism_core::Prg::from_seed(seed);
+        let z_shares = prism_protocol::tables::share_payload(&z, &op.field, &mut prg);
+        self.send_z(&all, &z_shares.shares)?;
+        let outs = self.run_round(&all, Op::Sum(attr))?;
+        let primary = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], op)?;
+
+        let zp = op.pf_db1.apply(&z);
+        let zp_shares = prism_protocol::tables::share_payload(&zp, &op.field, &mut prg);
+        self.send_z(&all, &zp_shares.shares)?;
+        let vouts = self.run_round(&all, Op::SumVerify(attr))?;
+        let verification = sum::owner_finalize([&vouts[0], &vouts[1], &vouts[2]], op)?;
+        sum::owner_verify(&primary, &verification, op)?;
+        Ok(primary)
+    }
+
+    /// PSI average over attribute `attr`.
+    pub fn psi_avg(&self, attr: u8, seed: u64) -> Result<Vec<average::AvgCell>, ClusterError> {
+        let fop = self.psi()?;
+        let z = sum::owner_build_z(&fop);
+        let mut prg = prism_core::Prg::from_seed(seed);
+        let z_shares =
+            prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
+        let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
+        self.send_z(&all, &z_shares.shares)?;
+        let sums = self.run_round(&all, Op::Sum(attr))?;
+        let counts = self.run_round(&all, Op::SumCounts)?;
+        Ok(average::owner_finalize(
+            [&sums[0], &sums[1], &sums[2]],
+            [&counts[0], &counts[1], &counts[2]],
+            &self.setup.owner,
+        )?)
+    }
+
+    /// Snapshot of bytes/messages sent in each direction.
+    pub fn report(&self) -> NetReport {
+        NetReport {
+            to_servers: self.links.iter().map(|l| l.stats().snapshot()).collect(),
+            from_servers: self.server_stats.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+
+    /// Orderly shutdown; joins all server threads.
+    pub fn shutdown(mut self) -> Result<(), NetError> {
+        for link in &self.links {
+            link.send(&Message::Shutdown)?;
+        }
+        for h in self.handles.drain(..) {
+            h.join().map_err(|_| NetError::Disconnected)??;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from cluster queries.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Transport failure.
+    Net(NetError),
+    /// Protocol failure (including verification failures).
+    Protocol(prism_protocol::ProtocolError),
+}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<prism_protocol::ProtocolError> for ClusterError {
+    fn from(e: prism_protocol::ProtocolError) -> Self {
+        ClusterError::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Net(e) => write!(f, "network: {e}"),
+            ClusterError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

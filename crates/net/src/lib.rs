@@ -1,0 +1,18 @@
+//! # prism-net
+//!
+//! Deployment layer for PRISM: an explicit wire format, metered duplex
+//! links (in-process channels and TCP), and a threaded cluster harness
+//! whose topology makes the §3.2 no-server-communication property hold by
+//! construction — servers are built with a single link to the owner side
+//! and no way to reach each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod transport;
+pub mod wire;
+
+pub use cluster::{ClusterError, NetCluster, NetReport};
+pub use transport::{channel_pair, ChannelLink, Link, LinkStats, NetError, TcpLink};
+pub use wire::{Column, Message, Op, WireError};

@@ -1,0 +1,351 @@
+//! Wire format: a small, explicit binary encoding for PRISM's messages.
+//!
+//! No general serialization framework is used on the wire — every message
+//! the protocol can send is enumerated here with a hand-written encoding
+//! (tag byte + length-prefixed fields), so the byte counts the transports
+//! meter are exact and the format is trivially stable across versions of
+//! any third-party crate.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Which stored column an upload targets (Table-11 naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// Additive indicator (OK).
+    Ok,
+    /// Permuted complement (vOK).
+    VOk,
+    /// Indicator permuted with PF_db1 (count verification copy A).
+    OkDb1,
+    /// Indicator permuted with PF_db2 (count verification copy B).
+    OkDb2,
+    /// Shamir aggregation column `attr` (PK=0, LN=1, SK=2, DT=3).
+    Agg(u8),
+    /// Shamir permuted verification column `attr`.
+    VAgg(u8),
+    /// Shamir tuple counts (aOK).
+    AOk,
+}
+
+impl Column {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Column::Ok => buf.put_u8(0),
+            Column::VOk => buf.put_u8(1),
+            Column::OkDb1 => buf.put_u8(2),
+            Column::OkDb2 => buf.put_u8(3),
+            Column::Agg(a) => {
+                buf.put_u8(4);
+                buf.put_u8(*a);
+            }
+            Column::VAgg(a) => {
+                buf.put_u8(5);
+                buf.put_u8(*a);
+            }
+            Column::AOk => buf.put_u8(6),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Column, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(match buf.get_u8() {
+            0 => Column::Ok,
+            1 => Column::VOk,
+            2 => Column::OkDb1,
+            3 => Column::OkDb2,
+            4 => {
+                if !buf.has_remaining() {
+                    return Err(WireError::Truncated);
+                }
+                Column::Agg(buf.get_u8())
+            }
+            5 => {
+                if !buf.has_remaining() {
+                    return Err(WireError::Truncated);
+                }
+                Column::VAgg(buf.get_u8())
+            }
+            6 => Column::AOk,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// A query the owner can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Equation 3 round.
+    Psi,
+    /// Equation 7 round over vOK.
+    PsiVerify,
+    /// Equation 18 round.
+    Psu,
+    /// PSI + PF_s1 permutation.
+    Count,
+    /// Count verification, copy `1` or `2`.
+    CountVerify(u8),
+    /// Equation 11 round over Agg(attr) with the z vector sent separately.
+    Sum(u8),
+    /// Equation 11 round over VAgg(attr) (verification copy).
+    SumVerify(u8),
+    /// Equation 11 round over aOK (average's count side).
+    SumCounts,
+}
+
+impl Op {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Op::Psi => buf.put_u8(0),
+            Op::PsiVerify => buf.put_u8(1),
+            Op::Psu => buf.put_u8(2),
+            Op::Count => buf.put_u8(3),
+            Op::CountVerify(c) => {
+                buf.put_u8(4);
+                buf.put_u8(*c);
+            }
+            Op::Sum(a) => {
+                buf.put_u8(5);
+                buf.put_u8(*a);
+            }
+            Op::SumVerify(a) => {
+                buf.put_u8(6);
+                buf.put_u8(*a);
+            }
+            Op::SumCounts => buf.put_u8(7),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Op, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        let need_byte = |buf: &mut &[u8]| -> Result<u8, WireError> {
+            if !buf.has_remaining() {
+                return Err(WireError::Truncated);
+            }
+            Ok(buf.get_u8())
+        };
+        Ok(match buf.get_u8() {
+            0 => Op::Psi,
+            1 => Op::PsiVerify,
+            2 => Op::Psu,
+            3 => Op::Count,
+            4 => Op::CountVerify(need_byte(buf)?),
+            5 => Op::Sum(need_byte(buf)?),
+            6 => Op::SumVerify(need_byte(buf)?),
+            7 => Op::SumCounts,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Every message that can cross a PRISM link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Phase 1: an owner uploads one share column.
+    Upload {
+        /// Owner index.
+        owner: u32,
+        /// Target column.
+        column: Column,
+        /// Share values.
+        data: Vec<u64>,
+    },
+    /// Phase 2: run a query round.
+    RunQuery {
+        /// Operation selector.
+        op: Op,
+        /// Threads the server should use.
+        threads: u32,
+    },
+    /// Auxiliary vector for round 2 (the Shamir-shared z).
+    ZShares(Vec<u64>),
+    /// Phase 3: a server's round output.
+    Output(Vec<u64>),
+    /// Acknowledgement (upload receipt).
+    Ack,
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// Wire decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended mid-message.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_vec(buf: &mut BytesMut, data: &[u64]) {
+    buf.put_u64_le(data.len() as u64);
+    for &v in data {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_vec(buf: &mut &[u8]) -> Result<Vec<u64>, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len * 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u64_le());
+    }
+    Ok(out)
+}
+
+impl Message {
+    /// Encode to bytes (no outer length prefix; transports add framing).
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::new();
+        match self {
+            Message::Upload {
+                owner,
+                column,
+                data,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(*owner);
+                column.encode(&mut buf);
+                put_vec(&mut buf, data);
+            }
+            Message::RunQuery { op, threads } => {
+                buf.put_u8(1);
+                op.encode(&mut buf);
+                buf.put_u32_le(*threads);
+            }
+            Message::ZShares(data) => {
+                buf.put_u8(2);
+                put_vec(&mut buf, data);
+            }
+            Message::Output(data) => {
+                buf.put_u8(3);
+                put_vec(&mut buf, data);
+            }
+            Message::Ack => buf.put_u8(4),
+            Message::Shutdown => buf.put_u8(5),
+        }
+        buf
+    }
+
+    /// Decode from bytes.
+    pub fn decode(mut buf: &[u8]) -> Result<Message, WireError> {
+        let buf = &mut buf;
+        if !buf.has_remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let owner = buf.get_u32_le();
+                let column = Column::decode(buf)?;
+                let data = get_vec(buf)?;
+                Message::Upload {
+                    owner,
+                    column,
+                    data,
+                }
+            }
+            1 => {
+                let op = Op::decode(buf)?;
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                Message::RunQuery {
+                    op,
+                    threads: buf.get_u32_le(),
+                }
+            }
+            2 => Message::ZShares(get_vec(buf)?),
+            3 => Message::Output(get_vec(buf)?),
+            4 => Message::Ack,
+            5 => Message::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let enc = m.encode();
+        assert_eq!(Message::decode(&enc).unwrap(), m);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::Upload {
+            owner: 3,
+            column: Column::Ok,
+            data: vec![1, 2, 3],
+        });
+        roundtrip(Message::Upload {
+            owner: 0,
+            column: Column::Agg(2),
+            data: vec![],
+        });
+        roundtrip(Message::Upload {
+            owner: 9,
+            column: Column::VAgg(3),
+            data: vec![u64::MAX],
+        });
+        roundtrip(Message::RunQuery {
+            op: Op::Psi,
+            threads: 4,
+        });
+        roundtrip(Message::RunQuery {
+            op: Op::CountVerify(2),
+            threads: 1,
+        });
+        roundtrip(Message::RunQuery {
+            op: Op::Sum(1),
+            threads: 8,
+        });
+        roundtrip(Message::ZShares(vec![5; 100]));
+        roundtrip(Message::Output((0..1000).collect()));
+        roundtrip(Message::Ack);
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let enc = Message::Output((0..10).collect()).encode();
+        for cut in [0usize, 1, 5, enc.len() - 1] {
+            assert!(Message::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        assert_eq!(Message::decode(&[99]).unwrap_err(), WireError::BadTag(99));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // 1 tag + 8 len + n×8 data.
+        let enc = Message::Output(vec![0; 100]).encode();
+        assert_eq!(enc.len(), 1 + 8 + 800);
+    }
+}

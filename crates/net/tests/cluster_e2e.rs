@@ -1,0 +1,165 @@
+//! End-to-end cluster tests over both transports: a full deployment with
+//! owners uploading shares through the wire and queries running on server
+//! threads.
+
+use prism_core::Prg;
+use prism_net::{Column, NetCluster};
+use prism_protocol::params::{Initiator, Setup, SystemConfig};
+use prism_protocol::tables::{share_indicator, share_payload};
+
+/// Three owners over a 10-cell domain with one aggregation attribute.
+fn setup_and_upload(cluster: &NetCluster, rows: &[Vec<(u64, u64)>]) {
+    let op = &cluster.setup().owner;
+    for (j, owner_rows) in rows.iter().enumerate() {
+        let b = op.b;
+        let mut indicator = vec![0u64; b];
+        let mut sums = vec![0u64; b];
+        let mut counts = vec![0u64; b];
+        for &(c, x) in owner_rows {
+            let cell = (c - 1) as usize;
+            indicator[cell] = 1;
+            sums[cell] += x;
+            counts[cell] += 1;
+        }
+        let mut prg = Prg::from_seed(1000 + j as u64);
+        let ind = share_indicator(&indicator, op.delta, &mut prg);
+        cluster.upload(0, j, Column::Ok, ind.shares[0].clone()).unwrap();
+        cluster.upload(1, j, Column::Ok, ind.shares[1].clone()).unwrap();
+
+        let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+        let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
+        cluster.upload(0, j, Column::VOk, v.shares[0].clone()).unwrap();
+        cluster.upload(1, j, Column::VOk, v.shares[1].clone()).unwrap();
+
+        let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
+        let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
+        cluster.upload(0, j, Column::OkDb1, c1.shares[0].clone()).unwrap();
+        cluster.upload(1, j, Column::OkDb1, c1.shares[1].clone()).unwrap();
+        cluster.upload(0, j, Column::OkDb2, c2.shares[0].clone()).unwrap();
+        cluster.upload(1, j, Column::OkDb2, c2.shares[1].clone()).unwrap();
+
+        let p = share_payload(&sums, &op.field, &mut prg);
+        let vp = share_payload(&op.pf_db1.apply(&sums), &op.field, &mut prg);
+        let cnt = share_payload(&counts, &op.field, &mut prg);
+        for k in 0..3 {
+            cluster.upload(k, j, Column::Agg(0), p.shares[k].clone()).unwrap();
+            cluster.upload(k, j, Column::VAgg(0), vp.shares[k].clone()).unwrap();
+            cluster.upload(k, j, Column::AOk, cnt.shares[k].clone()).unwrap();
+        }
+    }
+}
+
+fn rows() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(1, 100), (1, 200), (3, 300), (7, 10)],
+        vec![(1, 100), (2, 70), (7, 20)],
+        vec![(1, 300), (1, 700), (3, 500), (7, 30)],
+    ]
+}
+
+fn make_setup() -> Setup {
+    Initiator::new(SystemConfig::new(3, 10).with_seed(77))
+        .setup()
+        .unwrap()
+}
+
+fn exercise(cluster: &NetCluster) {
+    setup_and_upload(cluster, &rows());
+
+    // PSI: common values {1, 7}.
+    let fop = cluster.psi().unwrap();
+    let common: Vec<usize> = fop
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v == 1).then_some(i))
+        .collect();
+    assert_eq!(common, vec![0, 6]);
+
+    // Verified PSI agrees.
+    let vfop = cluster.psi_verified().unwrap();
+    assert_eq!(vfop, fop);
+
+    // PSU: union {1, 2, 3, 7}.
+    let members = cluster.psu().unwrap();
+    let union: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then_some(i))
+        .collect();
+    assert_eq!(union, vec![0, 1, 2, 6]);
+
+    // Counts.
+    assert_eq!(cluster.psi_count().unwrap(), 2);
+    assert_eq!(cluster.psi_count_verified().unwrap(), 2);
+
+    // Sum over attr 0: cell 1 → 1400, cell 7 → 60.
+    let sums = cluster.psi_sum(0, 9).unwrap();
+    assert_eq!(sums[0], 1400);
+    assert_eq!(sums[6], 60);
+    assert!(sums[1..6].iter().all(|&s| s == 0));
+
+    // Verified sum agrees.
+    let vsums = cluster.psi_sum_verified(0, 10).unwrap();
+    assert_eq!(vsums, sums);
+
+    // Average: cell 1 → 1400/5, cell 7 → 60/3.
+    let avg = cluster.psi_avg(0, 11).unwrap();
+    assert_eq!(avg[0].sum, 1400);
+    assert_eq!(avg[0].count, 5);
+    assert!((avg[6].average - 20.0).abs() < 1e-9);
+
+    // Communication was metered on every link.
+    let report = cluster.report();
+    assert_eq!(report.to_servers.len(), 3);
+    assert!(report.to_servers.iter().all(|&(bytes, _)| bytes > 0));
+    assert!(report.from_servers.iter().all(|&(bytes, _)| bytes > 0));
+}
+
+#[test]
+fn channel_cluster_end_to_end() {
+    let cluster = NetCluster::start_local(make_setup());
+    exercise(&cluster);
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn tcp_cluster_end_to_end() {
+    let cluster = NetCluster::start_tcp(make_setup()).unwrap();
+    exercise(&cluster);
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn multithreaded_servers_agree() {
+    let mut c1 = NetCluster::start_local(make_setup());
+    setup_and_upload(&c1, &rows());
+    let reference = c1.psi().unwrap();
+    c1.set_threads(4);
+    assert_eq!(c1.psi().unwrap(), reference);
+    c1.shutdown().unwrap();
+}
+
+#[test]
+fn byte_accounting_scales_with_domain() {
+    // Bigger domain ⇒ more bytes per round, same message count per query.
+    let small = {
+        let c = NetCluster::start_local(make_setup());
+        setup_and_upload(&c, &rows());
+        c.psi().unwrap();
+        let r = c.report();
+        c.shutdown().unwrap();
+        r.from_servers[0].0
+    };
+    let big = {
+        let setup = Initiator::new(SystemConfig::new(3, 1000).with_seed(78))
+            .setup()
+            .unwrap();
+        let c = NetCluster::start_local(setup);
+        setup_and_upload(&c, &rows());
+        c.psi().unwrap();
+        let r = c.report();
+        c.shutdown().unwrap();
+        r.from_servers[0].0
+    };
+    assert!(big > 10 * small, "big={big} small={small}");
+}

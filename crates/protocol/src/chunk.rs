@@ -1,0 +1,99 @@
+//! Chunked multithreading for server-side vector passes.
+//!
+//! §8.1 Exp 1: "identical computations are executed on each row of the
+//! table, [so] we exploit multiple CPU cores by … dividing rows into
+//! multiple blocks with each thread processing a single block". This module
+//! is that division: an output vector is split into `threads` contiguous
+//! blocks, each filled by its own scoped thread. No unsafe, no work
+//! stealing — the workload is perfectly uniform, so static partitioning is
+//! both the fastest and the simplest correct choice.
+
+/// Fill `out` by running `f(global_start_index, chunk)` on `threads`
+/// contiguous chunks in parallel. `threads == 0` is treated as 1.
+pub fn fill_chunks<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = threads.max(1);
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    if threads == 1 || n < 2 * threads {
+        f(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (k, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(k * chunk, slice));
+        }
+    });
+}
+
+/// Map an index range to a freshly allocated vector in parallel:
+/// `out[i] = f(i)`.
+pub fn map_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); len];
+    fill_chunks(&mut out, threads, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + off);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_matches_direct() {
+        let mut out = vec![0u64; 100];
+        fill_chunks(&mut out, 1, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = (start + off) as u64 * 2;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn many_threads_cover_all_indices() {
+        for threads in [2usize, 3, 4, 5, 16] {
+            let out = map_indexed(1000, threads, |i| i as u64 + 7);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 7));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_elements() {
+        let out = map_indexed(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_zero_threads() {
+        let out: Vec<u64> = map_indexed(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+        let out = map_indexed(5, 0, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let reference = map_indexed(257, 1, |i| (i as u64).wrapping_mul(0x9E3779B9));
+        for threads in 2..8 {
+            assert_eq!(
+                map_indexed(257, threads, |i| (i as u64).wrapping_mul(0x9E3779B9)),
+                reference
+            );
+        }
+    }
+}

@@ -1,0 +1,998 @@
+//! In-memory orchestration of a full PRISM deployment.
+//!
+//! [`Cluster`] wires m owners, the additive/Shamir servers, and the
+//! announcer together in one process. It executes the same step functions
+//! that the networked transports in `prism-net` run, keeps per-phase wall
+//! times (server compute is reported as the *maximum* over servers, since
+//! deployed servers run concurrently and never wait on each other), and
+//! lets tests attach a [`Tamper`] to any server to exercise the
+//! verification paths.
+//!
+//! This is the crate's primary public API: examples, integration tests and
+//! the benchmark harness all drive queries through it.
+
+use crate::average::{self, AvgCell};
+use crate::count;
+use crate::error::{ProtocolError, Result};
+use crate::malicious::Tamper;
+use crate::max::{self, MaxCell};
+use crate::median::{self, MedianCell};
+use crate::params::{Initiator, Setup, SystemConfig, SHAMIR_SERVERS};
+use crate::psi;
+use crate::psu;
+use crate::sum;
+use crate::tables::{share_indicator, share_payload};
+use prism_core::Prg;
+use std::time::{Duration, Instant};
+
+/// One owner's input relation: rows of `(set value, aggregation values)`.
+/// All owners must supply the same number of aggregation attributes.
+#[derive(Debug, Clone, Default)]
+pub struct OwnerInput {
+    /// `(A_c value, [A_x1, A_x2, …])` rows.
+    pub rows: Vec<(u64, Vec<u64>)>,
+}
+
+impl OwnerInput {
+    /// Rows with a single aggregation attribute.
+    pub fn from_pairs(rows: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        OwnerInput {
+            rows: rows.into_iter().map(|(c, x)| (c, vec![x])).collect(),
+        }
+    }
+
+    /// Set-only rows (no aggregation attributes).
+    pub fn from_set(values: impl IntoIterator<Item = u64>) -> Self {
+        OwnerInput {
+            rows: values.into_iter().map(|c| (c, Vec::new())).collect(),
+        }
+    }
+}
+
+/// Cluster construction options.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Domain size `b` (values are `1..=b`).
+    pub domain_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Threads per server for vector passes.
+    pub threads: usize,
+    /// Materialize verification columns (complement + permuted copies).
+    pub with_verification: bool,
+    /// Materialize Shamir aggregation columns.
+    pub with_aggregation: bool,
+    /// Upper bound of aggregation values (sizes the max/median blinding).
+    pub agg_domain_max: u64,
+    /// Optional explicit δ.
+    pub delta: Option<u64>,
+}
+
+impl ClusterConfig {
+    /// Defaults: everything on, 1 thread.
+    pub fn new(domain_size: usize) -> Self {
+        ClusterConfig {
+            domain_size,
+            seed: 0x9155,
+            threads: 1,
+            with_verification: true,
+            with_aggregation: true,
+            agg_domain_max: 1 << 20,
+            delta: None,
+        }
+    }
+}
+
+/// Wall-clock accounting for one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Max over servers of their total compute time (servers run
+    /// concurrently in deployment).
+    pub server_time: Duration,
+    /// Owner-side result-construction time (Table 14's metric).
+    pub owner_time: Duration,
+    /// Announcer compute time (max/median only).
+    pub announcer_time: Duration,
+    /// Owner↔server communication rounds used.
+    pub rounds: usize,
+}
+
+/// PSI outcome.
+#[derive(Debug, Clone)]
+pub struct PsiOutcome {
+    /// Raw combined vector (Equation 4).
+    pub fop: Vec<u64>,
+    /// Per-cell membership.
+    pub members: Vec<bool>,
+    /// Common cell indices.
+    pub common: Vec<usize>,
+}
+
+/// Per-owner state the cluster keeps on the owner side of the wall.
+///
+/// Only what post-build rounds need: the per-attribute sums (median) and
+/// maxima (max rounds 2–3). Indicators and counts live on as shares at
+/// the servers and are dropped here to keep large-domain runs in memory.
+struct OwnerState {
+    /// Per-attribute per-cell sums.
+    sums: Vec<Vec<u64>>,
+    /// Per-attribute per-cell maxima.
+    maxima: Vec<Vec<u64>>,
+}
+
+/// Per-server stored shares (what the owner uploaded in Phase 1).
+#[derive(Default)]
+struct ServerStore {
+    /// Additive indicator shares, per owner.
+    ind: Vec<Vec<u64>>,
+    /// Complement shares permuted with PF_db1, per owner.
+    vind: Vec<Vec<u64>>,
+    /// Indicator permuted with PF_db1 (count-verification copy A).
+    ind_db1: Vec<Vec<u64>>,
+    /// Indicator permuted with PF_db2 (count-verification copy B).
+    ind_db2: Vec<Vec<u64>>,
+    /// Shamir sum-column shares, per attribute then owner.
+    sums: Vec<Vec<Vec<u64>>>,
+    /// Shamir count-column shares, per owner.
+    counts: Vec<Vec<u64>>,
+    /// Shamir permuted sum-column shares (verification), per attribute
+    /// then owner.
+    vsums: Vec<Vec<Vec<u64>>>,
+}
+
+/// The in-memory deployment.
+pub struct Cluster {
+    /// Initiator output (role views).
+    pub setup: Setup,
+    cfg: ClusterConfig,
+    owners: Vec<OwnerState>,
+    stores: Vec<ServerStore>,
+    tamper: Vec<Tamper>,
+    n_attrs: usize,
+    /// Lazily built F-evaluation table shared by max/median queries
+    /// (owners can all derive it from the public F, so sharing one copy
+    /// models m identical owner-side tables).
+    poly_table: std::sync::OnceLock<prism_core::PolyTable>,
+}
+
+/// Largest aggregation domain for which the owners precompute the full
+/// F-table (above this, the per-cell Horner path is used instead).
+const POLY_TABLE_LIMIT: u64 = 1 << 22;
+
+impl Cluster {
+    /// Phase 0 + Phase 1: set up parameters and outsource every owner's
+    /// data as shares.
+    pub fn build(inputs: &[OwnerInput], cfg: ClusterConfig) -> Result<Cluster> {
+        let m = inputs.len();
+        let n_attrs = inputs
+            .iter()
+            .flat_map(|i| i.rows.first())
+            .map(|(_, aggs)| aggs.len())
+            .next()
+            .unwrap_or(0);
+        for (j, input) in inputs.iter().enumerate() {
+            if input.rows.iter().any(|(_, aggs)| aggs.len() != n_attrs) {
+                return Err(ProtocolError::ParameterMismatch(format!(
+                    "owner {j} has rows with inconsistent attribute counts"
+                )));
+            }
+        }
+        let mut sys = SystemConfig::new(m, cfg.domain_size)
+            .with_seed(cfg.seed)
+            .with_agg_domain_max(cfg.agg_domain_max);
+        if let Some(d) = cfg.delta {
+            sys = sys.with_delta(d);
+        }
+        let setup = Initiator::new(sys).setup()?;
+        let op = &setup.owner;
+        let b = op.b;
+
+        // Owner-side tables + Phase 1 uploads, one owner at a time so the
+        // transient plaintext columns are dropped before the next owner's
+        // are built.
+        let mut owners = Vec::with_capacity(m);
+        let mut stores: Vec<ServerStore> = (0..SHAMIR_SERVERS).map(|_| ServerStore::default()).collect();
+        for st in stores.iter_mut() {
+            st.sums = vec![Vec::new(); n_attrs];
+            st.vsums = vec![Vec::new(); n_attrs];
+        }
+        for (j, input) in inputs.iter().enumerate() {
+            let mut indicator = vec![0u64; b];
+            let mut counts = vec![0u64; b];
+            let mut st = OwnerState {
+                sums: vec![vec![0; b]; n_attrs],
+                maxima: vec![vec![0; b]; n_attrs],
+            };
+            for (set_v, aggs) in &input.rows {
+                let cell = set_v
+                    .checked_sub(1)
+                    .filter(|&i| (i as usize) < b)
+                    .ok_or_else(|| ProtocolError::OutOfDomain {
+                        value: format!("owner {j}: {set_v}"),
+                    })? as usize;
+                indicator[cell] = 1;
+                counts[cell] += 1;
+                for (a, &v) in aggs.iter().enumerate() {
+                    st.sums[a][cell] = st.sums[a][cell].wrapping_add(v);
+                    st.maxima[a][cell] = st.maxima[a][cell].max(v);
+                }
+            }
+
+            let mut prg = Prg::from_seed(cfg.seed ^ (0xA11CE + j as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let ind = share_indicator(&indicator, op.delta, &mut prg);
+            let [s0, s1] = ind.shares;
+            stores[0].ind.push(s0);
+            stores[1].ind.push(s1);
+            if cfg.with_verification {
+                let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+                let vperm = op.pf_db1.apply(&complement);
+                let v = share_indicator(&vperm, op.delta, &mut prg);
+                let [v0, v1] = v.shares;
+                stores[0].vind.push(v0);
+                stores[1].vind.push(v1);
+                let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
+                let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
+                let [a0, a1] = c1.shares;
+                let [b0, b1] = c2.shares;
+                stores[0].ind_db1.push(a0);
+                stores[1].ind_db1.push(a1);
+                stores[0].ind_db2.push(b0);
+                stores[1].ind_db2.push(b1);
+            }
+            if cfg.with_aggregation {
+                for a in 0..n_attrs {
+                    let p = share_payload(&st.sums[a], &op.field, &mut prg);
+                    for (k, sh) in p.shares.into_iter().enumerate() {
+                        stores[k].sums[a].push(sh);
+                    }
+                    if cfg.with_verification {
+                        let vp = share_payload(&op.pf_db1.apply(&st.sums[a]), &op.field, &mut prg);
+                        for (k, sh) in vp.shares.into_iter().enumerate() {
+                            stores[k].vsums[a].push(sh);
+                        }
+                    }
+                }
+                let c = share_payload(&counts, &op.field, &mut prg);
+                for (k, sh) in c.shares.into_iter().enumerate() {
+                    stores[k].counts.push(sh);
+                }
+            }
+            owners.push(st);
+        }
+
+        Ok(Cluster {
+            setup,
+            cfg,
+            owners,
+            stores,
+            tamper: vec![Tamper::Honest; SHAMIR_SERVERS],
+            n_attrs,
+            poly_table: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Convenience constructor: single-attribute rows, default config.
+    pub fn from_rows(rows_per_owner: &[Vec<(u64, u64)>], domain_size: usize, seed: u64) -> Result<Cluster> {
+        let inputs: Vec<OwnerInput> = rows_per_owner
+            .iter()
+            .map(|rows| OwnerInput::from_pairs(rows.iter().copied()))
+            .collect();
+        let mut cfg = ClusterConfig::new(domain_size);
+        cfg.seed = seed;
+        Cluster::build(&inputs, cfg)
+    }
+
+    /// Attach a tampering behaviour to server φ (tests).
+    pub fn set_tamper(&mut self, server: usize, t: Tamper) {
+        self.tamper[server] = t;
+    }
+
+    /// Set per-server thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
+    /// Number of owners.
+    pub fn owners(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Number of aggregation attributes.
+    pub fn attributes(&self) -> usize {
+        self.n_attrs
+    }
+
+    fn ind_refs(&self, server: usize) -> Vec<&[u64]> {
+        self.stores[server].ind.iter().map(|v| v.as_slice()).collect()
+    }
+
+    /// The shared F-table, if the aggregation domain is small enough to
+    /// precompute.
+    fn poly_table(&self) -> Option<&prism_core::PolyTable> {
+        let op = &self.setup.owner;
+        if op.agg_domain_max > POLY_TABLE_LIMIT {
+            return None;
+        }
+        Some(self.poly_table.get_or_init(|| {
+            op.poly.table(op.agg_domain_max, op.wide_width)
+        }))
+    }
+
+    /// PSI (§5.1).
+    pub fn psi(&self) -> Result<(PsiOutcome, QueryStats)> {
+        let mut stats = QueryStats {
+            rounds: 1,
+            ..Default::default()
+        };
+        let mut outs = Vec::with_capacity(2);
+        for s in 0..2 {
+            let t0 = Instant::now();
+            let mut out = psi::server_psi_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
+            self.tamper[s].apply(&mut out);
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            outs.push(out);
+        }
+        let t0 = Instant::now();
+        let fop = psi::owner_combine(&outs[0], &outs[1], &self.setup.owner)?;
+        let members = psi::membership(&fop);
+        let common = psi::common_cells(&fop);
+        stats.owner_time = t0.elapsed();
+        Ok((PsiOutcome { fop, members, common }, stats))
+    }
+
+    /// PSI with result verification (§5.2). Fails if any server tampered.
+    pub fn psi_verified(&self) -> Result<(PsiOutcome, QueryStats)> {
+        if !self.cfg.with_verification {
+            return Err(ProtocolError::ParameterMismatch(
+                "cluster built without verification columns".into(),
+            ));
+        }
+        let (outcome, mut stats) = self.psi()?;
+        let mut vouts = Vec::with_capacity(2);
+        for s in 0..2 {
+            let refs: Vec<&[u64]> = self.stores[s].vind.iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let mut out =
+                psi::server_psi_verify_round(&refs, &self.setup.servers[s], self.cfg.threads)?;
+            self.tamper[s].apply(&mut out);
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            vouts.push(out);
+        }
+        let t0 = Instant::now();
+        psi::owner_verify(&outcome.fop, &vouts[0], &vouts[1], &self.setup.owner)?;
+        stats.owner_time += t0.elapsed();
+        Ok((outcome, stats))
+    }
+
+    /// PSU (§7).
+    pub fn psu(&self) -> Result<(Vec<bool>, QueryStats)> {
+        let mut stats = QueryStats {
+            rounds: 1,
+            ..Default::default()
+        };
+        let mut outs = Vec::with_capacity(2);
+        for s in 0..2 {
+            let t0 = Instant::now();
+            let mut out = psu::server_psu_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
+            self.tamper[s].apply(&mut out);
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            outs.push(out);
+        }
+        let t0 = Instant::now();
+        let combined = psu::owner_combine(&outs[0], &outs[1], &self.setup.owner)?;
+        let members = psu::membership(&combined);
+        stats.owner_time = t0.elapsed();
+        Ok((members, stats))
+    }
+
+    /// PSU with two-copy verification (reconstruction; DESIGN.md §3.9).
+    /// Returns the union size; positions are intentionally not mapped
+    /// back (both copies live in the composed `PF_i` order).
+    pub fn psu_verified(&self) -> Result<(usize, QueryStats)> {
+        if !self.cfg.with_verification {
+            return Err(ProtocolError::ParameterMismatch(
+                "cluster built without verification columns".into(),
+            ));
+        }
+        let mut stats = QueryStats {
+            rounds: 1,
+            ..Default::default()
+        };
+        let mut copy_a = Vec::with_capacity(2);
+        let mut copy_b = Vec::with_capacity(2);
+        for s in 0..2 {
+            let a_refs: Vec<&[u64]> =
+                self.stores[s].ind_db1.iter().map(|v| v.as_slice()).collect();
+            let b_refs: Vec<&[u64]> =
+                self.stores[s].ind_db2.iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let mut a =
+                psu::server_psu_verify_round(&a_refs, &self.setup.servers[s], 1, self.cfg.threads)?;
+            self.tamper[s].apply(&mut a);
+            let b =
+                psu::server_psu_verify_round(&b_refs, &self.setup.servers[s], 2, self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            copy_a.push(a);
+            copy_b.push(b);
+        }
+        let t0 = Instant::now();
+        let members = psu::owner_verify_union(
+            (&copy_a[0], &copy_a[1]),
+            (&copy_b[0], &copy_b[1]),
+            &self.setup.owner,
+        )?;
+        stats.owner_time = t0.elapsed();
+        Ok((members.iter().filter(|&&m| m).count(), stats))
+    }
+
+    /// PSI count (§6.5): cardinality only.
+    pub fn psi_count(&self) -> Result<(usize, QueryStats)> {
+        let mut stats = QueryStats {
+            rounds: 1,
+            ..Default::default()
+        };
+        let mut outs = Vec::with_capacity(2);
+        for s in 0..2 {
+            let t0 = Instant::now();
+            let mut out =
+                count::server_count_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
+            self.tamper[s].apply(&mut out);
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            outs.push(out);
+        }
+        let t0 = Instant::now();
+        let n = count::owner_count(&outs[0], &outs[1], &self.setup.owner)?;
+        stats.owner_time = t0.elapsed();
+        Ok((n, stats))
+    }
+
+    /// PSI count with two-copy verification (reconstruction; DESIGN.md §3.9).
+    pub fn psi_count_verified(&self) -> Result<(usize, QueryStats)> {
+        if !self.cfg.with_verification {
+            return Err(ProtocolError::ParameterMismatch(
+                "cluster built without verification columns".into(),
+            ));
+        }
+        let mut stats = QueryStats {
+            rounds: 1,
+            ..Default::default()
+        };
+        let mut copy_a = Vec::with_capacity(2);
+        let mut copy_b = Vec::with_capacity(2);
+        for s in 0..2 {
+            let a_refs: Vec<&[u64]> = self.stores[s].ind_db1.iter().map(|v| v.as_slice()).collect();
+            let b_refs: Vec<&[u64]> = self.stores[s].ind_db2.iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let mut a = count::server_count_verify_round(&a_refs, &self.setup.servers[s], 1, self.cfg.threads)?;
+            self.tamper[s].apply(&mut a);
+            let b = count::server_count_verify_round(&b_refs, &self.setup.servers[s], 2, self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            copy_a.push(a);
+            copy_b.push(b);
+        }
+        let t0 = Instant::now();
+        let n = count::owner_verify_count(
+            (&copy_a[0], &copy_a[1]),
+            (&copy_b[0], &copy_b[1]),
+            &self.setup.owner,
+        )?;
+        stats.owner_time = t0.elapsed();
+        Ok((n, stats))
+    }
+
+    fn require_agg(&self, attr: usize) -> Result<()> {
+        if !self.cfg.with_aggregation {
+            return Err(ProtocolError::ParameterMismatch(
+                "cluster built without aggregation columns".into(),
+            ));
+        }
+        if attr >= self.n_attrs {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "attribute {attr} out of range ({} attributes)",
+                self.n_attrs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Round 1 + z-vector preparation shared by all aggregations.
+    fn psi_then_z(&self) -> Result<(PsiOutcome, Vec<Vec<u64>>, QueryStats)> {
+        let (outcome, mut stats) = self.psi()?;
+        stats.rounds = 2;
+        let t0 = Instant::now();
+        let z = sum::owner_build_z(&outcome.fop);
+        let mut prg = Prg::from_seed(self.cfg.seed ^ 0x5A5A_5A5A);
+        let z_shares = share_payload(&z, &self.setup.owner.field, &mut prg);
+        stats.owner_time += t0.elapsed();
+        Ok((outcome, z_shares.shares, stats))
+    }
+
+    /// PSI sum over one aggregation attribute (§6.1).
+    pub fn psi_sum(&self, attr: usize) -> Result<(Vec<u64>, QueryStats)> {
+        self.require_agg(attr)?;
+        let (_, z_shares, mut stats) = self.psi_then_z()?;
+        let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
+        for k in 0..SHAMIR_SERVERS {
+            let refs: Vec<&[u64]> = self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let mut out = sum::server_sum_round(&refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            self.tamper[k].apply(&mut out);
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            outs.push(out);
+        }
+        let t0 = Instant::now();
+        let sums = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?;
+        stats.owner_time += t0.elapsed();
+        Ok((sums, stats))
+    }
+
+    /// PSI sum over several attributes at once (Table 12's workload).
+    pub fn psi_sum_multi(&self, attrs: &[usize]) -> Result<(Vec<Vec<u64>>, QueryStats)> {
+        for &a in attrs {
+            self.require_agg(a)?;
+        }
+        let (_, z_shares, mut stats) = self.psi_then_z()?;
+        let mut results = Vec::with_capacity(attrs.len());
+        for &attr in attrs {
+            let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
+            for k in 0..SHAMIR_SERVERS {
+                let refs: Vec<&[u64]> =
+                    self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+                let t0 = Instant::now();
+                let out = sum::server_sum_round(&refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+                stats.server_time = stats.server_time.max(t0.elapsed());
+                outs.push(out);
+            }
+            let t0 = Instant::now();
+            results.push(sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?);
+            stats.owner_time += t0.elapsed();
+        }
+        Ok((results, stats))
+    }
+
+    /// PSI sum with permuted-copy verification.
+    pub fn psi_sum_verified(&self, attr: usize) -> Result<(Vec<u64>, QueryStats)> {
+        self.require_agg(attr)?;
+        if !self.cfg.with_verification {
+            return Err(ProtocolError::ParameterMismatch(
+                "cluster built without verification columns".into(),
+            ));
+        }
+        let (outcome, z_shares, mut stats) = self.psi_then_z()?;
+        // Primary path.
+        let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
+        for k in 0..SHAMIR_SERVERS {
+            let refs: Vec<&[u64]> = self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let mut out = sum::server_sum_round(&refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            self.tamper[k].apply(&mut out);
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            outs.push(out);
+        }
+        // Verification path: permuted z against permuted columns.
+        let t0 = Instant::now();
+        let z = sum::owner_build_z(&outcome.fop);
+        let zp = self.setup.owner.pf_db1.apply(&z);
+        let mut prg = Prg::from_seed(self.cfg.seed ^ 0x7EE1);
+        let zp_shares = share_payload(&zp, &self.setup.owner.field, &mut prg);
+        stats.owner_time += t0.elapsed();
+        let mut vouts = Vec::with_capacity(SHAMIR_SERVERS);
+        for k in 0..SHAMIR_SERVERS {
+            let refs: Vec<&[u64]> =
+                self.stores[k].vsums[attr].iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let out = sum::server_sum_round(&refs, &zp_shares.shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            vouts.push(out);
+        }
+        let t0 = Instant::now();
+        let primary = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?;
+        let verification = sum::owner_finalize([&vouts[0], &vouts[1], &vouts[2]], &self.setup.owner)?;
+        sum::owner_verify(&primary, &verification, &self.setup.owner)?;
+        stats.owner_time += t0.elapsed();
+        Ok((primary, stats))
+    }
+
+    /// PSI average (§6.2).
+    pub fn psi_avg(&self, attr: usize) -> Result<(Vec<AvgCell>, QueryStats)> {
+        self.require_agg(attr)?;
+        let (_, z_shares, mut stats) = self.psi_then_z()?;
+        let mut sum_outs = Vec::with_capacity(SHAMIR_SERVERS);
+        let mut count_outs = Vec::with_capacity(SHAMIR_SERVERS);
+        for k in 0..SHAMIR_SERVERS {
+            let s_refs: Vec<&[u64]> = self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+            let c_refs: Vec<&[u64]> = self.stores[k].counts.iter().map(|v| v.as_slice()).collect();
+            let t0 = Instant::now();
+            let (s, c) = average::server_avg_round(&s_refs, &c_refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            sum_outs.push(s);
+            count_outs.push(c);
+        }
+        let t0 = Instant::now();
+        let cells = average::owner_finalize(
+            [&sum_outs[0], &sum_outs[1], &sum_outs[2]],
+            [&count_outs[0], &count_outs[1], &count_outs[2]],
+            &self.setup.owner,
+        )?;
+        stats.owner_time += t0.elapsed();
+        Ok((cells, stats))
+    }
+
+    /// PSI maximum with the identity round (§6.3, all three rounds) and
+    /// built-in verification.
+    ///
+    /// The per-common-cell pipeline (blind → permute → announce → decode →
+    /// claim) runs in bounded chunks so memory stays flat even when
+    /// millions of cells are common.
+    pub fn psi_max(&self, attr: usize) -> Result<(Vec<MaxCell>, Vec<Vec<bool>>, QueryStats)> {
+        self.require_agg(attr)?;
+        let (outcome, mut stats) = self.psi()?;
+        stats.rounds = 3;
+        let op = &self.setup.owner;
+
+        let mut decoded_all = Vec::with_capacity(outcome.common.len());
+        let mut holders_all = Vec::with_capacity(outcome.common.len());
+        for (chunk_no, common) in outcome.common.chunks(Self::CELL_CHUNK).enumerate() {
+            // Round 2: blinded maxima. Owners run on their own machines in
+            // deployment, so their per-round cost is the max over owners,
+            // not the sum.
+            let mut up1 = Vec::with_capacity(self.owners.len());
+            let mut up2 = Vec::with_capacity(self.owners.len());
+            let mut own_blinded: Vec<prism_core::WideVec> =
+                Vec::with_capacity(self.owners.len());
+            let table = self.poly_table();
+            let mut owner_round = Duration::ZERO;
+            for (j, ost) in self.owners.iter().enumerate() {
+                let t0 = Instant::now();
+                let mut prg = Prg::from_seed(
+                    self.cfg.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24),
+                );
+                let (a, b, own) = match table {
+                    Some(t) => max::owner_blind_maxima_tab(
+                        &ost.maxima[attr],
+                        common,
+                        t,
+                        op,
+                        self.cfg.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24),
+                        self.cfg.threads,
+                    ),
+                    None => max::owner_blind_maxima(&ost.maxima[attr], common, op, &mut prg),
+                };
+                owner_round = owner_round.max(t0.elapsed());
+                up1.push(a);
+                up2.push(b);
+                own_blinded.push(own);
+            }
+            stats.owner_time += owner_round;
+
+            let t0 = Instant::now();
+            let to_ann_1 =
+                max::server_max_round_threads(&up1, &self.setup.servers[0], self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            let t0 = Instant::now();
+            let to_ann_2 =
+                max::server_max_round_threads(&up2, &self.setup.servers[1], self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            drop(up1);
+            drop(up2);
+
+            let t0 = Instant::now();
+            let ann = max::announcer_find_max_threads(
+                &to_ann_1,
+                &to_ann_2,
+                &self.setup.announcer,
+                self.cfg.threads,
+            )?;
+            stats.announcer_time += t0.elapsed();
+            drop(to_ann_1);
+            drop(to_ann_2);
+
+            let t0 = Instant::now();
+            let (decoded, announced) = match self.poly_table() {
+                Some(t) => max::owner_decode_max_tab(common, &ann, t, op, self.cfg.threads)?,
+                None => max::owner_decode_max(common, &ann, op)?,
+            };
+            stats.owner_time += t0.elapsed();
+
+            // Round 3: identities of all max holders (again per-owner max).
+            let mut claims1 = Vec::with_capacity(self.owners.len());
+            let mut claims2 = Vec::with_capacity(self.owners.len());
+            let mut owner_round = Duration::ZERO;
+            for (j, ost) in self.owners.iter().enumerate() {
+                let t0 = Instant::now();
+                let mut prg = Prg::from_seed(
+                    self.cfg.seed ^ (j as u64 + 0xC1A1) ^ ((chunk_no as u64) << 24),
+                );
+                let (a, b) = max::owner_claim_bits(&ost.maxima[attr], &decoded, op, &mut prg);
+                owner_round = owner_round.max(t0.elapsed());
+                claims1.push(a);
+                claims2.push(b);
+            }
+            stats.owner_time += owner_round;
+            let t0 = Instant::now();
+            let fpos1 = max::server_assemble_fpos(&claims1, &self.setup.servers[0])?;
+            let fpos2 = max::server_assemble_fpos(&claims2, &self.setup.servers[1])?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            let t0 = Instant::now();
+            let holders = max::owner_decode_fpos(&fpos1, &fpos2, op)?;
+            stats.owner_time += t0.elapsed();
+            // Every owner verifies against its own contribution (each on
+            // its own machine — count the max).
+            let mut owner_round = Duration::ZERO;
+            for own in &own_blinded {
+                let t0 = Instant::now();
+                max::owner_verify_max(own, &announced, &decoded, &holders)?;
+                owner_round = owner_round.max(t0.elapsed());
+            }
+            stats.owner_time += owner_round;
+            decoded_all.extend(decoded);
+            holders_all.extend(holders);
+        }
+        Ok((decoded_all, holders_all, stats))
+    }
+
+    /// Chunk size for the max/median per-cell pipelines (bounds peak
+    /// memory to ~chunk × m wide shares per server).
+    const CELL_CHUNK: usize = 1 << 16;
+
+    /// PSI maximum over several attributes (Table 12).
+    pub fn psi_max_multi(&self, attrs: &[usize]) -> Result<(Vec<Vec<MaxCell>>, QueryStats)> {
+        let mut all = Vec::with_capacity(attrs.len());
+        let mut total = QueryStats::default();
+        for &a in attrs {
+            let (cells, _, stats) = self.psi_max(a)?;
+            total.server_time += stats.server_time;
+            total.owner_time += stats.owner_time;
+            total.announcer_time += stats.announcer_time;
+            total.rounds = stats.rounds;
+            all.push(cells);
+        }
+        Ok((all, total))
+    }
+
+    /// PSI median (§6.4), chunked like [`Self::psi_max`].
+    pub fn psi_median(&self, attr: usize) -> Result<(Vec<MedianCell>, QueryStats)> {
+        self.require_agg(attr)?;
+        let (outcome, mut stats) = self.psi()?;
+        stats.rounds = 2;
+        let op = &self.setup.owner;
+
+        let mut cells_all = Vec::with_capacity(outcome.common.len());
+        for (chunk_no, common) in outcome.common.chunks(Self::CELL_CHUNK).enumerate() {
+            let mut up1 = Vec::with_capacity(self.owners.len());
+            let mut up2 = Vec::with_capacity(self.owners.len());
+            let mut owner_round = Duration::ZERO;
+            for (j, ost) in self.owners.iter().enumerate() {
+                let t0 = Instant::now();
+                let mut prg = Prg::from_seed(
+                    self.cfg.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24),
+                );
+                // Median aggregates the per-owner *sums* (§6.4: "we first
+                // added the cost of treatment per disease at each DB owner").
+                let (a, b, _) = match self.poly_table() {
+                    Some(t) => max::owner_blind_maxima_tab(
+                        &ost.sums[attr],
+                        common,
+                        t,
+                        op,
+                        self.cfg.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24),
+                        self.cfg.threads,
+                    ),
+                    None => max::owner_blind_maxima(&ost.sums[attr], common, op, &mut prg),
+                };
+                owner_round = owner_round.max(t0.elapsed());
+                up1.push(a);
+                up2.push(b);
+            }
+            stats.owner_time += owner_round;
+
+            let t0 = Instant::now();
+            let to_ann_1 =
+                max::server_max_round_threads(&up1, &self.setup.servers[0], self.cfg.threads)?;
+            let to_ann_2 =
+                max::server_max_round_threads(&up2, &self.setup.servers[1], self.cfg.threads)?;
+            stats.server_time = stats.server_time.max(t0.elapsed());
+            drop(up1);
+            drop(up2);
+
+            let t0 = Instant::now();
+            let ann =
+                median::announcer_find_median(&to_ann_1, &to_ann_2, &self.setup.announcer)?;
+            stats.announcer_time += t0.elapsed();
+            drop(to_ann_1);
+            drop(to_ann_2);
+
+            let t0 = Instant::now();
+            cells_all.extend(match self.poly_table() {
+                Some(t) => median::owner_decode_median_tab(common, &ann, t, op)?,
+                None => median::owner_decode_median(common, &ann, op)?,
+            });
+            stats.owner_time += t0.elapsed();
+        }
+        Ok((cells_all, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: Tables 1–3 with disease cells
+    /// 1=Cancer, 2=Fever, 3=Heart, aggregation attributes (cost, age).
+    fn hospitals() -> Vec<OwnerInput> {
+        vec![
+            OwnerInput {
+                rows: vec![
+                    (1, vec![100, 4]), // John, Cancer
+                    (1, vec![200, 6]), // Adam, Cancer
+                    (3, vec![300, 2]), // Mike, Heart
+                ],
+            },
+            OwnerInput {
+                rows: vec![
+                    (1, vec![100, 8]), // John, Cancer
+                    (2, vec![70, 5]),  // Adam, Fever
+                    (2, vec![50, 4]),  // Bob, Fever
+                ],
+            },
+            OwnerInput {
+                rows: vec![
+                    (1, vec![300, 8]), // Carl, Cancer
+                    (1, vec![700, 4]), // John, Cancer
+                    (3, vec![500, 5]), // Lisa, Heart
+                ],
+            },
+        ]
+    }
+
+    fn hospital_cluster(seed: u64) -> Cluster {
+        let mut cfg = ClusterConfig::new(3);
+        cfg.seed = seed;
+        cfg.agg_domain_max = 2000;
+        Cluster::build(&hospitals(), cfg).unwrap()
+    }
+
+    #[test]
+    fn full_paper_walkthrough() {
+        let c = hospital_cluster(1);
+        // PSI: {Cancer}.
+        let (psi, _) = c.psi().unwrap();
+        assert_eq!(psi.common, vec![0]);
+        // PSU: {Cancer, Fever, Heart}.
+        let (psu, _) = c.psu().unwrap();
+        assert_eq!(psu, vec![true, true, true]);
+        // Count over PSI = 1.
+        let (n, _) = c.psi_count().unwrap();
+        assert_eq!(n, 1);
+        // Sum of cost over PSI: {Cancer, 1400}.
+        let (sums, _) = c.psi_sum(0).unwrap();
+        assert_eq!(sums, vec![1400, 0, 0]);
+        // Average of cost: {Cancer, 280}.
+        let (avg, _) = c.psi_avg(0).unwrap();
+        assert_eq!(avg[0].sum, 1400);
+        assert_eq!(avg[0].count, 5);
+        assert!((avg[0].average - 280.0).abs() < 1e-9);
+        // Max of age over PSI: {Cancer, 8}, held by hospitals 2 and 3.
+        let (maxes, holders, _) = c.psi_max(1).unwrap();
+        assert_eq!(maxes[0].max, 8);
+        assert_eq!(holders[0], vec![false, true, true]);
+        // Median over per-owner cost sums for Cancer: 300, 100, 1000 → 300.
+        let (medians, _) = c.psi_median(0).unwrap();
+        assert_eq!(medians[0].values, vec![300]);
+        assert_eq!(medians[0].holders, vec![0]); // Hospital 1
+    }
+
+    #[test]
+    fn verified_paths_accept_honest_servers() {
+        let c = hospital_cluster(2);
+        assert!(c.psi_verified().is_ok());
+        assert_eq!(c.psi_count_verified().unwrap().0, 1);
+        assert_eq!(c.psi_sum_verified(0).unwrap().0, vec![1400, 0, 0]);
+    }
+
+    #[test]
+    fn verified_paths_reject_tampering() {
+        for tamper in [
+            Tamper::SkipReplay { src: 0 },
+            Tamper::ReplaceCell { src: 0, dst: 1 },
+            Tamper::InjectFake { cell: 2, seed: 9 },
+            Tamper::TruncateFrom { from: 1 },
+        ] {
+            let mut c = hospital_cluster(3);
+            c.set_tamper(0, tamper);
+            assert!(c.psi_verified().is_err(), "{tamper:?} undetected by PSI");
+            let mut c = hospital_cluster(4);
+            c.set_tamper(1, tamper);
+            assert!(
+                c.psi_sum_verified(0).is_err(),
+                "{tamper:?} undetected by sum"
+            );
+        }
+    }
+
+    #[test]
+    fn count_verification_catches_count_tampering() {
+        let mut c = hospital_cluster(5);
+        c.set_tamper(0, Tamper::SkipReplay { src: 0 });
+        assert!(c.psi_count_verified().is_err());
+    }
+
+    #[test]
+    fn unverified_queries_do_not_catch_tampering() {
+        // Sanity check that verification is doing the work: the plain PSI
+        // path returns (possibly wrong) results without complaint.
+        let mut c = hospital_cluster(6);
+        c.set_tamper(0, Tamper::SkipReplay { src: 0 });
+        assert!(c.psi().is_ok());
+    }
+
+    #[test]
+    fn multi_attribute_queries() {
+        let c = hospital_cluster(7);
+        let (sums, _) = c.psi_sum_multi(&[0, 1]).unwrap();
+        assert_eq!(sums[0], vec![1400, 0, 0]); // cost
+        assert_eq!(sums[1], vec![30, 0, 0]); // ages: 4+6+8+8+4
+        let (maxes, _) = c.psi_max_multi(&[0, 1]).unwrap();
+        assert_eq!(maxes[0][0].max, 700); // max cost for Cancer
+        assert_eq!(maxes[1][0].max, 8); // max age
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let sets: Vec<Vec<(u64, u64)>> = (0..4)
+            .map(|j| {
+                (1..=300u64)
+                    .filter(|v| v % (j + 2) != 0)
+                    .map(|v| (v, v * 2))
+                    .collect()
+            })
+            .collect();
+        let reference = {
+            let c = Cluster::from_rows(&sets, 300, 11).unwrap();
+            c.psi_sum(0).unwrap().0
+        };
+        for threads in [2usize, 4, 8] {
+            let mut c = Cluster::from_rows(&sets, 300, 11).unwrap();
+            c.set_threads(threads);
+            assert_eq!(c.psi_sum(0).unwrap().0, reference);
+        }
+    }
+
+    #[test]
+    fn lean_cluster_rejects_unavailable_queries() {
+        let mut cfg = ClusterConfig::new(3);
+        cfg.with_verification = false;
+        cfg.with_aggregation = false;
+        let c = Cluster::build(&hospitals(), cfg).unwrap();
+        assert!(c.psi().is_ok());
+        assert!(c.psi_verified().is_err());
+        assert!(c.psi_sum(0).is_err());
+        assert!(c.psi_count_verified().is_err());
+    }
+
+    #[test]
+    fn out_of_domain_rows_rejected() {
+        let inputs = vec![
+            OwnerInput::from_set([1u64, 4]),
+            OwnerInput::from_set([2u64]),
+        ];
+        let cfg = ClusterConfig::new(3);
+        assert!(Cluster::build(&inputs, cfg).is_err());
+    }
+
+    #[test]
+    fn inconsistent_attribute_counts_rejected() {
+        let inputs = vec![OwnerInput {
+            rows: vec![(1, vec![1]), (2, vec![1, 2])],
+        }];
+        assert!(Cluster::build(&inputs, ClusterConfig::new(4)).is_err());
+    }
+
+    #[test]
+    fn stats_report_rounds() {
+        let c = hospital_cluster(8);
+        assert_eq!(c.psi().unwrap().1.rounds, 1);
+        assert_eq!(c.psi_sum(0).unwrap().1.rounds, 2);
+        assert_eq!(c.psi_max(1).unwrap().2.rounds, 3);
+    }
+}

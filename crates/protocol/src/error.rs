@@ -1,0 +1,54 @@
+//! Protocol-level errors.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything that can go wrong while running a PRISM query.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A verification equation failed — servers misbehaved or data was
+    /// corrupted in flight. Carries the first offending cell index.
+    VerificationFailed {
+        /// Which operation's verification tripped.
+        operation: &'static str,
+        /// First cell (in owner-visible order) where the check failed.
+        cell: usize,
+    },
+    /// Entity parameters disagree (e.g. table lengths, owner counts).
+    ParameterMismatch(String),
+    /// A value fell outside the declared domain during table construction.
+    OutOfDomain {
+        /// The offending value (rendered).
+        value: String,
+    },
+    /// The announcer (or a server) returned a structurally invalid reply.
+    MalformedResponse(&'static str),
+    /// Max/median inversion failed: no `z` with `F(z) ≤ v < F(z+1)` in the
+    /// declared aggregation domain — evidence of tampering.
+    InversionFailed,
+    /// The query needs at least one common element but PSI found none.
+    EmptyIntersection,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::VerificationFailed { operation, cell } => {
+                write!(f, "{operation} verification failed at cell {cell}")
+            }
+            ProtocolError::ParameterMismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+            ProtocolError::OutOfDomain { value } => {
+                write!(f, "value {value} is outside the declared domain")
+            }
+            ProtocolError::MalformedResponse(what) => write!(f, "malformed response: {what}"),
+            ProtocolError::InversionFailed => {
+                write!(f, "order-polynomial inversion failed (possible tampering)")
+            }
+            ProtocolError::EmptyIntersection => write!(f, "intersection is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ProtocolError>;

@@ -1,0 +1,36 @@
+//! # prism-protocol
+//!
+//! The PRISM protocol layer: every operation from the paper — PSI (§5),
+//! PSU (§7), and the aggregations over PSI (§6: count, sum, average,
+//! maximum, median) — with result verification, multi-attribute extension,
+//! and the bucketization optimization (§6.6).
+//!
+//! The crate is organized as *pure step functions* (owner step / server
+//! step / owner finalize), so the same code runs under the in-memory
+//! driver, the channel transport, and the TCP transport in `prism-net`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod average;
+pub mod bucket;
+pub mod chunk;
+pub mod count;
+pub mod driver;
+pub mod error;
+pub mod malicious;
+pub mod max;
+pub mod median;
+pub mod multiattr;
+pub mod params;
+pub mod psi;
+pub mod psu;
+pub mod sum;
+pub mod tables;
+
+pub use error::{ProtocolError, Result};
+pub use params::{
+    AnnouncerParams, Initiator, OwnerParams, ServerParams, Setup, SystemConfig,
+    ADDITIVE_SERVERS, SHAMIR_SERVERS,
+};
+pub use tables::OwnerTable;

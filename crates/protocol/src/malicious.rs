@@ -1,0 +1,129 @@
+//! Malicious-server behaviours for failure injection (§5.2's threat list).
+//!
+//! The paper's verification methods must detect servers that (i) skip
+//! processing shares, (ii) replace one cell's result with another's,
+//! (iii) inject fake values, or (iv) try to defeat the verification
+//! itself. [`Tamper`] models those as output transformations applied after
+//! an otherwise-honest round — exactly what an adversarial binary could do
+//! at the cheapest point — and the driver lets tests attach one per server.
+
+use prism_core::prg::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// A tampering strategy applied to a server's round output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Tamper {
+    /// Honest behaviour (identity).
+    #[default]
+    Honest,
+    /// Skip work: compute cell `src` once and replay it into every cell.
+    SkipReplay {
+        /// The one cell actually computed.
+        src: usize,
+    },
+    /// Replace cell `dst`'s result with cell `src`'s (§5.2 case ii).
+    ReplaceCell {
+        /// Source cell.
+        src: usize,
+        /// Destination cell.
+        dst: usize,
+    },
+    /// Overwrite cell `cell` with a pseudorandom fake value (§5.2 case iii).
+    InjectFake {
+        /// Target cell.
+        cell: usize,
+        /// Seed of the injected garbage.
+        seed: u64,
+    },
+    /// Drop the tail: zero out everything from `from` onward (lazy server).
+    TruncateFrom {
+        /// First zeroed cell.
+        from: usize,
+    },
+}
+
+impl Tamper {
+    /// Apply the tampering to a round output in place.
+    pub fn apply(&self, out: &mut [u64]) {
+        match *self {
+            Tamper::Honest => {}
+            Tamper::SkipReplay { src } => {
+                if let Some(&v) = out.get(src) {
+                    out.fill(v);
+                }
+            }
+            Tamper::ReplaceCell { src, dst } => {
+                if src < out.len() && dst < out.len() {
+                    out[dst] = out[src];
+                }
+            }
+            Tamper::InjectFake { cell, seed } => {
+                if cell < out.len() {
+                    let mut s = seed;
+                    out[cell] = splitmix64(&mut s);
+                }
+            }
+            Tamper::TruncateFrom { from } => {
+                if from < out.len() {
+                    out[from..].fill(0);
+                }
+            }
+        }
+    }
+
+    /// True iff this is the identity.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Tamper::Honest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_is_identity() {
+        let mut v = vec![1u64, 2, 3];
+        Tamper::Honest.apply(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(Tamper::Honest.is_honest());
+    }
+
+    #[test]
+    fn skip_replay_fills() {
+        let mut v = vec![10u64, 20, 30];
+        Tamper::SkipReplay { src: 1 }.apply(&mut v);
+        assert_eq!(v, vec![20, 20, 20]);
+    }
+
+    #[test]
+    fn replace_cell_copies() {
+        let mut v = vec![10u64, 20, 30];
+        Tamper::ReplaceCell { src: 0, dst: 2 }.apply(&mut v);
+        assert_eq!(v, vec![10, 20, 10]);
+    }
+
+    #[test]
+    fn inject_fake_changes_cell() {
+        let mut v = vec![0u64; 4];
+        Tamper::InjectFake { cell: 3, seed: 7 }.apply(&mut v);
+        assert_ne!(v[3], 0);
+        assert_eq!(&v[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn truncate_zeroes_tail() {
+        let mut v = vec![5u64; 5];
+        Tamper::TruncateFrom { from: 2 }.apply(&mut v);
+        assert_eq!(v, vec![5, 5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_noops() {
+        let mut v = vec![1u64, 2];
+        Tamper::ReplaceCell { src: 9, dst: 0 }.apply(&mut v);
+        Tamper::InjectFake { cell: 9, seed: 1 }.apply(&mut v);
+        Tamper::TruncateFrom { from: 9 }.apply(&mut v);
+        assert_eq!(v, vec![1, 2]);
+    }
+}

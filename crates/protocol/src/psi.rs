@@ -1,0 +1,468 @@
+//! Private Set Intersection (§5.1) and its result verification (§5.2).
+//!
+//! Round structure:
+//!
+//! 1. Owners map their distinct `A_c` values into indicator tables χ and
+//!    upload additive shares ([`crate::tables`]).
+//! 2. Each additive server φ computes, per cell i (Equation 3):
+//!    `out_φ[i] = g^((⊕_j A(x_i)_j^φ ⊖ A(m)^φ) mod δ) mod η'`.
+//! 3. Owners multiply the two outputs mod η (Equation 4); a cell is common
+//!    iff the product is exactly 1.
+//!
+//! Verification adds a complement table χ̄, permuted owner-side with
+//! `PF_db1`, for which servers compute `Vout_φ[i] = g^(⊕_j Ā(x_i)_j^φ)`
+//! (Equation 7, no `m` subtraction); owners un-permute and check
+//! `fop_i · v_i ≡ 1 (mod η)` per cell (Equations 8–10).
+
+use crate::chunk::fill_chunks;
+use crate::error::{ProtocolError, Result};
+use crate::params::{OwnerParams, ServerParams};
+use prism_core::arith::{mul_mod, sub_mod};
+
+/// Validate that `m` owner share vectors of length `b` arrived.
+fn check_shape(owner_shares: &[&[u64]], m: usize, b: usize) -> Result<()> {
+    if owner_shares.len() != m {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "expected shares from {m} owners, got {}",
+            owner_shares.len()
+        )));
+    }
+    for (j, s) in owner_shares.iter().enumerate() {
+        if s.len() != b {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "owner {j} uploaded {} cells, expected {b}",
+                s.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Per-cell share-sum across owners, reduced mod δ — the `⊕_j` of
+/// Equation 3, chunk-parallel. Shares are already reduced, so the running
+/// sum fits u64 for any realistic m (m · δ ≪ 2^64); we reduce once per add
+/// with a branch-free conditional subtract when possible.
+fn sum_shares_mod(owner_shares: &[&[u64]], delta: u64, threads: usize, b: usize) -> Vec<u64> {
+    let mut acc = vec![0u64; b];
+    fill_chunks(&mut acc, threads, |start, chunk| {
+        for shares in owner_shares {
+            let src = &shares[start..start + chunk.len()];
+            for (a, &s) in chunk.iter_mut().zip(src) {
+                let t = *a + (s % delta);
+                *a = if t >= delta { t - delta } else { t };
+            }
+        }
+    });
+    acc
+}
+
+/// Step 2 at server φ (Equation 3): returns the length-`b` output vector.
+///
+/// `owner_shares[j]` is owner j's additive share vector held by this
+/// server. The exponentiation is a table lookup (`g^0..g^(δ−1)` mod η′).
+pub fn server_psi_round(
+    owner_shares: &[&[u64]],
+    sp: &ServerParams,
+    threads: usize,
+) -> Result<Vec<u64>> {
+    check_shape(owner_shares, sp.m, sp.b)?;
+    let table = sp.power_table();
+    let mut out = sum_shares_mod(owner_shares, sp.delta, threads, sp.b);
+    fill_chunks(&mut out, threads, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = table[sub_mod(*v, sp.m_share, sp.delta) as usize];
+        }
+    });
+    Ok(out)
+}
+
+/// Verification Step 2 at server φ (Equation 7): like the PSI round but
+/// over the complement shares and **without** the `m` subtraction.
+pub fn server_psi_verify_round(
+    complement_shares: &[&[u64]],
+    sp: &ServerParams,
+    threads: usize,
+) -> Result<Vec<u64>> {
+    check_shape(complement_shares, sp.m, sp.b)?;
+    let table = sp.power_table();
+    let mut out = sum_shares_mod(complement_shares, sp.delta, threads, sp.b);
+    fill_chunks(&mut out, threads, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = table[*v as usize];
+        }
+    });
+    Ok(out)
+}
+
+/// Step 3 at an owner (Equation 4): combine the two server outputs into
+/// the final vector `fop`. `fop[i] == 1` ⟺ cell i is common to all owners.
+pub fn owner_combine(out1: &[u64], out2: &[u64], op: &OwnerParams) -> Result<Vec<u64>> {
+    if out1.len() != op.b || out2.len() != op.b {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "server outputs have lengths {} / {}, expected {}",
+            out1.len(),
+            out2.len(),
+            op.b
+        )));
+    }
+    Ok(out1
+        .iter()
+        .zip(out2)
+        .map(|(&a, &b)| mul_mod(a % op.eta, b % op.eta, op.eta))
+        .collect())
+}
+
+/// Decode membership from `fop`: common ⟺ value 1.
+pub fn membership(fop: &[u64]) -> Vec<bool> {
+    fop.iter().map(|&v| v == 1).collect()
+}
+
+/// The cell indices in the intersection.
+pub fn common_cells(fop: &[u64]) -> Vec<usize> {
+    fop.iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v == 1).then_some(i))
+        .collect()
+}
+
+/// Verification Step 3 at an owner (Equations 8–10).
+///
+/// `fop` is the already-combined PSI output; `vout1`/`vout2` are the two
+/// servers' Equation-7 outputs, still in `PF_db1` order. Returns `Ok(())`
+/// iff every cell satisfies `fop_i · v_i ≡ 1 (mod η)`.
+pub fn owner_verify(
+    fop: &[u64],
+    vout1: &[u64],
+    vout2: &[u64],
+    op: &OwnerParams,
+) -> Result<()> {
+    if vout1.len() != op.b || vout2.len() != op.b || fop.len() != op.b {
+        return Err(ProtocolError::ParameterMismatch(
+            "verification vectors have wrong length".into(),
+        ));
+    }
+    // Un-permute: owners permuted χ̄ with PF_db1 before sharing, so the
+    // server outputs arrive in permuted order (pvout ← PF_db1⁻¹(vout)).
+    let inv = op.pf_db1.inverse();
+    let pv1 = inv.apply(vout1);
+    let pv2 = inv.apply(vout2);
+    for i in 0..op.b {
+        let r2 = mul_mod(pv1[i] % op.eta, pv2[i] % op.eta, op.eta);
+        let check = mul_mod(fop[i] % op.eta, r2, op.eta);
+        if check != 1 {
+            return Err(ProtocolError::VerificationFailed {
+                operation: "psi",
+                cell: i,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Initiator, Setup, SystemConfig};
+    use crate::tables::{share_indicator, OwnerTable};
+    use prism_core::{DenseIntDomain, GroupParams, Permutation, Prg};
+
+    /// Build the verbatim fixture of Examples 5.1 / 5.2.1: δ=5, η=11,
+    /// η′=143, g=3, m=3 shared as (1, 2), identity PF_db1.
+    fn paper_setup() -> (OwnerParams, ServerParams, ServerParams) {
+        let _group = GroupParams::from_parts(5, 11, 13, 3).unwrap();
+        let field = prism_core::ShamirCtx::default();
+        let ident = Permutation::identity(3);
+        let op = OwnerParams {
+            m: 3,
+            b: 3,
+            delta: 5,
+            eta: 11,
+            field,
+            pf_db1: ident.clone(),
+            pf_db2: ident.clone(),
+            pf_owners: Permutation::identity(3),
+            poly: prism_core::OrderPolynomial::paper_example(),
+            wide_width: 2,
+            agg_domain_max: 100,
+        };
+        let mk_server = |id: usize, m_share: u64| ServerParams {
+            server_id: id,
+            m: 3,
+            b: 3,
+            delta: 5,
+            g: 3,
+            eta_prime: 143,
+            m_share,
+            field,
+            pf_s1: ident.clone(),
+            pf_s2: ident.clone(),
+            pf_owners: Permutation::identity(3),
+            psu_prg_seed: 0,
+            wide_width: 2,
+        };
+        (op, mk_server(0, 1), mk_server(1, 2))
+    }
+
+    #[test]
+    fn example_5_1_verbatim() {
+        let (op, s1, s2) = paper_setup();
+        // Tables 5–7, shares reduced mod 5 (−3 ≡ 2, −2 ≡ 3, −1 ≡ 4).
+        let db1_s1 = [4u64, 2, 3];
+        let db1_s2 = [2u64, 3, 3];
+        let db2_s1 = [3u64, 4, 3];
+        let db2_s2 = [3u64, 2, 2];
+        let db3_s1 = [2u64, 3, 4];
+        let db3_s2 = [4u64, 2, 2];
+
+        let out1 = server_psi_round(&[&db1_s1, &db2_s1, &db3_s1], &s1, 1).unwrap();
+        assert_eq!(out1, vec![27, 27, 81], "server S1 outputs (paper: 27,27,81)");
+        let out2 = server_psi_round(&[&db1_s2, &db2_s2, &db3_s2], &s2, 1).unwrap();
+        assert_eq!(out2, vec![9, 1, 1], "server S2 outputs (paper: 9,1,1)");
+
+        let fop = owner_combine(&out1, &out2, &op).unwrap();
+        assert_eq!(fop, vec![1, 5, 4], "final vector ⟨1, 5, 4⟩");
+        assert_eq!(membership(&fop), vec![true, false, false]);
+        assert_eq!(common_cells(&fop), vec![0]); // Cancer
+    }
+
+    #[test]
+    fn example_5_2_1_verification_verbatim() {
+        let (op, s1, s2) = paper_setup();
+        // PSI outputs from Example 5.1.
+        let fop = vec![1u64, 5, 4];
+        // Complement shares, Tables 8–10 (mod 5).
+        let db1_v1 = [2u64, 0, 1];
+        let db1_v2 = [3u64, 1, 4]; // −2, 1, −1
+        let db2_v1 = [2u64, 3, 4];
+        let db2_v2 = [3u64, 2, 2]; // −2, −3, −3
+        let db3_v1 = [4u64, 1, 1];
+        let db3_v2 = [1u64, 0, 4]; // −4, 0, −1
+
+        let vout1 = server_psi_verify_round(&[&db1_v1, &db2_v1, &db3_v1], &s1, 1).unwrap();
+        assert_eq!(vout1, vec![27, 81, 3], "S1 verification outputs");
+        let vout2 = server_psi_verify_round(&[&db1_v2, &db2_v2, &db3_v2], &s2, 1).unwrap();
+        assert_eq!(vout2, vec![9, 27, 1], "S2 verification outputs");
+
+        owner_verify(&fop, &vout1, &vout2, &op).expect("honest run verifies");
+    }
+
+    /// End-to-end fixture over a generated parameter set.
+    struct Fixture {
+        setup: Setup,
+        tables: Vec<OwnerTable>,
+        uploads: Vec<crate::tables::IndicatorShares>,
+    }
+
+    fn fixture(owner_sets: &[Vec<u64>], domain: u64, seed: u64) -> Fixture {
+        let m = owner_sets.len();
+        let setup = Initiator::new(
+            SystemConfig::new(m, domain as usize).with_seed(seed),
+        )
+        .setup()
+        .unwrap();
+        let dmap = DenseIntDomain::one_to(domain);
+        let tables: Vec<OwnerTable> = owner_sets
+            .iter()
+            .map(|s| OwnerTable::from_set(s, &dmap).unwrap())
+            .collect();
+        let uploads: Vec<_> = tables
+            .iter()
+            .enumerate()
+            .map(|(j, t)| {
+                let mut prg = Prg::from_seed(seed ^ ((j as u64 + 1) * 0x9E37));
+                share_indicator(&t.indicator, setup.owner.delta, &mut prg)
+            })
+            .collect();
+        Fixture {
+            setup,
+            tables,
+            uploads,
+        }
+    }
+
+    fn run_psi(f: &Fixture, threads: usize) -> Vec<u64> {
+        let s1_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+        let s2_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[1].as_slice()).collect();
+        let out1 = server_psi_round(&s1_in, &f.setup.servers[0], threads).unwrap();
+        let out2 = server_psi_round(&s2_in, &f.setup.servers[1], threads).unwrap();
+        owner_combine(&out1, &out2, &f.setup.owner).unwrap()
+    }
+
+    #[test]
+    fn psi_matches_plaintext_intersection() {
+        let sets = vec![
+            vec![1u64, 3, 5, 7, 9],
+            vec![3u64, 5, 6, 9],
+            vec![2u64, 3, 5, 9, 10],
+        ];
+        let f = fixture(&sets, 10, 42);
+        let fop = run_psi(&f, 1);
+        let members = membership(&fop);
+        for v in 1..=10u64 {
+            let expected = sets.iter().all(|s| s.contains(&v));
+            assert_eq!(members[(v - 1) as usize], expected, "value {v}");
+        }
+    }
+
+    #[test]
+    fn psi_thread_counts_agree() {
+        let sets = vec![
+            (1..=500u64).filter(|v| v % 2 == 0).collect::<Vec<_>>(),
+            (1..=500u64).filter(|v| v % 3 == 0).collect(),
+            (1..=500u64).filter(|v| v % 5 != 0).collect(),
+        ];
+        let f = fixture(&sets, 500, 7);
+        let reference = run_psi(&f, 1);
+        for threads in [2usize, 3, 4, 5, 8] {
+            assert_eq!(run_psi(&f, threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_intersection_yields_no_ones() {
+        let sets = vec![vec![1u64, 2], vec![3u64, 4], vec![5u64, 6]];
+        let f = fixture(&sets, 6, 3);
+        let fop = run_psi(&f, 1);
+        assert!(common_cells(&fop).is_empty());
+    }
+
+    #[test]
+    fn full_overlap_yields_all_ones() {
+        let all: Vec<u64> = (1..=32).collect();
+        let sets = vec![all.clone(), all.clone(), all.clone(), all];
+        let f = fixture(&sets, 32, 4);
+        let fop = run_psi(&f, 2);
+        assert_eq!(common_cells(&fop).len(), 32);
+    }
+
+    #[test]
+    fn output_size_is_domain_size_regardless_of_data() {
+        // Output-size hiding: |out| == b whatever the owners hold.
+        for sets in [
+            vec![vec![1u64], vec![1u64]],
+            vec![(1..=50).collect::<Vec<u64>>(), vec![2u64]],
+        ] {
+            let f = fixture(&sets, 50, 5);
+            let s1_in: Vec<&[u64]> =
+                f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+            let out = server_psi_round(&s1_in, &f.setup.servers[0], 1).unwrap();
+            assert_eq!(out.len(), 50);
+        }
+    }
+
+    #[test]
+    fn verification_accepts_honest_run() {
+        let sets = vec![vec![1u64, 2, 9], vec![2u64, 9, 10], vec![2u64, 5, 9]];
+        let f = fixture(&sets, 10, 11);
+        let fop = run_psi(&f, 1);
+
+        // Build permuted complement shares.
+        let op = &f.setup.owner;
+        let mut vup = Vec::new();
+        for (j, t) in f.tables.iter().enumerate() {
+            let permuted = op.pf_db1.apply(&t.complement());
+            let mut prg = Prg::from_seed(1000 + j as u64);
+            vup.push(share_indicator(&permuted, op.delta, &mut prg));
+        }
+        let v1_in: Vec<&[u64]> = vup.iter().map(|u| u.shares[0].as_slice()).collect();
+        let v2_in: Vec<&[u64]> = vup.iter().map(|u| u.shares[1].as_slice()).collect();
+        let vout1 = server_psi_verify_round(&v1_in, &f.setup.servers[0], 1).unwrap();
+        let vout2 = server_psi_verify_round(&v2_in, &f.setup.servers[1], 1).unwrap();
+        owner_verify(&fop, &vout1, &vout2, op).expect("honest servers verify");
+    }
+
+    #[test]
+    fn verification_catches_skipped_cells() {
+        let sets = vec![vec![1u64, 2, 9], vec![2u64, 9, 10], vec![2u64, 5, 9]];
+        let f = fixture(&sets, 10, 13);
+        let op = &f.setup.owner;
+
+        let s1_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+        let s2_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[1].as_slice()).collect();
+        // Malicious S1: computes cell 0 and replays it everywhere (the
+        // "skip processing" attack of §5.2).
+        let mut out1 = server_psi_round(&s1_in, &f.setup.servers[0], 1).unwrap();
+        let replay = out1[0];
+        for v in out1.iter_mut() {
+            *v = replay;
+        }
+        let out2 = server_psi_round(&s2_in, &f.setup.servers[1], 1).unwrap();
+        let fop = owner_combine(&out1, &out2, op).unwrap();
+
+        // Honest verification path.
+        let mut vup = Vec::new();
+        for (j, t) in f.tables.iter().enumerate() {
+            let permuted = op.pf_db1.apply(&t.complement());
+            let mut prg = Prg::from_seed(2000 + j as u64);
+            vup.push(share_indicator(&permuted, op.delta, &mut prg));
+        }
+        let v1_in: Vec<&[u64]> = vup.iter().map(|u| u.shares[0].as_slice()).collect();
+        let v2_in: Vec<&[u64]> = vup.iter().map(|u| u.shares[1].as_slice()).collect();
+        let vout1 = server_psi_verify_round(&v1_in, &f.setup.servers[0], 1).unwrap();
+        let vout2 = server_psi_verify_round(&v2_in, &f.setup.servers[1], 1).unwrap();
+
+        let err = owner_verify(&fop, &vout1, &vout2, op).unwrap_err();
+        assert!(matches!(err, ProtocolError::VerificationFailed { .. }));
+    }
+
+    #[test]
+    fn verification_catches_injected_values() {
+        let sets = vec![vec![1u64, 4], vec![4u64, 5], vec![4u64]];
+        let f = fixture(&sets, 6, 17);
+        let op = &f.setup.owner;
+        let fop_honest = run_psi(&f, 1);
+
+        // Malicious: inject a fake "common" marker at a non-common cell by
+        // overwriting fop (equivalently, the servers collude on outputs but
+        // cannot align the permuted complement table).
+        let mut fop = fop_honest;
+        fop[0] = 1;
+
+        let mut vup = Vec::new();
+        for (j, t) in f.tables.iter().enumerate() {
+            let permuted = op.pf_db1.apply(&t.complement());
+            let mut prg = Prg::from_seed(3000 + j as u64);
+            vup.push(share_indicator(&permuted, op.delta, &mut prg));
+        }
+        let v1_in: Vec<&[u64]> = vup.iter().map(|u| u.shares[0].as_slice()).collect();
+        let v2_in: Vec<&[u64]> = vup.iter().map(|u| u.shares[1].as_slice()).collect();
+        let vout1 = server_psi_verify_round(&v1_in, &f.setup.servers[0], 1).unwrap();
+        let vout2 = server_psi_verify_round(&v2_in, &f.setup.servers[1], 1).unwrap();
+
+        assert!(owner_verify(&fop, &vout1, &vout2, op).is_err());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let f = fixture(&[vec![1u64], vec![1u64]], 4, 19);
+        let short = vec![0u64; 2];
+        let err = server_psi_round(
+            &[&short, &f.uploads[1].shares[0]],
+            &f.setup.servers[0],
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::ParameterMismatch(_)));
+        let err = server_psi_round(&[&f.uploads[0].shares[0]], &f.setup.servers[0], 1)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::ParameterMismatch(_)));
+    }
+
+    #[test]
+    fn non_common_cells_reveal_no_counts() {
+        // Informal leakage check (§5.1 lemma): decode values at non-common
+        // cells must not equal the count of holders in any systematic way —
+        // we check that two cells with *different* holder counts can decode
+        // to the same value class and that decoded values are non-1.
+        let sets = vec![
+            vec![1u64, 2],       // holder counts: cell1=3, cell2=2, cell3=1
+            vec![1u64, 2],
+            vec![1u64, 3],
+        ];
+        let f = fixture(&sets, 3, 23);
+        let fop = run_psi(&f, 1);
+        assert_eq!(fop[0], 1);
+        assert_ne!(fop[1], 1);
+        assert_ne!(fop[2], 1);
+    }
+}

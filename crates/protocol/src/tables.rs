@@ -1,0 +1,211 @@
+//! Owner-side table construction — Step 1 of every PRISM operation.
+//!
+//! Each owner maps its distinct `A_c` values through the public domain map
+//! into a length-`b` indicator table χ (§5.1), optionally extended with
+//! aggregation payloads: `⟨x_{i1}, x_{i2}⟩` pairs for PSI-Sum (§6.1) where
+//! `x_{i2}` is the per-cell SUM of the aggregation attribute, and
+//! `⟨x_{i1}, x_{i2}, x_{i3}⟩` triples for PSI-Average (§6.2) where `x_{i3}`
+//! counts the contributing tuples. Max/median keep the per-cell MAX
+//! alongside. One pass over the owner's rows produces all of them.
+
+use crate::error::{ProtocolError, Result};
+use prism_core::{DomainMap, Prg};
+use serde::{Deserialize, Serialize};
+
+/// An owner's fully materialized per-cell tables for one query attribute
+/// pair `(A_c, A_x)`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct OwnerTable {
+    /// `x_{i1}`: 1 iff some owned tuple maps to cell i.
+    pub indicator: Vec<u64>,
+    /// `x_{i2}`: sum of `A_x` over tuples in cell i (0 if none).
+    pub sums: Vec<u64>,
+    /// `x_{i3}`: number of tuples in cell i (0 if none) — the `aOK` column.
+    pub counts: Vec<u64>,
+    /// per-cell maximum of `A_x` (0 if none) — feeds max/median round 2.
+    pub maxima: Vec<u64>,
+}
+
+impl OwnerTable {
+    /// Build from `(set_value, agg_value)` rows and a domain map.
+    ///
+    /// Returns [`ProtocolError::OutOfDomain`] if any set value does not map.
+    pub fn build<T, D>(rows: &[(T, u64)], domain: &D) -> Result<OwnerTable>
+    where
+        D: DomainMap<T> + ?Sized,
+        T: std::fmt::Debug,
+    {
+        let b = domain.size();
+        let mut t = OwnerTable {
+            indicator: vec![0; b],
+            sums: vec![0; b],
+            counts: vec![0; b],
+            maxima: vec![0; b],
+        };
+        for (set_v, agg_v) in rows {
+            let i = domain
+                .index_of(set_v)
+                .ok_or_else(|| ProtocolError::OutOfDomain {
+                    value: format!("{set_v:?}"),
+                })?;
+            t.indicator[i] = 1;
+            t.sums[i] = t.sums[i].wrapping_add(*agg_v);
+            t.counts[i] += 1;
+            t.maxima[i] = t.maxima[i].max(*agg_v);
+        }
+        Ok(t)
+    }
+
+    /// Build an indicator-only table from bare set values.
+    pub fn from_set<T, D>(values: &[T], domain: &D) -> Result<OwnerTable>
+    where
+        D: DomainMap<T> + ?Sized,
+        T: std::fmt::Debug,
+    {
+        let rows: Vec<(&T, u64)> = values.iter().map(|v| (v, 0)).collect();
+        // Re-map through a reference-domain shim.
+        let b = domain.size();
+        let mut t = OwnerTable {
+            indicator: vec![0; b],
+            sums: vec![0; b],
+            counts: vec![0; b],
+            maxima: vec![0; b],
+        };
+        for (v, _) in rows {
+            let i = domain
+                .index_of(v)
+                .ok_or_else(|| ProtocolError::OutOfDomain {
+                    value: format!("{v:?}"),
+                })?;
+            t.indicator[i] = 1;
+            t.counts[i] += 1;
+        }
+        Ok(t)
+    }
+
+    /// Domain size `b`.
+    pub fn len(&self) -> usize {
+        self.indicator.len()
+    }
+
+    /// True iff the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indicator.is_empty()
+    }
+
+    /// The complement table χ̄ used by PSI verification (§5.2 Step 1).
+    pub fn complement(&self) -> Vec<u64> {
+        self.indicator.iter().map(|&x| 1 - x).collect()
+    }
+}
+
+/// The additive shares of one owner's indicator vector, ready for upload —
+/// `shares[φ][i]` goes to server φ.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndicatorShares {
+    /// Per-server share vectors (length 2).
+    pub shares: [Vec<u64>; 2],
+}
+
+/// Share an indicator (or any `Z_δ`) vector two ways.
+pub fn share_indicator(values: &[u64], delta: u64, prg: &mut Prg) -> IndicatorShares {
+    let (a, b) = prism_core::share_vector2(values, delta, prg);
+    IndicatorShares { shares: [a, b] }
+}
+
+/// Shamir shares of one owner's payload column — `shares[φ][i]` goes to
+/// server φ (length 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PayloadShares {
+    /// Per-server share vectors (length 3, evaluation points 1, 2, 3).
+    pub shares: Vec<Vec<u64>>,
+}
+
+/// Shamir-share a payload column three ways (degree 1).
+pub fn share_payload(
+    values: &[u64],
+    field: &prism_core::ShamirCtx,
+    prg: &mut Prg,
+) -> PayloadShares {
+    PayloadShares {
+        shares: field.share_vector(values, crate::params::SHAMIR_SERVERS, prg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_core::{DenseIntDomain, EnumeratedDomain, ShamirCtx};
+
+    #[test]
+    fn build_aggregates_per_cell() {
+        let domain = DenseIntDomain::one_to(5);
+        // Two tuples in cell of value 2, one in cell 5.
+        let rows = vec![(2u64, 10), (2, 30), (5, 7)];
+        let t = OwnerTable::build(&rows, &domain).unwrap();
+        assert_eq!(t.indicator, vec![0, 1, 0, 0, 1]);
+        assert_eq!(t.sums, vec![0, 40, 0, 0, 7]);
+        assert_eq!(t.counts, vec![0, 2, 0, 0, 1]);
+        assert_eq!(t.maxima, vec![0, 30, 0, 0, 7]);
+    }
+
+    #[test]
+    fn build_rejects_out_of_domain() {
+        let domain = DenseIntDomain::one_to(3);
+        let err = OwnerTable::build(&[(9u64, 1)], &domain).unwrap_err();
+        assert!(matches!(err, ProtocolError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn from_set_categorical_matches_paper_tables() {
+        // Hospital 2 (Table 2): diseases {Cancer, Fever} over the global
+        // domain {Cancer, Fever, Heart} ⇒ χ = ⟨1, 1, 0⟩ (§5.1 Example).
+        let domain = EnumeratedDomain::new(["Cancer", "Fever", "Heart"]);
+        let t = OwnerTable::from_set(&["Cancer", "Fever", "Fever"], &domain).unwrap();
+        assert_eq!(t.indicator, vec![1, 1, 0]);
+        assert_eq!(t.counts, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn complement_flips_bits() {
+        let domain = DenseIntDomain::one_to(4);
+        let t = OwnerTable::from_set(&[1u64, 4], &domain).unwrap();
+        assert_eq!(t.indicator, vec![1, 0, 0, 1]);
+        assert_eq!(t.complement(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn indicator_shares_reconstruct() {
+        let mut prg = Prg::from_seed(1);
+        let values = vec![1u64, 0, 1, 1, 0];
+        let sh = share_indicator(&values, 113, &mut prg);
+        for i in 0..values.len() {
+            assert_eq!(
+                prism_core::reconstruct2(sh.shares[0][i], sh.shares[1][i], 113),
+                values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn payload_shares_reconstruct() {
+        let mut prg = Prg::from_seed(2);
+        let field = ShamirCtx::default();
+        let values = vec![100u64, 0, 55];
+        let sh = share_payload(&values, &field, &mut prg);
+        assert_eq!(sh.shares.len(), 3);
+        for i in 0..values.len() {
+            let ys: Vec<u64> = (0..3).map(|k| sh.shares[k][i]).collect();
+            assert_eq!(field.reconstruct_raw(&ys), values[i]);
+        }
+    }
+
+    #[test]
+    fn empty_rows_give_zero_tables() {
+        let domain = DenseIntDomain::one_to(3);
+        let t = OwnerTable::build::<u64, _>(&[], &domain).unwrap();
+        assert_eq!(t.indicator, vec![0, 0, 0]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

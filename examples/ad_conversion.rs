@@ -1,0 +1,87 @@
+//! Private ad-conversion measurement (the PSI-Sum use-case of §1, after
+//! Ion et al.'s intersection-sum deployment).
+//!
+//! An ad network knows which users clicked a campaign; a merchant knows
+//! which users bought something and for how much. Both want the total
+//! revenue attributable to the campaign — |clickers ∩ buyers| and the sum
+//! of their spending — without exchanging user lists.
+//!
+//! This example also demonstrates the malicious-server story: a tampering
+//! server is caught by PSI verification.
+//!
+//! Run with: `cargo run --example ad_conversion`
+
+use prism::core::Prg;
+use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism::protocol::malicious::Tamper;
+
+const USERS: u64 = 2_000; // user-id domain
+
+fn main() {
+    let mut prg = Prg::from_seed(7);
+
+    // Ad network: ~30% of users clicked (spend attribute unused → 0).
+    let clickers: Vec<(u64, u64)> = (1..=USERS)
+        .filter(|_| prg.unit_f64() < 0.30)
+        .map(|u| (u, 0))
+        .collect();
+
+    // Merchant: ~10% of users bought, with a purchase amount in cents.
+    let mut buyers: Vec<(u64, u64)> = Vec::new();
+    for u in 1..=USERS {
+        if prg.unit_f64() < 0.10 {
+            let amount = prg.range(500, 20_000);
+            buyers.push((u, amount));
+        }
+    }
+
+    // Expected answer, computed in the clear for demonstration only.
+    let click_set: std::collections::HashSet<u64> =
+        clickers.iter().map(|&(u, _)| u).collect();
+    let expected_conversions: Vec<&(u64, u64)> = buyers
+        .iter()
+        .filter(|(u, _)| click_set.contains(u))
+        .collect();
+    let expected_revenue: u64 = expected_conversions.iter().map(|(_, v)| v).sum();
+
+    let inputs = vec![
+        OwnerInput::from_pairs(clickers.iter().copied()),
+        OwnerInput::from_pairs(buyers.iter().copied()),
+    ];
+    let mut cfg = ClusterConfig::new(USERS as usize);
+    cfg.agg_domain_max = 20_000;
+    cfg.seed = 99;
+    let cluster = Cluster::build(&inputs, cfg.clone()).expect("cluster");
+
+    // Conversion count: PSI count reveals only the cardinality — neither
+    // party learns WHICH users converted.
+    let (conversions, _) = cluster.psi_count_verified().expect("count");
+    println!("Attributed conversions: {conversions}");
+    assert_eq!(conversions, expected_conversions.len());
+
+    // Attributed revenue: PSI-Sum over the purchase amounts.
+    let (sums, _) = cluster.psi_sum_verified(0).expect("sum");
+    let revenue: u64 = sums.iter().sum();
+    println!(
+        "Attributed revenue: ${}.{:02}",
+        revenue / 100,
+        revenue % 100
+    );
+    assert_eq!(revenue, expected_revenue);
+
+    // --- Malicious server demonstration. ---------------------------------
+    // A compromised server replays one cell's result over the whole
+    // output (the "skip processing" attack of §5.2). Verification trips.
+    let mut bad = Cluster::build(&inputs, cfg).expect("cluster");
+    bad.set_tamper(0, Tamper::SkipReplay { src: 0 });
+    match bad.psi_verified() {
+        Err(e) => println!("\nTampering server detected as expected: {e}"),
+        Ok(_) => panic!("verification failed to catch a tampering server"),
+    }
+    // The unverified query would have silently returned garbage:
+    let (tampered, _) = bad.psi_count().expect("count");
+    println!(
+        "Unverified count under tampering would have been {tampered} \
+         (true value {conversions}) — which is why verification matters."
+    );
+}

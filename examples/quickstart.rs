@@ -1,0 +1,88 @@
+//! Quickstart: the paper's running example (§2, Tables 1–3).
+//!
+//! Three hospitals hold private patient tables and want to know, without
+//! revealing their data to each other or to the servers:
+//!
+//! * which diseases all of them treat (PSI),
+//! * which diseases any of them treats (PSU),
+//! * total / average cost and maximum patient age for the common
+//!   diseases, and the median of the per-hospital cost totals.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prism::driver::{Cluster, ClusterConfig};
+use prism::workload::hospitals;
+
+fn main() {
+    // The three hospitals of Tables 1–3, with (cost, age) as the two
+    // aggregation attributes over the disease domain {Cancer,Fever,Heart}.
+    let inputs: Vec<_> = hospitals::all_hospitals()
+        .iter()
+        .map(|h| hospitals::to_owner_input(h))
+        .collect();
+
+    let mut cfg = ClusterConfig::new(3); // |disease domain| = 3
+    cfg.agg_domain_max = 2_000; // costs stay below this
+    let cluster = Cluster::build(&inputs, cfg).expect("cluster");
+
+    // --- PSI (§5.1), with result verification (§5.2). -------------------
+    let (psi, _) = cluster.psi_verified().expect("verified PSI");
+    let common: Vec<&str> = psi
+        .common
+        .iter()
+        .map(|&c| hospitals::disease_of_cell(c))
+        .collect();
+    println!("PSI  — diseases treated by every hospital: {common:?}");
+    assert_eq!(common, ["Cancer"]);
+
+    // --- PSU (§7). -------------------------------------------------------
+    let (union, _) = cluster.psu().expect("PSU");
+    let all: Vec<&str> = union
+        .iter()
+        .enumerate()
+        .filter_map(|(c, &m)| m.then(|| hospitals::disease_of_cell(c)))
+        .collect();
+    println!("PSU  — diseases treated by at least one hospital: {all:?}");
+    assert_eq!(all, ["Cancer", "Fever", "Heart"]);
+
+    // --- Count over PSI (§6.5). ------------------------------------------
+    let (count, _) = cluster.psi_count_verified().expect("count");
+    println!("Count — |intersection| = {count}");
+    assert_eq!(count, 1);
+
+    // --- Sum & average of cost over PSI (§6.1, §6.2). ---------------------
+    let (sums, _) = cluster.psi_sum_verified(0).expect("sum");
+    println!("Sum  — total Cancer cost across hospitals: {}", sums[0]);
+    assert_eq!(sums[0], 1400);
+
+    let (avgs, _) = cluster.psi_avg(0).expect("avg");
+    println!(
+        "Avg  — average Cancer cost: {} / {} = {}",
+        avgs[0].sum, avgs[0].count, avgs[0].average
+    );
+    assert_eq!(avgs[0].average, 280.0);
+
+    // --- Maximum age over PSI (§6.3) with holder identities. --------------
+    let (maxes, holders, _) = cluster.psi_max(1).expect("max");
+    println!(
+        "Max  — oldest Cancer patient is {} (held by hospitals {:?})",
+        maxes[0].max,
+        holders[0]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &h)| h.then_some(j + 1))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(maxes[0].max, 8);
+
+    // --- Median of per-hospital cost totals (§6.4). -----------------------
+    let (medians, _) = cluster.psi_median(0).expect("median");
+    println!(
+        "Med  — median per-hospital Cancer cost total: {:?} (hospital {})",
+        medians[0].values,
+        medians[0].holders[0] + 1
+    );
+    assert_eq!(medians[0].values, vec![300]);
+
+    println!("\nAll results match Section 2 of the paper.");
+}

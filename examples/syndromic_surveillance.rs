@@ -1,0 +1,102 @@
+//! Syndromic surveillance (§1's motivating use-case).
+//!
+//! Pharmacies, hospitals and telehealth providers each observe daily
+//! signals — analgesic sales, anti-allergy prescriptions, school
+//! absenteeism calls — keyed by region code. To detect a community-wide
+//! outbreak early, they want the regions where *all* of them see elevated
+//! activity (PSI), the total signal strength there (PSI-Sum), and the
+//! strongest single reporter (PSI-Max) — without any organization
+//! revealing its raw counts.
+//!
+//! Run with: `cargo run --example syndromic_surveillance`
+
+use prism::core::Prg;
+use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+
+const REGIONS: u64 = 500; // region-code domain 1..=500
+
+/// Generate one organization's elevated-activity report: a subset of
+/// regions with a signal strength per region.
+fn organization_report(seed: u64, elevated_fraction: f64, hotspots: &[u64]) -> OwnerInput {
+    let mut prg = Prg::from_seed(seed);
+    let mut rows = Vec::new();
+    for region in 1..=REGIONS {
+        let hot = hotspots.contains(&region);
+        let elevated = hot || prg.unit_f64() < elevated_fraction;
+        if elevated {
+            // Signal strength: hotspots run hot everywhere.
+            let strength = if hot {
+                prg.range(800, 1000)
+            } else {
+                prg.range(50, 400)
+            };
+            rows.push((region, vec![strength]));
+        }
+    }
+    OwnerInput { rows }
+}
+
+fn main() {
+    // A real outbreak in regions 42, 137 and 401: every organization sees
+    // those; the rest of each report is uncorrelated noise.
+    let outbreak = [42u64, 137, 401];
+    let organizations = vec![
+        organization_report(1, 0.08, &outbreak), // pharmacy chain
+        organization_report(2, 0.10, &outbreak), // hospital network
+        organization_report(3, 0.05, &outbreak), // telehealth provider
+        organization_report(4, 0.07, &outbreak), // school district
+    ];
+
+    let mut cfg = ClusterConfig::new(REGIONS as usize);
+    cfg.agg_domain_max = 1_000;
+    cfg.seed = 20260611;
+    let cluster = Cluster::build(&organizations, cfg).expect("cluster");
+
+    // Which regions does EVERY organization flag? (verified PSI)
+    let (psi, stats) = cluster.psi_verified().expect("verified PSI");
+    let flagged: Vec<u64> = psi.common.iter().map(|&c| c as u64 + 1).collect();
+    println!(
+        "Regions flagged by all {} organizations: {flagged:?}",
+        organizations.len()
+    );
+    println!(
+        "  (server time {:?}, owner time {:?}, verified against malicious servers)",
+        stats.server_time, stats.owner_time
+    );
+    for r in outbreak {
+        assert!(flagged.contains(&r), "outbreak region {r} must be flagged");
+    }
+
+    // Combined signal strength in the flagged regions (verified PSI-Sum).
+    let (sums, _) = cluster.psi_sum_verified(0).expect("sum");
+    println!("\nCombined signal strength in consensus regions:");
+    for &c in &psi.common {
+        println!("  region {:>3}: {:>5}", c + 1, sums[c]);
+    }
+    // The planted outbreak regions carry ≥ 4 × 800 signal.
+    for r in outbreak {
+        assert!(sums[(r - 1) as usize] >= 3200);
+    }
+
+    // Which organization reports the strongest signal per region?
+    let (maxes, holders, _) = cluster.psi_max(0).expect("max");
+    println!("\nStrongest single reporter per consensus region:");
+    let names = ["pharmacy", "hospital", "telehealth", "schools"];
+    for (k, m) in maxes.iter().enumerate() {
+        let who: Vec<&str> = holders[k]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &h)| h.then_some(names[j]))
+            .collect();
+        println!(
+            "  region {:>3}: strength {:>4} reported by {who:?}",
+            m.cell + 1,
+            m.max
+        );
+    }
+
+    println!(
+        "\nNo organization revealed its raw report; servers saw only shares;\n\
+         the querier learned only the consensus regions and their aggregates."
+    );
+}

@@ -1,0 +1,66 @@
+//! # PRISM
+//!
+//! A from-scratch implementation of **Prism: Private Verifiable Set
+//! Computation over Multi-Owner Outsourced Databases** (Li, Ghosh, Gupta,
+//! Mehrotra, Panwar, Sharma — SIGMOD 2021).
+//!
+//! PRISM lets `m` mutually-distrusting database owners outsource
+//! secret-shared data to non-communicating public servers and compute,
+//! in at most two owner↔server rounds:
+//!
+//! * **PSI / PSU** — private set intersection and union over a common
+//!   attribute;
+//! * **aggregations over PSI** — count, sum, average, maximum, median;
+//! * **result verification** for each operation against *malicious*
+//!   servers (skipped cells, replayed cells, injected values).
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+//!
+//! // Three hospitals, disease cells 1..=3 (Cancer, Fever, Heart),
+//! // aggregation attribute = treatment cost.
+//! let inputs = vec![
+//!     OwnerInput::from_pairs([(1, 100), (1, 200), (3, 300)]),
+//!     OwnerInput::from_pairs([(1, 100), (2, 70), (2, 50)]),
+//!     OwnerInput::from_pairs([(1, 300), (1, 700), (3, 500)]),
+//! ];
+//! let cluster = Cluster::build(&inputs, ClusterConfig::new(3)).unwrap();
+//!
+//! // PSI: which diseases does every hospital treat? → cell 1 (Cancer).
+//! let (psi, _) = cluster.psi().unwrap();
+//! assert_eq!(psi.common, vec![0]);
+//!
+//! // Sum of cost over the intersection → {Cancer: 1400}.
+//! let (sums, _) = cluster.psi_sum(0).unwrap();
+//! assert_eq!(sums[0], 1400);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`](prism_core) | secret sharing, groups, permutations, PRG, big integers |
+//! | [`protocol`](prism_protocol) | every operation + verification, the in-memory driver |
+//! | [`net`](prism_net) | metered transports (channels, TCP) and a threaded cluster |
+//! | [`storage`](prism_storage) | the 11-column Table-11 share store |
+//! | [`workload`](prism_workload) | TPC-H-style generators and experiment grids |
+//! | [`baseline`](prism_baseline) | plaintext oracle, circuit-MPC and pairwise-PSI baselines |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use prism_baseline as baseline;
+pub use prism_core as core;
+pub use prism_net as net;
+pub use prism_protocol as protocol;
+pub use prism_storage as storage;
+pub use prism_workload as workload;
+
+pub use prism_protocol::driver;
+pub use prism_protocol::{
+    AnnouncerParams, Initiator, OwnerParams, ProtocolError, ServerParams, Setup, SystemConfig,
+};

@@ -1,0 +1,176 @@
+//! Failure-injection integration tests: every tampering behaviour from
+//! §5.2's threat list must be caught by the corresponding verification,
+//! on both servers, across operations.
+
+use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism::protocol::malicious::Tamper;
+
+fn cluster(seed: u64) -> Cluster {
+    // 4 owners over a 12-cell domain, intersection {2, 7, 11}.
+    let mut rows: Vec<Vec<(u64, u64)>> = Vec::new();
+    for j in 0..4u64 {
+        let mut r = vec![(2, 10 + j), (7, 20 + j), (11, 30 + j)];
+        // Private extras per owner.
+        r.push((j + 3, 5));
+        rows.push(r);
+    }
+    let inputs: Vec<OwnerInput> = rows
+        .iter()
+        .map(|r| OwnerInput::from_pairs(r.iter().copied()))
+        .collect();
+    let mut cfg = ClusterConfig::new(12);
+    cfg.seed = seed;
+    cfg.agg_domain_max = 200;
+    Cluster::build(&inputs, cfg).unwrap()
+}
+
+fn all_tampers() -> Vec<Tamper> {
+    vec![
+        Tamper::SkipReplay { src: 0 },
+        Tamper::SkipReplay { src: 5 },
+        Tamper::ReplaceCell { src: 1, dst: 6 },
+        Tamper::ReplaceCell { src: 6, dst: 1 },
+        Tamper::InjectFake { cell: 3, seed: 1 },
+        Tamper::InjectFake { cell: 10, seed: 2 },
+        Tamper::TruncateFrom { from: 4 },
+    ]
+}
+
+#[test]
+fn psi_verification_catches_every_tamper_on_either_server() {
+    for server in 0..2 {
+        for (i, t) in all_tampers().into_iter().enumerate() {
+            let mut c = cluster(100 + i as u64);
+            c.set_tamper(server, t);
+            assert!(
+                c.psi_verified().is_err(),
+                "server {server} tamper {t:?} escaped PSI verification"
+            );
+        }
+    }
+}
+
+#[test]
+fn count_verification_never_accepts_a_wrong_count() {
+    // A tamper may happen to be harmless (replacing one garbage cell with
+    // another leaves the decoded 0/1 vector unchanged); what verification
+    // must guarantee is that a *wrong* count never passes.
+    let honest = cluster(999).psi_count().unwrap().0;
+    let mut detected = 0;
+    for server in 0..2 {
+        for (i, t) in all_tampers().into_iter().enumerate() {
+            let mut c = cluster(200 + i as u64);
+            c.set_tamper(server, t);
+            match c.psi_count_verified() {
+                Err(_) => detected += 1,
+                Ok((n, _)) => assert_eq!(
+                    n, honest,
+                    "server {server} tamper {t:?} passed verification with a wrong count"
+                ),
+            }
+        }
+    }
+    assert!(detected >= 8, "most tampers should be detected, got {detected}");
+}
+
+#[test]
+fn sum_verification_catches_round2_tampering() {
+    // Tampering on any of the three Shamir servers corrupts the primary
+    // sum; the permuted verification copy cannot be aligned.
+    for server in 0..3 {
+        for (i, t) in all_tampers().into_iter().enumerate() {
+            let mut c = cluster(300 + i as u64);
+            c.set_tamper(server, t);
+            let r = c.psi_sum_verified(0);
+            // Round-1 tampering on servers 0/1 corrupts z; round-2
+            // tampering corrupts the inner product. Either way the
+            // verification must not silently pass with a wrong result.
+            match r {
+                Err(_) => {}
+                Ok((sums, _)) => {
+                    // If it passed, the result must be correct (tampering
+                    // may hit cells that don't affect the output).
+                    let honest = cluster(300 + i as u64).psi_sum(0).unwrap().0;
+                    assert_eq!(
+                        sums, honest,
+                        "server {server} tamper {t:?} passed verification with a wrong sum"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn honest_runs_never_flagged() {
+    for seed in 0..10 {
+        let c = cluster(400 + seed);
+        assert!(c.psi_verified().is_ok(), "false positive at seed {seed}");
+        assert!(c.psi_count_verified().is_ok());
+        assert!(c.psi_sum_verified(0).is_ok());
+        assert!(c.psu_verified().is_ok());
+    }
+}
+
+#[test]
+fn psu_verification_never_accepts_a_wrong_union_size() {
+    let honest = {
+        let c = cluster(700);
+        let (members, _) = c.psu().unwrap();
+        members.iter().filter(|&&m| m).count()
+    };
+    let mut detected = 0;
+    for server in 0..2 {
+        for (i, t) in all_tampers().into_iter().enumerate() {
+            let mut c = cluster(700 + i as u64);
+            c.set_tamper(server, t);
+            match c.psu_verified() {
+                Err(_) => detected += 1,
+                Ok((n, _)) => assert_eq!(
+                    n, honest,
+                    "server {server} tamper {t:?} passed PSU verification with a wrong union"
+                ),
+            }
+        }
+    }
+    assert!(detected >= 6, "most tampers should be detected, got {detected}");
+}
+
+#[test]
+fn tampered_results_are_actually_wrong_without_verification() {
+    // Confirm the attacks are meaningful: unverified queries return
+    // different (wrong) answers under tampering.
+    let honest = cluster(500).psi().unwrap().0.common;
+    let mut any_difference = false;
+    for t in all_tampers() {
+        let mut c = cluster(500);
+        c.set_tamper(0, t);
+        let tampered = c.psi().unwrap().0.common;
+        if tampered != honest {
+            any_difference = true;
+        }
+    }
+    assert!(any_difference, "tampers never changed any result");
+}
+
+#[test]
+fn max_verification_catches_suppressed_maximum() {
+    // An announcer/server coalition that understates the max is caught by
+    // the owner holding the larger value (owner_verify_max runs inside
+    // psi_max for every owner). Simulate by tampering the PSI round so
+    // the common set is wrong — decode then fails or flags.
+    let mut c = cluster(600);
+    c.set_tamper(0, Tamper::InjectFake { cell: 0, seed: 9 });
+    // Either PSI produces a bogus common set whose max round then trips
+    // one of the checks, or the query succeeds with the true cells only.
+    match c.psi_max(0) {
+        Ok((cells, _, _)) => {
+            let honest = cluster(600).psi_max(0).unwrap().0;
+            assert_eq!(
+                cells.iter().map(|m| (m.cell, m.max)).collect::<Vec<_>>(),
+                honest.iter().map(|m| (m.cell, m.max)).collect::<Vec<_>>()
+            );
+        }
+        Err(_) => {} // detected
+    }
+}

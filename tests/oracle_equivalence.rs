@@ -1,0 +1,132 @@
+//! Property-based integration tests: every PRISM operation must agree
+//! with the plaintext oracle on random multi-owner datasets.
+
+use prism::baseline::PlainDataset;
+use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+use proptest::prelude::*;
+
+/// Random multi-owner dataset strategy: m ∈ [2,5] owners, domain ≤ 24,
+/// each owner holding up to 30 rows with agg values ≤ 100.
+fn dataset() -> impl Strategy<Value = (Vec<Vec<(u64, u64)>>, u64)> {
+    (2usize..=5, 4u64..=24).prop_flat_map(|(m, domain)| {
+        let rows = proptest::collection::vec(
+            proptest::collection::vec((1..=domain, 0u64..=100), 0..30),
+            m,
+        );
+        (rows, Just(domain))
+    })
+}
+
+fn build(rows: &[Vec<(u64, u64)>], domain: u64, seed: u64) -> Cluster {
+    let inputs: Vec<OwnerInput> = rows
+        .iter()
+        .map(|r| OwnerInput::from_pairs(r.iter().copied()))
+        .collect();
+    let mut cfg = ClusterConfig::new(domain as usize);
+    cfg.seed = seed;
+    cfg.agg_domain_max = 101 * 30; // bounds per-cell sums for median blinding
+    Cluster::build(&inputs, cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn psi_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (psi, _) = cluster.psi().unwrap();
+        let got: Vec<u64> = psi.common.iter().map(|&c| c as u64 + 1).collect();
+        prop_assert_eq!(got, oracle.intersection());
+    }
+
+    #[test]
+    fn psu_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (members, _) = cluster.psu().unwrap();
+        let got: Vec<u64> = members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i as u64 + 1))
+            .collect();
+        prop_assert_eq!(got, oracle.union());
+    }
+
+    #[test]
+    fn count_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (n, _) = cluster.psi_count().unwrap();
+        prop_assert_eq!(n, oracle.intersection_count());
+    }
+
+    #[test]
+    fn sum_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (sums, _) = cluster.psi_sum(0).unwrap();
+        let expected = oracle.psi_sum();
+        for cell in 0..domain as usize {
+            let want = expected.get(&(cell as u64 + 1)).copied().unwrap_or(0);
+            prop_assert_eq!(sums[cell], want, "cell {}", cell);
+        }
+    }
+
+    #[test]
+    fn avg_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (avgs, _) = cluster.psi_avg(0).unwrap();
+        for (value, (sum, count, avg)) in oracle.psi_avg() {
+            let cell = (value - 1) as usize;
+            prop_assert_eq!(avgs[cell].sum, sum);
+            prop_assert_eq!(avgs[cell].count, count);
+            prop_assert!((avgs[cell].average - avg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (maxes, holders, _) = cluster.psi_max(0).unwrap();
+        let expected = oracle.psi_max();
+        prop_assert_eq!(maxes.len(), expected.len());
+        for (k, m) in maxes.iter().enumerate() {
+            let value = m.cell as u64 + 1;
+            let (want_max, want_holders) = &expected[&value];
+            prop_assert_eq!(m.max, *want_max, "cell {}", m.cell);
+            let got_holders: Vec<usize> = holders[k]
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &h)| h.then_some(j))
+                .collect();
+            prop_assert_eq!(&got_holders, want_holders, "cell {}", m.cell);
+        }
+    }
+
+    #[test]
+    fn median_equals_oracle((rows, domain) in dataset(), seed: u64) {
+        let oracle = PlainDataset::new(rows.clone());
+        let cluster = build(&rows, domain, seed);
+        let (medians, _) = cluster.psi_median(0).unwrap();
+        let expected = oracle.psi_median();
+        prop_assert_eq!(medians.len(), expected.len());
+        for m in &medians {
+            let value = m.cell as u64 + 1;
+            prop_assert_eq!(&m.values, &expected[&value], "cell {}", m.cell);
+        }
+    }
+
+    #[test]
+    fn verification_always_accepts_honest_runs((rows, domain) in dataset(), seed: u64) {
+        let cluster = build(&rows, domain, seed);
+        prop_assert!(cluster.psi_verified().is_ok());
+        prop_assert!(cluster.psi_count_verified().is_ok());
+        prop_assert!(cluster.psi_sum_verified(0).is_ok());
+        let oracle = PlainDataset::new(rows.clone());
+        let (union_size, _) = cluster.psu_verified().unwrap();
+        prop_assert_eq!(union_size, oracle.union().len());
+    }
+}

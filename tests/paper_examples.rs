@@ -1,0 +1,108 @@
+//! Integration tests replaying every worked example printed in the paper,
+//! end-to-end through the public facade.
+
+use prism::driver::{Cluster, ClusterConfig};
+use prism::workload::hospitals;
+
+fn hospital_cluster(seed: u64) -> Cluster {
+    let inputs: Vec<_> = hospitals::all_hospitals()
+        .iter()
+        .map(|h| hospitals::to_owner_input(h))
+        .collect();
+    let mut cfg = ClusterConfig::new(3);
+    cfg.seed = seed;
+    cfg.agg_domain_max = 2_000;
+    Cluster::build(&inputs, cfg).unwrap()
+}
+
+#[test]
+fn section_2_psi() {
+    // "PSI over disease column of Tables 1, 2, and 3 returns {Cancer}".
+    let c = hospital_cluster(1);
+    let (psi, _) = c.psi().unwrap();
+    assert_eq!(psi.common, vec![0]);
+    assert_eq!(hospitals::disease_of_cell(0), "Cancer");
+}
+
+#[test]
+fn section_2_psu() {
+    // "PSU over disease column returns {Cancer, Fever, Heart}".
+    let c = hospital_cluster(2);
+    let (members, _) = c.psu().unwrap();
+    assert_eq!(members, vec![true, true, true]);
+}
+
+#[test]
+fn section_2_psi_sum() {
+    // "sum on cost ... returns a tuple {Cancer, 1400}".
+    let c = hospital_cluster(3);
+    let (sums, _) = c.psi_sum(0).unwrap();
+    assert_eq!(sums, vec![1400, 0, 0]);
+}
+
+#[test]
+fn section_2_psi_max_age() {
+    // "aggregation disease G_max(age) over PSI would return {Cancer, 8}".
+    let c = hospital_cluster(4);
+    let (maxes, holders, _) = c.psi_max(1).unwrap();
+    assert_eq!(maxes.len(), 1);
+    assert_eq!(maxes[0].max, 8);
+    // Example 6.3.1: hospitals 2 and 3 hold the max.
+    assert_eq!(holders[0], vec![false, true, true]);
+}
+
+#[test]
+fn section_2_counts() {
+    // "count over PSI (PSU) on disease column will return 1 (3)".
+    let c = hospital_cluster(5);
+    let (n, _) = c.psi_count().unwrap();
+    assert_eq!(n, 1);
+    let (members, _) = c.psu().unwrap();
+    assert_eq!(members.iter().filter(|&&m| m).count(), 3);
+}
+
+#[test]
+fn section_6_2_average() {
+    // "A PSI average query on cost ... returns {Cancer, 280}".
+    let c = hospital_cluster(6);
+    let (avgs, _) = c.psi_avg(0).unwrap();
+    assert_eq!(avgs[0].sum, 1400);
+    assert_eq!(avgs[0].count, 5);
+    assert!((avgs[0].average - 280.0).abs() < 1e-9);
+}
+
+#[test]
+fn section_6_4_median() {
+    // "A PSI median query over cost ... returns {⟨Cancer, 300⟩}".
+    let c = hospital_cluster(7);
+    let (medians, _) = c.psi_median(0).unwrap();
+    assert_eq!(medians[0].values, vec![300]);
+}
+
+#[test]
+fn results_consistent_across_seeds() {
+    // Shares differ per seed; decoded answers must not.
+    for seed in 10..20 {
+        let c = hospital_cluster(seed);
+        let (psi, _) = c.psi().unwrap();
+        assert_eq!(psi.common, vec![0], "seed {seed}");
+        let (sums, _) = c.psi_sum(0).unwrap();
+        assert_eq!(sums, vec![1400, 0, 0], "seed {seed}");
+    }
+}
+
+#[test]
+fn verified_paths_agree_with_unverified() {
+    let c = hospital_cluster(8);
+    let (plain, _) = c.psi().unwrap();
+    let (verified, _) = c.psi_verified().unwrap();
+    assert_eq!(plain.fop, verified.fop);
+    let (s1, _) = c.psi_sum(0).unwrap();
+    let (s2, _) = c.psi_sum_verified(0).unwrap();
+    assert_eq!(s1, s2);
+    let (c1, _) = c.psi_count().unwrap();
+    let (c2, _) = c.psi_count_verified().unwrap();
+    assert_eq!(c1, c2);
+    let (u, _) = c.psu_verified().unwrap();
+    assert_eq!(u, 3); // {Cancer, Fever, Heart}
+}
