@@ -9,7 +9,7 @@
 //!   SMCQL (closed or unavailable systems);
 //! * [`pairwise`] — a concrete two-party delegated PSI extended pairwise
 //!   to m owners, reproducing the `(nm)²` communication blow-up the paper
-//!   cites for [3].
+//!   cites for \[3\].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -95,11 +95,7 @@ impl GmwPsi {
     /// `e = y ⊕ b` (each server sends its share of d and e to the other —
     /// that is the communication), then set
     /// `z_φ = c_φ ⊕ d·b_φ ⊕ e·a_φ ⊕ (φ == 1)·d·e`.
-    fn and_batch(
-        &mut self,
-        s1: (&[u8], &[u8]),
-        s2: (&[u8], &[u8]),
-    ) -> (Vec<u8>, Vec<u8>) {
+    fn and_batch(&mut self, s1: (&[u8], &[u8]), s2: (&[u8], &[u8])) -> (Vec<u8>, Vec<u8>) {
         let n = s1.0.len();
         debug_assert_eq!(n, s1.1.len());
         let mut out1 = Vec::with_capacity(n);
@@ -237,10 +233,7 @@ mod tests {
     #[test]
     fn count_composes() {
         let b = 20;
-        let sets = [
-            indicator(&[1, 2, 3, 10], b),
-            indicator(&[2, 3, 10, 11], b),
-        ];
+        let sets = [indicator(&[1, 2, 3, 10], b), indicator(&[2, 3, 10, 11], b)];
         let mut g = GmwPsi::new(7);
         assert_eq!(g.psi_count(&sets, 8), 3);
     }

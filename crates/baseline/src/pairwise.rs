@@ -1,4 +1,4 @@
-//! Pairwise delegated-PSI baseline (the [3]-style comparator of §1).
+//! Pairwise delegated-PSI baseline (the \[3\]-style comparator of §1).
 //!
 //! The introduction's scaling argument: a protocol designed for two DB
 //! owners, extended to `m > 2` owners by pairwise composition, incurs
@@ -35,12 +35,7 @@ fn prf(key: u64, value: u64) -> u64 {
 /// Two-party delegated PSI: both owners PRF their sets under a shared key
 /// and ship the hashes to a cloud server, which intersects blindly.
 /// Returns the intersection (of original values) and the metered cost.
-pub fn two_party_psi(
-    set_a: &[u64],
-    set_b: &[u64],
-    key: u64,
-    cost: &mut PairwiseCost,
-) -> Vec<u64> {
+pub fn two_party_psi(set_a: &[u64], set_b: &[u64], key: u64, cost: &mut PairwiseCost) -> Vec<u64> {
     let hashed_a: HashSet<u64> = set_a.iter().map(|&v| prf(key, v)).collect();
     let hashed_b: HashSet<u64> = set_b.iter().map(|&v| prf(key, v)).collect();
     cost.pairwise_runs += 1;

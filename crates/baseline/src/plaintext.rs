@@ -124,12 +124,7 @@ impl PlainDataset {
             let mut totals: Vec<u64> = self
                 .owners
                 .iter()
-                .map(|rows| {
-                    rows.iter()
-                        .filter(|&&(v, _)| v == c)
-                        .map(|&(_, x)| x)
-                        .sum()
-                })
+                .map(|rows| rows.iter().filter(|&&(v, _)| v == c).map(|&(_, x)| x).sum())
                 .collect();
             totals.sort_unstable();
             let m = totals.len();

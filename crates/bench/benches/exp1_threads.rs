@@ -44,5 +44,10 @@ fn bench_aggregations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_psi_threads, bench_psu_threads, bench_aggregations);
+criterion_group!(
+    benches,
+    bench_psi_threads,
+    bench_psu_threads,
+    bench_aggregations
+);
 criterion_main!(benches);

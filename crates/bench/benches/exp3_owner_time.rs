@@ -39,7 +39,7 @@ fn bench_owner_paths(c: &mut Criterion) {
     // z-vector construction for round 2.
     group.bench_function("sum_build_z", |b| b.iter(|| sum::owner_build_z(&fop)));
     // Lagrange interpolation across 3 share vectors.
-    let outs = vec![sums_ref.clone(), sums_ref.clone(), sums_ref.clone()];
+    let outs = [sums_ref.clone(), sums_ref.clone(), sums_ref.clone()];
     group.bench_function("sum_interpolate", |b| {
         b.iter(|| sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &agg_op).unwrap())
     });

@@ -58,5 +58,10 @@ fn bench_pairwise_owner_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prism, bench_gmw, bench_pairwise_owner_scaling);
+criterion_group!(
+    benches,
+    bench_prism,
+    bench_gmw,
+    bench_pairwise_owner_scaling
+);
 criterion_main!(benches);

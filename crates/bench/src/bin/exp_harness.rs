@@ -34,13 +34,10 @@ fn parse_args() -> Args {
                 });
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs a number");
-                        std::process::exit(2);
-                    });
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 eprintln!(
@@ -65,10 +62,7 @@ fn main() {
     let all = args.which.iter().any(|w| w == "all");
     let wants = |name: &str| all || args.which.iter().any(|w| w == name);
 
-    println!(
-        "PRISM experiment harness — scale {:?}, seed {seed}",
-        scale
-    );
+    println!("PRISM experiment harness — scale {:?}, seed {seed}", scale);
 
     if wants("exp1") {
         let cfg = configs::exp1(scale);
@@ -77,13 +71,7 @@ fn main() {
     }
     if wants("table12") {
         let cfg = configs::exp1(scale);
-        let rows = exp1::run_table12(
-            &cfg.domains,
-            &configs::table12_attrs(),
-            cfg.owners,
-            4,
-            seed,
-        );
+        let rows = exp1::run_table12(&cfg.domains, &configs::table12_attrs(), cfg.owners, 4, seed);
         exp1::print_table12(&rows);
     }
     if wants("exp2") {

@@ -24,11 +24,9 @@ pub fn run(domains: &[u64], owners: usize, seed: u64) -> Vec<ShareGenRow> {
     domains
         .iter()
         .map(|&domain| {
-            let setup = Initiator::new(
-                SystemConfig::new(owners, domain as usize).with_seed(seed),
-            )
-            .setup()
-            .expect("setup");
+            let setup = Initiator::new(SystemConfig::new(owners, domain as usize).with_seed(seed))
+                .setup()
+                .expect("setup");
             let rows = LineItemConfig::full(domain, seed).generate_owner(0);
             let plain = outsource_owner(&rows, &setup.owner, 4, false, seed);
             let full = outsource_owner(&rows, &setup.owner, 4, true, seed);
@@ -56,7 +54,12 @@ pub fn print(rows: &[ShareGenRow]) {
         .collect();
     print_table(
         "Share generation time (one owner, Table 11 pipeline)",
-        &["Domain", "Data columns", "Full Table 11", "Verification delta"],
+        &[
+            "Domain",
+            "Data columns",
+            "Full Table 11",
+            "Verification delta",
+        ],
         &table_rows,
     );
 }

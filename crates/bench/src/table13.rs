@@ -62,9 +62,7 @@ pub fn run(sizes: &[u64], threads: usize, seed: u64) -> Vec<Table13Row> {
         // 1 ms-RTT / 1 Gbps LAN (PRISM pays none). Note this baseline is
         // *generous*: it evaluates PRISM's own domain-indicator encoding
         // as a circuit, not Jana's far heavier oblivious join.
-        let gmw_net = std::time::Duration::from_secs_f64(
-            gmw.cost.network_time(1.0, 1000.0),
-        );
+        let gmw_net = std::time::Duration::from_secs_f64(gmw.cost.network_time(1.0, 1000.0));
         rows.push(Table13Row {
             system: "Circuit MPC (Jana-shape)",
             n,
@@ -147,7 +145,10 @@ mod tests {
         let prism = rows.iter().find(|r| r.system == "Prism").unwrap();
         assert_eq!(prism.server_comm_bytes, 0);
         assert_eq!(prism.server_rounds, 0);
-        let gmw = rows.iter().find(|r| r.system.starts_with("Circuit")).unwrap();
+        let gmw = rows
+            .iter()
+            .find(|r| r.system.starts_with("Circuit"))
+            .unwrap();
         assert!(gmw.server_comm_bytes > 0);
         print(&rows);
     }

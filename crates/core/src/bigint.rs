@@ -268,7 +268,7 @@ impl std::fmt::Display for BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -393,7 +393,13 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "113", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "113",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             assert_eq!(BigUint::from_decimal(s).to_decimal(), s);
         }
     }

@@ -307,10 +307,7 @@ mod tests {
     #[test]
     fn product_domain_row_major() {
         // §6.6 Example: |Dom(A)| = 8, |Dom(B)| = 2 ⇒ 16 cells.
-        let p = ProductDomain::new(vec![
-            DenseIntDomain::one_to(8),
-            DenseIntDomain::one_to(2),
-        ]);
+        let p = ProductDomain::new(vec![DenseIntDomain::one_to(8), DenseIntDomain::one_to(2)]);
         assert_eq!(DomainMap::<[u64]>::size(&p), 16);
         assert_eq!(p.index_of_tuple(&[1, 1]), Some(0));
         assert_eq!(p.index_of_tuple(&[1, 2]), Some(1));

@@ -55,9 +55,7 @@ impl GroupParams {
             return Err(GroupError::EtaTooLarge(eta));
         }
         let alpha = prg.range(2, alpha_bound.max(3));
-        let eta_prime = alpha
-            .checked_mul(eta)
-            .ok_or(GroupError::EtaTooLarge(eta))?;
+        let eta_prime = alpha.checked_mul(eta).ok_or(GroupError::EtaTooLarge(eta))?;
         Ok(GroupParams {
             delta,
             eta,
@@ -85,9 +83,7 @@ impl GroupParams {
         if pow_mod(g, delta, eta) != 1 || g % eta == 1 || g % eta == 0 {
             return Err(GroupError::NotAGenerator { g, delta, eta });
         }
-        let eta_prime = alpha
-            .checked_mul(eta)
-            .ok_or(GroupError::EtaTooLarge(eta))?;
+        let eta_prime = alpha.checked_mul(eta).ok_or(GroupError::EtaTooLarge(eta))?;
         Ok(GroupParams {
             delta,
             eta,
@@ -211,7 +207,10 @@ impl std::fmt::Display for GroupError {
             }
             GroupError::AlphaTooSmall(a) => write!(f, "alpha {a} must exceed 1"),
             GroupError::NotAGenerator { g, delta, eta } => {
-                write!(f, "{g} does not generate the order-{delta} subgroup of Z_{eta}^*")
+                write!(
+                    f,
+                    "{g} does not generate the order-{delta} subgroup of Z_{eta}^*"
+                )
             }
             GroupError::EtaTooLarge(e) => write!(f, "eta {e} leaves no room for alpha in u64"),
         }

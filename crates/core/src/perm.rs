@@ -73,7 +73,7 @@ impl Permutation {
         self.map[i] as usize
     }
 
-    /// Apply to a slice: output[dest(i)] = input[i].
+    /// Apply to a slice: `output[dest(i)] = input[i]`.
     pub fn apply<T: Clone>(&self, input: &[T]) -> Vec<T> {
         assert_eq!(input.len(), self.map.len(), "length mismatch in apply");
         let mut out: Vec<Option<T>> = vec![None; input.len()];

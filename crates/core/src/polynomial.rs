@@ -68,7 +68,10 @@ impl OrderPolynomial {
     pub fn blind(&self, max_value: u64, prg: &mut Prg) -> (BigUint, BigUint) {
         let fm = self.eval(max_value);
         let gap = self.eval(max_value + 1).sub(&fm);
-        debug_assert!(!gap.is_zero(), "strictly increasing polynomial has gaps > 0");
+        debug_assert!(
+            !gap.is_zero(),
+            "strictly increasing polynomial has gaps > 0"
+        );
         let r = BigUint::random_below(&gap, prg);
         (fm.add(&r), r)
     }
@@ -87,7 +90,7 @@ impl OrderPolynomial {
         // Largest z with F(z) <= v.
         let (mut lo, mut hi) = (0u64, hi);
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             if self.eval(mid).cmp_big(v).is_le() {
                 lo = mid;
             } else {
@@ -163,7 +166,7 @@ impl OrderPolynomial {
         }
         let (mut lo, mut hi) = (0u64, hi);
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             self.eval_into(mid, scratch);
             if crate::wide::cmp(scratch, v) != Ordering::Greater {
                 lo = mid;
@@ -228,7 +231,7 @@ impl PolyTable {
         }
         let (mut lo, mut hi) = (0u64, self.hi);
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             if crate::wide::cmp(self.f(mid), v) != Ordering::Greater {
                 lo = mid;
             } else {
@@ -309,7 +312,7 @@ mod tests {
         assert_eq!(f.invert(&BigUint::zero(), 100), None); // < F(0) = 1
         let huge = f.eval(101);
         assert_eq!(f.invert(&huge, 100), None); // ≥ F(hi+1)
-        // Exactly F(hi) is fine.
+                                                // Exactly F(hi) is fine.
         assert_eq!(f.invert(&f.eval(100), 100), Some(100));
     }
 

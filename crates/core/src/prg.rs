@@ -48,10 +48,7 @@ impl Prg {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -139,7 +136,7 @@ mod tests {
         assert_eq!(v.len(), 10_000);
         assert!(v.iter().all(|&x| (1..113).contains(&x)));
         // All residues should appear for a healthy generator.
-        let mut seen = vec![false; 113];
+        let mut seen = [false; 113];
         for &x in &v {
             seen[x as usize] = true;
         }

@@ -221,7 +221,10 @@ mod tests {
                 any_mismatch = true;
             }
         }
-        assert!(any_mismatch, "two shares should not reliably open a product");
+        assert!(
+            any_mismatch,
+            "two shares should not reliably open a product"
+        );
     }
 
     #[test]

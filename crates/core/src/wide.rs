@@ -34,11 +34,7 @@ impl WideVec {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        if self.width == 0 {
-            0
-        } else {
-            self.data.len() / self.width
-        }
+        self.data.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// Immutable row view.
@@ -146,10 +142,7 @@ pub fn eval_poly_into(coeffs: &[u64], x: u64, out: &mut [u64]) {
 pub fn random_below_into(bound: &[u64], prg: &mut Prg, out: &mut [u64]) {
     debug_assert!(!is_zero(bound), "random_below_into needs positive bound");
     // Highest non-zero limb of the bound.
-    let top = bound
-        .iter()
-        .rposition(|&x| x != 0)
-        .expect("non-zero bound");
+    let top = bound.iter().rposition(|&x| x != 0).expect("non-zero bound");
     let top_bits = 64 - bound[top].leading_zeros();
     let mask = if top_bits == 64 {
         u64::MAX

@@ -1,6 +1,6 @@
 //! A deployed PRISM cluster: server nodes on threads, owners as clients.
 //!
-//! Topology is the security argument made physical: each [`ServerNode`]
+//! Topology is the security argument made physical: each server node
 //! is constructed with exactly *one* link — to the owner side. There is no
 //! constructor that gives a server a link to another server, so the
 //! no-server-communication property of §3.2 holds by construction, and
@@ -283,8 +283,7 @@ impl NetCluster {
         let fop = self.psi()?;
         let z = sum::owner_build_z(&fop);
         let mut prg = prism_core::Prg::from_seed(seed);
-        let z_shares =
-            prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
+        let z_shares = prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
         let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
         self.send_z(&all, &z_shares.shares)?;
         let outs = self.run_round(&all, Op::Sum(attr))?;
@@ -320,8 +319,7 @@ impl NetCluster {
         let fop = self.psi()?;
         let z = sum::owner_build_z(&fop);
         let mut prg = prism_core::Prg::from_seed(seed);
-        let z_shares =
-            prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
+        let z_shares = prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
         let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
         self.send_z(&all, &z_shares.shares)?;
         let sums = self.run_round(&all, Op::Sum(attr))?;

@@ -23,28 +23,50 @@ fn setup_and_upload(cluster: &NetCluster, rows: &[Vec<(u64, u64)>]) {
         }
         let mut prg = Prg::from_seed(1000 + j as u64);
         let ind = share_indicator(&indicator, op.delta, &mut prg);
-        cluster.upload(0, j, Column::Ok, ind.shares[0].clone()).unwrap();
-        cluster.upload(1, j, Column::Ok, ind.shares[1].clone()).unwrap();
+        cluster
+            .upload(0, j, Column::Ok, ind.shares[0].clone())
+            .unwrap();
+        cluster
+            .upload(1, j, Column::Ok, ind.shares[1].clone())
+            .unwrap();
 
         let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
         let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
-        cluster.upload(0, j, Column::VOk, v.shares[0].clone()).unwrap();
-        cluster.upload(1, j, Column::VOk, v.shares[1].clone()).unwrap();
+        cluster
+            .upload(0, j, Column::VOk, v.shares[0].clone())
+            .unwrap();
+        cluster
+            .upload(1, j, Column::VOk, v.shares[1].clone())
+            .unwrap();
 
         let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
         let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
-        cluster.upload(0, j, Column::OkDb1, c1.shares[0].clone()).unwrap();
-        cluster.upload(1, j, Column::OkDb1, c1.shares[1].clone()).unwrap();
-        cluster.upload(0, j, Column::OkDb2, c2.shares[0].clone()).unwrap();
-        cluster.upload(1, j, Column::OkDb2, c2.shares[1].clone()).unwrap();
+        cluster
+            .upload(0, j, Column::OkDb1, c1.shares[0].clone())
+            .unwrap();
+        cluster
+            .upload(1, j, Column::OkDb1, c1.shares[1].clone())
+            .unwrap();
+        cluster
+            .upload(0, j, Column::OkDb2, c2.shares[0].clone())
+            .unwrap();
+        cluster
+            .upload(1, j, Column::OkDb2, c2.shares[1].clone())
+            .unwrap();
 
         let p = share_payload(&sums, &op.field, &mut prg);
         let vp = share_payload(&op.pf_db1.apply(&sums), &op.field, &mut prg);
         let cnt = share_payload(&counts, &op.field, &mut prg);
         for k in 0..3 {
-            cluster.upload(k, j, Column::Agg(0), p.shares[k].clone()).unwrap();
-            cluster.upload(k, j, Column::VAgg(0), vp.shares[k].clone()).unwrap();
-            cluster.upload(k, j, Column::AOk, cnt.shares[k].clone()).unwrap();
+            cluster
+                .upload(k, j, Column::Agg(0), p.shares[k].clone())
+                .unwrap();
+            cluster
+                .upload(k, j, Column::VAgg(0), vp.shares[k].clone())
+                .unwrap();
+            cluster
+                .upload(k, j, Column::AOk, cnt.shares[k].clone())
+                .unwrap();
         }
     }
 }

@@ -162,10 +162,7 @@ mod tests {
 
     #[test]
     fn averages_match_plaintext() {
-        let rows = vec![
-            vec![(1u64, 4), (2, 10), (2, 20)],
-            vec![(1u64, 8), (2, 30)],
-        ];
+        let rows = vec![vec![(1u64, 4), (2, 10), (2, 20)], vec![(1u64, 8), (2, 30)]];
         let cells = run_psi_avg(&rows, 2, 10);
         // cell 1: sum 12, count 2, avg 6; cell 2: sum 60, count 3, avg 20.
         assert_eq!(cells[0].sum, 12);

@@ -80,9 +80,7 @@ impl BucketTree {
             let mut up = vec![0u64; width];
             for (parent, slot) in up.iter_mut().enumerate() {
                 let base = parent * self.fanout;
-                *slot = u64::from(
-                    cur[base..base + self.fanout].iter().any(|&c| c != 0),
-                );
+                *slot = u64::from(cur[base..base + self.fanout].iter().any(|&c| c != 0));
             }
             levels.push(up.clone());
             cur = up;
@@ -175,7 +173,8 @@ pub fn bucketized_psi(
         common_at_level = fop
             .iter()
             .enumerate()
-            .filter_map(|(k, &v)| (v == 1).then(|| active[k]))
+            .filter(|&(_, &v)| v == 1)
+            .map(|(k, _)| active[k])
             .collect();
     }
 
@@ -406,7 +405,7 @@ mod tests {
 
     #[test]
     fn bucketized_equals_flat_psi() {
-        let sets = vec![
+        let sets = [
             (1..=200u64).filter(|v| v % 3 == 0).collect::<Vec<_>>(),
             (1..=200u64).filter(|v| v % 5 == 0).collect(),
             (1..=200u64).filter(|v| v % 2 == 0).collect(),
@@ -510,8 +509,7 @@ mod tests {
             for &i in &chosen {
                 leaves[i] = 1;
             }
-            let out =
-                bucketized_psi(&[leaves.clone(), leaves], &tree, &setup, 2, 1, seed).unwrap();
+            let out = bucketized_psi(&[leaves.clone(), leaves], &tree, &setup, 2, 1, seed).unwrap();
             assert_eq!(
                 out.cells_queried, r.with_bucketization,
                 "fill={fill} seed={seed}"

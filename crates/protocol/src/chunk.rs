@@ -1,7 +1,7 @@
 //! Chunked multithreading for server-side vector passes.
 //!
 //! §8.1 Exp 1: "identical computations are executed on each row of the
-//! table, [so] we exploit multiple CPU cores by … dividing rows into
+//! table, \[so\] we exploit multiple CPU cores by … dividing rows into
 //! multiple blocks with each thread processing a single block". This module
 //! is that division: an output vector is split into `threads` contiguous
 //! blocks, each filled by its own scoped thread. No unsafe, no work

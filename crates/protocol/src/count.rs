@@ -89,11 +89,10 @@ mod tests {
     }
 
     fn fixture(owner_sets: &[Vec<u64>], domain: u64, seed: u64) -> Fix {
-        let setup = Initiator::new(
-            SystemConfig::new(owner_sets.len(), domain as usize).with_seed(seed),
-        )
-        .setup()
-        .unwrap();
+        let setup =
+            Initiator::new(SystemConfig::new(owner_sets.len(), domain as usize).with_seed(seed))
+                .setup()
+                .unwrap();
         let dmap = DenseIntDomain::one_to(domain);
         let tables = owner_sets
             .iter()

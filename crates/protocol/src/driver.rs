@@ -191,7 +191,9 @@ impl Cluster {
         // transient plaintext columns are dropped before the next owner's
         // are built.
         let mut owners = Vec::with_capacity(m);
-        let mut stores: Vec<ServerStore> = (0..SHAMIR_SERVERS).map(|_| ServerStore::default()).collect();
+        let mut stores: Vec<ServerStore> = (0..SHAMIR_SERVERS)
+            .map(|_| ServerStore::default())
+            .collect();
         for st in stores.iter_mut() {
             st.sums = vec![Vec::new(); n_attrs];
             st.vsums = vec![Vec::new(); n_attrs];
@@ -218,7 +220,8 @@ impl Cluster {
                 }
             }
 
-            let mut prg = Prg::from_seed(cfg.seed ^ (0xA11CE + j as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut prg =
+                Prg::from_seed(cfg.seed ^ (0xA11CE + j as u64).wrapping_mul(0x9E3779B97F4A7C15));
             let ind = share_indicator(&indicator, op.delta, &mut prg);
             let [s0, s1] = ind.shares;
             stores[0].ind.push(s0);
@@ -272,7 +275,11 @@ impl Cluster {
     }
 
     /// Convenience constructor: single-attribute rows, default config.
-    pub fn from_rows(rows_per_owner: &[Vec<(u64, u64)>], domain_size: usize, seed: u64) -> Result<Cluster> {
+    pub fn from_rows(
+        rows_per_owner: &[Vec<(u64, u64)>],
+        domain_size: usize,
+        seed: u64,
+    ) -> Result<Cluster> {
         let inputs: Vec<OwnerInput> = rows_per_owner
             .iter()
             .map(|rows| OwnerInput::from_pairs(rows.iter().copied()))
@@ -303,7 +310,11 @@ impl Cluster {
     }
 
     fn ind_refs(&self, server: usize) -> Vec<&[u64]> {
-        self.stores[server].ind.iter().map(|v| v.as_slice()).collect()
+        self.stores[server]
+            .ind
+            .iter()
+            .map(|v| v.as_slice())
+            .collect()
     }
 
     /// The shared F-table, if the aggregation domain is small enough to
@@ -313,9 +324,10 @@ impl Cluster {
         if op.agg_domain_max > POLY_TABLE_LIMIT {
             return None;
         }
-        Some(self.poly_table.get_or_init(|| {
-            op.poly.table(op.agg_domain_max, op.wide_width)
-        }))
+        Some(
+            self.poly_table
+                .get_or_init(|| op.poly.table(op.agg_domain_max, op.wide_width)),
+        )
     }
 
     /// PSI (§5.1).
@@ -327,7 +339,8 @@ impl Cluster {
         let mut outs = Vec::with_capacity(2);
         for s in 0..2 {
             let t0 = Instant::now();
-            let mut out = psi::server_psi_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
+            let mut out =
+                psi::server_psi_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
             self.tamper[s].apply(&mut out);
             stats.server_time = stats.server_time.max(t0.elapsed());
             outs.push(out);
@@ -337,7 +350,14 @@ impl Cluster {
         let members = psi::membership(&fop);
         let common = psi::common_cells(&fop);
         stats.owner_time = t0.elapsed();
-        Ok((PsiOutcome { fop, members, common }, stats))
+        Ok((
+            PsiOutcome {
+                fop,
+                members,
+                common,
+            },
+            stats,
+        ))
     }
 
     /// PSI with result verification (§5.2). Fails if any server tampered.
@@ -373,7 +393,8 @@ impl Cluster {
         let mut outs = Vec::with_capacity(2);
         for s in 0..2 {
             let t0 = Instant::now();
-            let mut out = psu::server_psu_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
+            let mut out =
+                psu::server_psu_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
             self.tamper[s].apply(&mut out);
             stats.server_time = stats.server_time.max(t0.elapsed());
             outs.push(out);
@@ -401,10 +422,16 @@ impl Cluster {
         let mut copy_a = Vec::with_capacity(2);
         let mut copy_b = Vec::with_capacity(2);
         for s in 0..2 {
-            let a_refs: Vec<&[u64]> =
-                self.stores[s].ind_db1.iter().map(|v| v.as_slice()).collect();
-            let b_refs: Vec<&[u64]> =
-                self.stores[s].ind_db2.iter().map(|v| v.as_slice()).collect();
+            let a_refs: Vec<&[u64]> = self.stores[s]
+                .ind_db1
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
+            let b_refs: Vec<&[u64]> = self.stores[s]
+                .ind_db2
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let t0 = Instant::now();
             let mut a =
                 psu::server_psu_verify_round(&a_refs, &self.setup.servers[s], 1, self.cfg.threads)?;
@@ -434,8 +461,11 @@ impl Cluster {
         let mut outs = Vec::with_capacity(2);
         for s in 0..2 {
             let t0 = Instant::now();
-            let mut out =
-                count::server_count_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
+            let mut out = count::server_count_round(
+                &self.ind_refs(s),
+                &self.setup.servers[s],
+                self.cfg.threads,
+            )?;
             self.tamper[s].apply(&mut out);
             stats.server_time = stats.server_time.max(t0.elapsed());
             outs.push(out);
@@ -460,12 +490,30 @@ impl Cluster {
         let mut copy_a = Vec::with_capacity(2);
         let mut copy_b = Vec::with_capacity(2);
         for s in 0..2 {
-            let a_refs: Vec<&[u64]> = self.stores[s].ind_db1.iter().map(|v| v.as_slice()).collect();
-            let b_refs: Vec<&[u64]> = self.stores[s].ind_db2.iter().map(|v| v.as_slice()).collect();
+            let a_refs: Vec<&[u64]> = self.stores[s]
+                .ind_db1
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
+            let b_refs: Vec<&[u64]> = self.stores[s]
+                .ind_db2
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let t0 = Instant::now();
-            let mut a = count::server_count_verify_round(&a_refs, &self.setup.servers[s], 1, self.cfg.threads)?;
+            let mut a = count::server_count_verify_round(
+                &a_refs,
+                &self.setup.servers[s],
+                1,
+                self.cfg.threads,
+            )?;
             self.tamper[s].apply(&mut a);
-            let b = count::server_count_verify_round(&b_refs, &self.setup.servers[s], 2, self.cfg.threads)?;
+            let b = count::server_count_verify_round(
+                &b_refs,
+                &self.setup.servers[s],
+                2,
+                self.cfg.threads,
+            )?;
             stats.server_time = stats.server_time.max(t0.elapsed());
             copy_a.push(a);
             copy_b.push(b);
@@ -513,9 +561,17 @@ impl Cluster {
         let (_, z_shares, mut stats) = self.psi_then_z()?;
         let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
         for k in 0..SHAMIR_SERVERS {
-            let refs: Vec<&[u64]> = self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u64]> = self.stores[k].sums[attr]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let t0 = Instant::now();
-            let mut out = sum::server_sum_round(&refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            let mut out = sum::server_sum_round(
+                &refs,
+                &z_shares[k],
+                &self.setup.servers[k],
+                self.cfg.threads,
+            )?;
             self.tamper[k].apply(&mut out);
             stats.server_time = stats.server_time.max(t0.elapsed());
             outs.push(out);
@@ -536,15 +592,25 @@ impl Cluster {
         for &attr in attrs {
             let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
             for k in 0..SHAMIR_SERVERS {
-                let refs: Vec<&[u64]> =
-                    self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+                let refs: Vec<&[u64]> = self.stores[k].sums[attr]
+                    .iter()
+                    .map(|v| v.as_slice())
+                    .collect();
                 let t0 = Instant::now();
-                let out = sum::server_sum_round(&refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+                let out = sum::server_sum_round(
+                    &refs,
+                    &z_shares[k],
+                    &self.setup.servers[k],
+                    self.cfg.threads,
+                )?;
                 stats.server_time = stats.server_time.max(t0.elapsed());
                 outs.push(out);
             }
             let t0 = Instant::now();
-            results.push(sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?);
+            results.push(sum::owner_finalize(
+                [&outs[0], &outs[1], &outs[2]],
+                &self.setup.owner,
+            )?);
             stats.owner_time += t0.elapsed();
         }
         Ok((results, stats))
@@ -562,9 +628,17 @@ impl Cluster {
         // Primary path.
         let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
         for k in 0..SHAMIR_SERVERS {
-            let refs: Vec<&[u64]> = self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u64]> = self.stores[k].sums[attr]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let t0 = Instant::now();
-            let mut out = sum::server_sum_round(&refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            let mut out = sum::server_sum_round(
+                &refs,
+                &z_shares[k],
+                &self.setup.servers[k],
+                self.cfg.threads,
+            )?;
             self.tamper[k].apply(&mut out);
             stats.server_time = stats.server_time.max(t0.elapsed());
             outs.push(out);
@@ -578,16 +652,24 @@ impl Cluster {
         stats.owner_time += t0.elapsed();
         let mut vouts = Vec::with_capacity(SHAMIR_SERVERS);
         for k in 0..SHAMIR_SERVERS {
-            let refs: Vec<&[u64]> =
-                self.stores[k].vsums[attr].iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u64]> = self.stores[k].vsums[attr]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let t0 = Instant::now();
-            let out = sum::server_sum_round(&refs, &zp_shares.shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            let out = sum::server_sum_round(
+                &refs,
+                &zp_shares.shares[k],
+                &self.setup.servers[k],
+                self.cfg.threads,
+            )?;
             stats.server_time = stats.server_time.max(t0.elapsed());
             vouts.push(out);
         }
         let t0 = Instant::now();
         let primary = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?;
-        let verification = sum::owner_finalize([&vouts[0], &vouts[1], &vouts[2]], &self.setup.owner)?;
+        let verification =
+            sum::owner_finalize([&vouts[0], &vouts[1], &vouts[2]], &self.setup.owner)?;
         sum::owner_verify(&primary, &verification, &self.setup.owner)?;
         stats.owner_time += t0.elapsed();
         Ok((primary, stats))
@@ -600,10 +682,19 @@ impl Cluster {
         let mut sum_outs = Vec::with_capacity(SHAMIR_SERVERS);
         let mut count_outs = Vec::with_capacity(SHAMIR_SERVERS);
         for k in 0..SHAMIR_SERVERS {
-            let s_refs: Vec<&[u64]> = self.stores[k].sums[attr].iter().map(|v| v.as_slice()).collect();
+            let s_refs: Vec<&[u64]> = self.stores[k].sums[attr]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             let c_refs: Vec<&[u64]> = self.stores[k].counts.iter().map(|v| v.as_slice()).collect();
             let t0 = Instant::now();
-            let (s, c) = average::server_avg_round(&s_refs, &c_refs, &z_shares[k], &self.setup.servers[k], self.cfg.threads)?;
+            let (s, c) = average::server_avg_round(
+                &s_refs,
+                &c_refs,
+                &z_shares[k],
+                &self.setup.servers[k],
+                self.cfg.threads,
+            )?;
             stats.server_time = stats.server_time.max(t0.elapsed());
             sum_outs.push(s);
             count_outs.push(c);
@@ -638,15 +729,13 @@ impl Cluster {
             // not the sum.
             let mut up1 = Vec::with_capacity(self.owners.len());
             let mut up2 = Vec::with_capacity(self.owners.len());
-            let mut own_blinded: Vec<prism_core::WideVec> =
-                Vec::with_capacity(self.owners.len());
+            let mut own_blinded: Vec<prism_core::WideVec> = Vec::with_capacity(self.owners.len());
             let table = self.poly_table();
             let mut owner_round = Duration::ZERO;
             for (j, ost) in self.owners.iter().enumerate() {
                 let t0 = Instant::now();
-                let mut prg = Prg::from_seed(
-                    self.cfg.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24),
-                );
+                let mut prg =
+                    Prg::from_seed(self.cfg.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24));
                 let (a, b, own) = match table {
                     Some(t) => max::owner_blind_maxima_tab(
                         &ost.maxima[attr],
@@ -700,9 +789,8 @@ impl Cluster {
             let mut owner_round = Duration::ZERO;
             for (j, ost) in self.owners.iter().enumerate() {
                 let t0 = Instant::now();
-                let mut prg = Prg::from_seed(
-                    self.cfg.seed ^ (j as u64 + 0xC1A1) ^ ((chunk_no as u64) << 24),
-                );
+                let mut prg =
+                    Prg::from_seed(self.cfg.seed ^ (j as u64 + 0xC1A1) ^ ((chunk_no as u64) << 24));
                 let (a, b) = max::owner_claim_bits(&ost.maxima[attr], &decoded, op, &mut prg);
                 owner_round = owner_round.max(t0.elapsed());
                 claims1.push(a);
@@ -764,9 +852,8 @@ impl Cluster {
             let mut owner_round = Duration::ZERO;
             for (j, ost) in self.owners.iter().enumerate() {
                 let t0 = Instant::now();
-                let mut prg = Prg::from_seed(
-                    self.cfg.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24),
-                );
+                let mut prg =
+                    Prg::from_seed(self.cfg.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24));
                 // Median aggregates the per-owner *sums* (§6.4: "we first
                 // added the cost of treatment per disease at each DB owner").
                 let (a, b, _) = match self.poly_table() {
@@ -796,8 +883,7 @@ impl Cluster {
             drop(up2);
 
             let t0 = Instant::now();
-            let ann =
-                median::announcer_find_median(&to_ann_1, &to_ann_2, &self.setup.announcer)?;
+            let ann = median::announcer_find_median(&to_ann_1, &to_ann_2, &self.setup.announcer)?;
             stats.announcer_time += t0.elapsed();
             drop(to_ann_1);
             drop(to_ann_2);

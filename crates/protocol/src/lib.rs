@@ -30,7 +30,7 @@ pub mod tables;
 
 pub use error::{ProtocolError, Result};
 pub use params::{
-    AnnouncerParams, Initiator, OwnerParams, ServerParams, Setup, SystemConfig,
-    ADDITIVE_SERVERS, SHAMIR_SERVERS,
+    AnnouncerParams, Initiator, OwnerParams, ServerParams, Setup, SystemConfig, ADDITIVE_SERVERS,
+    SHAMIR_SERVERS,
 };
 pub use tables::OwnerTable;

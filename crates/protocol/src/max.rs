@@ -333,12 +333,17 @@ pub fn owner_blind_maxima_tab(
                 let mut scratch = vec![0u64; w];
                 for (k, &cell) in cells.iter().enumerate() {
                     let r = k * w..(k + 1) * w;
-                    table.blind_into(maxima_ref[cell], &mut prg, &mut ownc[r.clone()], &mut scratch);
+                    table.blind_into(
+                        maxima_ref[cell],
+                        &mut prg,
+                        &mut ownc[r.clone()],
+                        &mut scratch,
+                    );
                     wide::share2_into(&ownc[r.clone()], &mut prg, &mut s1c[r.clone()], &mut s2c[r]);
                 }
             };
             if handles.len() + 1 < threads && !rest_cells.is_empty() {
-                handles.push(scope.spawn(move || work()));
+                handles.push(scope.spawn(work));
             } else {
                 work();
             }
@@ -367,8 +372,7 @@ pub fn owner_decode_max_tab(
 ) -> Result<(Vec<MaxCell>, WideVec)> {
     let w = op.wide_width;
     let n = common.len();
-    if ann.max_shares_1.rows() != n || ann.max_shares_2.rows() != n || ann.index_shares.len() != n
-    {
+    if ann.max_shares_1.rows() != n || ann.max_shares_2.rows() != n || ann.index_shares.len() != n {
         return Err(ProtocolError::MalformedResponse(
             "announcement cell count mismatch",
         ));
@@ -408,11 +412,9 @@ pub fn owner_decode_max_tab(
                         ann.max_shares_2.row(g),
                         &mut blind_c[k * w..(k + 1) * w],
                     );
-                    let permuted_slot = reconstruct2(
-                        ann.index_shares[g].0,
-                        ann.index_shares[g].1,
-                        op.delta,
-                    ) as usize;
+                    let permuted_slot =
+                        reconstruct2(ann.index_shares[g].0, ann.index_shares[g].1, op.delta)
+                            as usize;
                     if permuted_slot >= op.m {
                         *flag = true;
                         return;
@@ -669,7 +671,7 @@ mod tests {
     fn verification_catches_understated_max() {
         let setup = setup(3, 1, 1000, 50);
         let op = &setup.owner;
-        let maxima = vec![vec![10u64], vec![20u64], vec![30u64]];
+        let maxima = [vec![10u64], vec![20u64], vec![30u64]];
         let common = vec![0usize];
 
         let mut up1 = Vec::new();
@@ -710,7 +712,7 @@ mod tests {
         // Announcer invents a value above everyone: nobody claims it.
         let setup = setup(3, 1, 1000, 51);
         let op = &setup.owner;
-        let maxima = vec![vec![10u64], vec![20u64], vec![30u64]];
+        let maxima = [vec![10u64], vec![20u64], vec![30u64]];
         let common = vec![0usize];
         let w = op.wide_width;
         let mut prg = Prg::from_seed(7);
@@ -794,7 +796,7 @@ mod tests {
         // confirm they decode to the owners' plaintext maxima windows.
         let setup = setup(3, 2, 500, 54);
         let op = &setup.owner;
-        let maxima = vec![vec![5u64, 100], vec![7, 200], vec![9, 300]];
+        let maxima = [vec![5u64, 100], vec![7, 200], vec![9, 300]];
         let common = vec![0usize, 1];
         let mut up1 = Vec::new();
         let mut up2 = Vec::new();

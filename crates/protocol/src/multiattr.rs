@@ -13,10 +13,7 @@ use prism_core::{DomainMap, ProductDomain};
 
 /// Build an owner's indicator table over a product domain from tuple rows.
 /// Each row is `(tuple coordinates, aggregation value)`.
-pub fn build_tuple_table(
-    rows: &[(Vec<u64>, u64)],
-    domain: &ProductDomain,
-) -> Result<OwnerTable> {
+pub fn build_tuple_table(rows: &[(Vec<u64>, u64)], domain: &ProductDomain) -> Result<OwnerTable> {
     let b = DomainMap::<[u64]>::size(domain);
     let mut t = OwnerTable {
         indicator: vec![0; b],
@@ -25,11 +22,11 @@ pub fn build_tuple_table(
         maxima: vec![0; b],
     };
     for (tuple, agg) in rows {
-        let i = domain
-            .index_of_tuple(tuple)
-            .ok_or_else(|| crate::error::ProtocolError::OutOfDomain {
+        let i = domain.index_of_tuple(tuple).ok_or_else(|| {
+            crate::error::ProtocolError::OutOfDomain {
                 value: format!("{tuple:?}"),
-            })?;
+            }
+        })?;
         t.indicator[i] = 1;
         t.sums[i] = t.sums[i].wrapping_add(*agg);
         t.counts[i] += 1;
@@ -42,7 +39,8 @@ pub fn build_tuple_table(
 pub fn decode_common_tuples(fop: &[u64], domain: &ProductDomain) -> Vec<Vec<u64>> {
     fop.iter()
         .enumerate()
-        .filter_map(|(i, &v)| (v == 1).then(|| domain.tuple_of(i)))
+        .filter(|&(_, &v)| v == 1)
+        .map(|(i, _)| domain.tuple_of(i))
         .collect()
 }
 
@@ -84,7 +82,7 @@ mod tests {
         let d = product_2x8();
         let b = prism_core::DomainMap::<[u64]>::size(&d);
         // Owner tuple sets with intersection {(3,1), (8,2)}.
-        let owners = vec![
+        let owners = [
             vec![(vec![3u64, 1], 0), (vec![8, 2], 0), (vec![1, 1], 0)],
             vec![(vec![3u64, 1], 0), (vec![8, 2], 0), (vec![2, 2], 0)],
             vec![(vec![3u64, 1], 0), (vec![8, 2], 0), (vec![5, 1], 0)],
@@ -116,6 +114,6 @@ mod tests {
         let d = product_2x8();
         let t = build_tuple_table(&[], &d).unwrap();
         assert!(t.indicator.iter().all(|&x| x == 0));
-        assert!(decode_common_tuples(&vec![0; 16], &d).is_empty());
+        assert!(decode_common_tuples(&[0; 16], &d).is_empty());
     }
 }

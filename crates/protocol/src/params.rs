@@ -59,7 +59,7 @@ impl SystemConfig {
             delta: None,
             field_prime: MERSENNE_61,
             agg_domain_max: 1 << 20,
-            seed: 0x5EED_0F_91_54,
+            seed: 0x005E_ED0F_9154,
         }
     }
 
@@ -327,11 +327,8 @@ mod tests {
     #[test]
     fn m_shares_reconstruct_m() {
         let s = setup(7, 10);
-        let sum = prism_core::reconstruct2(
-            s.servers[0].m_share,
-            s.servers[1].m_share,
-            s.owner.delta,
-        );
+        let sum =
+            prism_core::reconstruct2(s.servers[0].m_share, s.servers[1].m_share, s.owner.delta);
         assert_eq!(sum, 7);
     }
 

@@ -130,12 +130,7 @@ pub fn common_cells(fop: &[u64]) -> Vec<usize> {
 /// `fop` is the already-combined PSI output; `vout1`/`vout2` are the two
 /// servers' Equation-7 outputs, still in `PF_db1` order. Returns `Ok(())`
 /// iff every cell satisfies `fop_i · v_i ≡ 1 (mod η)`.
-pub fn owner_verify(
-    fop: &[u64],
-    vout1: &[u64],
-    vout2: &[u64],
-    op: &OwnerParams,
-) -> Result<()> {
+pub fn owner_verify(fop: &[u64], vout1: &[u64], vout2: &[u64], op: &OwnerParams) -> Result<()> {
     if vout1.len() != op.b || vout2.len() != op.b || fop.len() != op.b {
         return Err(ProtocolError::ParameterMismatch(
             "verification vectors have wrong length".into(),
@@ -215,7 +210,11 @@ mod tests {
         let db3_s2 = [4u64, 2, 2];
 
         let out1 = server_psi_round(&[&db1_s1, &db2_s1, &db3_s1], &s1, 1).unwrap();
-        assert_eq!(out1, vec![27, 27, 81], "server S1 outputs (paper: 27,27,81)");
+        assert_eq!(
+            out1,
+            vec![27, 27, 81],
+            "server S1 outputs (paper: 27,27,81)"
+        );
         let out2 = server_psi_round(&[&db1_s2, &db2_s2, &db3_s2], &s2, 1).unwrap();
         assert_eq!(out2, vec![9, 1, 1], "server S2 outputs (paper: 9,1,1)");
 
@@ -255,11 +254,9 @@ mod tests {
 
     fn fixture(owner_sets: &[Vec<u64>], domain: u64, seed: u64) -> Fixture {
         let m = owner_sets.len();
-        let setup = Initiator::new(
-            SystemConfig::new(m, domain as usize).with_seed(seed),
-        )
-        .setup()
-        .unwrap();
+        let setup = Initiator::new(SystemConfig::new(m, domain as usize).with_seed(seed))
+            .setup()
+            .unwrap();
         let dmap = DenseIntDomain::one_to(domain);
         let tables: Vec<OwnerTable> = owner_sets
             .iter()
@@ -343,8 +340,7 @@ mod tests {
             vec![(1..=50).collect::<Vec<u64>>(), vec![2u64]],
         ] {
             let f = fixture(&sets, 50, 5);
-            let s1_in: Vec<&[u64]> =
-                f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+            let s1_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
             let out = server_psi_round(&s1_in, &f.setup.servers[0], 1).unwrap();
             assert_eq!(out.len(), 50);
         }
@@ -436,15 +432,10 @@ mod tests {
     fn shape_errors_are_reported() {
         let f = fixture(&[vec![1u64], vec![1u64]], 4, 19);
         let short = vec![0u64; 2];
-        let err = server_psi_round(
-            &[&short, &f.uploads[1].shares[0]],
-            &f.setup.servers[0],
-            1,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ProtocolError::ParameterMismatch(_)));
-        let err = server_psi_round(&[&f.uploads[0].shares[0]], &f.setup.servers[0], 1)
+        let err = server_psi_round(&[&short, &f.uploads[1].shares[0]], &f.setup.servers[0], 1)
             .unwrap_err();
+        assert!(matches!(err, ProtocolError::ParameterMismatch(_)));
+        let err = server_psi_round(&[&f.uploads[0].shares[0]], &f.setup.servers[0], 1).unwrap_err();
         assert!(matches!(err, ProtocolError::ParameterMismatch(_)));
     }
 
@@ -455,7 +446,7 @@ mod tests {
         // we check that two cells with *different* holder counts can decode
         // to the same value class and that decoded values are non-1.
         let sets = vec![
-            vec![1u64, 2],       // holder counts: cell1=3, cell2=2, cell3=1
+            vec![1u64, 2], // holder counts: cell1=3, cell2=2, cell3=1
             vec![1u64, 2],
             vec![1u64, 3],
         ];

@@ -171,11 +171,7 @@ mod tests {
 
     #[test]
     fn psu_matches_plaintext_union() {
-        let sets = vec![
-            vec![1u64, 3, 5],
-            vec![5u64, 6],
-            vec![2u64, 3],
-        ];
+        let sets = vec![vec![1u64, 3, 5], vec![5u64, 6], vec![2u64, 3]];
         let (setup, uploads) = fixture(&sets, 8, 21);
         let combined = run_psu(&setup, &uploads, 1);
         let members = membership(&combined);
@@ -247,10 +243,7 @@ mod tests {
         // must decode correctly — this is the no-communication property.
         let sets = vec![vec![1u64], vec![2u64]];
         let (setup, uploads) = fixture(&sets, 2, 77);
-        assert_eq!(
-            setup.servers[0].psu_prg_seed,
-            setup.servers[1].psu_prg_seed
-        );
+        assert_eq!(setup.servers[0].psu_prg_seed, setup.servers[1].psu_prg_seed);
         let combined = run_psu(&setup, &uploads, 1);
         assert_eq!(membership(&combined), vec![true, true]);
     }
@@ -259,12 +252,7 @@ mod tests {
     fn shape_validation() {
         let (setup, uploads) = fixture(&[vec![1u64], vec![1u64]], 3, 88);
         let bad = vec![0u64; 1];
-        assert!(server_psu_round(
-            &[&bad, &uploads[1].shares[0]],
-            &setup.servers[0],
-            1
-        )
-        .is_err());
+        assert!(server_psu_round(&[&bad, &uploads[1].shares[0]], &setup.servers[0], 1).is_err());
     }
 
     fn permuted_uploads(
@@ -299,8 +287,7 @@ mod tests {
         let run = |ups: &[IndicatorShares], which: u8| -> Vec<Vec<u64>> {
             (0..2)
                 .map(|s| {
-                    let refs: Vec<&[u64]> =
-                        ups.iter().map(|u| u.shares[s].as_slice()).collect();
+                    let refs: Vec<&[u64]> = ups.iter().map(|u| u.shares[s].as_slice()).collect();
                     server_psu_verify_round(&refs, &setup.servers[s], which, 1).unwrap()
                 })
                 .collect()

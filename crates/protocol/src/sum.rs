@@ -191,8 +191,7 @@ mod tests {
         for k in 0..3 {
             let pj: Vec<&[u64]> = payload.iter().map(|p| p.shares[k].as_slice()).collect();
             outs.push(
-                server_sum_round(&pj, &z_shares.shares[k], &f.setup.servers[k], threads)
-                    .unwrap(),
+                server_sum_round(&pj, &z_shares.shares[k], &f.setup.servers[k], threads).unwrap(),
             );
         }
         owner_finalize([&outs[0], &outs[1], &outs[2]], op).unwrap()
@@ -246,10 +245,7 @@ mod tests {
 
     #[test]
     fn verification_accepts_honest_run() {
-        let rows = vec![
-            vec![(1u64, 10), (3, 30)],
-            vec![(1u64, 1), (3, 3)],
-        ];
+        let rows = vec![vec![(1u64, 10), (3, 30)], vec![(1u64, 1), (3, 3)]];
         let f = fixture(&rows, 4, 4);
         let op = &f.setup.owner;
         let primary = run_psi_sum(&f, 1);
@@ -276,9 +272,8 @@ mod tests {
         let mut vouts = Vec::new();
         for k in 0..3 {
             let pj: Vec<&[u64]> = vpayload.iter().map(|p| p.shares[k].as_slice()).collect();
-            vouts.push(
-                server_sum_round(&pj, &zp_shares.shares[k], &f.setup.servers[k], 1).unwrap(),
-            );
+            vouts
+                .push(server_sum_round(&pj, &zp_shares.shares[k], &f.setup.servers[k], 1).unwrap());
         }
         let verification = owner_finalize([&vouts[0], &vouts[1], &vouts[2]], op).unwrap();
         owner_verify(&primary, &verification, op).expect("honest run verifies");
@@ -309,9 +304,8 @@ mod tests {
         let mut vouts = Vec::new();
         for k in 0..3 {
             let pj: Vec<&[u64]> = vpayload.iter().map(|p| p.shares[k].as_slice()).collect();
-            vouts.push(
-                server_sum_round(&pj, &zp_shares.shares[k], &f.setup.servers[k], 1).unwrap(),
-            );
+            vouts
+                .push(server_sum_round(&pj, &zp_shares.shares[k], &f.setup.servers[k], 1).unwrap());
         }
         let verification = owner_finalize([&vouts[0], &vouts[1], &vouts[2]], op).unwrap();
 

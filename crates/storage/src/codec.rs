@@ -149,7 +149,10 @@ mod tests {
     fn detects_bitflip() {
         let mut enc = encode_column(&[7, 8, 9]).to_vec();
         enc[30] ^= 0x01; // flip a data bit
-        assert_eq!(decode_column(&enc).unwrap_err(), CodecError::ChecksumMismatch);
+        assert_eq!(
+            decode_column(&enc).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
     }
 
     #[test]

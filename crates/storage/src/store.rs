@@ -159,11 +159,7 @@ impl ServerStore {
         let mut owners = Vec::new();
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
-            if let Some(rest) = entry
-                .file_name()
-                .to_string_lossy()
-                .strip_prefix("owner_")
-            {
+            if let Some(rest) = entry.file_name().to_string_lossy().strip_prefix("owner_") {
                 if let Ok(idx) = rest.parse::<usize>() {
                     owners.push(idx);
                 }
@@ -197,10 +193,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "prism_store_test_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("prism_store_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -271,10 +265,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         fs::write(&path, bytes).unwrap();
-        assert!(matches!(
-            store.fetch(0).unwrap_err(),
-            StoreError::Codec(_)
-        ));
+        assert!(matches!(store.fetch(0).unwrap_err(), StoreError::Codec(_)));
     }
 
     #[test]

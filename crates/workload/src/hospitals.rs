@@ -23,27 +23,72 @@ pub struct Patient {
 /// Table 1 — Hospital 1.
 pub fn hospital_1() -> Vec<Patient> {
     vec![
-        Patient { name: "John", age: 4, disease: "Cancer", cost: 100 },
-        Patient { name: "Adam", age: 6, disease: "Cancer", cost: 200 },
-        Patient { name: "Mike", age: 2, disease: "Heart", cost: 300 },
+        Patient {
+            name: "John",
+            age: 4,
+            disease: "Cancer",
+            cost: 100,
+        },
+        Patient {
+            name: "Adam",
+            age: 6,
+            disease: "Cancer",
+            cost: 200,
+        },
+        Patient {
+            name: "Mike",
+            age: 2,
+            disease: "Heart",
+            cost: 300,
+        },
     ]
 }
 
 /// Table 2 — Hospital 2.
 pub fn hospital_2() -> Vec<Patient> {
     vec![
-        Patient { name: "John", age: 8, disease: "Cancer", cost: 100 },
-        Patient { name: "Adam", age: 5, disease: "Fever", cost: 70 },
-        Patient { name: "Bob", age: 4, disease: "Fever", cost: 50 },
+        Patient {
+            name: "John",
+            age: 8,
+            disease: "Cancer",
+            cost: 100,
+        },
+        Patient {
+            name: "Adam",
+            age: 5,
+            disease: "Fever",
+            cost: 70,
+        },
+        Patient {
+            name: "Bob",
+            age: 4,
+            disease: "Fever",
+            cost: 50,
+        },
     ]
 }
 
 /// Table 3 — Hospital 3.
 pub fn hospital_3() -> Vec<Patient> {
     vec![
-        Patient { name: "Carl", age: 8, disease: "Cancer", cost: 300 },
-        Patient { name: "John", age: 4, disease: "Cancer", cost: 700 },
-        Patient { name: "Lisa", age: 5, disease: "Heart", cost: 500 },
+        Patient {
+            name: "Carl",
+            age: 8,
+            disease: "Cancer",
+            cost: 300,
+        },
+        Patient {
+            name: "John",
+            age: 4,
+            disease: "Cancer",
+            cost: 700,
+        },
+        Patient {
+            name: "Lisa",
+            age: 5,
+            disease: "Heart",
+            cost: 500,
+        },
     ]
 }
 

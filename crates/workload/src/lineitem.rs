@@ -99,7 +99,8 @@ impl LineItemConfig {
     /// representation the paper outsources — `sum(col) GROUP BY OK` with
     /// one underlying tuple collapses to the tuple itself).
     pub fn generate_owner(&self, owner: usize) -> Vec<LineItemRow> {
-        let mut prg = Prg::from_seed(self.seed ^ (owner as u64 + 1).wrapping_mul(0xA24BAED4963EE407));
+        let mut prg =
+            Prg::from_seed(self.seed ^ (owner as u64 + 1).wrapping_mul(0xA24BAED4963EE407));
         let mut rows = Vec::new();
         let keep_threshold = (self.ok_fraction * u64::MAX as f64) as u64;
         for ok in 1..=self.ok_domain {

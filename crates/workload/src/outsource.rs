@@ -76,7 +76,9 @@ pub fn outsource_owner(
     let t0 = Instant::now();
     let g = group_by_ok(rows, op.b);
     let mut prg = Prg::from_seed(seed);
-    let mut tables: Vec<SharedTable> = (0..SHAMIR_SERVERS).map(|_| SharedTable::default()).collect();
+    let mut tables: Vec<SharedTable> = (0..SHAMIR_SERVERS)
+        .map(|_| SharedTable::default())
+        .collect();
 
     // OK: additive shares to servers 1 and 2.
     let ind = share_indicator(&g.indicator, op.delta, &mut prg);
@@ -131,9 +133,27 @@ mod tests {
     #[test]
     fn grouping_matches_sql_semantics() {
         let rows = vec![
-            LineItemRow { ok: 1, pk: 10, ln: 1, sk: 5, dt: 2 },
-            LineItemRow { ok: 1, pk: 20, ln: 2, sk: 5, dt: 3 },
-            LineItemRow { ok: 3, pk: 7, ln: 1, sk: 1, dt: 0 },
+            LineItemRow {
+                ok: 1,
+                pk: 10,
+                ln: 1,
+                sk: 5,
+                dt: 2,
+            },
+            LineItemRow {
+                ok: 1,
+                pk: 20,
+                ln: 2,
+                sk: 5,
+                dt: 3,
+            },
+            LineItemRow {
+                ok: 3,
+                pk: 7,
+                ln: 1,
+                sk: 1,
+                dt: 0,
+            },
         ];
         let g = group_by_ok(&rows, 4);
         assert_eq!(g.indicator, vec![1, 0, 1, 0]);
@@ -174,11 +194,7 @@ mod tests {
         // OK column: additive reconstruction.
         for i in 0..32 {
             assert_eq!(
-                prism_core::reconstruct2(
-                    out.tables[0].ok[i],
-                    out.tables[1].ok[i],
-                    op.delta
-                ),
+                prism_core::reconstruct2(out.tables[0].ok[i], out.tables[1].ok[i], op.delta),
                 g.indicator[i]
             );
         }

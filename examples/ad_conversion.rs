@@ -36,8 +36,7 @@ fn main() {
     }
 
     // Expected answer, computed in the clear for demonstration only.
-    let click_set: std::collections::HashSet<u64> =
-        clickers.iter().map(|&(u, _)| u).collect();
+    let click_set: std::collections::HashSet<u64> = clickers.iter().map(|&(u, _)| u).collect();
     let expected_conversions: Vec<&(u64, u64)> = buyers
         .iter()
         .filter(|(u, _)| click_set.contains(u))

@@ -53,19 +53,31 @@ fn main() {
         }
         let mut prg = Prg::from_seed(500 + j as u64);
         let ind = share_indicator(&indicator, op.delta, &mut prg);
-        cluster.upload(0, j, Column::Ok, ind.shares[0].clone()).unwrap();
-        cluster.upload(1, j, Column::Ok, ind.shares[1].clone()).unwrap();
+        cluster
+            .upload(0, j, Column::Ok, ind.shares[0].clone())
+            .unwrap();
+        cluster
+            .upload(1, j, Column::Ok, ind.shares[1].clone())
+            .unwrap();
 
         let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
         let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
-        cluster.upload(0, j, Column::VOk, v.shares[0].clone()).unwrap();
-        cluster.upload(1, j, Column::VOk, v.shares[1].clone()).unwrap();
+        cluster
+            .upload(0, j, Column::VOk, v.shares[0].clone())
+            .unwrap();
+        cluster
+            .upload(1, j, Column::VOk, v.shares[1].clone())
+            .unwrap();
 
         let p = share_payload(&sums, &op.field, &mut prg);
         let c = share_payload(&counts, &op.field, &mut prg);
         for k in 0..3 {
-            cluster.upload(k, j, Column::Agg(0), p.shares[k].clone()).unwrap();
-            cluster.upload(k, j, Column::AOk, c.shares[k].clone()).unwrap();
+            cluster
+                .upload(k, j, Column::Agg(0), p.shares[k].clone())
+                .unwrap();
+            cluster
+                .upload(k, j, Column::AOk, c.shares[k].clone())
+                .unwrap();
         }
     }
 

@@ -40,7 +40,8 @@ fn main() {
     let all: Vec<&str> = union
         .iter()
         .enumerate()
-        .filter_map(|(c, &m)| m.then(|| hospitals::disease_of_cell(c)))
+        .filter(|&(_, &m)| m)
+        .map(|(c, _)| hospitals::disease_of_cell(c))
         .collect();
     println!("PSU  — diseases treated by at least one hospital: {all:?}");
     assert_eq!(all, ["Cancer", "Fever", "Heart"]);

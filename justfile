@@ -1,0 +1,49 @@
+# PRISM development tasks. Run `just --list` for a summary.
+# Everything works fully offline: external deps are vendored under vendor/.
+
+# Run the standard verification suite (what CI runs).
+ci: fmt-check clippy build test doc bench-check
+
+# Build every workspace target in release mode.
+build:
+    cargo build --release --workspace --all-targets
+
+# Run unit tests, integration suites, and doctests.
+test:
+    cargo test -q --workspace
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --all --check
+
+# Apply formatting.
+fmt:
+    cargo fmt --all
+
+# Lint gate. The only allowed lints are the two documented in the root
+# Cargo.toml [workspace.lints.clippy] block (see DESIGN.md "Lint policy").
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# API docs must build without warnings (broken intra-doc links fail CI).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Compile the criterion benches without running them.
+bench-check:
+    cargo bench --no-run
+
+# Run the full criterion bench suite (small fixed sizes, minutes).
+bench:
+    cargo bench
+
+# Regenerate the paper's tables/figures at small scale (seconds).
+experiments:
+    cargo run --release -p prism_bench --bin exp_harness -- all --scale small
+
+# Run all four examples.
+examples:
+    cargo run -q --release --example quickstart
+    cargo run -q --release --example ad_conversion
+    cargo run -q --release --example syndromic_surveillance
+    cargo run -q --release --example distributed_deployment

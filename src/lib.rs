@@ -41,12 +41,12 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`core`](prism_core) | secret sharing, groups, permutations, PRG, big integers |
-//! | [`protocol`](prism_protocol) | every operation + verification, the in-memory driver |
-//! | [`net`](prism_net) | metered transports (channels, TCP) and a threaded cluster |
-//! | [`storage`](prism_storage) | the 11-column Table-11 share store |
-//! | [`workload`](prism_workload) | TPC-H-style generators and experiment grids |
-//! | [`baseline`](prism_baseline) | plaintext oracle, circuit-MPC and pairwise-PSI baselines |
+//! | [`core`] | secret sharing, groups, permutations, PRG, big integers |
+//! | [`protocol`] | every operation + verification, the in-memory driver |
+//! | [`net`] | metered transports (channels, TCP) and a threaded cluster |
+//! | [`storage`] | the 11-column Table-11 share store |
+//! | [`workload`] | TPC-H-style generators and experiment grids |
+//! | [`baseline`] | plaintext oracle, circuit-MPC and pairwise-PSI baselines |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.

@@ -1,0 +1,67 @@
+//! Smoke test pinning the README / `examples/quickstart.rs` path: the
+//! paper's running example (§2, Tables 1–3) end-to-end through the
+//! in-memory driver — three owners, PSI plus the aggregations over it.
+//!
+//! If this test fails, the README's quickstart claims are stale.
+
+use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism::workload::hospitals;
+
+/// The exact snippet shown in the crate-root doctest and the README:
+/// three owners from raw `(cell, value)` pairs, PSI + PSI-Sum.
+#[test]
+fn quickstart_readme_snippet() {
+    let inputs = vec![
+        OwnerInput::from_pairs([(1, 100), (1, 200), (3, 300)]),
+        OwnerInput::from_pairs([(1, 100), (2, 70), (2, 50)]),
+        OwnerInput::from_pairs([(1, 300), (1, 700), (3, 500)]),
+    ];
+    let cluster = Cluster::build(&inputs, ClusterConfig::new(3)).unwrap();
+
+    let (psi, _) = cluster.psi().unwrap();
+    assert_eq!(psi.common, vec![0]);
+
+    let (sums, _) = cluster.psi_sum(0).unwrap();
+    assert_eq!(sums[0], 1400);
+}
+
+/// The full `examples/quickstart.rs` flow over the hospital workload:
+/// every operation the example demonstrates, with the same expected
+/// values from Section 2 of the paper.
+#[test]
+fn quickstart_example_flow() {
+    let inputs: Vec<_> = hospitals::all_hospitals()
+        .iter()
+        .map(|h| hospitals::to_owner_input(h))
+        .collect();
+
+    let mut cfg = ClusterConfig::new(3);
+    cfg.agg_domain_max = 2_000;
+    let cluster = Cluster::build(&inputs, cfg).expect("cluster");
+
+    // PSI with verification: only Cancer (cell 0) is common to all three.
+    let (psi, _) = cluster.psi_verified().expect("verified PSI");
+    assert_eq!(psi.common, vec![0]);
+
+    // PSU: every disease is treated somewhere.
+    let (union, _) = cluster.psu().expect("PSU");
+    assert_eq!(union, vec![true, true, true]);
+
+    // Aggregations over the intersection.
+    let (count, _) = cluster.psi_count_verified().expect("count");
+    assert_eq!(count, 1);
+
+    let (sums, _) = cluster.psi_sum_verified(0).expect("sum");
+    assert_eq!(sums[0], 1400);
+
+    let (avgs, _) = cluster.psi_avg(0).expect("avg");
+    assert_eq!(avgs[0].sum, 1400);
+    assert_eq!(avgs[0].count, 5);
+    assert_eq!(avgs[0].average, 280.0);
+
+    let (maxes, _, _) = cluster.psi_max(1).expect("max");
+    assert_eq!(maxes[0].max, 8);
+
+    let (medians, _) = cluster.psi_median(0).expect("median");
+    assert_eq!(medians[0].values, vec![300]);
+}

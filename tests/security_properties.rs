@@ -54,8 +54,14 @@ fn psi_noncommon_values_do_not_expose_holder_counts() {
         ];
         let c = cluster_from_sets(&sets, 3, seed);
         let (out, _) = c.psi().unwrap();
-        seen_values_for_count.entry(1).or_default().insert(out.fop[0]);
-        seen_values_for_count.entry(2).or_default().insert(out.fop[1]);
+        seen_values_for_count
+            .entry(1)
+            .or_default()
+            .insert(out.fop[0]);
+        seen_values_for_count
+            .entry(2)
+            .or_default()
+            .insert(out.fop[1]);
     }
     // The g^x values are drawn from the same small subgroup for both
     // counts; the value sets must overlap or at least not be singletons
@@ -63,19 +69,17 @@ fn psi_noncommon_values_do_not_expose_holder_counts() {
     // range over many subgroups — the point is non-injectivity.)
     let ones = &seen_values_for_count[&1];
     let twos = &seen_values_for_count[&2];
-    assert!(ones.len() > 1 || twos.len() > 1,
-        "fop values must vary with share randomness, not just holder count");
+    assert!(
+        ones.len() > 1 || twos.len() > 1,
+        "fop values must vary with share randomness, not just holder count"
+    );
 }
 
 #[test]
 fn psu_blinds_multiplicity() {
     // §7: a value held by 1 owner and one held by 3 owners must both
     // decode to "present" without the decoded values revealing counts.
-    let sets = vec![
-        vec![1u64, 2],
-        vec![1u64],
-        vec![1u64],
-    ];
+    let sets = vec![vec![1u64, 2], vec![1u64], vec![1u64]];
     let c = cluster_from_sets(&sets, 2, 5);
     let (members, _) = c.psu().unwrap();
     assert_eq!(members, vec![true, true]);

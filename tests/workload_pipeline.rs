@@ -77,9 +77,9 @@ fn outsource_store_fetch_query_roundtrip() {
     // The verification columns survive the disk roundtrip too.
     for j in 0..OWNERS {
         let g = group_by_ok(&gen.generate_owner(j), DOMAIN);
-        let complement_perm = op.pf_db1.apply(
-            &g.indicator.iter().map(|&x| 1 - x).collect::<Vec<u64>>(),
-        );
+        let complement_perm = op
+            .pf_db1
+            .apply(&g.indicator.iter().map(|&x| 1 - x).collect::<Vec<u64>>());
         for i in 0..DOMAIN {
             assert_eq!(
                 reconstruct2(t0[j].v_ok[i], t1[j].v_ok[i], op.delta),

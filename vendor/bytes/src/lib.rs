@@ -1,0 +1,319 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset PRISM uses — [`Bytes`], [`BytesMut`], and the
+//! little-endian accessors of [`Buf`]/[`BufMut`] — over plain `Vec<u8>`
+//! storage. Semantics match the real crate for this subset: `Buf` getters
+//! panic when the buffer has too few remaining bytes (callers check
+//! `remaining()`/`has_remaining()` first), and `BytesMut::freeze` produces
+//! a cheaply clonable immutable buffer.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Copy bytes out into `dst`. Panics if `dst.len() > remaining()`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable, uniquely owned byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Append a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Convert into an immutable, cheaply clonable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            inner: Arc::new(self.inner),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{} bytes\"", self.inner.len())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { inner: v.to_vec() }
+    }
+}
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copy out to a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.as_ref().clone()
+    }
+
+    /// Copy a slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            inner: Arc::new(data.to_vec()),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{} bytes\"", self.inner.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { inner: Arc::new(v) }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Self {
+        v.freeze()
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.extend_from_slice(b"xyz");
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 3);
+
+        let frozen = buf.clone().freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0xBEEF);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.chunk(), b"xyz");
+        assert_eq!(cur.remaining(), 3);
+        cur.advance(3);
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn freeze_shares_storage() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(7);
+        let a = buf.freeze();
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(a.to_vec(), 7u64.to_le_bytes());
+    }
+}

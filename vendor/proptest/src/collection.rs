@@ -1,0 +1,145 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::{Strategy, TestRng};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A size specification for collection strategies: an exact size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_inclusive - self.lo + 1) as u64;
+        self.lo + rng.below_u64(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates don't grow the set; cap the attempts so narrow element
+        // domains still terminate (possibly under target size, as in real
+        // proptest when the domain is exhausted).
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n.saturating_mul(10) + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generate ordered sets of `element` values with size in `size`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let strat = vec(any::<u64>(), 2..6);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let strat = vec(0u64..100, 4usize);
+        let mut rng = TestRng::from_seed(4);
+        assert_eq!(strat.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn btree_set_hits_target_when_domain_is_wide() {
+        let strat = btree_set(any::<u32>(), 5..10);
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!((5..10).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset PRISM's property tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, integer range and `any::<T>()`
+//! strategies, tuple strategies, [`collection::vec`] and
+//! [`collection::btree_set`], [`Just`], [`ProptestConfig`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** On failure the harness prints the exact generated
+//!   inputs (all values are `Debug`) and re-raises the panic; with
+//!   deterministic seeding the case is exactly reproducible.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name, so every run explores the same cases — CI and local
+//!   runs cannot diverge.
+//! * `prop_assert!` maps to `assert!` (panic-based) rather than
+//!   `Err`-returning; equivalent observable behavior without shrinking.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Deterministic splitmix64 RNG used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a raw value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed deterministically from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128-bit value.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform-ish value in `[0, bound)`; `bound` must be nonzero.
+    /// (Modulo bias is acceptable for test-input generation.)
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform-ish value in `[0, bound)` for 128-bit bounds.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        self.next_u128() % bound
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy: Sized {
+    /// The generated value type.
+    type Value: Debug + Clone;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Debug + Clone,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug + Clone,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let seed_value = self.inner.generate(rng);
+        (self.f)(seed_value).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        rng.next_u128()
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        rng.next_u128() as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary + Debug + Clone> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary + Debug + Clone>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide) - (self.start as $wide);
+                self.start + rng.below_u128(span as u128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide) - (lo as $wide) + 1;
+                lo + rng.below_u128(span as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8 => u64, u16 => u64, u32 => u64, u64 => u128, usize => u128);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below_u128(self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        match hi.checked_sub(lo).and_then(|s| s.checked_add(1)) {
+            Some(span) => lo + rng.below_u128(span),
+            // Full u128 range: every value is in range.
+            None => rng.next_u128(),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Property-test assertion (panic-based in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Property-test equality assertion (panic-based in this stand-in).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Property-test inequality assertion (panic-based in this stand-in).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Define property tests: each `#[test] fn name(bindings) { body }` inside
+/// runs `body` over generated inputs. Bindings are either `pat in strategy`
+/// or `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expand each test fn in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr) $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::__proptest_params!(($config) $name $body [] $($params)*);
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Internal: munch the parameter list into `(pattern) (strategy)` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    (($config:expr) $name:ident $body:block [$($acc:tt)*] $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!(($config) $name $body
+            [$($acc)* ($id) ($crate::any::<$ty>())] $($rest)*);
+    };
+    (($config:expr) $name:ident $body:block [$($acc:tt)*] $id:ident : $ty:ty) => {
+        $crate::__proptest_params!(($config) $name $body
+            [$($acc)* ($id) ($crate::any::<$ty>())]);
+    };
+    (($config:expr) $name:ident $body:block [$($acc:tt)*] $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!(($config) $name $body
+            [$($acc)* ($pat) ($strategy)] $($rest)*);
+    };
+    (($config:expr) $name:ident $body:block [$($acc:tt)*] $pat:pat in $strategy:expr) => {
+        $crate::__proptest_params!(($config) $name $body
+            [$($acc)* ($pat) ($strategy)]);
+    };
+    (($config:expr) $name:ident $body:block [$(($pat:pat) ($strategy:expr))*]) => {{
+        let __config: $crate::ProptestConfig = $config;
+        #[allow(unused_mut, unused_variables)]
+        let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+        for __case in 0..__config.cases {
+            let __vals = ($($crate::Strategy::generate(&($strategy), &mut __rng),)*);
+            let __vals_shown = ::std::clone::Clone::clone(&__vals);
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                #[allow(unused_variables)]
+                let ($($pat,)*) = __vals;
+                $body
+            }));
+            if let ::std::result::Result::Err(__panic) = __outcome {
+                eprintln!(
+                    "proptest `{}` failed at case {}/{} with inputs: {:#?}",
+                    stringify!($name),
+                    __case + 1,
+                    __config.cases,
+                    __vals_shown,
+                );
+                ::std::panic::resume_unwind(__panic);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (5usize..=5).generate(&mut rng);
+            assert_eq!(w, 5);
+            let x = (0u128..=u128::MAX).generate(&mut rng);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::from_name("t");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::from_name("t");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let strat = (1usize..=4).prop_flat_map(|n| crate::collection::vec(0u64..10, n));
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a: u64, b in 1u64..100, v in crate::collection::vec(any::<u32>(), 0..5)) {
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert!(v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn macro_with_config((x, y) in (0u64..5, 0u64..5)) {
+            prop_assert!(x < 5 && y < 5);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, and nothing in PRISM actually serializes through serde at
+//! runtime: the network wire format (`prism_net::wire`) and the storage
+//! column codec (`prism_storage::codec`) are explicit hand-written binary
+//! encodings, precisely so that metered byte counts are exact. The
+//! `#[derive(Serialize, Deserialize)]` annotations on core types document
+//! that they are plain-old-data state snapshots.
+//!
+//! To keep those annotations compiling (and to keep the door open to
+//! swapping in real serde when a registry is available), this crate provides
+//! the two traits as blanket-implemented markers plus no-op derive macros
+//! from the sibling `serde_derive` stand-in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module (trait re-exports only).
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module (trait re-exports only).
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! PRISM uses `#[derive(Serialize, Deserialize)]` purely structurally — to
+//! document that a type is a plain-old-data snapshot — and never routes a
+//! value through a serde `Serializer`/`Deserializer` at runtime (the wire
+//! format in `prism_net::wire` and the column codec in `prism_storage::codec`
+//! are hand-written). The vendored `serde` crate blanket-implements its
+//! marker traits for every type, so these derives only need to exist and
+//! accept the same attribute grammar; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the marker trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the marker trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
