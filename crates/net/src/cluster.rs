@@ -6,59 +6,32 @@
 //! no-server-communication property of §3.2 holds by construction, and
 //! the per-link meters show exactly what crossed each edge.
 //!
-//! The cluster runs PSI, PSI-verification, PSU, count (±verification),
-//! sum (±verification) and average end-to-end over either transport.
-//! (Max/median add the announcer role; they are exercised through the
-//! in-memory driver, which shares all protocol code with this cluster.)
+//! Protocol logic lives entirely in `prism_protocol`: each spawned thread
+//! runs the engine's own [`ServerNode`] behind a message loop, and
+//! [`NetCluster`] implements [`ServerExec`] so the *same* round plans the
+//! in-memory driver executes run here over channels or TCP — including
+//! batched round-2 queries and the tamper × operation verification
+//! matrix. (Max/median additionally need the announcer role, which is not
+//! deployed over the wire; they are exercised through the in-memory
+//! driver, which shares every plan with this cluster.)
 
 use crate::transport::{channel_pair, Link, NetError, TcpLink};
-use crate::wire::{Column, Message, Op};
+use crate::wire::{Column, Message};
+use prism_protocol::engine::{
+    AnnouncerCmd, AnnouncerReply, Engine, Operation, QueryStats, ServerCmd, ServerExec, ServerNode,
+    ServerReply,
+};
+use prism_protocol::malicious::Tamper;
 use prism_protocol::params::{ServerParams, Setup, SHAMIR_SERVERS};
-use prism_protocol::{average, count, psi, psu, sum};
+use prism_protocol::{average, plans, ProtocolError};
+use std::time::{Duration, Instant};
+
 use std::thread::JoinHandle;
 
-/// Per-owner column storage inside a server node.
-#[derive(Default)]
-struct NodeStore {
-    ok: Vec<Vec<u64>>,
-    v_ok: Vec<Vec<u64>>,
-    ok_db1: Vec<Vec<u64>>,
-    ok_db2: Vec<Vec<u64>>,
-    agg: [Vec<Vec<u64>>; 4],
-    v_agg: [Vec<Vec<u64>>; 4],
-    a_ok: Vec<Vec<u64>>,
-}
-
-impl NodeStore {
-    fn slot(&mut self, column: Column) -> &mut Vec<Vec<u64>> {
-        match column {
-            Column::Ok => &mut self.ok,
-            Column::VOk => &mut self.v_ok,
-            Column::OkDb1 => &mut self.ok_db1,
-            Column::OkDb2 => &mut self.ok_db2,
-            Column::Agg(a) => &mut self.agg[a as usize],
-            Column::VAgg(a) => &mut self.v_agg[a as usize],
-            Column::AOk => &mut self.a_ok,
-        }
-    }
-
-    fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
-        let slot = self.slot(column);
-        if slot.len() <= owner {
-            slot.resize(owner + 1, Vec::new());
-        }
-        slot[owner] = data;
-    }
-}
-
-fn refs(cols: &[Vec<u64>]) -> Vec<&[u64]> {
-    cols.iter().map(|v| v.as_slice()).collect()
-}
-
-/// Run one server's message loop until `Shutdown`.
+/// Run one server's message loop until `Shutdown`: an engine
+/// [`ServerNode`] answering wire commands.
 fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError> {
-    let mut store = NodeStore::default();
-    let mut pending_z: Option<Vec<u64>> = None;
+    let mut node = ServerNode::new(params);
     loop {
         match link.recv()? {
             Message::Upload {
@@ -66,52 +39,25 @@ fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError
                 column,
                 data,
             } => {
-                store.store(owner as usize, column, data);
+                node.store(owner as usize, column, data);
                 link.send(&Message::Ack)?;
             }
-            Message::ZShares(z) => {
-                pending_z = Some(z);
+            Message::SetTamper(t) => {
+                node.set_tamper(t);
                 link.send(&Message::Ack)?;
             }
-            Message::RunQuery { op, threads } => {
-                let threads = threads as usize;
-                let result = match op {
-                    Op::Psi => psi::server_psi_round(&refs(&store.ok), &params, threads),
-                    Op::PsiVerify => {
-                        psi::server_psi_verify_round(&refs(&store.v_ok), &params, threads)
-                    }
-                    Op::Psu => psu::server_psu_round(&refs(&store.ok), &params, threads),
-                    Op::Count => count::server_count_round(&refs(&store.ok), &params, threads),
-                    Op::CountVerify(which) => {
-                        let cols = if which == 1 {
-                            &store.ok_db1
-                        } else {
-                            &store.ok_db2
-                        };
-                        count::server_count_verify_round(&refs(cols), &params, which, threads)
-                    }
-                    Op::Sum(a) => {
-                        let z = pending_z.as_deref().unwrap_or(&[]);
-                        sum::server_sum_round(&refs(&store.agg[a as usize]), z, &params, threads)
-                    }
-                    Op::SumVerify(a) => {
-                        let z = pending_z.as_deref().unwrap_or(&[]);
-                        sum::server_sum_round(&refs(&store.v_agg[a as usize]), z, &params, threads)
-                    }
-                    Op::SumCounts => {
-                        let z = pending_z.as_deref().unwrap_or(&[]);
-                        sum::server_sum_round(&refs(&store.a_ok), z, &params, threads)
-                    }
+            Message::RunBatch(batch) => {
+                let reply = match node.execute(&ServerCmd::Run(batch)) {
+                    Ok(ServerReply::Vectors(outs)) => outs,
+                    // Protocol errors are reported as empty output lists;
+                    // the engine's reply-shape check rejects them as a
+                    // MalformedResponse at the owner.
+                    _ => Vec::new(),
                 };
-                match result {
-                    Ok(out) => link.send(&Message::Output(out))?,
-                    // Protocol errors are reported as empty outputs; the
-                    // owner-side combine will reject the length.
-                    Err(_) => link.send(&Message::Output(Vec::new()))?,
-                }
+                link.send(&Message::Outputs(reply))?;
             }
             Message::Shutdown => return Ok(()),
-            Message::Output(_) | Message::Ack => {
+            Message::Outputs(_) | Message::Ack => {
                 // Servers never receive these; ignore defensively.
             }
         }
@@ -134,6 +80,57 @@ pub struct NetCluster {
     handles: Vec<JoinHandle<Result<(), NetError>>>,
     server_stats: Vec<std::sync::Arc<crate::transport::LinkStats>>,
     threads: u32,
+}
+
+fn transport_err(e: NetError) -> ProtocolError {
+    ProtocolError::Transport(e.to_string())
+}
+
+impl ServerExec for NetCluster {
+    fn round(
+        &self,
+        cmds: Vec<(usize, ServerCmd)>,
+    ) -> prism_protocol::Result<(Vec<ServerReply>, Duration)> {
+        let t0 = Instant::now();
+        // Pipeline: ship every command, then collect every reply — one
+        // round-trip however many servers take part. Commands are owned,
+        // so the batch (with its per-server z vectors) moves into the
+        // message instead of being cloned on the hot path.
+        let servers: Vec<usize> = cmds.iter().map(|(s, _)| *s).collect();
+        for (s, cmd) in cmds {
+            let msg = match cmd {
+                ServerCmd::Run(batch) => Message::RunBatch(batch),
+                ServerCmd::MaxCombine { .. } | ServerCmd::AssembleFpos { .. } => {
+                    return Err(ProtocolError::Transport(
+                        "wide-share rounds (max/median) are not deployed over the wire".into(),
+                    ))
+                }
+            };
+            self.links[s].send(&msg).map_err(transport_err)?;
+        }
+        let mut replies = Vec::with_capacity(servers.len());
+        for s in servers {
+            match self.links[s].recv().map_err(transport_err)? {
+                Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
+                _ => {
+                    return Err(ProtocolError::Transport(
+                        "unexpected reply to a query round".into(),
+                    ))
+                }
+            }
+        }
+        Ok((replies, t0.elapsed()))
+    }
+
+    fn announce(
+        &self,
+        _cmd: AnnouncerCmd<'_>,
+        _threads: usize,
+    ) -> prism_protocol::Result<(AnnouncerReply, Duration)> {
+        Err(ProtocolError::Transport(
+            "the announcer role is not deployed over the wire".into(),
+        ))
+    }
 }
 
 impl NetCluster {
@@ -212,123 +209,80 @@ impl NetCluster {
         }
     }
 
-    fn run_round(&self, servers: &[usize], op: Op) -> Result<Vec<Vec<u64>>, NetError> {
-        for &s in servers {
-            self.links[s].send(&Message::RunQuery {
-                op,
-                threads: self.threads,
-            })?;
+    /// Attach a tampering behaviour to server φ (tests): the node applies
+    /// it to every subsequent output, exactly like the in-memory cluster.
+    pub fn set_tamper(&self, server: usize, tamper: Tamper) -> Result<(), NetError> {
+        self.links[server].send(&Message::SetTamper(tamper))?;
+        match self.links[server].recv()? {
+            Message::Ack => Ok(()),
+            _ => Err(NetError::Disconnected),
         }
-        let mut outs = Vec::with_capacity(servers.len());
-        for &s in servers {
-            match self.links[s].recv()? {
-                Message::Output(o) => outs.push(o),
-                _ => return Err(NetError::Disconnected),
-            }
-        }
-        Ok(outs)
     }
 
-    fn send_z(&self, servers: &[usize], z_shares: &[Vec<u64>]) -> Result<(), NetError> {
-        for &s in servers {
-            self.links[s].send(&Message::ZShares(z_shares[s].clone()))?;
-            match self.links[s].recv()? {
-                Message::Ack => {}
-                _ => return Err(NetError::Disconnected),
-            }
-        }
-        Ok(())
+    /// Run any engine round plan over this cluster's links.
+    pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats), ClusterError> {
+        Engine::new(self, &self.setup.owner)
+            .with_threads(self.threads as usize)
+            .run(plan)
+            .map_err(ClusterError::Protocol)
     }
 
     /// PSI over the uploaded OK columns.
     pub fn psi(&self) -> Result<Vec<u64>, ClusterError> {
-        let outs = self.run_round(&[0, 1], Op::Psi)?;
-        Ok(psi::owner_combine(&outs[0], &outs[1], &self.setup.owner)?)
+        Ok(self.execute(&plans::Psi)?.0.fop)
     }
 
     /// PSI with verification.
     pub fn psi_verified(&self) -> Result<Vec<u64>, ClusterError> {
-        let fop = self.psi()?;
-        let vouts = self.run_round(&[0, 1], Op::PsiVerify)?;
-        psi::owner_verify(&fop, &vouts[0], &vouts[1], &self.setup.owner)?;
-        Ok(fop)
+        Ok(self.execute(&plans::PsiVerified)?.0.fop)
     }
 
     /// PSU membership.
     pub fn psu(&self) -> Result<Vec<bool>, ClusterError> {
-        let outs = self.run_round(&[0, 1], Op::Psu)?;
-        let combined = psu::owner_combine(&outs[0], &outs[1], &self.setup.owner)?;
-        Ok(psu::membership(&combined))
+        Ok(self.execute(&plans::Psu)?.0)
+    }
+
+    /// PSU with two-copy verification; returns the union size (positions
+    /// live in the composed `PF_i` order and are not mapped back).
+    pub fn psu_verified(&self) -> Result<usize, ClusterError> {
+        let (members, _) = self.execute(&plans::PsuVerified)?;
+        Ok(members.iter().filter(|&&m| m).count())
     }
 
     /// PSI cardinality.
     pub fn psi_count(&self) -> Result<usize, ClusterError> {
-        let outs = self.run_round(&[0, 1], Op::Count)?;
-        Ok(count::owner_count(&outs[0], &outs[1], &self.setup.owner)?)
+        Ok(self.execute(&plans::Count)?.0)
     }
 
     /// PSI cardinality with two-copy verification.
     pub fn psi_count_verified(&self) -> Result<usize, ClusterError> {
-        let a = self.run_round(&[0, 1], Op::CountVerify(1))?;
-        let b = self.run_round(&[0, 1], Op::CountVerify(2))?;
-        Ok(count::owner_verify_count(
-            (&a[0], &a[1]),
-            (&b[0], &b[1]),
-            &self.setup.owner,
-        )?)
+        Ok(self.execute(&plans::CountVerified)?.0)
     }
 
     /// PSI sum over aggregation attribute `attr`.
     pub fn psi_sum(&self, attr: u8, seed: u64) -> Result<Vec<u64>, ClusterError> {
-        let fop = self.psi()?;
-        let z = sum::owner_build_z(&fop);
-        let mut prg = prism_core::Prg::from_seed(seed);
-        let z_shares = prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
-        let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
-        self.send_z(&all, &z_shares.shares)?;
-        let outs = self.run_round(&all, Op::Sum(attr))?;
-        Ok(sum::owner_finalize(
-            [&outs[0], &outs[1], &outs[2]],
-            &self.setup.owner,
-        )?)
+        Ok(self.execute(&plans::Sum { attr, seed })?.0)
     }
 
     /// PSI sum with permuted-copy verification.
     pub fn psi_sum_verified(&self, attr: u8, seed: u64) -> Result<Vec<u64>, ClusterError> {
-        let fop = self.psi()?;
-        let z = sum::owner_build_z(&fop);
-        let op = &self.setup.owner;
-        let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
-        let mut prg = prism_core::Prg::from_seed(seed);
-        let z_shares = prism_protocol::tables::share_payload(&z, &op.field, &mut prg);
-        self.send_z(&all, &z_shares.shares)?;
-        let outs = self.run_round(&all, Op::Sum(attr))?;
-        let primary = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], op)?;
-
-        let zp = op.pf_db1.apply(&z);
-        let zp_shares = prism_protocol::tables::share_payload(&zp, &op.field, &mut prg);
-        self.send_z(&all, &zp_shares.shares)?;
-        let vouts = self.run_round(&all, Op::SumVerify(attr))?;
-        let verification = sum::owner_finalize([&vouts[0], &vouts[1], &vouts[2]], op)?;
-        sum::owner_verify(&primary, &verification, op)?;
-        Ok(primary)
+        Ok(self.execute(&plans::SumVerified { attr, seed })?.0)
     }
 
     /// PSI average over attribute `attr`.
     pub fn psi_avg(&self, attr: u8, seed: u64) -> Result<Vec<average::AvgCell>, ClusterError> {
-        let fop = self.psi()?;
-        let z = sum::owner_build_z(&fop);
-        let mut prg = prism_core::Prg::from_seed(seed);
-        let z_shares = prism_protocol::tables::share_payload(&z, &self.setup.owner.field, &mut prg);
-        let all: Vec<usize> = (0..SHAMIR_SERVERS).collect();
-        self.send_z(&all, &z_shares.shares)?;
-        let sums = self.run_round(&all, Op::Sum(attr))?;
-        let counts = self.run_round(&all, Op::SumCounts)?;
-        Ok(average::owner_finalize(
-            [&sums[0], &sums[1], &sums[2]],
-            [&counts[0], &counts[1], &counts[2]],
-            &self.setup.owner,
-        )?)
+        Ok(self.execute(&plans::Average { attr, seed })?.0)
+    }
+
+    /// Several aggregations over one PSI in a single round-2 round-trip
+    /// (one `RunBatch` message per server); results are identical to the
+    /// corresponding sequential queries.
+    pub fn psi_query_batch(
+        &self,
+        batch: &plans::QueryBatch,
+        seed: u64,
+    ) -> Result<(Vec<plans::AggResult>, QueryStats), ClusterError> {
+        self.execute(&plans::Batch { batch, seed })
     }
 
     /// Snapshot of bytes/messages sent in each direction.
@@ -356,8 +310,10 @@ impl NetCluster {
 pub enum ClusterError {
     /// Transport failure.
     Net(NetError),
-    /// Protocol failure (including verification failures).
-    Protocol(prism_protocol::ProtocolError),
+    /// Protocol failure (including verification failures and transport
+    /// errors surfaced through the engine as
+    /// [`ProtocolError::Transport`]).
+    Protocol(ProtocolError),
 }
 
 impl From<NetError> for ClusterError {
@@ -366,8 +322,8 @@ impl From<NetError> for ClusterError {
     }
 }
 
-impl From<prism_protocol::ProtocolError> for ClusterError {
-    fn from(e: prism_protocol::ProtocolError) -> Self {
+impl From<ProtocolError> for ClusterError {
+    fn from(e: ProtocolError) -> Self {
         ClusterError::Protocol(e)
     }
 }

@@ -5,6 +5,12 @@
 //! whose topology makes the §3.2 no-server-communication property hold by
 //! construction — servers are built with a single link to the owner side
 //! and no way to reach each other.
+//!
+//! All protocol logic lives in `prism_protocol`: server threads run the
+//! engine's `ServerNode`, and [`NetCluster`] implements the engine's
+//! `ServerExec` so every query is the same round plan the in-memory
+//! driver executes — this crate only moves the engine's messages as bytes
+//! and meters them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -195,11 +195,12 @@ mod tests {
                 column: Column::Ok,
                 data: vec![1, 2, 3],
             },
-            Message::RunQuery {
-                op: Op::Psi,
+            Message::RunBatch(prism_protocol::engine::BatchQuery {
+                zs: vec![],
+                items: vec![prism_protocol::engine::BatchItem::plain(Op::Psi)],
                 threads: 2,
-            },
-            Message::Output(vec![9; 50]),
+            }),
+            Message::Outputs(vec![vec![9; 50]]),
             Message::Ack,
         ];
         for m in &msgs {
@@ -241,7 +242,7 @@ mod tests {
     #[test]
     fn tcp_large_frame() {
         let (a, b) = TcpLink::loopback_pair().unwrap();
-        let big = Message::Output((0..100_000).collect());
+        let big = Message::Outputs(vec![(0..100_000).collect()]);
         let h = std::thread::spawn(move || b.recv().unwrap());
         a.send(&big).unwrap();
         assert_eq!(h.join().unwrap(), big);
@@ -250,7 +251,7 @@ mod tests {
     #[test]
     fn byte_counts_match_encoding() {
         let (a, b) = channel_pair();
-        let m = Message::Output(vec![0; 10]);
+        let m = Message::Outputs(vec![vec![0; 10]]);
         a.send(&m).unwrap();
         let _ = b.recv().unwrap();
         let (bytes, _) = a.stats().snapshot();

@@ -5,170 +5,18 @@
 //! (tag byte + length-prefixed fields), so the byte counts the transports
 //! meter are exact and the format is trivially stable across versions of
 //! any third-party crate.
+//!
+//! The payload *types* come from `prism_protocol::engine` — the wire
+//! carries the engine's own [`Column`], [`Op`] and [`BatchQuery`] values,
+//! so the networked cluster cannot drift from the in-memory one: both
+//! speak the engine's vocabulary, this module only spells it in bytes.
 
 use bytes::{Buf, BufMut, BytesMut};
+use prism_protocol::engine::{BatchItem, BatchQuery};
+use prism_protocol::malicious::Tamper;
 
-/// Which stored column an upload targets (Table-11 naming).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Column {
-    /// Additive indicator (OK).
-    Ok,
-    /// Permuted complement (vOK).
-    VOk,
-    /// Indicator permuted with PF_db1 (count verification copy A).
-    OkDb1,
-    /// Indicator permuted with PF_db2 (count verification copy B).
-    OkDb2,
-    /// Shamir aggregation column `attr` (PK=0, LN=1, SK=2, DT=3).
-    Agg(u8),
-    /// Shamir permuted verification column `attr`.
-    VAgg(u8),
-    /// Shamir tuple counts (aOK).
-    AOk,
-}
-
-impl Column {
-    fn encode(&self, buf: &mut BytesMut) {
-        match self {
-            Column::Ok => buf.put_u8(0),
-            Column::VOk => buf.put_u8(1),
-            Column::OkDb1 => buf.put_u8(2),
-            Column::OkDb2 => buf.put_u8(3),
-            Column::Agg(a) => {
-                buf.put_u8(4);
-                buf.put_u8(*a);
-            }
-            Column::VAgg(a) => {
-                buf.put_u8(5);
-                buf.put_u8(*a);
-            }
-            Column::AOk => buf.put_u8(6),
-        }
-    }
-
-    fn decode(buf: &mut &[u8]) -> Result<Column, WireError> {
-        if !buf.has_remaining() {
-            return Err(WireError::Truncated);
-        }
-        Ok(match buf.get_u8() {
-            0 => Column::Ok,
-            1 => Column::VOk,
-            2 => Column::OkDb1,
-            3 => Column::OkDb2,
-            4 => {
-                if !buf.has_remaining() {
-                    return Err(WireError::Truncated);
-                }
-                Column::Agg(buf.get_u8())
-            }
-            5 => {
-                if !buf.has_remaining() {
-                    return Err(WireError::Truncated);
-                }
-                Column::VAgg(buf.get_u8())
-            }
-            6 => Column::AOk,
-            t => return Err(WireError::BadTag(t)),
-        })
-    }
-}
-
-/// A query the owner can request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Op {
-    /// Equation 3 round.
-    Psi,
-    /// Equation 7 round over vOK.
-    PsiVerify,
-    /// Equation 18 round.
-    Psu,
-    /// PSI + PF_s1 permutation.
-    Count,
-    /// Count verification, copy `1` or `2`.
-    CountVerify(u8),
-    /// Equation 11 round over Agg(attr) with the z vector sent separately.
-    Sum(u8),
-    /// Equation 11 round over VAgg(attr) (verification copy).
-    SumVerify(u8),
-    /// Equation 11 round over aOK (average's count side).
-    SumCounts,
-}
-
-impl Op {
-    fn encode(&self, buf: &mut BytesMut) {
-        match self {
-            Op::Psi => buf.put_u8(0),
-            Op::PsiVerify => buf.put_u8(1),
-            Op::Psu => buf.put_u8(2),
-            Op::Count => buf.put_u8(3),
-            Op::CountVerify(c) => {
-                buf.put_u8(4);
-                buf.put_u8(*c);
-            }
-            Op::Sum(a) => {
-                buf.put_u8(5);
-                buf.put_u8(*a);
-            }
-            Op::SumVerify(a) => {
-                buf.put_u8(6);
-                buf.put_u8(*a);
-            }
-            Op::SumCounts => buf.put_u8(7),
-        }
-    }
-
-    fn decode(buf: &mut &[u8]) -> Result<Op, WireError> {
-        if !buf.has_remaining() {
-            return Err(WireError::Truncated);
-        }
-        let need_byte = |buf: &mut &[u8]| -> Result<u8, WireError> {
-            if !buf.has_remaining() {
-                return Err(WireError::Truncated);
-            }
-            Ok(buf.get_u8())
-        };
-        Ok(match buf.get_u8() {
-            0 => Op::Psi,
-            1 => Op::PsiVerify,
-            2 => Op::Psu,
-            3 => Op::Count,
-            4 => Op::CountVerify(need_byte(buf)?),
-            5 => Op::Sum(need_byte(buf)?),
-            6 => Op::SumVerify(need_byte(buf)?),
-            7 => Op::SumCounts,
-            t => return Err(WireError::BadTag(t)),
-        })
-    }
-}
-
-/// Every message that can cross a PRISM link.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Message {
-    /// Phase 1: an owner uploads one share column.
-    Upload {
-        /// Owner index.
-        owner: u32,
-        /// Target column.
-        column: Column,
-        /// Share values.
-        data: Vec<u64>,
-    },
-    /// Phase 2: run a query round.
-    RunQuery {
-        /// Operation selector.
-        op: Op,
-        /// Threads the server should use.
-        threads: u32,
-    },
-    /// Auxiliary vector for round 2 (the Shamir-shared z).
-    ZShares(Vec<u64>),
-    /// Phase 3: a server's round output.
-    Output(Vec<u64>),
-    /// Acknowledgement (upload receipt).
-    Ack,
-    /// Orderly shutdown.
-    Shutdown,
-}
+pub use prism_protocol::engine::Column;
+pub use prism_protocol::engine::QueryOp as Op;
 
 /// Wire decoding errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +38,146 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+fn need(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn need_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn need_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn encode_column(column: &Column, buf: &mut BytesMut) {
+    match column {
+        Column::Ok => buf.put_u8(0),
+        Column::VOk => buf.put_u8(1),
+        Column::OkDb1 => buf.put_u8(2),
+        Column::OkDb2 => buf.put_u8(3),
+        Column::Agg(a) => {
+            buf.put_u8(4);
+            buf.put_u8(*a);
+        }
+        Column::VAgg(a) => {
+            buf.put_u8(5);
+            buf.put_u8(*a);
+        }
+        Column::AOk => buf.put_u8(6),
+    }
+}
+
+fn decode_column(buf: &mut &[u8]) -> Result<Column, WireError> {
+    Ok(match need(buf)? {
+        0 => Column::Ok,
+        1 => Column::VOk,
+        2 => Column::OkDb1,
+        3 => Column::OkDb2,
+        4 => Column::Agg(need(buf)?),
+        5 => Column::VAgg(need(buf)?),
+        6 => Column::AOk,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn encode_op(op: &Op, buf: &mut BytesMut) {
+    match op {
+        Op::Psi => buf.put_u8(0),
+        Op::PsiVerify => buf.put_u8(1),
+        Op::Psu => buf.put_u8(2),
+        Op::PsuVerify(c) => {
+            buf.put_u8(3);
+            buf.put_u8(*c);
+        }
+        Op::Count => buf.put_u8(4),
+        Op::CountVerify(c) => {
+            buf.put_u8(5);
+            buf.put_u8(*c);
+        }
+        Op::Sum(a) => {
+            buf.put_u8(6);
+            buf.put_u8(*a);
+        }
+        Op::SumVerify(a) => {
+            buf.put_u8(7);
+            buf.put_u8(*a);
+        }
+        Op::SumCounts => buf.put_u8(8),
+        Op::CountVerifyComplement => buf.put_u8(9),
+    }
+}
+
+fn decode_op(buf: &mut &[u8]) -> Result<Op, WireError> {
+    Ok(match need(buf)? {
+        0 => Op::Psi,
+        1 => Op::PsiVerify,
+        2 => Op::Psu,
+        3 => Op::PsuVerify(need(buf)?),
+        4 => Op::Count,
+        5 => Op::CountVerify(need(buf)?),
+        6 => Op::Sum(need(buf)?),
+        7 => Op::SumVerify(need(buf)?),
+        8 => Op::SumCounts,
+        9 => Op::CountVerifyComplement,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn encode_tamper(t: &Tamper, buf: &mut BytesMut) {
+    match *t {
+        Tamper::Honest => buf.put_u8(0),
+        Tamper::SkipReplay { src } => {
+            buf.put_u8(1);
+            buf.put_u64_le(src as u64);
+        }
+        Tamper::ReplaceCell { src, dst } => {
+            buf.put_u8(2);
+            buf.put_u64_le(src as u64);
+            buf.put_u64_le(dst as u64);
+        }
+        Tamper::InjectFake { cell, seed } => {
+            buf.put_u8(3);
+            buf.put_u64_le(cell as u64);
+            buf.put_u64_le(seed);
+        }
+        Tamper::TruncateFrom { from } => {
+            buf.put_u8(4);
+            buf.put_u64_le(from as u64);
+        }
+    }
+}
+
+fn decode_tamper(buf: &mut &[u8]) -> Result<Tamper, WireError> {
+    Ok(match need(buf)? {
+        0 => Tamper::Honest,
+        1 => Tamper::SkipReplay {
+            src: need_u64(buf)? as usize,
+        },
+        2 => Tamper::ReplaceCell {
+            src: need_u64(buf)? as usize,
+            dst: need_u64(buf)? as usize,
+        },
+        3 => Tamper::InjectFake {
+            cell: need_u64(buf)? as usize,
+            seed: need_u64(buf)?,
+        },
+        4 => Tamper::TruncateFrom {
+            from: need_u64(buf)? as usize,
+        },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
 fn put_vec(buf: &mut BytesMut, data: &[u64]) {
     buf.put_u64_le(data.len() as u64);
     for &v in data {
@@ -202,7 +190,7 @@ fn get_vec(buf: &mut &[u8]) -> Result<Vec<u64>, WireError> {
         return Err(WireError::Truncated);
     }
     let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len * 8 {
+    if buf.remaining() < len.saturating_mul(8) {
         return Err(WireError::Truncated);
     }
     let mut out = Vec::with_capacity(len);
@@ -210,6 +198,81 @@ fn get_vec(buf: &mut &[u8]) -> Result<Vec<u64>, WireError> {
         out.push(buf.get_u64_le());
     }
     Ok(out)
+}
+
+fn put_vecs(buf: &mut BytesMut, data: &[Vec<u64>]) {
+    buf.put_u32_le(data.len() as u32);
+    for v in data {
+        put_vec(buf, v);
+    }
+}
+
+fn get_vecs(buf: &mut &[u8]) -> Result<Vec<Vec<u64>>, WireError> {
+    let n = need_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_vec(buf)?);
+    }
+    Ok(out)
+}
+
+fn encode_batch(batch: &BatchQuery, buf: &mut BytesMut) {
+    buf.put_u32_le(batch.threads);
+    put_vecs(buf, &batch.zs);
+    buf.put_u32_le(batch.items.len() as u32);
+    for item in &batch.items {
+        encode_op(&item.op, buf);
+        match item.z {
+            None => buf.put_u8(0),
+            Some(i) => {
+                buf.put_u8(1);
+                buf.put_u8(i);
+            }
+        }
+    }
+}
+
+fn decode_batch(buf: &mut &[u8]) -> Result<BatchQuery, WireError> {
+    let threads = need_u32(buf)?;
+    let zs = get_vecs(buf)?;
+    let n = need_u32(buf)? as usize;
+    let mut items = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let op = decode_op(buf)?;
+        let z = match need(buf)? {
+            0 => None,
+            1 => Some(need(buf)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        items.push(BatchItem { op, z });
+    }
+    Ok(BatchQuery { zs, items, threads })
+}
+
+/// Every message that can cross a PRISM link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Phase 1: an owner uploads one share column.
+    Upload {
+        /// Owner index.
+        owner: u32,
+        /// Target column.
+        column: Column,
+        /// Share values.
+        data: Vec<u64>,
+    },
+    /// Phase 2: evaluate a batch of stored-column operations in one
+    /// round-trip (the engine's [`BatchQuery`], verbatim).
+    RunBatch(BatchQuery),
+    /// Phase 3: a server's per-item outputs for one [`Message::RunBatch`].
+    Outputs(Vec<Vec<u64>>),
+    /// Attach a tampering behaviour to the receiving server (tests: the
+    /// failure-injection matrix runs over the wire too).
+    SetTamper(Tamper),
+    /// Acknowledgement (upload / tamper receipt).
+    Ack,
+    /// Orderly shutdown.
+    Shutdown,
 }
 
 impl Message {
@@ -224,21 +287,20 @@ impl Message {
             } => {
                 buf.put_u8(0);
                 buf.put_u32_le(*owner);
-                column.encode(&mut buf);
+                encode_column(column, &mut buf);
                 put_vec(&mut buf, data);
             }
-            Message::RunQuery { op, threads } => {
+            Message::RunBatch(batch) => {
                 buf.put_u8(1);
-                op.encode(&mut buf);
-                buf.put_u32_le(*threads);
+                encode_batch(batch, &mut buf);
             }
-            Message::ZShares(data) => {
+            Message::Outputs(outs) => {
                 buf.put_u8(2);
-                put_vec(&mut buf, data);
+                put_vecs(&mut buf, outs);
             }
-            Message::Output(data) => {
+            Message::SetTamper(t) => {
                 buf.put_u8(3);
-                put_vec(&mut buf, data);
+                encode_tamper(t, &mut buf);
             }
             Message::Ack => buf.put_u8(4),
             Message::Shutdown => buf.put_u8(5),
@@ -249,16 +311,10 @@ impl Message {
     /// Decode from bytes.
     pub fn decode(mut buf: &[u8]) -> Result<Message, WireError> {
         let buf = &mut buf;
-        if !buf.has_remaining() {
-            return Err(WireError::Truncated);
-        }
-        Ok(match buf.get_u8() {
+        Ok(match need(buf)? {
             0 => {
-                if buf.remaining() < 4 {
-                    return Err(WireError::Truncated);
-                }
-                let owner = buf.get_u32_le();
-                let column = Column::decode(buf)?;
+                let owner = need_u32(buf)?;
+                let column = decode_column(buf)?;
                 let data = get_vec(buf)?;
                 Message::Upload {
                     owner,
@@ -266,18 +322,9 @@ impl Message {
                     data,
                 }
             }
-            1 => {
-                let op = Op::decode(buf)?;
-                if buf.remaining() < 4 {
-                    return Err(WireError::Truncated);
-                }
-                Message::RunQuery {
-                    op,
-                    threads: buf.get_u32_le(),
-                }
-            }
-            2 => Message::ZShares(get_vec(buf)?),
-            3 => Message::Output(get_vec(buf)?),
+            1 => Message::RunBatch(decode_batch(buf)?),
+            2 => Message::Outputs(get_vecs(buf)?),
+            3 => Message::SetTamper(decode_tamper(buf)?),
             4 => Message::Ack,
             5 => Message::Shutdown,
             t => return Err(WireError::BadTag(t)),
@@ -288,6 +335,7 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prism_protocol::engine::BatchItem;
 
     fn roundtrip(m: Message) {
         let enc = m.encode();
@@ -311,27 +359,31 @@ mod tests {
             column: Column::VAgg(3),
             data: vec![u64::MAX],
         });
-        roundtrip(Message::RunQuery {
-            op: Op::Psi,
+        roundtrip(Message::RunBatch(BatchQuery {
+            zs: vec![],
+            items: vec![BatchItem::plain(Op::Psi), BatchItem::plain(Op::PsiVerify)],
             threads: 4,
-        });
-        roundtrip(Message::RunQuery {
-            op: Op::CountVerify(2),
-            threads: 1,
-        });
-        roundtrip(Message::RunQuery {
-            op: Op::Sum(1),
+        }));
+        roundtrip(Message::RunBatch(BatchQuery {
+            zs: vec![vec![5; 100], vec![7; 100]],
+            items: vec![
+                BatchItem::with_z(Op::Sum(0), 0),
+                BatchItem::with_z(Op::SumVerify(0), 1),
+                BatchItem::with_z(Op::SumCounts, 0),
+                BatchItem::plain(Op::CountVerify(2)),
+            ],
             threads: 8,
-        });
-        roundtrip(Message::ZShares(vec![5; 100]));
-        roundtrip(Message::Output((0..1000).collect()));
+        }));
+        roundtrip(Message::Outputs(vec![(0..1000).collect(), vec![], vec![9]]));
+        roundtrip(Message::SetTamper(Tamper::Honest));
+        roundtrip(Message::SetTamper(Tamper::ReplaceCell { src: 4, dst: 9 }));
         roundtrip(Message::Ack);
         roundtrip(Message::Shutdown);
     }
 
     #[test]
     fn truncated_buffers_error() {
-        let enc = Message::Output((0..10).collect()).encode();
+        let enc = Message::Outputs(vec![(0..10).collect()]).encode();
         for cut in [0usize, 1, 5, enc.len() - 1] {
             assert!(Message::decode(&enc[..cut]).is_err(), "cut={cut}");
         }
@@ -344,8 +396,8 @@ mod tests {
 
     #[test]
     fn encoding_is_compact() {
-        // 1 tag + 8 len + n×8 data.
-        let enc = Message::Output(vec![0; 100]).encode();
-        assert_eq!(enc.len(), 1 + 8 + 800);
+        // 1 tag + 4 count + (8 len + n×8 data).
+        let enc = Message::Outputs(vec![vec![0; 100]]).encode();
+        assert_eq!(enc.len(), 1 + 4 + 8 + 800);
     }
 }

@@ -162,6 +162,80 @@ fn multithreaded_servers_agree() {
 }
 
 #[test]
+fn batched_aggregations_use_one_round2_round_trip() {
+    use prism_protocol::plans::{AggResult, QueryBatch};
+
+    let cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&cluster, &rows());
+
+    let before = cluster.report();
+    let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+    let (results, stats) = cluster.psi_query_batch(&batch, 21).unwrap();
+    let after = cluster.report();
+
+    // Round accounting: 1 PSI round + 1 batched round 2 for ≥3 aggs.
+    assert_eq!(stats.rounds, 2);
+
+    // Message meters: the Shamir-only server (2) saw exactly one request
+    // and sent exactly one reply; the additive servers saw two (PSI +
+    // batch). No per-aggregation round-trips anywhere.
+    let sent = |r: &prism_net::NetReport, k: usize| r.to_servers[k].1;
+    let recv = |r: &prism_net::NetReport, k: usize| r.from_servers[k].1;
+    assert_eq!(sent(&after, 2) - sent(&before, 2), 1);
+    assert_eq!(recv(&after, 2) - recv(&before, 2), 1);
+    for k in 0..2 {
+        assert_eq!(sent(&after, k) - sent(&before, k), 2, "server {k}");
+        assert_eq!(recv(&after, k) - recv(&before, k), 2, "server {k}");
+    }
+
+    // Results identical to the sequential queries.
+    assert_eq!(results[0], AggResult::Sums(cluster.psi_sum(0, 33).unwrap()));
+    assert_eq!(results[1], AggResult::Avg(cluster.psi_avg(0, 34).unwrap()));
+    match &results[2] {
+        AggResult::Counts(counts) => {
+            let avg = cluster.psi_avg(0, 35).unwrap();
+            let expected: Vec<u64> = avg.iter().map(|c| c.count).collect();
+            assert_eq!(counts, &expected);
+        }
+        other => panic!("expected counts, got {other:?}"),
+    }
+
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn psu_verified_and_tamper_control_work_over_the_wire() {
+    let cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&cluster, &rows());
+    // Honest: union {1, 2, 3, 7} → size 4.
+    assert_eq!(cluster.psu_verified().unwrap(), 4);
+    // Tamper a server through the wire; verified PSI must now fail.
+    cluster
+        .set_tamper(0, prism_protocol::malicious::Tamper::SkipReplay { src: 0 })
+        .unwrap();
+    assert!(cluster.psi_verified().is_err());
+    // Restore honesty; verification passes again.
+    cluster
+        .set_tamper(0, prism_protocol::malicious::Tamper::Honest)
+        .unwrap();
+    assert!(cluster.psi_verified().is_ok());
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn server_side_errors_surface_as_errors_not_panics() {
+    // A query against a server whose store is empty (nothing uploaded)
+    // errors inside the node; the wire reports an empty output list and
+    // the engine's reply-shape check must turn that into an Err at the
+    // owner — never an index panic.
+    let cluster = NetCluster::start_local(make_setup());
+    assert!(cluster.psi().is_err());
+    assert!(cluster.psi_sum(0, 1).is_err());
+    assert!(cluster.psi_count_verified().is_err());
+    cluster.shutdown().unwrap();
+}
+
+#[test]
 fn byte_accounting_scales_with_domain() {
     // Bigger domain ⇒ more bytes per round, same message count per query.
     let small = {

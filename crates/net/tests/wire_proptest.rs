@@ -1,0 +1,143 @@
+//! Property tests for the wire format: every message type — including the
+//! batched round-2 query and the tamper-injection control message —
+//! round-trips through encode → decode unchanged, and every strict prefix
+//! of an encoding is rejected (all fields are length-prefixed or
+//! fixed-width, so truncation can never decode successfully).
+
+use prism_net::wire::{Column, Message, Op};
+use prism_protocol::engine::{BatchItem, BatchQuery};
+use prism_protocol::malicious::Tamper;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_column(sel: u8, attr: u8) -> Column {
+    match sel % 7 {
+        0 => Column::Ok,
+        1 => Column::VOk,
+        2 => Column::OkDb1,
+        3 => Column::OkDb2,
+        4 => Column::Agg(attr),
+        5 => Column::VAgg(attr),
+        _ => Column::AOk,
+    }
+}
+
+fn arb_op(sel: u8, attr: u8) -> Op {
+    match sel % 10 {
+        0 => Op::Psi,
+        1 => Op::PsiVerify,
+        2 => Op::Psu,
+        3 => Op::PsuVerify(1 + attr % 2),
+        4 => Op::Count,
+        5 => Op::CountVerify(1 + attr % 2),
+        6 => Op::Sum(attr),
+        7 => Op::SumVerify(attr),
+        8 => Op::SumCounts,
+        _ => Op::CountVerifyComplement,
+    }
+}
+
+fn arb_tamper(sel: u8, x: u64, y: u64) -> Tamper {
+    match sel % 5 {
+        0 => Tamper::Honest,
+        1 => Tamper::SkipReplay { src: x as usize },
+        2 => Tamper::ReplaceCell {
+            src: x as usize,
+            dst: y as usize,
+        },
+        3 => Tamper::InjectFake {
+            cell: x as usize,
+            seed: y,
+        },
+        _ => Tamper::TruncateFrom { from: x as usize },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_message(
+    sel: u8,
+    owner: u32,
+    col_sel: u8,
+    attr: u8,
+    data: Vec<u64>,
+    zs: Vec<Vec<u64>>,
+    items_raw: Vec<(u8, u8, u8)>,
+    threads: u32,
+    t_sel: u8,
+    tx: u64,
+    ty: u64,
+) -> Message {
+    match sel % 6 {
+        0 => Message::Upload {
+            owner,
+            column: arb_column(col_sel, attr),
+            data,
+        },
+        1 => Message::RunBatch(BatchQuery {
+            zs,
+            items: items_raw
+                .into_iter()
+                .map(|(op_sel, a, z_flag)| BatchItem {
+                    op: arb_op(op_sel, a),
+                    z: (z_flag % 2 == 1).then_some(a),
+                })
+                .collect(),
+            threads,
+        }),
+        2 => Message::Outputs(zs),
+        3 => Message::SetTamper(arb_tamper(t_sel, tx, ty)),
+        4 => Message::Ack,
+        _ => Message::Shutdown,
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_message_roundtrips(
+        sel in any::<u8>(),
+        owner in any::<u32>(),
+        col_sel in any::<u8>(),
+        attr in any::<u8>(),
+        data in vec(any::<u64>(), 0..40),
+        zs in vec(vec(any::<u64>(), 0..24), 0..4),
+        items_raw in vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..6),
+        threads in any::<u32>(),
+        t_sel in any::<u8>(),
+        tx in any::<u64>(),
+        ty in any::<u64>(),
+    ) {
+        let msg = build_message(
+            sel, owner, col_sel, attr, data, zs, items_raw, threads, t_sel, tx, ty,
+        );
+        let enc = msg.encode();
+        prop_assert_eq!(Message::decode(&enc).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(
+        sel in any::<u8>(),
+        owner in any::<u32>(),
+        col_sel in any::<u8>(),
+        attr in any::<u8>(),
+        data in vec(any::<u64>(), 0..12),
+        zs in vec(vec(any::<u64>(), 0..8), 0..3),
+        items_raw in vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..4),
+        threads in any::<u32>(),
+        t_sel in any::<u8>(),
+        tx in any::<u64>(),
+        ty in any::<u64>(),
+    ) {
+        let msg = build_message(
+            sel, owner, col_sel, attr, data, zs, items_raw, threads, t_sel, tx, ty,
+        );
+        let enc = msg.encode();
+        for cut in 0..enc.len() {
+            prop_assert!(
+                Message::decode(&enc[..cut]).is_err(),
+                "strict prefix of length {} decoded for {:?}",
+                cut,
+                Message::decode(&enc[..cut])
+            );
+        }
+    }
+}

@@ -5,6 +5,10 @@
 //! `A_x`, and the per-cell tuple count (the `aOK` column of Table 11).
 //! Both payload columns are Shamir-shared; the round-2 servers run
 //! Equation 11 on each; owners interpolate both vectors and divide.
+//!
+//! Driven end-to-end by the [`crate::plans::Average`] round plan (and by
+//! [`crate::plans::QueryBatch`], which shares the counts pass across
+//! batched aggregations).
 
 use crate::error::{ProtocolError, Result};
 use crate::params::{OwnerParams, ServerParams, SHAMIR_SERVERS};
@@ -48,10 +52,16 @@ pub fn owner_finalize(
             "sum/count vectors disagree in length".into(),
         ));
     }
-    Ok(sums
-        .into_iter()
+    Ok(cells_from(&sums, &counts))
+}
+
+/// Zip already-reconstructed sum and count vectors into [`AvgCell`]s (the
+/// division step on its own — used by the batched round-2 plan, which
+/// reconstructs columns once and reuses them across aggregations).
+pub fn cells_from(sums: &[u64], counts: &[u64]) -> Vec<AvgCell> {
+    sums.iter()
         .zip(counts)
-        .map(|(sum, count)| AvgCell {
+        .map(|(&sum, &count)| AvgCell {
             sum,
             count,
             average: if count == 0 {
@@ -60,7 +70,7 @@ pub fn owner_finalize(
                 sum as f64 / count as f64
             },
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -14,6 +14,15 @@
 //! injects on one path breaks the agreement with overwhelming probability
 //! (it would have to guess the matching position in the other copy, a
 //! 1/b² event per forged cell, exactly the bound §5.2 argues).
+//!
+//! Agreement alone cannot catch *permutation-invariant* corruption (one
+//! value replayed into every cell of both copies), so the full check
+//! ([`owner_verify_count_bound`]) adds the complement binding: the
+//! Equation-7 round over vOK, server-permuted with `PF_s1` into copy A's
+//! composed order, must satisfy `fop·v ≡ 1` per permuted cell.
+//!
+//! Driven end-to-end by the [`crate::plans::Count`] /
+//! [`crate::plans::CountVerified`] round plans.
 
 use crate::error::{ProtocolError, Result};
 use crate::params::{OwnerParams, ServerParams};
@@ -74,6 +83,44 @@ pub fn owner_verify_count(
         }
     }
     Ok(fop_a.iter().filter(|&&v| v == 1).count())
+}
+
+/// Full owner-side count verification: two-copy agreement **plus** the
+/// complement binding.
+///
+/// Two-copy agreement catches cell-targeted forgeries (the copies are in
+/// different orders at the point of computation, so a forged cell lands
+/// at different `PF_i` positions — §5.2's 1/b² argument), but it cannot
+/// catch *permutation-invariant* tampering such as replaying one value
+/// into every cell of both copies. The complement round (Equation 7 over
+/// vOK, server-permuted with `PF_s1` into the same composed order as copy
+/// A) restores per-cell binding: `fop_a[i] · v_i ≡ 1 (mod η)` must hold
+/// at every permuted position, exactly Equations 8–10 carried out in
+/// permuted space — so positions stay hidden and the count keeps PSI
+/// verification's strength.
+pub fn owner_verify_count_bound(
+    copy_a: (&[u64], &[u64]),
+    copy_b: (&[u64], &[u64]),
+    complement: (&[u64], &[u64]),
+    op: &OwnerParams,
+) -> Result<usize> {
+    use prism_core::arith::mul_mod;
+    if complement.0.len() != op.b || complement.1.len() != op.b {
+        return Err(ProtocolError::ParameterMismatch(
+            "complement vectors have wrong length".into(),
+        ));
+    }
+    let fop_a = psi::owner_combine(copy_a.0, copy_a.1, op)?;
+    for i in 0..op.b {
+        let v = mul_mod(complement.0[i] % op.eta, complement.1[i] % op.eta, op.eta);
+        if mul_mod(fop_a[i] % op.eta, v, op.eta) != 1 {
+            return Err(ProtocolError::VerificationFailed {
+                operation: "psi-count (complement binding)",
+                cell: i,
+            });
+        }
+    }
+    owner_verify_count(copy_a, copy_b, op)
 }
 
 #[cfg(test)]

@@ -1,29 +1,31 @@
 //! In-memory orchestration of a full PRISM deployment.
 //!
-//! [`Cluster`] wires m owners, the additive/Shamir servers, and the
-//! announcer together in one process. It executes the same step functions
-//! that the networked transports in `prism-net` run, keeps per-phase wall
-//! times (server compute is reported as the *maximum* over servers, since
-//! deployed servers run concurrently and never wait on each other), and
-//! lets tests attach a [`Tamper`] to any server to exercise the
-//! verification paths.
+//! [`Cluster`] wires m owners, the additive/Shamir [`ServerNode`]s, and
+//! the announcer together in one process — but it orchestrates **nothing**
+//! itself: every query constructs a round plan from [`crate::plans`] and
+//! hands it to the [`Engine`] over an [`InMemoryExec`] backend. The
+//! networked cluster in `prism-net` runs the *same* plans over its
+//! channel/TCP links, so protocol logic exists in exactly one place.
+//! Tests can attach a [`Tamper`] to any node to exercise the
+//! verification paths, and [`Cluster::execute`] runs custom
+//! [`Operation`]s for queries this facade does not name.
 //!
 //! This is the crate's primary public API: examples, integration tests and
 //! the benchmark harness all drive queries through it.
 
-use crate::average::{self, AvgCell};
-use crate::count;
+use crate::average::AvgCell;
+use crate::engine::{Column, Engine, InMemoryExec, Operation, ServerNode};
 use crate::error::{ProtocolError, Result};
 use crate::malicious::Tamper;
-use crate::max::{self, MaxCell};
-use crate::median::{self, MedianCell};
-use crate::params::{Initiator, Setup, SystemConfig, SHAMIR_SERVERS};
-use crate::psi;
-use crate::psu;
-use crate::sum;
+use crate::max::MaxCell;
+use crate::median::MedianCell;
+use crate::params::{Initiator, Setup, SystemConfig};
+use crate::plans;
 use crate::tables::{share_indicator, share_payload};
 use prism_core::Prg;
-use std::time::{Duration, Instant};
+
+pub use crate::engine::QueryStats;
+pub use crate::plans::{AggResult, Aggregate, PsiOutcome, QueryBatch};
 
 /// One owner's input relation: rows of `(set value, aggregation values)`.
 /// All owners must supply the same number of aggregation attributes.
@@ -83,31 +85,6 @@ impl ClusterConfig {
     }
 }
 
-/// Wall-clock accounting for one query.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct QueryStats {
-    /// Max over servers of their total compute time (servers run
-    /// concurrently in deployment).
-    pub server_time: Duration,
-    /// Owner-side result-construction time (Table 14's metric).
-    pub owner_time: Duration,
-    /// Announcer compute time (max/median only).
-    pub announcer_time: Duration,
-    /// Owner↔server communication rounds used.
-    pub rounds: usize,
-}
-
-/// PSI outcome.
-#[derive(Debug, Clone)]
-pub struct PsiOutcome {
-    /// Raw combined vector (Equation 4).
-    pub fop: Vec<u64>,
-    /// Per-cell membership.
-    pub members: Vec<bool>,
-    /// Common cell indices.
-    pub common: Vec<usize>,
-}
-
 /// Per-owner state the cluster keeps on the owner side of the wall.
 ///
 /// Only what post-build rounds need: the per-attribute sums (median) and
@@ -120,34 +97,13 @@ struct OwnerState {
     maxima: Vec<Vec<u64>>,
 }
 
-/// Per-server stored shares (what the owner uploaded in Phase 1).
-#[derive(Default)]
-struct ServerStore {
-    /// Additive indicator shares, per owner.
-    ind: Vec<Vec<u64>>,
-    /// Complement shares permuted with PF_db1, per owner.
-    vind: Vec<Vec<u64>>,
-    /// Indicator permuted with PF_db1 (count-verification copy A).
-    ind_db1: Vec<Vec<u64>>,
-    /// Indicator permuted with PF_db2 (count-verification copy B).
-    ind_db2: Vec<Vec<u64>>,
-    /// Shamir sum-column shares, per attribute then owner.
-    sums: Vec<Vec<Vec<u64>>>,
-    /// Shamir count-column shares, per owner.
-    counts: Vec<Vec<u64>>,
-    /// Shamir permuted sum-column shares (verification), per attribute
-    /// then owner.
-    vsums: Vec<Vec<Vec<u64>>>,
-}
-
 /// The in-memory deployment.
 pub struct Cluster {
     /// Initiator output (role views).
     pub setup: Setup,
     cfg: ClusterConfig,
     owners: Vec<OwnerState>,
-    stores: Vec<ServerStore>,
-    tamper: Vec<Tamper>,
+    nodes: Vec<ServerNode>,
     n_attrs: usize,
     /// Lazily built F-evaluation table shared by max/median queries
     /// (owners can all derive it from the public F, so sharing one copy
@@ -161,7 +117,7 @@ const POLY_TABLE_LIMIT: u64 = 1 << 22;
 
 impl Cluster {
     /// Phase 0 + Phase 1: set up parameters and outsource every owner's
-    /// data as shares.
+    /// data as shares into the server nodes.
     pub fn build(inputs: &[OwnerInput], cfg: ClusterConfig) -> Result<Cluster> {
         let m = inputs.len();
         let n_attrs = inputs
@@ -177,6 +133,12 @@ impl Cluster {
                 )));
             }
         }
+        if n_attrs > u8::MAX as usize {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "at most {} aggregation attributes supported, got {n_attrs}",
+                u8::MAX
+            )));
+        }
         let mut sys = SystemConfig::new(m, cfg.domain_size)
             .with_seed(cfg.seed)
             .with_agg_domain_max(cfg.agg_domain_max);
@@ -191,13 +153,11 @@ impl Cluster {
         // transient plaintext columns are dropped before the next owner's
         // are built.
         let mut owners = Vec::with_capacity(m);
-        let mut stores: Vec<ServerStore> = (0..SHAMIR_SERVERS)
-            .map(|_| ServerStore::default())
+        let mut nodes: Vec<ServerNode> = setup
+            .servers
+            .iter()
+            .map(|sp| ServerNode::new(sp.clone()))
             .collect();
-        for st in stores.iter_mut() {
-            st.sums = vec![Vec::new(); n_attrs];
-            st.vsums = vec![Vec::new(); n_attrs];
-        }
         for (j, input) in inputs.iter().enumerate() {
             let mut indicator = vec![0u64; b];
             let mut counts = vec![0u64; b];
@@ -224,40 +184,40 @@ impl Cluster {
                 Prg::from_seed(cfg.seed ^ (0xA11CE + j as u64).wrapping_mul(0x9E3779B97F4A7C15));
             let ind = share_indicator(&indicator, op.delta, &mut prg);
             let [s0, s1] = ind.shares;
-            stores[0].ind.push(s0);
-            stores[1].ind.push(s1);
+            nodes[0].store(j, Column::Ok, s0);
+            nodes[1].store(j, Column::Ok, s1);
             if cfg.with_verification {
                 let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
                 let vperm = op.pf_db1.apply(&complement);
                 let v = share_indicator(&vperm, op.delta, &mut prg);
                 let [v0, v1] = v.shares;
-                stores[0].vind.push(v0);
-                stores[1].vind.push(v1);
+                nodes[0].store(j, Column::VOk, v0);
+                nodes[1].store(j, Column::VOk, v1);
                 let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
                 let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
                 let [a0, a1] = c1.shares;
                 let [b0, b1] = c2.shares;
-                stores[0].ind_db1.push(a0);
-                stores[1].ind_db1.push(a1);
-                stores[0].ind_db2.push(b0);
-                stores[1].ind_db2.push(b1);
+                nodes[0].store(j, Column::OkDb1, a0);
+                nodes[1].store(j, Column::OkDb1, a1);
+                nodes[0].store(j, Column::OkDb2, b0);
+                nodes[1].store(j, Column::OkDb2, b1);
             }
             if cfg.with_aggregation {
                 for a in 0..n_attrs {
                     let p = share_payload(&st.sums[a], &op.field, &mut prg);
                     for (k, sh) in p.shares.into_iter().enumerate() {
-                        stores[k].sums[a].push(sh);
+                        nodes[k].store(j, Column::Agg(a as u8), sh);
                     }
                     if cfg.with_verification {
                         let vp = share_payload(&op.pf_db1.apply(&st.sums[a]), &op.field, &mut prg);
                         for (k, sh) in vp.shares.into_iter().enumerate() {
-                            stores[k].vsums[a].push(sh);
+                            nodes[k].store(j, Column::VAgg(a as u8), sh);
                         }
                     }
                 }
                 let c = share_payload(&counts, &op.field, &mut prg);
                 for (k, sh) in c.shares.into_iter().enumerate() {
-                    stores[k].counts.push(sh);
+                    nodes[k].store(j, Column::AOk, sh);
                 }
             }
             owners.push(st);
@@ -267,8 +227,7 @@ impl Cluster {
             setup,
             cfg,
             owners,
-            stores,
-            tamper: vec![Tamper::Honest; SHAMIR_SERVERS],
+            nodes,
             n_attrs,
             poly_table: std::sync::OnceLock::new(),
         })
@@ -291,7 +250,7 @@ impl Cluster {
 
     /// Attach a tampering behaviour to server φ (tests).
     pub fn set_tamper(&mut self, server: usize, t: Tamper) {
-        self.tamper[server] = t;
+        self.nodes[server].set_tamper(t);
     }
 
     /// Set per-server thread count.
@@ -309,14 +268,6 @@ impl Cluster {
         self.n_attrs
     }
 
-    fn ind_refs(&self, server: usize) -> Vec<&[u64]> {
-        self.stores[server]
-            .ind
-            .iter()
-            .map(|v| v.as_slice())
-            .collect()
-    }
-
     /// The shared F-table, if the aggregation domain is small enough to
     /// precompute.
     fn poly_table(&self) -> Option<&prism_core::PolyTable> {
@@ -330,202 +281,23 @@ impl Cluster {
         )
     }
 
-    /// PSI (§5.1).
-    pub fn psi(&self) -> Result<(PsiOutcome, QueryStats)> {
-        let mut stats = QueryStats {
-            rounds: 1,
-            ..Default::default()
-        };
-        let mut outs = Vec::with_capacity(2);
-        for s in 0..2 {
-            let t0 = Instant::now();
-            let mut out =
-                psi::server_psi_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
-            self.tamper[s].apply(&mut out);
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            outs.push(out);
-        }
-        let t0 = Instant::now();
-        let fop = psi::owner_combine(&outs[0], &outs[1], &self.setup.owner)?;
-        let members = psi::membership(&fop);
-        let common = psi::common_cells(&fop);
-        stats.owner_time = t0.elapsed();
-        Ok((
-            PsiOutcome {
-                fop,
-                members,
-                common,
-            },
-            stats,
-        ))
+    /// Execute any round plan against this deployment. This is the
+    /// extension point for queries the named methods below don't cover —
+    /// see [`Operation`] for a worked example.
+    pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats)> {
+        let exec = InMemoryExec::new(&self.nodes, &self.setup.announcer);
+        Engine::new(&exec, &self.setup.owner)
+            .with_threads(self.cfg.threads)
+            .run(plan)
     }
 
-    /// PSI with result verification (§5.2). Fails if any server tampered.
-    pub fn psi_verified(&self) -> Result<(PsiOutcome, QueryStats)> {
+    fn require_verification(&self) -> Result<()> {
         if !self.cfg.with_verification {
             return Err(ProtocolError::ParameterMismatch(
                 "cluster built without verification columns".into(),
             ));
         }
-        let (outcome, mut stats) = self.psi()?;
-        let mut vouts = Vec::with_capacity(2);
-        for s in 0..2 {
-            let refs: Vec<&[u64]> = self.stores[s].vind.iter().map(|v| v.as_slice()).collect();
-            let t0 = Instant::now();
-            let mut out =
-                psi::server_psi_verify_round(&refs, &self.setup.servers[s], self.cfg.threads)?;
-            self.tamper[s].apply(&mut out);
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            vouts.push(out);
-        }
-        let t0 = Instant::now();
-        psi::owner_verify(&outcome.fop, &vouts[0], &vouts[1], &self.setup.owner)?;
-        stats.owner_time += t0.elapsed();
-        Ok((outcome, stats))
-    }
-
-    /// PSU (§7).
-    pub fn psu(&self) -> Result<(Vec<bool>, QueryStats)> {
-        let mut stats = QueryStats {
-            rounds: 1,
-            ..Default::default()
-        };
-        let mut outs = Vec::with_capacity(2);
-        for s in 0..2 {
-            let t0 = Instant::now();
-            let mut out =
-                psu::server_psu_round(&self.ind_refs(s), &self.setup.servers[s], self.cfg.threads)?;
-            self.tamper[s].apply(&mut out);
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            outs.push(out);
-        }
-        let t0 = Instant::now();
-        let combined = psu::owner_combine(&outs[0], &outs[1], &self.setup.owner)?;
-        let members = psu::membership(&combined);
-        stats.owner_time = t0.elapsed();
-        Ok((members, stats))
-    }
-
-    /// PSU with two-copy verification (reconstruction; DESIGN.md §3.9).
-    /// Returns the union size; positions are intentionally not mapped
-    /// back (both copies live in the composed `PF_i` order).
-    pub fn psu_verified(&self) -> Result<(usize, QueryStats)> {
-        if !self.cfg.with_verification {
-            return Err(ProtocolError::ParameterMismatch(
-                "cluster built without verification columns".into(),
-            ));
-        }
-        let mut stats = QueryStats {
-            rounds: 1,
-            ..Default::default()
-        };
-        let mut copy_a = Vec::with_capacity(2);
-        let mut copy_b = Vec::with_capacity(2);
-        for s in 0..2 {
-            let a_refs: Vec<&[u64]> = self.stores[s]
-                .ind_db1
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let b_refs: Vec<&[u64]> = self.stores[s]
-                .ind_db2
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let t0 = Instant::now();
-            let mut a =
-                psu::server_psu_verify_round(&a_refs, &self.setup.servers[s], 1, self.cfg.threads)?;
-            self.tamper[s].apply(&mut a);
-            let b =
-                psu::server_psu_verify_round(&b_refs, &self.setup.servers[s], 2, self.cfg.threads)?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            copy_a.push(a);
-            copy_b.push(b);
-        }
-        let t0 = Instant::now();
-        let members = psu::owner_verify_union(
-            (&copy_a[0], &copy_a[1]),
-            (&copy_b[0], &copy_b[1]),
-            &self.setup.owner,
-        )?;
-        stats.owner_time = t0.elapsed();
-        Ok((members.iter().filter(|&&m| m).count(), stats))
-    }
-
-    /// PSI count (§6.5): cardinality only.
-    pub fn psi_count(&self) -> Result<(usize, QueryStats)> {
-        let mut stats = QueryStats {
-            rounds: 1,
-            ..Default::default()
-        };
-        let mut outs = Vec::with_capacity(2);
-        for s in 0..2 {
-            let t0 = Instant::now();
-            let mut out = count::server_count_round(
-                &self.ind_refs(s),
-                &self.setup.servers[s],
-                self.cfg.threads,
-            )?;
-            self.tamper[s].apply(&mut out);
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            outs.push(out);
-        }
-        let t0 = Instant::now();
-        let n = count::owner_count(&outs[0], &outs[1], &self.setup.owner)?;
-        stats.owner_time = t0.elapsed();
-        Ok((n, stats))
-    }
-
-    /// PSI count with two-copy verification (reconstruction; DESIGN.md §3.9).
-    pub fn psi_count_verified(&self) -> Result<(usize, QueryStats)> {
-        if !self.cfg.with_verification {
-            return Err(ProtocolError::ParameterMismatch(
-                "cluster built without verification columns".into(),
-            ));
-        }
-        let mut stats = QueryStats {
-            rounds: 1,
-            ..Default::default()
-        };
-        let mut copy_a = Vec::with_capacity(2);
-        let mut copy_b = Vec::with_capacity(2);
-        for s in 0..2 {
-            let a_refs: Vec<&[u64]> = self.stores[s]
-                .ind_db1
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let b_refs: Vec<&[u64]> = self.stores[s]
-                .ind_db2
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let t0 = Instant::now();
-            let mut a = count::server_count_verify_round(
-                &a_refs,
-                &self.setup.servers[s],
-                1,
-                self.cfg.threads,
-            )?;
-            self.tamper[s].apply(&mut a);
-            let b = count::server_count_verify_round(
-                &b_refs,
-                &self.setup.servers[s],
-                2,
-                self.cfg.threads,
-            )?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            copy_a.push(a);
-            copy_b.push(b);
-        }
-        let t0 = Instant::now();
-        let n = count::owner_verify_count(
-            (&copy_a[0], &copy_a[1]),
-            (&copy_b[0], &copy_b[1]),
-            &self.setup.owner,
-        )?;
-        stats.owner_time = t0.elapsed();
-        Ok((n, stats))
+        Ok(())
     }
 
     fn require_agg(&self, attr: usize) -> Result<()> {
@@ -543,170 +315,101 @@ impl Cluster {
         Ok(())
     }
 
-    /// Round 1 + z-vector preparation shared by all aggregations.
-    fn psi_then_z(&self) -> Result<(PsiOutcome, Vec<Vec<u64>>, QueryStats)> {
-        let (outcome, mut stats) = self.psi()?;
-        stats.rounds = 2;
-        let t0 = Instant::now();
-        let z = sum::owner_build_z(&outcome.fop);
-        let mut prg = Prg::from_seed(self.cfg.seed ^ 0x5A5A_5A5A);
-        let z_shares = share_payload(&z, &self.setup.owner.field, &mut prg);
-        stats.owner_time += t0.elapsed();
-        Ok((outcome, z_shares.shares, stats))
+    /// Seed the round-2 z sharing is derived from.
+    fn z_seed(&self) -> u64 {
+        self.cfg.seed ^ 0x5A5A_5A5A
+    }
+
+    /// PSI (§5.1).
+    pub fn psi(&self) -> Result<(PsiOutcome, QueryStats)> {
+        self.execute(&plans::Psi)
+    }
+
+    /// PSI with result verification (§5.2). Fails if any server tampered.
+    pub fn psi_verified(&self) -> Result<(PsiOutcome, QueryStats)> {
+        self.require_verification()?;
+        self.execute(&plans::PsiVerified)
+    }
+
+    /// PSU (§7).
+    pub fn psu(&self) -> Result<(Vec<bool>, QueryStats)> {
+        self.execute(&plans::Psu)
+    }
+
+    /// PSU with two-copy verification (reconstruction; DESIGN.md §3.9).
+    /// Returns the union size; positions are intentionally not mapped
+    /// back (both copies live in the composed `PF_i` order).
+    pub fn psu_verified(&self) -> Result<(usize, QueryStats)> {
+        self.require_verification()?;
+        let (members, stats) = self.execute(&plans::PsuVerified)?;
+        Ok((members.iter().filter(|&&m| m).count(), stats))
+    }
+
+    /// PSI count (§6.5): cardinality only.
+    pub fn psi_count(&self) -> Result<(usize, QueryStats)> {
+        self.execute(&plans::Count)
+    }
+
+    /// PSI count with two-copy verification (reconstruction; DESIGN.md §3.9).
+    pub fn psi_count_verified(&self) -> Result<(usize, QueryStats)> {
+        self.require_verification()?;
+        self.execute(&plans::CountVerified)
     }
 
     /// PSI sum over one aggregation attribute (§6.1).
     pub fn psi_sum(&self, attr: usize) -> Result<(Vec<u64>, QueryStats)> {
         self.require_agg(attr)?;
-        let (_, z_shares, mut stats) = self.psi_then_z()?;
-        let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
-        for k in 0..SHAMIR_SERVERS {
-            let refs: Vec<&[u64]> = self.stores[k].sums[attr]
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let t0 = Instant::now();
-            let mut out = sum::server_sum_round(
-                &refs,
-                &z_shares[k],
-                &self.setup.servers[k],
-                self.cfg.threads,
-            )?;
-            self.tamper[k].apply(&mut out);
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            outs.push(out);
-        }
-        let t0 = Instant::now();
-        let sums = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?;
-        stats.owner_time += t0.elapsed();
-        Ok((sums, stats))
+        self.execute(&plans::Sum {
+            attr: attr as u8,
+            seed: self.z_seed(),
+        })
     }
 
-    /// PSI sum over several attributes at once (Table 12's workload).
+    /// PSI sum over several attributes at once (Table 12's workload); all
+    /// attributes share one PSI and one batched round 2.
     pub fn psi_sum_multi(&self, attrs: &[usize]) -> Result<(Vec<Vec<u64>>, QueryStats)> {
         for &a in attrs {
             self.require_agg(a)?;
         }
-        let (_, z_shares, mut stats) = self.psi_then_z()?;
-        let mut results = Vec::with_capacity(attrs.len());
-        for &attr in attrs {
-            let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
-            for k in 0..SHAMIR_SERVERS {
-                let refs: Vec<&[u64]> = self.stores[k].sums[attr]
-                    .iter()
-                    .map(|v| v.as_slice())
-                    .collect();
-                let t0 = Instant::now();
-                let out = sum::server_sum_round(
-                    &refs,
-                    &z_shares[k],
-                    &self.setup.servers[k],
-                    self.cfg.threads,
-                )?;
-                stats.server_time = stats.server_time.max(t0.elapsed());
-                outs.push(out);
-            }
-            let t0 = Instant::now();
-            results.push(sum::owner_finalize(
-                [&outs[0], &outs[1], &outs[2]],
-                &self.setup.owner,
-            )?);
-            stats.owner_time += t0.elapsed();
-        }
-        Ok((results, stats))
+        self.execute(&plans::SumMulti {
+            attrs: attrs.iter().map(|&a| a as u8).collect(),
+            seed: self.z_seed(),
+        })
     }
 
     /// PSI sum with permuted-copy verification.
     pub fn psi_sum_verified(&self, attr: usize) -> Result<(Vec<u64>, QueryStats)> {
         self.require_agg(attr)?;
-        if !self.cfg.with_verification {
-            return Err(ProtocolError::ParameterMismatch(
-                "cluster built without verification columns".into(),
-            ));
-        }
-        let (outcome, z_shares, mut stats) = self.psi_then_z()?;
-        // Primary path.
-        let mut outs = Vec::with_capacity(SHAMIR_SERVERS);
-        for k in 0..SHAMIR_SERVERS {
-            let refs: Vec<&[u64]> = self.stores[k].sums[attr]
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let t0 = Instant::now();
-            let mut out = sum::server_sum_round(
-                &refs,
-                &z_shares[k],
-                &self.setup.servers[k],
-                self.cfg.threads,
-            )?;
-            self.tamper[k].apply(&mut out);
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            outs.push(out);
-        }
-        // Verification path: permuted z against permuted columns.
-        let t0 = Instant::now();
-        let z = sum::owner_build_z(&outcome.fop);
-        let zp = self.setup.owner.pf_db1.apply(&z);
-        let mut prg = Prg::from_seed(self.cfg.seed ^ 0x7EE1);
-        let zp_shares = share_payload(&zp, &self.setup.owner.field, &mut prg);
-        stats.owner_time += t0.elapsed();
-        let mut vouts = Vec::with_capacity(SHAMIR_SERVERS);
-        for k in 0..SHAMIR_SERVERS {
-            let refs: Vec<&[u64]> = self.stores[k].vsums[attr]
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let t0 = Instant::now();
-            let out = sum::server_sum_round(
-                &refs,
-                &zp_shares.shares[k],
-                &self.setup.servers[k],
-                self.cfg.threads,
-            )?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            vouts.push(out);
-        }
-        let t0 = Instant::now();
-        let primary = sum::owner_finalize([&outs[0], &outs[1], &outs[2]], &self.setup.owner)?;
-        let verification =
-            sum::owner_finalize([&vouts[0], &vouts[1], &vouts[2]], &self.setup.owner)?;
-        sum::owner_verify(&primary, &verification, &self.setup.owner)?;
-        stats.owner_time += t0.elapsed();
-        Ok((primary, stats))
+        self.require_verification()?;
+        self.execute(&plans::SumVerified {
+            attr: attr as u8,
+            seed: self.z_seed(),
+        })
     }
 
     /// PSI average (§6.2).
     pub fn psi_avg(&self, attr: usize) -> Result<(Vec<AvgCell>, QueryStats)> {
         self.require_agg(attr)?;
-        let (_, z_shares, mut stats) = self.psi_then_z()?;
-        let mut sum_outs = Vec::with_capacity(SHAMIR_SERVERS);
-        let mut count_outs = Vec::with_capacity(SHAMIR_SERVERS);
-        for k in 0..SHAMIR_SERVERS {
-            let s_refs: Vec<&[u64]> = self.stores[k].sums[attr]
-                .iter()
-                .map(|v| v.as_slice())
-                .collect();
-            let c_refs: Vec<&[u64]> = self.stores[k].counts.iter().map(|v| v.as_slice()).collect();
-            let t0 = Instant::now();
-            let (s, c) = average::server_avg_round(
-                &s_refs,
-                &c_refs,
-                &z_shares[k],
-                &self.setup.servers[k],
-                self.cfg.threads,
-            )?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            sum_outs.push(s);
-            count_outs.push(c);
+        self.execute(&plans::Average {
+            attr: attr as u8,
+            seed: self.z_seed(),
+        })
+    }
+
+    /// Several aggregations over one PSI in a single round-2 round-trip
+    /// (see [`QueryBatch`]); results are identical to the corresponding
+    /// sequential queries.
+    pub fn psi_query_batch(&self, batch: &QueryBatch) -> Result<(Vec<AggResult>, QueryStats)> {
+        for agg in &batch.aggs {
+            match *agg {
+                Aggregate::Sum(a) | Aggregate::Avg(a) => self.require_agg(a as usize)?,
+                Aggregate::CountTuples => self.require_agg(0)?,
+            }
         }
-        let t0 = Instant::now();
-        let cells = average::owner_finalize(
-            [&sum_outs[0], &sum_outs[1], &sum_outs[2]],
-            [&count_outs[0], &count_outs[1], &count_outs[2]],
-            &self.setup.owner,
-        )?;
-        stats.owner_time += t0.elapsed();
-        Ok((cells, stats))
+        self.execute(&plans::Batch {
+            batch,
+            seed: self.z_seed(),
+        })
     }
 
     /// PSI maximum with the identity round (§6.3, all three rounds) and
@@ -717,106 +420,18 @@ impl Cluster {
     /// millions of cells are common.
     pub fn psi_max(&self, attr: usize) -> Result<(Vec<MaxCell>, Vec<Vec<bool>>, QueryStats)> {
         self.require_agg(attr)?;
-        let (outcome, mut stats) = self.psi()?;
-        stats.rounds = 3;
-        let op = &self.setup.owner;
-
-        let mut decoded_all = Vec::with_capacity(outcome.common.len());
-        let mut holders_all = Vec::with_capacity(outcome.common.len());
-        for (chunk_no, common) in outcome.common.chunks(Self::CELL_CHUNK).enumerate() {
-            // Round 2: blinded maxima. Owners run on their own machines in
-            // deployment, so their per-round cost is the max over owners,
-            // not the sum.
-            let mut up1 = Vec::with_capacity(self.owners.len());
-            let mut up2 = Vec::with_capacity(self.owners.len());
-            let mut own_blinded: Vec<prism_core::WideVec> = Vec::with_capacity(self.owners.len());
-            let table = self.poly_table();
-            let mut owner_round = Duration::ZERO;
-            for (j, ost) in self.owners.iter().enumerate() {
-                let t0 = Instant::now();
-                let mut prg =
-                    Prg::from_seed(self.cfg.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24));
-                let (a, b, own) = match table {
-                    Some(t) => max::owner_blind_maxima_tab(
-                        &ost.maxima[attr],
-                        common,
-                        t,
-                        op,
-                        self.cfg.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24),
-                        self.cfg.threads,
-                    ),
-                    None => max::owner_blind_maxima(&ost.maxima[attr], common, op, &mut prg),
-                };
-                owner_round = owner_round.max(t0.elapsed());
-                up1.push(a);
-                up2.push(b);
-                own_blinded.push(own);
-            }
-            stats.owner_time += owner_round;
-
-            let t0 = Instant::now();
-            let to_ann_1 =
-                max::server_max_round_threads(&up1, &self.setup.servers[0], self.cfg.threads)?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            let t0 = Instant::now();
-            let to_ann_2 =
-                max::server_max_round_threads(&up2, &self.setup.servers[1], self.cfg.threads)?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            drop(up1);
-            drop(up2);
-
-            let t0 = Instant::now();
-            let ann = max::announcer_find_max_threads(
-                &to_ann_1,
-                &to_ann_2,
-                &self.setup.announcer,
-                self.cfg.threads,
-            )?;
-            stats.announcer_time += t0.elapsed();
-            drop(to_ann_1);
-            drop(to_ann_2);
-
-            let t0 = Instant::now();
-            let (decoded, announced) = match self.poly_table() {
-                Some(t) => max::owner_decode_max_tab(common, &ann, t, op, self.cfg.threads)?,
-                None => max::owner_decode_max(common, &ann, op)?,
-            };
-            stats.owner_time += t0.elapsed();
-
-            // Round 3: identities of all max holders (again per-owner max).
-            let mut claims1 = Vec::with_capacity(self.owners.len());
-            let mut claims2 = Vec::with_capacity(self.owners.len());
-            let mut owner_round = Duration::ZERO;
-            for (j, ost) in self.owners.iter().enumerate() {
-                let t0 = Instant::now();
-                let mut prg =
-                    Prg::from_seed(self.cfg.seed ^ (j as u64 + 0xC1A1) ^ ((chunk_no as u64) << 24));
-                let (a, b) = max::owner_claim_bits(&ost.maxima[attr], &decoded, op, &mut prg);
-                owner_round = owner_round.max(t0.elapsed());
-                claims1.push(a);
-                claims2.push(b);
-            }
-            stats.owner_time += owner_round;
-            let t0 = Instant::now();
-            let fpos1 = max::server_assemble_fpos(&claims1, &self.setup.servers[0])?;
-            let fpos2 = max::server_assemble_fpos(&claims2, &self.setup.servers[1])?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            let t0 = Instant::now();
-            let holders = max::owner_decode_fpos(&fpos1, &fpos2, op)?;
-            stats.owner_time += t0.elapsed();
-            // Every owner verifies against its own contribution (each on
-            // its own machine — count the max).
-            let mut owner_round = Duration::ZERO;
-            for own in &own_blinded {
-                let t0 = Instant::now();
-                max::owner_verify_max(own, &announced, &decoded, &holders)?;
-                owner_round = owner_round.max(t0.elapsed());
-            }
-            stats.owner_time += owner_round;
-            decoded_all.extend(decoded);
-            holders_all.extend(holders);
-        }
-        Ok((decoded_all, holders_all, stats))
+        let plan = plans::Max {
+            values: self
+                .owners
+                .iter()
+                .map(|o| o.maxima[attr].as_slice())
+                .collect(),
+            table: self.poly_table(),
+            seed: self.cfg.seed,
+            cell_chunk: Self::CELL_CHUNK,
+        };
+        let ((cells, holders), stats) = self.execute(&plan)?;
+        Ok((cells, holders, stats))
     }
 
     /// Chunk size for the max/median per-cell pipelines (bounds peak
@@ -838,64 +453,38 @@ impl Cluster {
         Ok((all, total))
     }
 
-    /// PSI median (§6.4), chunked like [`Self::psi_max`].
+    /// PSI median (§6.4), chunked like [`Self::psi_max`]. Median
+    /// aggregates the per-owner *sums* (§6.4: "we first added the cost of
+    /// treatment per disease at each DB owner").
     pub fn psi_median(&self, attr: usize) -> Result<(Vec<MedianCell>, QueryStats)> {
         self.require_agg(attr)?;
-        let (outcome, mut stats) = self.psi()?;
-        stats.rounds = 2;
-        let op = &self.setup.owner;
+        let plan = plans::Median {
+            values: self
+                .owners
+                .iter()
+                .map(|o| o.sums[attr].as_slice())
+                .collect(),
+            table: self.poly_table(),
+            seed: self.cfg.seed,
+            cell_chunk: Self::CELL_CHUNK,
+        };
+        self.execute(&plan)
+    }
 
-        let mut cells_all = Vec::with_capacity(outcome.common.len());
-        for (chunk_no, common) in outcome.common.chunks(Self::CELL_CHUNK).enumerate() {
-            let mut up1 = Vec::with_capacity(self.owners.len());
-            let mut up2 = Vec::with_capacity(self.owners.len());
-            let mut owner_round = Duration::ZERO;
-            for (j, ost) in self.owners.iter().enumerate() {
-                let t0 = Instant::now();
-                let mut prg =
-                    Prg::from_seed(self.cfg.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24));
-                // Median aggregates the per-owner *sums* (§6.4: "we first
-                // added the cost of treatment per disease at each DB owner").
-                let (a, b, _) = match self.poly_table() {
-                    Some(t) => max::owner_blind_maxima_tab(
-                        &ost.sums[attr],
-                        common,
-                        t,
-                        op,
-                        self.cfg.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24),
-                        self.cfg.threads,
-                    ),
-                    None => max::owner_blind_maxima(&ost.sums[attr], common, op, &mut prg),
-                };
-                owner_round = owner_round.max(t0.elapsed());
-                up1.push(a);
-                up2.push(b);
-            }
-            stats.owner_time += owner_round;
-
-            let t0 = Instant::now();
-            let to_ann_1 =
-                max::server_max_round_threads(&up1, &self.setup.servers[0], self.cfg.threads)?;
-            let to_ann_2 =
-                max::server_max_round_threads(&up2, &self.setup.servers[1], self.cfg.threads)?;
-            stats.server_time = stats.server_time.max(t0.elapsed());
-            drop(up1);
-            drop(up2);
-
-            let t0 = Instant::now();
-            let ann = median::announcer_find_median(&to_ann_1, &to_ann_2, &self.setup.announcer)?;
-            stats.announcer_time += t0.elapsed();
-            drop(to_ann_1);
-            drop(to_ann_2);
-
-            let t0 = Instant::now();
-            cells_all.extend(match self.poly_table() {
-                Some(t) => median::owner_decode_median_tab(common, &ann, t, op)?,
-                None => median::owner_decode_median(common, &ann, op)?,
-            });
-            stats.owner_time += t0.elapsed();
+    /// PSI over a product domain (§6.6): decode the common cells of this
+    /// cluster (whose domain must be the flattened `domain`) into tuples.
+    pub fn psi_common_tuples(
+        &self,
+        domain: &prism_core::ProductDomain,
+    ) -> Result<(Vec<Vec<u64>>, QueryStats)> {
+        if prism_core::DomainMap::<[u64]>::size(domain) != self.setup.owner.b {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "product domain flattens to {} cells, cluster has {}",
+                prism_core::DomainMap::<[u64]>::size(domain),
+                self.setup.owner.b
+            )));
         }
-        Ok((cells_all, stats))
+        self.execute(&plans::PsiTuples { domain })
     }
 }
 
@@ -998,7 +587,20 @@ mod tests {
 
     #[test]
     fn count_verification_catches_count_tampering() {
-        let mut c = hospital_cluster(5);
+        // A lazy server now tampers *both* permuted copies (the node
+        // applies its behaviour to every output). Detection is
+        // statistical — a forged cell survives only if the two
+        // independently-permuted copies happen to agree (§5.2's 1/b²
+        // argument) — so test on a domain where coincidence is negligible.
+        let rows: Vec<Vec<(u64, u64)>> = (0..3)
+            .map(|j| {
+                (1..=24u64)
+                    .filter(|v| v % (j + 2) != 0)
+                    .map(|v| (v, v))
+                    .collect()
+            })
+            .collect();
+        let mut c = Cluster::from_rows(&rows, 24, 5).unwrap();
         c.set_tamper(0, Tamper::SkipReplay { src: 0 });
         assert!(c.psi_count_verified().is_err());
     }
@@ -1021,6 +623,34 @@ mod tests {
         let (maxes, _) = c.psi_max_multi(&[0, 1]).unwrap();
         assert_eq!(maxes[0][0].max, 700); // max cost for Cancer
         assert_eq!(maxes[1][0].max, 8); // max age
+    }
+
+    #[test]
+    fn sum_multi_shares_one_round_trip() {
+        let c = hospital_cluster(12);
+        let (_, stats) = c.psi_sum_multi(&[0, 1]).unwrap();
+        // One PSI round + one batched round 2 for both attributes.
+        assert_eq!(stats.rounds, 2);
+    }
+
+    #[test]
+    fn batched_aggregations_match_sequential() {
+        let c = hospital_cluster(13);
+        let batch = QueryBatch::new().sum(0).avg(0).sum(1).count_tuples();
+        let (results, stats) = c.psi_query_batch(&batch).unwrap();
+        assert_eq!(stats.rounds, 2, "≥3 aggregations in one round 2");
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], AggResult::Sums(c.psi_sum(0).unwrap().0));
+        assert_eq!(results[1], AggResult::Avg(c.psi_avg(0).unwrap().0));
+        assert_eq!(results[2], AggResult::Sums(c.psi_sum(1).unwrap().0));
+        match &results[3] {
+            AggResult::Counts(counts) => {
+                let avg = c.psi_avg(0).unwrap().0;
+                let expected: Vec<u64> = avg.iter().map(|cell| cell.count).collect();
+                assert_eq!(counts, &expected);
+            }
+            other => panic!("expected counts, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1080,5 +710,37 @@ mod tests {
         assert_eq!(c.psi().unwrap().1.rounds, 1);
         assert_eq!(c.psi_sum(0).unwrap().1.rounds, 2);
         assert_eq!(c.psi_max(1).unwrap().2.rounds, 3);
+        // Verified variants batch their copies into the same round trips.
+        assert_eq!(c.psi_verified().unwrap().1.rounds, 1);
+        assert_eq!(c.psi_count_verified().unwrap().1.rounds, 1);
+        assert_eq!(c.psi_sum_verified(0).unwrap().1.rounds, 2);
+    }
+
+    #[test]
+    fn product_domain_tuples_decode() {
+        use prism_core::{DenseIntDomain, DomainMap, ProductDomain};
+        let domain = ProductDomain::new(vec![DenseIntDomain::one_to(4), DenseIntDomain::one_to(2)]);
+        let b = DomainMap::<[u64]>::size(&domain);
+        // Tuples (3,1) and (4,2) common to both owners.
+        let owners = [
+            vec![vec![3u64, 1], vec![4, 2], vec![1, 1]],
+            vec![vec![3u64, 1], vec![4, 2], vec![2, 2]],
+        ];
+        let inputs: Vec<OwnerInput> = owners
+            .iter()
+            .map(|tuples| {
+                OwnerInput::from_set(
+                    tuples
+                        .iter()
+                        .map(|t| domain.index_of_tuple(t).unwrap() as u64 + 1),
+                )
+            })
+            .collect();
+        let mut cfg = ClusterConfig::new(b);
+        cfg.with_aggregation = false;
+        let c = Cluster::build(&inputs, cfg).unwrap();
+        let (mut tuples, _) = c.psi_common_tuples(&domain).unwrap();
+        tuples.sort();
+        assert_eq!(tuples, vec![vec![3, 1], vec![4, 2]]);
     }
 }

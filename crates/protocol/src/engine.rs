@@ -1,0 +1,719 @@
+//! The round-plan execution engine: one executor for every operation over
+//! every transport.
+//!
+//! PRISM's queries all share one shape — *owner-prepare → per-server step
+//! → owner-finalize*, repeated for one to three rounds — and this module
+//! is the single place that shape is executed:
+//!
+//! * [`ServerNode`] is the server side of the wall: it stores the
+//!   Phase-1 share columns ([`ColumnStore`]), evaluates [`ServerCmd`]s
+//!   against them with the step functions from the operation modules, and
+//!   applies its (test-injected) [`Tamper`] to every output — so failure
+//!   injection behaves identically in-process and over the wire.
+//! * [`ServerExec`] abstracts *where* the nodes run: [`InMemoryExec`]
+//!   calls them directly; `prism_net::NetCluster` implements the same
+//!   trait by shipping the commands through its channel/TCP links.
+//! * [`Operation`] is a round plan. Plans (see [`crate::plans`]) drive the
+//!   engine through [`Ctx`], which owns **all** timing ([`QueryStats`]),
+//!   round accounting, and announcer access in exactly one place.
+//! * [`BatchQuery`] lets one owner↔server round-trip evaluate many
+//!   stored-column operations at once (sharing auxiliary `z` vectors), the
+//!   capability behind [`crate::plans::QueryBatch`].
+//!
+//! [`Engine`] ties a backend, owner parameters, and a thread count
+//! together and runs plans to completion.
+
+use crate::error::{ProtocolError, Result};
+use crate::malicious::Tamper;
+use crate::max::{self, BlindedMaxUpload, MaxAnnouncement};
+use crate::median::{self, MedianAnnouncement};
+use crate::params::{AnnouncerParams, OwnerParams, ServerParams};
+use crate::{psi, psu, sum};
+use prism_core::wide::WideVec;
+use std::time::{Duration, Instant};
+
+/// Which stored column an upload targets (Table-11 naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// Additive indicator (OK).
+    Ok,
+    /// Permuted complement (vOK).
+    VOk,
+    /// Indicator permuted with PF_db1 (count/PSU verification copy A).
+    OkDb1,
+    /// Indicator permuted with PF_db2 (count/PSU verification copy B).
+    OkDb2,
+    /// Shamir aggregation column `attr`.
+    Agg(u8),
+    /// Shamir permuted verification column `attr`.
+    VAgg(u8),
+    /// Shamir tuple counts (aOK).
+    AOk,
+}
+
+/// A stored-column operation a server can evaluate in one step.
+///
+/// This is the *entire* per-operation protocol knowledge on the server
+/// side; both the in-memory cluster and the networked one execute queries
+/// by naming one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOp {
+    /// Equation 3 round over OK.
+    Psi,
+    /// Equation 7 round over vOK.
+    PsiVerify,
+    /// Equation 18 round over OK.
+    Psu,
+    /// PSU verification round over copy `1` or `2` (OkDb1/OkDb2).
+    PsuVerify(u8),
+    /// PSI + PF_s1 permutation.
+    Count,
+    /// Count verification over copy `1` or `2`.
+    CountVerify(u8),
+    /// Equation 11 round over Agg(attr); needs a `z` vector.
+    Sum(u8),
+    /// Equation 11 round over VAgg(attr) (verification copy); needs `z`.
+    SumVerify(u8),
+    /// Equation 11 round over aOK (average's count side); needs `z`.
+    SumCounts,
+    /// Count's complement binding: the Equation-7 round over vOK, then
+    /// `PF_s1` — lands in the same composed `PF_i` order as the count
+    /// copies, so owners can check `fop·v ≡ 1` per permuted cell without
+    /// learning positions. This is what catches constant-fill tampering,
+    /// which is permutation-invariant and thus survives two-copy
+    /// agreement alone.
+    CountVerifyComplement,
+}
+
+/// One entry of a [`BatchQuery`]: an operation plus the index (into the
+/// batch's `zs`) of the auxiliary vector it consumes, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchItem {
+    /// The operation to evaluate.
+    pub op: QueryOp,
+    /// Index into [`BatchQuery::zs`], for the aggregation ops.
+    pub z: Option<u8>,
+}
+
+impl BatchItem {
+    /// An item that needs no auxiliary vector.
+    pub fn plain(op: QueryOp) -> BatchItem {
+        BatchItem { op, z: None }
+    }
+
+    /// An item consuming the batch's `z` vector number `idx`.
+    pub fn with_z(op: QueryOp, idx: u8) -> BatchItem {
+        BatchItem { op, z: Some(idx) }
+    }
+}
+
+/// A batched server request: many stored-column operations evaluated in
+/// **one** owner↔server round-trip, sharing auxiliary vectors.
+///
+/// This is what makes e.g. sum+count+average over several attributes cost
+/// a single round 2 instead of one per aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchQuery {
+    /// Auxiliary Shamir-shared vectors (this server's share of each).
+    pub zs: Vec<Vec<u64>>,
+    /// The operations to evaluate, in reply order.
+    pub items: Vec<BatchItem>,
+    /// Worker threads the server should use.
+    pub threads: u32,
+}
+
+/// A command the owner side issues to one server within a round.
+#[derive(Debug, Clone)]
+pub enum ServerCmd {
+    /// Evaluate a batch of stored-column operations.
+    Run(BatchQuery),
+    /// Max/median round 2: gather per-owner blinded wide uploads into
+    /// `PF`-permuted slot order for the announcer.
+    MaxCombine {
+        /// One upload per owner, in owner order.
+        uploads: Vec<BlindedMaxUpload>,
+        /// Worker threads the server should use.
+        threads: u32,
+    },
+    /// Max round 3: assemble the fpos table from per-owner claim shares.
+    AssembleFpos {
+        /// One claim vector per owner, in owner order.
+        claims: Vec<Vec<u64>>,
+        /// Worker threads the server should use.
+        threads: u32,
+    },
+}
+
+/// A server's reply to one [`ServerCmd`].
+#[derive(Debug, Clone)]
+pub enum ServerReply {
+    /// Outputs of a [`ServerCmd::Run`] batch, in item order.
+    Vectors(Vec<Vec<u64>>),
+    /// Output of a [`ServerCmd::MaxCombine`] (destined for the announcer).
+    Wide(WideVec),
+    /// Output of a [`ServerCmd::AssembleFpos`].
+    Fpos(Vec<Vec<u64>>),
+}
+
+/// A request to the announcer (max/median only).
+#[derive(Debug)]
+pub enum AnnouncerCmd<'a> {
+    /// Find each cell's maximum (Equations 13–14).
+    FindMax {
+        /// Server 1's permuted share matrix.
+        from_s1: &'a WideVec,
+        /// Server 2's permuted share matrix.
+        from_s2: &'a WideVec,
+    },
+    /// Find each cell's middle element(s) (§6.4).
+    FindMedian {
+        /// Server 1's permuted share matrix.
+        from_s1: &'a WideVec,
+        /// Server 2's permuted share matrix.
+        from_s2: &'a WideVec,
+    },
+}
+
+/// The announcer's reply.
+#[derive(Debug, Clone)]
+pub enum AnnouncerReply {
+    /// Reply to [`AnnouncerCmd::FindMax`].
+    Max(MaxAnnouncement),
+    /// Reply to [`AnnouncerCmd::FindMedian`].
+    Median(MedianAnnouncement),
+}
+
+/// Wall-clock accounting for one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Per-round maximum over servers of their compute time, summed over
+    /// rounds (servers run concurrently in deployment and never wait on
+    /// each other). Networked backends report round-trip wall time here.
+    pub server_time: Duration,
+    /// Owner-side result-construction time (Table 14's metric). Steps
+    /// that every owner runs independently count the slowest owner.
+    pub owner_time: Duration,
+    /// Announcer compute time (max/median only).
+    pub announcer_time: Duration,
+    /// Owner↔server communication rounds used.
+    pub rounds: usize,
+}
+
+/// Per-owner share columns stored at one server (the owner uploads these
+/// in Phase 1; Table 11's layout).
+#[derive(Debug, Default)]
+pub struct ColumnStore {
+    ok: Vec<Vec<u64>>,
+    v_ok: Vec<Vec<u64>>,
+    ok_db1: Vec<Vec<u64>>,
+    ok_db2: Vec<Vec<u64>>,
+    a_ok: Vec<Vec<u64>>,
+    agg: Vec<Vec<Vec<u64>>>,
+    v_agg: Vec<Vec<Vec<u64>>>,
+}
+
+impl ColumnStore {
+    fn slot(&mut self, column: Column) -> &mut Vec<Vec<u64>> {
+        fn attr_slot(cols: &mut Vec<Vec<Vec<u64>>>, a: u8) -> &mut Vec<Vec<u64>> {
+            if cols.len() <= a as usize {
+                cols.resize(a as usize + 1, Vec::new());
+            }
+            &mut cols[a as usize]
+        }
+        match column {
+            Column::Ok => &mut self.ok,
+            Column::VOk => &mut self.v_ok,
+            Column::OkDb1 => &mut self.ok_db1,
+            Column::OkDb2 => &mut self.ok_db2,
+            Column::AOk => &mut self.a_ok,
+            Column::Agg(a) => attr_slot(&mut self.agg, a),
+            Column::VAgg(a) => attr_slot(&mut self.v_agg, a),
+        }
+    }
+
+    /// Store one owner's share vector for `column`.
+    pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
+        let slot = self.slot(column);
+        if slot.len() <= owner {
+            slot.resize(owner + 1, Vec::new());
+        }
+        slot[owner] = data;
+    }
+
+    fn col(&self, column: Column) -> &[Vec<u64>] {
+        static EMPTY: Vec<Vec<u64>> = Vec::new();
+        fn attr(cols: &[Vec<Vec<u64>>], a: u8) -> &Vec<Vec<u64>> {
+            cols.get(a as usize).unwrap_or(&EMPTY)
+        }
+        match column {
+            Column::Ok => &self.ok,
+            Column::VOk => &self.v_ok,
+            Column::OkDb1 => &self.ok_db1,
+            Column::OkDb2 => &self.ok_db2,
+            Column::AOk => &self.a_ok,
+            Column::Agg(a) => attr(&self.agg, a),
+            Column::VAgg(a) => attr(&self.v_agg, a),
+        }
+    }
+}
+
+fn refs(cols: &[Vec<u64>]) -> Vec<&[u64]> {
+    cols.iter().map(|v| v.as_slice()).collect()
+}
+
+/// One PRISM server: parameters, stored share columns, and an optional
+/// tampering behaviour applied to every output it produces.
+///
+/// Both deployments run this exact type — the in-memory cluster holds the
+/// nodes in a `Vec`, the networked cluster runs one per spawned thread
+/// behind a [`ServerCmd`]-carrying link — so no protocol logic can differ
+/// between transports.
+#[derive(Debug)]
+pub struct ServerNode {
+    params: ServerParams,
+    store: ColumnStore,
+    tamper: Tamper,
+}
+
+impl ServerNode {
+    /// A node with empty storage and honest behaviour.
+    pub fn new(params: ServerParams) -> ServerNode {
+        ServerNode {
+            params,
+            store: ColumnStore::default(),
+            tamper: Tamper::Honest,
+        }
+    }
+
+    /// This node's role parameters.
+    pub fn params(&self) -> &ServerParams {
+        &self.params
+    }
+
+    /// Attach a tampering behaviour (tests). Applied to the output of
+    /// every subsequent stored-column evaluation.
+    pub fn set_tamper(&mut self, tamper: Tamper) {
+        self.tamper = tamper;
+    }
+
+    /// Phase 1: store one owner's share column.
+    pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
+        self.store.store(owner, column, data);
+    }
+
+    fn copy_column(&self, which: u8) -> Result<Column> {
+        match which {
+            1 => Ok(Column::OkDb1),
+            2 => Ok(Column::OkDb2),
+            _ => Err(ProtocolError::ParameterMismatch(format!(
+                "copy selector must be 1 or 2, got {which}"
+            ))),
+        }
+    }
+
+    fn copy_perm(&self, which: u8) -> Result<&prism_core::Permutation> {
+        match which {
+            1 => Ok(&self.params.pf_s1),
+            2 => Ok(&self.params.pf_s2),
+            _ => Err(ProtocolError::ParameterMismatch(format!(
+                "copy selector must be 1 or 2, got {which}"
+            ))),
+        }
+    }
+
+    /// Evaluate one stored-column operation.
+    ///
+    /// The node stages the evaluation as *compute → tamper → output
+    /// permutation*: §5.2's threats (skipping work, replaying or
+    /// replacing cells, injecting values) are compute-phase cheats, and
+    /// the two-copy verifications rely on the copies being in *different*
+    /// orders at the point of corruption — a cheat applied after the
+    /// `PF_sk` permutation would sit in the composed `PF_i` order, which
+    /// the security argument does not (and need not) cover, since a
+    /// server gains nothing by corrupting the cheap final permutation of
+    /// work it already performed honestly.
+    fn query(&self, op: QueryOp, z: Option<&[u64]>, threads: usize) -> Result<Vec<u64>> {
+        let sp = &self.params;
+        let need_z = || -> Result<&[u64]> {
+            z.ok_or_else(|| {
+                ProtocolError::ParameterMismatch("aggregation op ran without a z vector".into())
+            })
+        };
+        let (mut out, finish): (Vec<u64>, Option<&prism_core::Permutation>) = match op {
+            QueryOp::Psi => (
+                psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
+                None,
+            ),
+            QueryOp::PsiVerify => (
+                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?,
+                None,
+            ),
+            QueryOp::Psu => (
+                psu::server_psu_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
+                None,
+            ),
+            QueryOp::PsuVerify(which) => {
+                let col = self.copy_column(which)?;
+                (
+                    psu::server_psu_round(&refs(self.store.col(col)), sp, threads)?,
+                    Some(self.copy_perm(which)?),
+                )
+            }
+            QueryOp::Count => (
+                psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
+                Some(&sp.pf_s1),
+            ),
+            QueryOp::CountVerify(which) => {
+                let col = self.copy_column(which)?;
+                (
+                    psi::server_psi_round(&refs(self.store.col(col)), sp, threads)?,
+                    Some(self.copy_perm(which)?),
+                )
+            }
+            QueryOp::Sum(a) => (
+                sum::server_sum_round(
+                    &refs(self.store.col(Column::Agg(a))),
+                    need_z()?,
+                    sp,
+                    threads,
+                )?,
+                None,
+            ),
+            QueryOp::SumVerify(a) => (
+                sum::server_sum_round(
+                    &refs(self.store.col(Column::VAgg(a))),
+                    need_z()?,
+                    sp,
+                    threads,
+                )?,
+                None,
+            ),
+            QueryOp::SumCounts => (
+                sum::server_sum_round(&refs(self.store.col(Column::AOk)), need_z()?, sp, threads)?,
+                None,
+            ),
+            QueryOp::CountVerifyComplement => (
+                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?,
+                Some(&sp.pf_s1),
+            ),
+        };
+        self.tamper.apply(&mut out);
+        Ok(match finish {
+            Some(p) => p.apply(&out),
+            None => out,
+        })
+    }
+
+    /// Execute one command. `Run` batches evaluate item-by-item; wide
+    /// commands delegate to the max-round step functions. Tampering
+    /// applies to every stored-column output (wide rounds model honest
+    /// relaying; tampering there is exercised at the announcer instead).
+    pub fn execute(&self, cmd: &ServerCmd) -> Result<ServerReply> {
+        match cmd {
+            ServerCmd::Run(batch) => {
+                let threads = batch.threads.max(1) as usize;
+                let mut outs = Vec::with_capacity(batch.items.len());
+                for item in &batch.items {
+                    let z = match item.z {
+                        None => None,
+                        Some(i) => Some(
+                            batch
+                                .zs
+                                .get(i as usize)
+                                .ok_or_else(|| {
+                                    ProtocolError::ParameterMismatch(format!(
+                                        "batch z index {i} out of range ({} vectors)",
+                                        batch.zs.len()
+                                    ))
+                                })?
+                                .as_slice(),
+                        ),
+                    };
+                    outs.push(self.query(item.op, z, threads)?);
+                }
+                Ok(ServerReply::Vectors(outs))
+            }
+            ServerCmd::MaxCombine { uploads, threads } => Ok(ServerReply::Wide(
+                max::server_max_round_threads(uploads, &self.params, (*threads).max(1) as usize)?,
+            )),
+            ServerCmd::AssembleFpos { claims, threads } => {
+                Ok(ServerReply::Fpos(max::server_assemble_fpos_threads(
+                    claims,
+                    &self.params,
+                    (*threads).max(1) as usize,
+                )?))
+            }
+        }
+    }
+}
+
+/// A pluggable backend that can deliver one round of commands to the
+/// servers (and reach the announcer). Implementations: [`InMemoryExec`]
+/// (direct calls) and `prism_net::NetCluster` (channel/TCP links).
+pub trait ServerExec {
+    /// Deliver each `(server, command)` pair and collect replies in order.
+    /// One call corresponds to one owner↔server communication round; the
+    /// returned duration is the backend's notion of server-side cost for
+    /// the round (max compute over servers in-process; round-trip wall
+    /// time over a wire).
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)>;
+
+    /// Deliver one request to the announcer.
+    fn announce(&self, cmd: AnnouncerCmd<'_>, threads: usize)
+        -> Result<(AnnouncerReply, Duration)>;
+}
+
+/// [`ServerExec`] over nodes living in this process: commands are direct
+/// method calls, per-server compute is timed individually and the round
+/// cost is the maximum (deployed servers run concurrently).
+#[derive(Debug)]
+pub struct InMemoryExec<'a> {
+    nodes: &'a [ServerNode],
+    announcer: &'a AnnouncerParams,
+}
+
+impl<'a> InMemoryExec<'a> {
+    /// Wrap a node set and announcer parameters.
+    pub fn new(nodes: &'a [ServerNode], announcer: &'a AnnouncerParams) -> InMemoryExec<'a> {
+        InMemoryExec { nodes, announcer }
+    }
+}
+
+impl ServerExec for InMemoryExec<'_> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+        let mut worst = Duration::ZERO;
+        let mut replies = Vec::with_capacity(cmds.len());
+        for (s, cmd) in &cmds {
+            let node = self.nodes.get(*s).ok_or_else(|| {
+                ProtocolError::ParameterMismatch(format!("no server {s} in this deployment"))
+            })?;
+            let t0 = Instant::now();
+            replies.push(node.execute(cmd)?);
+            worst = worst.max(t0.elapsed());
+        }
+        Ok((replies, worst))
+    }
+
+    fn announce(
+        &self,
+        cmd: AnnouncerCmd<'_>,
+        threads: usize,
+    ) -> Result<(AnnouncerReply, Duration)> {
+        let t0 = Instant::now();
+        let reply = match cmd {
+            AnnouncerCmd::FindMax { from_s1, from_s2 } => AnnouncerReply::Max(
+                max::announcer_find_max_threads(from_s1, from_s2, self.announcer, threads)?,
+            ),
+            AnnouncerCmd::FindMedian { from_s1, from_s2 } => AnnouncerReply::Median(
+                median::announcer_find_median(from_s1, from_s2, self.announcer)?,
+            ),
+        };
+        Ok((reply, t0.elapsed()))
+    }
+}
+
+/// Execution context handed to a running [`Operation`]. Owns the round
+/// counter and all three clocks, so plans cannot forget to account for a
+/// step — timing lives here and nowhere else.
+pub struct Ctx<'e, X: ServerExec> {
+    exec: &'e X,
+    owner: &'e OwnerParams,
+    /// Worker threads the servers (and parallel owner steps) should use.
+    pub threads: usize,
+    stats: QueryStats,
+}
+
+impl<'e, X: ServerExec> Ctx<'e, X> {
+    /// The owner-side role parameters (lives as long as the engine).
+    pub fn params(&self) -> &'e OwnerParams {
+        self.owner
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Issue one owner↔server round.
+    pub fn round(&mut self, cmds: Vec<(usize, ServerCmd)>) -> Result<Vec<ServerReply>> {
+        self.stats.rounds += 1;
+        let (replies, cost) = self.exec.round(cmds)?;
+        self.stats.server_time += cost;
+        Ok(replies)
+    }
+
+    /// Issue the same batch of stored-column items to each listed server
+    /// (with per-server auxiliary vectors from `zs_for`) in one round;
+    /// returns, per server, the per-item outputs.
+    pub fn query(
+        &mut self,
+        servers: &[usize],
+        items: &[BatchItem],
+        zs_for: impl Fn(usize) -> Vec<Vec<u64>>,
+    ) -> Result<Vec<Vec<Vec<u64>>>> {
+        let threads = self.threads as u32;
+        let cmds = servers
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    ServerCmd::Run(BatchQuery {
+                        zs: zs_for(s),
+                        items: items.to_vec(),
+                        threads,
+                    }),
+                )
+            })
+            .collect();
+        self.round(cmds)?
+            .into_iter()
+            .map(|r| match r {
+                // Shape-check here, once, so no plan can index a short
+                // reply: a server (or transport) answering a batch of N
+                // items with fewer than N vectors is a protocol error,
+                // not an owner-side panic — servers are malicious in this
+                // threat model.
+                ServerReply::Vectors(v) if v.len() == items.len() => Ok(v),
+                ServerReply::Vectors(_) => Err(ProtocolError::MalformedResponse(
+                    "server replied with the wrong number of batch outputs",
+                )),
+                _ => Err(ProtocolError::MalformedResponse(
+                    "expected vector outputs from batch round",
+                )),
+            })
+            .collect()
+    }
+
+    /// Run (and time) an owner-side step.
+    pub fn owner_step<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.stats.owner_time += t0.elapsed();
+        out
+    }
+
+    /// Fallible variant of [`Ctx::owner_step`] (time is charged whether or
+    /// not the step succeeds).
+    pub fn try_owner_step<T>(&mut self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let t0 = Instant::now();
+        let out = f();
+        self.stats.owner_time += t0.elapsed();
+        out
+    }
+
+    /// Run a step at each of `n` owners, charging the *slowest* owner's
+    /// time (owners run on their own machines in deployment).
+    pub fn each_owner<T>(
+        &mut self,
+        n: usize,
+        mut f: impl FnMut(usize) -> Result<T>,
+    ) -> Result<Vec<T>> {
+        let mut worst = Duration::ZERO;
+        let mut outs = Vec::with_capacity(n);
+        let mut failure = None;
+        for j in 0..n {
+            let t0 = Instant::now();
+            match f(j) {
+                Ok(v) => outs.push(v),
+                Err(e) => {
+                    failure = Some(e);
+                }
+            }
+            worst = worst.max(t0.elapsed());
+            if failure.is_some() {
+                break;
+            }
+        }
+        self.stats.owner_time += worst;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+
+    /// Issue one announcer request.
+    pub fn announce(&mut self, cmd: AnnouncerCmd<'_>) -> Result<AnnouncerReply> {
+        let (reply, cost) = self.exec.announce(cmd, self.threads)?;
+        self.stats.announcer_time += cost;
+        Ok(reply)
+    }
+}
+
+/// A round plan: the owner-side orchestration of one query, expressed
+/// against the narrow [`Ctx`] API so the identical plan runs over any
+/// [`ServerExec`] backend.
+///
+/// Adding a new query to PRISM is one `Operation` impl — no changes to
+/// either cluster harness. For example, a query reporting whether the
+/// intersection is empty, built on the PSI plan:
+///
+/// ```
+/// use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput};
+/// use prism_protocol::engine::{Ctx, Operation, ServerExec};
+/// use prism_protocol::{plans, Result};
+///
+/// struct IntersectionIsEmpty;
+///
+/// impl Operation for IntersectionIsEmpty {
+///     type Output = bool;
+///     fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<bool> {
+///         // Round 1: plain PSI (plans compose).
+///         let outcome = plans::Psi.execute(ctx)?;
+///         // Owner finalize: just inspect the decoded membership.
+///         Ok(ctx.owner_step(|| outcome.common.is_empty()))
+///     }
+/// }
+///
+/// let inputs = vec![
+///     OwnerInput::from_set([1u64, 2]),
+///     OwnerInput::from_set([2u64, 3]),
+/// ];
+/// let cluster = Cluster::build(&inputs, ClusterConfig::new(3))?;
+/// let (empty, stats) = cluster.execute(&IntersectionIsEmpty)?;
+/// assert!(!empty); // value 2 is common
+/// assert_eq!(stats.rounds, 1);
+/// # Ok::<(), prism_protocol::ProtocolError>(())
+/// ```
+pub trait Operation {
+    /// What the plan produces for the querying owner.
+    type Output;
+
+    /// Drive the plan to completion against `ctx`'s backend.
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Self::Output>;
+}
+
+/// The engine: a backend plus owner parameters, ready to run plans.
+pub struct Engine<'e, X: ServerExec> {
+    exec: &'e X,
+    owner: &'e OwnerParams,
+    threads: usize,
+}
+
+impl<'e, X: ServerExec> Engine<'e, X> {
+    /// An engine over `exec` with 1 worker thread.
+    pub fn new(exec: &'e X, owner: &'e OwnerParams) -> Engine<'e, X> {
+        Engine {
+            exec,
+            owner,
+            threads: 1,
+        }
+    }
+
+    /// Set the per-server worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Execute a plan, returning its output and the accounted stats.
+    pub fn run<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats)> {
+        let mut ctx = Ctx {
+            exec: self.exec,
+            owner: self.owner,
+            threads: self.threads,
+            stats: QueryStats::default(),
+        };
+        let out = plan.execute(&mut ctx)?;
+        Ok((out, ctx.stats))
+    }
+}

@@ -27,6 +27,10 @@ pub enum ProtocolError {
     InversionFailed,
     /// The query needs at least one common element but PSI found none.
     EmptyIntersection,
+    /// The transport backing an engine round failed, or the backend does
+    /// not implement the requested step (e.g. wide-share rounds over a
+    /// vector-only wire). Carries the backend's rendered error.
+    Transport(String),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for ProtocolError {
                 write!(f, "order-polynomial inversion failed (possible tampering)")
             }
             ProtocolError::EmptyIntersection => write!(f, "intersection is empty"),
+            ProtocolError::Transport(msg) => write!(f, "transport: {msg}"),
         }
     }
 }

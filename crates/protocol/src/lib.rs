@@ -5,9 +5,18 @@
 //! maximum, median) — with result verification, multi-attribute extension,
 //! and the bucketization optimization (§6.6).
 //!
-//! The crate is organized as *pure step functions* (owner step / server
-//! step / owner finalize), so the same code runs under the in-memory
-//! driver, the channel transport, and the TCP transport in `prism-net`.
+//! The crate is organized in three layers:
+//!
+//! * *pure step functions* (owner step / server step / owner finalize) in
+//!   the per-operation modules;
+//! * the [`engine`]: one [`engine::ServerNode`] executor for the server
+//!   side, one [`engine::Engine`] for the owner side, and the
+//!   [`engine::Operation`] round plans in [`plans`] that compose the step
+//!   functions — written once, run over any [`engine::ServerExec`]
+//!   backend;
+//! * harness facades: the in-memory [`driver::Cluster`] here and the
+//!   channel/TCP `NetCluster` in `prism-net`, both thin wrappers that
+//!   construct plans and hand them to the engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,20 +26,24 @@ pub mod bucket;
 pub mod chunk;
 pub mod count;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod malicious;
 pub mod max;
 pub mod median;
 pub mod multiattr;
 pub mod params;
+pub mod plans;
 pub mod psi;
 pub mod psu;
 pub mod sum;
 pub mod tables;
 
+pub use engine::{Engine, Operation, QueryStats, ServerExec, ServerNode};
 pub use error::{ProtocolError, Result};
 pub use params::{
     AnnouncerParams, Initiator, OwnerParams, ServerParams, Setup, SystemConfig, ADDITIVE_SERVERS,
     SHAMIR_SERVERS,
 };
+pub use plans::{AggResult, Aggregate, PsiOutcome, QueryBatch};
 pub use tables::OwnerTable;

@@ -27,6 +27,9 @@
 //! Verification (reconstruction; DESIGN.md §3.9): each owner checks the
 //! announced max is ≥ its own blinded contribution, that F-inversion
 //! succeeds, and that at least one owner claims the max in round 3.
+//!
+//! Driven end-to-end by the [`crate::plans::Max`] round plan (chunked
+//! per-cell pipeline over the engine's wide-share commands).
 
 use crate::error::{ProtocolError, Result};
 use crate::params::{AnnouncerParams, OwnerParams, ServerParams};
@@ -106,22 +109,15 @@ pub fn server_max_round_threads(
     let slots: Vec<usize> = (0..sp.m).map(|j| sp.pf_owners.dest(j)).collect();
     let mut out = WideVec::zeroed(cells * sp.m, w);
     let row_stride = sp.m * w;
-    let chunk_cells = cells.div_ceil(threads.max(1)).max(1);
-    std::thread::scope(|scope| {
-        for (ci, chunk) in out.data.chunks_mut(chunk_cells * row_stride).enumerate() {
-            let first_cell = ci * chunk_cells;
-            let n_cells = chunk.len() / row_stride;
-            let slots = &slots;
-            scope.spawn(move || {
-                for (j, upload) in owner_uploads.iter().enumerate() {
-                    let slot = slots[j];
-                    for k in 0..n_cells {
-                        let c = first_cell + k;
-                        let dst = k * row_stride + slot * w;
-                        chunk[dst..dst + w].copy_from_slice(upload.shares.row(c));
-                    }
-                }
-            });
+    crate::chunk::fill_rows(&mut out.data, row_stride, threads, |first_cell, chunk| {
+        let n_cells = chunk.len() / row_stride;
+        for (j, upload) in owner_uploads.iter().enumerate() {
+            let slot = slots[j];
+            for k in 0..n_cells {
+                let c = first_cell + k;
+                let dst = k * row_stride + slot * w;
+                chunk[dst..dst + w].copy_from_slice(upload.shares.row(c));
+            }
         }
     });
     Ok(out)
@@ -466,6 +462,16 @@ pub fn owner_claim_bits(
 /// Server Step 6: assemble the fpos vector — per cell, the m owners' claim
 /// shares in owner order (no permutation; identities are the point).
 pub fn server_assemble_fpos(owner_claims: &[Vec<u64>], sp: &ServerParams) -> Result<Vec<Vec<u64>>> {
+    server_assemble_fpos_threads(owner_claims, sp, 1)
+}
+
+/// [`server_assemble_fpos`] with an explicit worker count (chunk-parallel
+/// over cells).
+pub fn server_assemble_fpos_threads(
+    owner_claims: &[Vec<u64>],
+    sp: &ServerParams,
+    threads: usize,
+) -> Result<Vec<Vec<u64>>> {
     if owner_claims.len() != sp.m {
         return Err(ProtocolError::ParameterMismatch(format!(
             "expected {} claim vectors, got {}",
@@ -479,9 +485,9 @@ pub fn server_assemble_fpos(owner_claims: &[Vec<u64>], sp: &ServerParams) -> Res
             "owners disagree on claim-vector length".into(),
         ));
     }
-    Ok((0..cells)
-        .map(|c| owner_claims.iter().map(|v| v[c]).collect())
-        .collect())
+    Ok(crate::chunk::map_indexed(cells, threads, |c| {
+        owner_claims.iter().map(|v| v[c]).collect()
+    }))
 }
 
 /// Owner Step 7: add the two fpos share tables → per-cell holder bitmaps.

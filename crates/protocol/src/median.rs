@@ -6,6 +6,8 @@
 //! the blinding polynomial preserves order, the middle blinded value
 //! belongs to the owner holding the middle plaintext value, so owners
 //! invert `F` exactly as in max.
+//!
+//! Driven end-to-end by the [`crate::plans::Median`] round plan.
 
 use crate::error::{ProtocolError, Result};
 use crate::max::MaxAnnouncement;

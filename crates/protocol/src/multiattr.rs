@@ -4,8 +4,9 @@
 //! `Dom(A_c) × Dom(A_x) × …`: each tuple maps to one cell of a table of
 //! length `b = Π |Dom(A_i)|` and the single-attribute machinery runs
 //! unchanged. This module provides the tuple-table construction and decode
-//! helpers; for large products, use [`crate::bucket`] to avoid touching
-//! all `b` cells.
+//! helpers; the [`crate::plans::PsiTuples`] round plan (and
+//! `Cluster::psi_common_tuples`) runs product-domain PSI end-to-end. For
+//! large products, use [`crate::bucket`] to avoid touching all `b` cells.
 
 use crate::error::Result;
 use crate::tables::OwnerTable;

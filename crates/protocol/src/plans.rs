@@ -1,0 +1,712 @@
+//! Round plans: every PRISM operation expressed as an [`Operation`] the
+//! engine can execute over any transport.
+//!
+//! Each plan is the owner-side orchestration of one query from the paper —
+//! PSI (§5), PSU (§7), the aggregations over PSI (§6), and their
+//! verification rounds — written once against [`Ctx`]'s narrow API.
+//! `driver::Cluster` (in-process) and `prism_net::NetCluster`
+//! (channel/TCP) both run queries by constructing these exact types, so
+//! there is no per-harness protocol logic anywhere.
+//!
+//! [`QueryBatch`] is the multi-aggregation plan: several §6 aggregations
+//! over one PSI result, evaluated in a single round-2 round-trip via
+//! [`BatchQuery`](crate::engine::BatchQuery).
+
+use crate::average::{self, AvgCell};
+use crate::count;
+use crate::engine::{
+    AnnouncerCmd, AnnouncerReply, BatchItem, Ctx, Operation, QueryOp, ServerCmd, ServerExec,
+    ServerReply,
+};
+use crate::error::{ProtocolError, Result};
+use crate::max::{self, MaxCell};
+use crate::median::{self, MedianCell};
+use crate::multiattr;
+use crate::psi;
+use crate::psu;
+use crate::sum;
+use crate::tables::share_payload;
+use prism_core::wide::WideVec;
+use prism_core::{PolyTable, Prg, ProductDomain};
+
+/// The two additive servers (round-1 ops).
+const ADDITIVE: [usize; 2] = [0, 1];
+/// All three Shamir servers (round-2 aggregation ops).
+const SHAMIR: [usize; 3] = [0, 1, 2];
+
+/// PSI outcome: the combined Equation-4 vector plus its decodes.
+#[derive(Debug, Clone)]
+pub struct PsiOutcome {
+    /// Raw combined vector (Equation 4).
+    pub fop: Vec<u64>,
+    /// Per-cell membership.
+    pub members: Vec<bool>,
+    /// Common cell indices.
+    pub common: Vec<usize>,
+}
+
+impl PsiOutcome {
+    fn from_fop(fop: Vec<u64>) -> PsiOutcome {
+        let members = psi::membership(&fop);
+        let common = psi::common_cells(&fop);
+        PsiOutcome {
+            fop,
+            members,
+            common,
+        }
+    }
+}
+
+/// PSI (§5.1): one round over the additive servers.
+#[derive(Debug, Clone, Copy)]
+pub struct Psi;
+
+impl Operation for Psi {
+    type Output = PsiOutcome;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<PsiOutcome> {
+        let outs = ctx.query(&ADDITIVE, &[BatchItem::plain(QueryOp::Psi)], |_| Vec::new())?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            let fop = psi::owner_combine(&outs[0][0], &outs[1][0], op)?;
+            Ok(PsiOutcome::from_fop(fop))
+        })
+    }
+}
+
+/// PSI with result verification (§5.2). Both the Equation-3 and the
+/// Equation-7 rounds ride in one batched round-trip; fails if any server
+/// tampered.
+#[derive(Debug, Clone, Copy)]
+pub struct PsiVerified;
+
+impl Operation for PsiVerified {
+    type Output = PsiOutcome;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<PsiOutcome> {
+        let items = [
+            BatchItem::plain(QueryOp::Psi),
+            BatchItem::plain(QueryOp::PsiVerify),
+        ];
+        let outs = ctx.query(&ADDITIVE, &items, |_| Vec::new())?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            let fop = psi::owner_combine(&outs[0][0], &outs[1][0], op)?;
+            psi::owner_verify(&fop, &outs[0][1], &outs[1][1], op)?;
+            Ok(PsiOutcome::from_fop(fop))
+        })
+    }
+}
+
+/// PSU (§7): one round; decodes to union membership.
+#[derive(Debug, Clone, Copy)]
+pub struct Psu;
+
+impl Operation for Psu {
+    type Output = Vec<bool>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<bool>> {
+        let outs = ctx.query(&ADDITIVE, &[BatchItem::plain(QueryOp::Psu)], |_| Vec::new())?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            let combined = psu::owner_combine(&outs[0][0], &outs[1][0], op)?;
+            Ok(psu::membership(&combined))
+        })
+    }
+}
+
+/// PSU with two-copy verification (reconstruction; DESIGN.md §3.9): both
+/// permuted copies are evaluated in one batched round-trip and must agree
+/// on membership. Returns membership in the composed `PF_i` order.
+#[derive(Debug, Clone, Copy)]
+pub struct PsuVerified;
+
+impl Operation for PsuVerified {
+    type Output = Vec<bool>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<bool>> {
+        let items = [
+            BatchItem::plain(QueryOp::PsuVerify(1)),
+            BatchItem::plain(QueryOp::PsuVerify(2)),
+        ];
+        let outs = ctx.query(&ADDITIVE, &items, |_| Vec::new())?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            psu::owner_verify_union((&outs[0][0], &outs[1][0]), (&outs[0][1], &outs[1][1]), op)
+        })
+    }
+}
+
+/// PSI cardinality (§6.5): positions are server-permuted, so only the
+/// count is revealed.
+#[derive(Debug, Clone, Copy)]
+pub struct Count;
+
+impl Operation for Count {
+    type Output = usize;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<usize> {
+        let outs = ctx.query(&ADDITIVE, &[BatchItem::plain(QueryOp::Count)], |_| {
+            Vec::new()
+        })?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| count::owner_count(&outs[0][0], &outs[1][0], op))
+    }
+}
+
+/// PSI cardinality with verification, in one batched round-trip: two
+/// permuted copies (agreement catches cell-targeted forgeries) plus the
+/// complement binding (catches permutation-invariant tampering). See
+/// [`count::owner_verify_count_bound`].
+#[derive(Debug, Clone, Copy)]
+pub struct CountVerified;
+
+impl Operation for CountVerified {
+    type Output = usize;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<usize> {
+        let items = [
+            BatchItem::plain(QueryOp::CountVerify(1)),
+            BatchItem::plain(QueryOp::CountVerify(2)),
+            BatchItem::plain(QueryOp::CountVerifyComplement),
+        ];
+        let outs = ctx.query(&ADDITIVE, &items, |_| Vec::new())?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            count::owner_verify_count_bound(
+                (&outs[0][0], &outs[1][0]),
+                (&outs[0][1], &outs[1][1]),
+                (&outs[0][2], &outs[1][2]),
+                op,
+            )
+        })
+    }
+}
+
+/// Round 1 + z preparation shared by every §6 aggregation: run PSI, turn
+/// `fop` into the 0/1 `z` vector, and Shamir-share it (one share vector
+/// per server, derived from `seed`).
+fn psi_then_z<X: ServerExec>(
+    ctx: &mut Ctx<'_, X>,
+    seed: u64,
+) -> Result<(PsiOutcome, Vec<Vec<u64>>)> {
+    let outcome = Psi.execute(ctx)?;
+    let op = ctx.params();
+    let shares = ctx.owner_step(|| {
+        let z = sum::owner_build_z(&outcome.fop);
+        let mut prg = Prg::from_seed(seed);
+        share_payload(&z, &op.field, &mut prg).shares
+    });
+    Ok((outcome, shares))
+}
+
+fn finalize_col(
+    outs: &[Vec<Vec<u64>>],
+    col: usize,
+    op: &crate::params::OwnerParams,
+) -> Result<Vec<u64>> {
+    sum::owner_finalize([&outs[0][col], &outs[1][col], &outs[2][col]], op)
+}
+
+/// PSI sum over one aggregation attribute (§6.1): two rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Sum {
+    /// Aggregation attribute index.
+    pub attr: u8,
+    /// Seed for the z-share randomness.
+    pub seed: u64,
+}
+
+impl Operation for Sum {
+    type Output = Vec<u64>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<u64>> {
+        let (_, zs) = psi_then_z(ctx, self.seed)?;
+        let items = [BatchItem::with_z(QueryOp::Sum(self.attr), 0)];
+        let outs = ctx.query(&SHAMIR, &items, |k| vec![zs[k].clone()])?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| finalize_col(&outs, 0, op))
+    }
+}
+
+/// PSI sum over several attributes (Table 12's workload): the attributes
+/// share one PSI and one batched round 2.
+#[derive(Debug, Clone)]
+pub struct SumMulti {
+    /// Aggregation attribute indices.
+    pub attrs: Vec<u8>,
+    /// Seed for the z-share randomness.
+    pub seed: u64,
+}
+
+impl Operation for SumMulti {
+    type Output = Vec<Vec<u64>>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<Vec<u64>>> {
+        let (_, zs) = psi_then_z(ctx, self.seed)?;
+        let items: Vec<BatchItem> = self
+            .attrs
+            .iter()
+            .map(|&a| BatchItem::with_z(QueryOp::Sum(a), 0))
+            .collect();
+        let outs = ctx.query(&SHAMIR, &items, |k| vec![zs[k].clone()])?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            (0..self.attrs.len())
+                .map(|col| finalize_col(&outs, col, op))
+                .collect()
+        })
+    }
+}
+
+/// PSI sum with permuted-copy verification: the primary and the
+/// `PF_db1`-permuted evaluation share one batched round 2.
+#[derive(Debug, Clone, Copy)]
+pub struct SumVerified {
+    /// Aggregation attribute index.
+    pub attr: u8,
+    /// Seed for the z-share randomness.
+    pub seed: u64,
+}
+
+impl Operation for SumVerified {
+    type Output = Vec<u64>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<u64>> {
+        let outcome = Psi.execute(ctx)?;
+        let op = ctx.params();
+        let (zs, zps) = ctx.owner_step(|| {
+            let z = sum::owner_build_z(&outcome.fop);
+            let mut prg = Prg::from_seed(self.seed);
+            let z_shares = share_payload(&z, &op.field, &mut prg).shares;
+            let zp = op.pf_db1.apply(&z);
+            let mut vprg = Prg::from_seed(self.seed ^ 0x7EE1);
+            let zp_shares = share_payload(&zp, &op.field, &mut vprg).shares;
+            (z_shares, zp_shares)
+        });
+        let items = [
+            BatchItem::with_z(QueryOp::Sum(self.attr), 0),
+            BatchItem::with_z(QueryOp::SumVerify(self.attr), 1),
+        ];
+        let outs = ctx.query(&SHAMIR, &items, |k| vec![zs[k].clone(), zps[k].clone()])?;
+        ctx.try_owner_step(|| {
+            let primary = finalize_col(&outs, 0, op)?;
+            let verification = finalize_col(&outs, 1, op)?;
+            sum::owner_verify(&primary, &verification, op)?;
+            Ok(primary)
+        })
+    }
+}
+
+/// PSI average (§6.2): sums and tuple counts in one batched round 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Average {
+    /// Aggregation attribute index.
+    pub attr: u8,
+    /// Seed for the z-share randomness.
+    pub seed: u64,
+}
+
+impl Operation for Average {
+    type Output = Vec<AvgCell>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<AvgCell>> {
+        let (_, zs) = psi_then_z(ctx, self.seed)?;
+        let items = [
+            BatchItem::with_z(QueryOp::Sum(self.attr), 0),
+            BatchItem::with_z(QueryOp::SumCounts, 0),
+        ];
+        let outs = ctx.query(&SHAMIR, &items, |k| vec![zs[k].clone()])?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            let sums = finalize_col(&outs, 0, op)?;
+            let counts = finalize_col(&outs, 1, op)?;
+            Ok(average::cells_from(&sums, &counts))
+        })
+    }
+}
+
+/// One aggregation inside a [`QueryBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// PSI sum over an attribute (§6.1).
+    Sum(u8),
+    /// PSI average over an attribute (§6.2).
+    Avg(u8),
+    /// Per-cell tuple counts over the intersection (average's count side
+    /// on its own).
+    CountTuples,
+}
+
+/// One aggregation's result inside a batch, parallel to
+/// [`QueryBatch::aggs`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggResult {
+    /// Result of [`Aggregate::Sum`].
+    Sums(Vec<u64>),
+    /// Result of [`Aggregate::Avg`].
+    Avg(Vec<AvgCell>),
+    /// Result of [`Aggregate::CountTuples`].
+    Counts(Vec<u64>),
+}
+
+/// Several aggregations over **one** PSI result, evaluated in a single
+/// round-2 round-trip: one PSI round, then one [`BatchQuery`] per server
+/// carrying every requested column pass (shared columns are evaluated
+/// once — sum+avg over the same attribute costs one server pass).
+///
+/// [`BatchQuery`]: crate::engine::BatchQuery
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryBatch {
+    /// The aggregations to evaluate, in result order.
+    pub aggs: Vec<Aggregate>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> QueryBatch {
+        QueryBatch::default()
+    }
+
+    /// Append a sum over `attr`.
+    pub fn sum(mut self, attr: u8) -> Self {
+        self.aggs.push(Aggregate::Sum(attr));
+        self
+    }
+
+    /// Append an average over `attr`.
+    pub fn avg(mut self, attr: u8) -> Self {
+        self.aggs.push(Aggregate::Avg(attr));
+        self
+    }
+
+    /// Append per-cell tuple counts.
+    pub fn count_tuples(mut self) -> Self {
+        self.aggs.push(Aggregate::CountTuples);
+        self
+    }
+}
+
+/// The plan executing a [`QueryBatch`].
+#[derive(Debug, Clone)]
+pub struct Batch<'a> {
+    /// The aggregations to run.
+    pub batch: &'a QueryBatch,
+    /// Seed for the z-share randomness.
+    pub seed: u64,
+}
+
+impl Operation for Batch<'_> {
+    type Output = Vec<AggResult>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<AggResult>> {
+        let (_, zs) = psi_then_z(ctx, self.seed)?;
+        // Dedup the server passes: one Sum(attr) item per distinct
+        // attribute, at most one SumCounts item, whatever the aggs ask.
+        let mut items: Vec<BatchItem> = Vec::new();
+        let mut sum_col: Vec<(u8, usize)> = Vec::new();
+        let mut counts_col: Option<usize> = None;
+        for agg in &self.batch.aggs {
+            if let Aggregate::Sum(a) | Aggregate::Avg(a) = *agg {
+                if !sum_col.iter().any(|&(attr, _)| attr == a) {
+                    items.push(BatchItem::with_z(QueryOp::Sum(a), 0));
+                    sum_col.push((a, items.len() - 1));
+                }
+            }
+            if matches!(agg, Aggregate::Avg(_) | Aggregate::CountTuples) && counts_col.is_none() {
+                items.push(BatchItem::with_z(QueryOp::SumCounts, 0));
+                counts_col = Some(items.len() - 1);
+            }
+        }
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let outs = ctx.query(&SHAMIR, &items, |k| vec![zs[k].clone()])?;
+        let op = ctx.params();
+        ctx.try_owner_step(|| {
+            let finalized: Vec<Vec<u64>> = (0..items.len())
+                .map(|col| finalize_col(&outs, col, op))
+                .collect::<Result<_>>()?;
+            let sum_of = |a: u8| -> &Vec<u64> {
+                let (_, col) = sum_col.iter().find(|&&(attr, _)| attr == a).unwrap();
+                &finalized[*col]
+            };
+            self.batch
+                .aggs
+                .iter()
+                .map(|agg| {
+                    Ok(match *agg {
+                        Aggregate::Sum(a) => AggResult::Sums(sum_of(a).clone()),
+                        Aggregate::Avg(a) => {
+                            let counts = &finalized[counts_col.unwrap()];
+                            AggResult::Avg(average::cells_from(sum_of(a), counts))
+                        }
+                        Aggregate::CountTuples => {
+                            AggResult::Counts(finalized[counts_col.unwrap()].clone())
+                        }
+                    })
+                })
+                .collect()
+        })
+    }
+}
+
+fn expect_wide(reply: ServerReply) -> Result<WideVec> {
+    match reply {
+        ServerReply::Wide(w) => Ok(w),
+        _ => Err(ProtocolError::MalformedResponse(
+            "expected wide-share output from max round",
+        )),
+    }
+}
+
+fn expect_fpos(reply: ServerReply) -> Result<Vec<Vec<u64>>> {
+    match reply {
+        ServerReply::Fpos(f) => Ok(f),
+        _ => Err(ProtocolError::MalformedResponse(
+            "expected fpos output from claim round",
+        )),
+    }
+}
+
+/// PSI maximum (§6.3, all three rounds) with built-in verification.
+///
+/// `values[j]` is owner j's per-cell maxima column — owner-side data that
+/// never left the owners, so the constructing harness must supply it. The
+/// per-common-cell pipeline (blind → permute → announce → decode → claim)
+/// runs in bounded chunks of `cell_chunk` cells so memory stays flat even
+/// when millions of cells are common.
+#[derive(Debug)]
+pub struct Max<'a> {
+    /// Per-owner per-cell maxima (owner order).
+    pub values: Vec<&'a [u64]>,
+    /// Precomputed F-table, if the aggregation domain is small enough.
+    pub table: Option<&'a PolyTable>,
+    /// Base seed for the owners' blinding randomness.
+    pub seed: u64,
+    /// Cells per pipeline chunk.
+    pub cell_chunk: usize,
+}
+
+impl Operation for Max<'_> {
+    type Output = (Vec<MaxCell>, Vec<Vec<bool>>);
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Self::Output> {
+        let m = self.values.len();
+        let outcome = Psi.execute(ctx)?;
+        let op = ctx.params();
+        let threads = ctx.threads;
+        let chunk_size = self.cell_chunk.max(1);
+
+        let mut decoded_all = Vec::with_capacity(outcome.common.len());
+        let mut holders_all = Vec::with_capacity(outcome.common.len());
+        for (chunk_no, common) in outcome.common.chunks(chunk_size).enumerate() {
+            // Round 2, owner step: blind the maxima (per-owner max time).
+            let mut up1 = Vec::with_capacity(m);
+            let mut up2 = Vec::with_capacity(m);
+            let mut own_blinded: Vec<WideVec> = Vec::with_capacity(m);
+            ctx.each_owner(m, |j| {
+                let sj = self.seed ^ (j as u64 + 0xB11D) ^ ((chunk_no as u64) << 24);
+                let (a, b, own) = match self.table {
+                    Some(t) => {
+                        max::owner_blind_maxima_tab(self.values[j], common, t, op, sj, threads)
+                    }
+                    None => {
+                        let mut prg = Prg::from_seed(sj);
+                        max::owner_blind_maxima(self.values[j], common, op, &mut prg)
+                    }
+                };
+                up1.push(a);
+                up2.push(b);
+                own_blinded.push(own);
+                Ok(())
+            })?;
+
+            // Round 2, server + announcer steps.
+            let threads32 = threads as u32;
+            let mut replies = ctx.round(vec![
+                (
+                    0,
+                    ServerCmd::MaxCombine {
+                        uploads: up1,
+                        threads: threads32,
+                    },
+                ),
+                (
+                    1,
+                    ServerCmd::MaxCombine {
+                        uploads: up2,
+                        threads: threads32,
+                    },
+                ),
+            ])?;
+            let to_ann_2 = expect_wide(replies.pop().unwrap())?;
+            let to_ann_1 = expect_wide(replies.pop().unwrap())?;
+            let ann = match ctx.announce(AnnouncerCmd::FindMax {
+                from_s1: &to_ann_1,
+                from_s2: &to_ann_2,
+            })? {
+                AnnouncerReply::Max(a) => a,
+                AnnouncerReply::Median(_) => {
+                    return Err(ProtocolError::MalformedResponse(
+                        "announcer replied median to a max request",
+                    ))
+                }
+            };
+            drop(to_ann_1);
+            drop(to_ann_2);
+
+            let (decoded, announced) = ctx.try_owner_step(|| match self.table {
+                Some(t) => max::owner_decode_max_tab(common, &ann, t, op, threads),
+                None => max::owner_decode_max(common, &ann, op),
+            })?;
+
+            // Round 3: identities of all max holders.
+            let mut claims1 = Vec::with_capacity(m);
+            let mut claims2 = Vec::with_capacity(m);
+            ctx.each_owner(m, |j| {
+                let mut prg =
+                    Prg::from_seed(self.seed ^ (j as u64 + 0xC1A1) ^ ((chunk_no as u64) << 24));
+                let (a, b) = max::owner_claim_bits(self.values[j], &decoded, op, &mut prg);
+                claims1.push(a);
+                claims2.push(b);
+                Ok(())
+            })?;
+            let mut replies = ctx.round(vec![
+                (
+                    0,
+                    ServerCmd::AssembleFpos {
+                        claims: claims1,
+                        threads: threads32,
+                    },
+                ),
+                (
+                    1,
+                    ServerCmd::AssembleFpos {
+                        claims: claims2,
+                        threads: threads32,
+                    },
+                ),
+            ])?;
+            let fpos2 = expect_fpos(replies.pop().unwrap())?;
+            let fpos1 = expect_fpos(replies.pop().unwrap())?;
+            let holders = ctx.try_owner_step(|| max::owner_decode_fpos(&fpos1, &fpos2, op))?;
+
+            // Every owner verifies against its own contribution.
+            ctx.each_owner(m, |j| {
+                max::owner_verify_max(&own_blinded[j], &announced, &decoded, &holders)
+            })?;
+
+            decoded_all.extend(decoded);
+            holders_all.extend(holders);
+        }
+        Ok((decoded_all, holders_all))
+    }
+}
+
+/// PSI median (§6.4): like [`Max`] through the server round, with the
+/// announcer returning the middle element(s) and no claim round.
+///
+/// `values[j]` is owner j's per-cell *sums* column (§6.4 aggregates each
+/// owner's summed contribution).
+#[derive(Debug)]
+pub struct Median<'a> {
+    /// Per-owner per-cell summed values (owner order).
+    pub values: Vec<&'a [u64]>,
+    /// Precomputed F-table, if the aggregation domain is small enough.
+    pub table: Option<&'a PolyTable>,
+    /// Base seed for the owners' blinding randomness.
+    pub seed: u64,
+    /// Cells per pipeline chunk.
+    pub cell_chunk: usize,
+}
+
+impl Operation for Median<'_> {
+    type Output = Vec<MedianCell>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<MedianCell>> {
+        let m = self.values.len();
+        let outcome = Psi.execute(ctx)?;
+        let op = ctx.params();
+        let threads = ctx.threads;
+        let chunk_size = self.cell_chunk.max(1);
+
+        let mut cells_all = Vec::with_capacity(outcome.common.len());
+        for (chunk_no, common) in outcome.common.chunks(chunk_size).enumerate() {
+            let mut up1 = Vec::with_capacity(m);
+            let mut up2 = Vec::with_capacity(m);
+            ctx.each_owner(m, |j| {
+                let sj = self.seed ^ (j as u64 + 0xED1A) ^ ((chunk_no as u64) << 24);
+                let (a, b, _) = match self.table {
+                    Some(t) => {
+                        max::owner_blind_maxima_tab(self.values[j], common, t, op, sj, threads)
+                    }
+                    None => {
+                        let mut prg = Prg::from_seed(sj);
+                        max::owner_blind_maxima(self.values[j], common, op, &mut prg)
+                    }
+                };
+                up1.push(a);
+                up2.push(b);
+                Ok(())
+            })?;
+
+            let threads32 = threads as u32;
+            let mut replies = ctx.round(vec![
+                (
+                    0,
+                    ServerCmd::MaxCombine {
+                        uploads: up1,
+                        threads: threads32,
+                    },
+                ),
+                (
+                    1,
+                    ServerCmd::MaxCombine {
+                        uploads: up2,
+                        threads: threads32,
+                    },
+                ),
+            ])?;
+            let to_ann_2 = expect_wide(replies.pop().unwrap())?;
+            let to_ann_1 = expect_wide(replies.pop().unwrap())?;
+            let ann = match ctx.announce(AnnouncerCmd::FindMedian {
+                from_s1: &to_ann_1,
+                from_s2: &to_ann_2,
+            })? {
+                AnnouncerReply::Median(a) => a,
+                AnnouncerReply::Max(_) => {
+                    return Err(ProtocolError::MalformedResponse(
+                        "announcer replied max to a median request",
+                    ))
+                }
+            };
+            drop(to_ann_1);
+            drop(to_ann_2);
+
+            let decoded = ctx.try_owner_step(|| match self.table {
+                Some(t) => median::owner_decode_median_tab(common, &ann, t, op),
+                None => median::owner_decode_median(common, &ann, op),
+            })?;
+            cells_all.extend(decoded);
+        }
+        Ok(cells_all)
+    }
+}
+
+/// PSI over a product domain (§6.6): plain PSI plus owner-side decoding of
+/// common cells back into attribute tuples.
+#[derive(Debug)]
+pub struct PsiTuples<'a> {
+    /// The product domain the cluster's cells were laid out over.
+    pub domain: &'a ProductDomain,
+}
+
+impl Operation for PsiTuples<'_> {
+    type Output = Vec<Vec<u64>>;
+
+    fn execute<X: ServerExec>(&self, ctx: &mut Ctx<'_, X>) -> Result<Vec<Vec<u64>>> {
+        let outcome = Psi.execute(ctx)?;
+        Ok(ctx.owner_step(|| multiattr::decode_common_tuples(&outcome.fop, self.domain)))
+    }
+}

@@ -13,6 +13,10 @@
 //! `PF_db1`, for which servers compute `Vout_φ[i] = g^(⊕_j Ā(x_i)_j^φ)`
 //! (Equation 7, no `m` subtraction); owners un-permute and check
 //! `fop_i · v_i ≡ 1 (mod η)` per cell (Equations 8–10).
+//!
+//! This module holds the *step functions*; the [`crate::plans::Psi`] and
+//! [`crate::plans::PsiVerified`] round plans compose them for execution
+//! by the engine over any transport.
 
 use crate::chunk::fill_chunks;
 use crate::error::{ProtocolError, Result};

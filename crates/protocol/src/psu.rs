@@ -12,6 +12,9 @@
 //! `count_i · rand[i] mod δ`, which is 0 iff no owner holds the value and
 //! otherwise a unit multiple the owners cannot invert (they don't know
 //! `rand[i]`), hiding *how many* owners hold each value.
+//!
+//! Driven end-to-end by the [`crate::plans::Psu`] and
+//! [`crate::plans::PsuVerified`] round plans.
 
 use crate::chunk::fill_chunks;
 use crate::error::{ProtocolError, Result};
@@ -118,6 +121,16 @@ pub fn server_psu_verify_round(
 /// differ between copies (each copy's PRG stream binds to its permuted
 /// positions), so only the 0/≠0 pattern — the actual result — is
 /// comparable, which is exactly what must be protected.
+///
+/// Known limitation of the two-copy reconstruction: the copies are
+/// computed in different orders, so any *cell-targeted* forgery lands at
+/// different `PF_i` positions and is caught (§5.2's 1/b² argument), but a
+/// *permutation-invariant* corruption — a server filling every cell of
+/// both copies with one value — decodes to (nearly) the full-domain union
+/// in both copies and passes agreement. Such tampering cannot craft a
+/// chosen union, only the degenerate all-present one; callers needing
+/// protection against it should cross-check the union's plausibility
+/// (e.g. against `psi_verified`'s complement-bound membership).
 pub fn owner_verify_union(
     copy_a: (&[u64], &[u64]),
     copy_b: (&[u64], &[u64]),

@@ -25,6 +25,10 @@
 //! The reconstructed verification vector must be the `PF_db1`-image of the
 //! primary vector — a server cannot tamper consistently with a permutation
 //! it does not know.
+//!
+//! Driven end-to-end by the [`crate::plans::Sum`], [`crate::plans::SumMulti`]
+//! and [`crate::plans::SumVerified`] round plans (the verified variant
+//! batches the primary and verification passes into one round-trip).
 
 use crate::chunk::fill_chunks;
 use crate::error::{ProtocolError, Result};

@@ -1,0 +1,90 @@
+//! `ClusterConfig::threads` must not be decorative: for **every**
+//! operation, running with `threads > 1` must (a) produce results
+//! identical to the single-threaded run and (b) observably take the
+//! chunked parallel path (`chunk::parallel_dispatches` counts only calls
+//! that actually split work across scoped threads).
+//!
+//! Historically several operations ignored the thread count because their
+//! server steps bypassed the chunk helpers; since the engine refactor all
+//! server steps funnel through `chunk::fill_chunks` / `fill_rows` /
+//! `map_indexed`, which is exactly what this test pins down.
+
+use prism_protocol::chunk;
+use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput, QueryBatch};
+
+const DOMAIN: usize = 96;
+const THREADS: usize = 4;
+
+fn build(threads: usize) -> Cluster {
+    // 3 owners, two aggregation attributes, plenty of overlap so max /
+    // median have common cells to pipeline.
+    let inputs: Vec<OwnerInput> = (0..3u64)
+        .map(|j| OwnerInput {
+            rows: (1..=DOMAIN as u64)
+                .filter(|v| v % (j + 2) != 1)
+                .map(|v| (v, vec![v * 3 + j, v % 17 + j]))
+                .collect(),
+        })
+        .collect();
+    let mut cfg = ClusterConfig::new(DOMAIN);
+    cfg.seed = 0xD15;
+    cfg.agg_domain_max = 4000;
+    cfg.threads = threads;
+    Cluster::build(&inputs, cfg).unwrap()
+}
+
+/// Run `op` on a single-threaded and a multi-threaded cluster; assert the
+/// outputs agree and that the multi-threaded run dispatched in parallel.
+fn check<T: PartialEq + std::fmt::Debug>(name: &str, op: impl Fn(&Cluster) -> T) {
+    let serial = build(1);
+    let parallel = build(THREADS);
+    let reference = op(&serial);
+    let before = chunk::parallel_dispatches();
+    let result = op(&parallel);
+    let dispatches = chunk::parallel_dispatches() - before;
+    assert_eq!(result, reference, "{name}: threads changed the result");
+    assert!(
+        dispatches > 0,
+        "{name}: threads={THREADS} never took the parallel chunk path"
+    );
+}
+
+#[test]
+fn every_operation_parallelizes_and_matches_serial() {
+    check("psi", |c| c.psi().unwrap().0.fop);
+    check("psi_verified", |c| c.psi_verified().unwrap().0.fop);
+    check("psu", |c| c.psu().unwrap().0);
+    check("psu_verified", |c| c.psu_verified().unwrap().0);
+    check("count", |c| c.psi_count().unwrap().0);
+    check("count_verified", |c| c.psi_count_verified().unwrap().0);
+    check("sum", |c| c.psi_sum(0).unwrap().0);
+    check("sum_multi", |c| c.psi_sum_multi(&[0, 1]).unwrap().0);
+    check("sum_verified", |c| c.psi_sum_verified(0).unwrap().0);
+    check("average", |c| {
+        c.psi_avg(0)
+            .unwrap()
+            .0
+            .iter()
+            .map(|cell| (cell.sum, cell.count))
+            .collect::<Vec<_>>()
+    });
+    check("max", |c| {
+        let (cells, holders, _) = c.psi_max(0).unwrap();
+        (
+            cells.iter().map(|m| (m.cell, m.max)).collect::<Vec<_>>(),
+            holders,
+        )
+    });
+    check("median", |c| {
+        c.psi_median(0)
+            .unwrap()
+            .0
+            .iter()
+            .map(|m| (m.cell, m.values.clone()))
+            .collect::<Vec<_>>()
+    });
+    check("query_batch", |c| {
+        let batch = QueryBatch::new().sum(0).avg(1).count_tuples();
+        c.psi_query_batch(&batch).unwrap().0
+    });
+}

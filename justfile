@@ -33,6 +33,11 @@ doc:
 bench-check:
     cargo bench --no-run
 
+# Smoke-test the measurement stack: compile the criterion benches and run
+# exp_harness on the smallest config grid (seconds, not minutes).
+bench-smoke: bench-check
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen --scale small
+
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:
     cargo bench
