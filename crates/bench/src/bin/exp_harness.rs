@@ -1,28 +1,35 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|all]
 //!             [--scale small|medium|full] [--seed N]
+//!             [--shard-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
 //! runs the paper-scale parameters (5M/20M domains, 10–50 owners, the
 //! 100M-leaf bucket tree) and needs a machine comparable to the paper's
 //! servers (tens of GB of RAM, tens of minutes).
+//!
+//! `shard` sweeps shard counts {1, 2, 4, 8} over the fixed 1M-cell
+//! config (whatever the scale) and writes the `BENCH_shard.json`
+//! artifact CI publishes.
 
-use prism_bench::{exp1, exp2, exp3, exp4, sharegen, table13};
+use prism_bench::{exp1, exp2, exp3, exp4, shardexp, sharegen, table13};
 use prism_workload::configs::{self, Scale};
 
 struct Args {
     which: Vec<String>,
     scale: Scale,
     seed: u64,
+    shard_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut which = Vec::new();
     let mut scale = Scale::Small;
     let mut seed = 42u64;
+    let mut shard_json = std::path::PathBuf::from("BENCH_shard.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,10 +46,16 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--shard-json" => {
+                shard_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--shard-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|all]* \
-                     [--scale small|medium|full] [--seed N]"
+                    "usage: exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|all]* \
+                     [--scale small|medium|full] [--seed N] [--shard-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -52,7 +65,12 @@ fn parse_args() -> Args {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    Args { which, scale, seed }
+    Args {
+        which,
+        scale,
+        seed,
+        shard_json,
+    }
 }
 
 fn main() {
@@ -100,5 +118,14 @@ fn main() {
         let domains = configs::ok_domains(scale);
         let rows = sharegen::run(&domains, 10, seed);
         sharegen::print(&rows);
+    }
+    if wants("shard") {
+        let (domain, owners, reps) = configs::shard_bench();
+        let rows = shardexp::run(domain, owners, &configs::shard_counts(), reps, seed);
+        shardexp::print(domain, owners, &rows);
+        match shardexp::write_json(&args.shard_json, domain, owners, &rows) {
+            Ok(()) => println!("wrote {}", args.shard_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.shard_json.display()),
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! | [`exp4`] | Figure 5 (bucketization) |
 //! | [`table13`] | Table 13 (baseline comparison) |
 //! | [`sharegen`] | §8.1 share-generation times |
+//! | [`shardexp`] | sharded-domain scaling (PSI/sum vs shard count, `BENCH_shard.json`) |
 //!
 //! The `exp_harness` binary drives them at `--scale small|medium|full`;
 //! the Criterion benches under `benches/` track the same code paths at
@@ -25,5 +26,6 @@ pub mod exp2;
 pub mod exp3;
 pub mod exp4;
 pub mod report;
+pub mod shardexp;
 pub mod sharegen;
 pub mod table13;

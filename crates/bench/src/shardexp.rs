@@ -1,0 +1,202 @@
+//! Sharded-domain scaling: PSI + sum server time vs shard count.
+//!
+//! The sharding subsystem's pitch is that a domain's round fans out
+//! across row-range shard nodes, so a single query should speed up with
+//! shard count on a multi-core host (and must never change its result —
+//! the invariance suites pin that). This experiment measures exactly
+//! that: one fixed cluster config per shard count, thread count pinned to
+//! 1 per shard so the *fan-out* is the only parallelism, best-of-N server
+//! time for PSI (round 1 only) and PSI-sum (both rounds).
+//!
+//! `write_json` emits the `BENCH_shard.json` artifact `just bench-smoke`
+//! and CI publish, so the perf trajectory of the sharding layer is
+//! recorded per commit.
+
+use crate::build::AGG_DOMAIN_MAX;
+use crate::report::{print_table, secs};
+use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism_protocol::QueryStats;
+use prism_workload::LineItemConfig;
+use std::time::Duration;
+
+/// One shard-count measurement.
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Shards per server domain.
+    pub shards: usize,
+    /// Best-of-reps PSI server time.
+    pub psi: Duration,
+    /// Best-of-reps PSI-sum server time (both rounds).
+    pub sum: Duration,
+    /// Shard sub-commands one sum query fanned out.
+    pub dispatches: u64,
+    /// The sum query's full stats line (`QueryStats` Display form).
+    pub sum_stats: String,
+}
+
+/// Generate the measurement inputs once: `domain` cells of LineItem rows
+/// per owner, one aggregation attribute (PK).
+fn inputs(domain: u64, owners: usize, seed: u64) -> Vec<OwnerInput> {
+    let gen = LineItemConfig::full(domain, seed);
+    (0..owners)
+        .map(|j| {
+            let rows = gen.generate_owner(j);
+            OwnerInput {
+                rows: rows.iter().map(|r| (r.ok, vec![r.pk])).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Build the measurement cluster: verification columns off (neither
+/// measured op reads them), one worker thread per shard node.
+fn cluster(inputs: &[OwnerInput], domain: u64, shards: usize, seed: u64) -> Cluster {
+    let mut cfg = ClusterConfig::new(domain as usize).with_shards(shards);
+    cfg.seed = seed;
+    cfg.threads = 1;
+    cfg.with_verification = false;
+    cfg.agg_domain_max = AGG_DOMAIN_MAX;
+    Cluster::build(inputs, cfg).expect("cluster build")
+}
+
+/// Run the shard sweep: best-of-`reps` timings per shard count. The
+/// (expensive) input generation happens once, outside the sweep; only
+/// the cluster is rebuilt per shard count.
+pub fn run(
+    domain: u64,
+    owners: usize,
+    shard_counts: &[usize],
+    reps: usize,
+    seed: u64,
+) -> Vec<ShardRow> {
+    let reps = reps.max(1);
+    let inputs = inputs(domain, owners, seed);
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let c = cluster(&inputs, domain, shards, seed);
+            let mut psi = Duration::MAX;
+            let mut sum = Duration::MAX;
+            let mut last: QueryStats = QueryStats::default();
+            for _ in 0..reps {
+                let (_, s) = c.psi().expect("psi");
+                psi = psi.min(s.server_time());
+                let (_, s) = c.psi_sum(0).expect("sum");
+                sum = sum.min(s.server_time());
+                last = s;
+            }
+            ShardRow {
+                shards,
+                psi,
+                sum,
+                dispatches: last.shard_dispatches(),
+                sum_stats: last.to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Speedup of the widest fan-out over the monolithic baseline.
+fn speedup(rows: &[ShardRow], pick: impl Fn(&ShardRow) -> Duration) -> f64 {
+    match (rows.first(), rows.last()) {
+        (Some(base), Some(widest)) if widest.shards > base.shards => {
+            pick(base).as_secs_f64() / pick(widest).as_secs_f64().max(1e-12)
+        }
+        _ => 1.0,
+    }
+}
+
+/// Print the sweep, one row per shard count, with the full stats line.
+pub fn print(domain: u64, owners: usize, rows: &[ShardRow]) {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                secs(r.psi),
+                secs(r.sum),
+                r.dispatches.to_string(),
+                r.sum_stats.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Sharded domains — {domain} OK cells, {owners} owners, 1 thread/shard"),
+        &["Shards", "PSI", "PSI Sum", "Dispatches", "Sum query stats"],
+        &table_rows,
+    );
+    println!(
+        "speedup at {} shards: PSI {:.2}x, sum {:.2}x",
+        rows.last().map_or(1, |r| r.shards),
+        speedup(rows, |r| r.psi),
+        speedup(rows, |r| r.sum),
+    );
+}
+
+/// Write the sweep as a small JSON artifact (hand-rolled — the workspace
+/// vendors no JSON serializer, and the shape is fixed).
+pub fn write_json(
+    path: &std::path::Path,
+    domain: u64,
+    owners: usize,
+    rows: &[ShardRow],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"shard_scaling\",\n");
+    out.push_str(&format!("  \"domain\": {domain},\n"));
+    out.push_str(&format!("  \"owners\": {owners},\n"));
+    out.push_str("  \"threads_per_shard\": 1,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"psi_seconds\": {:.6}, \"sum_seconds\": {:.6}, \"shard_dispatches\": {}}}{}\n",
+            r.shards,
+            r.psi.as_secs_f64(),
+            r.sum.as_secs_f64(),
+            r.dispatches,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"psi_speedup_at_max_shards\": {:.3},\n",
+        speedup(rows, |r| r.psi)
+    ));
+    out.push_str(&format!(
+        "  \"sum_speedup_at_max_shards\": {:.3}\n",
+        speedup(rows, |r| r.sum)
+    ));
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_reports_dispatches() {
+        let rows = run(400, 3, &[1, 2, 4], 1, 5);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].dispatches, 0, "monolithic run fans nothing out");
+        // sum = PSI round (2 servers) + Shamir round (3 servers), ×k.
+        assert_eq!(rows[1].dispatches, 10);
+        assert_eq!(rows[2].dispatches, 20);
+        assert!(rows[2].sum_stats.contains("shard_dispatches=20"));
+        print(400, 3, &rows);
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed_enough() {
+        let rows = run(200, 2, &[1, 2], 1, 6);
+        let path = std::env::temp_dir().join("prism_bench_shard_test.json");
+        write_json(&path, 200, 2, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"shards\": 2"));
+        assert!(text.contains("sum_speedup_at_max_shards"));
+        assert_eq!(text.matches("psi_seconds").count(), 2);
+    }
+}

@@ -1,37 +1,63 @@
-//! A deployed PRISM cluster: server nodes on threads, owners as clients.
+//! A deployed PRISM cluster: server domains on threads, owners as clients.
 //!
-//! Topology is the security argument made physical: each server node
-//! is constructed with exactly *one* link — to the owner side. There is no
+//! Topology is the security argument made physical: each server domain
+//! is constructed with exactly *one* link to the owner side. There is no
 //! constructor that gives a server a link to another server, so the
 //! no-server-communication property of §3.2 holds by construction, and
 //! the per-link meters show exactly what crossed each edge.
 //!
-//! Protocol logic lives entirely in `prism_protocol`: each spawned thread
-//! runs the engine's own [`ServerNode`] behind a message loop, and
-//! [`NetCluster`] implements [`ServerExec`] so the *same* round plans the
-//! in-memory driver executes run here over channels or TCP — including
-//! batched round-2 queries and the tamper × operation verification
-//! matrix. (Max/median additionally need the announcer role, which is not
+//! Since PR 3 a domain is **sharded**: behind the owner-facing link sits a
+//! domain router thread that owns `k ≥ 1` row-range shard workers, each a
+//! plain engine [`ServerNode`] over its own metered link (so a worker can
+//! move to another process or machine without touching protocol code).
+//! The router splits Phase-1 uploads and every [`Message::RunBatch`] by
+//! rows ([`ShardPlan`]), fans the sub-batches out as shard-tagged
+//! [`Message::ShardRun`] envelopes, and merges the shard rows back with
+//! [`prism_protocol::shard::merge_shard_outputs`] — applying the domain's
+//! tampering behaviour and finish permutations *server-side*, where
+//! `PF_s1`/`PF_s2` are allowed to live. The owner side never sees shard
+//! granularity in replies; it only meters it ([`NetReport`]).
+//!
+//! Protocol logic lives entirely in `prism_protocol`: [`NetCluster`]
+//! implements [`ServerExec`] so the *same* round plans the in-memory
+//! driver executes run here over channels or TCP — including batched
+//! round-2 queries and the tamper × operation verification matrix.
+//! (Max/median additionally need the announcer role, which is not
 //! deployed over the wire; they are exercised through the in-memory
 //! driver, which shares every plan with this cluster.)
 
-use crate::transport::{channel_pair, Link, NetError, TcpLink};
+use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
 use crate::wire::{Column, Message};
 use prism_protocol::engine::{
-    AnnouncerCmd, AnnouncerReply, Engine, Operation, QueryStats, ServerCmd, ServerExec, ServerNode,
-    ServerReply,
+    AnnouncerCmd, AnnouncerReply, BatchQuery, Engine, ExecMeters, Operation, QueryStats, ServerCmd,
+    ServerExec, ServerNode, ServerReply,
 };
 use prism_protocol::malicious::Tamper;
 use prism_protocol::params::{ServerParams, Setup, SHAMIR_SERVERS};
+use prism_protocol::shard::{merge_shard_outputs, shard_server_params, ShardPlan};
 use prism_protocol::{average, plans, ProtocolError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use std::thread::JoinHandle;
 
-/// Run one server's message loop until `Shutdown`: an engine
-/// [`ServerNode`] answering wire commands.
+/// Run one shard worker's message loop until `Shutdown`: an engine
+/// [`ServerNode`] answering wire commands. Workers answer both the plain
+/// [`Message::RunBatch`] and the shard-tagged [`Message::ShardRun`]
+/// envelope (echoing the shard index so the router can detect crossed
+/// links).
 fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError> {
     let mut node = ServerNode::new(params);
+    let run = |node: &ServerNode, batch: BatchQuery| -> Vec<Vec<u64>> {
+        match node.execute(&ServerCmd::Run(batch)) {
+            Ok(ServerReply::Vectors(outs)) => outs,
+            // Protocol errors are reported as empty output lists; the
+            // engine's reply-shape check rejects them as a
+            // MalformedResponse at the owner.
+            _ => Vec::new(),
+        }
+    };
     loop {
         match link.recv()? {
             Message::Upload {
@@ -42,35 +68,245 @@ fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError
                 node.store(owner as usize, column, data);
                 link.send(&Message::Ack)?;
             }
+            Message::BulkUpload { owner, columns } => {
+                for (column, data) in columns {
+                    node.store(owner as usize, column, data);
+                }
+                link.send(&Message::Ack)?;
+            }
             Message::SetTamper(t) => {
                 node.set_tamper(t);
                 link.send(&Message::Ack)?;
             }
             Message::RunBatch(batch) => {
-                let reply = match node.execute(&ServerCmd::Run(batch)) {
-                    Ok(ServerReply::Vectors(outs)) => outs,
-                    // Protocol errors are reported as empty output lists;
-                    // the engine's reply-shape check rejects them as a
-                    // MalformedResponse at the owner.
-                    _ => Vec::new(),
-                };
-                link.send(&Message::Outputs(reply))?;
+                let outs = run(&node, batch);
+                link.send(&Message::Outputs(outs))?;
+            }
+            Message::ShardRun { shard, batch } => {
+                let outputs = run(&node, batch);
+                link.send(&Message::ShardOutputs { shard, outputs })?;
             }
             Message::Shutdown => return Ok(()),
-            Message::Outputs(_) | Message::Ack => {
-                // Servers never receive these; ignore defensively.
+            Message::Outputs(_) | Message::ShardOutputs { .. } | Message::Ack => {
+                // Workers never receive these; ignore defensively.
             }
         }
     }
 }
 
-/// Communication report for one query.
+/// Fan one batch out across the shard links and merge the rows back.
+/// Any shard-side failure funnels to `None`; the router reports it as an
+/// empty output list, which the engine's reply-shape check turns into a
+/// `MalformedResponse` at the owner (servers are malicious in this threat
+/// model — a broken shard must not panic the owner).
+fn route_batch(
+    plan: &ShardPlan,
+    params: &ServerParams,
+    tamper: &Tamper,
+    batch: &BatchQuery,
+    shard_links: &[Box<dyn Link>],
+) -> Option<Vec<Vec<u64>>> {
+    let subs = plan.split_batch(batch).ok()?;
+    for (i, (sub, link)) in subs.into_iter().zip(shard_links).enumerate() {
+        link.send(&Message::ShardRun {
+            shard: i as u32,
+            batch: sub,
+        })
+        .ok()?;
+    }
+    let mut per_shard = Vec::with_capacity(shard_links.len());
+    for (i, link) in shard_links.iter().enumerate() {
+        match link.recv().ok()? {
+            Message::ShardOutputs { shard, outputs } if shard as usize == i => {
+                per_shard.push(outputs);
+            }
+            _ => return None, // crossed or malformed shard reply
+        }
+    }
+    merge_shard_outputs(&per_shard, batch, params, tamper).ok()
+}
+
+/// Run one domain's router loop until `Shutdown`: split uploads and
+/// batches by row range, forward to the shard workers, merge replies, and
+/// hold the domain-level tampering behaviour. Forwards `Shutdown` to the
+/// workers before exiting.
+fn domain_loop(
+    params: ServerParams,
+    owner_link: Box<dyn Link>,
+    shard_links: Vec<Box<dyn Link>>,
+) -> Result<(), NetError> {
+    let plan = ShardPlan::new(params.b, shard_links.len());
+    let mut tamper = Tamper::Honest;
+    let forward_acks = |links: &[Box<dyn Link>]| -> Result<(), NetError> {
+        for link in links {
+            match link.recv()? {
+                Message::Ack => {}
+                _ => return Err(NetError::Disconnected),
+            }
+        }
+        Ok(())
+    };
+    loop {
+        match owner_link.recv()? {
+            Message::Upload {
+                owner,
+                column,
+                data,
+            } => {
+                for (part, link) in plan.split_rows(&data).into_iter().zip(&shard_links) {
+                    link.send(&Message::Upload {
+                        owner,
+                        column,
+                        data: part.to_vec(),
+                    })?;
+                }
+                forward_acks(&shard_links)?;
+                owner_link.send(&Message::Ack)?;
+            }
+            Message::BulkUpload { owner, columns } => {
+                for (spec, link) in plan.specs().iter().zip(&shard_links) {
+                    let sliced: Vec<(Column, Vec<u64>)> = columns
+                        .iter()
+                        .map(|(c, data)| {
+                            let parts = plan.split_rows(data);
+                            (*c, parts[spec.index].to_vec())
+                        })
+                        .collect();
+                    link.send(&Message::BulkUpload {
+                        owner,
+                        columns: sliced,
+                    })?;
+                }
+                forward_acks(&shard_links)?;
+                owner_link.send(&Message::Ack)?;
+            }
+            Message::SetTamper(t) => {
+                tamper = t;
+                owner_link.send(&Message::Ack)?;
+            }
+            Message::RunBatch(batch) => {
+                let outs =
+                    route_batch(&plan, &params, &tamper, &batch, &shard_links).unwrap_or_default();
+                owner_link.send(&Message::Outputs(outs))?;
+            }
+            Message::Shutdown => {
+                for link in &shard_links {
+                    link.send(&Message::Shutdown)?;
+                }
+                return Ok(());
+            }
+            Message::Outputs(_)
+            | Message::ShardRun { .. }
+            | Message::ShardOutputs { .. }
+            | Message::Ack => {
+                // Routers never receive these from the owner side; ignore
+                // defensively.
+            }
+        }
+    }
+}
+
+/// Communication report for one query (or cumulatively, since start).
 #[derive(Debug, Clone, Default)]
 pub struct NetReport {
     /// Per-server `(bytes, messages)` sent by the owner side.
     pub to_servers: Vec<(u64, u64)>,
     /// Per-server `(bytes, messages)` received from servers.
     pub from_servers: Vec<(u64, u64)>,
+    /// Per-server, per-shard `(bytes, messages)` the domain router sent
+    /// to its shard workers.
+    pub to_shards: Vec<Vec<(u64, u64)>>,
+    /// Per-server, per-shard `(bytes, messages)` the shard workers sent
+    /// back to their router.
+    pub from_shards: Vec<Vec<(u64, u64)>>,
+}
+
+impl NetReport {
+    /// Number of server domains.
+    pub fn servers(&self) -> usize {
+        self.to_servers.len()
+    }
+
+    /// Shards behind each domain (0 for a report from an unsharded build).
+    pub fn shards_per_server(&self) -> usize {
+        self.to_shards.first().map_or(0, Vec::len)
+    }
+
+    /// `(bytes, messages)` the owner side sent to server `k`.
+    pub fn owner_to_server(&self, k: usize) -> (u64, u64) {
+        self.to_servers.get(k).copied().unwrap_or_default()
+    }
+
+    /// `(bytes, messages)` server `k` sent to the owner side.
+    pub fn server_to_owner(&self, k: usize) -> (u64, u64) {
+        self.from_servers.get(k).copied().unwrap_or_default()
+    }
+
+    /// `(bytes, messages)` server `k`'s router exchanged with shard `s`,
+    /// as `(to_shard, from_shard)`.
+    pub fn shard_link(&self, k: usize, s: usize) -> ((u64, u64), (u64, u64)) {
+        let to = self
+            .to_shards
+            .get(k)
+            .and_then(|v| v.get(s))
+            .copied()
+            .unwrap_or_default();
+        let from = self
+            .from_shards
+            .get(k)
+            .and_then(|v| v.get(s))
+            .copied()
+            .unwrap_or_default();
+        (to, from)
+    }
+
+    /// Total bytes over every owner↔server link (both directions; shard
+    /// links are internal to a domain and not double-counted here).
+    pub fn total_bytes(&self) -> u64 {
+        self.to_servers
+            .iter()
+            .chain(&self.from_servers)
+            .map(|&(bytes, _)| bytes)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for NetReport {
+    /// One line per server domain, with the per-shard fan-out indented:
+    ///
+    /// ```text
+    /// server 0: to 12.3KB/4 msgs, from 98.1KB/4 msgs
+    ///   shard 0: to 3.1KB/4, from 24.5KB/4
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn kb(bytes: u64) -> String {
+            if bytes >= 10_000 {
+                format!("{:.1}KB", bytes as f64 / 1000.0)
+            } else {
+                format!("{bytes}B")
+            }
+        }
+        for k in 0..self.servers() {
+            let (tb, tm) = self.owner_to_server(k);
+            let (fb, fm) = self.server_to_owner(k);
+            writeln!(
+                f,
+                "server {k}: to {}/{tm} msgs, from {}/{fm} msgs",
+                kb(tb),
+                kb(fb)
+            )?;
+            for s in 0..self.to_shards.get(k).map_or(0, Vec::len) {
+                let ((stb, stm), (sfb, sfm)) = self.shard_link(k, s);
+                writeln!(
+                    f,
+                    "  shard {s}: to {}/{stm}, from {}/{sfm}",
+                    kb(stb),
+                    kb(sfb)
+                )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Owner-side handle to a running cluster.
@@ -78,8 +314,12 @@ pub struct NetCluster {
     setup: Setup,
     links: Vec<Box<dyn Link>>,
     handles: Vec<JoinHandle<Result<(), NetError>>>,
-    server_stats: Vec<std::sync::Arc<crate::transport::LinkStats>>,
+    server_stats: Vec<Arc<LinkStats>>,
+    to_shard_stats: Vec<Vec<Arc<LinkStats>>>,
+    from_shard_stats: Vec<Vec<Arc<LinkStats>>>,
+    shards: usize,
     threads: u32,
+    dispatches: AtomicU64,
 }
 
 fn transport_err(e: NetError) -> ProtocolError {
@@ -99,7 +339,13 @@ impl ServerExec for NetCluster {
         let servers: Vec<usize> = cmds.iter().map(|(s, _)| *s).collect();
         for (s, cmd) in cmds {
             let msg = match cmd {
-                ServerCmd::Run(batch) => Message::RunBatch(batch),
+                ServerCmd::Run(batch) => {
+                    if self.shards > 1 {
+                        self.dispatches
+                            .fetch_add(self.shards as u64, Ordering::Relaxed);
+                    }
+                    Message::RunBatch(batch)
+                }
                 ServerCmd::MaxCombine { .. } | ServerCmd::AssembleFpos { .. } => {
                     return Err(ProtocolError::Transport(
                         "wide-share rounds (max/median) are not deployed over the wire".into(),
@@ -131,58 +377,122 @@ impl ServerExec for NetCluster {
             "the announcer role is not deployed over the wire".into(),
         ))
     }
-}
 
-impl NetCluster {
-    /// Start servers on threads connected by in-process channels.
-    pub fn start_local(setup: Setup) -> NetCluster {
-        let mut links: Vec<Box<dyn Link>> = Vec::new();
-        let mut handles = Vec::new();
-        let mut server_stats = Vec::new();
-        for k in 0..SHAMIR_SERVERS {
-            let (owner_end, server_end) = channel_pair();
-            let params = setup.servers[k].clone();
-            server_stats.push(server_end.stats());
-            handles.push(std::thread::spawn(move || {
-                server_loop(params, Box::new(server_end))
-            }));
-            links.push(Box::new(owner_end));
-        }
-        NetCluster {
-            setup,
-            links,
-            handles,
-            server_stats,
-            threads: 1,
+    fn meters(&self) -> ExecMeters {
+        ExecMeters {
+            shard_dispatches: self.dispatches.load(Ordering::Relaxed),
         }
     }
+}
 
-    /// Start servers on threads behind loopback TCP sockets.
+/// A factory producing connected link pairs for one topology edge.
+type LinkPair = (Box<dyn Link>, Box<dyn Link>);
+
+impl NetCluster {
+    /// Start servers on threads connected by in-process channels
+    /// (one shard per domain).
+    pub fn start_local(setup: Setup) -> NetCluster {
+        Self::start_local_sharded(setup, 1)
+    }
+
+    /// Start servers on threads connected by in-process channels, each
+    /// domain backed by `shards` row-range shard workers.
+    pub fn start_local_sharded(setup: Setup, shards: usize) -> NetCluster {
+        Self::start_with(setup, shards, || {
+            let (a, b) = channel_pair();
+            Ok((Box::new(a) as Box<dyn Link>, Box::new(b) as Box<dyn Link>))
+        })
+        .expect("channel links cannot fail to connect")
+    }
+
+    /// Start servers on threads behind loopback TCP sockets (one shard
+    /// per domain).
     pub fn start_tcp(setup: Setup) -> std::io::Result<NetCluster> {
+        Self::start_tcp_sharded(setup, 1)
+    }
+
+    /// Start servers behind loopback TCP, each domain backed by `shards`
+    /// row-range shard workers — the router↔worker edges are TCP too, so
+    /// this models shards living in separate processes.
+    pub fn start_tcp_sharded(setup: Setup, shards: usize) -> std::io::Result<NetCluster> {
+        Self::start_with(setup, shards, || {
+            let (a, b) = TcpLink::loopback_pair()?;
+            Ok((Box::new(a) as Box<dyn Link>, Box::new(b) as Box<dyn Link>))
+        })
+    }
+
+    /// Shared topology builder: per server domain, one owner↔router link
+    /// plus `shards` router↔worker links from `mk_pair`, a router thread
+    /// running [`domain_loop`] and one [`server_loop`] worker per shard.
+    /// An unsharded domain (`shards == 1`) skips the router entirely —
+    /// the worker node (holding the full domain parameters) sits directly
+    /// behind the owner link, exactly the pre-sharding topology, with no
+    /// extra hop or re-encode.
+    fn start_with(
+        setup: Setup,
+        shards: usize,
+        mk_pair: impl Fn() -> std::io::Result<LinkPair>,
+    ) -> std::io::Result<NetCluster> {
         let mut links: Vec<Box<dyn Link>> = Vec::new();
         let mut handles = Vec::new();
         let mut server_stats = Vec::new();
+        let mut to_shard_stats = Vec::new();
+        let mut from_shard_stats = Vec::new();
+        let mut actual_shards = 1;
         for k in 0..SHAMIR_SERVERS {
-            let (owner_end, server_end) = TcpLink::loopback_pair()?;
             let params = setup.servers[k].clone();
+            let plan = ShardPlan::new(params.b, shards);
+            actual_shards = plan.shard_count();
+            let (owner_end, server_end) = mk_pair()?;
             server_stats.push(server_end.stats());
+
+            if plan.shard_count() == 1 {
+                handles.push(std::thread::spawn(move || server_loop(params, server_end)));
+                to_shard_stats.push(Vec::new());
+                from_shard_stats.push(Vec::new());
+                links.push(owner_end);
+                continue;
+            }
+
+            let mut router_shard_links: Vec<Box<dyn Link>> = Vec::new();
+            let mut to_stats = Vec::new();
+            let mut from_stats = Vec::new();
+            for spec in plan.specs() {
+                let (router_side, worker_side) = mk_pair()?;
+                to_stats.push(router_side.stats());
+                from_stats.push(worker_side.stats());
+                let wp = shard_server_params(&params, spec);
+                handles.push(std::thread::spawn(move || server_loop(wp, worker_side)));
+                router_shard_links.push(router_side);
+            }
+            to_shard_stats.push(to_stats);
+            from_shard_stats.push(from_stats);
             handles.push(std::thread::spawn(move || {
-                server_loop(params, Box::new(server_end))
+                domain_loop(params, server_end, router_shard_links)
             }));
-            links.push(Box::new(owner_end));
+            links.push(owner_end);
         }
         Ok(NetCluster {
             setup,
             links,
             handles,
             server_stats,
+            to_shard_stats,
+            from_shard_stats,
+            shards: actual_shards,
             threads: 1,
+            dispatches: AtomicU64::new(0),
         })
     }
 
     /// Set the per-server thread count sent with queries.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads as u32;
+    }
+
+    /// Row-range shard workers behind each server domain.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The initiator's setup (owner view etc.).
@@ -209,8 +519,28 @@ impl NetCluster {
         }
     }
 
-    /// Attach a tampering behaviour to server φ (tests): the node applies
-    /// it to every subsequent output, exactly like the in-memory cluster.
+    /// Upload every column of one owner's per-server table in a single
+    /// round-trip (the Phase-1 mirror of the batched round 2) — one
+    /// [`Message::BulkUpload`] instead of one message per column.
+    pub fn bulk_upload(
+        &self,
+        server: usize,
+        owner: usize,
+        columns: Vec<(Column, Vec<u64>)>,
+    ) -> Result<(), NetError> {
+        self.links[server].send(&Message::BulkUpload {
+            owner: owner as u32,
+            columns,
+        })?;
+        match self.links[server].recv()? {
+            Message::Ack => Ok(()),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Attach a tampering behaviour to server φ (tests): the domain
+    /// applies it to every subsequent merged output, exactly like the
+    /// in-memory cluster.
     pub fn set_tamper(&self, server: usize, tamper: Tamper) -> Result<(), NetError> {
         self.links[server].send(&Message::SetTamper(tamper))?;
         match self.links[server].recv()? {
@@ -285,15 +615,21 @@ impl NetCluster {
         self.execute(&plans::Batch { batch, seed })
     }
 
-    /// Snapshot of bytes/messages sent in each direction.
+    /// Snapshot of bytes/messages sent in each direction, including the
+    /// per-shard fan-out inside every domain.
     pub fn report(&self) -> NetReport {
+        let snap = |stats: &[Arc<LinkStats>]| -> Vec<(u64, u64)> {
+            stats.iter().map(|s| s.snapshot()).collect()
+        };
         NetReport {
             to_servers: self.links.iter().map(|l| l.stats().snapshot()).collect(),
-            from_servers: self.server_stats.iter().map(|s| s.snapshot()).collect(),
+            from_servers: snap(&self.server_stats),
+            to_shards: self.to_shard_stats.iter().map(|s| snap(s)).collect(),
+            from_shards: self.from_shard_stats.iter().map(|s| snap(s)).collect(),
         }
     }
 
-    /// Orderly shutdown; joins all server threads.
+    /// Orderly shutdown; joins router and worker threads.
     pub fn shutdown(mut self) -> Result<(), NetError> {
         for link in &self.links {
             link.send(&Message::Shutdown)?;

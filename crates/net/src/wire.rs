@@ -261,11 +261,37 @@ pub enum Message {
         /// Share values.
         data: Vec<u64>,
     },
+    /// Phase 1, batched: every column of one owner's per-server table in
+    /// a single round-trip (the upload-side mirror of
+    /// [`Message::RunBatch`]), replacing the one-message-per-column loop.
+    BulkUpload {
+        /// Owner index.
+        owner: u32,
+        /// `(column, share values)` pairs, stored in order.
+        columns: Vec<(Column, Vec<u64>)>,
+    },
     /// Phase 2: evaluate a batch of stored-column operations in one
     /// round-trip (the engine's [`BatchQuery`], verbatim).
     RunBatch(BatchQuery),
     /// Phase 3: a server's per-item outputs for one [`Message::RunBatch`].
     Outputs(Vec<Vec<u64>>),
+    /// Shard envelope, domain router → shard worker: evaluate a row-range
+    /// sub-batch. The shard index is echoed in the reply so the router
+    /// detects crossed links before merging rows.
+    ShardRun {
+        /// Row-range shard index within the domain.
+        shard: u32,
+        /// The row-sliced sub-batch.
+        batch: BatchQuery,
+    },
+    /// Shard envelope, worker → router: per-item outputs for one
+    /// [`Message::ShardRun`], tagged with the answering shard.
+    ShardOutputs {
+        /// Echoed shard index.
+        shard: u32,
+        /// Per-item row-range outputs.
+        outputs: Vec<Vec<u64>>,
+    },
     /// Attach a tampering behaviour to the receiving server (tests: the
     /// failure-injection matrix runs over the wire too).
     SetTamper(Tamper),
@@ -304,6 +330,25 @@ impl Message {
             }
             Message::Ack => buf.put_u8(4),
             Message::Shutdown => buf.put_u8(5),
+            Message::BulkUpload { owner, columns } => {
+                buf.put_u8(6);
+                buf.put_u32_le(*owner);
+                buf.put_u32_le(columns.len() as u32);
+                for (column, data) in columns {
+                    encode_column(column, &mut buf);
+                    put_vec(&mut buf, data);
+                }
+            }
+            Message::ShardRun { shard, batch } => {
+                buf.put_u8(7);
+                buf.put_u32_le(*shard);
+                encode_batch(batch, &mut buf);
+            }
+            Message::ShardOutputs { shard, outputs } => {
+                buf.put_u8(8);
+                buf.put_u32_le(*shard);
+                put_vecs(&mut buf, outputs);
+            }
         }
         buf
     }
@@ -327,6 +372,25 @@ impl Message {
             3 => Message::SetTamper(decode_tamper(buf)?),
             4 => Message::Ack,
             5 => Message::Shutdown,
+            6 => {
+                let owner = need_u32(buf)?;
+                let n = need_u32(buf)? as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let column = decode_column(buf)?;
+                    let data = get_vec(buf)?;
+                    columns.push((column, data));
+                }
+                Message::BulkUpload { owner, columns }
+            }
+            7 => Message::ShardRun {
+                shard: need_u32(buf)?,
+                batch: decode_batch(buf)?,
+            },
+            8 => Message::ShardOutputs {
+                shard: need_u32(buf)?,
+                outputs: get_vecs(buf)?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -375,6 +439,27 @@ mod tests {
             threads: 8,
         }));
         roundtrip(Message::Outputs(vec![(0..1000).collect(), vec![], vec![9]]));
+        roundtrip(Message::BulkUpload {
+            owner: 7,
+            columns: vec![
+                (Column::Ok, vec![1, 2, 3]),
+                (Column::VOk, vec![]),
+                (Column::Agg(1), vec![u64::MAX]),
+                (Column::AOk, vec![4; 64]),
+            ],
+        });
+        roundtrip(Message::ShardRun {
+            shard: 3,
+            batch: BatchQuery {
+                zs: vec![vec![1; 8]],
+                items: vec![BatchItem::with_z(Op::Sum(0), 0)],
+                threads: 2,
+            },
+        });
+        roundtrip(Message::ShardOutputs {
+            shard: 9,
+            outputs: vec![(0..33).collect(), vec![]],
+        });
         roundtrip(Message::SetTamper(Tamper::Honest));
         roundtrip(Message::SetTamper(Tamper::ReplaceCell { src: 4, dst: 9 }));
         roundtrip(Message::Ack);

@@ -67,26 +67,43 @@ fn build_message(
     tx: u64,
     ty: u64,
 ) -> Message {
-    match sel % 6 {
+    let batch = |zs: Vec<Vec<u64>>| BatchQuery {
+        zs,
+        items: items_raw
+            .into_iter()
+            .map(|(op_sel, a, z_flag)| BatchItem {
+                op: arb_op(op_sel, a),
+                z: (z_flag % 2 == 1).then_some(a),
+            })
+            .collect(),
+        threads,
+    };
+    match sel % 9 {
         0 => Message::Upload {
             owner,
             column: arb_column(col_sel, attr),
             data,
         },
-        1 => Message::RunBatch(BatchQuery {
-            zs,
-            items: items_raw
-                .into_iter()
-                .map(|(op_sel, a, z_flag)| BatchItem {
-                    op: arb_op(op_sel, a),
-                    z: (z_flag % 2 == 1).then_some(a),
-                })
-                .collect(),
-            threads,
-        }),
+        1 => Message::RunBatch(batch(zs)),
         2 => Message::Outputs(zs),
         3 => Message::SetTamper(arb_tamper(t_sel, tx, ty)),
         4 => Message::Ack,
+        5 => Message::BulkUpload {
+            owner,
+            columns: zs
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| (arb_column(col_sel.wrapping_add(i as u8), attr), d))
+                .collect(),
+        },
+        6 => Message::ShardRun {
+            shard: owner,
+            batch: batch(zs),
+        },
+        7 => Message::ShardOutputs {
+            shard: owner,
+            outputs: zs,
+        },
         _ => Message::Shutdown,
     }
 }

@@ -1,9 +1,11 @@
 //! In-memory orchestration of a full PRISM deployment.
 //!
-//! [`Cluster`] wires m owners, the additive/Shamir [`ServerNode`]s, and
+//! [`Cluster`] wires m owners, the additive/Shamir server domains, and
 //! the announcer together in one process — but it orchestrates **nothing**
 //! itself: every query constructs a round plan from [`crate::plans`] and
-//! hands it to the [`Engine`] over an [`InMemoryExec`] backend. The
+//! hands it to the [`Engine`] over a [`ShardedExec`] backend (each server
+//! domain is a [`ShardedNode`]; [`ClusterConfig::shards`] = 1 keeps it
+//! monolithic, and results are bit-identical for every shard count). The
 //! networked cluster in `prism-net` runs the *same* plans over its
 //! channel/TCP links, so protocol logic exists in exactly one place.
 //! Tests can attach a [`Tamper`] to any node to exercise the
@@ -14,13 +16,14 @@
 //! the benchmark harness all drive queries through it.
 
 use crate::average::AvgCell;
-use crate::engine::{Column, Engine, InMemoryExec, Operation, ServerNode};
+use crate::engine::{Column, Engine, Operation};
 use crate::error::{ProtocolError, Result};
 use crate::malicious::Tamper;
 use crate::max::MaxCell;
 use crate::median::MedianCell;
 use crate::params::{Initiator, Setup, SystemConfig};
 use crate::plans;
+use crate::shard::{ShardedExec, ShardedNode};
 use crate::tables::{share_indicator, share_payload};
 use prism_core::Prg;
 
@@ -68,6 +71,10 @@ pub struct ClusterConfig {
     pub agg_domain_max: u64,
     /// Optional explicit δ.
     pub delta: Option<u64>,
+    /// Row-range shards per server domain (1 = monolithic). Results are
+    /// bit-identical for every shard count; shards fan each round out
+    /// across their own nodes (see [`crate::shard`]).
+    pub shards: usize,
 }
 
 impl ClusterConfig {
@@ -81,7 +88,14 @@ impl ClusterConfig {
             with_aggregation: true,
             agg_domain_max: 1 << 20,
             delta: None,
+            shards: 1,
         }
+    }
+
+    /// Override the per-domain shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
@@ -103,7 +117,7 @@ pub struct Cluster {
     pub setup: Setup,
     cfg: ClusterConfig,
     owners: Vec<OwnerState>,
-    nodes: Vec<ServerNode>,
+    nodes: Vec<ShardedNode>,
     n_attrs: usize,
     /// Lazily built F-evaluation table shared by max/median queries
     /// (owners can all derive it from the public F, so sharing one copy
@@ -153,10 +167,10 @@ impl Cluster {
         // transient plaintext columns are dropped before the next owner's
         // are built.
         let mut owners = Vec::with_capacity(m);
-        let mut nodes: Vec<ServerNode> = setup
+        let mut nodes: Vec<ShardedNode> = setup
             .servers
             .iter()
-            .map(|sp| ServerNode::new(sp.clone()))
+            .map(|sp| ShardedNode::new(sp.clone(), cfg.shards))
             .collect();
         for (j, input) in inputs.iter().enumerate() {
             let mut indicator = vec![0u64; b];
@@ -263,6 +277,11 @@ impl Cluster {
         self.owners.len()
     }
 
+    /// Row-range shards per server domain.
+    pub fn shards(&self) -> usize {
+        self.nodes.first().map_or(1, ShardedNode::shard_count)
+    }
+
     /// Number of aggregation attributes.
     pub fn attributes(&self) -> usize {
         self.n_attrs
@@ -285,7 +304,7 @@ impl Cluster {
     /// extension point for queries the named methods below don't cover —
     /// see [`Operation`] for a worked example.
     pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats)> {
-        let exec = InMemoryExec::new(&self.nodes, &self.setup.announcer);
+        let exec = ShardedExec::new(&self.nodes, &self.setup.announcer);
         Engine::new(&exec, &self.setup.owner)
             .with_threads(self.cfg.threads)
             .run(plan)

@@ -85,6 +85,34 @@ pub enum QueryOp {
     CountVerifyComplement,
 }
 
+impl QueryOp {
+    /// The server-side output permutation this operation's reply ships in,
+    /// if any: `PF_s1`/`PF_s2` for the count/copy rounds, nothing for the
+    /// raw rounds. Selection lives here rather than inside [`ServerNode`]
+    /// so the sharded router ([`crate::shard`]) can apply the identical
+    /// *domain-level* permutation after merging shard rows — a shard node
+    /// only ever sees its own row range and must not permute it.
+    pub fn finish_perm<'p>(
+        &self,
+        sp: &'p ServerParams,
+    ) -> Result<Option<&'p prism_core::Permutation>> {
+        fn copy_perm(sp: &ServerParams, which: u8) -> Result<&prism_core::Permutation> {
+            match which {
+                1 => Ok(&sp.pf_s1),
+                2 => Ok(&sp.pf_s2),
+                _ => Err(ProtocolError::ParameterMismatch(format!(
+                    "copy selector must be 1 or 2, got {which}"
+                ))),
+            }
+        }
+        Ok(match *self {
+            QueryOp::PsuVerify(which) | QueryOp::CountVerify(which) => Some(copy_perm(sp, which)?),
+            QueryOp::Count | QueryOp::CountVerifyComplement => Some(&sp.pf_s1),
+            _ => None,
+        })
+    }
+}
+
 /// One entry of a [`BatchQuery`]: an operation plus the index (into the
 /// batch's `zs`) of the auxiliary vector it consumes, if any.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +225,64 @@ pub struct QueryStats {
     pub announcer_time: Duration,
     /// Owner↔server communication rounds used.
     pub rounds: usize,
+    /// Shard sub-commands fanned out by the backend across all rounds —
+    /// 0 on unsharded backends, `shards × server-commands` when a
+    /// sharded backend actually split a round (see [`crate::shard`]).
+    pub shard_dispatches: u64,
+}
+
+impl QueryStats {
+    /// Owner↔server communication rounds used.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Server-side cost: per-round max compute in-process, round-trip
+    /// wall time over a wire.
+    pub fn server_time(&self) -> Duration {
+        self.server_time
+    }
+
+    /// Owner-side result-construction time (Table 14's metric).
+    pub fn owner_time(&self) -> Duration {
+        self.owner_time
+    }
+
+    /// Announcer compute time (max/median only).
+    pub fn announcer_time(&self) -> Duration {
+        self.announcer_time
+    }
+
+    /// Shard sub-commands the backend fanned out for this query.
+    pub fn shard_dispatches(&self) -> u64 {
+        self.shard_dispatches
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    /// One-line human summary, e.g.
+    /// `rounds=2 server=1.24ms owner=310.0µs announcer=0ns shard_dispatches=10`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} server={:?} owner={:?} announcer={:?} shard_dispatches={}",
+            self.rounds,
+            self.server_time,
+            self.owner_time,
+            self.announcer_time,
+            self.shard_dispatches
+        )
+    }
+}
+
+/// Cumulative dispatch meters a [`ServerExec`] backend can expose.
+/// [`Ctx::round`] samples these before and after every round, so the
+/// per-query deltas land in [`QueryStats`] without the backends having to
+/// know anything about query boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMeters {
+    /// Shard sub-commands dispatched since the backend was built.
+    pub shard_dispatches: u64,
 }
 
 /// Per-owner share columns stored at one server (the owner uploads these
@@ -273,6 +359,11 @@ pub struct ServerNode {
     params: ServerParams,
     store: ColumnStore,
     tamper: Tamper,
+    /// This node's slice of the PSU blinding stream, computed once per
+    /// session — a row-range shard burns an O(row_offset) PRG prefix to
+    /// stay aligned with the global cell order, which must not recur on
+    /// every round.
+    psu_rand: std::sync::OnceLock<Vec<u64>>,
 }
 
 impl ServerNode {
@@ -282,7 +373,13 @@ impl ServerNode {
             params,
             store: ColumnStore::default(),
             tamper: Tamper::Honest,
+            psu_rand: std::sync::OnceLock::new(),
         }
+    }
+
+    fn psu_rand(&self) -> &[u64] {
+        self.psu_rand
+            .get_or_init(|| psu::blinding_for(&self.params))
     }
 
     /// This node's role parameters.
@@ -311,16 +408,6 @@ impl ServerNode {
         }
     }
 
-    fn copy_perm(&self, which: u8) -> Result<&prism_core::Permutation> {
-        match which {
-            1 => Ok(&self.params.pf_s1),
-            2 => Ok(&self.params.pf_s2),
-            _ => Err(ProtocolError::ParameterMismatch(format!(
-                "copy selector must be 1 or 2, got {which}"
-            ))),
-        }
-    }
-
     /// Evaluate one stored-column operation.
     ///
     /// The node stages the evaluation as *compute → tamper → output
@@ -339,66 +426,54 @@ impl ServerNode {
                 ProtocolError::ParameterMismatch("aggregation op ran without a z vector".into())
             })
         };
-        let (mut out, finish): (Vec<u64>, Option<&prism_core::Permutation>) = match op {
-            QueryOp::Psi => (
-                psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
-                None,
-            ),
-            QueryOp::PsiVerify => (
-                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?,
-                None,
-            ),
-            QueryOp::Psu => (
-                psu::server_psu_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
-                None,
-            ),
+        let mut out: Vec<u64> = match op {
+            QueryOp::Psi => psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
+            QueryOp::PsiVerify => {
+                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?
+            }
+            QueryOp::Psu => psu::server_psu_round_with_rand(
+                &refs(self.store.col(Column::Ok)),
+                self.psu_rand(),
+                sp,
+                threads,
+            )?,
             QueryOp::PsuVerify(which) => {
                 let col = self.copy_column(which)?;
-                (
-                    psu::server_psu_round(&refs(self.store.col(col)), sp, threads)?,
-                    Some(self.copy_perm(which)?),
-                )
+                psu::server_psu_round_with_rand(
+                    &refs(self.store.col(col)),
+                    self.psu_rand(),
+                    sp,
+                    threads,
+                )?
             }
-            QueryOp::Count => (
-                psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
-                Some(&sp.pf_s1),
-            ),
+            QueryOp::Count => {
+                psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?
+            }
             QueryOp::CountVerify(which) => {
                 let col = self.copy_column(which)?;
-                (
-                    psi::server_psi_round(&refs(self.store.col(col)), sp, threads)?,
-                    Some(self.copy_perm(which)?),
-                )
+                psi::server_psi_round(&refs(self.store.col(col)), sp, threads)?
             }
-            QueryOp::Sum(a) => (
-                sum::server_sum_round(
-                    &refs(self.store.col(Column::Agg(a))),
-                    need_z()?,
-                    sp,
-                    threads,
-                )?,
-                None,
-            ),
-            QueryOp::SumVerify(a) => (
-                sum::server_sum_round(
-                    &refs(self.store.col(Column::VAgg(a))),
-                    need_z()?,
-                    sp,
-                    threads,
-                )?,
-                None,
-            ),
-            QueryOp::SumCounts => (
-                sum::server_sum_round(&refs(self.store.col(Column::AOk)), need_z()?, sp, threads)?,
-                None,
-            ),
-            QueryOp::CountVerifyComplement => (
-                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?,
-                Some(&sp.pf_s1),
-            ),
+            QueryOp::Sum(a) => sum::server_sum_round(
+                &refs(self.store.col(Column::Agg(a))),
+                need_z()?,
+                sp,
+                threads,
+            )?,
+            QueryOp::SumVerify(a) => sum::server_sum_round(
+                &refs(self.store.col(Column::VAgg(a))),
+                need_z()?,
+                sp,
+                threads,
+            )?,
+            QueryOp::SumCounts => {
+                sum::server_sum_round(&refs(self.store.col(Column::AOk)), need_z()?, sp, threads)?
+            }
+            QueryOp::CountVerifyComplement => {
+                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?
+            }
         };
         self.tamper.apply(&mut out);
-        Ok(match finish {
+        Ok(match op.finish_perm(sp)? {
             Some(p) => p.apply(&out),
             None => out,
         })
@@ -461,6 +536,32 @@ pub trait ServerExec {
     /// Deliver one request to the announcer.
     fn announce(&self, cmd: AnnouncerCmd<'_>, threads: usize)
         -> Result<(AnnouncerReply, Duration)>;
+
+    /// Cumulative dispatch meters for this backend. Backends without
+    /// fan-out keep the default zeros; sharded backends report how many
+    /// shard sub-commands they have issued so far.
+    fn meters(&self) -> ExecMeters {
+        ExecMeters::default()
+    }
+}
+
+/// Run one announcer request on nodes living in this process — shared by
+/// every local backend ([`InMemoryExec`], [`crate::shard::ShardedExec`]).
+pub fn run_announcer(
+    cmd: AnnouncerCmd<'_>,
+    ap: &AnnouncerParams,
+    threads: usize,
+) -> Result<(AnnouncerReply, Duration)> {
+    let t0 = Instant::now();
+    let reply = match cmd {
+        AnnouncerCmd::FindMax { from_s1, from_s2 } => AnnouncerReply::Max(
+            max::announcer_find_max_threads(from_s1, from_s2, ap, threads)?,
+        ),
+        AnnouncerCmd::FindMedian { from_s1, from_s2 } => {
+            AnnouncerReply::Median(median::announcer_find_median(from_s1, from_s2, ap)?)
+        }
+    };
+    Ok((reply, t0.elapsed()))
 }
 
 /// [`ServerExec`] over nodes living in this process: commands are direct
@@ -499,16 +600,7 @@ impl ServerExec for InMemoryExec<'_> {
         cmd: AnnouncerCmd<'_>,
         threads: usize,
     ) -> Result<(AnnouncerReply, Duration)> {
-        let t0 = Instant::now();
-        let reply = match cmd {
-            AnnouncerCmd::FindMax { from_s1, from_s2 } => AnnouncerReply::Max(
-                max::announcer_find_max_threads(from_s1, from_s2, self.announcer, threads)?,
-            ),
-            AnnouncerCmd::FindMedian { from_s1, from_s2 } => AnnouncerReply::Median(
-                median::announcer_find_median(from_s1, from_s2, self.announcer)?,
-            ),
-        };
-        Ok((reply, t0.elapsed()))
+        run_announcer(cmd, self.announcer, threads)
     }
 }
 
@@ -537,8 +629,14 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
     /// Issue one owner↔server round.
     pub fn round(&mut self, cmds: Vec<(usize, ServerCmd)>) -> Result<Vec<ServerReply>> {
         self.stats.rounds += 1;
+        let before = self.exec.meters();
         let (replies, cost) = self.exec.round(cmds)?;
         self.stats.server_time += cost;
+        self.stats.shard_dispatches += self
+            .exec
+            .meters()
+            .shard_dispatches
+            .saturating_sub(before.shard_dispatches);
         Ok(replies)
     }
 

@@ -17,6 +17,12 @@
 //! * harness facades: the in-memory [`driver::Cluster`] here and the
 //!   channel/TCP `NetCluster` in `prism-net`, both thin wrappers that
 //!   construct plans and hand them to the engine.
+//!
+//! The [`shard`] module scales the server side *out*: a domain's columns
+//! split into row-range shards, each its own [`engine::ServerNode`], with
+//! a router that fans every round across the shard nodes and merges the
+//! rows back — bit-identical results for any shard count, on any
+//! transport.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,14 +42,16 @@ pub mod params;
 pub mod plans;
 pub mod psi;
 pub mod psu;
+pub mod shard;
 pub mod sum;
 pub mod tables;
 
-pub use engine::{Engine, Operation, QueryStats, ServerExec, ServerNode};
+pub use engine::{Engine, ExecMeters, Operation, QueryStats, ServerExec, ServerNode};
 pub use error::{ProtocolError, Result};
 pub use params::{
     AnnouncerParams, Initiator, OwnerParams, ServerParams, Setup, SystemConfig, ADDITIVE_SERVERS,
     SHAMIR_SERVERS,
 };
 pub use plans::{AggResult, Aggregate, PsiOutcome, QueryBatch};
+pub use shard::{ShardPlan, ShardSpec, ShardedExec, ShardedNode};
 pub use tables::OwnerTable;

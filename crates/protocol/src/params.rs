@@ -143,6 +143,13 @@ pub struct ServerParams {
     pub psu_prg_seed: u64,
     /// Limb width of the wide additive group (max/median forwarding).
     pub wide_width: usize,
+    /// First global domain row this server's store covers. `0` for an
+    /// unsharded domain; a row-range shard of `[start, start+b)` carries
+    /// `start` here so positional streams (the PSU blinding PRG) stay
+    /// aligned with the global cell order. Defaults to `0` when absent
+    /// from serialized parameters.
+    #[serde(default)]
+    pub row_offset: usize,
 }
 
 impl ServerParams {
@@ -275,6 +282,7 @@ impl Initiator {
                 pf_owners: pf_owners.clone(),
                 psu_prg_seed,
                 wide_width,
+                row_offset: 0,
             })
             .collect();
 

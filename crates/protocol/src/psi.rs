@@ -198,6 +198,7 @@ mod tests {
             pf_owners: Permutation::identity(3),
             psu_prg_seed: 0,
             wide_width: 2,
+            row_offset: 0,
         };
         (op, mk_server(0, 1), mk_server(1, 2))
     }

@@ -22,12 +22,44 @@ use crate::params::{OwnerParams, ServerParams};
 use prism_core::arith::{add_mod, mul_mod};
 use prism_core::Prg;
 
+/// This server's slice of the shared blinding stream: `rand[]` must be
+/// generated identically at both servers — a fresh PRG from the shared
+/// seed, consumed in *global* cell order. A row-range shard
+/// (`sp.row_offset > 0`) burns the stream prefix so its cells draw
+/// exactly the factors the unsharded domain would — rejection sampling
+/// in `range` makes the stream position data-dependent, so skipping
+/// ahead by arithmetic alone is not possible. The slice is deterministic
+/// per parameter view; long-lived nodes cache it
+/// (`ServerNode` computes it once per session).
+pub fn blinding_for(sp: &ServerParams) -> Vec<u64> {
+    let mut prg = Prg::from_seed(sp.psu_prg_seed);
+    if sp.row_offset > 0 {
+        prg.blinding_vector(sp.row_offset, sp.delta);
+    }
+    prg.blinding_vector(sp.b, sp.delta)
+}
+
 /// Step 2 at server φ (Equation 18).
 ///
 /// Both servers derive the identical `rand[]` stream from
-/// `sp.psu_prg_seed`; neither communicates with the other.
+/// `sp.psu_prg_seed`; neither communicates with the other. Regenerates
+/// the blinding slice on every call — callers holding a node open across
+/// rounds should pass a cached [`blinding_for`] slice to
+/// [`server_psu_round_with_rand`] instead.
 pub fn server_psu_round(
     owner_shares: &[&[u64]],
+    sp: &ServerParams,
+    threads: usize,
+) -> Result<Vec<u64>> {
+    server_psu_round_with_rand(owner_shares, &blinding_for(sp), sp, threads)
+}
+
+/// [`server_psu_round`] with a caller-supplied blinding slice (must be
+/// [`blinding_for`]`(sp)` — the protocol depends on both servers using
+/// the identical stream).
+pub fn server_psu_round_with_rand(
+    owner_shares: &[&[u64]],
+    rand: &[u64],
     sp: &ServerParams,
     threads: usize,
 ) -> Result<Vec<u64>> {
@@ -47,9 +79,13 @@ pub fn server_psu_round(
             )));
         }
     }
-    // rand[] must be generated identically at both servers: a fresh PRG
-    // from the shared seed, consumed in cell order.
-    let rand = Prg::from_seed(sp.psu_prg_seed).blinding_vector(sp.b, sp.delta);
+    if rand.len() != sp.b {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "blinding slice has {} cells, expected {}",
+            rand.len(),
+            sp.b
+        )));
+    }
     let mut out = vec![0u64; sp.b];
     fill_chunks(&mut out, threads, |start, chunk| {
         for shares in owner_shares {

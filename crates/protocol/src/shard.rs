@@ -1,0 +1,512 @@
+//! Sharded-domain execution: row-range shards fanned out behind one
+//! [`ServerExec`].
+//!
+//! PRISM's evaluation scales each server's domain to 5M–20M cells (§8),
+//! but a monolithic [`ColumnStore`](crate::engine::ColumnStore) bounds
+//! every round by one node's memory bandwidth. This module splits a domain into **row-range
+//! shards** — shard `i` owns global rows `[start_i, start_i + len_i)` of
+//! every stored column — each held by its own [`ServerNode`], and routes
+//! every engine round across them in parallel:
+//!
+//! * [`ShardPlan`] is the row partition: contiguous ranges covering
+//!   `0..b`, the same for every column and every owner, so a global row
+//!   index means the same row at every layer.
+//! * [`shard_server_params`] derives a shard node's [`ServerParams`]:
+//!   `b` shrinks to the range length, `row_offset` keeps positional
+//!   streams (the PSU blinding PRG) aligned with the global cell order,
+//!   and the finish permutations become identities — **a shard never
+//!   permutes**, because `PF_s1`/`PF_s2` are defined over the whole
+//!   domain.
+//! * [`ShardedNode`] is the domain front-end: it splits Phase-1 uploads
+//!   and per-round batches by rows, fans [`ServerCmd::Run`] out across
+//!   its shard nodes on scoped threads, and merges shard rows back into
+//!   the single full-length reply the plans expect — applying the
+//!   domain-level [`Tamper`] and finish permutation *after* the merge,
+//!   exactly where the monolithic [`ServerNode`] applies them. Results
+//!   are therefore bit-identical for every shard count.
+//! * [`ShardedExec`] implements [`ServerExec`] over sharded nodes, so
+//!   every existing plan runs unchanged on 1..k shards; its
+//!   [`ExecMeters`] expose the fan-out as `shard_dispatches`, which
+//!   [`QueryStats`](crate::engine::QueryStats) picks up per query.
+//!
+//! The networked deployment reuses the same row math: `prism_net`'s
+//! domain router calls [`ShardPlan::split_batch`] /
+//! [`merge_shard_outputs`] around its per-shard links, so in-process and
+//! wire sharding cannot drift.
+
+use crate::engine::{
+    run_announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Column, ExecMeters, ServerCmd,
+    ServerExec, ServerNode, ServerReply,
+};
+use crate::error::{ProtocolError, Result};
+use crate::malicious::Tamper;
+use crate::params::{AnnouncerParams, ServerParams};
+use prism_core::Permutation;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One row-range shard: global rows `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index within its domain.
+    pub index: usize,
+    /// First global row this shard owns.
+    pub start: usize,
+    /// Number of rows this shard owns.
+    pub len: usize,
+}
+
+/// A contiguous partition of a `b`-row domain into shards.
+///
+/// The shard count is clamped to `1..=b` (an empty shard would be a node
+/// holding nothing); ranges are balanced to within one row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    b: usize,
+    specs: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Partition `b` rows into (up to) `shards` contiguous ranges.
+    ///
+    /// Balanced remainder-spreading split: the first `b % k` shards get
+    /// one extra row, so every shard is non-empty for any `k ≤ b`
+    /// (fixed-chunk `ceil(b/k)` slicing would strand trailing shards
+    /// past the domain whenever `(k-1)·ceil(b/k) ≥ b`, e.g. `b=5, k=4`).
+    pub fn new(b: usize, shards: usize) -> ShardPlan {
+        let k = shards.clamp(1, b.max(1));
+        let base = b / k;
+        let rem = b % k;
+        let mut start = 0;
+        let specs = (0..k)
+            .map(|index| {
+                let len = base + usize::from(index < rem);
+                let spec = ShardSpec { index, start, len };
+                start += len;
+                spec
+            })
+            .collect();
+        ShardPlan { b, specs }
+    }
+
+    /// Domain size the plan covers.
+    pub fn domain(&self) -> usize {
+        self.b
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The row ranges, in shard order.
+    pub fn specs(&self) -> &[ShardSpec] {
+        &self.specs
+    }
+
+    /// Split a full-length column into per-shard row slices. A vector of
+    /// the wrong length is split best-effort (short shards surface as
+    /// shape errors at query time, mirroring the monolithic store).
+    pub fn split_rows<'d>(&self, data: &'d [u64]) -> Vec<&'d [u64]> {
+        self.specs
+            .iter()
+            .map(|s| {
+                data.get(s.start..s.start + s.len)
+                    .or_else(|| data.get(s.start..))
+                    .unwrap_or(&[])
+            })
+            .collect()
+    }
+
+    /// Split a batched query into one sub-batch per shard: items are
+    /// identical, auxiliary `z` vectors are row-sliced. Errors if any `z`
+    /// does not cover the domain (the monolithic node rejects the same
+    /// request with the same error class).
+    pub fn split_batch(&self, batch: &BatchQuery) -> Result<Vec<BatchQuery>> {
+        for (i, z) in batch.zs.iter().enumerate() {
+            if z.len() != self.b {
+                return Err(ProtocolError::ParameterMismatch(format!(
+                    "batch z vector {i} has {} cells, expected {}",
+                    z.len(),
+                    self.b
+                )));
+            }
+        }
+        Ok(self
+            .specs
+            .iter()
+            .map(|s| BatchQuery {
+                zs: batch
+                    .zs
+                    .iter()
+                    .map(|z| z[s.start..s.start + s.len].to_vec())
+                    .collect(),
+                items: batch.items.clone(),
+                threads: batch.threads,
+            })
+            .collect())
+    }
+}
+
+/// Derive the parameter view of one row-range shard from its domain's
+/// [`ServerParams`]: the domain length shrinks to the range, the global
+/// row offset accumulates (so positional streams stay aligned), and the
+/// finish permutations become identities — the domain front-end applies
+/// the real `PF_s1`/`PF_s2` after merging, over the full row order they
+/// are defined on.
+pub fn shard_server_params(sp: &ServerParams, spec: &ShardSpec) -> ServerParams {
+    let mut s = sp.clone();
+    s.b = spec.len;
+    s.row_offset = sp.row_offset + spec.start;
+    s.pf_s1 = Permutation::identity(spec.len);
+    s.pf_s2 = Permutation::identity(spec.len);
+    s
+}
+
+/// Merge per-shard batch outputs into the single per-server reply the
+/// plans expect: concatenate each item's shard rows back into global row
+/// order, apply the domain-level tampering behaviour, then the
+/// operation's domain-level finish permutation — the same
+/// *compute → tamper → permute* staging as the monolithic
+/// [`ServerNode`], so results are bit-identical for every shard count.
+///
+/// `per_shard[s][i]` is shard `s`'s output for batch item `i`. Shards are
+/// untrusted transport-wise (a wire deployment may run them as separate
+/// processes), so shapes are validated, never indexed blindly.
+pub fn merge_shard_outputs(
+    per_shard: &[Vec<Vec<u64>>],
+    batch: &BatchQuery,
+    domain: &ServerParams,
+    tamper: &Tamper,
+) -> Result<Vec<Vec<u64>>> {
+    for outs in per_shard {
+        if outs.len() != batch.items.len() {
+            return Err(ProtocolError::MalformedResponse(
+                "shard replied with the wrong number of batch outputs",
+            ));
+        }
+    }
+    let mut merged = Vec::with_capacity(batch.items.len());
+    for (i, item) in batch.items.iter().enumerate() {
+        let mut full = Vec::with_capacity(domain.b);
+        for outs in per_shard {
+            full.extend_from_slice(&outs[i]);
+        }
+        if full.len() != domain.b {
+            return Err(ProtocolError::MalformedResponse(
+                "shard rows do not reassemble to the domain length",
+            ));
+        }
+        tamper.apply(&mut full);
+        merged.push(match item.op.finish_perm(domain)? {
+            Some(p) => p.apply(&full),
+            None => full,
+        });
+    }
+    Ok(merged)
+}
+
+/// One server *domain* backed by row-range shard nodes.
+///
+/// This is the drop-in replacement for a monolithic [`ServerNode`] on the
+/// server side of the wall: Phase-1 uploads are split by rows, stored-
+/// column rounds fan out across the shard nodes on scoped threads, and
+/// the domain-level tampering behaviour plus finish permutations are
+/// applied to the merged output (shard nodes are always honest and
+/// identity-permuted — a malicious *server* controls its domain front-end,
+/// which is exactly where [`Tamper`] attaches).
+///
+/// Wide-share commands (max/median rounds) are parameter-only — they touch
+/// no stored columns — and run on shard 0's node verbatim.
+#[derive(Debug)]
+pub struct ShardedNode {
+    params: ServerParams,
+    tamper: Tamper,
+    plan: ShardPlan,
+    shards: Vec<ServerNode>,
+    dispatches: AtomicU64,
+}
+
+impl ShardedNode {
+    /// A domain with empty storage split into `shards` row ranges.
+    pub fn new(params: ServerParams, shards: usize) -> ShardedNode {
+        let plan = ShardPlan::new(params.b, shards);
+        let nodes = plan
+            .specs()
+            .iter()
+            .map(|spec| ServerNode::new(shard_server_params(&params, spec)))
+            .collect();
+        ShardedNode {
+            params,
+            tamper: Tamper::Honest,
+            plan,
+            shards: nodes,
+            dispatches: AtomicU64::new(0),
+        }
+    }
+
+    /// This domain's (unsharded) role parameters.
+    pub fn params(&self) -> &ServerParams {
+        &self.params
+    }
+
+    /// The row partition.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shard nodes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard sub-commands fanned out so far (0 until a multi-shard round
+    /// actually splits).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Attach a domain-level tampering behaviour (tests). Applied to every
+    /// merged stored-column output, pre-permutation — the same corruption
+    /// point as the monolithic node.
+    pub fn set_tamper(&mut self, tamper: Tamper) {
+        self.tamper = tamper;
+    }
+
+    /// Phase 1: store one owner's share column, split across the shards by
+    /// row range.
+    pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
+        let parts: Vec<Vec<u64>> = self
+            .plan
+            .split_rows(&data)
+            .into_iter()
+            .map(<[u64]>::to_vec)
+            .collect();
+        for (node, part) in self.shards.iter_mut().zip(parts) {
+            node.store(owner, column, part);
+        }
+    }
+
+    /// Execute one command against the domain, fanning stored-column
+    /// batches across the shard nodes in parallel.
+    pub fn execute(&self, cmd: &ServerCmd) -> Result<ServerReply> {
+        match cmd {
+            ServerCmd::Run(batch) => {
+                let subs = self.plan.split_batch(batch)?;
+                let per_shard = self.run_fanout(subs)?;
+                Ok(ServerReply::Vectors(merge_shard_outputs(
+                    &per_shard,
+                    batch,
+                    &self.params,
+                    &self.tamper,
+                )?))
+            }
+            // Wide rounds read only parameters (pf_owners, wide_width) —
+            // identical on every shard — and model honest relaying, so
+            // shard 0 answers for the domain.
+            ServerCmd::MaxCombine { .. } | ServerCmd::AssembleFpos { .. } => {
+                self.shards[0].execute(cmd)
+            }
+        }
+    }
+
+    /// Run one sub-batch per shard, in parallel when there is more than
+    /// one shard, collecting each shard's per-item outputs in shard order.
+    fn run_fanout(&self, subs: Vec<BatchQuery>) -> Result<Vec<Vec<Vec<u64>>>> {
+        let expect_vectors = |reply: Result<ServerReply>| -> Result<Vec<Vec<u64>>> {
+            match reply? {
+                ServerReply::Vectors(v) => Ok(v),
+                _ => Err(ProtocolError::MalformedResponse(
+                    "expected vector outputs from a shard batch",
+                )),
+            }
+        };
+        if self.shards.len() == 1 {
+            let sub = subs.into_iter().next().expect("plan has one shard");
+            return Ok(vec![expect_vectors(
+                self.shards[0].execute(&ServerCmd::Run(sub)),
+            )?]);
+        }
+        self.dispatches
+            .fetch_add(self.shards.len() as u64, Ordering::Relaxed);
+        let results: Vec<Result<ServerReply>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(subs)
+                .map(|(node, sub)| scope.spawn(move || node.execute(&ServerCmd::Run(sub))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ProtocolError::Transport("shard worker panicked".into()))
+                    })
+                })
+                .collect()
+        });
+        results.into_iter().map(expect_vectors).collect()
+    }
+}
+
+/// [`ServerExec`] over sharded domains living in this process: the
+/// sharded sibling of [`crate::engine::InMemoryExec`]. Per-domain compute
+/// is timed individually and the round cost is the maximum (deployed
+/// domains run concurrently); the fan-out *inside* each domain is part of
+/// that domain's wall time, which is the whole point.
+#[derive(Debug)]
+pub struct ShardedExec<'a> {
+    nodes: &'a [ShardedNode],
+    announcer: &'a AnnouncerParams,
+}
+
+impl<'a> ShardedExec<'a> {
+    /// Wrap a sharded node set and announcer parameters.
+    pub fn new(nodes: &'a [ShardedNode], announcer: &'a AnnouncerParams) -> ShardedExec<'a> {
+        ShardedExec { nodes, announcer }
+    }
+}
+
+impl ServerExec for ShardedExec<'_> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+        let mut worst = Duration::ZERO;
+        let mut replies = Vec::with_capacity(cmds.len());
+        for (s, cmd) in &cmds {
+            let node = self.nodes.get(*s).ok_or_else(|| {
+                ProtocolError::ParameterMismatch(format!("no server {s} in this deployment"))
+            })?;
+            let t0 = Instant::now();
+            replies.push(node.execute(cmd)?);
+            worst = worst.max(t0.elapsed());
+        }
+        Ok((replies, worst))
+    }
+
+    fn announce(
+        &self,
+        cmd: AnnouncerCmd<'_>,
+        threads: usize,
+    ) -> Result<(AnnouncerReply, Duration)> {
+        run_announcer(cmd, self.announcer, threads)
+    }
+
+    fn meters(&self) -> ExecMeters {
+        ExecMeters {
+            shard_dispatches: self.nodes.iter().map(ShardedNode::dispatches).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BatchItem;
+    use crate::engine::QueryOp;
+    use crate::params::{Initiator, SystemConfig};
+
+    #[test]
+    fn plan_covers_domain_exactly() {
+        // Exhaustive over the small corner space, including every
+        // non-dividing pair (b=5,k=4 underflowed a fixed-chunk split).
+        for b in 1usize..=40 {
+            for k in 1usize..=45 {
+                let plan = ShardPlan::new(b, k);
+                assert!(plan.shard_count() <= b);
+                let mut next = 0usize;
+                for (i, s) in plan.specs().iter().enumerate() {
+                    assert_eq!(s.index, i);
+                    assert_eq!(s.start, next, "b={b} k={k}");
+                    assert!(s.len > 0, "b={b} k={k}");
+                    next += s.len;
+                }
+                assert_eq!(next, b, "b={b} k={k}");
+                // Balanced to within one row.
+                let lens: Vec<usize> = plan.specs().iter().map(|s| s.len).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "b={b} k={k} lens={lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_excess_shards() {
+        assert_eq!(ShardPlan::new(3, 64).shard_count(), 3);
+        assert_eq!(ShardPlan::new(3, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn split_rows_reassembles() {
+        let plan = ShardPlan::new(11, 4);
+        let data: Vec<u64> = (0..11).collect();
+        let parts = plan.split_rows(&data);
+        let rejoined: Vec<u64> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn split_batch_slices_z_by_rows() {
+        let plan = ShardPlan::new(6, 3);
+        let batch = BatchQuery {
+            zs: vec![(0..6).collect()],
+            items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
+            threads: 2,
+        };
+        let subs = plan.split_batch(&batch).unwrap();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].zs[0], vec![0, 1]);
+        assert_eq!(subs[2].zs[0], vec![4, 5]);
+        assert_eq!(subs[1].items, batch.items);
+        assert_eq!(subs[1].threads, 2);
+    }
+
+    #[test]
+    fn split_batch_rejects_short_z() {
+        let plan = ShardPlan::new(6, 2);
+        let batch = BatchQuery {
+            zs: vec![vec![1, 2, 3]],
+            items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
+            threads: 1,
+        };
+        assert!(plan.split_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn shard_params_accumulate_offsets() {
+        let setup = Initiator::new(SystemConfig::new(2, 30).with_seed(3))
+            .setup()
+            .unwrap();
+        let plan = ShardPlan::new(30, 4);
+        let sp = shard_server_params(&setup.servers[0], &plan.specs()[2]);
+        assert_eq!(sp.b, plan.specs()[2].len);
+        assert_eq!(sp.row_offset, plan.specs()[2].start);
+        assert_eq!(sp.pf_s1.len(), sp.b);
+        // Nesting: sharding an already-offset view keeps global alignment.
+        let nested = shard_server_params(
+            &sp,
+            &ShardSpec {
+                index: 0,
+                start: 2,
+                len: 3,
+            },
+        );
+        assert_eq!(nested.row_offset, plan.specs()[2].start + 2);
+    }
+
+    #[test]
+    fn merge_rejects_malformed_shard_replies() {
+        let setup = Initiator::new(SystemConfig::new(2, 8).with_seed(4))
+            .setup()
+            .unwrap();
+        let batch = BatchQuery {
+            zs: vec![],
+            items: vec![BatchItem::plain(QueryOp::Psi)],
+            threads: 1,
+        };
+        // Wrong item count.
+        let bad = vec![vec![]];
+        assert!(merge_shard_outputs(&bad, &batch, &setup.servers[0], &Tamper::Honest).is_err());
+        // Rows don't reassemble to b.
+        let short = vec![vec![vec![1u64, 2, 3]]];
+        assert!(merge_shard_outputs(&short, &batch, &setup.servers[0], &Tamper::Honest).is_err());
+    }
+}

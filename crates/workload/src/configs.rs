@@ -114,6 +114,18 @@ pub fn table12_attrs() -> Vec<usize> {
     vec![1, 2, 3, 4]
 }
 
+/// Sharded-domain scaling bench: the fixed `(domain, owners, reps)`
+/// config — 1M OK cells regardless of scale, so `BENCH_shard.json`
+/// stays comparable across runs and machines.
+pub fn shard_bench() -> (u64, usize, usize) {
+    (1_000_000, 4, 3)
+}
+
+/// Shard counts the scaling bench (and the invariance suites) sweep.
+pub fn shard_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
 /// Table 13: dataset sizes for the two-owner comparison.
 pub fn table13_sizes(scale: Scale) -> Vec<u64> {
     match scale {

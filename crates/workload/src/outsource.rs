@@ -16,7 +16,9 @@
 
 use crate::lineitem::LineItemRow;
 use prism_core::Prg;
+use prism_protocol::engine::Column;
 use prism_protocol::params::{OwnerParams, SHAMIR_SERVERS};
+use prism_protocol::shard::ShardPlan;
 use prism_protocol::tables::{share_indicator, share_payload};
 use prism_storage::SharedTable;
 use std::time::{Duration, Instant};
@@ -115,6 +117,63 @@ pub fn outsource_owner(
         tables,
         elapsed: t0.elapsed(),
     }
+}
+
+/// Result of outsourcing one owner into a **sharded** deployment:
+/// `tables[φ][s]` is the row-range shard `s` of server φ's table.
+pub struct OutsourcedShards {
+    /// Per-server, per-shard tables.
+    pub tables: Vec<Vec<SharedTable>>,
+    /// Share-generation + row-split time.
+    pub elapsed: Duration,
+}
+
+/// Outsource one owner's relation into per-server, per-shard
+/// `SharedTable`s — the Phase-1 pipeline for a domain backed by
+/// row-range shards. Shares are generated exactly as in
+/// [`outsource_owner`] (the split happens *after* sharing, so shard
+/// layouts reconstruct the identical columns), then each server's table
+/// is partitioned along `plan`'s row ranges.
+pub fn outsource_owner_sharded(
+    rows: &[LineItemRow],
+    op: &OwnerParams,
+    attrs: usize,
+    with_verification: bool,
+    seed: u64,
+    plan: &ShardPlan,
+) -> OutsourcedShards {
+    let t0 = Instant::now();
+    let whole = outsource_owner(rows, op, attrs, with_verification, seed);
+    let ranges: Vec<(usize, usize)> = plan.specs().iter().map(|s| (s.start, s.len)).collect();
+    let tables = whole.tables.iter().map(|t| t.split_rows(&ranges)).collect();
+    OutsourcedShards {
+        tables,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// Flatten a `SharedTable` into the `(column, data)` list a
+/// `BulkUpload` message (or a `ServerNode` store loop) consumes, in
+/// Table-11 order. Empty columns are skipped — the third server holds no
+/// additive shares.
+pub fn table_columns(table: &SharedTable) -> Vec<(Column, Vec<u64>)> {
+    let mut cols = Vec::new();
+    if !table.ok.is_empty() {
+        cols.push((Column::Ok, table.ok.clone()));
+    }
+    if !table.v_ok.is_empty() {
+        cols.push((Column::VOk, table.v_ok.clone()));
+    }
+    for (a, c) in table.agg.iter().enumerate() {
+        cols.push((Column::Agg(a as u8), c.clone()));
+    }
+    for (a, c) in table.v_agg.iter().enumerate() {
+        cols.push((Column::VAgg(a as u8), c.clone()));
+    }
+    if !table.a_ok.is_empty() {
+        cols.push((Column::AOk, table.a_ok.clone()));
+    }
+    cols
 }
 
 #[cfg(test)]
@@ -225,6 +284,63 @@ mod tests {
             })
             .collect();
         assert_eq!(op.pf_db1.inverse().apply(&recon), g.sums[0]);
+    }
+
+    #[test]
+    fn sharded_outsourcing_reconstructs_source_columns() {
+        let cfg = LineItemConfig::full(40, 5);
+        let rows = cfg.generate_owner(0);
+        let op = owner_params(2, 40);
+        let g = group_by_ok(&rows, 40);
+        let plan = ShardPlan::new(40, 4);
+        let out = outsource_owner_sharded(&rows, &op, 2, true, 21, &plan);
+        assert_eq!(out.tables.len(), 3);
+        for per_server in &out.tables {
+            assert_eq!(per_server.len(), 4);
+            for shard in per_server {
+                shard.check().unwrap();
+            }
+        }
+        // Rejoin each server's shards by rows and reconstruct: the shard
+        // layout must hide nothing.
+        for i in 0..40 {
+            let spec_idx = plan
+                .specs()
+                .iter()
+                .position(|s| i >= s.start && i < s.start + s.len)
+                .unwrap();
+            let local = i - plan.specs()[spec_idx].start;
+            let a = out.tables[0][spec_idx].ok[local];
+            let b = out.tables[1][spec_idx].ok[local];
+            assert_eq!(prism_core::reconstruct2(a, b, op.delta), g.indicator[i]);
+            let ys: Vec<u64> = (0..3)
+                .map(|k| out.tables[k][spec_idx].agg[0][local])
+                .collect();
+            assert_eq!(op.field.reconstruct_raw(&ys), g.sums[0][i]);
+        }
+        // The sharded split matches the unsharded table row-for-row.
+        let whole = outsource_owner(&rows, &op, 2, true, 21);
+        let rejoined: Vec<u64> = out.tables[0].iter().flat_map(|t| t.ok.clone()).collect();
+        assert_eq!(rejoined, whole.tables[0].ok);
+    }
+
+    #[test]
+    fn table_columns_cover_populated_columns_in_order() {
+        let cfg = LineItemConfig::full(16, 6);
+        let rows = cfg.generate_owner(0);
+        let op = owner_params(2, 16);
+        let out = outsource_owner(&rows, &op, 2, true, 22);
+        // Additive server: OK + vOK + 2 agg + 2 v-agg + aOK.
+        let cols = table_columns(&out.tables[0]);
+        assert_eq!(cols.len(), 7);
+        assert_eq!(cols[0].0, Column::Ok);
+        assert_eq!(cols[6].0, Column::AOk);
+        // Shamir-only server: no additive columns.
+        let cols = table_columns(&out.tables[2]);
+        assert_eq!(cols.len(), 5);
+        assert!(cols
+            .iter()
+            .all(|(c, _)| !matches!(c, Column::Ok | Column::VOk)));
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! Distributed deployment over real TCP sockets.
+//! Distributed deployment over real TCP sockets, with sharded domains.
 //!
-//! Runs the PRISM servers on their own threads behind loopback TCP,
-//! uploads secret shares through the wire, executes PSI / PSU / count /
-//! sum / average remotely, and prints the per-link communication report —
-//! including the defining property that the server↔server traffic is
-//! zero, because no such links exist.
+//! Runs each PRISM server as a domain of **row-range shard workers**
+//! behind loopback TCP (router and workers all on their own threads, all
+//! edges real sockets — the topology a multi-machine deployment would
+//! use), uploads every owner's table in one `BulkUpload` round-trip per
+//! server, executes PSI / PSU / count / sum / average remotely, and
+//! prints the per-link communication report — including the per-shard
+//! fan-out meters and the defining property that the server↔server
+//! traffic is zero, because no such links exist.
 //!
 //! Run with: `cargo run --example distributed_deployment`
 
@@ -14,6 +17,7 @@ use prism::protocol::params::{Initiator, SystemConfig};
 use prism::protocol::tables::{share_indicator, share_payload};
 
 const DOMAIN: usize = 1_000;
+const SHARDS: usize = 4;
 
 fn main() {
     // Phase 0: the initiator derives all parameters and role views.
@@ -22,8 +26,14 @@ fn main() {
         .expect("setup");
     let op = setup.owner.clone();
 
-    // Start three server nodes behind TCP sockets.
-    let cluster = NetCluster::start_tcp(setup).expect("cluster");
+    // Start three server domains behind TCP sockets, each backed by four
+    // row-range shard workers (also behind TCP — a shard could live in
+    // another process or on another machine).
+    let cluster = NetCluster::start_tcp_sharded(setup, SHARDS).expect("cluster");
+    println!(
+        "deployed 3 server domains × {} shard workers over TCP",
+        cluster.shards()
+    );
 
     // Three suppliers with overlapping part catalogs; attribute = stock.
     let suppliers: Vec<Vec<(u64, u64)>> = (0..3)
@@ -40,7 +50,8 @@ fn main() {
         })
         .collect();
 
-    // Phase 1: owners build χ tables and upload shares over the wire.
+    // Phase 1: owners build χ tables and upload shares over the wire —
+    // every column of an owner's per-server table in ONE round-trip.
     for (j, rows) in suppliers.iter().enumerate() {
         let mut indicator = vec![0u64; DOMAIN];
         let mut sums = vec![0u64; DOMAIN];
@@ -53,31 +64,20 @@ fn main() {
         }
         let mut prg = Prg::from_seed(500 + j as u64);
         let ind = share_indicator(&indicator, op.delta, &mut prg);
-        cluster
-            .upload(0, j, Column::Ok, ind.shares[0].clone())
-            .unwrap();
-        cluster
-            .upload(1, j, Column::Ok, ind.shares[1].clone())
-            .unwrap();
-
         let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
         let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
-        cluster
-            .upload(0, j, Column::VOk, v.shares[0].clone())
-            .unwrap();
-        cluster
-            .upload(1, j, Column::VOk, v.shares[1].clone())
-            .unwrap();
-
         let p = share_payload(&sums, &op.field, &mut prg);
         let c = share_payload(&counts, &op.field, &mut prg);
+
         for k in 0..3 {
-            cluster
-                .upload(k, j, Column::Agg(0), p.shares[k].clone())
-                .unwrap();
-            cluster
-                .upload(k, j, Column::AOk, c.shares[k].clone())
-                .unwrap();
+            let mut columns = Vec::new();
+            if k < 2 {
+                columns.push((Column::Ok, ind.shares[k].clone()));
+                columns.push((Column::VOk, v.shares[k].clone()));
+            }
+            columns.push((Column::Agg(0), p.shares[k].clone()));
+            columns.push((Column::AOk, c.shares[k].clone()));
+            cluster.bulk_upload(k, j, columns).expect("bulk upload");
         }
     }
 
@@ -99,9 +99,12 @@ fn main() {
     let count = cluster.psi_count().expect("count");
     assert_eq!(count, common.len());
 
-    let sums = cluster.psi_sum(0, 42).expect("sum");
+    let (sums, stats) = cluster
+        .execute(&prism::protocol::plans::Sum { attr: 0, seed: 42 })
+        .expect("sum");
     let total: u64 = sums.iter().sum();
     println!("Total stock across common parts: {total}");
+    println!("Sum query: {stats}");
 
     let avgs = cluster.psi_avg(0, 43).expect("avg");
     let first_common = common.first().copied().unwrap_or(0);
@@ -112,21 +115,11 @@ fn main() {
         avgs[first_common].count
     );
 
-    // Communication report.
+    // Communication report, per owner↔server link and per shard edge.
     let report = cluster.report();
-    println!("\nPer-link traffic (owner side → server, server → owner side):");
-    for (k, (to, from)) in report
-        .to_servers
-        .iter()
-        .zip(&report.from_servers)
-        .enumerate()
-    {
-        println!(
-            "  server {k}: sent {} msgs / {} bytes, received {} msgs / {} bytes",
-            to.1, to.0, from.1, from.0
-        );
-    }
-    println!("  server <-> server: 0 bytes (no such links exist, by construction)");
+    println!("\nPer-link traffic (owner↔domain, router↔shard):");
+    print!("{report}");
+    println!("server <-> server: 0 bytes (no such links exist, by construction)");
 
     cluster.shutdown().expect("shutdown");
 }

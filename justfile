@@ -34,9 +34,11 @@ bench-check:
     cargo bench --no-run
 
 # Smoke-test the measurement stack: compile the criterion benches and run
-# exp_harness on the smallest config grid (seconds, not minutes).
+# exp_harness on the smallest config grid (seconds, not minutes). The
+# `shard` experiment sweeps shard counts {1,2,4,8} on the 1M-cell config
+# and writes BENCH_shard.json (uploaded as a CI artifact).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard --scale small
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:
