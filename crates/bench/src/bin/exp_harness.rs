@@ -1,9 +1,9 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|all]
 //!             [--scale small|medium|full] [--seed N]
-//!             [--shard-json PATH]
+//!             [--shard-json PATH] [--netmax-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
@@ -13,9 +13,11 @@
 //!
 //! `shard` sweeps shard counts {1, 2, 4, 8} over the fixed 1M-cell
 //! config (whatever the scale) and writes the `BENCH_shard.json`
-//! artifact CI publishes.
+//! artifact CI publishes. `netmax` smoke-runs max/median over the
+//! networked deployment (channel + TCP, announcer as a fourth node) and
+//! writes `BENCH_netmax.json`.
 
-use prism_bench::{exp1, exp2, exp3, exp4, shardexp, sharegen, table13};
+use prism_bench::{exp1, exp2, exp3, exp4, netmax, shardexp, sharegen, table13};
 use prism_workload::configs::{self, Scale};
 
 struct Args {
@@ -23,6 +25,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     shard_json: std::path::PathBuf,
+    netmax_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +33,7 @@ fn parse_args() -> Args {
     let mut scale = Scale::Small;
     let mut seed = 42u64;
     let mut shard_json = std::path::PathBuf::from("BENCH_shard.json");
+    let mut netmax_json = std::path::PathBuf::from("BENCH_netmax.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -52,10 +56,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--netmax-json" => {
+                netmax_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--netmax-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|all]* \
-                     [--scale small|medium|full] [--seed N] [--shard-json PATH]"
+                    "usage: exp_harness \
+                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|all]* \
+                     [--scale small|medium|full] [--seed N] [--shard-json PATH] \
+                     [--netmax-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +82,7 @@ fn parse_args() -> Args {
         scale,
         seed,
         shard_json,
+        netmax_json,
     }
 }
 
@@ -126,6 +139,15 @@ fn main() {
         match shardexp::write_json(&args.shard_json, domain, owners, &rows) {
             Ok(()) => println!("wrote {}", args.shard_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.shard_json.display()),
+        }
+    }
+    if wants("netmax") {
+        let (domain, owners) = configs::netmax_bench();
+        let rows = netmax::run(domain, owners, 2, seed);
+        netmax::print(domain, owners, &rows);
+        match netmax::write_json(&args.netmax_json, domain, owners, &rows) {
+            Ok(()) => println!("wrote {}", args.netmax_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.netmax_json.display()),
         }
     }
 }

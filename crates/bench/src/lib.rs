@@ -25,6 +25,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod netmax;
 pub mod report;
 pub mod shardexp;
 pub mod sharegen;

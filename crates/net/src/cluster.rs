@@ -18,22 +18,36 @@
 //! `PF_s1`/`PF_s2` are allowed to live. The owner side never sees shard
 //! granularity in replies; it only meters it ([`NetReport`]).
 //!
+//! Since PR 4 the **announcer is a fourth networked node**: a thread
+//! holding only [`AnnouncerParams`],
+//! reachable over exactly three links — one control link from the owner
+//! side and one upload link from each additive server domain. During a
+//! max/median round the servers push their `PF`-permuted wide-share
+//! matrices ([`Message::WideUpload`]) straight down those server→announcer
+//! edges; the owner side sees only a shape receipt
+//! ([`Message::WideForwarded`]), because the per-slot blinded values are
+//! exactly what §4's knowledge table forbids owners from seeing. The
+//! announcer traffic is metered like every other edge ([`NetReport`]).
+//!
 //! Protocol logic lives entirely in `prism_protocol`: [`NetCluster`]
 //! implements [`ServerExec`] so the *same* round plans the in-memory
-//! driver executes run here over channels or TCP — including batched
-//! round-2 queries and the tamper × operation verification matrix.
-//! (Max/median additionally need the announcer role, which is not
-//! deployed over the wire; they are exercised through the in-memory
-//! driver, which shares every plan with this cluster.)
+//! driver executes run here over channels or TCP — every operation,
+//! max/median included, with batched round-2 queries and the full
+//! tamper × operation verification matrix (server *and* announcer
+//! tampers).
 
 use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
 use crate::wire::{Column, Message};
 use prism_protocol::engine::{
-    AnnouncerCmd, AnnouncerReply, BatchQuery, Engine, ExecMeters, Operation, QueryStats, ServerCmd,
-    ServerExec, ServerNode, ServerReply,
+    Announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Engine, ExecMeters, Operation, QueryStats,
+    ServerCmd, ServerExec, ServerNode, ServerReply,
 };
-use prism_protocol::malicious::Tamper;
-use prism_protocol::params::{ServerParams, Setup, SHAMIR_SERVERS};
+use prism_protocol::malicious::{AnnouncerTamper, Tamper};
+use prism_protocol::max::MaxCell;
+use prism_protocol::median::MedianCell;
+use prism_protocol::params::{
+    AnnouncerParams, ServerParams, Setup, ADDITIVE_SERVERS, SHAMIR_SERVERS,
+};
 use prism_protocol::shard::{merge_shard_outputs, shard_server_params, ShardPlan};
 use prism_protocol::{average, plans, ProtocolError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,12 +56,60 @@ use std::time::{Duration, Instant};
 
 use std::thread::JoinHandle;
 
+/// Execute one wide command (max/median round) on `node` and answer the
+/// owner: a combined matrix goes to the announcer over the dedicated
+/// server→announcer link and the owner gets the shape receipt; an fpos
+/// table goes back on the owner link directly (claim shares are owner
+/// data). Any failure — node error, or a wide round at a server with no
+/// announcer edge — is reported as the zero receipt / empty table, which
+/// the plans' shape checks turn into a protocol error at the owner
+/// (servers are malicious in this threat model; they must not panic or
+/// hang the owner).
+fn run_wide(
+    node: &ServerNode,
+    cmd: ServerCmd,
+    seq: u64,
+    owner_link: &dyn Link,
+    announcer: Option<&dyn Link>,
+) -> Result<(), NetError> {
+    if matches!(cmd, ServerCmd::AssembleFpos { .. }) {
+        let outs = match node.execute(&cmd) {
+            Ok(ServerReply::Fpos(f)) => f,
+            _ => Vec::new(),
+        };
+        return owner_link.send(&Message::Fpos(outs));
+    }
+    match (node.execute(&cmd), announcer) {
+        (Ok(ServerReply::Wide(w)), Some(ann)) => {
+            let (rows, width) = (w.rows() as u64, w.width as u32);
+            ann.send(&Message::WideUpload {
+                server: node.params().server_id as u32,
+                seq,
+                shares: w,
+            })?;
+            owner_link.send(&Message::WideForwarded { rows, width, seq })
+        }
+        _ => owner_link.send(&Message::WideForwarded {
+            rows: 0,
+            width: 0,
+            seq,
+        }),
+    }
+}
+
 /// Run one shard worker's message loop until `Shutdown`: an engine
 /// [`ServerNode`] answering wire commands. Workers answer both the plain
 /// [`Message::RunBatch`] and the shard-tagged [`Message::ShardRun`]
 /// envelope (echoing the shard index so the router can detect crossed
-/// links).
-fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError> {
+/// links). An additive server domain additionally holds the
+/// server→announcer `announcer` link for the wide (max/median) rounds;
+/// shard workers behind a router hold `None` — their router fronts the
+/// announcer edge for the whole domain.
+fn server_loop(
+    params: ServerParams,
+    link: Box<dyn Link>,
+    announcer: Option<Box<dyn Link>>,
+) -> Result<(), NetError> {
     let mut node = ServerNode::new(params);
     let run = |node: &ServerNode, batch: BatchQuery| -> Vec<Vec<u64>> {
         match node.execute(&ServerCmd::Run(batch)) {
@@ -86,9 +148,31 @@ fn server_loop(params: ServerParams, link: Box<dyn Link>) -> Result<(), NetError
                 let outputs = run(&node, batch);
                 link.send(&Message::ShardOutputs { shard, outputs })?;
             }
+            Message::MaxCombine {
+                uploads,
+                threads,
+                seq,
+            } => {
+                run_wide(
+                    &node,
+                    ServerCmd::MaxCombine { uploads, threads },
+                    seq,
+                    link.as_ref(),
+                    announcer.as_deref(),
+                )?;
+            }
+            Message::AssembleFpos { claims, threads } => {
+                run_wide(
+                    &node,
+                    ServerCmd::AssembleFpos { claims, threads },
+                    0,
+                    link.as_ref(),
+                    announcer.as_deref(),
+                )?;
+            }
             Message::Shutdown => return Ok(()),
-            Message::Outputs(_) | Message::ShardOutputs { .. } | Message::Ack => {
-                // Workers never receive these; ignore defensively.
+            _ => {
+                // Reply-direction messages; ignore defensively.
             }
         }
     }
@@ -130,12 +214,22 @@ fn route_batch(
 /// batches by row range, forward to the shard workers, merge replies, and
 /// hold the domain-level tampering behaviour. Forwards `Shutdown` to the
 /// workers before exiting.
+///
+/// Wide (max/median) rounds never fan out: they are parameter-only — the
+/// owner-slot permutation `PF` and the wide width are identical on every
+/// shard and touch no stored columns — so the router answers them itself
+/// through `wide_node` (a storage-less [`ServerNode`] holding the *full*
+/// domain parameters) and fronts the domain's server→announcer edge,
+/// mirroring [`ShardedNode`](prism_protocol::shard::ShardedNode)'s
+/// in-process behaviour of answering wide commands at the domain level.
 fn domain_loop(
     params: ServerParams,
     owner_link: Box<dyn Link>,
     shard_links: Vec<Box<dyn Link>>,
+    announcer: Option<Box<dyn Link>>,
 ) -> Result<(), NetError> {
     let plan = ShardPlan::new(params.b, shard_links.len());
+    let wide_node = ServerNode::new(params.clone());
     let mut tamper = Tamper::Honest;
     let forward_acks = |links: &[Box<dyn Link>]| -> Result<(), NetError> {
         for link in links {
@@ -189,18 +283,104 @@ fn domain_loop(
                     route_batch(&plan, &params, &tamper, &batch, &shard_links).unwrap_or_default();
                 owner_link.send(&Message::Outputs(outs))?;
             }
+            Message::MaxCombine {
+                uploads,
+                threads,
+                seq,
+            } => {
+                run_wide(
+                    &wide_node,
+                    ServerCmd::MaxCombine { uploads, threads },
+                    seq,
+                    owner_link.as_ref(),
+                    announcer.as_deref(),
+                )?;
+            }
+            Message::AssembleFpos { claims, threads } => {
+                run_wide(
+                    &wide_node,
+                    ServerCmd::AssembleFpos { claims, threads },
+                    0,
+                    owner_link.as_ref(),
+                    announcer.as_deref(),
+                )?;
+            }
             Message::Shutdown => {
                 for link in &shard_links {
                     link.send(&Message::Shutdown)?;
                 }
                 return Ok(());
             }
-            Message::Outputs(_)
-            | Message::ShardRun { .. }
-            | Message::ShardOutputs { .. }
-            | Message::Ack => {
-                // Routers never receive these from the owner side; ignore
-                // defensively.
+            _ => {
+                // Reply-direction messages; ignore defensively.
+            }
+        }
+    }
+}
+
+/// Run the announcer node's loop until `Shutdown`: an engine
+/// [`Announcer`] behind three links — the owner-side control link plus
+/// one upload link per additive server. On [`Message::AnnounceRun`] it
+/// collects the pending [`Message::WideUpload`] from each server edge
+/// (the servers sent them before acknowledging the combine round, so they
+/// are already in flight), stages them, announces, and replies on the
+/// control link. Any failure — crossed links, mismatched matrices —
+/// answers `Ack` as the failure marker, which the owner surfaces as a
+/// protocol error instead of hanging.
+fn announcer_loop(
+    params: AnnouncerParams,
+    owner_link: Box<dyn Link>,
+    server_links: Vec<Box<dyn Link>>,
+) -> Result<(), NetError> {
+    let mut announcer = Announcer::new(params);
+    loop {
+        match owner_link.recv()? {
+            Message::AnnounceRun { cmd, seq, threads } => {
+                let mut staged = true;
+                for (i, link) in server_links.iter().enumerate() {
+                    // Drain this server's edge up to the requested round:
+                    // an aborted earlier query can leave a stale upload
+                    // queued (its owner never sent the matching
+                    // AnnounceRun), which must not poison this round's
+                    // pairing. `Announcer::announce` then insists both
+                    // deposits carry exactly `seq`.
+                    loop {
+                        match link.recv()? {
+                            Message::WideUpload {
+                                server,
+                                seq: upload_seq,
+                                shares,
+                            } if server as usize == i => {
+                                if upload_seq < seq {
+                                    continue; // stale round; discard
+                                }
+                                staged &= announcer.deposit(i, upload_seq, shares).is_ok();
+                                break;
+                            }
+                            _ => {
+                                staged = false; // crossed or malformed
+                                break;
+                            }
+                        }
+                    }
+                }
+                let reply = if staged {
+                    announcer.announce(cmd, seq, (threads.max(1)) as usize).ok()
+                } else {
+                    None
+                };
+                match reply {
+                    Some((r, _)) => owner_link.send(&Message::AnnounceReply(r))?,
+                    None => owner_link.send(&Message::Ack)?,
+                }
+            }
+            Message::SetAnnouncerTamper(t) => {
+                announcer.set_tamper(t);
+                owner_link.send(&Message::Ack)?;
+            }
+            Message::Shutdown => return Ok(()),
+            _ => {
+                // Reply-direction messages; ignore defensively.
             }
         }
     }
@@ -219,6 +399,17 @@ pub struct NetReport {
     /// Per-server, per-shard `(bytes, messages)` the shard workers sent
     /// back to their router.
     pub from_shards: Vec<Vec<(u64, u64)>>,
+    /// `(bytes, messages)` the owner side sent to the announcer
+    /// (announce requests + tamper control).
+    pub to_announcer: (u64, u64),
+    /// `(bytes, messages)` the announcer sent to the owner side
+    /// (announcements).
+    pub from_announcer: (u64, u64),
+    /// Per additive server, `(bytes, messages)` it sent to the announcer
+    /// over its dedicated upload link (the blinded wide matrices that the
+    /// owner side must never see — and, by these meters, observably never
+    /// carries).
+    pub server_to_announcer: Vec<(u64, u64)>,
 }
 
 impl NetReport {
@@ -260,8 +451,26 @@ impl NetReport {
         (to, from)
     }
 
+    /// `(bytes, messages)` additive server `k` sent to the announcer.
+    pub fn server_to_announcer(&self, k: usize) -> (u64, u64) {
+        self.server_to_announcer.get(k).copied().unwrap_or_default()
+    }
+
+    /// Total bytes over the three announcer edges (owner control link,
+    /// both directions, plus the two server upload links).
+    pub fn announcer_bytes(&self) -> u64 {
+        self.to_announcer.0
+            + self.from_announcer.0
+            + self
+                .server_to_announcer
+                .iter()
+                .map(|&(bytes, _)| bytes)
+                .sum::<u64>()
+    }
+
     /// Total bytes over every owner↔server link (both directions; shard
-    /// links are internal to a domain and not double-counted here).
+    /// links are internal to a domain and announcer edges are separate,
+    /// so neither is double-counted here).
     pub fn total_bytes(&self) -> u64 {
         self.to_servers
             .iter()
@@ -305,6 +514,17 @@ impl std::fmt::Display for NetReport {
                 )?;
             }
         }
+        let (tb, tm) = self.to_announcer;
+        let (fb, fm) = self.from_announcer;
+        writeln!(
+            f,
+            "announcer: to {}/{tm} msgs, from {}/{fm} msgs",
+            kb(tb),
+            kb(fb)
+        )?;
+        for (k, &(bytes, msgs)) in self.server_to_announcer.iter().enumerate() {
+            writeln!(f, "  server {k} -> announcer: {}/{msgs}", kb(bytes))?;
+        }
         Ok(())
     }
 }
@@ -313,13 +533,20 @@ impl std::fmt::Display for NetReport {
 pub struct NetCluster {
     setup: Setup,
     links: Vec<Box<dyn Link>>,
+    announcer_link: Box<dyn Link>,
     handles: Vec<JoinHandle<Result<(), NetError>>>,
     server_stats: Vec<Arc<LinkStats>>,
     to_shard_stats: Vec<Vec<Arc<LinkStats>>>,
     from_shard_stats: Vec<Vec<Arc<LinkStats>>>,
+    from_announcer_stats: Arc<LinkStats>,
+    server_to_announcer_stats: Vec<Arc<LinkStats>>,
     shards: usize,
     threads: u32,
     dispatches: AtomicU64,
+    /// Wide-round sequence counter: one fresh number per round that
+    /// carries a `MaxCombine`, echoed by servers and quoted at announce
+    /// time so the announcer can reject stale or crossed uploads.
+    wide_seq: AtomicU64,
 }
 
 fn transport_err(e: NetError) -> ProtocolError {
@@ -337,6 +564,7 @@ impl ServerExec for NetCluster {
         // so the batch (with its per-server z vectors) moves into the
         // message instead of being cloned on the hot path.
         let servers: Vec<usize> = cmds.iter().map(|(s, _)| *s).collect();
+        let mut round_seq = None;
         for (s, cmd) in cmds {
             let msg = match cmd {
                 ServerCmd::Run(batch) => {
@@ -346,10 +574,20 @@ impl ServerExec for NetCluster {
                     }
                     Message::RunBatch(batch)
                 }
-                ServerCmd::MaxCombine { .. } | ServerCmd::AssembleFpos { .. } => {
-                    return Err(ProtocolError::Transport(
-                        "wide-share rounds (max/median) are not deployed over the wire".into(),
-                    ))
+                // Wide rounds are parameter-only and answered at the
+                // domain front-end, so they never fan out to shards. One
+                // sequence number covers the whole round (both servers).
+                ServerCmd::MaxCombine { uploads, threads } => {
+                    let seq = *round_seq
+                        .get_or_insert_with(|| self.wide_seq.fetch_add(1, Ordering::Relaxed) + 1);
+                    Message::MaxCombine {
+                        uploads,
+                        threads,
+                        seq,
+                    }
+                }
+                ServerCmd::AssembleFpos { claims, threads } => {
+                    Message::AssembleFpos { claims, threads }
                 }
             };
             self.links[s].send(&msg).map_err(transport_err)?;
@@ -358,6 +596,17 @@ impl ServerExec for NetCluster {
         for s in servers {
             match self.links[s].recv().map_err(transport_err)? {
                 Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
+                Message::WideForwarded { rows, width, seq } => {
+                    // The receipt must belong to the round we just issued
+                    // (a desynchronized server cannot smuggle an old one).
+                    if round_seq != Some(seq) {
+                        return Err(ProtocolError::Transport(
+                            "server acknowledged the wrong wide round".into(),
+                        ));
+                    }
+                    replies.push(ServerReply::WideForwarded { rows, width, seq })
+                }
+                Message::Fpos(rows) => replies.push(ServerReply::Fpos(rows)),
                 _ => {
                     return Err(ProtocolError::Transport(
                         "unexpected reply to a query round".into(),
@@ -370,12 +619,26 @@ impl ServerExec for NetCluster {
 
     fn announce(
         &self,
-        _cmd: AnnouncerCmd<'_>,
-        _threads: usize,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
     ) -> prism_protocol::Result<(AnnouncerReply, Duration)> {
-        Err(ProtocolError::Transport(
-            "the announcer role is not deployed over the wire".into(),
-        ))
+        let t0 = Instant::now();
+        self.announcer_link
+            .send(&Message::AnnounceRun {
+                cmd,
+                seq,
+                threads: threads as u32,
+            })
+            .map_err(transport_err)?;
+        match self.announcer_link.recv().map_err(transport_err)? {
+            Message::AnnounceReply(reply) => Ok((reply, t0.elapsed())),
+            // `Ack` is the announcer's failure marker (missing or crossed
+            // uploads, mismatched matrices).
+            _ => Err(ProtocolError::MalformedResponse(
+                "announcer could not produce an announcement",
+            )),
+        }
     }
 
     fn meters(&self) -> ExecMeters {
@@ -428,6 +691,13 @@ impl NetCluster {
     /// the worker node (holding the full domain parameters) sits directly
     /// behind the owner link, exactly the pre-sharding topology, with no
     /// extra hop or re-encode.
+    ///
+    /// The announcer is the fourth node: its thread runs
+    /// [`announcer_loop`] behind one owner↔announcer control link plus
+    /// one upload link from each *additive* server domain (the Shamir-only
+    /// server never participates in wide rounds and gets none — the
+    /// topology, like the no-server-links property, enforces the role by
+    /// construction).
     fn start_with(
         setup: Setup,
         shards: usize,
@@ -439,15 +709,30 @@ impl NetCluster {
         let mut to_shard_stats = Vec::new();
         let mut from_shard_stats = Vec::new();
         let mut actual_shards = 1;
+
+        // Server→announcer edges, one per additive server.
+        let mut server_ann_ends: Vec<Option<Box<dyn Link>>> = Vec::new();
+        let mut announcer_server_ends: Vec<Box<dyn Link>> = Vec::new();
+        let mut server_to_announcer_stats = Vec::new();
+        for _ in 0..ADDITIVE_SERVERS {
+            let (server_end, announcer_end) = mk_pair()?;
+            server_to_announcer_stats.push(server_end.stats());
+            server_ann_ends.push(Some(server_end));
+            announcer_server_ends.push(announcer_end);
+        }
+
         for k in 0..SHAMIR_SERVERS {
             let params = setup.servers[k].clone();
             let plan = ShardPlan::new(params.b, shards);
             actual_shards = plan.shard_count();
             let (owner_end, server_end) = mk_pair()?;
             server_stats.push(server_end.stats());
+            let ann_link = server_ann_ends.get_mut(k).and_then(Option::take);
 
             if plan.shard_count() == 1 {
-                handles.push(std::thread::spawn(move || server_loop(params, server_end)));
+                handles.push(std::thread::spawn(move || {
+                    server_loop(params, server_end, ann_link)
+                }));
                 to_shard_stats.push(Vec::new());
                 from_shard_stats.push(Vec::new());
                 links.push(owner_end);
@@ -462,26 +747,41 @@ impl NetCluster {
                 to_stats.push(router_side.stats());
                 from_stats.push(worker_side.stats());
                 let wp = shard_server_params(&params, spec);
-                handles.push(std::thread::spawn(move || server_loop(wp, worker_side)));
+                handles.push(std::thread::spawn(move || {
+                    server_loop(wp, worker_side, None)
+                }));
                 router_shard_links.push(router_side);
             }
             to_shard_stats.push(to_stats);
             from_shard_stats.push(from_stats);
             handles.push(std::thread::spawn(move || {
-                domain_loop(params, server_end, router_shard_links)
+                domain_loop(params, server_end, router_shard_links, ann_link)
             }));
             links.push(owner_end);
         }
+
+        // The announcer node.
+        let (announcer_link, announcer_end) = mk_pair()?;
+        let from_announcer_stats = announcer_end.stats();
+        let ap = setup.announcer.clone();
+        handles.push(std::thread::spawn(move || {
+            announcer_loop(ap, announcer_end, announcer_server_ends)
+        }));
+
         Ok(NetCluster {
             setup,
             links,
+            announcer_link,
             handles,
             server_stats,
             to_shard_stats,
             from_shard_stats,
+            from_announcer_stats,
+            server_to_announcer_stats,
             shards: actual_shards,
             threads: 1,
             dispatches: AtomicU64::new(0),
+            wide_seq: AtomicU64::new(0),
         })
     }
 
@@ -549,6 +849,18 @@ impl NetCluster {
         }
     }
 
+    /// Attach a tampering behaviour to the announcer node (tests), over
+    /// its owner-side control link: applied to every subsequent max/median
+    /// announcement, exactly like the in-memory cluster.
+    pub fn set_announcer_tamper(&self, tamper: AnnouncerTamper) -> Result<(), NetError> {
+        self.announcer_link
+            .send(&Message::SetAnnouncerTamper(tamper))?;
+        match self.announcer_link.recv()? {
+            Message::Ack => Ok(()),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
     /// Run any engine round plan over this cluster's links.
     pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats), ClusterError> {
         Engine::new(self, &self.setup.owner)
@@ -604,6 +916,45 @@ impl NetCluster {
         Ok(self.execute(&plans::Average { attr, seed })?.0)
     }
 
+    /// Cells per max/median pipeline chunk (mirrors the in-memory
+    /// driver's bound, so round counts and results match it exactly).
+    const CELL_CHUNK: usize = 1 << 16;
+
+    /// PSI maximum (§6.3, all three rounds, announcer node included) with
+    /// built-in verification. `values[j]` is owner j's per-cell maxima
+    /// column — owner-side data that never left the owners, so the caller
+    /// supplies it (the Phase-1 uploads carry only shares).
+    pub fn psi_max(
+        &self,
+        values: &[&[u64]],
+        seed: u64,
+    ) -> Result<(Vec<MaxCell>, Vec<Vec<bool>>), ClusterError> {
+        let plan = plans::Max {
+            values: values.to_vec(),
+            table: None,
+            seed,
+            cell_chunk: Self::CELL_CHUNK,
+        };
+        Ok(self.execute(&plan)?.0)
+    }
+
+    /// PSI median (§6.4) over the announcer node. `values[j]` is owner
+    /// j's per-cell *sums* column (§6.4 aggregates each owner's summed
+    /// contribution).
+    pub fn psi_median(
+        &self,
+        values: &[&[u64]],
+        seed: u64,
+    ) -> Result<Vec<MedianCell>, ClusterError> {
+        let plan = plans::Median {
+            values: values.to_vec(),
+            table: None,
+            seed,
+            cell_chunk: Self::CELL_CHUNK,
+        };
+        Ok(self.execute(&plan)?.0)
+    }
+
     /// Several aggregations over one PSI in a single round-2 round-trip
     /// (one `RunBatch` message per server); results are identical to the
     /// corresponding sequential queries.
@@ -626,14 +977,18 @@ impl NetCluster {
             from_servers: snap(&self.server_stats),
             to_shards: self.to_shard_stats.iter().map(|s| snap(s)).collect(),
             from_shards: self.from_shard_stats.iter().map(|s| snap(s)).collect(),
+            to_announcer: self.announcer_link.stats().snapshot(),
+            from_announcer: self.from_announcer_stats.snapshot(),
+            server_to_announcer: snap(&self.server_to_announcer_stats),
         }
     }
 
-    /// Orderly shutdown; joins router and worker threads.
+    /// Orderly shutdown; joins router, worker, and announcer threads.
     pub fn shutdown(mut self) -> Result<(), NetError> {
         for link in &self.links {
             link.send(&Message::Shutdown)?;
         }
+        self.announcer_link.send(&Message::Shutdown)?;
         for h in self.handles.drain(..) {
             h.join().map_err(|_| NetError::Disconnected)??;
         }

@@ -4,13 +4,18 @@
 //! links (in-process channels and TCP), and a threaded cluster harness
 //! whose topology makes the §3.2 no-server-communication property hold by
 //! construction — servers are built with a single link to the owner side
-//! and no way to reach each other.
+//! and no way to reach each other. The announcer (max/median's fourth
+//! party) is a real node too: one owner-side control link plus a
+//! dedicated upload link from each additive server, so the blinded
+//! wide-share matrices flow server→announcer without ever crossing an
+//! owner link.
 //!
 //! All protocol logic lives in `prism_protocol`: server threads run the
-//! engine's `ServerNode`, and [`NetCluster`] implements the engine's
-//! `ServerExec` so every query is the same round plan the in-memory
-//! driver executes — this crate only moves the engine's messages as bytes
-//! and meters them.
+//! engine's `ServerNode`, the announcer thread runs the engine's
+//! `Announcer`, and [`NetCluster`] implements the engine's `ServerExec`
+//! so every query — max/median included — is the same round plan the
+//! in-memory driver executes; this crate only moves the engine's
+//! messages as bytes and meters them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,8 +12,11 @@
 //! speak the engine's vocabulary, this module only spells it in bytes.
 
 use bytes::{Buf, BufMut, BytesMut};
-use prism_protocol::engine::{BatchItem, BatchQuery};
-use prism_protocol::malicious::Tamper;
+use prism_core::wide::WideVec;
+use prism_protocol::engine::{AnnouncerCmd, AnnouncerReply, BatchItem, BatchQuery};
+use prism_protocol::malicious::{AnnouncerTamper, Tamper};
+use prism_protocol::max::{BlindedMaxUpload, MaxAnnouncement};
+use prism_protocol::median::MedianAnnouncement;
 
 pub use prism_protocol::engine::Column;
 pub use prism_protocol::engine::QueryOp as Op;
@@ -25,6 +28,9 @@ pub enum WireError {
     Truncated,
     /// Unknown tag byte.
     BadTag(u8),
+    /// Fields decoded but violate a length invariant (e.g. a wide matrix
+    /// whose limb count is not a multiple of its width).
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for WireError {
@@ -32,6 +38,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "truncated message"),
             WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::Malformed(why) => write!(f, "malformed message: {why}"),
         }
     }
 }
@@ -216,6 +223,112 @@ fn get_vecs(buf: &mut &[u8]) -> Result<Vec<Vec<u64>>, WireError> {
     Ok(out)
 }
 
+/// Wide matrices ship as `width ‖ limbs`; the row count is implied
+/// (`limbs / width`), so the decoder *checks* divisibility rather than
+/// trusting a redundant field.
+fn put_widevec(buf: &mut BytesMut, wv: &WideVec) {
+    buf.put_u32_le(wv.width as u32);
+    put_vec(buf, &wv.data);
+}
+
+fn get_widevec(buf: &mut &[u8]) -> Result<WideVec, WireError> {
+    let width = need_u32(buf)? as usize;
+    let data = get_vec(buf)?;
+    if width == 0 && !data.is_empty() {
+        return Err(WireError::Malformed("wide matrix with zero width"));
+    }
+    if width != 0 && data.len() % width != 0 {
+        return Err(WireError::Malformed(
+            "wide matrix limb count not a multiple of its width",
+        ));
+    }
+    Ok(WideVec { width, data })
+}
+
+fn put_announcement(buf: &mut BytesMut, a: &MaxAnnouncement) {
+    put_widevec(buf, &a.max_shares_1);
+    put_widevec(buf, &a.max_shares_2);
+    buf.put_u64_le(a.index_shares.len() as u64);
+    for &(x, y) in &a.index_shares {
+        buf.put_u64_le(x);
+        buf.put_u64_le(y);
+    }
+}
+
+fn get_announcement(buf: &mut &[u8]) -> Result<MaxAnnouncement, WireError> {
+    let max_shares_1 = get_widevec(buf)?;
+    let max_shares_2 = get_widevec(buf)?;
+    let n = need_u64(buf)? as usize;
+    if buf.remaining() < n.saturating_mul(16) {
+        return Err(WireError::Truncated);
+    }
+    let mut index_shares = Vec::with_capacity(n);
+    for _ in 0..n {
+        index_shares.push((need_u64(buf)?, need_u64(buf)?));
+    }
+    Ok(MaxAnnouncement {
+        max_shares_1,
+        max_shares_2,
+        index_shares,
+    })
+}
+
+fn encode_announcer_reply(reply: &AnnouncerReply, buf: &mut BytesMut) {
+    match reply {
+        AnnouncerReply::Max(a) => {
+            buf.put_u8(0);
+            put_announcement(buf, a);
+        }
+        AnnouncerReply::Median(m) => {
+            buf.put_u8(1);
+            buf.put_u32_le(m.middles.len() as u32);
+            for a in &m.middles {
+                put_announcement(buf, a);
+            }
+        }
+    }
+}
+
+fn decode_announcer_reply(buf: &mut &[u8]) -> Result<AnnouncerReply, WireError> {
+    Ok(match need(buf)? {
+        0 => AnnouncerReply::Max(get_announcement(buf)?),
+        1 => {
+            let n = need_u32(buf)? as usize;
+            let mut middles = Vec::with_capacity(n.min(16));
+            for _ in 0..n {
+                middles.push(get_announcement(buf)?);
+            }
+            AnnouncerReply::Median(MedianAnnouncement { middles })
+        }
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn encode_announcer_tamper(t: &AnnouncerTamper, buf: &mut BytesMut) {
+    match *t {
+        AnnouncerTamper::Honest => buf.put_u8(0),
+        AnnouncerTamper::AnnounceSlot(slot) => {
+            buf.put_u8(1);
+            buf.put_u64_le(slot as u64);
+        }
+        AnnouncerTamper::FakeValue { seed } => {
+            buf.put_u8(2);
+            buf.put_u64_le(seed);
+        }
+    }
+}
+
+fn decode_announcer_tamper(buf: &mut &[u8]) -> Result<AnnouncerTamper, WireError> {
+    Ok(match need(buf)? {
+        0 => AnnouncerTamper::Honest,
+        1 => AnnouncerTamper::AnnounceSlot(need_u64(buf)? as usize),
+        2 => AnnouncerTamper::FakeValue {
+            seed: need_u64(buf)?,
+        },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
 fn encode_batch(batch: &BatchQuery, buf: &mut BytesMut) {
     buf.put_u32_le(batch.threads);
     put_vecs(buf, &batch.zs);
@@ -295,10 +408,73 @@ pub enum Message {
     /// Attach a tampering behaviour to the receiving server (tests: the
     /// failure-injection matrix runs over the wire too).
     SetTamper(Tamper),
-    /// Acknowledgement (upload / tamper receipt).
+    /// Acknowledgement (upload / tamper receipt). Also the announcer's
+    /// failure marker: an [`Message::AnnounceRun`] that cannot produce an
+    /// announcement (missing/crossed uploads, mismatched matrices) is
+    /// answered with `Ack`, which the owner surfaces as a protocol error.
     Ack,
     /// Orderly shutdown.
     Shutdown,
+    /// Max/median round 2, owner → additive server: the owners' blinded
+    /// wide uploads ([`ServerCmd::MaxCombine`](prism_protocol::engine::ServerCmd)
+    /// verbatim). The server's combined matrix travels on its *own*
+    /// server→announcer link — never back through the owner — and the
+    /// owner receives only a [`Message::WideForwarded`] receipt.
+    MaxCombine {
+        /// One blinded upload per owner, in owner order.
+        uploads: Vec<BlindedMaxUpload>,
+        /// Worker threads the server should use.
+        threads: u32,
+        /// Wide-round sequence number (echoed in the `WideUpload` and the
+        /// `WideForwarded` receipt, and quoted by the `AnnounceRun`) — what
+        /// lets the announcer refuse stale or crossed uploads.
+        seq: u64,
+    },
+    /// Max round 3, owner → additive server: per-owner claim shares.
+    AssembleFpos {
+        /// One claim vector per owner, in owner order.
+        claims: Vec<Vec<u64>>,
+        /// Worker threads the server should use.
+        threads: u32,
+    },
+    /// Reply to [`Message::AssembleFpos`]: the per-cell claim-share table.
+    Fpos(Vec<Vec<u64>>),
+    /// Reply to [`Message::MaxCombine`]: the shape of the matrix the
+    /// server forwarded to the announcer (`rows == 0` marks failure).
+    WideForwarded {
+        /// Rows of the forwarded matrix (`cells × m`).
+        rows: u64,
+        /// Limb width of the forwarded matrix.
+        width: u32,
+        /// Echoed wide-round sequence number.
+        seq: u64,
+    },
+    /// Additive server → announcer: the `PF`-permuted combined share
+    /// matrix for the pending announcement, tagged with the sender so the
+    /// announcer can detect crossed links.
+    WideUpload {
+        /// Sending server (0 or 1).
+        server: u32,
+        /// Echoed wide-round sequence number (the announcer discards
+        /// uploads from superseded rounds).
+        seq: u64,
+        /// The combined `cells × m`-row share matrix.
+        shares: WideVec,
+    },
+    /// Owner → announcer: act on the two staged server uploads.
+    AnnounceRun {
+        /// What to announce (max or median).
+        cmd: AnnouncerCmd,
+        /// The wide round whose uploads to act on.
+        seq: u64,
+        /// Worker threads the announcer should use.
+        threads: u32,
+    },
+    /// Announcer → owner: the announcement.
+    AnnounceReply(AnnouncerReply),
+    /// Attach a tampering behaviour to the announcer (tests), over the
+    /// owner↔announcer control link.
+    SetAnnouncerTamper(AnnouncerTamper),
 }
 
 impl Message {
@@ -349,6 +525,61 @@ impl Message {
                 buf.put_u32_le(*shard);
                 put_vecs(&mut buf, outputs);
             }
+            Message::MaxCombine {
+                uploads,
+                threads,
+                seq,
+            } => {
+                buf.put_u8(9);
+                buf.put_u64_le(*seq);
+                buf.put_u32_le(*threads);
+                buf.put_u32_le(uploads.len() as u32);
+                for u in uploads {
+                    put_widevec(&mut buf, &u.shares);
+                }
+            }
+            Message::AssembleFpos { claims, threads } => {
+                buf.put_u8(10);
+                buf.put_u32_le(*threads);
+                put_vecs(&mut buf, claims);
+            }
+            Message::Fpos(rows) => {
+                buf.put_u8(11);
+                put_vecs(&mut buf, rows);
+            }
+            Message::WideForwarded { rows, width, seq } => {
+                buf.put_u8(12);
+                buf.put_u64_le(*rows);
+                buf.put_u32_le(*width);
+                buf.put_u64_le(*seq);
+            }
+            Message::WideUpload {
+                server,
+                seq,
+                shares,
+            } => {
+                buf.put_u8(13);
+                buf.put_u32_le(*server);
+                buf.put_u64_le(*seq);
+                put_widevec(&mut buf, shares);
+            }
+            Message::AnnounceRun { cmd, seq, threads } => {
+                buf.put_u8(14);
+                buf.put_u8(match cmd {
+                    AnnouncerCmd::FindMax => 0,
+                    AnnouncerCmd::FindMedian => 1,
+                });
+                buf.put_u64_le(*seq);
+                buf.put_u32_le(*threads);
+            }
+            Message::AnnounceReply(reply) => {
+                buf.put_u8(15);
+                encode_announcer_reply(reply, &mut buf);
+            }
+            Message::SetAnnouncerTamper(t) => {
+                buf.put_u8(16);
+                encode_announcer_tamper(t, &mut buf);
+            }
         }
         buf
     }
@@ -391,6 +622,54 @@ impl Message {
                 shard: need_u32(buf)?,
                 outputs: get_vecs(buf)?,
             },
+            9 => {
+                let seq = need_u64(buf)?;
+                let threads = need_u32(buf)?;
+                let n = need_u32(buf)? as usize;
+                let mut uploads = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    uploads.push(BlindedMaxUpload {
+                        shares: get_widevec(buf)?,
+                    });
+                }
+                Message::MaxCombine {
+                    uploads,
+                    threads,
+                    seq,
+                }
+            }
+            10 => {
+                let threads = need_u32(buf)?;
+                Message::AssembleFpos {
+                    claims: get_vecs(buf)?,
+                    threads,
+                }
+            }
+            11 => Message::Fpos(get_vecs(buf)?),
+            12 => Message::WideForwarded {
+                rows: need_u64(buf)?,
+                width: need_u32(buf)?,
+                seq: need_u64(buf)?,
+            },
+            13 => Message::WideUpload {
+                server: need_u32(buf)?,
+                seq: need_u64(buf)?,
+                shares: get_widevec(buf)?,
+            },
+            14 => {
+                let cmd = match need(buf)? {
+                    0 => AnnouncerCmd::FindMax,
+                    1 => AnnouncerCmd::FindMedian,
+                    t => return Err(WireError::BadTag(t)),
+                };
+                Message::AnnounceRun {
+                    cmd,
+                    seq: need_u64(buf)?,
+                    threads: need_u32(buf)?,
+                }
+            }
+            15 => Message::AnnounceReply(decode_announcer_reply(buf)?),
+            16 => Message::SetAnnouncerTamper(decode_announcer_tamper(buf)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -464,6 +743,98 @@ mod tests {
         roundtrip(Message::SetTamper(Tamper::ReplaceCell { src: 4, dst: 9 }));
         roundtrip(Message::Ack);
         roundtrip(Message::Shutdown);
+    }
+
+    fn wv(rows: usize, width: usize, fill: u64) -> WideVec {
+        WideVec {
+            width,
+            data: vec![fill; rows * width],
+        }
+    }
+
+    #[test]
+    fn announcer_messages_roundtrip() {
+        roundtrip(Message::MaxCombine {
+            uploads: vec![
+                BlindedMaxUpload {
+                    shares: wv(3, 2, 7),
+                },
+                BlindedMaxUpload {
+                    shares: wv(3, 2, u64::MAX),
+                },
+            ],
+            threads: 4,
+            seq: 11,
+        });
+        roundtrip(Message::AssembleFpos {
+            claims: vec![vec![1, 0, 1], vec![0, 0, 1]],
+            threads: 2,
+        });
+        roundtrip(Message::Fpos(vec![vec![1, 2], vec![3, 4], vec![]]));
+        roundtrip(Message::WideForwarded {
+            rows: 12,
+            width: 3,
+            seq: 5,
+        });
+        roundtrip(Message::WideForwarded {
+            rows: 0,
+            width: 0,
+            seq: 0,
+        });
+        roundtrip(Message::WideUpload {
+            server: 1,
+            seq: 6,
+            shares: wv(6, 2, 9),
+        });
+        roundtrip(Message::AnnounceRun {
+            cmd: AnnouncerCmd::FindMax,
+            seq: 6,
+            threads: 2,
+        });
+        roundtrip(Message::AnnounceRun {
+            cmd: AnnouncerCmd::FindMedian,
+            seq: 7,
+            threads: 1,
+        });
+        let ann = MaxAnnouncement {
+            max_shares_1: wv(2, 3, 5),
+            max_shares_2: wv(2, 3, 6),
+            index_shares: vec![(1, 2), (3, 4)],
+        };
+        roundtrip(Message::AnnounceReply(AnnouncerReply::Max(ann.clone())));
+        roundtrip(Message::AnnounceReply(AnnouncerReply::Median(
+            MedianAnnouncement {
+                middles: vec![ann.clone(), ann],
+            },
+        )));
+        roundtrip(Message::SetAnnouncerTamper(AnnouncerTamper::Honest));
+        roundtrip(Message::SetAnnouncerTamper(AnnouncerTamper::AnnounceSlot(
+            3,
+        )));
+        roundtrip(Message::SetAnnouncerTamper(AnnouncerTamper::FakeValue {
+            seed: 99,
+        }));
+    }
+
+    #[test]
+    fn wide_matrix_length_invariants_are_checked() {
+        let m = Message::WideUpload {
+            server: 0,
+            seq: 1,
+            shares: wv(2, 2, 1),
+        };
+        let mut enc = m.encode().to_vec();
+        // Layout: tag(1) ‖ server(4) ‖ seq(8) ‖ width(4) ‖ count(8) ‖ limbs.
+        enc[13] = 3; // 4 limbs with width 3: not a multiple
+        assert!(matches!(
+            Message::decode(&enc),
+            Err(WireError::Malformed(_))
+        ));
+        enc[13] = 0; // zero width with limbs present
+        assert!(matches!(
+            Message::decode(&enc),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -130,11 +130,61 @@ fn exercise(cluster: &NetCluster) {
     assert_eq!(avg[0].count, 5);
     assert!((avg[6].average - 20.0).abs() < 1e-9);
 
-    // Communication was metered on every link.
+    // Max/median: the announcer runs as a fourth networked node. Per-cell
+    // maxima/sums are owner-side data the harness supplies.
+    let (maxima, sums) = owner_values(&rows(), cluster.setup().owner.b);
+    let max_refs: Vec<&[u64]> = maxima.iter().map(Vec::as_slice).collect();
+    let (maxes, holders) = cluster.psi_max(&max_refs, 50).unwrap();
+    // Cell 1: maxima 200/100/700 → 700 at owner 2; cell 7: 10/20/30 → 30.
+    assert_eq!(
+        maxes.iter().map(|m| (m.cell, m.max)).collect::<Vec<_>>(),
+        vec![(0, 700), (6, 30)]
+    );
+    assert_eq!(holders[0], vec![false, false, true]);
+    assert_eq!(holders[1], vec![false, false, true]);
+    let sum_refs: Vec<&[u64]> = sums.iter().map(Vec::as_slice).collect();
+    let medians = cluster.psi_median(&sum_refs, 51).unwrap();
+    // Cell 1 sums: 300/100/1000 → middle 300 (owner 0); cell 7: 10/20/30
+    // → middle 20 (owner 1).
+    assert_eq!(medians[0].values, vec![300]);
+    assert_eq!(medians[0].holders, vec![0]);
+    assert_eq!(medians[1].values, vec![20]);
+    assert_eq!(medians[1].holders, vec![1]);
+
+    // Communication was metered on every link — including the three
+    // announcer edges: both additive servers shipped wide matrices down
+    // their dedicated server→announcer links (owners saw only receipts).
     let report = cluster.report();
     assert_eq!(report.to_servers.len(), 3);
     assert!(report.to_servers.iter().all(|&(bytes, _)| bytes > 0));
     assert!(report.from_servers.iter().all(|&(bytes, _)| bytes > 0));
+    assert_eq!(report.server_to_announcer.len(), 2);
+    assert!(report
+        .server_to_announcer
+        .iter()
+        .all(|&(b, m)| b > 0 && m > 0));
+    assert!(report.to_announcer.1 > 0 && report.from_announcer.1 > 0);
+    assert!(report.announcer_bytes() > 0);
+    let rendered = format!("{report}");
+    assert!(rendered.contains("announcer"));
+}
+
+/// Per-owner per-cell maxima and sums over aggregation attribute 0.
+fn owner_values(rows: &[Vec<(u64, u64)>], b: usize) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let mut maxima = Vec::new();
+    let mut sums = Vec::new();
+    for owner_rows in rows {
+        let mut mx = vec![0u64; b];
+        let mut sm = vec![0u64; b];
+        for &(c, x) in owner_rows {
+            let cell = (c - 1) as usize;
+            mx[cell] = mx[cell].max(x);
+            sm[cell] += x;
+        }
+        maxima.push(mx);
+        sums.push(sm);
+    }
+    (maxima, sums)
 }
 
 #[test]
@@ -219,6 +269,106 @@ fn psu_verified_and_tamper_control_work_over_the_wire() {
         .set_tamper(0, prism_protocol::malicious::Tamper::Honest)
         .unwrap();
     assert!(cluster.psi_verified().is_ok());
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn announcer_round_accounting_over_the_wire() {
+    use prism_protocol::plans;
+
+    let cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&cluster, &rows());
+    let (maxima, sums) = owner_values(&rows(), cluster.setup().owner.b);
+
+    // Max: 3 rounds (PSI, combine, claims); exactly one announce request
+    // and exactly one wide upload per additive server cross the announcer
+    // edges per query.
+    let before = cluster.report();
+    let (_, stats) = cluster
+        .execute(&plans::Max {
+            values: maxima.iter().map(Vec::as_slice).collect(),
+            table: None,
+            seed: 60,
+            cell_chunk: 1 << 16,
+        })
+        .unwrap();
+    assert_eq!(stats.rounds, 3);
+    let after = cluster.report();
+    assert_eq!(after.to_announcer.1 - before.to_announcer.1, 1);
+    assert_eq!(after.from_announcer.1 - before.from_announcer.1, 1);
+    for k in 0..2 {
+        assert_eq!(
+            after.server_to_announcer(k).1 - before.server_to_announcer(k).1,
+            1,
+            "server {k} must upload exactly once per combine round"
+        );
+    }
+
+    // Median: 2 rounds (PSI, combine), no claim round.
+    let (_, stats) = cluster
+        .execute(&plans::Median {
+            values: sums.iter().map(Vec::as_slice).collect(),
+            table: None,
+            seed: 61,
+            cell_chunk: 1 << 16,
+        })
+        .unwrap();
+    assert_eq!(stats.rounds, 2);
+
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn aborted_wide_round_does_not_poison_later_queries() {
+    use prism_core::wide::WideVec;
+    use prism_protocol::engine::{ServerCmd, ServerExec};
+    use prism_protocol::max::BlindedMaxUpload;
+
+    // Round A: server 0 combines successfully (its wide matrix lands on
+    // the announcer's edge) while server 1 is handed a malformed combine
+    // and reports the zero receipt. The engine aborts the query before
+    // any announce — exactly the shape of a mid-query failure.
+    let cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&cluster, &rows());
+    let op = cluster.setup().owner.clone();
+    let uploads = |n: usize| -> Vec<BlindedMaxUpload> {
+        (0..n)
+            .map(|_| BlindedMaxUpload {
+                shares: WideVec::zeroed(2, op.wide_width),
+            })
+            .collect()
+    };
+    let (replies, _) = cluster
+        .round(vec![
+            (
+                0,
+                ServerCmd::MaxCombine {
+                    uploads: uploads(3),
+                    threads: 1,
+                },
+            ),
+            (
+                1,
+                ServerCmd::MaxCombine {
+                    uploads: uploads(2), // wrong owner count: server 1 fails
+                    threads: 1,
+                },
+            ),
+        ])
+        .unwrap();
+    assert_eq!(replies.len(), 2);
+
+    // Round B: a full max query on the same cluster. The announcer must
+    // pair only round-B uploads — the sequence numbers let it discard
+    // server 0's stale round-A matrix instead of crossing rounds.
+    let (maxima, _) = owner_values(&rows(), op.b);
+    let max_refs: Vec<&[u64]> = maxima.iter().map(Vec::as_slice).collect();
+    let (maxes, holders) = cluster.psi_max(&max_refs, 50).unwrap();
+    assert_eq!(
+        maxes.iter().map(|m| (m.cell, m.max)).collect::<Vec<_>>(),
+        vec![(0, 700), (6, 30)]
+    );
+    assert_eq!(holders[0], vec![false, false, true]);
     cluster.shutdown().unwrap();
 }
 

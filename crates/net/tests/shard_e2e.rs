@@ -77,7 +77,8 @@ fn rows() -> Vec<Vec<(u64, u64)>> {
     ]
 }
 
-/// Everything the wire deployment can answer, as one comparable tuple.
+/// Everything the wire deployment can answer — max/median over the
+/// networked announcer included — as one comparable tuple.
 #[derive(Debug, PartialEq)]
 struct AllResults {
     psi: Vec<u64>,
@@ -89,10 +90,31 @@ struct AllResults {
     sum: Vec<u64>,
     sum_verified: Vec<u64>,
     avg_sums: Vec<u64>,
+    max: Vec<(usize, u64, Vec<bool>)>,
+    median: Vec<(usize, Vec<u64>, Vec<usize>)>,
     rounds: Vec<usize>,
 }
 
-fn run_all(cluster: &NetCluster) -> AllResults {
+/// Per-owner per-cell maxima and sums (attribute 0) — the owner-side
+/// value columns the max/median plans consume.
+fn owner_values(rows: &[Vec<(u64, u64)>]) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let mut maxima = Vec::new();
+    let mut sums = Vec::new();
+    for owner_rows in rows {
+        let mut mx = vec![0u64; DOMAIN];
+        let mut sm = vec![0u64; DOMAIN];
+        for &(c, x) in owner_rows {
+            let cell = (c - 1) as usize;
+            mx[cell] = mx[cell].max(x);
+            sm[cell] += x;
+        }
+        maxima.push(mx);
+        sums.push(sm);
+    }
+    (maxima, sums)
+}
+
+fn run_all(cluster: &NetCluster, rows: &[Vec<(u64, u64)>]) -> AllResults {
     let mut rounds = Vec::new();
     let mut tracked = |r: prism_protocol::QueryStats| {
         rounds.push(r.rounds());
@@ -111,6 +133,26 @@ fn run_all(cluster: &NetCluster) -> AllResults {
         .execute(&prism_protocol::plans::CountVerified)
         .unwrap();
     tracked(s);
+    let (maxima, sums) = owner_values(rows);
+    let (max_out, s) = cluster
+        .execute(&prism_protocol::plans::Max {
+            values: maxima.iter().map(Vec::as_slice).collect(),
+            table: None,
+            seed: 12,
+            cell_chunk: 1 << 16,
+        })
+        .unwrap();
+    tracked(s);
+    let (median_out, s) = cluster
+        .execute(&prism_protocol::plans::Median {
+            values: sums.iter().map(Vec::as_slice).collect(),
+            table: None,
+            seed: 13,
+            cell_chunk: 1 << 16,
+        })
+        .unwrap();
+    tracked(s);
+    let (max_cells, holders) = max_out;
     AllResults {
         psi: psi.fop,
         psi_verified: psiv.fop,
@@ -126,6 +168,15 @@ fn run_all(cluster: &NetCluster) -> AllResults {
             .iter()
             .map(|c| c.sum)
             .collect(),
+        max: max_cells
+            .iter()
+            .zip(holders)
+            .map(|(m, h)| (m.cell, m.max, h))
+            .collect(),
+        median: median_out
+            .into_iter()
+            .map(|c| (c.cell, c.values, c.holders))
+            .collect(),
         rounds,
     }
 }
@@ -135,7 +186,7 @@ fn all_operations_invariant_across_shard_counts_channel() {
     let reference = {
         let c = NetCluster::start_local_sharded(make_setup(77), 1);
         upload_all(&c, &rows());
-        let r = run_all(&c);
+        let r = run_all(&c, &rows());
         c.shutdown().unwrap();
         r
     };
@@ -143,7 +194,7 @@ fn all_operations_invariant_across_shard_counts_channel() {
         let c = NetCluster::start_local_sharded(make_setup(77), shards);
         assert_eq!(c.shards(), shards);
         upload_all(&c, &rows());
-        assert_eq!(run_all(&c), reference, "shards={shards}");
+        assert_eq!(run_all(&c, &rows()), reference, "shards={shards}");
         c.shutdown().unwrap();
     }
 }
@@ -153,13 +204,13 @@ fn tcp_sharded_domain_matches_channel() {
     let channel = {
         let c = NetCluster::start_local_sharded(make_setup(78), 4);
         upload_all(&c, &rows());
-        let r = run_all(&c);
+        let r = run_all(&c, &rows());
         c.shutdown().unwrap();
         r
     };
     let c = NetCluster::start_tcp_sharded(make_setup(78), 4).unwrap();
     upload_all(&c, &rows());
-    assert_eq!(run_all(&c), channel);
+    assert_eq!(run_all(&c, &rows()), channel);
     c.shutdown().unwrap();
 }
 
@@ -313,7 +364,7 @@ proptest! {
         for shards in [1usize, 2, 4, 8] {
             let c = NetCluster::start_local_sharded(make_setup(seed), shards);
             upload_all(&c, &rows);
-            let got = run_all(&c);
+            let got = run_all(&c, &rows);
             c.shutdown().unwrap();
             match &reference {
                 None => reference = Some(got),

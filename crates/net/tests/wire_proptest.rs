@@ -1,12 +1,18 @@
 //! Property tests for the wire format: every message type — including the
-//! batched round-2 query and the tamper-injection control message —
-//! round-trips through encode → decode unchanged, and every strict prefix
-//! of an encoding is rejected (all fields are length-prefixed or
-//! fixed-width, so truncation can never decode successfully).
+//! batched round-2 query, the tamper-injection control messages, and the
+//! wide-share announcer envelopes (`MaxCombine`/`WideUpload`/
+//! `AnnounceRun`/`AnnounceReply`) — round-trips through encode → decode
+//! unchanged, every strict prefix of an encoding is rejected (all fields
+//! are length-prefixed or fixed-width, so truncation can never decode
+//! successfully), and arbitrary byte soup either fails to decode or
+//! decodes canonically (re-encoding reproduces the consumed prefix).
 
+use prism_core::wide::WideVec;
 use prism_net::wire::{Column, Message, Op};
-use prism_protocol::engine::{BatchItem, BatchQuery};
-use prism_protocol::malicious::Tamper;
+use prism_protocol::engine::{AnnouncerCmd, AnnouncerReply, BatchItem, BatchQuery};
+use prism_protocol::malicious::{AnnouncerTamper, Tamper};
+use prism_protocol::max::{BlindedMaxUpload, MaxAnnouncement};
+use prism_protocol::median::MedianAnnouncement;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -53,6 +59,36 @@ fn arb_tamper(sel: u8, x: u64, y: u64) -> Tamper {
     }
 }
 
+/// A wide matrix whose limb count is forced to a multiple of the width
+/// (the codec's length invariant).
+fn arb_widevec(data: &[u64], width_sel: u8) -> WideVec {
+    let width = (width_sel % 4 + 1) as usize;
+    let rows = data.len() / width;
+    WideVec {
+        width,
+        data: data[..rows * width].to_vec(),
+    }
+}
+
+fn arb_announcement(zs: &[Vec<u64>], data: &[u64], width_sel: u8) -> MaxAnnouncement {
+    MaxAnnouncement {
+        max_shares_1: arb_widevec(data, width_sel),
+        max_shares_2: arb_widevec(data, width_sel.wrapping_add(1)),
+        index_shares: zs
+            .first()
+            .map(|z| z.iter().map(|&x| (x, x.wrapping_mul(3))).collect())
+            .unwrap_or_default(),
+    }
+}
+
+fn arb_announcer_tamper(sel: u8, x: u64) -> AnnouncerTamper {
+    match sel % 3 {
+        0 => AnnouncerTamper::Honest,
+        1 => AnnouncerTamper::AnnounceSlot(x as usize),
+        _ => AnnouncerTamper::FakeValue { seed: x },
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_message(
     sel: u8,
@@ -78,7 +114,7 @@ fn build_message(
             .collect(),
         threads,
     };
-    match sel % 9 {
+    match sel % 17 {
         0 => Message::Upload {
             owner,
             column: arb_column(col_sel, attr),
@@ -104,6 +140,51 @@ fn build_message(
             shard: owner,
             outputs: zs,
         },
+        8 => Message::MaxCombine {
+            uploads: zs
+                .iter()
+                .enumerate()
+                .map(|(i, z)| BlindedMaxUpload {
+                    shares: arb_widevec(z, col_sel.wrapping_add(i as u8)),
+                })
+                .collect(),
+            threads,
+            seq: ty,
+        },
+        9 => Message::AssembleFpos {
+            claims: zs,
+            threads,
+        },
+        10 => Message::Fpos(zs),
+        11 => Message::WideForwarded {
+            rows: tx,
+            width: owner,
+            seq: ty,
+        },
+        12 => Message::WideUpload {
+            server: owner,
+            seq: ty,
+            shares: arb_widevec(&data, col_sel),
+        },
+        13 => Message::AnnounceRun {
+            cmd: if t_sel % 2 == 0 {
+                AnnouncerCmd::FindMax
+            } else {
+                AnnouncerCmd::FindMedian
+            },
+            seq: ty,
+            threads,
+        },
+        14 => Message::AnnounceReply(if t_sel % 2 == 0 {
+            AnnouncerReply::Max(arb_announcement(&zs, &data, col_sel))
+        } else {
+            AnnouncerReply::Median(MedianAnnouncement {
+                middles: (0..(t_sel % 3))
+                    .map(|i| arb_announcement(&zs, &data, col_sel.wrapping_add(i)))
+                    .collect(),
+            })
+        }),
+        15 => Message::SetAnnouncerTamper(arb_announcer_tamper(t_sel, tx)),
         _ => Message::Shutdown,
     }
 }
@@ -155,6 +236,19 @@ proptest! {
                 cut,
                 Message::decode(&enc[..cut])
             );
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder, and anything that
+    /// *does* decode is canonical: re-encoding it reproduces exactly the
+    /// prefix the decoder consumed (there is no alternative encoding of
+    /// any message, so a forged frame cannot smuggle extra state).
+    #[test]
+    fn garbage_decodes_canonically_or_errors(soup in vec(any::<u8>(), 0..256)) {
+        if let Ok(msg) = Message::decode(&soup) {
+            let enc = msg.encode();
+            prop_assert!(enc.len() <= soup.len());
+            prop_assert_eq!(&enc[..], &soup[..enc.len()]);
         }
     }
 }

@@ -16,9 +16,9 @@
 //! the benchmark harness all drive queries through it.
 
 use crate::average::AvgCell;
-use crate::engine::{Column, Engine, Operation};
+use crate::engine::{Announcer, Column, Engine, Operation};
 use crate::error::{ProtocolError, Result};
-use crate::malicious::Tamper;
+use crate::malicious::{AnnouncerTamper, Tamper};
 use crate::max::MaxCell;
 use crate::median::MedianCell;
 use crate::params::{Initiator, Setup, SystemConfig};
@@ -118,6 +118,7 @@ pub struct Cluster {
     cfg: ClusterConfig,
     owners: Vec<OwnerState>,
     nodes: Vec<ShardedNode>,
+    announcer: Announcer,
     n_attrs: usize,
     /// Lazily built F-evaluation table shared by max/median queries
     /// (owners can all derive it from the public F, so sharing one copy
@@ -238,6 +239,7 @@ impl Cluster {
         }
 
         Ok(Cluster {
+            announcer: Announcer::new(setup.announcer.clone()),
             setup,
             cfg,
             owners,
@@ -265,6 +267,12 @@ impl Cluster {
     /// Attach a tampering behaviour to server φ (tests).
     pub fn set_tamper(&mut self, server: usize, t: Tamper) {
         self.nodes[server].set_tamper(t);
+    }
+
+    /// Attach a tampering behaviour to the announcer (tests): applied to
+    /// every subsequent max/median announcement.
+    pub fn set_announcer_tamper(&mut self, t: AnnouncerTamper) {
+        self.announcer.set_tamper(t);
     }
 
     /// Set per-server thread count.
@@ -304,7 +312,7 @@ impl Cluster {
     /// extension point for queries the named methods below don't cover —
     /// see [`Operation`] for a worked example.
     pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats)> {
-        let exec = ShardedExec::new(&self.nodes, &self.setup.announcer);
+        let exec = ShardedExec::new(&self.nodes, &self.announcer);
         Engine::new(&exec, &self.setup.owner)
             .with_threads(self.cfg.threads)
             .run(plan)
@@ -453,9 +461,11 @@ impl Cluster {
         Ok((cells, holders, stats))
     }
 
-    /// Chunk size for the max/median per-cell pipelines (bounds peak
-    /// memory to ~chunk × m wide shares per server).
-    const CELL_CHUNK: usize = 1 << 16;
+    /// Chunk size for the max/median per-cell pipelines (the shared
+    /// engine default — `NetCluster` uses the same constant, which is
+    /// what keeps round counts and chunk-seeded blinding identical
+    /// across harnesses).
+    const CELL_CHUNK: usize = plans::DEFAULT_CELL_CHUNK;
 
     /// PSI maximum over several attributes (Table 12).
     pub fn psi_max_multi(&self, attrs: &[usize]) -> Result<(Vec<Vec<MaxCell>>, QueryStats)> {

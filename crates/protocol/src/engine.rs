@@ -30,6 +30,7 @@ use crate::median::{self, MedianAnnouncement};
 use crate::params::{AnnouncerParams, OwnerParams, ServerParams};
 use crate::{psi, psu, sum};
 use prism_core::wide::WideVec;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which stored column an upload targets (Table-11 naming).
@@ -177,33 +178,49 @@ pub enum ServerCmd {
 pub enum ServerReply {
     /// Outputs of a [`ServerCmd::Run`] batch, in item order.
     Vectors(Vec<Vec<u64>>),
-    /// Output of a [`ServerCmd::MaxCombine`] (destined for the announcer).
+    /// Output of a [`ServerCmd::MaxCombine`] as produced by the
+    /// [`ServerNode`] itself. This variant never reaches a plan: the
+    /// matrix is *server→announcer* traffic (owners must not see the
+    /// per-slot blinded values), so every backend forwards it to its
+    /// [`Announcer`] — via [`forward_wide`] in-process, over dedicated
+    /// links in `prism_net` — and hands the plan a
+    /// [`ServerReply::WideForwarded`] receipt instead.
     Wide(WideVec),
+    /// Receipt for a [`ServerCmd::MaxCombine`]: the wide matrix was
+    /// delivered to the announcer; only its shape is echoed to the owner
+    /// side (plans shape-check it, see `plans::Max`), plus the wide-round
+    /// sequence number the backend minted for this combine round.
+    /// [`Ctx::round`] records the sequence and [`Ctx::announce`] hands it
+    /// to the announcer, which only acts on uploads from that exact
+    /// round — so a stale upload from an aborted query, or an interleaved
+    /// query's upload, can never be paired into an announcement silently.
+    WideForwarded {
+        /// Rows of the forwarded matrix (`cells × m`).
+        rows: u64,
+        /// Limb width of the forwarded matrix.
+        width: u32,
+        /// Wide-round sequence number the upload is tagged with.
+        seq: u64,
+    },
     /// Output of a [`ServerCmd::AssembleFpos`].
     Fpos(Vec<Vec<u64>>),
 }
 
-/// A request to the announcer (max/median only).
-#[derive(Debug)]
-pub enum AnnouncerCmd<'a> {
+/// A request to the announcer (max/median only). The operand matrices are
+/// *not* part of the command: the announcer operates on whatever the two
+/// additive servers forwarded during the preceding [`ServerCmd::MaxCombine`]
+/// round (see [`Announcer::deposit`]), so the blinded per-slot values never
+/// transit the owner side on any backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnouncerCmd {
     /// Find each cell's maximum (Equations 13–14).
-    FindMax {
-        /// Server 1's permuted share matrix.
-        from_s1: &'a WideVec,
-        /// Server 2's permuted share matrix.
-        from_s2: &'a WideVec,
-    },
+    FindMax,
     /// Find each cell's middle element(s) (§6.4).
-    FindMedian {
-        /// Server 1's permuted share matrix.
-        from_s1: &'a WideVec,
-        /// Server 2's permuted share matrix.
-        from_s2: &'a WideVec,
-    },
+    FindMedian,
 }
 
 /// The announcer's reply.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnnouncerReply {
     /// Reply to [`AnnouncerCmd::FindMax`].
     Max(MaxAnnouncement),
@@ -524,18 +541,30 @@ impl ServerNode {
 
 /// A pluggable backend that can deliver one round of commands to the
 /// servers (and reach the announcer). Implementations: [`InMemoryExec`]
-/// (direct calls) and `prism_net::NetCluster` (channel/TCP links).
+/// (direct calls), [`crate::shard::ShardedExec`] (sharded domains), and
+/// `prism_net::NetCluster` (channel/TCP links, announcer as a fourth
+/// networked node).
 pub trait ServerExec {
     /// Deliver each `(server, command)` pair and collect replies in order.
     /// One call corresponds to one owner↔server communication round; the
     /// returned duration is the backend's notion of server-side cost for
     /// the round (max compute over servers in-process; round-trip wall
-    /// time over a wire).
+    /// time over a wire). Wide matrices produced by
+    /// [`ServerCmd::MaxCombine`] must be delivered to the backend's
+    /// announcer and replaced by [`ServerReply::WideForwarded`] receipts.
     fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)>;
 
-    /// Deliver one request to the announcer.
-    fn announce(&self, cmd: AnnouncerCmd<'_>, threads: usize)
-        -> Result<(AnnouncerReply, Duration)>;
+    /// Ask the announcer to act on the wide matrices staged by the
+    /// [`ServerCmd::MaxCombine`] round with sequence number `seq` (the
+    /// one echoed in that round's [`ServerReply::WideForwarded`]
+    /// receipts). The announcer must refuse staged uploads from any other
+    /// round.
+    fn announce(
+        &self,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
+    ) -> Result<(AnnouncerReply, Duration)>;
 
     /// Cumulative dispatch meters for this backend. Backends without
     /// fan-out keep the default zeros; sharded backends report how many
@@ -545,23 +574,183 @@ pub trait ServerExec {
     }
 }
 
-/// Run one announcer request on nodes living in this process — shared by
-/// every local backend ([`InMemoryExec`], [`crate::shard::ShardedExec`]).
-pub fn run_announcer(
-    cmd: AnnouncerCmd<'_>,
-    ap: &AnnouncerParams,
-    threads: usize,
-) -> Result<(AnnouncerReply, Duration)> {
-    let t0 = Instant::now();
-    let reply = match cmd {
-        AnnouncerCmd::FindMax { from_s1, from_s2 } => AnnouncerReply::Max(
-            max::announcer_find_max_threads(from_s1, from_s2, ap, threads)?,
-        ),
-        AnnouncerCmd::FindMedian { from_s1, from_s2 } => {
-            AnnouncerReply::Median(median::announcer_find_median(from_s1, from_s2, ap)?)
+/// References also execute (lets harnesses run plans against a
+/// `&dyn ServerExec`, which the transport-conformance suite uses to drive
+/// every backend through one generic function).
+impl<T: ServerExec + ?Sized> ServerExec for &T {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+        (**self).round(cmds)
+    }
+
+    fn announce(
+        &self,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
+    ) -> Result<(AnnouncerReply, Duration)> {
+        (**self).announce(cmd, seq, threads)
+    }
+
+    fn meters(&self) -> ExecMeters {
+        (**self).meters()
+    }
+}
+
+/// The announcer role: parameters, the inbox staging the two additive
+/// servers' wide uploads, and a (test-injected)
+/// [`AnnouncerTamper`](crate::malicious::AnnouncerTamper) — the
+/// announcer-side sibling of [`ServerNode`].
+///
+/// Every backend funnels max/median through one of these: the in-process
+/// executors own a reference and [`forward_wide`] deposits into it
+/// directly; `prism_net` runs one on the announcer node's thread and
+/// deposits from its server→announcer links. Every deposit is tagged
+/// with a **wide-round sequence number** (minted per combine round via
+/// [`Announcer::next_seq`] in-process, assigned by the owner side over
+/// the wire), and [`Announcer::announce`] only acts on a pair from the
+/// exact round it is asked about — so a stale upload left by an aborted
+/// query, or an interleaved query's upload, surfaces as a protocol error
+/// instead of a silently wrong announcement. Announcing consumes the
+/// matching pair: the paper's data flow, where the announcer only ever
+/// acts on what the servers forwarded for the round in question.
+#[derive(Debug)]
+pub struct Announcer {
+    params: AnnouncerParams,
+    tamper: crate::malicious::AnnouncerTamper,
+    seq: AtomicU64,
+    inbox: std::sync::Mutex<AnnouncerInbox>,
+}
+
+/// Per-additive-server staged upload: `(wide-round sequence, matrix)`.
+type AnnouncerInbox = [Option<(u64, WideVec)>; 2];
+
+impl Announcer {
+    /// An honest announcer with an empty inbox.
+    pub fn new(params: AnnouncerParams) -> Announcer {
+        Announcer {
+            params,
+            tamper: crate::malicious::AnnouncerTamper::Honest,
+            seq: AtomicU64::new(0),
+            inbox: std::sync::Mutex::new([None, None]),
         }
-    };
-    Ok((reply, t0.elapsed()))
+    }
+
+    /// This role's parameters.
+    pub fn params(&self) -> &AnnouncerParams {
+        &self.params
+    }
+
+    /// Attach a tampering behaviour (tests). Applied to every subsequent
+    /// announcement, after the honest computation — the same staging as
+    /// [`ServerNode`]'s *compute → tamper*.
+    pub fn set_tamper(&mut self, tamper: crate::malicious::AnnouncerTamper) {
+        self.tamper = tamper;
+    }
+
+    /// Mint the sequence number for a new wide round (in-process backends
+    /// call this once per round that carries a `MaxCombine`).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn inbox(&self) -> Result<std::sync::MutexGuard<'_, AnnouncerInbox>> {
+        self.inbox
+            .lock()
+            .map_err(|_| ProtocolError::Transport("announcer inbox poisoned".into()))
+    }
+
+    /// Stage additive server `server`'s wide upload for round `seq`
+    /// (`server` must be 0 or 1). A newer deposit overwrites an older one
+    /// on the same slot, so stale uploads never accumulate.
+    pub fn deposit(&self, server: usize, seq: u64, shares: WideVec) -> Result<()> {
+        let mut inbox = self.inbox()?;
+        let slot = inbox.get_mut(server).ok_or_else(|| {
+            ProtocolError::ParameterMismatch(format!(
+                "only the two additive servers reach the announcer, got server {server}"
+            ))
+        })?;
+        *slot = Some((seq, shares));
+        Ok(())
+    }
+
+    /// Act on round `seq`'s staged uploads: reconstruct, find the max /
+    /// middle element(s), re-share, apply the attached tamper. Consumes
+    /// the pair only when **both** servers' staged uploads carry exactly
+    /// `seq`; anything else — a missing upload, a stale round left by an
+    /// aborted query, an interleaved query's round — errors and leaves
+    /// the inbox untouched (so the query that does own the staged pair
+    /// can still announce).
+    pub fn announce(
+        &self,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
+    ) -> Result<(AnnouncerReply, Duration)> {
+        let (from_s1, from_s2) = {
+            let mut inbox = self.inbox()?;
+            let matches =
+                |slot: &Option<(u64, WideVec)>| slot.as_ref().is_some_and(|(s, _)| *s == seq);
+            if !matches(&inbox[0]) || !matches(&inbox[1]) {
+                return Err(ProtocolError::MalformedResponse(
+                    "announcer has no staged uploads for this wide round; \
+                     announce must follow its own combine round",
+                ));
+            }
+            let (_, a) = inbox[0].take().expect("matched above");
+            let (_, b) = inbox[1].take().expect("matched above");
+            (a, b)
+        };
+        let t0 = Instant::now();
+        let mut reply = match cmd {
+            AnnouncerCmd::FindMax => AnnouncerReply::Max(max::announcer_find_max_threads(
+                &from_s1,
+                &from_s2,
+                &self.params,
+                threads,
+            )?),
+            AnnouncerCmd::FindMedian => AnnouncerReply::Median(median::announcer_find_median(
+                &from_s1,
+                &from_s2,
+                &self.params,
+            )?),
+        };
+        if !self.tamper.is_honest() {
+            match &mut reply {
+                AnnouncerReply::Max(a) => {
+                    max::tamper_announcement(a, &from_s1, &from_s2, &self.tamper, &self.params)
+                }
+                AnnouncerReply::Median(m) => {
+                    for a in &mut m.middles {
+                        max::tamper_announcement(a, &from_s1, &from_s2, &self.tamper, &self.params)
+                    }
+                }
+            }
+        }
+        Ok((reply, t0.elapsed()))
+    }
+}
+
+/// Translate one node reply for the owner side: wide matrices are
+/// deposited at `announcer` (as additive server `server`'s upload) and
+/// replaced by the shape receipt; everything else passes through. Shared
+/// by every in-process backend. `round_seq` is the round's sequence
+/// cache: the first wide reply in a round mints it, later ones reuse it —
+/// pass a fresh `None` per [`ServerExec::round`] call.
+pub fn forward_wide(
+    announcer: &Announcer,
+    server: usize,
+    reply: ServerReply,
+    round_seq: &mut Option<u64>,
+) -> Result<ServerReply> {
+    match reply {
+        ServerReply::Wide(w) => {
+            let seq = *round_seq.get_or_insert_with(|| announcer.next_seq());
+            let (rows, width) = (w.rows() as u64, w.width as u32);
+            announcer.deposit(server, seq, w)?;
+            Ok(ServerReply::WideForwarded { rows, width, seq })
+        }
+        other => Ok(other),
+    }
 }
 
 /// [`ServerExec`] over nodes living in this process: commands are direct
@@ -570,12 +759,12 @@ pub fn run_announcer(
 #[derive(Debug)]
 pub struct InMemoryExec<'a> {
     nodes: &'a [ServerNode],
-    announcer: &'a AnnouncerParams,
+    announcer: &'a Announcer,
 }
 
 impl<'a> InMemoryExec<'a> {
-    /// Wrap a node set and announcer parameters.
-    pub fn new(nodes: &'a [ServerNode], announcer: &'a AnnouncerParams) -> InMemoryExec<'a> {
+    /// Wrap a node set and an announcer.
+    pub fn new(nodes: &'a [ServerNode], announcer: &'a Announcer) -> InMemoryExec<'a> {
         InMemoryExec { nodes, announcer }
     }
 }
@@ -584,23 +773,26 @@ impl ServerExec for InMemoryExec<'_> {
     fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
         let mut worst = Duration::ZERO;
         let mut replies = Vec::with_capacity(cmds.len());
+        let mut round_seq = None;
         for (s, cmd) in &cmds {
             let node = self.nodes.get(*s).ok_or_else(|| {
                 ProtocolError::ParameterMismatch(format!("no server {s} in this deployment"))
             })?;
             let t0 = Instant::now();
-            replies.push(node.execute(cmd)?);
+            let reply = node.execute(cmd)?;
             worst = worst.max(t0.elapsed());
+            replies.push(forward_wide(self.announcer, *s, reply, &mut round_seq)?);
         }
         Ok((replies, worst))
     }
 
     fn announce(
         &self,
-        cmd: AnnouncerCmd<'_>,
+        cmd: AnnouncerCmd,
+        seq: u64,
         threads: usize,
     ) -> Result<(AnnouncerReply, Duration)> {
-        run_announcer(cmd, self.announcer, threads)
+        self.announcer.announce(cmd, seq, threads)
     }
 }
 
@@ -613,6 +805,10 @@ pub struct Ctx<'e, X: ServerExec> {
     /// Worker threads the servers (and parallel owner steps) should use.
     pub threads: usize,
     stats: QueryStats,
+    /// Sequence number of the last wide (combine) round, harvested from
+    /// the servers' [`ServerReply::WideForwarded`] receipts — what binds
+    /// the following [`Ctx::announce`] to exactly that round's uploads.
+    wide_seq: Option<u64>,
 }
 
 impl<'e, X: ServerExec> Ctx<'e, X> {
@@ -626,7 +822,9 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
         &self.stats
     }
 
-    /// Issue one owner↔server round.
+    /// Issue one owner↔server round. If the round carried wide receipts,
+    /// their (cross-checked) sequence number is recorded for the
+    /// following [`Ctx::announce`].
     pub fn round(&mut self, cmds: Vec<(usize, ServerCmd)>) -> Result<Vec<ServerReply>> {
         self.stats.rounds += 1;
         let before = self.exec.meters();
@@ -637,6 +835,23 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
             .meters()
             .shard_dispatches
             .saturating_sub(before.shard_dispatches);
+        let mut round_seq = None;
+        for reply in &replies {
+            if let ServerReply::WideForwarded { seq, .. } = reply {
+                match round_seq {
+                    None => round_seq = Some(*seq),
+                    Some(s) if s == *seq => {}
+                    Some(_) => {
+                        return Err(ProtocolError::MalformedResponse(
+                            "servers answered different wide rounds",
+                        ))
+                    }
+                }
+            }
+        }
+        if round_seq.is_some() {
+            self.wide_seq = round_seq;
+        }
         Ok(replies)
     }
 
@@ -729,9 +944,19 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
         }
     }
 
-    /// Issue one announcer request.
-    pub fn announce(&mut self, cmd: AnnouncerCmd<'_>) -> Result<AnnouncerReply> {
-        let (reply, cost) = self.exec.announce(cmd, self.threads)?;
+    /// Issue one announcer request, bound (by sequence number) to the
+    /// wide matrices the servers forwarded during the preceding
+    /// [`ServerCmd::MaxCombine`] round. Errors if no wide round preceded
+    /// this announce — the announcer only ever acts on what the servers
+    /// forwarded for a specific round.
+    pub fn announce(&mut self, cmd: AnnouncerCmd) -> Result<AnnouncerReply> {
+        let seq = self
+            .wide_seq
+            .take()
+            .ok_or(ProtocolError::MalformedResponse(
+                "announce must follow a wide (combine) round",
+            ))?;
+        let (reply, cost) = self.exec.announce(cmd, seq, self.threads)?;
         self.stats.announcer_time += cost;
         Ok(reply)
     }
@@ -810,8 +1035,73 @@ impl<'e, X: ServerExec> Engine<'e, X> {
             owner: self.owner,
             threads: self.threads,
             stats: QueryStats::default(),
+            wide_seq: None,
         };
         let out = plan.execute(&mut ctx)?;
         Ok((out, ctx.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Initiator, SystemConfig};
+
+    fn announcer() -> Announcer {
+        let setup = Initiator::new(SystemConfig::new(2, 4).with_seed(7))
+            .setup()
+            .unwrap();
+        Announcer::new(setup.announcer.clone())
+    }
+
+    fn upload(w: usize, m: usize, fill: u64) -> WideVec {
+        WideVec {
+            width: w,
+            data: vec![fill; m * w],
+        }
+    }
+
+    #[test]
+    fn announce_requires_both_uploads_from_the_same_round() {
+        let ann = announcer();
+        let (w, m) = (ann.params().wide_width, ann.params().m);
+        // Nothing staged.
+        assert!(ann.announce(AnnouncerCmd::FindMax, 1, 1).is_err());
+        // Only one server staged.
+        let seq = ann.next_seq();
+        ann.deposit(0, seq, upload(w, m, 1)).unwrap();
+        assert!(ann.announce(AnnouncerCmd::FindMax, seq, 1).is_err());
+        // Both staged: succeeds and consumes.
+        ann.deposit(1, seq, upload(w, m, 2)).unwrap();
+        assert!(ann.announce(AnnouncerCmd::FindMax, seq, 1).is_ok());
+        assert!(ann.announce(AnnouncerCmd::FindMax, seq, 1).is_err());
+    }
+
+    #[test]
+    fn stale_and_interleaved_rounds_cannot_be_paired() {
+        // The failure mode the sequence numbers exist for: query A's
+        // round 1 leaves one upload behind (A aborted), query B runs
+        // round 2 — B's announce must see only round-2 uploads, and an
+        // announce for round 1 must fail rather than mix rounds.
+        let ann = announcer();
+        let (w, m) = (ann.params().wide_width, ann.params().m);
+        let seq_a = ann.next_seq();
+        ann.deposit(0, seq_a, upload(w, m, 1)).unwrap();
+        // A aborts here (server 1 never uploaded). B's round begins.
+        let seq_b = ann.next_seq();
+        ann.deposit(0, seq_b, upload(w, m, 3)).unwrap();
+        ann.deposit(1, seq_b, upload(w, m, 4)).unwrap();
+        // A's late announce cannot consume B's pair...
+        assert!(ann.announce(AnnouncerCmd::FindMax, seq_a, 1).is_err());
+        // ...and B's announce still succeeds (the mismatch left the
+        // inbox untouched).
+        assert!(ann.announce(AnnouncerCmd::FindMedian, seq_b, 1).is_ok());
+    }
+
+    #[test]
+    fn deposit_rejects_non_additive_servers() {
+        let ann = announcer();
+        let w = ann.params().wide_width;
+        assert!(ann.deposit(2, 1, upload(w, 2, 0)).is_err());
     }
 }

@@ -42,6 +42,46 @@ pub enum Tamper {
     },
 }
 
+/// A tampering strategy for the *announcer* role (max/median §6.3–§6.4).
+///
+/// The announcer sees the two servers' permuted wide-share matrices and
+/// must announce, per cell, the winning blinded value and slot. A
+/// malicious announcer cannot forge owner data (it holds only shares of
+/// blinded values), but it can lie about *which* value wins —
+/// [`AnnouncerTamper::AnnounceSlot`] — or announce garbage —
+/// [`AnnouncerTamper::FakeValue`]. Both are what the paper's owner-side
+/// verification is built to catch: an understated maximum is flagged by
+/// any owner whose own blinded value exceeds the announcement, a
+/// fabricated value either inverts to nothing (`F`-inversion fails) or is
+/// claimed by nobody in the round-3 identity check.
+///
+/// Applied inside [`crate::engine::Announcer`], so the failure-injection
+/// behaves identically in-process and over the wire — exactly like
+/// [`Tamper`] on the servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AnnouncerTamper {
+    /// Honest behaviour (identity).
+    #[default]
+    Honest,
+    /// Always announce the value sitting in permuted slot `n % m` instead
+    /// of the true winner (understates whenever that owner does not hold
+    /// the cell's maximum).
+    AnnounceSlot(usize),
+    /// Announce a pseudorandom full-width value (detected via failed
+    /// `F`-inversion or the unclaimed-max check).
+    FakeValue {
+        /// Seed of the injected garbage.
+        seed: u64,
+    },
+}
+
+impl AnnouncerTamper {
+    /// True iff this is the identity.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, AnnouncerTamper::Honest)
+    }
+}
+
 impl Tamper {
     /// Apply the tampering to a round output in place.
     pub fn apply(&self, out: &mut [u64]) {

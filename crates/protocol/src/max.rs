@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 /// One owner's round-2 upload for one server: its blinded per-cell maxima
 /// as additive wide shares (one row per common cell).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlindedMaxUpload {
     /// Share rows, one per common cell (in the agreed common-cell order).
     pub shares: WideVec,
@@ -125,7 +125,7 @@ pub fn server_max_round_threads(
 
 /// What the announcer returns (via the servers) for each common cell:
 /// additive shares of the winning value and of its permuted slot index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MaxAnnouncement {
     /// Wide shares of the per-cell max, path 1 (row = cell).
     pub max_shares_1: WideVec,
@@ -221,6 +221,51 @@ pub fn announcer_find_max_threads(
         max_shares_2,
         index_shares,
     })
+}
+
+/// Corrupt an (honestly computed) announcement in place according to an
+/// [`AnnouncerTamper`](crate::malicious::AnnouncerTamper) — the
+/// announcer-side analogue of
+/// [`Tamper::apply`](crate::malicious::Tamper::apply). `from_s1`/`from_s2`
+/// are the server matrices the announcement was computed from
+/// (`cells × m` rows); the tampered announcement stays shape-valid, so
+/// detection is the *owners'* job (exactly the paper's threat model).
+pub fn tamper_announcement(
+    ann: &mut MaxAnnouncement,
+    from_s1: &WideVec,
+    from_s2: &WideVec,
+    tamper: &crate::malicious::AnnouncerTamper,
+    ap: &AnnouncerParams,
+) {
+    use crate::malicious::AnnouncerTamper;
+    let w = from_s1.width;
+    let cells = ann.max_shares_1.rows();
+    match *tamper {
+        AnnouncerTamper::Honest => {}
+        AnnouncerTamper::AnnounceSlot(slot) => {
+            let s = slot % ap.m.max(1);
+            let mut prg = Prg::from_seed(ap.seed ^ 0xBAD_A2205107 ^ slot as u64);
+            let mut v = vec![0u64; w];
+            for c in 0..cells {
+                let r = c * ap.m + s;
+                wide::add_wrap(from_s1.row(r), from_s2.row(r), &mut v);
+                wide::share2_into(&v, &mut prg, ann.max_shares_1.row_mut(c), {
+                    &mut ann.max_shares_2.data[c * w..(c + 1) * w]
+                });
+                ann.index_shares[c] = share2(s as u64, ap.delta, &mut prg);
+            }
+        }
+        AnnouncerTamper::FakeValue { seed } => {
+            let mut prg = Prg::from_seed(seed ^ ap.seed);
+            let mut v = vec![0u64; w];
+            for c in 0..cells {
+                wide::random_full_into(&mut prg, &mut v);
+                wide::share2_into(&v, &mut prg, ann.max_shares_1.row_mut(c), {
+                    &mut ann.max_shares_2.data[c * w..(c + 1) * w]
+                });
+            }
+        }
+    }
 }
 
 /// One decoded maximum.

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 /// The announcer's reply for a median query: one announcement per middle
 /// element (one for odd m, two for even m).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MedianAnnouncement {
     /// Middle element(s), ordered low→high.
     pub middles: Vec<MaxAnnouncement>,

@@ -34,6 +34,13 @@ const ADDITIVE: [usize; 2] = [0, 1];
 /// All three Shamir servers (round-2 aggregation ops).
 const SHAMIR: [usize; 3] = [0, 1, 2];
 
+/// Default cells per max/median pipeline chunk (bounds peak memory to
+/// ~chunk × m wide shares per server). Both harness facades —
+/// `driver::Cluster` and `prism_net::NetCluster` — use this exact value,
+/// so round counts and chunk-seeded blinding match across backends by
+/// construction.
+pub const DEFAULT_CELL_CHUNK: usize = 1 << 16;
+
 /// PSI outcome: the combined Equation-4 vector plus its decodes.
 #[derive(Debug, Clone)]
 pub struct PsiOutcome {
@@ -451,18 +458,33 @@ impl Operation for Batch<'_> {
     }
 }
 
-fn expect_wide(reply: ServerReply) -> Result<WideVec> {
+/// Check a wide round's receipt: the server must report having forwarded a
+/// `cells × m`-row matrix to the announcer. Servers are malicious in this
+/// threat model, so a missing or mis-shaped forward is a protocol error at
+/// the owner — never trusted silently (a zero receipt is the wire's
+/// failure marker).
+fn expect_forwarded(reply: ServerReply, cells: usize, m: usize) -> Result<()> {
     match reply {
-        ServerReply::Wide(w) => Ok(w),
+        ServerReply::WideForwarded { rows, width, .. }
+            if rows as usize == cells * m && width > 0 =>
+        {
+            Ok(())
+        }
+        ServerReply::WideForwarded { .. } => Err(ProtocolError::MalformedResponse(
+            "server forwarded a wide matrix of the wrong shape to the announcer",
+        )),
         _ => Err(ProtocolError::MalformedResponse(
-            "expected wide-share output from max round",
+            "expected a wide-forward receipt from max round",
         )),
     }
 }
 
-fn expect_fpos(reply: ServerReply) -> Result<Vec<Vec<u64>>> {
+fn expect_fpos(reply: ServerReply, cells: usize) -> Result<Vec<Vec<u64>>> {
     match reply {
-        ServerReply::Fpos(f) => Ok(f),
+        ServerReply::Fpos(f) if f.len() == cells => Ok(f),
+        ServerReply::Fpos(_) => Err(ProtocolError::MalformedResponse(
+            "fpos table does not cover the announced cells",
+        )),
         _ => Err(ProtocolError::MalformedResponse(
             "expected fpos output from claim round",
         )),
@@ -540,12 +562,9 @@ impl Operation for Max<'_> {
                     },
                 ),
             ])?;
-            let to_ann_2 = expect_wide(replies.pop().unwrap())?;
-            let to_ann_1 = expect_wide(replies.pop().unwrap())?;
-            let ann = match ctx.announce(AnnouncerCmd::FindMax {
-                from_s1: &to_ann_1,
-                from_s2: &to_ann_2,
-            })? {
+            expect_forwarded(replies.pop().unwrap(), common.len(), m)?;
+            expect_forwarded(replies.pop().unwrap(), common.len(), m)?;
+            let ann = match ctx.announce(AnnouncerCmd::FindMax)? {
                 AnnouncerReply::Max(a) => a,
                 AnnouncerReply::Median(_) => {
                     return Err(ProtocolError::MalformedResponse(
@@ -553,8 +572,6 @@ impl Operation for Max<'_> {
                     ))
                 }
             };
-            drop(to_ann_1);
-            drop(to_ann_2);
 
             let (decoded, announced) = ctx.try_owner_step(|| match self.table {
                 Some(t) => max::owner_decode_max_tab(common, &ann, t, op, threads),
@@ -588,8 +605,8 @@ impl Operation for Max<'_> {
                     },
                 ),
             ])?;
-            let fpos2 = expect_fpos(replies.pop().unwrap())?;
-            let fpos1 = expect_fpos(replies.pop().unwrap())?;
+            let fpos2 = expect_fpos(replies.pop().unwrap(), decoded.len())?;
+            let fpos1 = expect_fpos(replies.pop().unwrap(), decoded.len())?;
             let holders = ctx.try_owner_step(|| max::owner_decode_fpos(&fpos1, &fpos2, op))?;
 
             // Every owner verifies against its own contribution.
@@ -668,12 +685,9 @@ impl Operation for Median<'_> {
                     },
                 ),
             ])?;
-            let to_ann_2 = expect_wide(replies.pop().unwrap())?;
-            let to_ann_1 = expect_wide(replies.pop().unwrap())?;
-            let ann = match ctx.announce(AnnouncerCmd::FindMedian {
-                from_s1: &to_ann_1,
-                from_s2: &to_ann_2,
-            })? {
+            expect_forwarded(replies.pop().unwrap(), common.len(), m)?;
+            expect_forwarded(replies.pop().unwrap(), common.len(), m)?;
+            let ann = match ctx.announce(AnnouncerCmd::FindMedian)? {
                 AnnouncerReply::Median(a) => a,
                 AnnouncerReply::Max(_) => {
                     return Err(ProtocolError::MalformedResponse(
@@ -681,8 +695,6 @@ impl Operation for Median<'_> {
                     ))
                 }
             };
-            drop(to_ann_1);
-            drop(to_ann_2);
 
             let decoded = ctx.try_owner_step(|| match self.table {
                 Some(t) => median::owner_decode_median_tab(common, &ann, t, op),

@@ -35,12 +35,12 @@
 //! wire sharding cannot drift.
 
 use crate::engine::{
-    run_announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Column, ExecMeters, ServerCmd,
-    ServerExec, ServerNode, ServerReply,
+    forward_wide, Announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Column, ExecMeters,
+    ServerCmd, ServerExec, ServerNode, ServerReply,
 };
 use crate::error::{ProtocolError, Result};
 use crate::malicious::Tamper;
-use crate::params::{AnnouncerParams, ServerParams};
+use crate::params::ServerParams;
 use prism_core::Permutation;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -357,12 +357,12 @@ impl ShardedNode {
 #[derive(Debug)]
 pub struct ShardedExec<'a> {
     nodes: &'a [ShardedNode],
-    announcer: &'a AnnouncerParams,
+    announcer: &'a Announcer,
 }
 
 impl<'a> ShardedExec<'a> {
-    /// Wrap a sharded node set and announcer parameters.
-    pub fn new(nodes: &'a [ShardedNode], announcer: &'a AnnouncerParams) -> ShardedExec<'a> {
+    /// Wrap a sharded node set and an announcer.
+    pub fn new(nodes: &'a [ShardedNode], announcer: &'a Announcer) -> ShardedExec<'a> {
         ShardedExec { nodes, announcer }
     }
 }
@@ -371,23 +371,26 @@ impl ServerExec for ShardedExec<'_> {
     fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
         let mut worst = Duration::ZERO;
         let mut replies = Vec::with_capacity(cmds.len());
+        let mut round_seq = None;
         for (s, cmd) in &cmds {
             let node = self.nodes.get(*s).ok_or_else(|| {
                 ProtocolError::ParameterMismatch(format!("no server {s} in this deployment"))
             })?;
             let t0 = Instant::now();
-            replies.push(node.execute(cmd)?);
+            let reply = node.execute(cmd)?;
             worst = worst.max(t0.elapsed());
+            replies.push(forward_wide(self.announcer, *s, reply, &mut round_seq)?);
         }
         Ok((replies, worst))
     }
 
     fn announce(
         &self,
-        cmd: AnnouncerCmd<'_>,
+        cmd: AnnouncerCmd,
+        seq: u64,
         threads: usize,
     ) -> Result<(AnnouncerReply, Duration)> {
-        run_announcer(cmd, self.announcer, threads)
+        self.announcer.announce(cmd, seq, threads)
     }
 
     fn meters(&self) -> ExecMeters {

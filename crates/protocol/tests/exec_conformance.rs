@@ -1,0 +1,426 @@
+//! Transport-conformance suite: one parameterized harness asserting that
+//! **every** operation the engine can execute — every [`QueryOp`] family,
+//! the verified variants, the batched round 2, and the announcer-backed
+//! max/median — produces bit-identical results and identical
+//! `QueryStats.rounds` on every backend: [`InMemoryExec`],
+//! [`ShardedExec`] (shard counts {1, 2, 4, 8}), and `prism_net`'s
+//! channel and TCP transports (same shard counts, announcer as a fourth
+//! networked node).
+//!
+//! The harness is the point: all backends run through *one* generic
+//! `surface` function over `&dyn ServerExec` (plans are written once;
+//! the transports must not be able to drift), replacing the ad-hoc
+//! per-suite result duplication the earlier e2e suites grew. The
+//! tampered matrices run through the same harness — a server or
+//! announcer tamper must produce the *same* verdict (and, where a
+//! verified query tolerates a harmless tamper, the same value) on every
+//! backend.
+//!
+//! [`QueryOp`]: prism_protocol::engine::QueryOp
+//! [`InMemoryExec`]: prism_protocol::engine::InMemoryExec
+//! [`ShardedExec`]: prism_protocol::shard::ShardedExec
+
+use prism_core::Prg;
+use prism_net::NetCluster;
+use prism_protocol::engine::{
+    Announcer, Column, Engine, InMemoryExec, Operation, ServerExec, ServerNode,
+};
+use prism_protocol::malicious::{AnnouncerTamper, Tamper};
+use prism_protocol::max::MaxCell;
+use prism_protocol::params::{Initiator, OwnerParams, Setup, SystemConfig};
+use prism_protocol::plans;
+use prism_protocol::shard::{ShardedExec, ShardedNode};
+use prism_protocol::tables::{share_indicator, share_payload};
+use prism_protocol::{AggResult, QueryBatch};
+
+const DOMAIN: usize = 24;
+const SEED: u64 = 4242;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Three owners over a 24-cell domain; intersection {1, 7, 24}.
+fn rows() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(1, 100), (1, 200), (3, 300), (7, 10), (20, 5), (24, 9)],
+        vec![(1, 100), (2, 70), (7, 20), (20, 1), (24, 2)],
+        vec![(1, 300), (3, 500), (7, 30), (19, 4), (24, 8)],
+    ]
+}
+
+/// Everything the backends share: the role views, every owner's Phase-1
+/// share columns per server (built once, so share randomness is identical
+/// whatever the backend), and the owner-side max/median value columns.
+struct Fixture {
+    setup: Setup,
+    /// `columns[owner][server]` → the full Table-11 column set.
+    #[allow(clippy::type_complexity)]
+    columns: Vec<Vec<Vec<(Column, Vec<u64>)>>>,
+    maxima: Vec<Vec<u64>>,
+    sums: Vec<Vec<u64>>,
+}
+
+fn fixture() -> Fixture {
+    let setup = Initiator::new(
+        SystemConfig::new(rows().len(), DOMAIN)
+            .with_seed(SEED)
+            .with_agg_domain_max(2000),
+    )
+    .setup()
+    .unwrap();
+    let op = &setup.owner;
+    let mut columns = Vec::new();
+    let mut maxima = Vec::new();
+    let mut sums = Vec::new();
+    for (j, owner_rows) in rows().iter().enumerate() {
+        let mut indicator = vec![0u64; DOMAIN];
+        let mut sum = vec![0u64; DOMAIN];
+        let mut max = vec![0u64; DOMAIN];
+        let mut counts = vec![0u64; DOMAIN];
+        for &(c, x) in owner_rows {
+            let cell = (c - 1) as usize;
+            indicator[cell] = 1;
+            sum[cell] += x;
+            max[cell] = max[cell].max(x);
+            counts[cell] += 1;
+        }
+        let mut prg = Prg::from_seed(SEED ^ (900 + j as u64));
+        let ind = share_indicator(&indicator, op.delta, &mut prg);
+        let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+        let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
+        let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
+        let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
+        let p = share_payload(&sum, &op.field, &mut prg);
+        let vp = share_payload(&op.pf_db1.apply(&sum), &op.field, &mut prg);
+        let cnt = share_payload(&counts, &op.field, &mut prg);
+        columns.push(
+            (0..3)
+                .map(|k| {
+                    let mut cols = Vec::new();
+                    if k < 2 {
+                        cols.push((Column::Ok, ind.shares[k].clone()));
+                        cols.push((Column::VOk, v.shares[k].clone()));
+                        cols.push((Column::OkDb1, c1.shares[k].clone()));
+                        cols.push((Column::OkDb2, c2.shares[k].clone()));
+                    }
+                    cols.push((Column::Agg(0), p.shares[k].clone()));
+                    cols.push((Column::VAgg(0), vp.shares[k].clone()));
+                    cols.push((Column::AOk, cnt.shares[k].clone()));
+                    cols
+                })
+                .collect(),
+        );
+        maxima.push(max);
+        sums.push(sum);
+    }
+    Fixture {
+        setup,
+        columns,
+        maxima,
+        sums,
+    }
+}
+
+/// One backend under test.
+#[derive(Debug, Clone, Copy)]
+enum Backend {
+    InMemory,
+    Sharded(usize),
+    Channel(usize),
+    Tcp(usize),
+}
+
+fn all_backends() -> Vec<Backend> {
+    let mut all = vec![Backend::InMemory];
+    for k in SHARD_COUNTS {
+        all.push(Backend::Sharded(k));
+        all.push(Backend::Channel(k));
+        all.push(Backend::Tcp(k));
+    }
+    all
+}
+
+impl Backend {
+    /// Build this backend (with the given failure injections attached),
+    /// hand its executor to `f`, and tear it down.
+    fn run<R>(
+        self,
+        fx: &Fixture,
+        server_tampers: &[(usize, Tamper)],
+        ann_tamper: AnnouncerTamper,
+        f: impl FnOnce(&dyn ServerExec) -> R,
+    ) -> R {
+        match self {
+            Backend::InMemory => {
+                let mut nodes: Vec<ServerNode> = fx
+                    .setup
+                    .servers
+                    .iter()
+                    .map(|sp| ServerNode::new(sp.clone()))
+                    .collect();
+                for (j, per_server) in fx.columns.iter().enumerate() {
+                    for (k, cols) in per_server.iter().enumerate() {
+                        for (col, data) in cols {
+                            nodes[k].store(j, *col, data.clone());
+                        }
+                    }
+                }
+                for &(s, t) in server_tampers {
+                    nodes[s].set_tamper(t);
+                }
+                let mut announcer = Announcer::new(fx.setup.announcer.clone());
+                announcer.set_tamper(ann_tamper);
+                let exec = InMemoryExec::new(&nodes, &announcer);
+                f(&exec)
+            }
+            Backend::Sharded(shards) => {
+                let mut nodes: Vec<ShardedNode> = fx
+                    .setup
+                    .servers
+                    .iter()
+                    .map(|sp| ShardedNode::new(sp.clone(), shards))
+                    .collect();
+                for (j, per_server) in fx.columns.iter().enumerate() {
+                    for (k, cols) in per_server.iter().enumerate() {
+                        for (col, data) in cols {
+                            nodes[k].store(j, *col, data.clone());
+                        }
+                    }
+                }
+                for &(s, t) in server_tampers {
+                    nodes[s].set_tamper(t);
+                }
+                let mut announcer = Announcer::new(fx.setup.announcer.clone());
+                announcer.set_tamper(ann_tamper);
+                let exec = ShardedExec::new(&nodes, &announcer);
+                f(&exec)
+            }
+            Backend::Channel(shards) | Backend::Tcp(shards) => {
+                let cluster = match self {
+                    Backend::Channel(_) => {
+                        NetCluster::start_local_sharded(fx.setup.clone(), shards)
+                    }
+                    _ => NetCluster::start_tcp_sharded(fx.setup.clone(), shards).unwrap(),
+                };
+                for (j, per_server) in fx.columns.iter().enumerate() {
+                    for (k, cols) in per_server.iter().enumerate() {
+                        cluster.bulk_upload(k, j, cols.clone()).unwrap();
+                    }
+                }
+                for &(s, t) in server_tampers {
+                    cluster.set_tamper(s, t).unwrap();
+                }
+                cluster.set_announcer_tamper(ann_tamper).unwrap();
+                let out = f(&cluster);
+                cluster.shutdown().unwrap();
+                out
+            }
+        }
+    }
+}
+
+/// Flattened, comparable median cells.
+type MedianRow = (usize, Vec<u64>, Vec<usize>);
+
+/// The full honest operation surface with every query's round count.
+#[derive(Debug, PartialEq)]
+struct Surface {
+    psi: Vec<u64>,
+    psi_verified: Vec<u64>,
+    psu: Vec<bool>,
+    psu_verified: Vec<bool>,
+    count: usize,
+    count_verified: usize,
+    sum: Vec<u64>,
+    sum_verified: Vec<u64>,
+    avg: Vec<(u64, u64)>,
+    batch: Vec<AggResult>,
+    max: (Vec<MaxCell>, Vec<Vec<bool>>),
+    median: Vec<MedianRow>,
+    rounds: Vec<usize>,
+}
+
+fn run_plan<P: Operation>(
+    exec: &dyn ServerExec,
+    op: &OwnerParams,
+    plan: &P,
+    rounds: &mut Vec<usize>,
+) -> P::Output {
+    let (out, stats) = Engine::new(&exec, op).run(plan).unwrap();
+    rounds.push(stats.rounds());
+    out
+}
+
+fn median_rows(cells: Vec<prism_protocol::median::MedianCell>) -> Vec<MedianRow> {
+    cells
+        .into_iter()
+        .map(|c| (c.cell, c.values, c.holders))
+        .collect()
+}
+
+fn surface(exec: &dyn ServerExec, fx: &Fixture) -> Surface {
+    let op = &fx.setup.owner;
+    let mut rounds = Vec::new();
+    let psi = run_plan(exec, op, &plans::Psi, &mut rounds).fop;
+    let psi_verified = run_plan(exec, op, &plans::PsiVerified, &mut rounds).fop;
+    let psu = run_plan(exec, op, &plans::Psu, &mut rounds);
+    let psu_verified = run_plan(exec, op, &plans::PsuVerified, &mut rounds);
+    let count = run_plan(exec, op, &plans::Count, &mut rounds);
+    let count_verified = run_plan(exec, op, &plans::CountVerified, &mut rounds);
+    let sum = run_plan(exec, op, &plans::Sum { attr: 0, seed: 11 }, &mut rounds);
+    let sum_verified = run_plan(
+        exec,
+        op,
+        &plans::SumVerified { attr: 0, seed: 12 },
+        &mut rounds,
+    );
+    let avg = run_plan(exec, op, &plans::Average { attr: 0, seed: 13 }, &mut rounds)
+        .iter()
+        .map(|c| (c.sum, c.count))
+        .collect();
+    let qb = QueryBatch::new().sum(0).avg(0).count_tuples();
+    let batch = run_plan(
+        exec,
+        op,
+        &plans::Batch {
+            batch: &qb,
+            seed: 14,
+        },
+        &mut rounds,
+    );
+    let max = run_plan(exec, op, &max_plan(fx), &mut rounds);
+    let median = median_rows(run_plan(exec, op, &median_plan(fx), &mut rounds));
+    Surface {
+        psi,
+        psi_verified,
+        psu,
+        psu_verified,
+        count,
+        count_verified,
+        sum,
+        sum_verified,
+        avg,
+        batch,
+        max,
+        median,
+        rounds,
+    }
+}
+
+fn max_plan(fx: &Fixture) -> plans::Max<'_> {
+    plans::Max {
+        values: fx.maxima.iter().map(Vec::as_slice).collect(),
+        table: None,
+        seed: 21,
+        cell_chunk: 1 << 16,
+    }
+}
+
+fn median_plan(fx: &Fixture) -> plans::Median<'_> {
+    plans::Median {
+        values: fx.sums.iter().map(Vec::as_slice).collect(),
+        table: None,
+        seed: 22,
+        cell_chunk: 1 << 16,
+    }
+}
+
+/// Verdicts of the verified operations under failure injection: a tamper
+/// must produce the same outcome — detection, or the same (provably
+/// harmless) value — on every backend.
+#[derive(Debug, PartialEq)]
+#[allow(clippy::type_complexity)]
+struct Verdicts {
+    psi: Result<Vec<u64>, ()>,
+    psi_verified: Result<Vec<u64>, ()>,
+    psu_verified: Result<Vec<bool>, ()>,
+    count_verified: Result<usize, ()>,
+    sum_verified: Result<Vec<u64>, ()>,
+    max: Result<(Vec<MaxCell>, Vec<Vec<bool>>), ()>,
+    median: Result<Vec<MedianRow>, ()>,
+}
+
+fn verdicts(exec: &dyn ServerExec, fx: &Fixture) -> Verdicts {
+    let op = &fx.setup.owner;
+    fn run<P: Operation>(
+        exec: &dyn ServerExec,
+        op: &OwnerParams,
+        plan: &P,
+    ) -> Result<P::Output, ()> {
+        Engine::new(&exec, op)
+            .run(plan)
+            .map(|(out, _)| out)
+            .map_err(|_| ())
+    }
+    Verdicts {
+        psi: run(exec, op, &plans::Psi).map(|o| o.fop),
+        psi_verified: run(exec, op, &plans::PsiVerified).map(|o| o.fop),
+        psu_verified: run(exec, op, &plans::PsuVerified),
+        count_verified: run(exec, op, &plans::CountVerified),
+        sum_verified: run(exec, op, &plans::SumVerified { attr: 0, seed: 12 }),
+        max: run(exec, op, &max_plan(fx)),
+        median: run(exec, op, &median_plan(fx)).map(median_rows),
+    }
+}
+
+#[test]
+fn every_operation_bit_identical_on_every_backend() {
+    let fx = fixture();
+    let reference = Backend::InMemory.run(&fx, &[], AnnouncerTamper::Honest, |e| surface(e, &fx));
+    // Sanity-pin the reference itself: the paper's round budget.
+    assert_eq!(
+        reference.rounds,
+        vec![1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 3, 2],
+        "psi..batch, max (3 rounds), median (2 rounds)"
+    );
+    assert!(!reference.max.0.is_empty(), "fixture has common cells");
+    for backend in all_backends() {
+        let got = backend.run(&fx, &[], AnnouncerTamper::Honest, |e| surface(e, &fx));
+        assert_eq!(got, reference, "{backend:?} diverged from InMemoryExec");
+    }
+}
+
+#[test]
+fn server_tampers_produce_identical_verdicts_on_every_backend() {
+    let fx = fixture();
+    for tamper in [
+        Tamper::SkipReplay { src: 0 },
+        Tamper::InjectFake { cell: 2, seed: 9 },
+        Tamper::TruncateFrom { from: 3 },
+    ] {
+        let reference = Backend::InMemory.run(&fx, &[(0, tamper)], AnnouncerTamper::Honest, |e| {
+            verdicts(e, &fx)
+        });
+        // The tamper must actually bite the verified round-1 path.
+        assert!(reference.psi_verified.is_err(), "{tamper:?} undetected");
+        for backend in all_backends() {
+            let got = backend.run(&fx, &[(0, tamper)], AnnouncerTamper::Honest, |e| {
+                verdicts(e, &fx)
+            });
+            assert_eq!(got, reference, "{backend:?} diverged under {tamper:?}");
+        }
+    }
+}
+
+#[test]
+fn announcer_tampers_produce_identical_verdicts_on_every_backend() {
+    let fx = fixture();
+    for tamper in [
+        AnnouncerTamper::AnnounceSlot(1),
+        AnnouncerTamper::FakeValue { seed: 7 },
+    ] {
+        let reference = Backend::InMemory.run(&fx, &[], tamper, |e| verdicts(e, &fx));
+        // Fabricated values can never decode: every backend must reject.
+        if matches!(tamper, AnnouncerTamper::FakeValue { .. }) {
+            assert!(reference.max.is_err(), "fake max value escaped detection");
+            assert!(
+                reference.median.is_err(),
+                "fake median value escaped detection"
+            );
+        }
+        // Announcer tampers leave the vector-round operations untouched.
+        assert!(reference.psi_verified.is_ok());
+        for backend in all_backends() {
+            let got = backend.run(&fx, &[], tamper, |e| verdicts(e, &fx));
+            assert_eq!(got, reference, "{backend:?} diverged under {tamper:?}");
+        }
+    }
+}

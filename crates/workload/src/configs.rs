@@ -126,6 +126,14 @@ pub fn shard_counts() -> Vec<usize> {
     vec![1, 2, 4, 8]
 }
 
+/// Networked max/median smoke bench: the fixed `(domain, owners)` config
+/// driving the announcer-as-a-fourth-node deployment on both transports —
+/// sized so `just bench-smoke` stays in seconds while still pushing a few
+/// hundred common cells through the wide-share pipeline.
+pub fn netmax_bench() -> (u64, usize) {
+    (4_096, 4)
+}
+
 /// Table 13: dataset sizes for the two-owner comparison.
 pub fn table13_sizes(scale: Scale) -> Vec<u64> {
     match scale {

@@ -3,11 +3,13 @@
 //! Runs each PRISM server as a domain of **row-range shard workers**
 //! behind loopback TCP (router and workers all on their own threads, all
 //! edges real sockets — the topology a multi-machine deployment would
-//! use), uploads every owner's table in one `BulkUpload` round-trip per
-//! server, executes PSI / PSU / count / sum / average remotely, and
-//! prints the per-link communication report — including the per-shard
-//! fan-out meters and the defining property that the server↔server
-//! traffic is zero, because no such links exist.
+//! use) plus the **announcer as a fourth node** (owner control link + a
+//! dedicated upload link from each additive server), uploads every
+//! owner's table in one `BulkUpload` round-trip per server, executes
+//! PSI / PSU / count / sum / average / max / median remotely, and prints
+//! the per-link communication report — including the per-shard fan-out
+//! meters, the announcer edges, and the defining property that the
+//! server↔server traffic is zero, because no such links exist.
 //!
 //! Run with: `cargo run --example distributed_deployment`
 
@@ -51,15 +53,21 @@ fn main() {
         .collect();
 
     // Phase 1: owners build χ tables and upload shares over the wire —
-    // every column of an owner's per-server table in ONE round-trip.
+    // every column of an owner's per-server table in ONE round-trip. The
+    // per-cell maxima/sums stay owner-side: the max/median rounds consume
+    // them directly (they never leave the owners unblinded).
+    let mut owner_maxima: Vec<Vec<u64>> = Vec::new();
+    let mut owner_sums: Vec<Vec<u64>> = Vec::new();
     for (j, rows) in suppliers.iter().enumerate() {
         let mut indicator = vec![0u64; DOMAIN];
         let mut sums = vec![0u64; DOMAIN];
+        let mut maxima = vec![0u64; DOMAIN];
         let mut counts = vec![0u64; DOMAIN];
         for &(part, stock) in rows {
             let cell = (part - 1) as usize;
             indicator[cell] = 1;
             sums[cell] += stock;
+            maxima[cell] = maxima[cell].max(stock);
             counts[cell] += 1;
         }
         let mut prg = Prg::from_seed(500 + j as u64);
@@ -79,6 +87,8 @@ fn main() {
             columns.push((Column::AOk, c.shares[k].clone()));
             cluster.bulk_upload(k, j, columns).expect("bulk upload");
         }
+        owner_maxima.push(maxima);
+        owner_sums.push(sums);
     }
 
     // Phase 2–4: queries over the wire.
@@ -115,9 +125,38 @@ fn main() {
         avgs[first_common].count
     );
 
-    // Communication report, per owner↔server link and per shard edge.
+    // Max/median run over the announcer node: the servers push their
+    // blinded wide matrices straight to it over dedicated links — the
+    // owner side only ever sees receipts and the final announcement.
+    let max_refs: Vec<&[u64]> = owner_maxima.iter().map(Vec::as_slice).collect();
+    let (maxes, holders) = cluster.psi_max(&max_refs, 44).expect("max");
+    if let (Some(top), Some(h)) = (maxes.first(), holders.first()) {
+        let winners: Vec<usize> = h
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &held)| held.then_some(j))
+            .collect();
+        println!(
+            "Example: part {} peaks at {} units, held by supplier(s) {:?}",
+            top.cell + 1,
+            top.max,
+            winners
+        );
+    }
+    let sum_refs: Vec<&[u64]> = owner_sums.iter().map(Vec::as_slice).collect();
+    let medians = cluster.psi_median(&sum_refs, 45).expect("median");
+    if let Some(mid) = medians.first() {
+        println!(
+            "Example: part {} median supplier stock: {:?}",
+            mid.cell + 1,
+            mid.values
+        );
+    }
+
+    // Communication report, per owner↔server link, per shard edge, and
+    // the three announcer edges.
     let report = cluster.report();
-    println!("\nPer-link traffic (owner↔domain, router↔shard):");
+    println!("\nPer-link traffic (owner↔domain, router↔shard, announcer):");
     print!("{report}");
     println!("server <-> server: 0 bytes (no such links exist, by construction)");
 

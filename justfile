@@ -36,9 +36,11 @@ bench-check:
 # Smoke-test the measurement stack: compile the criterion benches and run
 # exp_harness on the smallest config grid (seconds, not minutes). The
 # `shard` experiment sweeps shard counts {1,2,4,8} on the 1M-cell config
-# and writes BENCH_shard.json (uploaded as a CI artifact).
+# and writes BENCH_shard.json; `netmax` runs max/median over the networked
+# deployment (channel + TCP, announcer as a fourth node) and writes
+# BENCH_netmax.json (both uploaded as CI artifacts).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax --scale small
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:

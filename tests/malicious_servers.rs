@@ -343,6 +343,167 @@ fn net_verified_queries_reject_or_match_honest_results() {
     );
 }
 
+/// Per-owner per-cell maxima and sums (attribute 0) from the fixture.
+fn fixture_values() -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let mut maxima = Vec::new();
+    let mut sums = Vec::new();
+    for rows in fixture_rows() {
+        let mut mx = vec![0u64; DOMAIN];
+        let mut sm = vec![0u64; DOMAIN];
+        for (c, x) in rows {
+            let cell = (c - 1) as usize;
+            mx[cell] = mx[cell].max(x);
+            sm[cell] += x;
+        }
+        maxima.push(mx);
+        sums.push(sm);
+    }
+    (maxima, sums)
+}
+
+#[test]
+fn net_announcer_fake_values_always_detected() {
+    use prism::protocol::malicious::AnnouncerTamper;
+
+    // A fabricated announcement cannot invert through F (and nobody
+    // claims it): max and median must error, on both transports, and the
+    // announcer must recover when honesty is restored.
+    let (maxima, sums) = fixture_values();
+    let max_refs: Vec<&[u64]> = maxima.iter().map(Vec::as_slice).collect();
+    let sum_refs: Vec<&[u64]> = sums.iter().map(Vec::as_slice).collect();
+    let c = net_cluster(1000);
+    let honest_max = c.psi_max(&max_refs, 5).unwrap();
+    let honest_median = c.psi_median(&sum_refs, 6).unwrap();
+    for seed in [1u64, 77, 4096] {
+        c.set_announcer_tamper(AnnouncerTamper::FakeValue { seed })
+            .unwrap();
+        assert!(
+            c.psi_max(&max_refs, 5).is_err(),
+            "fake announcement (seed {seed}) escaped max verification"
+        );
+        assert!(
+            c.psi_median(&sum_refs, 6).is_err(),
+            "fake announcement (seed {seed}) escaped median decode"
+        );
+    }
+    c.set_announcer_tamper(AnnouncerTamper::Honest).unwrap();
+    assert_eq!(c.psi_max(&max_refs, 5).unwrap(), honest_max);
+    assert_eq!(c.psi_median(&sum_refs, 6).unwrap(), honest_median);
+    c.shutdown().unwrap();
+}
+
+#[test]
+fn net_announcer_slot_lies_rejected_or_harmless() {
+    use prism::protocol::malicious::AnnouncerTamper;
+
+    // An announcer always crediting permuted slot s understates the max
+    // whenever that slot's owner does not hold it; the owner holding the
+    // larger value flags it (paper's §6.3 verification). The fixture's
+    // per-cell values 10·v + j are strictly increasing in j, so exactly
+    // one of the m slots is the true holder — every other slot must be
+    // rejected, and that slot (if announced) must reproduce the honest
+    // result bit-for-bit.
+    let (maxima, _) = fixture_values();
+    let max_refs: Vec<&[u64]> = maxima.iter().map(Vec::as_slice).collect();
+    let c = net_cluster(1100);
+    let honest = c.psi_max(&max_refs, 7).unwrap();
+    let m = maxima.len();
+    let mut detected = 0;
+    for slot in 0..m {
+        c.set_announcer_tamper(AnnouncerTamper::AnnounceSlot(slot))
+            .unwrap();
+        match c.psi_max(&max_refs, 7) {
+            Err(_) => detected += 1,
+            Ok(got) => assert_eq!(
+                got, honest,
+                "slot-{slot} lie passed verification with a wrong maximum"
+            ),
+        }
+    }
+    assert_eq!(
+        detected,
+        m - 1,
+        "every slot but the true holder's must be rejected"
+    );
+    c.shutdown().unwrap();
+}
+
+#[test]
+fn net_max_median_server_tampers_never_forge_a_value() {
+    // Server-side tampering under max/median hits the (unverified) PSI
+    // round — the wide rounds model honest relaying — so all a lazy
+    // server can do is distort *which* cells get queried. What the
+    // announcer rounds' verification guarantees is that no reported cell
+    // carries a forged maximum/median: the query errors, or every cell it
+    // reports agrees with the honest answer for that cell.
+    use std::collections::HashMap;
+
+    let (maxima, sums) = fixture_values();
+    let max_refs: Vec<&[u64]> = maxima.iter().map(Vec::as_slice).collect();
+    let sum_refs: Vec<&[u64]> = sums.iter().map(Vec::as_slice).collect();
+    let honest_c = net_cluster(1200);
+    let (hm, hh) = honest_c.psi_max(&max_refs, 8).unwrap();
+    let honest_max: HashMap<usize, (u64, Vec<bool>)> = hm
+        .iter()
+        .zip(hh)
+        .map(|(cell, holders)| (cell.cell, (cell.max, holders)))
+        .collect();
+    let honest_median: HashMap<usize, (Vec<u64>, Vec<usize>)> = honest_c
+        .psi_median(&sum_refs, 9)
+        .unwrap()
+        .into_iter()
+        .map(|c| (c.cell, (c.values, c.holders)))
+        .collect();
+    honest_c.shutdown().unwrap();
+    for server in 0..2 {
+        for t in [
+            Tamper::SkipReplay { src: 0 },
+            Tamper::InjectFake { cell: 3, seed: 4 },
+        ] {
+            let c = net_cluster(1200);
+            c.set_tamper(server, t).unwrap();
+            if let Ok((cells, holders)) = c.psi_max(&max_refs, 8) {
+                for (cell, h) in cells.iter().zip(&holders) {
+                    assert_eq!(
+                        honest_max.get(&cell.cell),
+                        Some(&(cell.max, h.clone())),
+                        "server {server} {t:?} forged max at cell {}",
+                        cell.cell
+                    );
+                }
+            }
+            if let Ok(cells) = c.psi_median(&sum_refs, 9) {
+                for cell in cells {
+                    assert_eq!(
+                        honest_median.get(&cell.cell),
+                        Some(&(cell.values.clone(), cell.holders.clone())),
+                        "server {server} {t:?} forged median at cell {}",
+                        cell.cell
+                    );
+                }
+            }
+            c.shutdown().unwrap();
+        }
+    }
+}
+
+#[test]
+fn inmemory_announcer_tampers_detected_like_the_wire() {
+    use prism::protocol::malicious::AnnouncerTamper;
+
+    // The same announcer failure injection through the in-memory driver:
+    // Announcer lives in the engine, so the verdict cannot depend on the
+    // transport (the conformance suite pins full equality; this pins the
+    // driver facade).
+    let mut c = cluster(1300);
+    let honest = c.psi_max(0).unwrap().0;
+    c.set_announcer_tamper(AnnouncerTamper::FakeValue { seed: 3 });
+    assert!(c.psi_max(0).is_err());
+    assert!(c.psi_median(0).is_err());
+    c.set_announcer_tamper(AnnouncerTamper::Honest);
+    assert_eq!(c.psi_max(0).unwrap().0, honest);
+}
+
 #[test]
 fn net_honest_runs_never_flagged() {
     for seed in 0..3 {
