@@ -1,9 +1,9 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|all]
 //!             [--scale small|medium|full] [--seed N]
-//!             [--shard-json PATH] [--netmax-json PATH]
+//!             [--shard-json PATH] [--netmax-json PATH] [--cache-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
@@ -15,9 +15,11 @@
 //! config (whatever the scale) and writes the `BENCH_shard.json`
 //! artifact CI publishes. `netmax` smoke-runs max/median over the
 //! networked deployment (channel + TCP, announcer as a fourth node) and
-//! writes `BENCH_netmax.json`.
+//! writes `BENCH_netmax.json`. `cache` measures repeat-query latency
+//! through the cross-query PSI-round cache (asserting the warm passes
+//! actually hit) and writes `BENCH_cache.json`.
 
-use prism_bench::{exp1, exp2, exp3, exp4, netmax, shardexp, sharegen, table13};
+use prism_bench::{cacheexp, exp1, exp2, exp3, exp4, netmax, shardexp, sharegen, table13};
 use prism_workload::configs::{self, Scale};
 
 struct Args {
@@ -26,6 +28,7 @@ struct Args {
     seed: u64,
     shard_json: std::path::PathBuf,
     netmax_json: std::path::PathBuf,
+    cache_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +37,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut shard_json = std::path::PathBuf::from("BENCH_shard.json");
     let mut netmax_json = std::path::PathBuf::from("BENCH_netmax.json");
+    let mut cache_json = std::path::PathBuf::from("BENCH_cache.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -62,12 +66,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--cache-json" => {
+                cache_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--cache-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exp_harness \
-                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|all]* \
+                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|all]* \
                      [--scale small|medium|full] [--seed N] [--shard-json PATH] \
-                     [--netmax-json PATH]"
+                     [--netmax-json PATH] [--cache-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +93,7 @@ fn parse_args() -> Args {
         seed,
         shard_json,
         netmax_json,
+        cache_json,
     }
 }
 
@@ -139,6 +150,15 @@ fn main() {
         match shardexp::write_json(&args.shard_json, domain, owners, &rows) {
             Ok(()) => println!("wrote {}", args.shard_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.shard_json.display()),
+        }
+    }
+    if wants("cache") {
+        let (domain, owners, warm_reps) = configs::cache_bench();
+        let sweep = cacheexp::run(domain, owners, warm_reps, seed);
+        cacheexp::print(domain, owners, &sweep);
+        match cacheexp::write_json(&args.cache_json, domain, owners, &sweep) {
+            Ok(()) => println!("wrote {}", args.cache_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.cache_json.display()),
         }
     }
     if wants("netmax") {

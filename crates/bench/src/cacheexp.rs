@@ -1,0 +1,226 @@
+//! Cross-query PSI-round cache sweep: repeat-query latency with the
+//! cache on, against the uncached baseline.
+//!
+//! PRISM's round-1 PSI dominates aggregation latency (§6/§8), and the
+//! `CachedExec` decorator serves it from cache for repeat queries over
+//! an unchanged store. This experiment measures exactly that pitch: one
+//! cold `psi_query_batch` (sum + average over one PSI), then warm
+//! repeats that skip round 1 entirely, then an owner update that
+//! restores the cold path. The run **asserts** the warm passes actually
+//! hit — a sweep that never hits is a broken cache, not a measurement —
+//! so `just bench-smoke` and CI fail loudly on a regression.
+//!
+//! `write_json` emits the `BENCH_cache.json` artifact `just bench-smoke`
+//! and CI publish, recording the warm/cold ratio per commit.
+
+use crate::build::AGG_DOMAIN_MAX;
+use crate::report::{print_table, secs};
+use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism_protocol::QueryBatch;
+use prism_workload::LineItemConfig;
+use std::time::{Duration, Instant};
+
+/// One measured query pass.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Pass label (`cold`, `warm N`, `post-update`).
+    pub pass: String,
+    /// Wall time of the whole query.
+    pub wall: Duration,
+    /// Owner↔server rounds the query paid.
+    pub rounds: usize,
+    /// Cache hits within the query.
+    pub hits: u64,
+    /// The query's full stats line (`QueryStats` Display form).
+    pub stats: String,
+}
+
+/// The sweep's results: per-pass rows plus the uncached baseline.
+#[derive(Debug, Clone)]
+pub struct CacheSweep {
+    /// Per-pass measurements on the cached cluster.
+    pub rows: Vec<CacheRow>,
+    /// Best repeat-query wall time on an *uncached* cluster (the
+    /// apples-to-apples baseline for the warm passes).
+    pub uncached: Duration,
+    /// Total cache hits across the sweep.
+    pub total_hits: u64,
+}
+
+fn inputs(domain: u64, owners: usize, seed: u64) -> Vec<OwnerInput> {
+    let gen = LineItemConfig::full(domain, seed);
+    (0..owners)
+        .map(|j| {
+            let rows = gen.generate_owner(j);
+            OwnerInput {
+                rows: rows.iter().map(|r| (r.ok, vec![r.pk])).collect(),
+            }
+        })
+        .collect()
+}
+
+fn cluster(inputs: &[OwnerInput], domain: u64, cache: bool, seed: u64) -> Cluster {
+    let mut cfg = ClusterConfig::new(domain as usize).with_cache(cache);
+    cfg.seed = seed;
+    cfg.threads = 1;
+    cfg.with_verification = false;
+    cfg.agg_domain_max = AGG_DOMAIN_MAX;
+    Cluster::build(inputs, cfg).expect("cluster build")
+}
+
+/// Run the cache sweep: one cold pass, `warm_reps` warm passes, one
+/// owner update, one post-update (cold again) pass — plus the uncached
+/// baseline. Panics if the warm passes never hit the cache.
+pub fn run(domain: u64, owners: usize, warm_reps: usize, seed: u64) -> CacheSweep {
+    let inputs = inputs(domain, owners, seed);
+    let batch = QueryBatch::new().sum(0).avg(0);
+
+    let uncached = {
+        let c = cluster(&inputs, domain, false, seed);
+        let mut best = Duration::MAX;
+        for _ in 0..warm_reps.max(1) {
+            let t0 = Instant::now();
+            c.psi_query_batch(&batch).expect("uncached batch");
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+
+    let mut c = cluster(&inputs, domain, true, seed);
+    let mut rows = Vec::new();
+    let pass = |c: &Cluster, label: String, rows: &mut Vec<CacheRow>| {
+        let t0 = Instant::now();
+        let (_, stats) = c.psi_query_batch(&batch).expect("cached batch");
+        rows.push(CacheRow {
+            pass: label,
+            wall: t0.elapsed(),
+            rounds: stats.rounds(),
+            hits: stats.cache_hits(),
+            stats: stats.to_string(),
+        });
+    };
+    pass(&c, "cold".into(), &mut rows);
+    for i in 0..warm_reps.max(1) {
+        pass(&c, format!("warm {}", i + 1), &mut rows);
+    }
+    c.update_owner(0, &inputs[0]).expect("owner update");
+    pass(&c, "post-update".into(), &mut rows);
+
+    let total_hits: u64 = rows.iter().map(|r| r.hits).sum();
+    assert!(
+        total_hits >= 1,
+        "cache sweep completed without a single cache hit — the decorator is broken"
+    );
+    CacheSweep {
+        rows,
+        uncached,
+        total_hits,
+    }
+}
+
+/// Warm-pass speedup over the uncached baseline (best warm pass).
+pub fn speedup(sweep: &CacheSweep) -> f64 {
+    let warm = sweep
+        .rows
+        .iter()
+        .filter(|r| r.hits > 0)
+        .map(|r| r.wall)
+        .min()
+        .unwrap_or(Duration::MAX);
+    sweep.uncached.as_secs_f64() / warm.as_secs_f64().max(1e-12)
+}
+
+/// Print the sweep, one row per pass.
+pub fn print(domain: u64, owners: usize, sweep: &CacheSweep) {
+    let table_rows: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.pass.clone(),
+                secs(r.wall),
+                r.rounds.to_string(),
+                r.hits.to_string(),
+                r.stats.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("PSI-round cache — {domain} OK cells, {owners} owners, repeat psi_query_batch"),
+        &["Pass", "Wall", "Rounds", "Hits", "Query stats"],
+        &table_rows,
+    );
+    println!(
+        "uncached repeat: {}, warm speedup {:.2}x, total cache hits: {}",
+        secs(sweep.uncached),
+        speedup(sweep),
+        sweep.total_hits,
+    );
+}
+
+/// Write the sweep as a small JSON artifact (hand-rolled — the workspace
+/// vendors no JSON serializer, and the shape is fixed).
+pub fn write_json(
+    path: &std::path::Path,
+    domain: u64,
+    owners: usize,
+    sweep: &CacheSweep,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"psi_round_cache\",\n");
+    out.push_str(&format!("  \"domain\": {domain},\n"));
+    out.push_str(&format!("  \"owners\": {owners},\n"));
+    out.push_str(&format!(
+        "  \"uncached_repeat_seconds\": {:.6},\n",
+        sweep.uncached.as_secs_f64()
+    ));
+    out.push_str("  \"passes\": [\n");
+    for (i, r) in sweep.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"seconds\": {:.6}, \"rounds\": {}, \"cache_hits\": {}}}{}\n",
+            r.pass,
+            r.wall.as_secs_f64(),
+            r.rounds,
+            r.hits,
+            if i + 1 == sweep.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"warm_speedup\": {:.3},\n", speedup(sweep)));
+    out.push_str(&format!("  \"total_cache_hits\": {}\n", sweep.total_hits));
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_hits_and_restores_cold_path() {
+        let sweep = run(400, 3, 2, 5);
+        assert_eq!(sweep.rows.len(), 4); // cold + 2 warm + post-update
+        assert_eq!(sweep.rows[0].rounds, 2);
+        assert_eq!(sweep.rows[1].rounds, 1);
+        assert_eq!(sweep.rows[1].hits, 1);
+        assert_eq!(sweep.rows[3].pass, "post-update");
+        assert_eq!(sweep.rows[3].rounds, 2, "update must restore cold path");
+        assert!(sweep.total_hits >= 2);
+        assert!(sweep.rows[1].stats.contains("cache_hits=1"));
+        print(400, 3, &sweep);
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed_enough() {
+        let sweep = run(200, 2, 1, 6);
+        let path = std::env::temp_dir().join("prism_bench_cache_test.json");
+        write_json(&path, 200, 2, &sweep).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"pass\": \"warm 1\""));
+        assert!(text.contains("warm_speedup"));
+        assert!(text.contains("total_cache_hits"));
+    }
+}

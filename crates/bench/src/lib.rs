@@ -12,6 +12,7 @@
 //! | [`table13`] | Table 13 (baseline comparison) |
 //! | [`sharegen`] | §8.1 share-generation times |
 //! | [`shardexp`] | sharded-domain scaling (PSI/sum vs shard count, `BENCH_shard.json`) |
+//! | [`cacheexp`] | cross-query PSI-round cache sweep (repeat-query latency, `BENCH_cache.json`) |
 //!
 //! The `exp_harness` binary drives them at `--scale small|medium|full`;
 //! the Criterion benches under `benches/` track the same code paths at
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod cacheexp;
 pub mod exp1;
 pub mod exp2;
 pub mod exp3;

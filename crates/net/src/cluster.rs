@@ -38,6 +38,7 @@
 
 use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
 use crate::wire::{Column, Message};
+use prism_protocol::cache::{CachedExec, PsiRoundCache};
 use prism_protocol::engine::{
     Announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Engine, ExecMeters, Operation, QueryStats,
     ServerCmd, ServerExec, ServerNode, ServerReply,
@@ -147,6 +148,9 @@ fn server_loop(
             Message::ShardRun { shard, batch } => {
                 let outputs = run(&node, batch);
                 link.send(&Message::ShardOutputs { shard, outputs })?;
+            }
+            Message::VersionProbe => {
+                link.send(&Message::Version(node.version()))?;
             }
             Message::MaxCombine {
                 uploads,
@@ -283,6 +287,22 @@ fn domain_loop(
                     route_batch(&plan, &params, &tamper, &batch, &shard_links).unwrap_or_default();
                 owner_link.send(&Message::Outputs(outs))?;
             }
+            Message::VersionProbe => {
+                // The domain's version is the sum of its shard workers' —
+                // the same rule as the in-process `ShardedNode::version`,
+                // so the two sharded deployments agree by construction.
+                let mut version = 0u64;
+                for link in &shard_links {
+                    link.send(&Message::VersionProbe)?;
+                }
+                for link in &shard_links {
+                    match link.recv()? {
+                        Message::Version(v) => version += v,
+                        _ => return Err(NetError::Disconnected),
+                    }
+                }
+                owner_link.send(&Message::Version(version))?;
+            }
             Message::MaxCombine {
                 uploads,
                 threads,
@@ -410,6 +430,12 @@ pub struct NetReport {
     /// owner side must never see — and, by these meters, observably never
     /// carries).
     pub server_to_announcer: Vec<(u64, u64)>,
+    /// Rounds served from the PSI-round cache (0 with the cache off).
+    pub cache_hits: u64,
+    /// Cache-eligible rounds that executed for real.
+    pub cache_misses: u64,
+    /// Cache entries dropped as stale (version mismatch or tamper).
+    pub cache_invalidations: u64,
 }
 
 impl NetReport {
@@ -525,6 +551,11 @@ impl std::fmt::Display for NetReport {
         for (k, &(bytes, msgs)) in self.server_to_announcer.iter().enumerate() {
             writeln!(f, "  server {k} -> announcer: {}/{msgs}", kb(bytes))?;
         }
+        writeln!(
+            f,
+            "cache: hits={} misses={} invalidations={}",
+            self.cache_hits, self.cache_misses, self.cache_invalidations
+        )?;
         Ok(())
     }
 }
@@ -547,6 +578,11 @@ pub struct NetCluster {
     /// carries a `MaxCombine`, echoed by servers and quoted at announce
     /// time so the announcer can reject stale or crossed uploads.
     wide_seq: AtomicU64,
+    /// Cross-query PSI-round cache (see [`prism_protocol::cache`]),
+    /// enabled by [`NetCluster::enable_cache`]: `execute` wraps the
+    /// cluster's own `ServerExec` in a `CachedExec` bound to this state,
+    /// and the upload/tamper facades keep it honest.
+    cache: Option<PsiRoundCache>,
 }
 
 fn transport_err(e: NetError) -> ProtocolError {
@@ -589,6 +625,7 @@ impl ServerExec for NetCluster {
                 ServerCmd::AssembleFpos { claims, threads } => {
                     Message::AssembleFpos { claims, threads }
                 }
+                ServerCmd::Version => Message::VersionProbe,
             };
             self.links[s].send(&msg).map_err(transport_err)?;
         }
@@ -596,6 +633,7 @@ impl ServerExec for NetCluster {
         for s in servers {
             match self.links[s].recv().map_err(transport_err)? {
                 Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
+                Message::Version(v) => replies.push(ServerReply::Version(v)),
                 Message::WideForwarded { rows, width, seq } => {
                     // The receipt must belong to the round we just issued
                     // (a desynchronized server cannot smuggle an old one).
@@ -644,6 +682,7 @@ impl ServerExec for NetCluster {
     fn meters(&self) -> ExecMeters {
         ExecMeters {
             shard_dispatches: self.dispatches.load(Ordering::Relaxed),
+            ..ExecMeters::default()
         }
     }
 }
@@ -782,7 +821,24 @@ impl NetCluster {
             threads: 1,
             dispatches: AtomicU64::new(0),
             wide_seq: AtomicU64::new(0),
+            cache: None,
         })
+    }
+
+    /// Enable the cross-query PSI-round cache: every subsequent
+    /// [`NetCluster::execute`] runs over a `CachedExec` decorator sharing
+    /// one [`PsiRoundCache`], so a repeat eligible query against an
+    /// unchanged store completes its round 1 with **zero** server
+    /// round-trips (observable in [`NetReport`]'s per-link meters).
+    /// Results are bit-identical with the cache on or off; verified
+    /// operations always hit the servers.
+    pub fn enable_cache(&mut self) {
+        self.cache.get_or_insert_with(PsiRoundCache::new);
+    }
+
+    /// The PSI-round cache, when enabled.
+    pub fn cache(&self) -> Option<&PsiRoundCache> {
+        self.cache.as_ref()
     }
 
     /// Set the per-server thread count sent with queries.
@@ -808,6 +864,12 @@ impl NetCluster {
         column: Column,
         data: Vec<u64>,
     ) -> Result<(), NetError> {
+        // Dirty the cache before awaiting the ack: the server may apply
+        // the store even when the reply is lost, and note_upload's
+        // contract is "was (or may have been) written".
+        if let Some(cache) = &self.cache {
+            cache.note_upload(server);
+        }
         self.links[server].send(&Message::Upload {
             owner: owner as u32,
             column,
@@ -828,6 +890,12 @@ impl NetCluster {
         owner: usize,
         columns: Vec<(Column, Vec<u64>)>,
     ) -> Result<(), NetError> {
+        // As in `upload`: mark the server dirty before awaiting the ack,
+        // so a lost reply can never leave the cache trusting a store the
+        // server may already have mutated.
+        if let Some(cache) = &self.cache {
+            cache.note_upload(server);
+        }
         self.links[server].send(&Message::BulkUpload {
             owner: owner as u32,
             columns,
@@ -842,6 +910,9 @@ impl NetCluster {
     /// applies it to every subsequent merged output, exactly like the
     /// in-memory cluster.
     pub fn set_tamper(&self, server: usize, tamper: Tamper) -> Result<(), NetError> {
+        if let Some(cache) = &self.cache {
+            cache.note_tamper(server, tamper.is_honest());
+        }
         self.links[server].send(&Message::SetTamper(tamper))?;
         match self.links[server].recv()? {
             Message::Ack => Ok(()),
@@ -861,9 +932,15 @@ impl NetCluster {
         }
     }
 
-    /// Run any engine round plan over this cluster's links.
+    /// Run any engine round plan over this cluster's links (through the
+    /// PSI-round cache decorator, when enabled).
     pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats), ClusterError> {
-        Engine::new(self, &self.setup.owner)
+        let cached = self.cache.as_ref().map(|c| CachedExec::new(self, c));
+        let exec: &dyn ServerExec = match &cached {
+            Some(c) => c,
+            None => self,
+        };
+        Engine::new(&exec, &self.setup.owner)
             .with_threads(self.threads as usize)
             .run(plan)
             .map_err(ClusterError::Protocol)
@@ -980,6 +1057,9 @@ impl NetCluster {
             to_announcer: self.announcer_link.stats().snapshot(),
             from_announcer: self.from_announcer_stats.snapshot(),
             server_to_announcer: snap(&self.server_to_announcer_stats),
+            cache_hits: self.cache.as_ref().map_or(0, PsiRoundCache::hits),
+            cache_misses: self.cache.as_ref().map_or(0, PsiRoundCache::misses),
+            cache_invalidations: self.cache.as_ref().map_or(0, PsiRoundCache::invalidations),
         }
     }
 

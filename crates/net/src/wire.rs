@@ -475,6 +475,15 @@ pub enum Message {
     /// Attach a tampering behaviour to the announcer (tests), over the
     /// owner↔announcer control link.
     SetAnnouncerTamper(AnnouncerTamper),
+    /// Owner → server: probe the store version
+    /// ([`ServerCmd::Version`](prism_protocol::engine::ServerCmd)
+    /// verbatim) — the parameter-free O(1) request the PSI-round cache
+    /// validates its entries with. A sharded domain's router fans the
+    /// probe to its workers and sums their replies.
+    VersionProbe,
+    /// Server → owner: the store's monotonic version, answering a
+    /// [`Message::VersionProbe`].
+    Version(u64),
 }
 
 impl Message {
@@ -580,6 +589,11 @@ impl Message {
                 buf.put_u8(16);
                 encode_announcer_tamper(t, &mut buf);
             }
+            Message::VersionProbe => buf.put_u8(17),
+            Message::Version(v) => {
+                buf.put_u8(18);
+                buf.put_u64_le(*v);
+            }
         }
         buf
     }
@@ -670,6 +684,8 @@ impl Message {
             }
             15 => Message::AnnounceReply(decode_announcer_reply(buf)?),
             16 => Message::SetAnnouncerTamper(decode_announcer_tamper(buf)?),
+            17 => Message::VersionProbe,
+            18 => Message::Version(need_u64(buf)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -814,6 +830,13 @@ mod tests {
         roundtrip(Message::SetAnnouncerTamper(AnnouncerTamper::FakeValue {
             seed: 99,
         }));
+    }
+
+    #[test]
+    fn version_messages_roundtrip() {
+        roundtrip(Message::VersionProbe);
+        roundtrip(Message::Version(0));
+        roundtrip(Message::Version(u64::MAX));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! End-to-end PSI-round cache over the wire: the acceptance path.
+//!
+//! A repeat `psi_query_batch` against an unchanged store must complete
+//! with **zero** server round-trips for round 1 — asserted both through
+//! `QueryStats.rounds` and through `NetReport`'s per-link message meters
+//! (warm round 2 is exactly one `RunBatch` per Shamir server, nothing
+//! else crosses any owner↔server link) — and any owner upload in between
+//! must restore the cold-path round count bit-identically.
+
+use prism_core::Prg;
+use prism_net::{Column, NetCluster};
+use prism_protocol::params::{Initiator, Setup, SystemConfig};
+use prism_protocol::tables::{share_indicator, share_payload};
+use prism_protocol::QueryBatch;
+
+const DOMAIN: usize = 10;
+
+fn rows() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(1, 100), (1, 200), (3, 300), (7, 10)],
+        vec![(1, 100), (2, 70), (7, 20)],
+        vec![(1, 300), (1, 700), (3, 500), (7, 30)],
+    ]
+}
+
+fn make_setup() -> Setup {
+    Initiator::new(SystemConfig::new(3, DOMAIN).with_seed(91))
+        .setup()
+        .unwrap()
+}
+
+/// Bulk-upload owner `j`'s full column set (share randomness from
+/// `seed`, so re-uploading with the same seed reproduces the store).
+fn upload_owner(cluster: &NetCluster, j: usize, owner_rows: &[(u64, u64)], seed: u64) {
+    let op = cluster.setup().owner.clone();
+    let mut indicator = vec![0u64; DOMAIN];
+    let mut sums = vec![0u64; DOMAIN];
+    let mut counts = vec![0u64; DOMAIN];
+    for &(c, x) in owner_rows {
+        let cell = (c - 1) as usize;
+        indicator[cell] = 1;
+        sums[cell] += x;
+        counts[cell] += 1;
+    }
+    let mut prg = Prg::from_seed(seed ^ (3000 + j as u64));
+    let ind = share_indicator(&indicator, op.delta, &mut prg);
+    let p = share_payload(&sums, &op.field, &mut prg);
+    let cnt = share_payload(&counts, &op.field, &mut prg);
+    for k in 0..3 {
+        let mut columns = Vec::new();
+        if k < 2 {
+            columns.push((Column::Ok, ind.shares[k].clone()));
+        }
+        columns.push((Column::Agg(0), p.shares[k].clone()));
+        columns.push((Column::AOk, cnt.shares[k].clone()));
+        cluster.bulk_upload(k, j, columns).unwrap();
+    }
+}
+
+fn upload_all(cluster: &NetCluster, seed: u64) {
+    for (j, owner_rows) in rows().iter().enumerate() {
+        upload_owner(cluster, j, owner_rows, seed);
+    }
+}
+
+/// Per-server owner→server message deltas between two reports.
+fn msg_deltas(before: &prism_net::NetReport, after: &prism_net::NetReport) -> Vec<u64> {
+    (0..after.servers())
+        .map(|k| after.owner_to_server(k).1 - before.owner_to_server(k).1)
+        .collect()
+}
+
+fn exercise(mut cluster: NetCluster) {
+    cluster.enable_cache();
+    upload_all(&cluster, 7);
+    let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+
+    // Cold: round 1 (PSI, additive servers) + round 2 (Shamir servers).
+    let (cold, cold_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(cold_stats.rounds, 2);
+    assert_eq!(cold_stats.cache_misses, 1);
+
+    // Warm: zero server round-trips for round 1. The only owner↔server
+    // traffic in the whole query is round 2's one RunBatch per server.
+    let before = cluster.report();
+    let (warm, warm_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    let after = cluster.report();
+    assert_eq!(warm, cold, "cache changed the batch results");
+    assert_eq!(warm_stats.rounds, 1, "warm batch must skip round 1");
+    assert_eq!(warm_stats.cache_hits, 1);
+    assert_eq!(
+        msg_deltas(&before, &after),
+        vec![1, 1, 1],
+        "a warm query may send exactly one round-2 message per server"
+    );
+    assert!(after.cache_hits >= 1, "NetReport must meter the hit");
+
+    // An owner upload in between restores the cold path bit-identically:
+    // same round count, and (same data re-uploaded) the same results.
+    upload_owner(&cluster, 0, &rows()[0], 7);
+    let (recold, recold_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(
+        recold_stats.rounds, cold_stats.rounds,
+        "cold rounds restored"
+    );
+    assert_eq!(
+        recold_stats.cache_hits, 0,
+        "stale entry served after upload"
+    );
+    assert_eq!(recold, cold, "identical store must reproduce the results");
+    let report = cluster.report();
+    assert!(
+        report.cache_invalidations >= 1,
+        "the upload must invalidate the stale round"
+    );
+    assert!(
+        format!("{report}").contains("cache: hits="),
+        "NetReport Display must print the cache counters"
+    );
+
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn cache_e2e_channel() {
+    exercise(NetCluster::start_local(make_setup()));
+}
+
+#[test]
+fn cache_e2e_tcp() {
+    exercise(NetCluster::start_tcp(make_setup()).unwrap());
+}
+
+/// The warm path must stay warm across *different* eligible queries that
+/// share the PSI round, and the count round keys separately.
+#[test]
+fn distinct_queries_share_the_cached_psi_round() {
+    let mut cluster = NetCluster::start_local(make_setup());
+    cluster.enable_cache();
+    upload_all(&cluster, 9);
+    let (_, s) = cluster.execute(&prism_protocol::plans::Psi).unwrap();
+    assert_eq!((s.rounds, s.cache_misses), (1, 1));
+    // A sum reuses the PSI entry: only its round 2 touches the servers.
+    let sums = cluster.psi_sum(0, 5).unwrap();
+    let (_, s) = cluster
+        .execute(&prism_protocol::plans::Sum { attr: 0, seed: 5 })
+        .unwrap();
+    assert_eq!(s.rounds, 1, "sum must ride the cached PSI round");
+    assert_eq!(
+        cluster
+            .execute(&prism_protocol::plans::Sum { attr: 0, seed: 5 })
+            .unwrap()
+            .0,
+        sums
+    );
+    // Count keys its own round: first run misses, second hits.
+    let (_, s) = cluster.execute(&prism_protocol::plans::Count).unwrap();
+    assert_eq!((s.rounds, s.cache_hits), (1, 0));
+    let (_, s) = cluster.execute(&prism_protocol::plans::Count).unwrap();
+    assert_eq!((s.rounds, s.cache_hits), (0, 1));
+    cluster.shutdown().unwrap();
+}

@@ -114,7 +114,7 @@ fn build_message(
             .collect(),
         threads,
     };
-    match sel % 17 {
+    match sel % 19 {
         0 => Message::Upload {
             owner,
             column: arb_column(col_sel, attr),
@@ -185,6 +185,8 @@ fn build_message(
             })
         }),
         15 => Message::SetAnnouncerTamper(arb_announcer_tamper(t_sel, tx)),
+        16 => Message::VersionProbe,
+        17 => Message::Version(tx),
         _ => Message::Shutdown,
     }
 }

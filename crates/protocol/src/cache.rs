@@ -1,0 +1,444 @@
+//! Cross-query PSI-round caching: a transparent [`ServerExec`] decorator.
+//!
+//! PRISM's aggregation plans all begin with the same round-1 PSI over the
+//! additive servers, and §6's evaluation shows that round dominates
+//! end-to-end latency — yet its reply is a pure function of the stored
+//! share columns. [`plans::QueryBatch`](crate::plans::QueryBatch) already
+//! shares one PSI across many aggregations *within* a query; this module
+//! extends the sharing *across* queries:
+//!
+//! * [`PsiRoundCache`] is the persistent state: per-server reply entries
+//!   keyed on the round's [`BatchItem`] list and stamped with the
+//!   server's **store version** (the monotonic counter every
+//!   [`ColumnStore::store`](crate::engine::ColumnStore::store) bumps),
+//!   plus hit/miss/invalidation meters.
+//! * [`CachedExec`] wraps any backend. A *cache-eligible* round — every
+//!   command a [`ServerCmd::Run`] whose items are all store-deterministic
+//!   round-1 operations ([`QueryOp::Psi`] / [`QueryOp::Psu`] /
+//!   [`QueryOp::Count`]) with no auxiliary vectors — is served from the
+//!   cache when every participating server's entry is stamped with its
+//!   current store version; otherwise it executes for real and the
+//!   replies are cached. Everything else passes through untouched.
+//!
+//! **Invalidation rule (version vector).** The cache never trusts its own
+//! clock: an entry is valid only while the owning server's *confirmed*
+//! store version equals the entry's stamp. Confirmation comes from
+//! [`ServerCmd::Version`] probes — O(1) at the server, a few bytes on the
+//! wire — issued lazily whenever a server's version is unknown: at first
+//! use, and after any [`PsiRoundCache::note_upload`] (the facades call it
+//! on every `store`/`bulk_upload`, marking the touched server dirty).
+//! Between uploads the version vector is known, so a warm round is served
+//! with **zero** server round-trips; after an upload the next eligible
+//! round probes, sees the moved version, drops the stale entries
+//! (counted as invalidations) and re-executes. Servers whose stores were
+//! not touched keep their entries.
+//!
+//! **Why caching is invisible.** Verified operations
+//! ([`QueryOp::PsiVerify`], the permuted copies, the complement binding)
+//! are *never* cached or served: their detection semantics rely on the
+//! servers recomputing under fresh scrutiny, so those rounds always hit
+//! the servers and a tamper injected after warm-up is detected exactly as
+//! it would be without the cache. Tampered servers (noted by the test
+//! facades via [`PsiRoundCache::note_tamper`]) additionally bypass the
+//! cache for *all* rounds — a tampered round is neither served from a
+//! pre-tamper entry (which would mask the tamper) nor written back (which
+//! would outlive it). The transport-conformance suite pins that the full
+//! operation matrix, honest and tampered, is bit-identical with the
+//! decorator on and off.
+
+use crate::engine::{
+    AnnouncerCmd, AnnouncerReply, BatchItem, ExecMeters, QueryOp, ServerCmd, ServerExec,
+    ServerReply,
+};
+use crate::error::{ProtocolError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One cached per-server round: the store version it was computed
+/// against, and the per-item output vectors.
+type Entry = (u64, Vec<Vec<u64>>);
+
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Last server-confirmed store version per server; `None` means
+    /// unknown — never probed, or marked dirty by a noted upload.
+    versions: Vec<Option<u64>>,
+    /// Servers with a non-honest tamper attached (test injection); their
+    /// rounds bypass the cache entirely.
+    tampered: Vec<bool>,
+    /// `(server, round items)` → cached reply stamped with the store
+    /// version it was computed against.
+    entries: HashMap<(usize, Vec<BatchItem>), Entry>,
+}
+
+impl CacheState {
+    fn slot<T: Default + Clone>(v: &mut Vec<T>, server: usize) -> &mut T {
+        if v.len() <= server {
+            v.resize(server + 1, T::default());
+        }
+        &mut v[server]
+    }
+}
+
+/// The persistent cross-query cache state: share it between queries (the
+/// facades hold one per cluster) and bind it to a backend per query with
+/// [`CachedExec::new`].
+#[derive(Debug, Default)]
+pub struct PsiRoundCache {
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PsiRoundCache {
+    /// An empty cache: no entries, every server's version unknown.
+    pub fn new() -> PsiRoundCache {
+        PsiRoundCache::default()
+    }
+
+    fn state(&self) -> Result<std::sync::MutexGuard<'_, CacheState>> {
+        self.state
+            .lock()
+            .map_err(|_| ProtocolError::Transport("PSI-round cache poisoned".into()))
+    }
+
+    /// Note that `server`'s store was (or may have been) written: its
+    /// version becomes unknown, so the next eligible round re-probes it
+    /// before serving anything. Entries are dropped lazily, when the
+    /// probe confirms the version actually moved — an upload to one
+    /// server domain never touches another domain's entries.
+    pub fn note_upload(&self, server: usize) {
+        if let Ok(mut st) = self.state() {
+            *CacheState::slot(&mut st.versions, server) = None;
+        }
+    }
+
+    /// Note `server`'s tampering state (test injection). A tampered
+    /// server's rounds bypass the cache entirely, and its existing
+    /// entries are dropped — a pre-tamper entry must not mask the
+    /// tamper, and a tampered round must not outlive it.
+    pub fn note_tamper(&self, server: usize, honest: bool) {
+        if let Ok(mut st) = self.state() {
+            *CacheState::slot(&mut st.tampered, server) = !honest;
+            self.drop_entries(&mut st, server, None);
+        }
+    }
+
+    /// Drop every entry (all servers), counting invalidations.
+    pub fn invalidate_all(&self) {
+        if let Ok(mut st) = self.state() {
+            let dropped = st.entries.len() as u64;
+            st.entries.clear();
+            st.versions.clear();
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop `server`'s entries — all of them, or only those whose stamp
+    /// differs from `keep_version`.
+    fn drop_entries(&self, st: &mut CacheState, server: usize, keep_version: Option<u64>) {
+        let before = st.entries.len();
+        st.entries
+            .retain(|(s, _), (v, _)| *s != server || keep_version == Some(*v));
+        let dropped = (before - st.entries.len()) as u64;
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Rounds served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache-eligible rounds that executed for real.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped as stale (version mismatch or tamper).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Live entries held for `server` (tests observe invalidation
+    /// granularity through this).
+    pub fn server_entries(&self, server: usize) -> usize {
+        self.state()
+            .map(|st| st.entries.keys().filter(|(s, _)| *s == server).count())
+            .unwrap_or(0)
+    }
+
+    /// Total live entries.
+    pub fn len(&self) -> usize {
+        self.state().map(|st| st.entries.len()).unwrap_or(0)
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Is this command a cache-eligible round-1 batch? Only operations whose
+/// reply is a pure function of the stored columns qualify: plain PSI,
+/// PSU, and the count round. Anything carrying auxiliary `z` vectors
+/// (fresh per-query randomness) or verification semantics passes through
+/// to the servers untouched.
+fn eligible_items(cmd: &ServerCmd) -> Option<&[BatchItem]> {
+    match cmd {
+        ServerCmd::Run(batch)
+            if batch.zs.is_empty()
+                && !batch.items.is_empty()
+                && batch.items.iter().all(|item| {
+                    item.z.is_none()
+                        && matches!(item.op, QueryOp::Psi | QueryOp::Psu | QueryOp::Count)
+                }) =>
+        {
+            Some(&batch.items)
+        }
+        _ => None,
+    }
+}
+
+/// The transparent caching decorator: a [`ServerExec`] over any inner
+/// backend, serving repeat cache-eligible rounds from a shared
+/// [`PsiRoundCache`] and passing everything else through verbatim.
+///
+/// The decorator sits *above* the transport boundary — it wraps
+/// `InMemoryExec`, `ShardedExec`, or a whole `NetCluster` identically —
+/// and *below* the plans, which cannot tell a served round from an
+/// executed one except through the meters.
+#[derive(Debug)]
+pub struct CachedExec<'c, X: ServerExec> {
+    inner: X,
+    cache: &'c PsiRoundCache,
+}
+
+impl<'c, X: ServerExec> CachedExec<'c, X> {
+    /// Bind `inner` to the shared cache state.
+    pub fn new(inner: X, cache: &'c PsiRoundCache) -> CachedExec<'c, X> {
+        CachedExec { inner, cache }
+    }
+
+    /// Probe the store versions of `servers` through the inner backend
+    /// (one [`ServerCmd::Version`] round) and record them, dropping any
+    /// entry whose stamp the confirmed version proves stale. Returns the
+    /// probe's server-side cost so the caller can charge it to the query
+    /// that triggered it — the probe is a real round-trip, just not a
+    /// plan-visible round.
+    fn refresh_versions(&self, servers: &[usize]) -> Result<Duration> {
+        if servers.is_empty() {
+            return Ok(Duration::ZERO);
+        }
+        let cmds = servers.iter().map(|&s| (s, ServerCmd::Version)).collect();
+        let (replies, probe_cost) = self.inner.round(cmds)?;
+        if replies.len() != servers.len() {
+            return Err(ProtocolError::MalformedResponse(
+                "short reply to a version probe round",
+            ));
+        }
+        let mut st = self.cache.state()?;
+        for (&s, reply) in servers.iter().zip(replies) {
+            let v = match reply {
+                ServerReply::Version(v) => v,
+                _ => {
+                    return Err(ProtocolError::MalformedResponse(
+                        "expected a version reply to a version probe",
+                    ))
+                }
+            };
+            self.cache.drop_entries(&mut st, s, Some(v));
+            *CacheState::slot(&mut st.versions, s) = Some(v);
+        }
+        Ok(probe_cost)
+    }
+}
+
+impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+        // The round is cacheable only if *every* command is an eligible
+        // batch and no participating server is tampered — partial
+        // service would split one owner↔server round in two.
+        let keys: Option<Vec<(usize, &[BatchItem])>> = {
+            let st = self.cache.state()?;
+            cmds.iter()
+                .map(|(s, cmd)| {
+                    let tampered = st.tampered.get(*s).copied().unwrap_or(false);
+                    eligible_items(cmd)
+                        .filter(|_| !tampered)
+                        .map(|items| (*s, items))
+                })
+                .collect()
+        };
+        let Some(keys) = keys else {
+            return self.inner.round(cmds);
+        };
+
+        // Confirm the version vector: probe any participant whose store
+        // version is unknown (first use, or dirty after a noted upload).
+        let unknown: Vec<usize> = {
+            let st = self.cache.state()?;
+            keys.iter()
+                .map(|&(s, _)| s)
+                .filter(|&s| st.versions.get(s).copied().flatten().is_none())
+                .collect()
+        };
+        let probe_cost = self.refresh_versions(&unknown)?;
+
+        // Serve the whole round iff every participant has a live entry
+        // stamped with its confirmed version.
+        {
+            let st = self.cache.state()?;
+            let served: Option<Vec<ServerReply>> = keys
+                .iter()
+                .map(|&(s, items)| {
+                    let version = st.versions.get(s).copied().flatten()?;
+                    st.entries
+                        .get(&(s, items.to_vec()))
+                        .filter(|(stamp, _)| *stamp == version)
+                        .map(|(_, outs)| ServerReply::Vectors(outs.clone()))
+                })
+                .collect();
+            if let Some(replies) = served {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((replies, probe_cost));
+            }
+        }
+
+        // Miss: execute for real, then stamp the replies with the
+        // versions confirmed *before* the round ran — if an upload races
+        // in between, the stamp is conservatively old and the entry dies
+        // at the next probe instead of ever serving stale rows.
+        let stamps: Vec<Option<u64>> = {
+            let st = self.cache.state()?;
+            keys.iter()
+                .map(|&(s, _)| st.versions.get(s).copied().flatten())
+                .collect()
+        };
+        let owned_keys: Vec<(usize, Vec<BatchItem>)> =
+            keys.iter().map(|&(s, items)| (s, items.to_vec())).collect();
+        let (replies, cost) = self.inner.round(cmds)?;
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.cache.state()?;
+        for (((s, items), stamp), reply) in owned_keys.into_iter().zip(stamps).zip(&replies) {
+            if let (Some(stamp), ServerReply::Vectors(outs)) = (stamp, reply) {
+                st.entries.insert((s, items), (stamp, outs.clone()));
+            }
+        }
+        drop(st);
+        Ok((replies, cost + probe_cost))
+    }
+
+    fn announce(
+        &self,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
+    ) -> Result<(AnnouncerReply, Duration)> {
+        self.inner.announce(cmd, seq, threads)
+    }
+
+    fn meters(&self) -> ExecMeters {
+        let mut m = self.inner.meters();
+        m.cache_hits += self.cache.hits();
+        m.cache_misses += self.cache.misses();
+        m.cache_invalidations += self.cache.invalidations();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BatchQuery, ServerCmd};
+
+    fn run_cmd(items: Vec<BatchItem>) -> ServerCmd {
+        ServerCmd::Run(BatchQuery {
+            zs: Vec::new(),
+            items,
+            threads: 1,
+        })
+    }
+
+    #[test]
+    fn eligibility_is_store_deterministic_round1_only() {
+        assert!(eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::Psi)])).is_some());
+        assert!(eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::Psu)])).is_some());
+        assert!(eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::Count)])).is_some());
+        // Verification items never qualify.
+        assert!(eligible_items(&run_cmd(vec![
+            BatchItem::plain(QueryOp::Psi),
+            BatchItem::plain(QueryOp::PsiVerify),
+        ]))
+        .is_none());
+        assert!(
+            eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::CountVerify(1))])).is_none()
+        );
+        // Aggregations carry fresh z randomness.
+        assert!(eligible_items(&run_cmd(vec![BatchItem::with_z(QueryOp::Sum(0), 0)])).is_none());
+        // Empty batches and non-Run commands pass through.
+        assert!(eligible_items(&run_cmd(Vec::new())).is_none());
+        assert!(eligible_items(&ServerCmd::Version).is_none());
+    }
+
+    #[test]
+    fn note_upload_marks_only_the_touched_server_unknown() {
+        let cache = PsiRoundCache::new();
+        {
+            let mut st = cache.state().unwrap();
+            *CacheState::slot(&mut st.versions, 0) = Some(3);
+            *CacheState::slot(&mut st.versions, 1) = Some(4);
+        }
+        cache.note_upload(0);
+        let st = cache.state().unwrap();
+        assert_eq!(st.versions[0], None);
+        assert_eq!(st.versions[1], Some(4));
+    }
+
+    #[test]
+    fn invalidate_all_drops_everything_and_forces_reprobing() {
+        let cache = PsiRoundCache::new();
+        {
+            let mut st = cache.state().unwrap();
+            *CacheState::slot(&mut st.versions, 0) = Some(5);
+            st.entries.insert(
+                (0, vec![BatchItem::plain(QueryOp::Psi)]),
+                (5, vec![vec![7]]),
+            );
+            st.entries.insert(
+                (1, vec![BatchItem::plain(QueryOp::Count)]),
+                (3, vec![vec![8]]),
+            );
+        }
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 2);
+        let st = cache.state().unwrap();
+        assert!(
+            st.versions.is_empty(),
+            "versions must become unknown so the next round re-probes"
+        );
+    }
+
+    #[test]
+    fn tamper_drops_entries_and_counts_invalidations() {
+        let cache = PsiRoundCache::new();
+        {
+            let mut st = cache.state().unwrap();
+            st.entries.insert(
+                (0, vec![BatchItem::plain(QueryOp::Psi)]),
+                (1, vec![vec![7]]),
+            );
+            st.entries.insert(
+                (1, vec![BatchItem::plain(QueryOp::Psi)]),
+                (1, vec![vec![8]]),
+            );
+        }
+        cache.note_tamper(0, false);
+        assert_eq!(cache.server_entries(0), 0);
+        assert_eq!(cache.server_entries(1), 1);
+        assert_eq!(cache.invalidations(), 1);
+    }
+}

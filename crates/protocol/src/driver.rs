@@ -16,11 +16,13 @@
 //! the benchmark harness all drive queries through it.
 
 use crate::average::AvgCell;
-use crate::engine::{Announcer, Column, Engine, Operation};
+use crate::cache::{CachedExec, PsiRoundCache};
+use crate::engine::{Announcer, Column, Engine, Operation, ServerExec};
 use crate::error::{ProtocolError, Result};
 use crate::malicious::{AnnouncerTamper, Tamper};
 use crate::max::MaxCell;
 use crate::median::MedianCell;
+use crate::params::OwnerParams;
 use crate::params::{Initiator, Setup, SystemConfig};
 use crate::plans;
 use crate::shard::{ShardedExec, ShardedNode};
@@ -75,6 +77,11 @@ pub struct ClusterConfig {
     /// bit-identical for every shard count; shards fan each round out
     /// across their own nodes (see [`crate::shard`]).
     pub shards: usize,
+    /// Cache the round-1 PSI reply set across queries (see
+    /// [`crate::cache`]): repeat eligible queries against an unchanged
+    /// store skip their round 1 entirely. Results are bit-identical with
+    /// the cache on or off; verified operations always hit the servers.
+    pub cache: bool,
 }
 
 impl ClusterConfig {
@@ -89,12 +96,20 @@ impl ClusterConfig {
             agg_domain_max: 1 << 20,
             delta: None,
             shards: 1,
+            cache: false,
         }
     }
 
     /// Override the per-domain shard count (builder style).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enable (or disable) the cross-query PSI-round cache (builder
+    /// style).
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -120,6 +135,12 @@ pub struct Cluster {
     nodes: Vec<ShardedNode>,
     announcer: Announcer,
     n_attrs: usize,
+    /// The cross-query PSI-round cache, when [`ClusterConfig::cache`] is
+    /// set: shared by every query this cluster executes.
+    cache: Option<PsiRoundCache>,
+    /// Post-build owner updates performed so far (salts the re-sharing
+    /// randomness so successive updates never reuse share streams).
+    updates: u64,
     /// Lazily built F-evaluation table shared by max/median queries
     /// (owners can all derive it from the public F, so sharing one copy
     /// models m identical owner-side tables).
@@ -129,6 +150,86 @@ pub struct Cluster {
 /// Largest aggregation domain for which the owners precompute the full
 /// F-table (above this, the per-cell Horner path is used instead).
 const POLY_TABLE_LIMIT: u64 = 1 << 22;
+
+/// Build owner `j`'s plaintext tables from `input`, share every column
+/// the configuration asks for into the server nodes, and return the
+/// owner-side state the post-build rounds need. Shared by Phase-1
+/// outsourcing ([`Cluster::build`]) and post-build re-uploads
+/// ([`Cluster::update_owner`]); `prg_seed` derives all of the owner's
+/// share randomness, so identical `(input, seed)` pairs produce
+/// identical shares whatever path stored them.
+fn outsource_owner(
+    nodes: &mut [ShardedNode],
+    op: &OwnerParams,
+    cfg: &ClusterConfig,
+    n_attrs: usize,
+    j: usize,
+    input: &OwnerInput,
+    prg_seed: u64,
+) -> Result<OwnerState> {
+    let b = op.b;
+    let mut indicator = vec![0u64; b];
+    let mut counts = vec![0u64; b];
+    let mut st = OwnerState {
+        sums: vec![vec![0; b]; n_attrs],
+        maxima: vec![vec![0; b]; n_attrs],
+    };
+    for (set_v, aggs) in &input.rows {
+        let cell = set_v
+            .checked_sub(1)
+            .filter(|&i| (i as usize) < b)
+            .ok_or_else(|| ProtocolError::OutOfDomain {
+                value: format!("owner {j}: {set_v}"),
+            })? as usize;
+        indicator[cell] = 1;
+        counts[cell] += 1;
+        for (a, &v) in aggs.iter().enumerate() {
+            st.sums[a][cell] = st.sums[a][cell].wrapping_add(v);
+            st.maxima[a][cell] = st.maxima[a][cell].max(v);
+        }
+    }
+
+    let mut prg = Prg::from_seed(prg_seed);
+    let ind = share_indicator(&indicator, op.delta, &mut prg);
+    let [s0, s1] = ind.shares;
+    nodes[0].store(j, Column::Ok, s0);
+    nodes[1].store(j, Column::Ok, s1);
+    if cfg.with_verification {
+        let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+        let vperm = op.pf_db1.apply(&complement);
+        let v = share_indicator(&vperm, op.delta, &mut prg);
+        let [v0, v1] = v.shares;
+        nodes[0].store(j, Column::VOk, v0);
+        nodes[1].store(j, Column::VOk, v1);
+        let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
+        let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
+        let [a0, a1] = c1.shares;
+        let [b0, b1] = c2.shares;
+        nodes[0].store(j, Column::OkDb1, a0);
+        nodes[1].store(j, Column::OkDb1, a1);
+        nodes[0].store(j, Column::OkDb2, b0);
+        nodes[1].store(j, Column::OkDb2, b1);
+    }
+    if cfg.with_aggregation {
+        for a in 0..n_attrs {
+            let p = share_payload(&st.sums[a], &op.field, &mut prg);
+            for (k, sh) in p.shares.into_iter().enumerate() {
+                nodes[k].store(j, Column::Agg(a as u8), sh);
+            }
+            if cfg.with_verification {
+                let vp = share_payload(&op.pf_db1.apply(&st.sums[a]), &op.field, &mut prg);
+                for (k, sh) in vp.shares.into_iter().enumerate() {
+                    nodes[k].store(j, Column::VAgg(a as u8), sh);
+                }
+            }
+        }
+        let c = share_payload(&counts, &op.field, &mut prg);
+        for (k, sh) in c.shares.into_iter().enumerate() {
+            nodes[k].store(j, Column::AOk, sh);
+        }
+    }
+    Ok(st)
+}
 
 impl Cluster {
     /// Phase 0 + Phase 1: set up parameters and outsource every owner's
@@ -162,7 +263,6 @@ impl Cluster {
         }
         let setup = Initiator::new(sys).setup()?;
         let op = &setup.owner;
-        let b = op.b;
 
         // Owner-side tables + Phase 1 uploads, one owner at a time so the
         // transient plaintext columns are dropped before the next owner's
@@ -174,77 +274,21 @@ impl Cluster {
             .map(|sp| ShardedNode::new(sp.clone(), cfg.shards))
             .collect();
         for (j, input) in inputs.iter().enumerate() {
-            let mut indicator = vec![0u64; b];
-            let mut counts = vec![0u64; b];
-            let mut st = OwnerState {
-                sums: vec![vec![0; b]; n_attrs],
-                maxima: vec![vec![0; b]; n_attrs],
-            };
-            for (set_v, aggs) in &input.rows {
-                let cell = set_v
-                    .checked_sub(1)
-                    .filter(|&i| (i as usize) < b)
-                    .ok_or_else(|| ProtocolError::OutOfDomain {
-                        value: format!("owner {j}: {set_v}"),
-                    })? as usize;
-                indicator[cell] = 1;
-                counts[cell] += 1;
-                for (a, &v) in aggs.iter().enumerate() {
-                    st.sums[a][cell] = st.sums[a][cell].wrapping_add(v);
-                    st.maxima[a][cell] = st.maxima[a][cell].max(v);
-                }
-            }
-
-            let mut prg =
-                Prg::from_seed(cfg.seed ^ (0xA11CE + j as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            let ind = share_indicator(&indicator, op.delta, &mut prg);
-            let [s0, s1] = ind.shares;
-            nodes[0].store(j, Column::Ok, s0);
-            nodes[1].store(j, Column::Ok, s1);
-            if cfg.with_verification {
-                let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
-                let vperm = op.pf_db1.apply(&complement);
-                let v = share_indicator(&vperm, op.delta, &mut prg);
-                let [v0, v1] = v.shares;
-                nodes[0].store(j, Column::VOk, v0);
-                nodes[1].store(j, Column::VOk, v1);
-                let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
-                let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
-                let [a0, a1] = c1.shares;
-                let [b0, b1] = c2.shares;
-                nodes[0].store(j, Column::OkDb1, a0);
-                nodes[1].store(j, Column::OkDb1, a1);
-                nodes[0].store(j, Column::OkDb2, b0);
-                nodes[1].store(j, Column::OkDb2, b1);
-            }
-            if cfg.with_aggregation {
-                for a in 0..n_attrs {
-                    let p = share_payload(&st.sums[a], &op.field, &mut prg);
-                    for (k, sh) in p.shares.into_iter().enumerate() {
-                        nodes[k].store(j, Column::Agg(a as u8), sh);
-                    }
-                    if cfg.with_verification {
-                        let vp = share_payload(&op.pf_db1.apply(&st.sums[a]), &op.field, &mut prg);
-                        for (k, sh) in vp.shares.into_iter().enumerate() {
-                            nodes[k].store(j, Column::VAgg(a as u8), sh);
-                        }
-                    }
-                }
-                let c = share_payload(&counts, &op.field, &mut prg);
-                for (k, sh) in c.shares.into_iter().enumerate() {
-                    nodes[k].store(j, Column::AOk, sh);
-                }
-            }
-            owners.push(st);
+            let prg_seed = cfg.seed ^ (0xA11CE + j as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            owners.push(outsource_owner(
+                &mut nodes, op, &cfg, n_attrs, j, input, prg_seed,
+            )?);
         }
 
         Ok(Cluster {
             announcer: Announcer::new(setup.announcer.clone()),
+            cache: cfg.cache.then(PsiRoundCache::new),
             setup,
             cfg,
             owners,
             nodes,
             n_attrs,
+            updates: 0,
             poly_table: std::sync::OnceLock::new(),
         })
     }
@@ -264,8 +308,14 @@ impl Cluster {
         Cluster::build(&inputs, cfg)
     }
 
-    /// Attach a tampering behaviour to server φ (tests).
+    /// Attach a tampering behaviour to server φ (tests). A non-honest
+    /// server's rounds bypass the PSI-round cache (and its entries are
+    /// dropped), so failure injection behaves identically with the cache
+    /// on or off.
     pub fn set_tamper(&mut self, server: usize, t: Tamper) {
+        if let Some(cache) = &self.cache {
+            cache.note_tamper(server, t.is_honest());
+        }
         self.nodes[server].set_tamper(t);
     }
 
@@ -295,6 +345,69 @@ impl Cluster {
         self.n_attrs
     }
 
+    /// The cross-query PSI-round cache, when enabled (tests observe
+    /// hit/miss/invalidation counters and entry granularity through it).
+    pub fn cache(&self) -> Option<&PsiRoundCache> {
+        self.cache.as_ref()
+    }
+
+    /// Re-outsource one owner's entire relation (the owner updated their
+    /// database after Phase 1): rebuild the owner's plaintext tables,
+    /// re-share every configured column into the server nodes, and
+    /// refresh the owner-side state. Every server domain's store version
+    /// moves, so the PSI-round cache re-probes and drops the now-stale
+    /// entries before the next query — a stale PSI can never be served.
+    pub fn update_owner(&mut self, owner: usize, input: &OwnerInput) -> Result<()> {
+        if owner >= self.owners.len() {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "owner {owner} out of range ({} owners)",
+                self.owners.len()
+            )));
+        }
+        if input
+            .rows
+            .iter()
+            .any(|(_, aggs)| aggs.len() != self.n_attrs)
+        {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "owner {owner} update has rows with the wrong attribute count \
+                 (cluster has {} attributes)",
+                self.n_attrs
+            )));
+        }
+        self.updates += 1;
+        let prg_seed = self.cfg.seed
+            ^ (0xD1CE + owner as u64 + (self.updates << 20)).wrapping_mul(0x9E3779B97F4A7C15);
+        let st = outsource_owner(
+            &mut self.nodes,
+            &self.setup.owner,
+            &self.cfg,
+            self.n_attrs,
+            owner,
+            input,
+            prg_seed,
+        )?;
+        self.owners[owner] = st;
+        if let Some(cache) = &self.cache {
+            for server in 0..self.nodes.len() {
+                cache.note_upload(server);
+            }
+        }
+        Ok(())
+    }
+
+    /// Store one raw share column at one server (the low-level sibling of
+    /// [`Cluster::update_owner`], mirroring `NetCluster::upload`). Only
+    /// the touched server's cache entries are at stake: an upload to the
+    /// Shamir-only server leaves the additive servers' cached PSI rounds
+    /// valid.
+    pub fn store_column(&mut self, server: usize, owner: usize, column: Column, data: Vec<u64>) {
+        self.nodes[server].store(owner, column, data);
+        if let Some(cache) = &self.cache {
+            cache.note_upload(server);
+        }
+    }
+
     /// The shared F-table, if the aggregation domain is small enough to
     /// precompute.
     fn poly_table(&self) -> Option<&prism_core::PolyTable> {
@@ -310,9 +423,16 @@ impl Cluster {
 
     /// Execute any round plan against this deployment. This is the
     /// extension point for queries the named methods below don't cover —
-    /// see [`Operation`] for a worked example.
+    /// see [`Operation`] for a worked example. With
+    /// [`ClusterConfig::cache`] set, the backend is wrapped in the
+    /// PSI-round [`CachedExec`] decorator (state persists across calls).
     pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats)> {
-        let exec = ShardedExec::new(&self.nodes, &self.announcer);
+        let sharded = ShardedExec::new(&self.nodes, &self.announcer);
+        let cached = self.cache.as_ref().map(|c| CachedExec::new(&sharded, c));
+        let exec: &dyn ServerExec = match &cached {
+            Some(c) => c,
+            None => &sharded,
+        };
         Engine::new(&exec, &self.setup.owner)
             .with_threads(self.cfg.threads)
             .run(plan)
@@ -743,6 +863,70 @@ mod tests {
         assert_eq!(c.psi_verified().unwrap().1.rounds, 1);
         assert_eq!(c.psi_count_verified().unwrap().1.rounds, 1);
         assert_eq!(c.psi_sum_verified(0).unwrap().1.rounds, 2);
+    }
+
+    #[test]
+    fn cached_cluster_serves_repeat_psi_with_zero_rounds() {
+        let mut cfg = ClusterConfig::new(3).with_cache(true);
+        cfg.seed = 21;
+        cfg.agg_domain_max = 2000;
+        let c = Cluster::build(&hospitals(), cfg).unwrap();
+        let (cold, s1) = c.psi().unwrap();
+        assert_eq!(s1.rounds, 1);
+        assert_eq!(s1.cache_misses, 1);
+        let (warm, s2) = c.psi().unwrap();
+        assert_eq!(warm.fop, cold.fop, "cache changed the PSI result");
+        assert_eq!(s2.rounds, 0, "warm PSI must not touch the servers");
+        assert_eq!(s2.cache_hits, 1);
+        // The batch plan rides the same cached round 1.
+        let batch = QueryBatch::new().sum(0).avg(0);
+        let (_, s3) = c.psi_query_batch(&batch).unwrap();
+        assert_eq!(s3.rounds, 1, "warm batch pays only its round 2");
+        assert_eq!(s3.cache_hits, 1);
+    }
+
+    #[test]
+    fn update_owner_restores_the_cold_path_bit_identically() {
+        let mk = |cache| {
+            let mut cfg = ClusterConfig::new(3).with_cache(cache);
+            cfg.seed = 22;
+            cfg.agg_domain_max = 2000;
+            Cluster::build(&hospitals(), cfg).unwrap()
+        };
+        let mut cached = mk(true);
+        let mut oracle = mk(false);
+        let _ = cached.psi().unwrap(); // warm up
+        let update = OwnerInput {
+            rows: vec![(2, vec![40, 1]), (3, vec![60, 2])],
+        };
+        cached.update_owner(0, &update).unwrap();
+        oracle.update_owner(0, &update).unwrap();
+        let (got, stats) = cached.psi().unwrap();
+        let (want, oracle_stats) = oracle.psi().unwrap();
+        assert_eq!(got.fop, want.fop, "stale PSI served after an update");
+        assert_eq!(stats.rounds, oracle_stats.rounds, "cold path round count");
+        assert!(stats.cache_invalidations >= 1, "update must invalidate");
+        // Verified paths still work (and still bypass the cache).
+        let (_, vstats) = cached.psi_verified().unwrap();
+        assert_eq!(vstats.rounds, 1);
+        assert_eq!(vstats.cache_hits, 0);
+    }
+
+    #[test]
+    fn shamir_only_upload_keeps_additive_entries() {
+        let mut cfg = ClusterConfig::new(3).with_cache(true);
+        cfg.seed = 23;
+        cfg.agg_domain_max = 2000;
+        let mut c = Cluster::build(&hospitals(), cfg).unwrap();
+        let _ = c.psi().unwrap();
+        // Touch only server 2 (never part of a PSI round).
+        let data = vec![1u64, 2, 3];
+        c.store_column(2, 0, Column::VAgg(0), data);
+        let (_, stats) = c.psi().unwrap();
+        assert_eq!(
+            stats.cache_hits, 1,
+            "an upload to the Shamir-only server must not evict additive entries"
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub enum Column {
 /// This is the *entire* per-operation protocol knowledge on the server
 /// side; both the in-memory cluster and the networked one execute queries
 /// by naming one of these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryOp {
     /// Equation 3 round over OK.
     Psi,
@@ -116,7 +116,7 @@ impl QueryOp {
 
 /// One entry of a [`BatchQuery`]: an operation plus the index (into the
 /// batch's `zs`) of the auxiliary vector it consumes, if any.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BatchItem {
     /// The operation to evaluate.
     pub op: QueryOp,
@@ -171,6 +171,11 @@ pub enum ServerCmd {
         /// Worker threads the server should use.
         threads: u32,
     },
+    /// Probe the server's store version (see [`ColumnStore::version`]) —
+    /// a parameter-free, O(1) command the PSI-round cache
+    /// ([`crate::cache`]) uses to validate its entries without rerunning
+    /// any stored-column work.
+    Version,
 }
 
 /// A server's reply to one [`ServerCmd`].
@@ -204,6 +209,10 @@ pub enum ServerReply {
     },
     /// Output of a [`ServerCmd::AssembleFpos`].
     Fpos(Vec<Vec<u64>>),
+    /// Reply to [`ServerCmd::Version`]: the store's current monotonic
+    /// version. Never reaches a plan — only the caching decorator
+    /// ([`crate::cache::CachedExec`]) issues version probes.
+    Version(u64),
 }
 
 /// A request to the announcer (max/median only). The operand matrices are
@@ -246,6 +255,17 @@ pub struct QueryStats {
     /// 0 on unsharded backends, `shards × server-commands` when a
     /// sharded backend actually split a round (see [`crate::shard`]).
     pub shard_dispatches: u64,
+    /// Rounds this query served straight from the PSI-round cache (0
+    /// unless the backend is wrapped in [`crate::cache::CachedExec`]).
+    /// A served round is *not* counted in `rounds` — no owner↔server
+    /// round-trip happened.
+    pub cache_hits: u64,
+    /// Cache-eligible rounds this query had to execute for real (cold
+    /// cache, or an entry invalidated by an upload).
+    pub cache_misses: u64,
+    /// Cache entries dropped during this query because a store-version
+    /// probe or a tamper injection proved them stale.
+    pub cache_invalidations: u64,
 }
 
 impl QueryStats {
@@ -274,20 +294,40 @@ impl QueryStats {
     pub fn shard_dispatches(&self) -> u64 {
         self.shard_dispatches
     }
+
+    /// Rounds served straight from the PSI-round cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Cache-eligible rounds that executed for real.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Cache entries invalidated during this query.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache_invalidations
+    }
 }
 
 impl std::fmt::Display for QueryStats {
     /// One-line human summary, e.g.
-    /// `rounds=2 server=1.24ms owner=310.0µs announcer=0ns shard_dispatches=10`.
+    /// `rounds=2 server=1.24ms owner=310.0µs announcer=0ns shard_dispatches=10
+    /// cache_hits=0 cache_misses=1 cache_invalidations=0`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "rounds={} server={:?} owner={:?} announcer={:?} shard_dispatches={}",
+            "rounds={} server={:?} owner={:?} announcer={:?} shard_dispatches={} \
+             cache_hits={} cache_misses={} cache_invalidations={}",
             self.rounds,
             self.server_time,
             self.owner_time,
             self.announcer_time,
-            self.shard_dispatches
+            self.shard_dispatches,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations
         )
     }
 }
@@ -300,6 +340,13 @@ impl std::fmt::Display for QueryStats {
 pub struct ExecMeters {
     /// Shard sub-commands dispatched since the backend was built.
     pub shard_dispatches: u64,
+    /// Rounds served from the PSI-round cache since the backend was
+    /// built (only [`crate::cache::CachedExec`] reports these).
+    pub cache_hits: u64,
+    /// Cache-eligible rounds that executed for real.
+    pub cache_misses: u64,
+    /// Cache entries dropped as stale (version mismatch or tamper).
+    pub cache_invalidations: u64,
 }
 
 /// Per-owner share columns stored at one server (the owner uploads these
@@ -313,6 +360,12 @@ pub struct ColumnStore {
     a_ok: Vec<Vec<u64>>,
     agg: Vec<Vec<Vec<u64>>>,
     v_agg: Vec<Vec<Vec<u64>>>,
+    /// Monotonic store version: bumped by every [`ColumnStore::store`]
+    /// (so a bulk upload bumps once per column it carries). This is the
+    /// invalidation signal the cross-query PSI-round cache keys on — any
+    /// write moves the version, so a cached round stamped with an older
+    /// version can never be served again.
+    version: u64,
 }
 
 impl ColumnStore {
@@ -334,13 +387,20 @@ impl ColumnStore {
         }
     }
 
-    /// Store one owner's share vector for `column`.
+    /// Store one owner's share vector for `column`, bumping the store
+    /// version.
     pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
         let slot = self.slot(column);
         if slot.len() <= owner {
             slot.resize(owner + 1, Vec::new());
         }
         slot[owner] = data;
+        self.version += 1;
+    }
+
+    /// The store's monotonic version (0 = nothing ever stored).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     fn col(&self, column: Column) -> &[Vec<u64>] {
@@ -410,9 +470,14 @@ impl ServerNode {
         self.tamper = tamper;
     }
 
-    /// Phase 1: store one owner's share column.
+    /// Phase 1: store one owner's share column (bumps the store version).
     pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
         self.store.store(owner, column, data);
+    }
+
+    /// The node's monotonic store version (see [`ColumnStore::version`]).
+    pub fn version(&self) -> u64 {
+        self.store.version()
     }
 
     fn copy_column(&self, which: u8) -> Result<Column> {
@@ -535,6 +600,7 @@ impl ServerNode {
                     (*threads).max(1) as usize,
                 )?))
             }
+            ServerCmd::Version => Ok(ServerReply::Version(self.version())),
         }
     }
 }
@@ -824,15 +890,33 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
 
     /// Issue one owner↔server round. If the round carried wide receipts,
     /// their (cross-checked) sequence number is recorded for the
-    /// following [`Ctx::announce`].
+    /// following [`Ctx::announce`]. A round the backend served entirely
+    /// from its PSI-round cache (see [`crate::cache::CachedExec`]) is
+    /// *not* counted in [`QueryStats::rounds`] — no owner↔server
+    /// round-trip happened — and lands in
+    /// [`QueryStats::cache_hits`] instead.
+    ///
+    /// Like `shard_dispatches`, the cache counters are attributed by
+    /// sampling the backend's *cumulative* [`ExecMeters`] around the
+    /// round, so per-query numbers are exact for queries issued
+    /// sequentially on a backend; interleaved concurrent queries on one
+    /// shared backend can attribute a delta to the wrong query's stats
+    /// (results are unaffected — the cumulative meters stay correct).
     pub fn round(&mut self, cmds: Vec<(usize, ServerCmd)>) -> Result<Vec<ServerReply>> {
-        self.stats.rounds += 1;
         let before = self.exec.meters();
         let (replies, cost) = self.exec.round(cmds)?;
+        let after = self.exec.meters();
+        let hits = after.cache_hits.saturating_sub(before.cache_hits);
+        self.stats.cache_hits += hits;
+        self.stats.cache_misses += after.cache_misses.saturating_sub(before.cache_misses);
+        self.stats.cache_invalidations += after
+            .cache_invalidations
+            .saturating_sub(before.cache_invalidations);
+        if hits == 0 {
+            self.stats.rounds += 1;
+        }
         self.stats.server_time += cost;
-        self.stats.shard_dispatches += self
-            .exec
-            .meters()
+        self.stats.shard_dispatches += after
             .shard_dispatches
             .saturating_sub(before.shard_dispatches);
         let mut round_seq = None;

@@ -29,6 +29,7 @@
 
 pub mod average;
 pub mod bucket;
+pub mod cache;
 pub mod chunk;
 pub mod count;
 pub mod driver;
@@ -46,6 +47,7 @@ pub mod shard;
 pub mod sum;
 pub mod tables;
 
+pub use cache::{CachedExec, PsiRoundCache};
 pub use engine::{Engine, ExecMeters, Operation, QueryStats, ServerExec, ServerNode};
 pub use error::{ProtocolError, Result};
 pub use params::{

@@ -42,7 +42,7 @@ const SHAMIR: [usize; 3] = [0, 1, 2];
 pub const DEFAULT_CELL_CHUNK: usize = 1 << 16;
 
 /// PSI outcome: the combined Equation-4 vector plus its decodes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PsiOutcome {
     /// Raw combined vector (Equation 4).
     pub fop: Vec<u64>,

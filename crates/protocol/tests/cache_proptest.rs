@@ -1,0 +1,151 @@
+//! Staleness property: under **any** interleaving of owner uploads and
+//! queries, the cross-query PSI-round cache never serves a stale reply —
+//! a cached cluster and an uncached oracle cluster replaying the same
+//! action sequence must agree on every query result, bit for bit.
+//!
+//! The test also pins the cache's observable behaviour along the way:
+//! a repeat eligible query with no upload in between is a hit with zero
+//! counted rounds; any `update_owner` in between forces the cold path
+//! (and its round count) back, via a version-probe invalidation.
+
+use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput, QueryStats};
+use prism_protocol::QueryBatch;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const DOMAIN: usize = 12;
+const OWNERS: usize = 3;
+
+/// One step of the interleaving.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Re-outsource one owner's relation (rows derived from a seed).
+    Update { owner: usize, seed: u64 },
+    /// Plain PSI (round 1 is cache-eligible).
+    Psi,
+    /// PSI count (its own eligible round key).
+    Count,
+    /// PSI sum (cached round 1 + fresh round 2).
+    Sum,
+    /// Batched aggregations over one PSI.
+    Batch,
+}
+
+fn action(sel: u8, owner: u8, seed: u64) -> Action {
+    match sel % 8 {
+        0 | 1 => Action::Update {
+            owner: owner as usize % OWNERS,
+            seed,
+        },
+        2 | 3 => Action::Psi,
+        4 => Action::Count,
+        5 | 6 => Action::Sum,
+        _ => Action::Batch,
+    }
+}
+
+/// Deterministic owner relation from a seed: a handful of rows over the
+/// domain with one aggregation attribute.
+fn rows_from_seed(owner: usize, seed: u64) -> OwnerInput {
+    let mut rows = Vec::new();
+    let mut x = seed ^ (owner as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for _ in 0..6 {
+        // xorshift64
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rows.push((x % DOMAIN as u64 + 1, vec![x % 97]));
+    }
+    OwnerInput { rows }
+}
+
+fn build(cache: bool, seed: u64) -> Cluster {
+    let inputs: Vec<OwnerInput> = (0..OWNERS).map(|j| rows_from_seed(j, seed)).collect();
+    let mut cfg = ClusterConfig::new(DOMAIN).with_cache(cache);
+    cfg.seed = seed;
+    cfg.agg_domain_max = 2000;
+    Cluster::build(&inputs, cfg).unwrap()
+}
+
+/// Run one query on both clusters, compare results, and return the
+/// cached cluster's stats.
+fn step(cached: &Cluster, oracle: &Cluster, a: &Action) -> (QueryStats, usize) {
+    match a {
+        Action::Psi => {
+            let (got, stats) = cached.psi().unwrap();
+            let (want, oracle_stats) = oracle.psi().unwrap();
+            assert_eq!(got.fop, want.fop, "stale PSI served");
+            (stats, oracle_stats.rounds)
+        }
+        Action::Count => {
+            let (got, stats) = cached.psi_count().unwrap();
+            let (want, oracle_stats) = oracle.psi_count().unwrap();
+            assert_eq!(got, want, "stale count served");
+            (stats, oracle_stats.rounds)
+        }
+        Action::Sum => {
+            let (got, stats) = cached.psi_sum(0).unwrap();
+            let (want, oracle_stats) = oracle.psi_sum(0).unwrap();
+            assert_eq!(got, want, "stale sum served");
+            (stats, oracle_stats.rounds)
+        }
+        Action::Batch => {
+            let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+            let (got, stats) = cached.psi_query_batch(&batch).unwrap();
+            let (want, oracle_stats) = oracle.psi_query_batch(&batch).unwrap();
+            assert_eq!(got, want, "stale batch served");
+            (stats, oracle_stats.rounds)
+        }
+        Action::Update { .. } => unreachable!("updates are handled by the caller"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_uploads_never_serve_a_stale_psi(
+        base_seed in 1u64..1_000_000,
+        raw in vec((any::<u8>(), any::<u8>(), any::<u64>()), 1..14),
+    ) {
+        let mut cached = build(true, base_seed);
+        let mut oracle = build(false, base_seed);
+        // Which eligible round keys are warm right now: [Psi] is shared
+        // by Psi/Sum/Batch, [Count] is Count's own.
+        let (mut psi_warm, mut count_warm) = (false, false);
+        for (sel, owner, seed) in raw {
+            let a = action(sel, owner, seed);
+            match a {
+                Action::Update { owner, seed } => {
+                    let input = rows_from_seed(owner, seed ^ 0xFEED);
+                    cached.update_owner(owner, &input).unwrap();
+                    oracle.update_owner(owner, &input).unwrap();
+                    psi_warm = false;
+                    count_warm = false;
+                }
+                ref q => {
+                    let warm = match q {
+                        Action::Count => &mut count_warm,
+                        _ => &mut psi_warm,
+                    };
+                    let (stats, oracle_rounds) = step(&cached, &oracle, q);
+                    if *warm {
+                        prop_assert_eq!(stats.cache_hits, 1, "expected a warm hit for {:?}", q);
+                        prop_assert_eq!(
+                            stats.rounds, oracle_rounds - 1,
+                            "a warm round-1 must not be counted"
+                        );
+                    } else {
+                        prop_assert_eq!(stats.cache_hits, 0, "unexpected hit for {:?}", q);
+                        prop_assert_eq!(
+                            stats.rounds, oracle_rounds,
+                            "cold path round count must match the oracle"
+                        );
+                        prop_assert_eq!(stats.cache_misses, 1);
+                    }
+                    *warm = true;
+                }
+            }
+        }
+    }
+}

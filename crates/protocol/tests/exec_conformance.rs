@@ -22,6 +22,7 @@
 
 use prism_core::Prg;
 use prism_net::NetCluster;
+use prism_protocol::cache::{CachedExec, PsiRoundCache};
 use prism_protocol::engine::{
     Announcer, Column, Engine, InMemoryExec, Operation, ServerExec, ServerNode,
 };
@@ -361,6 +362,118 @@ fn verdicts(exec: &dyn ServerExec, fx: &Fixture) -> Verdicts {
     }
 }
 
+/// Run `plan` through a **fresh** PSI-round cache twice (cold, then
+/// warm): the cold pass must be indistinguishable from the bare backend,
+/// the warm pass must return the identical output, and both passes'
+/// round counts are reported so the caller can pin the savings.
+fn run_plan_cached<P: Operation>(
+    exec: &dyn ServerExec,
+    op: &OwnerParams,
+    plan: &P,
+    tampers: &[(usize, Tamper)],
+    cold_rounds: &mut Vec<usize>,
+    warm_rounds: &mut Vec<usize>,
+) -> P::Output
+where
+    P::Output: PartialEq + std::fmt::Debug,
+{
+    let cache = PsiRoundCache::new();
+    for &(s, t) in tampers {
+        cache.note_tamper(s, t == Tamper::Honest);
+    }
+    let cexec = CachedExec::new(exec, &cache);
+    let (cold, s1) = Engine::new(&cexec, op).run(plan).unwrap();
+    let (warm, s2) = Engine::new(&cexec, op).run(plan).unwrap();
+    assert_eq!(warm, cold, "warm pass diverged from the cold pass");
+    cold_rounds.push(s1.rounds());
+    warm_rounds.push(s2.rounds());
+    cold
+}
+
+/// The honest operation surface with every plan run through the cache
+/// decorator (fresh cache per plan, two passes each). Returns the cold
+/// surface plus the warm passes' round counts.
+fn cached_surface(exec: &dyn ServerExec, fx: &Fixture) -> (Surface, Vec<usize>) {
+    let op = &fx.setup.owner;
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    let none: &[(usize, Tamper)] = &[];
+    let psi = run_plan_cached(exec, op, &plans::Psi, none, &mut cold, &mut warm).fop;
+    let psi_verified =
+        run_plan_cached(exec, op, &plans::PsiVerified, none, &mut cold, &mut warm).fop;
+    let psu = run_plan_cached(exec, op, &plans::Psu, none, &mut cold, &mut warm);
+    let psu_verified = run_plan_cached(exec, op, &plans::PsuVerified, none, &mut cold, &mut warm);
+    let count = run_plan_cached(exec, op, &plans::Count, none, &mut cold, &mut warm);
+    let count_verified =
+        run_plan_cached(exec, op, &plans::CountVerified, none, &mut cold, &mut warm);
+    let sum = run_plan_cached(
+        exec,
+        op,
+        &plans::Sum { attr: 0, seed: 11 },
+        none,
+        &mut cold,
+        &mut warm,
+    );
+    let sum_verified = run_plan_cached(
+        exec,
+        op,
+        &plans::SumVerified { attr: 0, seed: 12 },
+        none,
+        &mut cold,
+        &mut warm,
+    );
+    let avg = run_plan_cached(
+        exec,
+        op,
+        &plans::Average { attr: 0, seed: 13 },
+        none,
+        &mut cold,
+        &mut warm,
+    )
+    .iter()
+    .map(|c| (c.sum, c.count))
+    .collect();
+    let qb = QueryBatch::new().sum(0).avg(0).count_tuples();
+    let batch = run_plan_cached(
+        exec,
+        op,
+        &plans::Batch {
+            batch: &qb,
+            seed: 14,
+        },
+        none,
+        &mut cold,
+        &mut warm,
+    );
+    let max = run_plan_cached(exec, op, &max_plan(fx), none, &mut cold, &mut warm);
+    let median = median_rows(run_plan_cached(
+        exec,
+        op,
+        &median_plan(fx),
+        none,
+        &mut cold,
+        &mut warm,
+    ));
+    (
+        Surface {
+            psi,
+            psi_verified,
+            psu,
+            psu_verified,
+            count,
+            count_verified,
+            sum,
+            sum_verified,
+            avg,
+            batch,
+            max,
+            median,
+            rounds: cold,
+        },
+        warm,
+    )
+}
+
 #[test]
 fn every_operation_bit_identical_on_every_backend() {
     let fx = fixture();
@@ -375,6 +488,59 @@ fn every_operation_bit_identical_on_every_backend() {
     for backend in all_backends() {
         let got = backend.run(&fx, &[], AnnouncerTamper::Honest, |e| surface(e, &fx));
         assert_eq!(got, reference, "{backend:?} diverged from InMemoryExec");
+    }
+}
+
+/// The cache decorator must be invisible on a cold cache (results and
+/// round counts bit-identical to the bare backend) and strictly cheaper
+/// on a warm one — on every backend, every shard count.
+#[test]
+fn cache_decorator_invisible_cold_and_strictly_cheaper_warm() {
+    let fx = fixture();
+    let reference = Backend::InMemory.run(&fx, &[], AnnouncerTamper::Honest, |e| surface(e, &fx));
+    // Warm round budget: the cache-eligible operations (plain PSI/PSU/
+    // count round 1) each save exactly one round; the verified
+    // operations always hit the servers and save nothing.
+    let expected_warm = vec![0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 2, 1];
+    for backend in all_backends() {
+        let (cold, warm) = backend.run(&fx, &[], AnnouncerTamper::Honest, |e| {
+            cached_surface(e, &fx)
+        });
+        assert_eq!(
+            cold, reference,
+            "{backend:?} cold cache diverged from the bare backend"
+        );
+        assert_eq!(
+            warm, expected_warm,
+            "{backend:?} warm cache round budget diverged"
+        );
+    }
+}
+
+/// Tampered rounds bypass the cache: the failure-injection verdicts must
+/// be identical with the decorator on (cold *and* warm) and off.
+#[test]
+fn cache_decorator_preserves_tamper_verdicts_on_every_backend() {
+    let fx = fixture();
+    let tamper = Tamper::InjectFake { cell: 2, seed: 9 };
+    let tampers = [(0usize, tamper)];
+    let reference =
+        Backend::InMemory.run(&fx, &tampers, AnnouncerTamper::Honest, |e| verdicts(e, &fx));
+    assert!(reference.psi_verified.is_err(), "tamper must bite");
+    for backend in all_backends() {
+        let got = backend.run(&fx, &tampers, AnnouncerTamper::Honest, |e| {
+            let cache = PsiRoundCache::new();
+            for &(s, t) in &tampers {
+                cache.note_tamper(s, t == Tamper::Honest);
+            }
+            let cexec = CachedExec::new(e, &cache);
+            let cold = verdicts(&cexec, &fx);
+            let warm = verdicts(&cexec, &fx);
+            assert_eq!(warm, cold, "{backend:?} warm tampered verdicts diverged");
+            assert_eq!(cache.hits(), 0, "{backend:?} served a tampered round");
+            cold
+        });
+        assert_eq!(got, reference, "{backend:?} cached verdicts diverged");
     }
 }
 

@@ -126,6 +126,15 @@ pub fn shard_counts() -> Vec<usize> {
     vec![1, 2, 4, 8]
 }
 
+/// PSI-round cache sweep: the fixed `(domain, owners, warm_reps)`
+/// config — 1M OK cells regardless of scale, so `BENCH_cache.json`
+/// stays comparable across runs and machines (the warm/cold ratio is
+/// the tracked number, and it only means anything at a domain size
+/// where round 1 actually costs something).
+pub fn cache_bench() -> (u64, usize, usize) {
+    (1_000_000, 4, 3)
+}
+
 /// Networked max/median smoke bench: the fixed `(domain, owners)` config
 /// driving the announcer-as-a-fourth-node deployment on both transports —
 /// sized so `just bench-smoke` stays in seconds while still pushing a few

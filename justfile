@@ -38,9 +38,13 @@ bench-check:
 # `shard` experiment sweeps shard counts {1,2,4,8} on the 1M-cell config
 # and writes BENCH_shard.json; `netmax` runs max/median over the networked
 # deployment (channel + TCP, announcer as a fourth node) and writes
-# BENCH_netmax.json (both uploaded as CI artifacts).
+# BENCH_netmax.json; `cache` runs the repeat-query PSI-round cache sweep
+# and writes BENCH_cache.json — the sweep *asserts* at least one cache
+# hit, so a cache regression fails the smoke run (all three JSONs are
+# uploaded as CI artifacts).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache --scale small
+    grep -q '"total_cache_hits": [1-9]' BENCH_cache.json
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:

@@ -504,6 +504,89 @@ fn inmemory_announcer_tampers_detected_like_the_wire() {
     assert_eq!(c.psi_max(0).unwrap().0, honest);
 }
 
+// ---------------------------------------------------------------------
+// Cache × tamper interaction: the cross-query PSI-round cache must not
+// weaken detection in either direction — a tamper injected after
+// warm-up is still detected, and a tampered round is never cached (so
+// restored honesty never replays tampered data).
+// ---------------------------------------------------------------------
+
+fn cached_cluster(seed: u64) -> Cluster {
+    let inputs: Vec<OwnerInput> = fixture_rows()
+        .iter()
+        .map(|r| OwnerInput::from_pairs(r.iter().copied()))
+        .collect();
+    let mut cfg = ClusterConfig::new(DOMAIN).with_cache(true);
+    cfg.seed = seed;
+    cfg.agg_domain_max = 2000;
+    Cluster::build(&inputs, cfg).unwrap()
+}
+
+#[test]
+fn tamper_after_warmup_still_detected_with_cache() {
+    let mut c = cached_cluster(1400);
+    // Warm the cache thoroughly: the plain PSI round is now cached.
+    let honest = c.psi().unwrap().0;
+    assert_eq!(c.psi().unwrap().1.cache_hits, 1, "cache not warm");
+    assert!(c.psi_verified().is_ok());
+    for t in all_tampers() {
+        c.set_tamper(0, t);
+        // Verified paths bypass the cache, so the tamper must bite
+        // exactly as it does uncached.
+        assert!(
+            c.psi_verified().is_err(),
+            "{t:?} escaped PSI verification behind a warm cache"
+        );
+        // The plain path must re-execute (the warm entry was dropped),
+        // returning the *tampered* data an uncached cluster would.
+        let (tampered, stats) = c.psi().unwrap();
+        assert_eq!(
+            stats.cache_hits, 0,
+            "{t:?}: tampered round served from cache"
+        );
+        let mut oracle = cluster(1400);
+        oracle.set_tamper(0, t);
+        assert_eq!(
+            tampered.fop,
+            oracle.psi().unwrap().0.fop,
+            "{t:?}: cache masked the tamper on the unverified path"
+        );
+        c.set_tamper(0, Tamper::Honest);
+    }
+    // Honesty restored: the cache must not replay any tampered round.
+    let (restored, stats) = c.psi().unwrap();
+    assert_eq!(stats.cache_hits, 0, "tampered-era round was cached");
+    assert_eq!(restored.fop, honest.fop);
+    // And the next repeat is a hit again.
+    assert_eq!(c.psi().unwrap().1.cache_hits, 1);
+}
+
+#[test]
+fn net_tamper_after_warmup_still_detected_with_cache() {
+    let mut c = net_cluster(1500);
+    c.enable_cache();
+    let honest = c.psi().unwrap();
+    assert_eq!(c.psi().unwrap(), honest, "warm repeat diverged");
+    let t = Tamper::InjectFake { cell: 3, seed: 4 };
+    c.set_tamper(0, t).unwrap();
+    assert!(
+        c.psi_verified().is_err(),
+        "tamper escaped verification behind a warm net cache"
+    );
+    let tampered = c.psi().unwrap();
+    assert_ne!(tampered, honest, "tamper did not bite the plain path");
+    c.set_tamper(0, Tamper::Honest).unwrap();
+    assert_eq!(
+        c.psi().unwrap(),
+        honest,
+        "tampered round outlived the tamper"
+    );
+    let report = c.report();
+    assert!(report.cache_hits >= 1, "repeat queries never hit");
+    assert!(report.cache_invalidations >= 1, "tamper never invalidated");
+    c.shutdown().unwrap();
+}
+
 #[test]
 fn net_honest_runs_never_flagged() {
     for seed in 0..3 {
