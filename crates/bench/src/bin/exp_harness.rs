@@ -1,9 +1,10 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|all]
 //!             [--scale small|medium|full] [--seed N]
 //!             [--shard-json PATH] [--netmax-json PATH] [--cache-json PATH]
+//!             [--serve-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
@@ -17,9 +18,15 @@
 //! networked deployment (channel + TCP, announcer as a fourth node) and
 //! writes `BENCH_netmax.json`. `cache` measures repeat-query latency
 //! through the cross-query PSI-round cache (asserting the warm passes
-//! actually hit) and writes `BENCH_cache.json`.
+//! actually hit) and writes `BENCH_cache.json`. `serve` drives the
+//! session multiplexer with N ∈ {1, 4, 16} concurrent query streams over
+//! one cluster (same total work per row, so N = 1 is the serial
+//! baseline), records per-query p50/p99 latency and queries/sec, and
+//! writes `BENCH_serve.json`.
 
-use prism_bench::{cacheexp, exp1, exp2, exp3, exp4, netmax, shardexp, sharegen, table13};
+use prism_bench::{
+    cacheexp, exp1, exp2, exp3, exp4, netmax, serveexp, shardexp, sharegen, table13,
+};
 use prism_workload::configs::{self, Scale};
 
 struct Args {
@@ -29,6 +36,7 @@ struct Args {
     shard_json: std::path::PathBuf,
     netmax_json: std::path::PathBuf,
     cache_json: std::path::PathBuf,
+    serve_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +46,7 @@ fn parse_args() -> Args {
     let mut shard_json = std::path::PathBuf::from("BENCH_shard.json");
     let mut netmax_json = std::path::PathBuf::from("BENCH_netmax.json");
     let mut cache_json = std::path::PathBuf::from("BENCH_cache.json");
+    let mut serve_json = std::path::PathBuf::from("BENCH_serve.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -72,12 +81,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--serve-json" => {
+                serve_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--serve-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exp_harness \
-                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|all]* \
+                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|all]* \
                      [--scale small|medium|full] [--seed N] [--shard-json PATH] \
-                     [--netmax-json PATH] [--cache-json PATH]"
+                     [--netmax-json PATH] [--cache-json PATH] [--serve-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +109,7 @@ fn parse_args() -> Args {
         shard_json,
         netmax_json,
         cache_json,
+        serve_json,
     }
 }
 
@@ -168,6 +184,15 @@ fn main() {
         match netmax::write_json(&args.netmax_json, domain, owners, &rows) {
             Ok(()) => println!("wrote {}", args.netmax_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.netmax_json.display()),
+        }
+    }
+    if wants("serve") {
+        let (domain, owners, streams, total_queries) = configs::serve_bench();
+        let rows = serveexp::run(domain, owners, &streams, total_queries, seed);
+        serveexp::print(domain, owners, &rows);
+        match serveexp::write_json(&args.serve_json, domain, owners, &rows) {
+            Ok(()) => println!("wrote {}", args.serve_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.serve_json.display()),
         }
     }
 }

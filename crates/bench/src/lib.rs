@@ -13,6 +13,7 @@
 //! | [`sharegen`] | §8.1 share-generation times |
 //! | [`shardexp`] | sharded-domain scaling (PSI/sum vs shard count, `BENCH_shard.json`) |
 //! | [`cacheexp`] | cross-query PSI-round cache sweep (repeat-query latency, `BENCH_cache.json`) |
+//! | [`serveexp`] | concurrent serving through the session multiplexer (latency/throughput, `BENCH_serve.json`) |
 //!
 //! The `exp_harness` binary drives them at `--scale small|medium|full`;
 //! the Criterion benches under `benches/` track the same code paths at
@@ -29,6 +30,7 @@ pub mod exp3;
 pub mod exp4;
 pub mod netmax;
 pub mod report;
+pub mod serveexp;
 pub mod shardexp;
 pub mod sharegen;
 pub mod table13;

@@ -36,12 +36,14 @@
 //! tamper × operation verification matrix (server *and* announcer
 //! tampers).
 
+use crate::mux::{Admission, MuxLink, Pending, QueryId};
 use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
 use crate::wire::{Column, Message};
+use parking_lot::RwLock;
 use prism_protocol::cache::{CachedExec, PsiRoundCache};
 use prism_protocol::engine::{
     Announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Engine, ExecMeters, Operation, QueryStats,
-    ServerCmd, ServerExec, ServerNode, ServerReply,
+    RoundOutcome, ServerCmd, ServerExec, ServerNode, ServerReply,
 };
 use prism_protocol::malicious::{AnnouncerTamper, Tamper};
 use prism_protocol::max::MaxCell;
@@ -57,6 +59,17 @@ use std::time::{Duration, Instant};
 
 use std::thread::JoinHandle;
 
+/// Answer the owner side: tagged when the request carried a query
+/// envelope (the reply must route back through the owner's multiplexer to
+/// that query's slot), plain otherwise.
+fn reply(link: &dyn Link, tag: Option<u64>, msg: Message) -> Result<(), NetError> {
+    let msg = match tag {
+        Some(t) => msg.tagged(t),
+        None => msg,
+    };
+    link.send(&msg)
+}
+
 /// Execute one wide command (max/median round) on `node` and answer the
 /// owner: a combined matrix goes to the announcer over the dedicated
 /// server→announcer link and the owner gets the shape receipt; an fpos
@@ -66,10 +79,18 @@ use std::thread::JoinHandle;
 /// the plans' shape checks turn into a protocol error at the owner
 /// (servers are malicious in this threat model; they must not panic or
 /// hang the owner).
+///
+/// Ordering matters under concurrency: the `WideUpload` is sent *before*
+/// the owner's receipt, so by the time any owner can quote `seq` in an
+/// `AnnounceRun`, that round's uploads are already in flight on the
+/// server→announcer edges — the announcer's drain can never wait on an
+/// upload that was not yet sent. The upload itself stays untagged: its
+/// `seq` (not a `QueryId`) is what pairs it at the announcer.
 fn run_wide(
     node: &ServerNode,
     cmd: ServerCmd,
     seq: u64,
+    tag: Option<u64>,
     owner_link: &dyn Link,
     announcer: Option<&dyn Link>,
 ) -> Result<(), NetError> {
@@ -78,7 +99,7 @@ fn run_wide(
             Ok(ServerReply::Fpos(f)) => f,
             _ => Vec::new(),
         };
-        return owner_link.send(&Message::Fpos(outs));
+        return reply(owner_link, tag, Message::Fpos(outs));
     }
     match (node.execute(&cmd), announcer) {
         (Ok(ServerReply::Wide(w)), Some(ann)) => {
@@ -88,13 +109,28 @@ fn run_wide(
                 seq,
                 shares: w,
             })?;
-            owner_link.send(&Message::WideForwarded { rows, width, seq })
+            reply(owner_link, tag, Message::WideForwarded { rows, width, seq })
         }
-        _ => owner_link.send(&Message::WideForwarded {
-            rows: 0,
-            width: 0,
-            seq,
-        }),
+        _ => reply(
+            owner_link,
+            tag,
+            Message::WideForwarded {
+                rows: 0,
+                width: 0,
+                seq,
+            },
+        ),
+    }
+}
+
+/// Run a stored-column batch on a node, flattening failures to the empty
+/// output list (the engine's reply-shape check rejects it as a
+/// `MalformedResponse` at the owner — servers are malicious in this
+/// threat model and must not panic or hang the owner).
+fn run_batch_on(node: &ServerNode, batch: BatchQuery) -> Vec<Vec<u64>> {
+    match node.execute(&ServerCmd::Run(batch)) {
+        Ok(ServerReply::Vectors(outs)) => outs,
+        _ => Vec::new(),
     }
 }
 
@@ -106,84 +142,129 @@ fn run_wide(
 /// server→announcer `announcer` link for the wide (max/median) rounds;
 /// shard workers behind a router hold `None` — their router fronts the
 /// announcer edge for the whole domain.
+///
+/// **Concurrency.** Query rounds (`RunBatch`, `ShardRun`, the wide
+/// commands) are served on spawned worker threads holding a read lock on
+/// the node, so N queries multiplexed over this link compute in
+/// parallel; each reply carries the request's query tag, and the owner's
+/// per-link pump routes it to the right query. Store mutations (uploads,
+/// tamper control) take the write lock inline on the serving thread —
+/// the link's receive order is the linearization point, exactly as it
+/// was when the whole loop was sequential.
 fn server_loop(
     params: ServerParams,
     link: Box<dyn Link>,
     announcer: Option<Box<dyn Link>>,
 ) -> Result<(), NetError> {
-    let mut node = ServerNode::new(params);
-    let run = |node: &ServerNode, batch: BatchQuery| -> Vec<Vec<u64>> {
-        match node.execute(&ServerCmd::Run(batch)) {
-            Ok(ServerReply::Vectors(outs)) => outs,
-            // Protocol errors are reported as empty output lists; the
-            // engine's reply-shape check rejects them as a
-            // MalformedResponse at the owner.
-            _ => Vec::new(),
-        }
-    };
+    let link: Arc<dyn Link> = Arc::from(link);
+    let announcer: Option<Arc<dyn Link>> = announcer.map(Arc::from);
+    let node = Arc::new(RwLock::new(ServerNode::new(params)));
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
     loop {
-        match link.recv()? {
+        let (tag, msg) = link.recv()?.untag();
+        match msg {
             Message::Upload {
                 owner,
                 column,
                 data,
             } => {
-                node.store(owner as usize, column, data);
-                link.send(&Message::Ack)?;
+                node.write().store(owner as usize, column, data);
+                reply(link.as_ref(), tag, Message::Ack)?;
             }
             Message::BulkUpload { owner, columns } => {
+                let mut node = node.write();
                 for (column, data) in columns {
                     node.store(owner as usize, column, data);
                 }
-                link.send(&Message::Ack)?;
+                drop(node);
+                reply(link.as_ref(), tag, Message::Ack)?;
             }
             Message::SetTamper(t) => {
-                node.set_tamper(t);
-                link.send(&Message::Ack)?;
-            }
-            Message::RunBatch(batch) => {
-                let outs = run(&node, batch);
-                link.send(&Message::Outputs(outs))?;
-            }
-            Message::ShardRun { shard, batch } => {
-                let outputs = run(&node, batch);
-                link.send(&Message::ShardOutputs { shard, outputs })?;
+                node.write().set_tamper(t);
+                reply(link.as_ref(), tag, Message::Ack)?;
             }
             Message::VersionProbe => {
-                link.send(&Message::Version(node.version()))?;
+                let v = node.read().version();
+                reply(link.as_ref(), tag, Message::Version(v))?;
+            }
+            Message::RunBatch(batch) => {
+                let node = Arc::clone(&node);
+                let link = Arc::clone(&link);
+                workers.push(std::thread::spawn(move || {
+                    let outs = run_batch_on(&node.read(), batch);
+                    let _ = reply(link.as_ref(), tag, Message::Outputs(outs));
+                }));
+            }
+            Message::ShardRun { shard, batch } => {
+                let node = Arc::clone(&node);
+                let link = Arc::clone(&link);
+                workers.push(std::thread::spawn(move || {
+                    let outputs = run_batch_on(&node.read(), batch);
+                    let _ = reply(link.as_ref(), tag, Message::ShardOutputs { shard, outputs });
+                }));
             }
             Message::MaxCombine {
                 uploads,
                 threads,
                 seq,
             } => {
-                run_wide(
-                    &node,
-                    ServerCmd::MaxCombine { uploads, threads },
-                    seq,
-                    link.as_ref(),
-                    announcer.as_deref(),
-                )?;
+                let node = Arc::clone(&node);
+                let link = Arc::clone(&link);
+                let ann = announcer.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = run_wide(
+                        &node.read(),
+                        ServerCmd::MaxCombine { uploads, threads },
+                        seq,
+                        tag,
+                        link.as_ref(),
+                        ann.as_deref(),
+                    );
+                }));
             }
             Message::AssembleFpos { claims, threads } => {
-                run_wide(
-                    &node,
-                    ServerCmd::AssembleFpos { claims, threads },
-                    0,
-                    link.as_ref(),
-                    announcer.as_deref(),
-                )?;
+                let node = Arc::clone(&node);
+                let link = Arc::clone(&link);
+                let ann = announcer.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = run_wide(
+                        &node.read(),
+                        ServerCmd::AssembleFpos { claims, threads },
+                        0,
+                        tag,
+                        link.as_ref(),
+                        ann.as_deref(),
+                    );
+                }));
             }
-            Message::Shutdown => return Ok(()),
+            Message::Shutdown => {
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                return Ok(());
+            }
             _ => {
                 // Reply-direction messages; ignore defensively.
             }
         }
+        workers.retain(|h| !h.is_finished());
     }
 }
 
-/// Fan one batch out across the shard links and merge the rows back.
-/// Any shard-side failure funnels to `None`; the router reports it as an
+/// Collect one `Ack` per pending shard round-trip.
+fn collect_acks(pendings: Vec<Pending>) -> Result<(), NetError> {
+    for p in pendings {
+        match p.recv()? {
+            Message::Ack => {}
+            _ => return Err(NetError::Disconnected),
+        }
+    }
+    Ok(())
+}
+
+/// Fan one batch out across the shard links and merge the rows back,
+/// correlating the round-trips with the router-local id `corr`. Any
+/// shard-side failure funnels to `None`; the router reports it as an
 /// empty output list, which the engine's reply-shape check turns into a
 /// `MalformedResponse` at the owner (servers are malicious in this threat
 /// model — a broken shard must not panic the owner).
@@ -192,19 +273,26 @@ fn route_batch(
     params: &ServerParams,
     tamper: &Tamper,
     batch: &BatchQuery,
-    shard_links: &[Box<dyn Link>],
+    shard_links: &[Arc<MuxLink>],
+    corr: u64,
 ) -> Option<Vec<Vec<u64>>> {
     let subs = plan.split_batch(batch).ok()?;
+    let mut pendings = Vec::with_capacity(shard_links.len());
     for (i, (sub, link)) in subs.into_iter().zip(shard_links).enumerate() {
-        link.send(&Message::ShardRun {
-            shard: i as u32,
-            batch: sub,
-        })
+        let pending = link.begin(corr).ok()?;
+        link.send(
+            corr,
+            Message::ShardRun {
+                shard: i as u32,
+                batch: sub,
+            },
+        )
         .ok()?;
+        pendings.push(pending);
     }
     let mut per_shard = Vec::with_capacity(shard_links.len());
-    for (i, link) in shard_links.iter().enumerate() {
-        match link.recv().ok()? {
+    for (i, pending) in pendings.into_iter().enumerate() {
+        match pending.recv().ok()? {
             Message::ShardOutputs { shard, outputs } if shard as usize == i => {
                 per_shard.push(outputs);
             }
@@ -226,43 +314,59 @@ fn route_batch(
 /// domain parameters) and fronts the domain's server→announcer edge,
 /// mirroring [`ShardedNode`](prism_protocol::shard::ShardedNode)'s
 /// in-process behaviour of answering wide commands at the domain level.
+///
+/// **Concurrency.** The router's shard links are themselves multiplexed
+/// ([`MuxLink`]): every shard round-trip — a fanned batch, a fanned
+/// version probe, a split upload — is correlated by a **router-local**
+/// id (high bit set, so it can never collide with an owner-minted
+/// `QueryId`), and tagged query rounds are served on spawned route tasks
+/// so N queries fan out over the same worker links concurrently. Uploads
+/// and tamper control stay inline on the serving thread: the owner
+/// link's receive order is their linearization point. The domain tamper
+/// is snapshotted at dispatch for the same reason.
 fn domain_loop(
     params: ServerParams,
     owner_link: Box<dyn Link>,
-    shard_links: Vec<Box<dyn Link>>,
+    shard_links: Vec<Arc<MuxLink>>,
     announcer: Option<Box<dyn Link>>,
 ) -> Result<(), NetError> {
+    let owner_link: Arc<dyn Link> = Arc::from(owner_link);
+    let announcer: Option<Arc<dyn Link>> = announcer.map(Arc::from);
     let plan = ShardPlan::new(params.b, shard_links.len());
-    let wide_node = ServerNode::new(params.clone());
-    let mut tamper = Tamper::Honest;
-    let forward_acks = |links: &[Box<dyn Link>]| -> Result<(), NetError> {
-        for link in links {
-            match link.recv()? {
-                Message::Ack => {}
-                _ => return Err(NetError::Disconnected),
-            }
-        }
-        Ok(())
-    };
+    let wide_node = Arc::new(ServerNode::new(params.clone()));
+    let params = Arc::new(params);
+    let shard_links = Arc::new(shard_links);
+    let tamper = RwLock::new(Tamper::Honest);
+    let corr = AtomicU64::new(1 << 63);
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
     loop {
-        match owner_link.recv()? {
+        let (tag, msg) = owner_link.recv()?.untag();
+        match msg {
             Message::Upload {
                 owner,
                 column,
                 data,
             } => {
-                for (part, link) in plan.split_rows(&data).into_iter().zip(&shard_links) {
-                    link.send(&Message::Upload {
-                        owner,
-                        column,
-                        data: part.to_vec(),
-                    })?;
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                let mut pendings = Vec::with_capacity(shard_links.len());
+                for (part, link) in plan.split_rows(&data).into_iter().zip(shard_links.iter()) {
+                    pendings.push(link.begin(id)?);
+                    link.send(
+                        id,
+                        Message::Upload {
+                            owner,
+                            column,
+                            data: part.to_vec(),
+                        },
+                    )?;
                 }
-                forward_acks(&shard_links)?;
-                owner_link.send(&Message::Ack)?;
+                collect_acks(pendings)?;
+                reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
             Message::BulkUpload { owner, columns } => {
-                for (spec, link) in plan.specs().iter().zip(&shard_links) {
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                let mut pendings = Vec::with_capacity(shard_links.len());
+                for (spec, link) in plan.specs().iter().zip(shard_links.iter()) {
                     let sliced: Vec<(Column, Vec<u64>)> = columns
                         .iter()
                         .map(|(c, data)| {
@@ -270,64 +374,103 @@ fn domain_loop(
                             (*c, parts[spec.index].to_vec())
                         })
                         .collect();
-                    link.send(&Message::BulkUpload {
-                        owner,
-                        columns: sliced,
-                    })?;
+                    pendings.push(link.begin(id)?);
+                    link.send(
+                        id,
+                        Message::BulkUpload {
+                            owner,
+                            columns: sliced,
+                        },
+                    )?;
                 }
-                forward_acks(&shard_links)?;
-                owner_link.send(&Message::Ack)?;
+                collect_acks(pendings)?;
+                reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
             Message::SetTamper(t) => {
-                tamper = t;
-                owner_link.send(&Message::Ack)?;
+                *tamper.write() = t;
+                reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
             Message::RunBatch(batch) => {
-                let outs =
-                    route_batch(&plan, &params, &tamper, &batch, &shard_links).unwrap_or_default();
-                owner_link.send(&Message::Outputs(outs))?;
+                let plan = plan.clone();
+                let params = Arc::clone(&params);
+                let tamper_now = *tamper.read();
+                let shard_links = Arc::clone(&shard_links);
+                let owner_link = Arc::clone(&owner_link);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    let outs = route_batch(&plan, &params, &tamper_now, &batch, &shard_links, id)
+                        .unwrap_or_default();
+                    let _ = reply(owner_link.as_ref(), tag, Message::Outputs(outs));
+                }));
             }
             Message::VersionProbe => {
                 // The domain's version is the sum of its shard workers' —
                 // the same rule as the in-process `ShardedNode::version`,
                 // so the two sharded deployments agree by construction.
-                let mut version = 0u64;
-                for link in &shard_links {
-                    link.send(&Message::VersionProbe)?;
-                }
-                for link in &shard_links {
-                    match link.recv()? {
-                        Message::Version(v) => version += v,
-                        _ => return Err(NetError::Disconnected),
-                    }
-                }
-                owner_link.send(&Message::Version(version))?;
+                let shard_links = Arc::clone(&shard_links);
+                let owner_link = Arc::clone(&owner_link);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    let probe = || -> Result<(), NetError> {
+                        let mut pendings = Vec::with_capacity(shard_links.len());
+                        for link in shard_links.iter() {
+                            pendings.push(link.begin(id)?);
+                            link.send(id, Message::VersionProbe)?;
+                        }
+                        let mut version = 0u64;
+                        for pending in pendings {
+                            match pending.recv()? {
+                                Message::Version(v) => version += v,
+                                _ => return Err(NetError::Disconnected),
+                            }
+                        }
+                        reply(owner_link.as_ref(), tag, Message::Version(version))
+                    };
+                    let _ = probe();
+                }));
             }
             Message::MaxCombine {
                 uploads,
                 threads,
                 seq,
             } => {
-                run_wide(
-                    &wide_node,
-                    ServerCmd::MaxCombine { uploads, threads },
-                    seq,
-                    owner_link.as_ref(),
-                    announcer.as_deref(),
-                )?;
+                let wide_node = Arc::clone(&wide_node);
+                let owner_link = Arc::clone(&owner_link);
+                let ann = announcer.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = run_wide(
+                        &wide_node,
+                        ServerCmd::MaxCombine { uploads, threads },
+                        seq,
+                        tag,
+                        owner_link.as_ref(),
+                        ann.as_deref(),
+                    );
+                }));
             }
             Message::AssembleFpos { claims, threads } => {
-                run_wide(
-                    &wide_node,
-                    ServerCmd::AssembleFpos { claims, threads },
-                    0,
-                    owner_link.as_ref(),
-                    announcer.as_deref(),
-                )?;
+                let wide_node = Arc::clone(&wide_node);
+                let owner_link = Arc::clone(&owner_link);
+                let ann = announcer.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = run_wide(
+                        &wide_node,
+                        ServerCmd::AssembleFpos { claims, threads },
+                        0,
+                        tag,
+                        owner_link.as_ref(),
+                        ann.as_deref(),
+                    );
+                }));
             }
             Message::Shutdown => {
-                for link in &shard_links {
-                    link.send(&Message::Shutdown)?;
+                // Route tasks still in flight need their shard replies;
+                // join them before telling the workers to exit.
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                for link in shard_links.iter() {
+                    link.send_raw(&Message::Shutdown)?;
                 }
                 return Ok(());
             }
@@ -335,18 +478,29 @@ fn domain_loop(
                 // Reply-direction messages; ignore defensively.
             }
         }
+        workers.retain(|h| !h.is_finished());
     }
 }
 
 /// Run the announcer node's loop until `Shutdown`: an engine
 /// [`Announcer`] behind three links — the owner-side control link plus
 /// one upload link per additive server. On [`Message::AnnounceRun`] it
-/// collects the pending [`Message::WideUpload`] from each server edge
-/// (the servers sent them before acknowledging the combine round, so they
-/// are already in flight), stages them, announces, and replies on the
-/// control link. Any failure — crossed links, mismatched matrices —
-/// answers `Ack` as the failure marker, which the owner surfaces as a
-/// protocol error instead of hanging.
+/// drains each server edge into the announcer's staging inbox until the
+/// requested round's upload from that server is staged (the servers sent
+/// their uploads *before* the receipts the owner's `AnnounceRun` quotes,
+/// so they are already in flight), announces, and replies on the control
+/// link. Any failure — crossed links, mismatched matrices — answers
+/// `Ack` as the failure marker, which the owner surfaces as a protocol
+/// error instead of hanging.
+///
+/// **Concurrency.** Interleaved queries can put *several* wide rounds'
+/// uploads on one server edge in any order; the drain deposits whatever
+/// arrives — the announcer's per-round inbox keeps them apart by `seq`
+/// and prunes abandoned rounds — and stops as soon as the round it needs
+/// is staged. A later `AnnounceRun` whose uploads were swept up by an
+/// earlier drain finds them already staged and drains nothing. Announce
+/// requests themselves are served in control-link order; the reply
+/// carries the request's query tag.
 fn announcer_loop(
     params: AnnouncerParams,
     owner_link: Box<dyn Link>,
@@ -354,49 +508,39 @@ fn announcer_loop(
 ) -> Result<(), NetError> {
     let mut announcer = Announcer::new(params);
     loop {
-        match owner_link.recv()? {
+        let (tag, msg) = owner_link.recv()?.untag();
+        match msg {
             Message::AnnounceRun { cmd, seq, threads } => {
                 let mut staged = true;
                 for (i, link) in server_links.iter().enumerate() {
-                    // Drain this server's edge up to the requested round:
-                    // an aborted earlier query can leave a stale upload
-                    // queued (its owner never sent the matching
-                    // AnnounceRun), which must not poison this round's
-                    // pairing. `Announcer::announce` then insists both
-                    // deposits carry exactly `seq`.
-                    loop {
+                    while staged && !announcer.staged(i, seq) {
                         match link.recv()? {
                             Message::WideUpload {
                                 server,
                                 seq: upload_seq,
                                 shares,
                             } if server as usize == i => {
-                                if upload_seq < seq {
-                                    continue; // stale round; discard
-                                }
                                 staged &= announcer.deposit(i, upload_seq, shares).is_ok();
-                                break;
                             }
                             _ => {
                                 staged = false; // crossed or malformed
-                                break;
                             }
                         }
                     }
                 }
-                let reply = if staged {
+                let result = if staged {
                     announcer.announce(cmd, seq, (threads.max(1)) as usize).ok()
                 } else {
                     None
                 };
-                match reply {
-                    Some((r, _)) => owner_link.send(&Message::AnnounceReply(r))?,
-                    None => owner_link.send(&Message::Ack)?,
+                match result {
+                    Some((r, _)) => reply(owner_link.as_ref(), tag, Message::AnnounceReply(r))?,
+                    None => reply(owner_link.as_ref(), tag, Message::Ack)?,
                 }
             }
             Message::SetAnnouncerTamper(t) => {
                 announcer.set_tamper(t);
-                owner_link.send(&Message::Ack)?;
+                reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
             Message::Shutdown => return Ok(()),
             _ => {
@@ -563,8 +707,8 @@ impl std::fmt::Display for NetReport {
 /// Owner-side handle to a running cluster.
 pub struct NetCluster {
     setup: Setup,
-    links: Vec<Box<dyn Link>>,
-    announcer_link: Box<dyn Link>,
+    links: Vec<Arc<MuxLink>>,
+    announcer_link: Arc<MuxLink>,
     handles: Vec<JoinHandle<Result<(), NetError>>>,
     server_stats: Vec<Arc<LinkStats>>,
     to_shard_stats: Vec<Vec<Arc<LinkStats>>>,
@@ -578,6 +722,13 @@ pub struct NetCluster {
     /// carries a `MaxCombine`, echoed by servers and quoted at announce
     /// time so the announcer can reject stale or crossed uploads.
     wide_seq: AtomicU64,
+    /// Query-id counter: one fresh id per query (and per ad-hoc facade
+    /// round-trip), tagging all of that query's wire traffic so the
+    /// per-link pumps can route interleaved replies.
+    query_seq: AtomicU64,
+    /// Admission layer: bounded in-flight window + per-owner fair
+    /// queueing over [`NetCluster::execute_as`].
+    admission: Admission,
     /// Cross-query PSI-round cache (see [`prism_protocol::cache`]),
     /// enabled by [`NetCluster::enable_cache`]: `execute` wraps the
     /// cluster's own `ServerExec` in a `CachedExec` bound to this state,
@@ -589,70 +740,19 @@ fn transport_err(e: NetError) -> ProtocolError {
     ProtocolError::Transport(e.to_string())
 }
 
-impl ServerExec for NetCluster {
-    fn round(
-        &self,
-        cmds: Vec<(usize, ServerCmd)>,
-    ) -> prism_protocol::Result<(Vec<ServerReply>, Duration)> {
-        let t0 = Instant::now();
-        // Pipeline: ship every command, then collect every reply — one
-        // round-trip however many servers take part. Commands are owned,
-        // so the batch (with its per-server z vectors) moves into the
-        // message instead of being cloned on the hot path.
-        let servers: Vec<usize> = cmds.iter().map(|(s, _)| *s).collect();
-        let mut round_seq = None;
-        for (s, cmd) in cmds {
-            let msg = match cmd {
-                ServerCmd::Run(batch) => {
-                    if self.shards > 1 {
-                        self.dispatches
-                            .fetch_add(self.shards as u64, Ordering::Relaxed);
-                    }
-                    Message::RunBatch(batch)
-                }
-                // Wide rounds are parameter-only and answered at the
-                // domain front-end, so they never fan out to shards. One
-                // sequence number covers the whole round (both servers).
-                ServerCmd::MaxCombine { uploads, threads } => {
-                    let seq = *round_seq
-                        .get_or_insert_with(|| self.wide_seq.fetch_add(1, Ordering::Relaxed) + 1);
-                    Message::MaxCombine {
-                        uploads,
-                        threads,
-                        seq,
-                    }
-                }
-                ServerCmd::AssembleFpos { claims, threads } => {
-                    Message::AssembleFpos { claims, threads }
-                }
-                ServerCmd::Version => Message::VersionProbe,
-            };
-            self.links[s].send(&msg).map_err(transport_err)?;
-        }
-        let mut replies = Vec::with_capacity(servers.len());
-        for s in servers {
-            match self.links[s].recv().map_err(transport_err)? {
-                Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
-                Message::Version(v) => replies.push(ServerReply::Version(v)),
-                Message::WideForwarded { rows, width, seq } => {
-                    // The receipt must belong to the round we just issued
-                    // (a desynchronized server cannot smuggle an old one).
-                    if round_seq != Some(seq) {
-                        return Err(ProtocolError::Transport(
-                            "server acknowledged the wrong wide round".into(),
-                        ));
-                    }
-                    replies.push(ServerReply::WideForwarded { rows, width, seq })
-                }
-                Message::Fpos(rows) => replies.push(ServerReply::Fpos(rows)),
-                _ => {
-                    return Err(ProtocolError::Transport(
-                        "unexpected reply to a query round".into(),
-                    ))
-                }
-            }
-        }
-        Ok((replies, t0.elapsed()))
+/// One query's view of a [`NetCluster`]: the same links, every round
+/// tagged with this query's id. This is what [`NetCluster::execute_as`]
+/// hands the engine, so N engines can run plans over one cluster
+/// concurrently — the per-link pumps route each reply to the issuing
+/// query's slot.
+struct QueryView<'a> {
+    net: &'a NetCluster,
+    id: QueryId,
+}
+
+impl ServerExec for QueryView<'_> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> prism_protocol::Result<RoundOutcome> {
+        self.net.tagged_round(self.id, cmds)
     }
 
     fn announce(
@@ -661,22 +761,30 @@ impl ServerExec for NetCluster {
         seq: u64,
         threads: usize,
     ) -> prism_protocol::Result<(AnnouncerReply, Duration)> {
-        let t0 = Instant::now();
-        self.announcer_link
-            .send(&Message::AnnounceRun {
-                cmd,
-                seq,
-                threads: threads as u32,
-            })
-            .map_err(transport_err)?;
-        match self.announcer_link.recv().map_err(transport_err)? {
-            Message::AnnounceReply(reply) => Ok((reply, t0.elapsed())),
-            // `Ack` is the announcer's failure marker (missing or crossed
-            // uploads, mismatched matrices).
-            _ => Err(ProtocolError::MalformedResponse(
-                "announcer could not produce an announcement",
-            )),
-        }
+        self.net.tagged_announce(self.id, cmd, seq, threads)
+    }
+
+    fn meters(&self) -> ExecMeters {
+        self.net.meters()
+    }
+}
+
+impl ServerExec for NetCluster {
+    /// Ad-hoc rounds on the cluster itself (conformance tests drive this
+    /// directly) mint a fresh correlation id per round — within one
+    /// caller rounds are sequential, so a throwaway id pairs replies just
+    /// as well as a per-query one.
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> prism_protocol::Result<RoundOutcome> {
+        self.tagged_round(self.fresh_query_id(), cmds)
+    }
+
+    fn announce(
+        &self,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
+    ) -> prism_protocol::Result<(AnnouncerReply, Duration)> {
+        self.tagged_announce(self.fresh_query_id(), cmd, seq, threads)
     }
 
     fn meters(&self) -> ExecMeters {
@@ -723,6 +831,125 @@ impl NetCluster {
         })
     }
 
+    /// Default bound on queries in flight at once (see
+    /// [`NetCluster::set_admission_window`]).
+    pub const DEFAULT_ADMISSION_WINDOW: usize = 16;
+
+    /// Mint a fresh query id (unique for this cluster's lifetime).
+    fn fresh_query_id(&self) -> QueryId {
+        self.query_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// One owner↔servers round on behalf of query `id`: begin a
+    /// completion slot per participating link, ship every command tagged,
+    /// then collect every reply from the slots — one round-trip however
+    /// many servers take part, interleaving freely with other queries'
+    /// rounds on the same links.
+    fn tagged_round(
+        &self,
+        id: QueryId,
+        cmds: Vec<(usize, ServerCmd)>,
+    ) -> prism_protocol::Result<RoundOutcome> {
+        let t0 = Instant::now();
+        let mut round_seq = None;
+        let mut dispatches = 0u64;
+        let mut pendings = Vec::with_capacity(cmds.len());
+        for (s, cmd) in cmds {
+            let msg = match cmd {
+                ServerCmd::Run(batch) => {
+                    if self.shards > 1 {
+                        dispatches += self.shards as u64;
+                    }
+                    Message::RunBatch(batch)
+                }
+                // Wide rounds are parameter-only and answered at the
+                // domain front-end, so they never fan out to shards. One
+                // sequence number covers the whole round (both servers).
+                ServerCmd::MaxCombine { uploads, threads } => {
+                    let seq = *round_seq
+                        .get_or_insert_with(|| self.wide_seq.fetch_add(1, Ordering::Relaxed) + 1);
+                    Message::MaxCombine {
+                        uploads,
+                        threads,
+                        seq,
+                    }
+                }
+                ServerCmd::AssembleFpos { claims, threads } => {
+                    Message::AssembleFpos { claims, threads }
+                }
+                ServerCmd::Version => Message::VersionProbe,
+            };
+            let link = &self.links[s];
+            // Register the slot before sending: the reply must never race
+            // its own registration.
+            pendings.push(link.begin(id).map_err(transport_err)?);
+            link.send(id, msg).map_err(transport_err)?;
+        }
+        if dispatches > 0 {
+            self.dispatches.fetch_add(dispatches, Ordering::Relaxed);
+        }
+        let mut replies = Vec::with_capacity(pendings.len());
+        for pending in &pendings {
+            match pending.recv().map_err(transport_err)? {
+                Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
+                Message::Version(v) => replies.push(ServerReply::Version(v)),
+                Message::WideForwarded { rows, width, seq } => {
+                    // The receipt must belong to the round we just issued
+                    // (a desynchronized server cannot smuggle an old one).
+                    if round_seq != Some(seq) {
+                        return Err(ProtocolError::Transport(
+                            "server acknowledged the wrong wide round".into(),
+                        ));
+                    }
+                    replies.push(ServerReply::WideForwarded { rows, width, seq })
+                }
+                Message::Fpos(rows) => replies.push(ServerReply::Fpos(rows)),
+                _ => {
+                    return Err(ProtocolError::Transport(
+                        "unexpected reply to a query round".into(),
+                    ))
+                }
+            }
+        }
+        Ok(RoundOutcome {
+            replies,
+            cost: t0.elapsed(),
+            meters: ExecMeters {
+                shard_dispatches: dispatches,
+                ..ExecMeters::default()
+            },
+        })
+    }
+
+    /// One announce round-trip on behalf of query `id` over the
+    /// owner↔announcer control link.
+    fn tagged_announce(
+        &self,
+        id: QueryId,
+        cmd: AnnouncerCmd,
+        seq: u64,
+        threads: usize,
+    ) -> prism_protocol::Result<(AnnouncerReply, Duration)> {
+        let t0 = Instant::now();
+        let msg = Message::AnnounceRun {
+            cmd,
+            seq,
+            threads: threads as u32,
+        };
+        match self
+            .announcer_link
+            .request(id, msg)
+            .map_err(transport_err)?
+        {
+            Message::AnnounceReply(reply) => Ok((reply, t0.elapsed())),
+            // `Ack` is the announcer's failure marker (missing or crossed
+            // uploads, mismatched matrices).
+            _ => Err(ProtocolError::MalformedResponse(
+                "announcer could not produce an announcement",
+            )),
+        }
+    }
+
     /// Shared topology builder: per server domain, one owner↔router link
     /// plus `shards` router↔worker links from `mk_pair`, a router thread
     /// running [`domain_loop`] and one [`server_loop`] worker per shard.
@@ -742,7 +969,7 @@ impl NetCluster {
         shards: usize,
         mk_pair: impl Fn() -> std::io::Result<LinkPair>,
     ) -> std::io::Result<NetCluster> {
-        let mut links: Vec<Box<dyn Link>> = Vec::new();
+        let mut links: Vec<Arc<MuxLink>> = Vec::new();
         let mut handles = Vec::new();
         let mut server_stats = Vec::new();
         let mut to_shard_stats = Vec::new();
@@ -774,11 +1001,11 @@ impl NetCluster {
                 }));
                 to_shard_stats.push(Vec::new());
                 from_shard_stats.push(Vec::new());
-                links.push(owner_end);
+                links.push(MuxLink::new(Arc::from(owner_end)));
                 continue;
             }
 
-            let mut router_shard_links: Vec<Box<dyn Link>> = Vec::new();
+            let mut router_shard_links: Vec<Arc<MuxLink>> = Vec::new();
             let mut to_stats = Vec::new();
             let mut from_stats = Vec::new();
             for spec in plan.specs() {
@@ -789,14 +1016,14 @@ impl NetCluster {
                 handles.push(std::thread::spawn(move || {
                     server_loop(wp, worker_side, None)
                 }));
-                router_shard_links.push(router_side);
+                router_shard_links.push(MuxLink::new(Arc::from(router_side)));
             }
             to_shard_stats.push(to_stats);
             from_shard_stats.push(from_stats);
             handles.push(std::thread::spawn(move || {
                 domain_loop(params, server_end, router_shard_links, ann_link)
             }));
-            links.push(owner_end);
+            links.push(MuxLink::new(Arc::from(owner_end)));
         }
 
         // The announcer node.
@@ -810,7 +1037,7 @@ impl NetCluster {
         Ok(NetCluster {
             setup,
             links,
-            announcer_link,
+            announcer_link: MuxLink::new(Arc::from(announcer_link)),
             handles,
             server_stats,
             to_shard_stats,
@@ -821,6 +1048,8 @@ impl NetCluster {
             threads: 1,
             dispatches: AtomicU64::new(0),
             wide_seq: AtomicU64::new(0),
+            query_seq: AtomicU64::new(0),
+            admission: Admission::new(Self::DEFAULT_ADMISSION_WINDOW),
             cache: None,
         })
     }
@@ -844,6 +1073,38 @@ impl NetCluster {
     /// Set the per-server thread count sent with queries.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads as u32;
+    }
+
+    /// Bound the number of queries in flight at once (default
+    /// [`NetCluster::DEFAULT_ADMISSION_WINDOW`]); waiting queries queue
+    /// FIFO per owner and owners are drained round-robin. Takes effect
+    /// for queries admitted after the call.
+    pub fn set_admission_window(&mut self, window: usize) {
+        self.admission = Admission::new(window);
+    }
+
+    /// Queries currently holding an admission permit.
+    pub fn queries_in_flight(&self) -> usize {
+        self.admission.in_flight()
+    }
+
+    /// Replies the owner-side link pumps dropped because no query claimed
+    /// them (unknown or finished `QueryId`, or an untagged reply). Always
+    /// 0 in a healthy cluster — conformance tests pin that.
+    pub fn rejected_replies(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l.rejected())
+            .chain(std::iter::once(self.announcer_link.rejected()))
+            .sum()
+    }
+
+    /// One acknowledged control round-trip over a multiplexed link.
+    fn acked(&self, link: &Arc<MuxLink>, msg: Message) -> Result<(), NetError> {
+        match link.request(self.fresh_query_id(), msg)? {
+            Message::Ack => Ok(()),
+            _ => Err(NetError::Disconnected),
+        }
     }
 
     /// Row-range shard workers behind each server domain.
@@ -870,15 +1131,14 @@ impl NetCluster {
         if let Some(cache) = &self.cache {
             cache.note_upload(server);
         }
-        self.links[server].send(&Message::Upload {
-            owner: owner as u32,
-            column,
-            data,
-        })?;
-        match self.links[server].recv()? {
-            Message::Ack => Ok(()),
-            _ => Err(NetError::Disconnected),
-        }
+        self.acked(
+            &self.links[server],
+            Message::Upload {
+                owner: owner as u32,
+                column,
+                data,
+            },
+        )
     }
 
     /// Upload every column of one owner's per-server table in a single
@@ -896,14 +1156,13 @@ impl NetCluster {
         if let Some(cache) = &self.cache {
             cache.note_upload(server);
         }
-        self.links[server].send(&Message::BulkUpload {
-            owner: owner as u32,
-            columns,
-        })?;
-        match self.links[server].recv()? {
-            Message::Ack => Ok(()),
-            _ => Err(NetError::Disconnected),
-        }
+        self.acked(
+            &self.links[server],
+            Message::BulkUpload {
+                owner: owner as u32,
+                columns,
+            },
+        )
     }
 
     /// Attach a tampering behaviour to server φ (tests): the domain
@@ -913,32 +1172,44 @@ impl NetCluster {
         if let Some(cache) = &self.cache {
             cache.note_tamper(server, tamper.is_honest());
         }
-        self.links[server].send(&Message::SetTamper(tamper))?;
-        match self.links[server].recv()? {
-            Message::Ack => Ok(()),
-            _ => Err(NetError::Disconnected),
-        }
+        self.acked(&self.links[server], Message::SetTamper(tamper))
     }
 
     /// Attach a tampering behaviour to the announcer node (tests), over
     /// its owner-side control link: applied to every subsequent max/median
     /// announcement, exactly like the in-memory cluster.
     pub fn set_announcer_tamper(&self, tamper: AnnouncerTamper) -> Result<(), NetError> {
-        self.announcer_link
-            .send(&Message::SetAnnouncerTamper(tamper))?;
-        match self.announcer_link.recv()? {
-            Message::Ack => Ok(()),
-            _ => Err(NetError::Disconnected),
-        }
+        self.acked(&self.announcer_link, Message::SetAnnouncerTamper(tamper))
     }
 
     /// Run any engine round plan over this cluster's links (through the
-    /// PSI-round cache decorator, when enabled).
+    /// PSI-round cache decorator, when enabled), attributed to owner 0
+    /// for admission purposes. Safe to call from many threads at once:
+    /// each call is one admitted, query-tagged session over the shared
+    /// links.
     pub fn execute<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats), ClusterError> {
-        let cached = self.cache.as_ref().map(|c| CachedExec::new(self, c));
+        self.execute_as(0, plan)
+    }
+
+    /// [`NetCluster::execute`] on behalf of `owner`: waits for an
+    /// admission slot (bounded window, per-owner round-robin fairness),
+    /// mints one `QueryId`, and runs the whole plan tagged with it — so N
+    /// concurrent callers interleave rounds over one set of persistent
+    /// links with exact per-query accounting.
+    pub fn execute_as<P: Operation>(
+        &self,
+        owner: u32,
+        plan: &P,
+    ) -> Result<(P::Output, QueryStats), ClusterError> {
+        let _permit = self.admission.acquire(owner);
+        let view = QueryView {
+            net: self,
+            id: self.fresh_query_id(),
+        };
+        let cached = self.cache.as_ref().map(|c| CachedExec::new(&view, c));
         let exec: &dyn ServerExec = match &cached {
             Some(c) => c,
-            None => self,
+            None => &view,
         };
         Engine::new(&exec, &self.setup.owner)
             .with_threads(self.threads as usize)
@@ -1066,9 +1337,9 @@ impl NetCluster {
     /// Orderly shutdown; joins router, worker, and announcer threads.
     pub fn shutdown(mut self) -> Result<(), NetError> {
         for link in &self.links {
-            link.send(&Message::Shutdown)?;
+            link.send_raw(&Message::Shutdown)?;
         }
-        self.announcer_link.send(&Message::Shutdown)?;
+        self.announcer_link.send_raw(&Message::Shutdown)?;
         for h in self.handles.drain(..) {
             h.join().map_err(|_| NetError::Disconnected)??;
         }

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod mux;
 pub mod transport;
 pub mod wire;
 
 pub use cluster::{ClusterError, NetCluster, NetReport};
+pub use mux::{Admission, MuxLink, Pending, Permit, QueryId};
 pub use transport::{channel_pair, ChannelLink, Link, LinkStats, NetError, TcpLink};
 pub use wire::{Column, Message, Op, WireError};

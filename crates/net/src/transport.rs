@@ -25,6 +25,9 @@ pub enum NetError {
     Io(io::Error),
     /// Undecodable frame.
     Wire(WireError),
+    /// Multiplexer protocol violation (duplicate query slot, reply for a
+    /// finished query, pump died).
+    Mux(&'static str),
 }
 
 impl From<io::Error> for NetError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for NetError {
             NetError::Disconnected => write!(f, "peer disconnected"),
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Mux(why) => write!(f, "multiplexer error: {why}"),
         }
     }
 }
@@ -71,7 +75,13 @@ impl LinkStats {
 }
 
 /// A duplex, metered message link endpoint.
-pub trait Link: Send {
+///
+/// Links are `Sync` and **full-duplex**: `send` and `recv` may be called
+/// from different threads at the same time (the multiplexer's pump thread
+/// owns `recv` while query threads `send`). Concurrent `send`s serialize
+/// internally so frames never interleave; concurrent `recv`s are allowed
+/// but deliver each message to exactly one caller.
+pub trait Link: Send + Sync {
     /// Send one message.
     fn send(&self, msg: &Message) -> Result<(), NetError>;
     /// Block for the next message.
@@ -128,19 +138,28 @@ impl Link for ChannelLink {
 }
 
 /// TCP link endpoint: 4-byte little-endian length prefix per frame.
+///
+/// The stream is split into independently locked reader and writer halves
+/// (`TcpStream::try_clone` shares one socket), so a blocked `recv` — the
+/// multiplexer's pump parked in `read_exact` — never stalls a concurrent
+/// `send` on the same link.
 pub struct TcpLink {
-    stream: Mutex<TcpStream>,
+    reader: Mutex<TcpStream>,
+    writer: Mutex<TcpStream>,
     stats: Arc<LinkStats>,
 }
 
 impl TcpLink {
-    /// Wrap an accepted/connected stream.
-    pub fn new(stream: TcpStream) -> Self {
+    /// Wrap an accepted/connected stream. Fails only if the OS refuses to
+    /// duplicate the socket handle for the reader half.
+    pub fn new(stream: TcpStream) -> io::Result<TcpLink> {
         stream.set_nodelay(true).ok();
-        TcpLink {
-            stream: Mutex::new(stream),
+        let reader = stream.try_clone()?;
+        Ok(TcpLink {
+            reader: Mutex::new(reader),
+            writer: Mutex::new(stream),
             stats: Arc::new(LinkStats::default()),
-        }
+        })
     }
 
     /// Create a connected pair over loopback (test/demo convenience).
@@ -149,7 +168,7 @@ impl TcpLink {
         let addr = listener.local_addr()?;
         let client = TcpStream::connect(addr)?;
         let (server, _) = listener.accept()?;
-        Ok((TcpLink::new(client), TcpLink::new(server)))
+        Ok((TcpLink::new(client)?, TcpLink::new(server)?))
     }
 }
 
@@ -159,7 +178,7 @@ impl Link for TcpLink {
         let mut frame = BytesMut::with_capacity(4 + body.len());
         frame.put_u32_le(body.len() as u32);
         frame.extend_from_slice(&body);
-        let mut stream = self.stream.lock();
+        let mut stream = self.writer.lock();
         stream.write_all(&frame)?;
         self.stats
             .bytes_sent
@@ -169,7 +188,7 @@ impl Link for TcpLink {
     }
 
     fn recv(&self) -> Result<Message, NetError> {
-        let mut stream = self.stream.lock();
+        let mut stream = self.reader.lock();
         let mut len_buf = [0u8; 4];
         stream.read_exact(&mut len_buf)?;
         let len = (&len_buf[..]).get_u32_le() as usize;
@@ -246,6 +265,25 @@ mod tests {
         let h = std::thread::spawn(move || b.recv().unwrap());
         a.send(&big).unwrap();
         assert_eq!(h.join().unwrap(), big);
+    }
+
+    #[test]
+    fn tcp_send_proceeds_while_recv_blocks() {
+        // Full duplex: a parked recv (the multiplexer pump's steady
+        // state) must not hold the lock a concurrent send needs.
+        let (a, b) = TcpLink::loopback_pair().unwrap();
+        let a = std::sync::Arc::new(a);
+        let pump = {
+            let a = std::sync::Arc::clone(&a);
+            std::thread::spawn(move || a.recv().unwrap())
+        };
+        // Give the pump time to park inside read_exact, then send from
+        // the same endpoint; b echoes so the pump can finish.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.send(&Message::VersionProbe).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::VersionProbe);
+        b.send(&Message::Version(3)).unwrap();
+        assert_eq!(pump.join().unwrap(), Message::Version(3));
     }
 
     #[test]

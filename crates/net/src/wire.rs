@@ -484,6 +484,20 @@ pub enum Message {
     /// Server → owner: the store's monotonic version, answering a
     /// [`Message::VersionProbe`].
     Version(u64),
+    /// Query-tagged envelope: any message, stamped with the query it
+    /// belongs to. The multiplexer (`crate::mux`) wraps every request of
+    /// a concurrent query in one of these; the serving loop echoes the
+    /// tag on the reply, and the owner-side pump routes the reply into
+    /// that query's completion slot — so N queries share one link
+    /// without ever pairing a reply with the wrong round. Envelopes
+    /// never nest: a `Tagged` inside a `Tagged` is rejected as
+    /// malformed.
+    Tagged {
+        /// The owning query's identifier (unique per cluster lifetime).
+        query: u64,
+        /// The payload message, verbatim.
+        inner: Box<Message>,
+    },
 }
 
 impl Message {
@@ -594,6 +608,15 @@ impl Message {
                 buf.put_u8(18);
                 buf.put_u64_le(*v);
             }
+            Message::Tagged { query, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Message::Tagged { .. }),
+                    "query envelopes never nest"
+                );
+                buf.put_u8(19);
+                buf.put_u64_le(*query);
+                buf.extend_from_slice(&inner.encode());
+            }
         }
         buf
     }
@@ -686,8 +709,37 @@ impl Message {
             16 => Message::SetAnnouncerTamper(decode_announcer_tamper(buf)?),
             17 => Message::VersionProbe,
             18 => Message::Version(need_u64(buf)?),
+            19 => {
+                let query = need_u64(buf)?;
+                if buf.first() == Some(&19) {
+                    return Err(WireError::Malformed("nested query-tagged envelope"));
+                }
+                Message::Tagged {
+                    query,
+                    inner: Box::new(Message::decode(buf)?),
+                }
+            }
             t => return Err(WireError::BadTag(t)),
         })
+    }
+
+    /// Wrap `self` in a query envelope (convenience for the serving loops
+    /// and the multiplexer).
+    pub fn tagged(self, query: u64) -> Message {
+        Message::Tagged {
+            query,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Split a query envelope into `(tag, payload)`; an untagged message
+    /// comes back as `(None, self)`. The serving loops use this so tagged
+    /// and legacy untagged traffic share one dispatch path.
+    pub fn untag(self) -> (Option<u64>, Message) {
+        match self {
+            Message::Tagged { query, inner } => (Some(query), *inner),
+            other => (None, other),
+        }
     }
 }
 
@@ -837,6 +889,62 @@ mod tests {
         roundtrip(Message::VersionProbe);
         roundtrip(Message::Version(0));
         roundtrip(Message::Version(u64::MAX));
+    }
+
+    #[test]
+    fn tagged_envelopes_roundtrip() {
+        roundtrip(Message::VersionProbe.tagged(0));
+        roundtrip(Message::Version(7).tagged(u64::MAX));
+        roundtrip(
+            Message::RunBatch(BatchQuery {
+                zs: vec![vec![5; 16]],
+                items: vec![BatchItem::with_z(Op::Sum(0), 0)],
+                threads: 2,
+            })
+            .tagged(42),
+        );
+        roundtrip(
+            Message::ShardRun {
+                shard: 1,
+                batch: BatchQuery {
+                    zs: vec![],
+                    items: vec![BatchItem::plain(Op::Psi)],
+                    threads: 1,
+                },
+            }
+            .tagged(9),
+        );
+    }
+
+    #[test]
+    fn untag_splits_envelopes_and_passes_plain_messages_through() {
+        assert_eq!(
+            Message::Ack.tagged(5).untag(),
+            (Some(5), Message::Ack),
+            "envelope splits into tag and payload"
+        );
+        assert_eq!(Message::Shutdown.untag(), (None, Message::Shutdown));
+    }
+
+    #[test]
+    fn nested_tagged_envelopes_are_rejected() {
+        // Build the nested encoding by hand (encode() debug-asserts
+        // against producing one).
+        let mut enc = vec![19u8];
+        enc.extend_from_slice(&3u64.to_le_bytes());
+        enc.extend_from_slice(&Message::Ack.tagged(4).encode());
+        assert!(matches!(
+            Message::decode(&enc),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_tagged_envelopes_error() {
+        let enc = Message::Version(12).tagged(77).encode();
+        for cut in 0..enc.len() {
+            assert!(Message::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
     }
 
     #[test]

@@ -338,7 +338,7 @@ fn aborted_wide_round_does_not_poison_later_queries() {
             })
             .collect()
     };
-    let (replies, _) = cluster
+    let replies = cluster
         .round(vec![
             (
                 0,
@@ -355,7 +355,8 @@ fn aborted_wide_round_does_not_poison_later_queries() {
                 },
             ),
         ])
-        .unwrap();
+        .unwrap()
+        .replies;
     assert_eq!(replies.len(), 2);
 
     // Round B: a full max query on the same cluster. The announcer must

@@ -1,0 +1,654 @@
+//! Interleaving conformance for the query multiplexer: K concurrent
+//! queries over one cluster's persistent links must be **bit-identical**
+//! to the same queries run serially — results, verification verdicts,
+//! and per-query round counts — across transports (channels, TCP),
+//! shard counts (1, 4), and the PSI-round cache (off, warmed on). The
+//! suite also pins the meter-accounting contract (cluster-level cache
+//! and dispatch meters equal the sum of per-query `QueryStats`) and
+//! that no link pump ever drops a reply (`rejected_replies == 0`).
+//!
+//! The property tests at the bottom interleave concurrent query bursts
+//! with owner re-uploads under random schedules and compare every
+//! answer against the in-memory driver as a serial oracle: an acked
+//! upload must be visible to every query admitted after it (never
+//! stale), and no query may receive another query's reply (never
+//! cross-paired — any crossing would corrupt at least one result).
+
+use prism_core::Prg;
+use prism_net::{Column, NetCluster};
+use prism_protocol::driver::{Cluster, OwnerInput};
+use prism_protocol::engine::{QueryStats, ServerExec};
+use prism_protocol::malicious::Tamper;
+use prism_protocol::params::{Initiator, Setup, SystemConfig};
+use prism_protocol::plans::{self, QueryBatch};
+use prism_protocol::tables::{share_indicator, share_payload};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const DOMAIN: usize = 10;
+
+/// Concurrent query streams in the interleaved phase.
+const K: usize = 3;
+
+fn make_setup() -> Setup {
+    Initiator::new(SystemConfig::new(3, DOMAIN).with_seed(77))
+        .setup()
+        .unwrap()
+}
+
+fn rows() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(1, 100), (1, 200), (3, 300), (7, 10)],
+        vec![(1, 100), (2, 70), (7, 20)],
+        vec![(1, 300), (1, 700), (3, 500), (7, 30)],
+    ]
+}
+
+/// Share and upload one owner's relation (every column the full query
+/// mix needs), overwriting whatever the owner stored before — the wire
+/// mirror of the driver's `update_owner`.
+fn upload_owner(cluster: &NetCluster, j: usize, owner_rows: &[(u64, u64)], prg_seed: u64) {
+    let op = &cluster.setup().owner;
+    let b = op.b;
+    let mut indicator = vec![0u64; b];
+    let mut sums = vec![0u64; b];
+    let mut counts = vec![0u64; b];
+    for &(c, x) in owner_rows {
+        let cell = (c - 1) as usize;
+        indicator[cell] = 1;
+        sums[cell] += x;
+        counts[cell] += 1;
+    }
+    let mut prg = Prg::from_seed(prg_seed);
+    let ind = share_indicator(&indicator, op.delta, &mut prg);
+    cluster
+        .upload(0, j, Column::Ok, ind.shares[0].clone())
+        .unwrap();
+    cluster
+        .upload(1, j, Column::Ok, ind.shares[1].clone())
+        .unwrap();
+
+    let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+    let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
+    cluster
+        .upload(0, j, Column::VOk, v.shares[0].clone())
+        .unwrap();
+    cluster
+        .upload(1, j, Column::VOk, v.shares[1].clone())
+        .unwrap();
+
+    let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
+    let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
+    cluster
+        .upload(0, j, Column::OkDb1, c1.shares[0].clone())
+        .unwrap();
+    cluster
+        .upload(1, j, Column::OkDb1, c1.shares[1].clone())
+        .unwrap();
+    cluster
+        .upload(0, j, Column::OkDb2, c2.shares[0].clone())
+        .unwrap();
+    cluster
+        .upload(1, j, Column::OkDb2, c2.shares[1].clone())
+        .unwrap();
+
+    let p = share_payload(&sums, &op.field, &mut prg);
+    let vp = share_payload(&op.pf_db1.apply(&sums), &op.field, &mut prg);
+    let cnt = share_payload(&counts, &op.field, &mut prg);
+    for k in 0..3 {
+        cluster
+            .upload(k, j, Column::Agg(0), p.shares[k].clone())
+            .unwrap();
+        cluster
+            .upload(k, j, Column::VAgg(0), vp.shares[k].clone())
+            .unwrap();
+        cluster
+            .upload(k, j, Column::AOk, cnt.shares[k].clone())
+            .unwrap();
+    }
+}
+
+fn setup_and_upload(cluster: &NetCluster, rows: &[Vec<(u64, u64)>]) {
+    for (j, owner_rows) in rows.iter().enumerate() {
+        upload_owner(cluster, j, owner_rows, 1000 + j as u64);
+    }
+}
+
+/// Owner-side per-cell maxima and sums (attribute 0) that the max and
+/// median plans need from the caller.
+struct OwnerVals {
+    maxima: Vec<Vec<u64>>,
+    sums: Vec<Vec<u64>>,
+}
+
+fn owner_vals() -> OwnerVals {
+    let mut maxima = Vec::new();
+    let mut sums = Vec::new();
+    for owner_rows in rows() {
+        let mut mx = vec![0u64; DOMAIN];
+        let mut sm = vec![0u64; DOMAIN];
+        for &(c, x) in &owner_rows {
+            let cell = (c - 1) as usize;
+            mx[cell] = mx[cell].max(x);
+            sm[cell] += x;
+        }
+        maxima.push(mx);
+        sums.push(sm);
+    }
+    OwnerVals { maxima, sums }
+}
+
+/// Every operation the protocol serves, including the announcer-backed
+/// wide ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Q {
+    Psi,
+    PsiVerified,
+    Psu,
+    PsuVerified,
+    Count,
+    CountVerified,
+    Sum,
+    SumVerified,
+    Avg,
+    Batch,
+    Max,
+    Median,
+}
+
+const QS: [Q; 12] = [
+    Q::Psi,
+    Q::PsiVerified,
+    Q::Psu,
+    Q::PsuVerified,
+    Q::Count,
+    Q::CountVerified,
+    Q::Sum,
+    Q::SumVerified,
+    Q::Avg,
+    Q::Batch,
+    Q::Max,
+    Q::Median,
+];
+
+/// Run one query as `owner` and flatten its typed output to a debug
+/// string, so results of different operations compare uniformly —
+/// bit-identical outputs produce identical strings.
+fn run_query(
+    c: &NetCluster,
+    owner: u32,
+    q: Q,
+    vals: &OwnerVals,
+) -> Result<(String, QueryStats), String> {
+    fn fmt<T: std::fmt::Debug>(
+        r: Result<(T, QueryStats), prism_net::ClusterError>,
+    ) -> Result<(String, QueryStats), String> {
+        r.map(|(out, stats)| (format!("{out:?}"), stats))
+            .map_err(|e| e.to_string())
+    }
+    match q {
+        Q::Psi => fmt(c.execute_as(owner, &plans::Psi)),
+        Q::PsiVerified => fmt(c.execute_as(owner, &plans::PsiVerified)),
+        Q::Psu => fmt(c.execute_as(owner, &plans::Psu)),
+        Q::PsuVerified => fmt(c.execute_as(owner, &plans::PsuVerified)),
+        Q::Count => fmt(c.execute_as(owner, &plans::Count)),
+        Q::CountVerified => fmt(c.execute_as(owner, &plans::CountVerified)),
+        Q::Sum => fmt(c.execute_as(owner, &plans::Sum { attr: 0, seed: 9 })),
+        Q::SumVerified => fmt(c.execute_as(owner, &plans::SumVerified { attr: 0, seed: 10 })),
+        Q::Avg => fmt(c.execute_as(owner, &plans::Average { attr: 0, seed: 11 })),
+        Q::Batch => {
+            let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+            fmt(c.execute_as(
+                owner,
+                &plans::Batch {
+                    batch: &batch,
+                    seed: 21,
+                },
+            ))
+        }
+        Q::Max => {
+            let values: Vec<&[u64]> = vals.maxima.iter().map(Vec::as_slice).collect();
+            fmt(c.execute_as(
+                owner,
+                &plans::Max {
+                    values,
+                    table: None,
+                    seed: 50,
+                    cell_chunk: 1 << 16,
+                },
+            ))
+        }
+        Q::Median => {
+            let values: Vec<&[u64]> = vals.sums.iter().map(Vec::as_slice).collect();
+            fmt(c.execute_as(
+                owner,
+                &plans::Median {
+                    values,
+                    table: None,
+                    seed: 51,
+                    cell_chunk: 1 << 16,
+                },
+            ))
+        }
+    }
+}
+
+/// Tamper sub-phase: with server 0 tampering, every interleaved plain
+/// query returns the same (deterministically corrupted) result and every
+/// interleaved verified query fails — verdicts never cross between
+/// concurrent queries. Honesty restored afterwards.
+fn tamper_phase(cluster: &NetCluster, vals: &OwnerVals) {
+    cluster
+        .set_tamper(0, Tamper::SkipReplay { src: 0 })
+        .unwrap();
+    let tampered_psi = run_query(cluster, 0, Q::Psi, vals).unwrap().0;
+    assert!(run_query(cluster, 0, Q::PsiVerified, vals).is_err());
+    std::thread::scope(|s| {
+        for i in 0..K as u32 {
+            let tampered_psi = &tampered_psi;
+            s.spawn(move || {
+                for _ in 0..2 {
+                    assert_eq!(
+                        &run_query(cluster, i, Q::Psi, vals).unwrap().0,
+                        tampered_psi,
+                        "tampered plain result must match the serial tampered run"
+                    );
+                    assert!(
+                        run_query(cluster, i, Q::PsiVerified, vals).is_err(),
+                        "every interleaved verified query must catch the tamper"
+                    );
+                }
+            });
+        }
+    });
+    cluster.set_tamper(0, Tamper::Honest).unwrap();
+    assert!(run_query(cluster, 0, Q::PsiVerified, vals).is_ok());
+}
+
+/// The headline harness: serial reference for every operation, then K
+/// interleaved streams running the full mix in rotated order, compared
+/// query-by-query — results, rounds, and (with the cache on) per-query
+/// hit/miss counts. Ends with the tamper sub-phase and the link-health
+/// pins.
+fn conformance(mut cluster: NetCluster, cache_on: bool) {
+    if cache_on {
+        cluster.enable_cache();
+    }
+    setup_and_upload(&cluster, &rows());
+    let vals = owner_vals();
+
+    // With the cache on, warm it first: two concurrent *cold* identical
+    // queries legitimately both miss, so the deterministic comparison is
+    // interleaved-warm vs serial-warm.
+    if cache_on {
+        for q in QS {
+            run_query(&cluster, 0, q, &vals).unwrap();
+        }
+    }
+    let reference: Vec<(Q, String, QueryStats)> = QS
+        .iter()
+        .map(|&q| {
+            let (out, stats) = run_query(&cluster, 0, q, &vals).unwrap();
+            (q, out, stats)
+        })
+        .collect();
+
+    let before = cluster.report();
+    let before_dispatches = cluster.meters().shard_dispatches;
+    let interleaved: Vec<Vec<(Q, String, QueryStats)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..K)
+            .map(|i| {
+                let cluster = &cluster;
+                let vals = &vals;
+                s.spawn(move || {
+                    // Rotate the mix per stream so different operations
+                    // collide on the links at the same time.
+                    (0..QS.len())
+                        .map(|k| {
+                            let q = QS[(k + 4 * i) % QS.len()];
+                            let (out, stats) = run_query(cluster, i as u32, q, vals).unwrap();
+                            (q, out, stats)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let after = cluster.report();
+    let after_dispatches = cluster.meters().shard_dispatches;
+
+    let mut sum = QueryStats::default();
+    for stream in &interleaved {
+        for (q, out, stats) in stream {
+            let (_, ref_out, ref_stats) = reference.iter().find(|(rq, _, _)| rq == q).unwrap();
+            assert_eq!(
+                out, ref_out,
+                "{q:?}: interleaved result differs from serial"
+            );
+            assert_eq!(
+                stats.rounds, ref_stats.rounds,
+                "{q:?}: interleaved round count differs from serial"
+            );
+            if cache_on {
+                assert_eq!(stats.cache_hits, ref_stats.cache_hits, "{q:?}: cache hits");
+                assert_eq!(
+                    stats.cache_misses, ref_stats.cache_misses,
+                    "{q:?}: cache misses"
+                );
+            }
+            sum.cache_hits += stats.cache_hits;
+            sum.cache_misses += stats.cache_misses;
+            sum.cache_invalidations += stats.cache_invalidations;
+            sum.shard_dispatches += stats.shard_dispatches;
+        }
+    }
+
+    // Meter audit: the cluster-level meters moved by exactly the sum of
+    // the per-query stats — concurrency never double-counts or loses a
+    // round's accounting.
+    assert_eq!(after.cache_hits - before.cache_hits, sum.cache_hits);
+    assert_eq!(after.cache_misses - before.cache_misses, sum.cache_misses);
+    assert_eq!(
+        after.cache_invalidations - before.cache_invalidations,
+        sum.cache_invalidations
+    );
+    assert_eq!(after_dispatches - before_dispatches, sum.shard_dispatches);
+
+    tamper_phase(&cluster, &vals);
+
+    assert_eq!(
+        cluster.rejected_replies(),
+        0,
+        "no pump may ever drop a reply in a healthy cluster"
+    );
+    assert_eq!(cluster.queries_in_flight(), 0);
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn channel_interleaved_matches_serial() {
+    conformance(NetCluster::start_local(make_setup()), false);
+}
+
+#[test]
+fn channel_sharded_interleaved_matches_serial() {
+    conformance(NetCluster::start_local_sharded(make_setup(), 4), false);
+}
+
+#[test]
+fn channel_cached_interleaved_matches_serial() {
+    conformance(NetCluster::start_local(make_setup()), true);
+}
+
+#[test]
+fn channel_sharded_cached_interleaved_matches_serial() {
+    conformance(NetCluster::start_local_sharded(make_setup(), 4), true);
+}
+
+#[test]
+fn tcp_interleaved_matches_serial() {
+    conformance(NetCluster::start_tcp(make_setup()).unwrap(), false);
+}
+
+#[test]
+fn tcp_sharded_interleaved_matches_serial() {
+    conformance(
+        NetCluster::start_tcp_sharded(make_setup(), 4).unwrap(),
+        false,
+    );
+}
+
+#[test]
+fn tcp_cached_interleaved_matches_serial() {
+    conformance(NetCluster::start_tcp(make_setup()).unwrap(), true);
+}
+
+#[test]
+fn tcp_sharded_cached_interleaved_matches_serial() {
+    conformance(
+        NetCluster::start_tcp_sharded(make_setup(), 4).unwrap(),
+        true,
+    );
+}
+
+#[test]
+fn small_admission_window_still_serves_every_query() {
+    let mut cluster = NetCluster::start_local(make_setup());
+    cluster.set_admission_window(2);
+    setup_and_upload(&cluster, &rows());
+    let vals = owner_vals();
+    let reference = run_query(&cluster, 0, Q::Psi, &vals).unwrap().0;
+    std::thread::scope(|s| {
+        for i in 0..6u32 {
+            let cluster = &cluster;
+            let vals = &vals;
+            let reference = &reference;
+            s.spawn(move || {
+                assert_eq!(
+                    &run_query(cluster, i % 3, Q::Psi, vals).unwrap().0,
+                    reference
+                );
+            });
+        }
+    });
+    assert_eq!(cluster.queries_in_flight(), 0);
+    assert_eq!(cluster.rejected_replies(), 0);
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn aborted_query_interleaved_with_honest_ones_does_not_poison_links() {
+    use prism_core::wide::WideVec;
+    use prism_protocol::engine::ServerCmd;
+    use prism_protocol::max::BlindedMaxUpload;
+
+    let cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&cluster, &rows());
+    let vals = owner_vals();
+    let reference = run_query(&cluster, 0, Q::Psi, &vals).unwrap().0;
+
+    // One stream issues a doomed wide round (server 1 gets the wrong
+    // owner count and reports the zero receipt — the mid-flight abort
+    // shape) while honest PSI streams share the same links.
+    let op = cluster.setup().owner.clone();
+    let uploads = |n: usize| -> Vec<BlindedMaxUpload> {
+        (0..n)
+            .map(|_| BlindedMaxUpload {
+                shares: WideVec::zeroed(2, op.wide_width),
+            })
+            .collect()
+    };
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let replies = cluster
+                .round(vec![
+                    (
+                        0,
+                        ServerCmd::MaxCombine {
+                            uploads: uploads(3),
+                            threads: 1,
+                        },
+                    ),
+                    (
+                        1,
+                        ServerCmd::MaxCombine {
+                            uploads: uploads(2),
+                            threads: 1,
+                        },
+                    ),
+                ])
+                .unwrap()
+                .replies;
+            assert_eq!(replies.len(), 2);
+        });
+        for i in 0..K as u32 {
+            let cluster = &cluster;
+            let vals = &vals;
+            let reference = &reference;
+            s.spawn(move || {
+                assert_eq!(&run_query(cluster, i, Q::Psi, vals).unwrap().0, reference);
+            });
+        }
+    });
+
+    // A later full max query must pair only its own round's uploads —
+    // the announcer discards the aborted round's stale matrix by seq.
+    let (max_out, _) = run_query(&cluster, 0, Q::Max, &vals).unwrap();
+    let serial_max = run_query(&cluster, 0, Q::Max, &vals).unwrap().0;
+    assert_eq!(max_out, serial_max);
+    assert_eq!(cluster.rejected_replies(), 0);
+    cluster.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random schedules of concurrent query bursts
+// interleaved with owner re-uploads, against the in-memory driver as a
+// serial oracle.
+// ---------------------------------------------------------------------
+
+/// One schedule step: re-outsource an owner's relation (acked before the
+/// schedule proceeds), or a burst of queries that run concurrently and
+/// join before the next step.
+#[derive(Debug, Clone)]
+enum Step {
+    Upload { owner: usize, rows: Vec<(u64, u64)> },
+    Burst(Vec<u8>),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        any::<bool>(),
+        0usize..3,
+        vec((1u64..=DOMAIN as u64, 0u64..100), 0..6),
+        vec(0u8..4, 1..4),
+    )
+        .prop_map(|(is_upload, owner, rows, kinds)| {
+            if is_upload {
+                Step::Upload { owner, rows }
+            } else {
+                Step::Burst(kinds)
+            }
+        })
+}
+
+/// Answer one burst query kind on the oracle (serially).
+fn oracle_answer(oracle: &Cluster, kind: u8) -> String {
+    match kind % 4 {
+        0 => format!("{:?}", oracle.psi().unwrap().0),
+        1 => format!("{:?}", oracle.psi_count().unwrap().0),
+        2 => format!("{:?}", oracle.psi_sum(0).unwrap().0),
+        _ => {
+            let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+            format!("{:?}", oracle.psi_query_batch(&batch).unwrap().0)
+        }
+    }
+}
+
+/// Answer one burst query kind on the networked cluster as `owner`.
+fn net_answer(net: &NetCluster, owner: u32, kind: u8) -> (String, QueryStats) {
+    let fmt = |r: Result<(String, QueryStats), String>| r.unwrap();
+    match kind % 4 {
+        0 => fmt(net
+            .execute_as(owner, &plans::Psi)
+            .map(|(o, s)| (format!("{o:?}"), s))
+            .map_err(|e| e.to_string())),
+        1 => fmt(net
+            .execute_as(owner, &plans::Count)
+            .map(|(o, s)| (format!("{o:?}"), s))
+            .map_err(|e| e.to_string())),
+        2 => fmt(net
+            .execute_as(owner, &plans::Sum { attr: 0, seed: 9 })
+            .map(|(o, s)| (format!("{o:?}"), s))
+            .map_err(|e| e.to_string())),
+        _ => {
+            let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+            fmt(net
+                .execute_as(
+                    owner,
+                    &plans::Batch {
+                        batch: &batch,
+                        seed: 21,
+                    },
+                )
+                .map(|(o, s)| (format!("{o:?}"), s))
+                .map_err(|e| e.to_string()))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random schedules of concurrent query bursts interleaved with
+    /// owner re-uploads: every query admitted after an acked upload
+    /// sees it (never stale), every answer matches the serial oracle
+    /// bit for bit (never cross-paired), and the cluster's cache
+    /// meters move by exactly the sum of the burst's per-query stats.
+    #[test]
+    fn random_schedules_match_the_serial_oracle(
+        steps in vec(step_strategy(), 1..6),
+        cache in any::<bool>(),
+        shards in 1usize..=2,
+    ) {
+        let mut net = NetCluster::start_local_sharded(make_setup(), shards);
+        if cache {
+            net.enable_cache();
+        }
+        setup_and_upload(&net, &rows());
+        let mut oracle = Cluster::from_rows(&rows(), DOMAIN, 77).unwrap();
+        let mut upload_seed = 0xBEEFu64;
+
+        for step in steps {
+            match step {
+                Step::Upload { owner, rows } => {
+                    oracle
+                        .update_owner(owner, &OwnerInput::from_pairs(rows.iter().copied()))
+                        .unwrap();
+                    upload_seed += 1;
+                    upload_owner(&net, owner, &rows, upload_seed);
+                }
+                Step::Burst(kinds) => {
+                    let before = net.report();
+                    let results: Vec<(u8, String, QueryStats)> = std::thread::scope(|s| {
+                        let handles: Vec<_> = kinds
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &kind)| {
+                                let net = &net;
+                                s.spawn(move || {
+                                    let (out, stats) = net_answer(net, i as u32, kind);
+                                    (kind, out, stats)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    });
+                    let after = net.report();
+                    let mut hits = 0u64;
+                    let mut misses = 0u64;
+                    for (kind, out, stats) in &results {
+                        // Both sides debug-print the same output types
+                        // (`PsiOutcome`, `usize`, `Vec<u64>`,
+                        // `Vec<AggResult>`), so string equality is
+                        // bit-identity of the results.
+                        prop_assert_eq!(
+                            &oracle_answer(&oracle, *kind),
+                            out,
+                            "kind {}: concurrent answer diverged from the serial \
+                             oracle (stale or cross-paired reply)",
+                            kind
+                        );
+                        hits += stats.cache_hits;
+                        misses += stats.cache_misses;
+                    }
+                    prop_assert_eq!(after.cache_hits - before.cache_hits, hits);
+                    prop_assert_eq!(after.cache_misses - before.cache_misses, misses);
+                    prop_assert_eq!(net.rejected_replies(), 0);
+                }
+            }
+        }
+        prop_assert_eq!(net.queries_in_flight(), 0);
+        net.shutdown().unwrap();
+    }
+}

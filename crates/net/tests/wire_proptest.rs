@@ -253,4 +253,48 @@ proptest! {
             prop_assert_eq!(&enc[..], &soup[..enc.len()]);
         }
     }
+
+    /// Query-tagged envelopes around every message shape: the envelope
+    /// round-trips bit-exactly and splits back into its tag and payload;
+    /// every strict prefix is rejected (so a truncated envelope can never
+    /// decode as a different query's frame); and wrapping the encoding in
+    /// a second envelope is rejected as malformed (envelopes never nest,
+    /// so one frame carries exactly one query identity).
+    #[test]
+    fn tagged_envelopes_roundtrip_and_reject_corruption(
+        sel in any::<u8>(),
+        owner in any::<u32>(),
+        col_sel in any::<u8>(),
+        attr in any::<u8>(),
+        data in vec(any::<u64>(), 0..12),
+        zs in vec(vec(any::<u64>(), 0..8), 0..3),
+        items_raw in vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..4),
+        threads in any::<u32>(),
+        t_sel in any::<u8>(),
+        tx in any::<u64>(),
+        ty in any::<u64>(),
+        query in any::<u64>(),
+    ) {
+        let outer_query = query.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let inner = build_message(
+            sel, owner, col_sel, attr, data, zs, items_raw, threads, t_sel, tx, ty,
+        );
+        let msg = inner.clone().tagged(query);
+        let enc = msg.encode();
+        prop_assert_eq!(Message::decode(&enc).unwrap(), msg.clone());
+        prop_assert_eq!(msg.untag(), (Some(query), inner));
+        for cut in 0..enc.len() {
+            prop_assert!(
+                Message::decode(&enc[..cut]).is_err(),
+                "strict prefix of length {} of a tagged envelope decoded",
+                cut
+            );
+        }
+        // Hand-build the nested envelope (encode() debug-asserts against
+        // producing one).
+        let mut nested = vec![19u8];
+        nested.extend_from_slice(&outer_query.to_le_bytes());
+        nested.extend_from_slice(&enc);
+        prop_assert!(Message::decode(&nested).is_err());
+    }
 }

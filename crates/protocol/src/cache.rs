@@ -47,8 +47,8 @@
 //! decorator on and off.
 
 use crate::engine::{
-    AnnouncerCmd, AnnouncerReply, BatchItem, ExecMeters, QueryOp, ServerCmd, ServerExec,
-    ServerReply,
+    AnnouncerCmd, AnnouncerReply, BatchItem, ExecMeters, QueryOp, RoundOutcome, ServerCmd,
+    ServerExec, ServerReply,
 };
 use crate::error::{ProtocolError, Result};
 use std::collections::HashMap;
@@ -138,13 +138,17 @@ impl PsiRoundCache {
     }
 
     /// Drop `server`'s entries — all of them, or only those whose stamp
-    /// differs from `keep_version`.
-    fn drop_entries(&self, st: &mut CacheState, server: usize, keep_version: Option<u64>) {
+    /// differs from `keep_version`. Returns how many were dropped so
+    /// callers can attribute the invalidations to the query that
+    /// triggered the probe (the global counter is bumped here either
+    /// way).
+    fn drop_entries(&self, st: &mut CacheState, server: usize, keep_version: Option<u64>) -> u64 {
         let before = st.entries.len();
         st.entries
             .retain(|(s, _), (v, _)| *s != server || keep_version == Some(*v));
         let dropped = (before - st.entries.len()) as u64;
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
     }
 
     /// Rounds served from the cache since construction.
@@ -225,15 +229,20 @@ impl<'c, X: ServerExec> CachedExec<'c, X> {
     /// Probe the store versions of `servers` through the inner backend
     /// (one [`ServerCmd::Version`] round) and record them, dropping any
     /// entry whose stamp the confirmed version proves stale. Returns the
-    /// probe's server-side cost so the caller can charge it to the query
-    /// that triggered it — the probe is a real round-trip, just not a
-    /// plan-visible round.
-    fn refresh_versions(&self, servers: &[usize]) -> Result<Duration> {
+    /// probe's server-side cost and per-call meters (the inner round's
+    /// own meters plus the invalidations the probe caused) so the caller
+    /// can charge both to the query that triggered it — the probe is a
+    /// real round-trip, just not a plan-visible round.
+    fn refresh_versions(&self, servers: &[usize]) -> Result<(Duration, ExecMeters)> {
         if servers.is_empty() {
-            return Ok(Duration::ZERO);
+            return Ok((Duration::ZERO, ExecMeters::default()));
         }
         let cmds = servers.iter().map(|&s| (s, ServerCmd::Version)).collect();
-        let (replies, probe_cost) = self.inner.round(cmds)?;
+        let RoundOutcome {
+            replies,
+            cost: probe_cost,
+            mut meters,
+        } = self.inner.round(cmds)?;
         if replies.len() != servers.len() {
             return Err(ProtocolError::MalformedResponse(
                 "short reply to a version probe round",
@@ -249,15 +258,15 @@ impl<'c, X: ServerExec> CachedExec<'c, X> {
                     ))
                 }
             };
-            self.cache.drop_entries(&mut st, s, Some(v));
+            meters.cache_invalidations += self.cache.drop_entries(&mut st, s, Some(v));
             *CacheState::slot(&mut st.versions, s) = Some(v);
         }
-        Ok(probe_cost)
+        Ok((probe_cost, meters))
     }
 }
 
 impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
-    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<RoundOutcome> {
         // The round is cacheable only if *every* command is an eligible
         // batch and no participating server is tampered — partial
         // service would split one owner↔server round in two.
@@ -285,7 +294,7 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
                 .filter(|&s| st.versions.get(s).copied().flatten().is_none())
                 .collect()
         };
-        let probe_cost = self.refresh_versions(&unknown)?;
+        let (probe_cost, probe_meters) = self.refresh_versions(&unknown)?;
 
         // Serve the whole round iff every participant has a live entry
         // stamped with its confirmed version.
@@ -303,7 +312,13 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
                 .collect();
             if let Some(replies) = served {
                 self.cache.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((replies, probe_cost));
+                let mut meters = probe_meters;
+                meters.cache_hits += 1;
+                return Ok(RoundOutcome {
+                    replies,
+                    cost: probe_cost,
+                    meters,
+                });
             }
         }
 
@@ -319,7 +334,11 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
         };
         let owned_keys: Vec<(usize, Vec<BatchItem>)> =
             keys.iter().map(|&(s, items)| (s, items.to_vec())).collect();
-        let (replies, cost) = self.inner.round(cmds)?;
+        let RoundOutcome {
+            replies,
+            cost,
+            meters: inner_meters,
+        } = self.inner.round(cmds)?;
         self.cache.misses.fetch_add(1, Ordering::Relaxed);
         let mut st = self.cache.state()?;
         for (((s, items), stamp), reply) in owned_keys.into_iter().zip(stamps).zip(&replies) {
@@ -328,7 +347,13 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
             }
         }
         drop(st);
-        Ok((replies, cost + probe_cost))
+        let mut meters = probe_meters.add(inner_meters);
+        meters.cache_misses += 1;
+        Ok(RoundOutcome {
+            replies,
+            cost: cost + probe_cost,
+            meters,
+        })
     }
 
     fn announce(

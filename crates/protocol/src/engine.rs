@@ -332,10 +332,12 @@ impl std::fmt::Display for QueryStats {
     }
 }
 
-/// Cumulative dispatch meters a [`ServerExec`] backend can expose.
-/// [`Ctx::round`] samples these before and after every round, so the
-/// per-query deltas land in [`QueryStats`] without the backends having to
-/// know anything about query boundaries.
+/// Dispatch meters a [`ServerExec`] backend reports. Two uses: each
+/// [`RoundOutcome`] carries the meters attributable to exactly that
+/// round call (what [`Ctx::round`] adds to [`QueryStats`] — exact even
+/// when many queries interleave on one shared backend), and
+/// [`ServerExec::meters`] exposes the backend's cumulative totals for
+/// reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecMeters {
     /// Shard sub-commands dispatched since the backend was built.
@@ -347,6 +349,47 @@ pub struct ExecMeters {
     pub cache_misses: u64,
     /// Cache entries dropped as stale (version mismatch or tamper).
     pub cache_invalidations: u64,
+}
+
+impl ExecMeters {
+    /// Component-wise sum (used by decorators that layer their own
+    /// meters over an inner backend's).
+    pub fn add(self, other: ExecMeters) -> ExecMeters {
+        ExecMeters {
+            shard_dispatches: self.shard_dispatches + other.shard_dispatches,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_invalidations: self.cache_invalidations + other.cache_invalidations,
+        }
+    }
+}
+
+/// Everything one [`ServerExec::round`] call produced: the per-server
+/// replies in command order, the backend's notion of server-side cost,
+/// and the dispatch meters attributable to exactly this call. Carrying
+/// the meters *in* the outcome (instead of sampling cumulative counters
+/// around the call) is what keeps per-query accounting exact when many
+/// queries interleave on one shared backend.
+#[derive(Debug)]
+pub struct RoundOutcome {
+    /// Per-server replies, in command order.
+    pub replies: Vec<ServerReply>,
+    /// Server-side cost of the round (max compute over servers
+    /// in-process; round-trip wall time over a wire).
+    pub cost: Duration,
+    /// Dispatch/cache meters for exactly this call.
+    pub meters: ExecMeters,
+}
+
+impl RoundOutcome {
+    /// An outcome with no dispatch meters (unsharded, uncached backends).
+    pub fn plain(replies: Vec<ServerReply>, cost: Duration) -> RoundOutcome {
+        RoundOutcome {
+            replies,
+            cost,
+            meters: ExecMeters::default(),
+        }
+    }
 }
 
 /// Per-owner share columns stored at one server (the owner uploads these
@@ -613,12 +656,13 @@ impl ServerNode {
 pub trait ServerExec {
     /// Deliver each `(server, command)` pair and collect replies in order.
     /// One call corresponds to one owner↔server communication round; the
-    /// returned duration is the backend's notion of server-side cost for
-    /// the round (max compute over servers in-process; round-trip wall
-    /// time over a wire). Wide matrices produced by
-    /// [`ServerCmd::MaxCombine`] must be delivered to the backend's
-    /// announcer and replaced by [`ServerReply::WideForwarded`] receipts.
-    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)>;
+    /// outcome carries the backend's notion of server-side cost for the
+    /// round (max compute over servers in-process; round-trip wall time
+    /// over a wire) plus the dispatch meters attributable to exactly this
+    /// call. Wide matrices produced by [`ServerCmd::MaxCombine`] must be
+    /// delivered to the backend's announcer and replaced by
+    /// [`ServerReply::WideForwarded`] receipts.
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<RoundOutcome>;
 
     /// Ask the announcer to act on the wide matrices staged by the
     /// [`ServerCmd::MaxCombine`] round with sequence number `seq` (the
@@ -644,7 +688,7 @@ pub trait ServerExec {
 /// `&dyn ServerExec`, which the transport-conformance suite uses to drive
 /// every backend through one generic function).
 impl<T: ServerExec + ?Sized> ServerExec for &T {
-    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<RoundOutcome> {
         (**self).round(cmds)
     }
 
@@ -679,6 +723,12 @@ impl<T: ServerExec + ?Sized> ServerExec for &T {
 /// instead of a silently wrong announcement. Announcing consumes the
 /// matching pair: the paper's data flow, where the announcer only ever
 /// acts on what the servers forwarded for the round in question.
+///
+/// The inbox stages uploads **per round**: concurrent queries each run
+/// their own wide round, and the announcer keeps every in-flight round's
+/// pair separate (bounded by [`Announcer::STAGED_ROUNDS_CAP`]; beyond
+/// that the oldest staged round — necessarily an abandoned one under the
+/// cap — is evicted).
 #[derive(Debug)]
 pub struct Announcer {
     params: AnnouncerParams,
@@ -687,17 +737,24 @@ pub struct Announcer {
     inbox: std::sync::Mutex<AnnouncerInbox>,
 }
 
-/// Per-additive-server staged upload: `(wide-round sequence, matrix)`.
-type AnnouncerInbox = [Option<(u64, WideVec)>; 2];
+/// Staged uploads keyed by wide-round sequence: per round, one optional
+/// matrix per additive server.
+type AnnouncerInbox = std::collections::BTreeMap<u64, [Option<WideVec>; 2]>;
 
 impl Announcer {
+    /// Most wide rounds the inbox stages at once. Every round a query
+    /// actually announces is consumed promptly, so only rounds abandoned
+    /// mid-flight accumulate; past the cap the oldest staged round is
+    /// evicted on deposit.
+    pub const STAGED_ROUNDS_CAP: usize = 32;
+
     /// An honest announcer with an empty inbox.
     pub fn new(params: AnnouncerParams) -> Announcer {
         Announcer {
             params,
             tamper: crate::malicious::AnnouncerTamper::Honest,
             seq: AtomicU64::new(0),
-            inbox: std::sync::Mutex::new([None, None]),
+            inbox: std::sync::Mutex::new(AnnouncerInbox::new()),
         }
     }
 
@@ -726,26 +783,45 @@ impl Announcer {
     }
 
     /// Stage additive server `server`'s wide upload for round `seq`
-    /// (`server` must be 0 or 1). A newer deposit overwrites an older one
-    /// on the same slot, so stale uploads never accumulate.
+    /// (`server` must be 0 or 1). Rounds stage independently, so
+    /// interleaved queries' uploads never overwrite each other; if more
+    /// than [`Announcer::STAGED_ROUNDS_CAP`] rounds are staged, the
+    /// oldest (an abandoned round — live ones announce and are consumed)
+    /// is evicted.
     pub fn deposit(&self, server: usize, seq: u64, shares: WideVec) -> Result<()> {
-        let mut inbox = self.inbox()?;
-        let slot = inbox.get_mut(server).ok_or_else(|| {
-            ProtocolError::ParameterMismatch(format!(
+        if server >= 2 {
+            return Err(ProtocolError::ParameterMismatch(format!(
                 "only the two additive servers reach the announcer, got server {server}"
-            ))
-        })?;
-        *slot = Some((seq, shares));
+            )));
+        }
+        let mut inbox = self.inbox()?;
+        inbox.entry(seq).or_default()[server] = Some(shares);
+        while inbox.len() > Self::STAGED_ROUNDS_CAP {
+            inbox.pop_first();
+        }
         Ok(())
+    }
+
+    /// Is `server`'s upload for round `seq` staged? (The networked
+    /// announcer loop uses this to drain its server links only until the
+    /// requested round's uploads have arrived.)
+    pub fn staged(&self, server: usize, seq: u64) -> bool {
+        self.inbox()
+            .ok()
+            .and_then(|inbox| {
+                inbox
+                    .get(&seq)
+                    .map(|pair| pair.get(server).is_some_and(Option::is_some))
+            })
+            .unwrap_or(false)
     }
 
     /// Act on round `seq`'s staged uploads: reconstruct, find the max /
     /// middle element(s), re-share, apply the attached tamper. Consumes
-    /// the pair only when **both** servers' staged uploads carry exactly
-    /// `seq`; anything else — a missing upload, a stale round left by an
-    /// aborted query, an interleaved query's round — errors and leaves
-    /// the inbox untouched (so the query that does own the staged pair
-    /// can still announce).
+    /// round `seq`'s pair only when **both** servers' uploads for that
+    /// round are staged; anything else — a missing upload, a stale round
+    /// left by an aborted query — errors and leaves the inbox untouched
+    /// (so interleaved queries' staged rounds can still announce).
     pub fn announce(
         &self,
         cmd: AnnouncerCmd,
@@ -754,17 +830,17 @@ impl Announcer {
     ) -> Result<(AnnouncerReply, Duration)> {
         let (from_s1, from_s2) = {
             let mut inbox = self.inbox()?;
-            let matches =
-                |slot: &Option<(u64, WideVec)>| slot.as_ref().is_some_and(|(s, _)| *s == seq);
-            if !matches(&inbox[0]) || !matches(&inbox[1]) {
+            let complete = inbox
+                .get(&seq)
+                .is_some_and(|pair| pair.iter().all(Option::is_some));
+            if !complete {
                 return Err(ProtocolError::MalformedResponse(
                     "announcer has no staged uploads for this wide round; \
                      announce must follow its own combine round",
                 ));
             }
-            let (_, a) = inbox[0].take().expect("matched above");
-            let (_, b) = inbox[1].take().expect("matched above");
-            (a, b)
+            let [a, b] = inbox.remove(&seq).expect("checked complete above");
+            (a.expect("checked complete"), b.expect("checked complete"))
         };
         let t0 = Instant::now();
         let mut reply = match cmd {
@@ -836,7 +912,7 @@ impl<'a> InMemoryExec<'a> {
 }
 
 impl ServerExec for InMemoryExec<'_> {
-    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<RoundOutcome> {
         let mut worst = Duration::ZERO;
         let mut replies = Vec::with_capacity(cmds.len());
         let mut round_seq = None;
@@ -849,7 +925,7 @@ impl ServerExec for InMemoryExec<'_> {
             worst = worst.max(t0.elapsed());
             replies.push(forward_wide(self.announcer, *s, reply, &mut round_seq)?);
         }
-        Ok((replies, worst))
+        Ok(RoundOutcome::plain(replies, worst))
     }
 
     fn announce(
@@ -896,29 +972,24 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
     /// round-trip happened — and lands in
     /// [`QueryStats::cache_hits`] instead.
     ///
-    /// Like `shard_dispatches`, the cache counters are attributed by
-    /// sampling the backend's *cumulative* [`ExecMeters`] around the
-    /// round, so per-query numbers are exact for queries issued
-    /// sequentially on a backend; interleaved concurrent queries on one
-    /// shared backend can attribute a delta to the wrong query's stats
-    /// (results are unaffected — the cumulative meters stay correct).
+    /// The cache and `shard_dispatches` counters come straight out of the
+    /// [`RoundOutcome`] — each backend reports the meters attributable to
+    /// exactly this call — so per-query stats stay exact even when many
+    /// queries interleave on one shared backend.
     pub fn round(&mut self, cmds: Vec<(usize, ServerCmd)>) -> Result<Vec<ServerReply>> {
-        let before = self.exec.meters();
-        let (replies, cost) = self.exec.round(cmds)?;
-        let after = self.exec.meters();
-        let hits = after.cache_hits.saturating_sub(before.cache_hits);
-        self.stats.cache_hits += hits;
-        self.stats.cache_misses += after.cache_misses.saturating_sub(before.cache_misses);
-        self.stats.cache_invalidations += after
-            .cache_invalidations
-            .saturating_sub(before.cache_invalidations);
-        if hits == 0 {
+        let RoundOutcome {
+            replies,
+            cost,
+            meters,
+        } = self.exec.round(cmds)?;
+        self.stats.cache_hits += meters.cache_hits;
+        self.stats.cache_misses += meters.cache_misses;
+        self.stats.cache_invalidations += meters.cache_invalidations;
+        if meters.cache_hits == 0 {
             self.stats.rounds += 1;
         }
         self.stats.server_time += cost;
-        self.stats.shard_dispatches += after
-            .shard_dispatches
-            .saturating_sub(before.shard_dispatches);
+        self.stats.shard_dispatches += meters.shard_dispatches;
         let mut round_seq = None;
         for reply in &replies {
             if let ServerReply::WideForwarded { seq, .. } = reply {

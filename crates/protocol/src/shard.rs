@@ -36,7 +36,7 @@
 
 use crate::engine::{
     forward_wide, Announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Column, ExecMeters,
-    ServerCmd, ServerExec, ServerNode, ServerReply,
+    RoundOutcome, ServerCmd, ServerExec, ServerNode, ServerReply,
 };
 use crate::error::{ProtocolError, Result};
 use crate::malicious::Tamper;
@@ -380,20 +380,36 @@ impl<'a> ShardedExec<'a> {
 }
 
 impl ServerExec for ShardedExec<'_> {
-    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<(Vec<ServerReply>, Duration)> {
+    fn round(&self, cmds: Vec<(usize, ServerCmd)>) -> Result<RoundOutcome> {
         let mut worst = Duration::ZERO;
         let mut replies = Vec::with_capacity(cmds.len());
         let mut round_seq = None;
+        // Dispatch attribution is computed from the command shape, not by
+        // sampling the nodes' cumulative counters: a stored-column batch
+        // on a k-sharded node fans out exactly k dispatches, so the delta
+        // for *this* call is known locally and stays exact when other
+        // queries run fan-outs on the same nodes concurrently.
+        let mut dispatches = 0u64;
         for (s, cmd) in &cmds {
             let node = self.nodes.get(*s).ok_or_else(|| {
                 ProtocolError::ParameterMismatch(format!("no server {s} in this deployment"))
             })?;
+            if matches!(cmd, ServerCmd::Run(_)) && node.shards.len() > 1 {
+                dispatches += node.shards.len() as u64;
+            }
             let t0 = Instant::now();
             let reply = node.execute(cmd)?;
             worst = worst.max(t0.elapsed());
             replies.push(forward_wide(self.announcer, *s, reply, &mut round_seq)?);
         }
-        Ok((replies, worst))
+        Ok(RoundOutcome {
+            replies,
+            cost: worst,
+            meters: ExecMeters {
+                shard_dispatches: dispatches,
+                ..ExecMeters::default()
+            },
+        })
     }
 
     fn announce(

@@ -143,6 +143,15 @@ pub fn netmax_bench() -> (u64, usize) {
     (4_096, 4)
 }
 
+/// Concurrent-serving bench: the fixed `(domain, owners, stream_counts,
+/// total_queries)` config for the closed-loop load generator — every
+/// stream count answers the same `total_queries` batched queries over
+/// one cluster, so the N = 1 row is the serial baseline the wider rows
+/// are compared against in `BENCH_serve.json`.
+pub fn serve_bench() -> (u64, usize, Vec<usize>, usize) {
+    (100_000, 4, vec![1, 4, 16], 16)
+}
+
 /// Table 13: dataset sizes for the two-owner comparison.
 pub fn table13_sizes(scale: Scale) -> Vec<u64> {
     match scale {

@@ -40,11 +40,14 @@ bench-check:
 # deployment (channel + TCP, announcer as a fourth node) and writes
 # BENCH_netmax.json; `cache` runs the repeat-query PSI-round cache sweep
 # and writes BENCH_cache.json — the sweep *asserts* at least one cache
-# hit, so a cache regression fails the smoke run (all three JSONs are
-# uploaded as CI artifacts).
+# hit, so a cache regression fails the smoke run; `serve` drives N ∈
+# {1,4,16} concurrent query streams through the session multiplexer
+# (asserting every concurrent answer matches serial) and writes
+# BENCH_serve.json (all four JSONs are uploaded as CI artifacts).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache serve --scale small
     grep -q '"total_cache_hits": [1-9]' BENCH_cache.json
+    grep -q '"queries_per_second"' BENCH_serve.json
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:
