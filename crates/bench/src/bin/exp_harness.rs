@@ -1,10 +1,10 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|all]
 //!             [--scale small|medium|full] [--seed N]
 //!             [--shard-json PATH] [--netmax-json PATH] [--cache-json PATH]
-//!             [--serve-json PATH]
+//!             [--serve-json PATH] [--hotpath-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
@@ -22,12 +22,49 @@
 //! session multiplexer with N ∈ {1, 4, 16} concurrent query streams over
 //! one cluster (same total work per row, so N = 1 is the serial
 //! baseline), records per-query p50/p99 latency and queries/sec, and
-//! writes `BENCH_serve.json`.
+//! writes `BENCH_serve.json`. `hotpath` times the three per-row server
+//! kernels in both their retained Vec-returning and flat in-place forms
+//! (counting heap allocations per warm call through the binary's counting
+//! allocator) and writes `BENCH_hotpath.json`.
 
 use prism_bench::{
-    cacheexp, exp1, exp2, exp3, exp4, netmax, serveexp, shardexp, sharegen, table13,
+    cacheexp, exp1, exp2, exp3, exp4, hotpathexp, netmax, serveexp, shardexp, sharegen, table13,
 };
 use prism_workload::configs::{self, Scale};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The system allocator behind an allocation counter, so the `hotpath`
+/// experiment can report heap allocations per warm kernel call. The
+/// counter only ever increments; readers diff two snapshots.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter bump has no effect
+// on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 struct Args {
     which: Vec<String>,
@@ -37,6 +74,7 @@ struct Args {
     netmax_json: std::path::PathBuf,
     cache_json: std::path::PathBuf,
     serve_json: std::path::PathBuf,
+    hotpath_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +85,7 @@ fn parse_args() -> Args {
     let mut netmax_json = std::path::PathBuf::from("BENCH_netmax.json");
     let mut cache_json = std::path::PathBuf::from("BENCH_cache.json");
     let mut serve_json = std::path::PathBuf::from("BENCH_serve.json");
+    let mut hotpath_json = std::path::PathBuf::from("BENCH_hotpath.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -87,12 +126,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--hotpath-json" => {
+                hotpath_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--hotpath-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exp_harness \
-                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|all]* \
+                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|all]* \
                      [--scale small|medium|full] [--seed N] [--shard-json PATH] \
-                     [--netmax-json PATH] [--cache-json PATH] [--serve-json PATH]"
+                     [--netmax-json PATH] [--cache-json PATH] [--serve-json PATH] \
+                     [--hotpath-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -110,6 +156,7 @@ fn parse_args() -> Args {
         netmax_json,
         cache_json,
         serve_json,
+        hotpath_json,
     }
 }
 
@@ -184,6 +231,15 @@ fn main() {
         match netmax::write_json(&args.netmax_json, domain, owners, &rows) {
             Ok(()) => println!("wrote {}", args.netmax_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.netmax_json.display()),
+        }
+    }
+    if wants("hotpath") {
+        let (cells, owners, reps) = configs::hotpath_bench();
+        let rows = hotpathexp::run(cells, owners, reps, seed, Some(allocation_count));
+        hotpathexp::print(cells, owners, &rows);
+        match hotpathexp::write_json(&args.hotpath_json, cells, owners, &rows) {
+            Ok(()) => println!("wrote {}", args.hotpath_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.hotpath_json.display()),
         }
     }
     if wants("serve") {

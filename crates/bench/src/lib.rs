@@ -12,6 +12,7 @@
 //! | [`table13`] | Table 13 (baseline comparison) |
 //! | [`sharegen`] | §8.1 share-generation times |
 //! | [`shardexp`] | sharded-domain scaling (PSI/sum vs shard count, `BENCH_shard.json`) |
+//! | [`hotpathexp`] | hot-path kernel pairs, flat vs Vec baselines (`BENCH_hotpath.json`) |
 //! | [`cacheexp`] | cross-query PSI-round cache sweep (repeat-query latency, `BENCH_cache.json`) |
 //! | [`serveexp`] | concurrent serving through the session multiplexer (latency/throughput, `BENCH_serve.json`) |
 //!
@@ -28,6 +29,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod hotpathexp;
 pub mod netmax;
 pub mod report;
 pub mod serveexp;

@@ -94,6 +94,17 @@ pub fn inv_mod(a: u64, n: u64) -> Option<u64> {
     Some((((x % n_i) + n_i) % n_i) as u64)
 }
 
+/// The primes below 200, precomputed once as a const table.
+///
+/// `is_prime` trial-divides by a prefix of these before Miller–Rabin, and
+/// callers that need small primes (tests, parameter searches) read the table
+/// instead of re-sieving by trial division on every call.
+pub const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
+];
+
 /// Deterministic Miller–Rabin primality test, exact for every `u64`.
 ///
 /// Uses the well-known 12-witness base set that is provably sufficient for
@@ -102,7 +113,7 @@ pub fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+    for &p in &SMALL_PRIMES {
         if n == p {
             return true;
         }
@@ -234,10 +245,18 @@ mod tests {
 
     #[test]
     fn is_prime_small_exhaustive() {
-        let primes: Vec<u64> = (2..200).filter(|&n| (2..n).all(|d| n % d != 0)).collect();
         for n in 0..200u64 {
-            assert_eq!(is_prime(n), primes.contains(&n), "n={n}");
+            assert_eq!(is_prime(n), SMALL_PRIMES.contains(&n), "n={n}");
         }
+    }
+
+    #[test]
+    fn small_primes_table_is_complete_and_sorted() {
+        // The table must match an independent O(n²) trial-division sieve —
+        // computed once here in a test, never on a library call path.
+        let sieved: Vec<u64> = (2..200).filter(|&n| (2..n).all(|d| n % d != 0)).collect();
+        assert_eq!(SMALL_PRIMES.to_vec(), sieved);
+        assert!(SMALL_PRIMES.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

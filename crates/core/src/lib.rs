@@ -24,7 +24,7 @@ pub mod prg;
 pub mod shamir;
 pub mod wide;
 
-pub use additive::{reconstruct2, share2, share_vector2, AdditiveShare};
+pub use additive::{reconstruct2, reconstruct2_into, share2, share_vector2, AdditiveShare};
 pub use arith::MERSENNE_61;
 pub use bigint::{reconstruct_wide2, share_wide2, BigUint, WideShare};
 pub use domain::{DenseIntDomain, DomainMap, EnumeratedDomain, ProductDomain, SeededHashDomain};

@@ -83,6 +83,20 @@ impl Permutation {
         out.into_iter().map(|o| o.expect("bijection")).collect()
     }
 
+    /// Apply into a caller-owned buffer: `out[dest(i)] = input[i]`.
+    ///
+    /// Hot-path-only variant of [`Permutation::apply`] for `Copy` payloads:
+    /// no `Option` scaffolding, no allocation — every output slot is written
+    /// exactly once because the map is a bijection. `input` and `out` must
+    /// both match the domain size.
+    pub fn apply_into<T: Copy>(&self, input: &[T], out: &mut [T]) {
+        assert_eq!(input.len(), self.map.len(), "length mismatch in apply");
+        assert_eq!(out.len(), self.map.len(), "length mismatch in apply");
+        for (i, &item) in input.iter().enumerate() {
+            out[self.map[i] as usize] = item;
+        }
+    }
+
     /// The inverse permutation (`RPF` in §6.3 Step 5a).
     pub fn inverse(&self) -> Permutation {
         let mut inv = vec![0u32; self.map.len()];
@@ -249,6 +263,15 @@ mod tests {
             let p = Permutation::random(n, &mut prg);
             prop_assert_eq!(p.then(&p.inverse()), Permutation::identity(n));
             prop_assert_eq!(p.inverse().then(&p), Permutation::identity(n));
+        }
+
+        #[test]
+        fn prop_apply_into_matches_apply(seed: u64, v in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let mut prg = Prg::from_seed(seed);
+            let p = Permutation::random(v.len(), &mut prg);
+            let mut out = vec![0u64; v.len()];
+            p.apply_into(&v, &mut out);
+            prop_assert_eq!(out, p.apply(&v));
         }
 
         #[test]

@@ -87,8 +87,20 @@ impl Prg {
     /// `[1, delta - 1]` (never zero, never ≥ δ, so each is a unit mod δ
     /// when δ is prime).
     pub fn blinding_vector(&mut self, b: usize, delta: u64) -> Vec<u64> {
+        let mut out = vec![0u64; b];
+        self.blinding_into(&mut out, delta);
+        out
+    }
+
+    /// In-place variant of [`Prg::blinding_vector`]: fills `out` with the
+    /// identical stream (same draws, same rejection behaviour) without
+    /// allocating. Hot-path-only API — callers own the buffer and reuse it
+    /// across rounds.
+    pub fn blinding_into(&mut self, out: &mut [u64], delta: u64) {
         assert!(delta >= 2, "delta must be at least 2");
-        (0..b).map(|_| self.range(1, delta)).collect()
+        for v in out.iter_mut() {
+            *v = self.range(1, delta);
+        }
     }
 
     /// Uniform `f64` in `[0, 1)` (53-bit mantissa precision).
@@ -152,6 +164,18 @@ mod tests {
     }
 
     #[test]
+    fn blinding_into_matches_vector_api() {
+        let mut a = Prg::from_seed(0x5EED);
+        let mut b = Prg::from_seed(0x5EED);
+        let via_vec = a.blinding_vector(1024, 113);
+        let mut via_into = vec![u64::MAX; 1024];
+        b.blinding_into(&mut via_into, 113);
+        assert_eq!(via_vec, via_into);
+        // Both generators must have consumed the identical stream.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
     fn unit_f64_in_range() {
         let mut prg = Prg::from_seed(3);
         for _ in 0..1000 {
@@ -195,6 +219,17 @@ mod tests {
             for _ in 0..32 {
                 prop_assert!(prg.below(bound) < bound);
             }
+        }
+
+        #[test]
+        fn prop_blinding_into_parity(seed: u64, b in 0usize..512, delta in 2u64..100_000) {
+            let mut lhs = Prg::from_seed(seed);
+            let mut rhs = Prg::from_seed(seed);
+            let via_vec = lhs.blinding_vector(b, delta);
+            let mut via_into = vec![0u64; b];
+            rhs.blinding_into(&mut via_into, delta);
+            prop_assert_eq!(via_vec, via_into);
+            prop_assert_eq!(lhs.next_u64(), rhs.next_u64());
         }
 
         #[test]

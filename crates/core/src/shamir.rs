@@ -138,15 +138,66 @@ impl ShamirCtx {
     /// Bulk share of a vector: returns `count` parallel vectors of raw `y`
     /// values (the x is implied by the server index, saving 8 bytes/cell on
     /// the wire and in storage).
+    ///
+    /// One coefficient buffer is reused across all secrets, so the loop
+    /// performs no per-cell allocation; the PRG draw order is identical to
+    /// calling [`ShamirCtx::share`] per secret.
     pub fn share_vector(&self, secrets: &[u64], count: usize, prg: &mut Prg) -> Vec<Vec<u64>> {
+        assert!(
+            count > self.degree,
+            "need more shares ({count}) than the degree ({})",
+            self.degree
+        );
         let mut out = vec![Vec::with_capacity(secrets.len()); count];
+        let mut coeffs = vec![0u64; self.degree + 1];
         for &s in secrets {
-            let shares = self.share(s, count, prg);
-            for (k, sh) in shares.iter().enumerate() {
-                out[k].push(sh.y);
+            coeffs[0] = s % self.p;
+            for c in coeffs.iter_mut().skip(1) {
+                *c = prg.below(self.p);
+            }
+            for (k, col) in out.iter_mut().enumerate() {
+                col.push(self.eval_poly(&coeffs, (k + 1) as u64));
             }
         }
         out
+    }
+
+    /// Lagrange coefficients at 0 for evaluation points `1..=k` — the fixed
+    /// weights [`ShamirCtx::reconstruct_raw`] applies. Computing them once
+    /// per query (instead of re-deriving a field inverse per cell per share)
+    /// is what makes the flat [`ShamirCtx::reconstruct_raw_with`] path fast.
+    pub fn lagrange_at_zero(&self, k: usize) -> Vec<u64> {
+        assert!(k >= 1, "need at least one evaluation point");
+        let p = self.p;
+        (1..=k as u64)
+            .map(|xi| {
+                let mut num = 1u64;
+                let mut den = 1u64;
+                for xj in 1..=k as u64 {
+                    if xi == xj {
+                        continue;
+                    }
+                    num = mul_mod(num, xj % p, p);
+                    den = mul_mod(den, sub_mod(xj, xi, p), p);
+                }
+                mul_mod(num, inv_mod(den, p).expect("field inverse"), p)
+            })
+            .collect()
+    }
+
+    /// Flat reconstruction from raw per-server values `ys[k]` (points `k+1`)
+    /// using precomputed [`ShamirCtx::lagrange_at_zero`] weights: a single
+    /// multiply-accumulate pass, no allocation, no inversions. Hot-path-only
+    /// API — results are bit-identical to [`ShamirCtx::reconstruct_raw`].
+    #[inline]
+    pub fn reconstruct_raw_with(&self, ys: &[u64], lambda: &[u64]) -> u64 {
+        assert_eq!(ys.len(), lambda.len(), "weights must match share count");
+        let p = self.p;
+        let mut secret = 0u64;
+        for (&y, &l) in ys.iter().zip(lambda) {
+            secret = add_mod(secret, mul_mod(y, l, p), p);
+        }
+        secret
     }
 
     /// Reconstruct from raw per-server values `ys[k]` sampled at
@@ -288,6 +339,22 @@ mod tests {
     }
 
     #[test]
+    fn lagrange_weights_match_reconstruct() {
+        let c = ctx();
+        let mut prg = Prg::from_seed(77);
+        for k in 2usize..6 {
+            let lambda = c.lagrange_at_zero(k);
+            assert_eq!(lambda.len(), k);
+            for secret in [0u64, 1, 42, MERSENNE_61 - 1] {
+                let shares = c.share(secret, k, &mut prg);
+                let ys: Vec<u64> = shares.iter().map(|s| s.y).collect();
+                assert_eq!(c.reconstruct_raw_with(&ys, &lambda), c.reconstruct_raw(&ys));
+                assert_eq!(c.reconstruct_raw_with(&ys, &lambda), secret);
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "need more shares")]
     fn too_few_shares_for_degree_panics() {
         let mut prg = Prg::from_seed(8);
@@ -319,6 +386,32 @@ mod tests {
             let sb = c.share(b, 3, &mut prg);
             let prod: Vec<ShamirShare> = (0..3).map(|i| c.mul_shares(sa[i], sb[i])).collect();
             prop_assert_eq!(c.reconstruct(&prod), mul_mod(a, b, MERSENNE_61));
+        }
+
+        #[test]
+        fn prop_flat_reconstruct_parity(ys in proptest::collection::vec(0u64..MERSENNE_61, 2..6)) {
+            // The flat weighted path must agree bit-for-bit with the share-
+            // struct path on arbitrary (even non-polynomial) y values.
+            let c = ctx();
+            let lambda = c.lagrange_at_zero(ys.len());
+            prop_assert_eq!(c.reconstruct_raw_with(&ys, &lambda), c.reconstruct_raw(&ys));
+        }
+
+        #[test]
+        fn prop_share_vector_matches_scalar_share(seed: u64, secrets in proptest::collection::vec(0u64..MERSENNE_61, 0..64)) {
+            // Buffer-reusing bulk sharing must consume the identical PRG
+            // stream as per-secret `share` calls.
+            let c = ctx();
+            let mut bulk_prg = Prg::from_seed(seed);
+            let mut scalar_prg = Prg::from_seed(seed);
+            let vecs = c.share_vector(&secrets, 3, &mut bulk_prg);
+            for (i, &s) in secrets.iter().enumerate() {
+                let shares = c.share(s, 3, &mut scalar_prg);
+                for k in 0..3 {
+                    prop_assert_eq!(vecs[k][i], shares[k].y);
+                }
+            }
+            prop_assert_eq!(bulk_prg.next_u64(), scalar_prg.next_u64());
         }
 
         #[test]

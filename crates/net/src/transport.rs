@@ -117,13 +117,15 @@ pub fn channel_pair() -> (ChannelLink, ChannelLink) {
 
 impl Link for ChannelLink {
     fn send(&self, msg: &Message) -> Result<(), NetError> {
+        // encode() sizes its buffer exactly; the buffer is moved into the
+        // channel without a copy.
         let bytes = msg.encode();
         self.stats
             .bytes_sent
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.tx
-            .send(bytes.to_vec())
+            .send(Vec::from(bytes))
             .map_err(|_| NetError::Disconnected)
     }
 
@@ -174,10 +176,13 @@ impl TcpLink {
 
 impl Link for TcpLink {
     fn send(&self, msg: &Message) -> Result<(), NetError> {
-        let body = msg.encode();
-        let mut frame = BytesMut::with_capacity(4 + body.len());
-        frame.put_u32_le(body.len() as u32);
-        frame.extend_from_slice(&body);
+        // Build prefix and body in one exactly-sized buffer so each send is
+        // a single allocation and a single write_all.
+        let body_len = msg.encoded_len();
+        let mut frame = BytesMut::with_capacity(4 + body_len);
+        frame.put_u32_le(body_len as u32);
+        msg.encode_into(&mut frame);
+        debug_assert_eq!(frame.len(), 4 + body_len);
         let mut stream = self.writer.lock();
         stream.write_all(&frame)?;
         self.stats

@@ -197,13 +197,18 @@ fn get_vec(buf: &mut &[u8]) -> Result<Vec<u64>, WireError> {
         return Err(WireError::Truncated);
     }
     let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len.saturating_mul(8) {
+    let nbytes = len.saturating_mul(8);
+    if buf.remaining() < nbytes {
         return Err(WireError::Truncated);
     }
-    let mut out = Vec::with_capacity(len);
-    for _ in 0..len {
-        out.push(buf.get_u64_le());
-    }
+    // Length is validated above, so the payload can be split off as one
+    // borrowed slice and bulk-converted — no per-element cursor stepping.
+    let (rows, rest) = buf.split_at(nbytes);
+    let out = rows
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    *buf = rest;
     Ok(out)
 }
 
@@ -362,6 +367,74 @@ fn decode_batch(buf: &mut &[u8]) -> Result<BatchQuery, WireError> {
     Ok(BatchQuery { zs, items, threads })
 }
 
+// --- encoded-length accounting -------------------------------------------
+//
+// One helper per encoder above, each returning exactly the bytes its
+// counterpart writes. `Message::encoded_len` composes them so every encode
+// can reserve its full size up front and never regrow mid-message.
+
+fn column_len(column: &Column) -> usize {
+    match column {
+        Column::Agg(_) | Column::VAgg(_) => 2,
+        _ => 1,
+    }
+}
+
+fn op_len(op: &Op) -> usize {
+    match op {
+        Op::PsuVerify(_) | Op::CountVerify(_) | Op::Sum(_) | Op::SumVerify(_) => 2,
+        _ => 1,
+    }
+}
+
+fn tamper_len(t: &Tamper) -> usize {
+    match t {
+        Tamper::Honest => 1,
+        Tamper::SkipReplay { .. } | Tamper::TruncateFrom { .. } => 1 + 8,
+        Tamper::ReplaceCell { .. } | Tamper::InjectFake { .. } => 1 + 16,
+    }
+}
+
+fn vec_len(data: &[u64]) -> usize {
+    8 + 8 * data.len()
+}
+
+fn vecs_len(data: &[Vec<u64>]) -> usize {
+    4 + data.iter().map(|v| vec_len(v)).sum::<usize>()
+}
+
+fn widevec_len(wv: &WideVec) -> usize {
+    4 + vec_len(&wv.data)
+}
+
+fn announcement_len(a: &MaxAnnouncement) -> usize {
+    widevec_len(&a.max_shares_1) + widevec_len(&a.max_shares_2) + 8 + 16 * a.index_shares.len()
+}
+
+fn announcer_reply_len(reply: &AnnouncerReply) -> usize {
+    match reply {
+        AnnouncerReply::Max(a) => 1 + announcement_len(a),
+        AnnouncerReply::Median(m) => 1 + 4 + m.middles.iter().map(announcement_len).sum::<usize>(),
+    }
+}
+
+fn announcer_tamper_len(t: &AnnouncerTamper) -> usize {
+    match t {
+        AnnouncerTamper::Honest => 1,
+        AnnouncerTamper::AnnounceSlot(_) | AnnouncerTamper::FakeValue { .. } => 1 + 8,
+    }
+}
+
+fn batch_len(batch: &BatchQuery) -> usize {
+    4 + vecs_len(&batch.zs)
+        + 4
+        + batch
+            .items
+            .iter()
+            .map(|item| op_len(&item.op) + if item.z.is_some() { 2 } else { 1 })
+            .sum::<usize>()
+}
+
 /// Every message that can cross a PRISM link.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -501,9 +574,66 @@ pub enum Message {
 }
 
 impl Message {
+    /// Exact number of bytes [`Message::encode`] will produce, computed
+    /// without serializing — what lets every encode reserve once and write
+    /// straight into the target buffer.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::Upload { column, data, .. } => 1 + 4 + column_len(column) + vec_len(data),
+            Message::RunBatch(batch) => 1 + batch_len(batch),
+            Message::Outputs(outs) => 1 + vecs_len(outs),
+            Message::SetTamper(t) => 1 + tamper_len(t),
+            Message::Ack | Message::Shutdown | Message::VersionProbe => 1,
+            Message::BulkUpload { columns, .. } => {
+                1 + 4
+                    + 4
+                    + columns
+                        .iter()
+                        .map(|(c, d)| column_len(c) + vec_len(d))
+                        .sum::<usize>()
+            }
+            Message::ShardRun { batch, .. } => 1 + 4 + batch_len(batch),
+            Message::ShardOutputs { outputs, .. } => 1 + 4 + vecs_len(outputs),
+            Message::MaxCombine { uploads, .. } => {
+                1 + 8
+                    + 4
+                    + 4
+                    + uploads
+                        .iter()
+                        .map(|u| widevec_len(&u.shares))
+                        .sum::<usize>()
+            }
+            Message::AssembleFpos { claims, .. } => 1 + 4 + vecs_len(claims),
+            Message::Fpos(rows) => 1 + vecs_len(rows),
+            Message::WideForwarded { .. } => 1 + 8 + 4 + 8,
+            Message::WideUpload { shares, .. } => 1 + 4 + 8 + widevec_len(shares),
+            Message::AnnounceRun { .. } => 1 + 1 + 8 + 4,
+            Message::AnnounceReply(reply) => 1 + announcer_reply_len(reply),
+            Message::SetAnnouncerTamper(t) => 1 + announcer_tamper_len(t),
+            Message::Version(_) => 1 + 8,
+            Message::Tagged { inner, .. } => 1 + 8 + inner.encoded_len(),
+        }
+    }
+
     /// Encode to bytes (no outer length prefix; transports add framing).
+    /// The buffer is sized with [`Message::encoded_len`] up front, so the
+    /// write never reallocates.
     pub fn encode(&self) -> BytesMut {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.write_to(&mut buf);
+        buf
+    }
+
+    /// Encode straight into a caller-owned buffer: one `reserve` of the
+    /// exact encoded length, then a single append pass — the zero-copy
+    /// path the links use to build framed messages without an
+    /// intermediate allocation.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        self.write_to(buf);
+    }
+
+    fn write_to(&self, buf: &mut BytesMut) {
         match self {
             Message::Upload {
                 owner,
@@ -512,20 +642,20 @@ impl Message {
             } => {
                 buf.put_u8(0);
                 buf.put_u32_le(*owner);
-                encode_column(column, &mut buf);
-                put_vec(&mut buf, data);
+                encode_column(column, buf);
+                put_vec(buf, data);
             }
             Message::RunBatch(batch) => {
                 buf.put_u8(1);
-                encode_batch(batch, &mut buf);
+                encode_batch(batch, buf);
             }
             Message::Outputs(outs) => {
                 buf.put_u8(2);
-                put_vecs(&mut buf, outs);
+                put_vecs(buf, outs);
             }
             Message::SetTamper(t) => {
                 buf.put_u8(3);
-                encode_tamper(t, &mut buf);
+                encode_tamper(t, buf);
             }
             Message::Ack => buf.put_u8(4),
             Message::Shutdown => buf.put_u8(5),
@@ -534,19 +664,19 @@ impl Message {
                 buf.put_u32_le(*owner);
                 buf.put_u32_le(columns.len() as u32);
                 for (column, data) in columns {
-                    encode_column(column, &mut buf);
-                    put_vec(&mut buf, data);
+                    encode_column(column, buf);
+                    put_vec(buf, data);
                 }
             }
             Message::ShardRun { shard, batch } => {
                 buf.put_u8(7);
                 buf.put_u32_le(*shard);
-                encode_batch(batch, &mut buf);
+                encode_batch(batch, buf);
             }
             Message::ShardOutputs { shard, outputs } => {
                 buf.put_u8(8);
                 buf.put_u32_le(*shard);
-                put_vecs(&mut buf, outputs);
+                put_vecs(buf, outputs);
             }
             Message::MaxCombine {
                 uploads,
@@ -558,17 +688,17 @@ impl Message {
                 buf.put_u32_le(*threads);
                 buf.put_u32_le(uploads.len() as u32);
                 for u in uploads {
-                    put_widevec(&mut buf, &u.shares);
+                    put_widevec(buf, &u.shares);
                 }
             }
             Message::AssembleFpos { claims, threads } => {
                 buf.put_u8(10);
                 buf.put_u32_le(*threads);
-                put_vecs(&mut buf, claims);
+                put_vecs(buf, claims);
             }
             Message::Fpos(rows) => {
                 buf.put_u8(11);
-                put_vecs(&mut buf, rows);
+                put_vecs(buf, rows);
             }
             Message::WideForwarded { rows, width, seq } => {
                 buf.put_u8(12);
@@ -584,7 +714,7 @@ impl Message {
                 buf.put_u8(13);
                 buf.put_u32_le(*server);
                 buf.put_u64_le(*seq);
-                put_widevec(&mut buf, shares);
+                put_widevec(buf, shares);
             }
             Message::AnnounceRun { cmd, seq, threads } => {
                 buf.put_u8(14);
@@ -597,11 +727,11 @@ impl Message {
             }
             Message::AnnounceReply(reply) => {
                 buf.put_u8(15);
-                encode_announcer_reply(reply, &mut buf);
+                encode_announcer_reply(reply, buf);
             }
             Message::SetAnnouncerTamper(t) => {
                 buf.put_u8(16);
-                encode_announcer_tamper(t, &mut buf);
+                encode_announcer_tamper(t, buf);
             }
             Message::VersionProbe => buf.put_u8(17),
             Message::Version(v) => {
@@ -615,10 +745,11 @@ impl Message {
                 );
                 buf.put_u8(19);
                 buf.put_u64_le(*query);
-                buf.extend_from_slice(&inner.encode());
+                // The payload writes directly into the envelope's buffer —
+                // no intermediate encode-then-copy.
+                inner.write_to(buf);
             }
         }
-        buf
     }
 
     /// Decode from bytes.
@@ -751,6 +882,14 @@ mod tests {
     fn roundtrip(m: Message) {
         let enc = m.encode();
         assert_eq!(Message::decode(&enc).unwrap(), m);
+        // The length accounting must match the bytes actually written...
+        assert_eq!(enc.len(), m.encoded_len(), "encoded_len mismatch: {m:?}");
+        // ...and encode_into must append the identical bytes, even after
+        // existing content.
+        let mut appended = BytesMut::new();
+        appended.put_u8(0xAB);
+        m.encode_into(&mut appended);
+        assert_eq!(&appended[1..], &enc[..], "encode_into mismatch: {m:?}");
     }
 
     #[test]

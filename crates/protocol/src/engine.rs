@@ -467,6 +467,52 @@ fn refs(cols: &[Vec<u64>]) -> Vec<&[u64]> {
     cols.iter().map(|v| v.as_slice()).collect()
 }
 
+/// How many scratch buffers a node keeps around between queries. Two is
+/// enough for the compute + permutation staging of one query; a little
+/// slack covers concurrent queries through the multiplexer without letting
+/// an N-stream burst pin N× the domain size forever.
+const MAX_POOLED_BUFFERS: usize = 4;
+
+/// A per-node pool of flat `u64` row buffers — the "per-query arena".
+///
+/// Every stored-column evaluation needs one length-`b` output buffer (and a
+/// second one when a finishing permutation applies). Instead of allocating
+/// per query, the node checks a buffer out of this pool, the `_into` step
+/// kernels write into it in place, and permutation staging buffers are
+/// returned once their contents are moved. Queries run concurrently under
+/// the session multiplexer, so the pool is behind a `Mutex` — the lock is
+/// held only for a pop/push, never during row work.
+#[derive(Debug, Default)]
+struct BufferArena {
+    pool: std::sync::Mutex<Vec<Vec<u64>>>,
+}
+
+impl BufferArena {
+    /// Check out a zeroed buffer of length `n`, reusing a pooled
+    /// allocation when one is available.
+    fn take(&self, n: usize) -> Vec<u64> {
+        let recycled = self.pool.lock().map(|mut p| p.pop()).unwrap_or(None);
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(n, 0);
+                buf
+            }
+            None => vec![0u64; n],
+        }
+    }
+
+    /// Return a buffer to the pool (dropped if the pool is full or its
+    /// lock was poisoned — never blocks correctness on the pool).
+    fn put(&self, buf: Vec<u64>) {
+        if let Ok(mut p) = self.pool.lock() {
+            if p.len() < MAX_POOLED_BUFFERS {
+                p.push(buf);
+            }
+        }
+    }
+}
+
 /// One PRISM server: parameters, stored share columns, and an optional
 /// tampering behaviour applied to every output it produces.
 ///
@@ -484,6 +530,11 @@ pub struct ServerNode {
     /// stay aligned with the global cell order, which must not recur on
     /// every round.
     psu_rand: std::sync::OnceLock<Vec<u64>>,
+    /// The `g^0..g^(δ−1) mod η′` lookup table, computed once per session
+    /// instead of once per PSI round.
+    power_table: std::sync::OnceLock<Vec<u64>>,
+    /// Reusable flat row buffers for query evaluation.
+    arena: BufferArena,
 }
 
 impl ServerNode {
@@ -494,12 +545,18 @@ impl ServerNode {
             store: ColumnStore::default(),
             tamper: Tamper::Honest,
             psu_rand: std::sync::OnceLock::new(),
+            power_table: std::sync::OnceLock::new(),
+            arena: BufferArena::default(),
         }
     }
 
     fn psu_rand(&self) -> &[u64] {
         self.psu_rand
             .get_or_init(|| psu::blinding_for(&self.params))
+    }
+
+    fn power_table(&self) -> &[u64] {
+        self.power_table.get_or_init(|| self.params.power_table())
     }
 
     /// This node's role parameters.
@@ -551,55 +608,100 @@ impl ServerNode {
                 ProtocolError::ParameterMismatch("aggregation op ran without a z vector".into())
             })
         };
-        let mut out: Vec<u64> = match op {
-            QueryOp::Psi => psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?,
-            QueryOp::PsiVerify => {
-                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?
-            }
-            QueryOp::Psu => psu::server_psu_round_with_rand(
+        // All compute kernels write into an arena buffer in place; the
+        // power table and PSU blinding slice are session-cached, so the
+        // warm path performs no per-row allocation at all.
+        let mut out = self.arena.take(sp.b);
+        let step = match op {
+            QueryOp::Psi => psi::server_psi_round_into(
+                &refs(self.store.col(Column::Ok)),
+                sp,
+                self.power_table(),
+                &mut out,
+                threads,
+            ),
+            QueryOp::PsiVerify => psi::server_psi_verify_round_into(
+                &refs(self.store.col(Column::VOk)),
+                sp,
+                self.power_table(),
+                &mut out,
+                threads,
+            ),
+            QueryOp::Psu => psu::server_psu_round_into(
                 &refs(self.store.col(Column::Ok)),
                 self.psu_rand(),
                 sp,
+                &mut out,
                 threads,
-            )?,
+            ),
             QueryOp::PsuVerify(which) => {
                 let col = self.copy_column(which)?;
-                psu::server_psu_round_with_rand(
+                psu::server_psu_round_into(
                     &refs(self.store.col(col)),
                     self.psu_rand(),
                     sp,
+                    &mut out,
                     threads,
-                )?
+                )
             }
-            QueryOp::Count => {
-                psi::server_psi_round(&refs(self.store.col(Column::Ok)), sp, threads)?
-            }
+            QueryOp::Count => psi::server_psi_round_into(
+                &refs(self.store.col(Column::Ok)),
+                sp,
+                self.power_table(),
+                &mut out,
+                threads,
+            ),
             QueryOp::CountVerify(which) => {
                 let col = self.copy_column(which)?;
-                psi::server_psi_round(&refs(self.store.col(col)), sp, threads)?
+                psi::server_psi_round_into(
+                    &refs(self.store.col(col)),
+                    sp,
+                    self.power_table(),
+                    &mut out,
+                    threads,
+                )
             }
-            QueryOp::Sum(a) => sum::server_sum_round(
+            QueryOp::Sum(a) => sum::server_sum_round_into(
                 &refs(self.store.col(Column::Agg(a))),
                 need_z()?,
                 sp,
+                &mut out,
                 threads,
-            )?,
-            QueryOp::SumVerify(a) => sum::server_sum_round(
+            ),
+            QueryOp::SumVerify(a) => sum::server_sum_round_into(
                 &refs(self.store.col(Column::VAgg(a))),
                 need_z()?,
                 sp,
+                &mut out,
                 threads,
-            )?,
-            QueryOp::SumCounts => {
-                sum::server_sum_round(&refs(self.store.col(Column::AOk)), need_z()?, sp, threads)?
-            }
-            QueryOp::CountVerifyComplement => {
-                psi::server_psi_verify_round(&refs(self.store.col(Column::VOk)), sp, threads)?
-            }
+            ),
+            QueryOp::SumCounts => sum::server_sum_round_into(
+                &refs(self.store.col(Column::AOk)),
+                need_z()?,
+                sp,
+                &mut out,
+                threads,
+            ),
+            QueryOp::CountVerifyComplement => psi::server_psi_verify_round_into(
+                &refs(self.store.col(Column::VOk)),
+                sp,
+                self.power_table(),
+                &mut out,
+                threads,
+            ),
         };
+        if let Err(e) = step {
+            self.arena.put(out);
+            return Err(e);
+        }
         self.tamper.apply(&mut out);
         Ok(match op.finish_perm(sp)? {
-            Some(p) => p.apply(&out),
+            Some(p) => {
+                let mut permuted = self.arena.take(out.len());
+                p.apply_into(&out, &mut permuted);
+                self.arena.put(out);
+                permuted
+            }
             None => out,
         })
     }

@@ -46,9 +46,9 @@ fn check_shape(owner_shares: &[&[u64]], m: usize, b: usize) -> Result<()> {
 /// Equation 3, chunk-parallel. Shares are already reduced, so the running
 /// sum fits u64 for any realistic m (m · δ ≪ 2^64); we reduce once per add
 /// with a branch-free conditional subtract when possible.
-fn sum_shares_mod(owner_shares: &[&[u64]], delta: u64, threads: usize, b: usize) -> Vec<u64> {
-    let mut acc = vec![0u64; b];
-    fill_chunks(&mut acc, threads, |start, chunk| {
+fn sum_shares_mod(owner_shares: &[&[u64]], delta: u64, threads: usize, out: &mut [u64]) {
+    fill_chunks(out, threads, |start, chunk| {
+        chunk.fill(0);
         for shares in owner_shares {
             let src = &shares[start..start + chunk.len()];
             for (a, &s) in chunk.iter_mut().zip(src) {
@@ -57,7 +57,26 @@ fn sum_shares_mod(owner_shares: &[&[u64]], delta: u64, threads: usize, b: usize)
             }
         }
     });
-    acc
+}
+
+/// Validate the caller-supplied power table and output buffer for the
+/// `_into` step variants.
+fn check_buffers(table: &[u64], out: &[u64], sp: &ServerParams) -> Result<()> {
+    if table.len() != sp.delta as usize {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "power table has {} entries, expected delta = {}",
+            table.len(),
+            sp.delta
+        )));
+    }
+    if out.len() != sp.b {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "output buffer holds {} cells, expected b = {}",
+            out.len(),
+            sp.b
+        )));
+    }
+    Ok(())
 }
 
 /// Step 2 at server φ (Equation 3): returns the length-`b` output vector.
@@ -69,15 +88,32 @@ pub fn server_psi_round(
     sp: &ServerParams,
     threads: usize,
 ) -> Result<Vec<u64>> {
-    check_shape(owner_shares, sp.m, sp.b)?;
     let table = sp.power_table();
-    let mut out = sum_shares_mod(owner_shares, sp.delta, threads, sp.b);
-    fill_chunks(&mut out, threads, |_, chunk| {
+    let mut out = vec![0u64; sp.b];
+    server_psi_round_into(owner_shares, sp, &table, &mut out, threads)?;
+    Ok(out)
+}
+
+/// In-place Step 2 (Equation 3): writes into a caller-owned buffer using a
+/// caller-cached power table — the arena path the engine reuses across
+/// rounds, performing zero heap allocations per call. Bit-identical to
+/// [`server_psi_round`].
+pub fn server_psi_round_into(
+    owner_shares: &[&[u64]],
+    sp: &ServerParams,
+    table: &[u64],
+    out: &mut [u64],
+    threads: usize,
+) -> Result<()> {
+    check_shape(owner_shares, sp.m, sp.b)?;
+    check_buffers(table, out, sp)?;
+    sum_shares_mod(owner_shares, sp.delta, threads, out);
+    fill_chunks(out, threads, |_, chunk| {
         for v in chunk.iter_mut() {
             *v = table[sub_mod(*v, sp.m_share, sp.delta) as usize];
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Verification Step 2 at server φ (Equation 7): like the PSI round but
@@ -87,15 +123,30 @@ pub fn server_psi_verify_round(
     sp: &ServerParams,
     threads: usize,
 ) -> Result<Vec<u64>> {
-    check_shape(complement_shares, sp.m, sp.b)?;
     let table = sp.power_table();
-    let mut out = sum_shares_mod(complement_shares, sp.delta, threads, sp.b);
-    fill_chunks(&mut out, threads, |_, chunk| {
+    let mut out = vec![0u64; sp.b];
+    server_psi_verify_round_into(complement_shares, sp, &table, &mut out, threads)?;
+    Ok(out)
+}
+
+/// In-place verification Step 2 (Equation 7); see
+/// [`server_psi_round_into`] for the buffer contract.
+pub fn server_psi_verify_round_into(
+    complement_shares: &[&[u64]],
+    sp: &ServerParams,
+    table: &[u64],
+    out: &mut [u64],
+    threads: usize,
+) -> Result<()> {
+    check_shape(complement_shares, sp.m, sp.b)?;
+    check_buffers(table, out, sp)?;
+    sum_shares_mod(complement_shares, sp.delta, threads, out);
+    fill_chunks(out, threads, |_, chunk| {
         for v in chunk.iter_mut() {
             *v = table[*v as usize];
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Step 3 at an owner (Equation 4): combine the two server outputs into
@@ -431,6 +482,52 @@ mod tests {
         let vout2 = server_psi_verify_round(&v2_in, &f.setup.servers[1], 1).unwrap();
 
         assert!(owner_verify(&fop, &vout1, &vout2, op).is_err());
+    }
+
+    #[test]
+    fn into_variant_matches_vec_api_even_on_dirty_buffers() {
+        let sets = vec![
+            (1..=200u64).filter(|v| v % 2 == 0).collect::<Vec<_>>(),
+            (1..=200u64).filter(|v| v % 3 == 0).collect(),
+        ];
+        let f = fixture(&sets, 200, 29);
+        let sp = &f.setup.servers[0];
+        let s1_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+        let reference = server_psi_round(&s1_in, sp, 1).unwrap();
+        let table = sp.power_table();
+        // A reused arena buffer arrives full of stale values; the into
+        // variant must overwrite every cell.
+        let mut out = vec![u64::MAX; sp.b];
+        server_psi_round_into(&s1_in, sp, &table, &mut out, 1).unwrap();
+        assert_eq!(out, reference);
+        for threads in [2usize, 4] {
+            out.fill(u64::MAX);
+            server_psi_round_into(&s1_in, sp, &table, &mut out, threads).unwrap();
+            assert_eq!(out, reference, "threads={threads}");
+        }
+        // Verification variant, same contract.
+        let vref = server_psi_verify_round(&s1_in, sp, 1).unwrap();
+        out.fill(u64::MAX);
+        server_psi_verify_round_into(&s1_in, sp, &table, &mut out, 1).unwrap();
+        assert_eq!(out, vref);
+    }
+
+    #[test]
+    fn into_variant_rejects_bad_buffers() {
+        let f = fixture(&[vec![1u64], vec![2u64]], 4, 31);
+        let sp = &f.setup.servers[0];
+        let s1_in: Vec<&[u64]> = f.uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+        let table = sp.power_table();
+        let mut short_out = vec![0u64; sp.b - 1];
+        assert!(matches!(
+            server_psi_round_into(&s1_in, sp, &table, &mut short_out, 1).unwrap_err(),
+            ProtocolError::ParameterMismatch(_)
+        ));
+        let mut out = vec![0u64; sp.b];
+        assert!(matches!(
+            server_psi_round_into(&s1_in, sp, &table[1..], &mut out, 1).unwrap_err(),
+            ProtocolError::ParameterMismatch(_)
+        ));
     }
 
     #[test]

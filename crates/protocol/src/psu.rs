@@ -63,6 +63,21 @@ pub fn server_psu_round_with_rand(
     sp: &ServerParams,
     threads: usize,
 ) -> Result<Vec<u64>> {
+    let mut out = vec![0u64; sp.b];
+    server_psu_round_into(owner_shares, rand, sp, &mut out, threads)?;
+    Ok(out)
+}
+
+/// In-place Step 2 (Equation 18): writes into a caller-owned buffer — the
+/// arena path the engine reuses across rounds, performing zero heap
+/// allocations per call. Bit-identical to [`server_psu_round_with_rand`].
+pub fn server_psu_round_into(
+    owner_shares: &[&[u64]],
+    rand: &[u64],
+    sp: &ServerParams,
+    out: &mut [u64],
+    threads: usize,
+) -> Result<()> {
     if owner_shares.len() != sp.m {
         return Err(ProtocolError::ParameterMismatch(format!(
             "expected shares from {} owners, got {}",
@@ -86,8 +101,15 @@ pub fn server_psu_round_with_rand(
             sp.b
         )));
     }
-    let mut out = vec![0u64; sp.b];
-    fill_chunks(&mut out, threads, |start, chunk| {
+    if out.len() != sp.b {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "output buffer holds {} cells, expected {}",
+            out.len(),
+            sp.b
+        )));
+    }
+    fill_chunks(out, threads, |start, chunk| {
+        chunk.fill(0);
         for shares in owner_shares {
             let src = &shares[start..start + chunk.len()];
             for (a, &s) in chunk.iter_mut().zip(src) {
@@ -99,7 +121,7 @@ pub fn server_psu_round_with_rand(
             *v = mul_mod(*v, rand[start + off], sp.delta);
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// Step 3 at an owner (Equation 19): 0 ⇒ absent everywhere, ≠0 ⇒ present
@@ -295,6 +317,26 @@ mod tests {
         assert_eq!(setup.servers[0].psu_prg_seed, setup.servers[1].psu_prg_seed);
         let combined = run_psu(&setup, &uploads, 1);
         assert_eq!(membership(&combined), vec![true, true]);
+    }
+
+    #[test]
+    fn into_variant_matches_vec_api_even_on_dirty_buffers() {
+        let sets = vec![vec![1u64, 3, 5], vec![5u64, 6], vec![2u64, 3]];
+        let (setup, uploads) = fixture(&sets, 8, 44);
+        let sp = &setup.servers[0];
+        let refs: Vec<&[u64]> = uploads.iter().map(|u| u.shares[0].as_slice()).collect();
+        let rand = blinding_for(sp);
+        let reference = server_psu_round_with_rand(&refs, &rand, sp, 1).unwrap();
+        let mut out = vec![u64::MAX; sp.b];
+        server_psu_round_into(&refs, &rand, sp, &mut out, 1).unwrap();
+        assert_eq!(out, reference);
+        for threads in [2usize, 4] {
+            out.fill(u64::MAX);
+            server_psu_round_into(&refs, &rand, sp, &mut out, threads).unwrap();
+            assert_eq!(out, reference, "threads={threads}");
+        }
+        let mut short = vec![0u64; sp.b - 1];
+        assert!(server_psu_round_into(&refs, &rand, sp, &mut short, 1).is_err());
     }
 
     #[test]

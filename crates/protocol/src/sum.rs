@@ -46,6 +46,21 @@ pub fn server_sum_round(
     sp: &ServerParams,
     threads: usize,
 ) -> Result<Vec<u64>> {
+    let mut out = vec![0u64; sp.b];
+    server_sum_round_into(payload_shares, z_shares, sp, &mut out, threads)?;
+    Ok(out)
+}
+
+/// In-place Equation-11 round: writes into a caller-owned buffer — the
+/// arena path the engine reuses across rounds, performing zero heap
+/// allocations per call. Bit-identical to [`server_sum_round`].
+pub fn server_sum_round_into(
+    payload_shares: &[&[u64]],
+    z_shares: &[u64],
+    sp: &ServerParams,
+    out: &mut [u64],
+    threads: usize,
+) -> Result<()> {
     if payload_shares.len() != sp.m {
         return Err(ProtocolError::ParameterMismatch(format!(
             "expected payload shares from {} owners, got {}",
@@ -69,9 +84,16 @@ pub fn server_sum_round(
             sp.b
         )));
     }
+    if out.len() != sp.b {
+        return Err(ProtocolError::ParameterMismatch(format!(
+            "output buffer holds {} cells, expected {}",
+            out.len(),
+            sp.b
+        )));
+    }
     let p = sp.field.p;
-    let mut out = vec![0u64; sp.b];
-    fill_chunks(&mut out, threads, |start, chunk| {
+    fill_chunks(out, threads, |start, chunk| {
+        chunk.fill(0);
         // Per-cell sum of owner payload shares, then one multiply by z.
         for shares in payload_shares {
             let src = &shares[start..start + chunk.len()];
@@ -83,7 +105,7 @@ pub fn server_sum_round(
             *v = mul_mod(*v, z_shares[start + off], p);
         }
     });
-    Ok(out)
+    Ok(())
 }
 
 /// The selected owner's Round-2 preparation: turn `fop` into the 0/1 `z`
@@ -102,11 +124,16 @@ pub fn owner_finalize(outputs: [&[u64]; SHAMIR_SERVERS], op: &OwnerParams) -> Re
             "aggregation outputs have wrong length".into(),
         ));
     }
+    // Fixed evaluation points ⇒ fixed Lagrange weights: derive the field
+    // inverses once and reduce each cell to a flat multiply-accumulate
+    // (bit-identical to per-cell `reconstruct_raw`, which recomputed the
+    // weights — inversions included — for every cell).
+    let lambda = op.field.lagrange_at_zero(SHAMIR_SERVERS);
     let mut sums = Vec::with_capacity(b);
     for i in 0..b {
         sums.push(
             op.field
-                .reconstruct_raw(&[outputs[0][i], outputs[1][i], outputs[2][i]]),
+                .reconstruct_raw_with(&[outputs[0][i], outputs[1][i], outputs[2][i]], &lambda),
         );
     }
     Ok(sums)
@@ -316,6 +343,35 @@ mod tests {
         // Tamper the primary result (a server returned a bogus cell).
         primary[0] = primary[0].wrapping_add(1);
         assert!(owner_verify(&primary, &verification, op).is_err());
+    }
+
+    #[test]
+    fn into_variant_matches_vec_api_even_on_dirty_buffers() {
+        let rows = vec![
+            vec![(1u64, 5), (2, 7), (4, 11)],
+            vec![(2u64, 1), (4, 2), (5, 3)],
+        ];
+        let f = fixture(&rows, 5, 9);
+        let sp = &f.setup.servers[0];
+        let payload: Vec<PayloadShares> = f
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(j, t)| {
+                let mut prg = Prg::from_seed(50 + j as u64);
+                share_payload(&t.sums, &f.setup.owner.field, &mut prg)
+            })
+            .collect();
+        let pj: Vec<&[u64]> = payload.iter().map(|p| p.shares[0].as_slice()).collect();
+        let z = vec![1u64, 0, 1, 1, 0];
+        let mut prg = Prg::from_seed(60);
+        let z_shares = share_payload(&z, &f.setup.owner.field, &mut prg);
+        let reference = server_sum_round(&pj, &z_shares.shares[0], sp, 1).unwrap();
+        let mut out = vec![u64::MAX; sp.b];
+        server_sum_round_into(&pj, &z_shares.shares[0], sp, &mut out, 1).unwrap();
+        assert_eq!(out, reference);
+        let mut short = vec![0u64; sp.b - 1];
+        assert!(server_sum_round_into(&pj, &z_shares.shares[0], sp, &mut short, 1).is_err());
     }
 
     #[test]

@@ -43,11 +43,15 @@ bench-check:
 # hit, so a cache regression fails the smoke run; `serve` drives N ∈
 # {1,4,16} concurrent query streams through the session multiplexer
 # (asserting every concurrent answer matches serial) and writes
-# BENCH_serve.json (all four JSONs are uploaded as CI artifacts).
+# BENCH_serve.json; `hotpath` times the per-row server kernels in both
+# their Vec-baseline and flat in-place forms (counting allocations per
+# warm call) and writes BENCH_hotpath.json (all five JSONs are uploaded
+# as CI artifacts).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache serve --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache serve hotpath --scale small
     grep -q '"total_cache_hits": [1-9]' BENCH_cache.json
     grep -q '"queries_per_second"' BENCH_serve.json
+    grep -q '"max_speedup"' BENCH_hotpath.json
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:

@@ -202,6 +202,12 @@ impl From<Vec<u8>> for BytesMut {
     }
 }
 
+impl From<BytesMut> for Vec<u8> {
+    fn from(v: BytesMut) -> Self {
+        v.inner
+    }
+}
+
 impl From<&[u8]> for BytesMut {
     fn from(v: &[u8]) -> Self {
         BytesMut { inner: v.to_vec() }
@@ -305,6 +311,14 @@ mod tests {
         assert_eq!(cur.remaining(), 3);
         cur.advance(3);
         assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn into_vec_is_lossless() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(42);
+        let v: Vec<u8> = buf.into();
+        assert_eq!(v, 42u64.to_le_bytes());
     }
 
     #[test]
