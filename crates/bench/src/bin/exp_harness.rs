@@ -1,10 +1,10 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|failover|all]
 //!             [--scale small|medium|full] [--seed N]
 //!             [--shard-json PATH] [--netmax-json PATH] [--cache-json PATH]
-//!             [--serve-json PATH] [--hotpath-json PATH]
+//!             [--serve-json PATH] [--hotpath-json PATH] [--failover-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
@@ -25,10 +25,14 @@
 //! writes `BENCH_serve.json`. `hotpath` times the three per-row server
 //! kernels in both their retained Vec-returning and flat in-place forms
 //! (counting heap allocations per warm call through the binary's counting
-//! allocator) and writes `BENCH_hotpath.json`.
+//! allocator) and writes `BENCH_hotpath.json`. `failover` brings up the
+//! elastic TCP deployment (registry + attaching workers), kills a shard
+//! worker mid-sweep, times the self-heal, asserts the healed answers are
+//! identical to the pre-kill answers, and writes `BENCH_failover.json`.
 
 use prism_bench::{
-    cacheexp, exp1, exp2, exp3, exp4, hotpathexp, netmax, serveexp, shardexp, sharegen, table13,
+    cacheexp, exp1, exp2, exp3, exp4, failoverexp, hotpathexp, netmax, serveexp, shardexp,
+    sharegen, table13,
 };
 use prism_workload::configs::{self, Scale};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -75,6 +79,7 @@ struct Args {
     cache_json: std::path::PathBuf,
     serve_json: std::path::PathBuf,
     hotpath_json: std::path::PathBuf,
+    failover_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +91,7 @@ fn parse_args() -> Args {
     let mut cache_json = std::path::PathBuf::from("BENCH_cache.json");
     let mut serve_json = std::path::PathBuf::from("BENCH_serve.json");
     let mut hotpath_json = std::path::PathBuf::from("BENCH_hotpath.json");
+    let mut failover_json = std::path::PathBuf::from("BENCH_failover.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -132,13 +138,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--failover-json" => {
+                failover_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--failover-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exp_harness \
-                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|all]* \
+                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|failover|all]* \
                      [--scale small|medium|full] [--seed N] [--shard-json PATH] \
                      [--netmax-json PATH] [--cache-json PATH] [--serve-json PATH] \
-                     [--hotpath-json PATH]"
+                     [--hotpath-json PATH] [--failover-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -157,6 +169,7 @@ fn parse_args() -> Args {
         cache_json,
         serve_json,
         hotpath_json,
+        failover_json,
     }
 }
 
@@ -240,6 +253,15 @@ fn main() {
         match hotpathexp::write_json(&args.hotpath_json, cells, owners, &rows) {
             Ok(()) => println!("wrote {}", args.hotpath_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.hotpath_json.display()),
+        }
+    }
+    if wants("failover") {
+        let (domain, owners, shards) = configs::failover_bench();
+        let sweep = failoverexp::run(domain, owners, shards, seed);
+        failoverexp::print(domain, owners, shards, &sweep);
+        match failoverexp::write_json(&args.failover_json, domain, owners, shards, &sweep) {
+            Ok(()) => println!("wrote {}", args.failover_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.failover_json.display()),
         }
     }
     if wants("serve") {

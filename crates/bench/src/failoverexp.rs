@@ -1,0 +1,303 @@
+//! Self-healing failover over the elastic deployment: kill a shard
+//! worker mid-benchmark, measure the heal, and prove zero wrong answers.
+//!
+//! The control plane ([`prism_net::registry`]) turns a confirmed worker
+//! death into a re-shard: the registry re-plans the domain over the
+//! survivors, re-assigns row ranges, and re-outsources the lost rows
+//! from its upload log. This experiment drives that path end to end over
+//! real TCP workers and records what operators care about: how long the
+//! heal took (kill → failover confirmed), what a query costs before the
+//! kill, during normal operation, and after the heal — and it **asserts**
+//! the healed answers are bit-identical to the pre-kill answers and that
+//! exactly one failover was counted. A sweep that heals into wrong
+//! answers is a broken control plane, not a measurement, so
+//! `just bench-smoke` and CI fail loudly on a regression.
+//!
+//! `write_json` emits the `BENCH_failover.json` artifact `just
+//! bench-smoke` and CI publish; the smoke greps it for `"failovers": 1`.
+
+use crate::report::{print_table, secs};
+use prism_core::Prg;
+use prism_net::{AnnouncerNode, ClusterListener, Column, NetCluster, RegistryConfig, ShardWorker};
+use prism_protocol::params::{Initiator, Setup, SystemConfig};
+use prism_protocol::tables::{share_indicator, share_payload};
+use prism_protocol::QueryBatch;
+use std::time::{Duration, Instant};
+
+/// One measured query pass on the elastic cluster.
+#[derive(Debug, Clone)]
+pub struct FailoverRow {
+    /// Pass label (`pre-kill cold`, `pre-kill warm`, `post-heal`,
+    /// `post-heal warm`).
+    pub pass: String,
+    /// Wall time of the whole query.
+    pub wall: Duration,
+    /// Owner↔server rounds the query paid.
+    pub rounds: usize,
+    /// Cache hits within the query.
+    pub hits: u64,
+    /// Failovers attributed to this query's rounds.
+    pub failovers: u64,
+}
+
+/// The experiment's results.
+#[derive(Debug, Clone)]
+pub struct FailoverSweep {
+    /// Per-pass measurements.
+    pub rows: Vec<FailoverRow>,
+    /// Kill → failover-confirmed-and-healed wall time.
+    pub heal: Duration,
+    /// Total failovers the registry healed (asserted to be exactly 1).
+    pub failovers: u64,
+    /// Control-plane heal log (attaches + the failover).
+    pub heal_log: Vec<String>,
+}
+
+const AGG_MAX: u64 = 2_000;
+
+fn setup(domain: u64, owners: usize, seed: u64) -> Setup {
+    Initiator::new(
+        SystemConfig::new(owners, domain as usize)
+            .with_seed(seed)
+            .with_agg_domain_max(AGG_MAX),
+    )
+    .setup()
+    .unwrap()
+}
+
+/// Owner j holds cell v iff `v % (j + 2) != 0` — a dense, structured
+/// overlap with per-owner values below the blinding bound (the same
+/// workload shape as the `netmax` smoke).
+fn upload(cluster: &NetCluster, domain: u64, owners: usize, seed: u64) {
+    let op = cluster.setup().owner.clone();
+    for j in 0..owners {
+        let mut indicator = vec![0u64; domain as usize];
+        let mut sums = vec![0u64; domain as usize];
+        let mut counts = vec![0u64; domain as usize];
+        for v in 1..=domain {
+            if v % (j as u64 + 2) != 0 {
+                let cell = (v - 1) as usize;
+                indicator[cell] = 1;
+                sums[cell] = (v * 7 + j as u64) % (AGG_MAX - 1) + 1;
+                counts[cell] = 1;
+            }
+        }
+        let mut prg = Prg::from_seed(seed ^ (3_000 + j as u64));
+        let ind = share_indicator(&indicator, op.delta, &mut prg);
+        let p = share_payload(&sums, &op.field, &mut prg);
+        let cnt = share_payload(&counts, &op.field, &mut prg);
+        for k in 0..3 {
+            let mut columns = Vec::new();
+            if k < 2 {
+                columns.push((Column::Ok, ind.shares[k].clone()));
+            }
+            columns.push((Column::Agg(0), p.shares[k].clone()));
+            columns.push((Column::AOk, cnt.shares[k].clone()));
+            cluster.bulk_upload(k, j, columns).expect("upload");
+        }
+    }
+}
+
+/// Run the failover experiment: bring up an elastic cluster (`shards`
+/// workers per server domain over TCP), measure pre-kill cold/warm
+/// passes, hard-kill one worker, measure the heal, and measure the
+/// post-heal passes. Panics if the healed answers differ from the
+/// pre-kill answers or the failover count is not exactly 1.
+pub fn run(domain: u64, owners: usize, shards: usize, seed: u64) -> FailoverSweep {
+    let setup = setup(domain, owners, seed);
+    let cfg = RegistryConfig {
+        probe_interval: Duration::from_millis(20),
+        probe_timeout: Duration::from_secs(2),
+        miss_budget: 5,
+        attach_timeout: Duration::from_secs(30),
+        heal_timeout: Duration::from_secs(10),
+    };
+    let listener = ClusterListener::bind(setup.clone(), shards, cfg).expect("bind");
+    let addr = listener.addr();
+    let dial = Duration::from_secs(10);
+    let mut workers = Vec::new();
+    for (k, params) in setup.servers.iter().enumerate() {
+        for _ in 0..shards {
+            workers.push(ShardWorker::connect(params.clone(), k, addr, dial).expect("worker"));
+        }
+    }
+    let announcer = AnnouncerNode::connect(setup.announcer.clone(), addr, dial).expect("announcer");
+    let mut cluster = listener.start().expect("start");
+    cluster.enable_cache();
+    upload(&cluster, domain, owners, seed);
+
+    let batch = QueryBatch::new().sum(0).count_tuples();
+    let mut rows = Vec::new();
+    let mut pass = |cluster: &NetCluster, label: &str| {
+        let t0 = Instant::now();
+        let (out, stats) = cluster.psi_query_batch(&batch, seed).expect("batch");
+        rows.push(FailoverRow {
+            pass: label.to_string(),
+            wall: t0.elapsed(),
+            rounds: stats.rounds(),
+            hits: stats.cache_hits(),
+            failovers: stats.failovers(),
+        });
+        out
+    };
+
+    let baseline = pass(&cluster, "pre-kill cold");
+    let warm = pass(&cluster, "pre-kill warm");
+    assert_eq!(warm, baseline, "warm pass changed the answers");
+
+    // Hard-kill one of server 0's workers and clock the heal.
+    workers[0].kill();
+    let registry = cluster.registry().expect("elastic cluster has a registry");
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs(30);
+    while registry.failovers() < 1 {
+        assert!(Instant::now() < deadline, "failover never confirmed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let heal = t0.elapsed();
+
+    let healed = pass(&cluster, "post-heal");
+    assert_eq!(
+        healed, baseline,
+        "healed cluster answered differently — the re-shard lost rows"
+    );
+    let rewarm = pass(&cluster, "post-heal warm");
+    assert_eq!(rewarm, baseline, "re-warmed pass changed the answers");
+
+    let failovers = registry.failovers();
+    assert_eq!(failovers, 1, "expected exactly one failover");
+    let heal_log = registry.heal_log();
+
+    cluster.shutdown().expect("shutdown");
+    let _ = announcer.join();
+    for (i, w) in workers.into_iter().enumerate() {
+        let joined = w.join();
+        assert!(
+            i == 0 || joined.is_ok(),
+            "surviving worker {i} exited dirty"
+        );
+    }
+
+    FailoverSweep {
+        rows,
+        heal,
+        failovers,
+        heal_log,
+    }
+}
+
+/// Print the sweep, one row per pass, plus the heal line.
+pub fn print(domain: u64, owners: usize, shards: usize, sweep: &FailoverSweep) {
+    let table_rows: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.pass.clone(),
+                secs(r.wall),
+                r.rounds.to_string(),
+                r.hits.to_string(),
+                r.failovers.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Shard failover — {domain} OK cells, {owners} owners, {shards} workers/domain over TCP"
+        ),
+        &["Pass", "Wall", "Rounds", "Hits", "Failovers"],
+        &table_rows,
+    );
+    println!(
+        "heal (kill → re-fanned): {}, failovers: {}, heal-log entries: {}",
+        secs(sweep.heal),
+        sweep.failovers,
+        sweep.heal_log.len(),
+    );
+    for entry in &sweep.heal_log {
+        println!("  {entry}");
+    }
+}
+
+/// Write the sweep as a small JSON artifact (hand-rolled, like the other
+/// experiments — the workspace vendors no JSON serializer).
+pub fn write_json(
+    path: &std::path::Path,
+    domain: u64,
+    owners: usize,
+    shards: usize,
+    sweep: &FailoverSweep,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"shard_failover\",\n");
+    out.push_str(&format!("  \"domain\": {domain},\n"));
+    out.push_str(&format!("  \"owners\": {owners},\n"));
+    out.push_str(&format!("  \"shards_per_domain\": {shards},\n"));
+    out.push_str(&format!(
+        "  \"heal_seconds\": {:.6},\n",
+        sweep.heal.as_secs_f64()
+    ));
+    out.push_str(&format!("  \"failovers\": {},\n", sweep.failovers));
+    out.push_str(&format!(
+        "  \"heal_log_entries\": {},\n",
+        sweep.heal_log.len()
+    ));
+    out.push_str("  \"passes\": [\n");
+    for (i, r) in sweep.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"seconds\": {:.6}, \"rounds\": {}, \"cache_hits\": {}, \
+             \"failovers\": {}}}{}\n",
+            r.pass,
+            r.wall.as_secs_f64(),
+            r.rounds,
+            r.hits,
+            r.failovers,
+            if i + 1 == sweep.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_heals_with_identical_answers() {
+        let sweep = run(256, 3, 3, 11);
+        assert_eq!(sweep.rows.len(), 4);
+        assert_eq!(sweep.failovers, 1);
+        assert_eq!(sweep.rows[1].hits, 1, "pre-kill warm pass must hit");
+        assert_eq!(
+            sweep.rows[2].hits, 0,
+            "post-heal pass must not serve the stale entry"
+        );
+        assert!(
+            sweep.rows[2].failovers >= 1,
+            "the heal must land in the post-heal pass's meters"
+        );
+        assert_eq!(sweep.rows[3].hits, 1, "post-heal warm pass must re-warm");
+        assert!(
+            sweep.heal_log.iter().any(|l| l.contains("confirmed dead")),
+            "heal log must record the failover: {:?}",
+            sweep.heal_log
+        );
+        print(256, 3, 3, &sweep);
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed_enough() {
+        let sweep = run(128, 2, 2, 12);
+        let path = std::env::temp_dir().join("prism_bench_failover_test.json");
+        write_json(&path, 128, 2, 2, &sweep).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"failovers\": 1"));
+        assert!(text.contains("heal_seconds"));
+        assert!(text.contains("\"pass\": \"post-heal\""));
+    }
+}

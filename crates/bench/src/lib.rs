@@ -15,6 +15,7 @@
 //! | [`hotpathexp`] | hot-path kernel pairs, flat vs Vec baselines (`BENCH_hotpath.json`) |
 //! | [`cacheexp`] | cross-query PSI-round cache sweep (repeat-query latency, `BENCH_cache.json`) |
 //! | [`serveexp`] | concurrent serving through the session multiplexer (latency/throughput, `BENCH_serve.json`) |
+//! | [`failoverexp`] | control-plane self-healing: kill a shard worker, time the heal (`BENCH_failover.json`) |
 //!
 //! The `exp_harness` binary drives them at `--scale small|medium|full`;
 //! the Criterion benches under `benches/` track the same code paths at
@@ -29,6 +30,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod failoverexp;
 pub mod hotpathexp;
 pub mod netmax;
 pub mod report;

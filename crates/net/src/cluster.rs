@@ -62,7 +62,7 @@ use std::thread::JoinHandle;
 /// Answer the owner side: tagged when the request carried a query
 /// envelope (the reply must route back through the owner's multiplexer to
 /// that query's slot), plain otherwise.
-fn reply(link: &dyn Link, tag: Option<u64>, msg: Message) -> Result<(), NetError> {
+pub(crate) fn reply(link: &dyn Link, tag: Option<u64>, msg: Message) -> Result<(), NetError> {
     let msg = match tag {
         Some(t) => msg.tagged(t),
         None => msg,
@@ -86,7 +86,7 @@ fn reply(link: &dyn Link, tag: Option<u64>, msg: Message) -> Result<(), NetError
 /// server→announcer edges — the announcer's drain can never wait on an
 /// upload that was not yet sent. The upload itself stays untagged: its
 /// `seq` (not a `QueryId`) is what pairs it at the announcer.
-fn run_wide(
+pub(crate) fn run_wide(
     node: &ServerNode,
     cmd: ServerCmd,
     seq: u64,
@@ -127,7 +127,7 @@ fn run_wide(
 /// output list (the engine's reply-shape check rejects it as a
 /// `MalformedResponse` at the owner — servers are malicious in this
 /// threat model and must not panic or hang the owner).
-fn run_batch_on(node: &ServerNode, batch: BatchQuery) -> Vec<Vec<u64>> {
+pub(crate) fn run_batch_on(node: &ServerNode, batch: BatchQuery) -> Vec<Vec<u64>> {
     match node.execute(&ServerCmd::Run(batch)) {
         Ok(ServerReply::Vectors(outs)) => outs,
         _ => Vec::new(),
@@ -151,7 +151,7 @@ fn run_batch_on(node: &ServerNode, batch: BatchQuery) -> Vec<Vec<u64>> {
 /// tamper control) take the write lock inline on the serving thread —
 /// the link's receive order is the linearization point, exactly as it
 /// was when the whole loop was sequential.
-fn server_loop(
+pub(crate) fn server_loop(
     params: ServerParams,
     link: Box<dyn Link>,
     announcer: Option<Box<dyn Link>>,
@@ -186,6 +186,11 @@ fn server_loop(
             Message::VersionProbe => {
                 let v = node.read().version();
                 reply(link.as_ref(), tag, Message::Version(v))?;
+            }
+            Message::Ping { seq } => {
+                // Statically wired nodes have no assignment generation;
+                // echo 0 so a registry-driven prober still sees life.
+                reply(link.as_ref(), tag, Message::Pong { seq, generation: 0 })?;
             }
             Message::RunBatch(batch) => {
                 let node = Arc::clone(&node);
@@ -252,7 +257,7 @@ fn server_loop(
 }
 
 /// Collect one `Ack` per pending shard round-trip.
-fn collect_acks(pendings: Vec<Pending>) -> Result<(), NetError> {
+pub(crate) fn collect_acks(pendings: Vec<Pending>) -> Result<(), NetError> {
     for p in pendings {
         match p.recv()? {
             Message::Ack => {}
@@ -268,7 +273,7 @@ fn collect_acks(pendings: Vec<Pending>) -> Result<(), NetError> {
 /// empty output list, which the engine's reply-shape check turns into a
 /// `MalformedResponse` at the owner (servers are malicious in this threat
 /// model — a broken shard must not panic the owner).
-fn route_batch(
+pub(crate) fn route_batch(
     plan: &ShardPlan,
     params: &ServerParams,
     tamper: &Tamper,
@@ -501,7 +506,7 @@ fn domain_loop(
 /// earlier drain finds them already staged and drains nothing. Announce
 /// requests themselves are served in control-link order; the reply
 /// carries the request's query tag.
-fn announcer_loop(
+pub(crate) fn announcer_loop(
     params: AnnouncerParams,
     owner_link: Box<dyn Link>,
     server_links: Vec<Box<dyn Link>>,
@@ -542,6 +547,14 @@ fn announcer_loop(
                 announcer.set_tamper(t);
                 reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
+            Message::Ping { seq } => {
+                // The announcer carries no row assignment; generation 0.
+                reply(
+                    owner_link.as_ref(),
+                    tag,
+                    Message::Pong { seq, generation: 0 },
+                )?;
+            }
             Message::Shutdown => return Ok(()),
             _ => {
                 // Reply-direction messages; ignore defensively.
@@ -580,6 +593,12 @@ pub struct NetReport {
     pub cache_misses: u64,
     /// Cache entries dropped as stale (version mismatch or tamper).
     pub cache_invalidations: u64,
+    /// Per-node liveness from the control plane's keep-alive prober
+    /// (empty on statically wired clusters — only elastic clusters built
+    /// through [`crate::registry::ClusterListener`] have a registry).
+    pub nodes: Vec<crate::registry::NodeHealth>,
+    /// Shard-worker failovers the registry has healed so far.
+    pub failovers: u64,
 }
 
 impl NetReport {
@@ -700,43 +719,60 @@ impl std::fmt::Display for NetReport {
             "cache: hits={} misses={} invalidations={}",
             self.cache_hits, self.cache_misses, self.cache_invalidations
         )?;
+        if !self.nodes.is_empty() {
+            writeln!(f, "control plane: failovers={}", self.failovers)?;
+            for n in &self.nodes {
+                writeln!(f, "  {n}")?;
+            }
+        }
         Ok(())
     }
 }
 
 /// Owner-side handle to a running cluster.
 pub struct NetCluster {
-    setup: Setup,
-    links: Vec<Arc<MuxLink>>,
-    announcer_link: Arc<MuxLink>,
-    handles: Vec<JoinHandle<Result<(), NetError>>>,
-    server_stats: Vec<Arc<LinkStats>>,
-    to_shard_stats: Vec<Vec<Arc<LinkStats>>>,
-    from_shard_stats: Vec<Vec<Arc<LinkStats>>>,
-    from_announcer_stats: Arc<LinkStats>,
-    server_to_announcer_stats: Vec<Arc<LinkStats>>,
-    shards: usize,
-    threads: u32,
-    dispatches: AtomicU64,
+    pub(crate) setup: Setup,
+    pub(crate) links: Vec<Arc<MuxLink>>,
+    pub(crate) announcer_link: Arc<MuxLink>,
+    pub(crate) handles: Vec<JoinHandle<Result<(), NetError>>>,
+    pub(crate) server_stats: Vec<Arc<LinkStats>>,
+    pub(crate) to_shard_stats: Vec<Vec<Arc<LinkStats>>>,
+    pub(crate) from_shard_stats: Vec<Vec<Arc<LinkStats>>>,
+    pub(crate) from_announcer_stats: Arc<LinkStats>,
+    pub(crate) server_to_announcer_stats: Vec<Arc<LinkStats>>,
+    pub(crate) shards: usize,
+    pub(crate) threads: u32,
+    pub(crate) dispatches: AtomicU64,
     /// Wide-round sequence counter: one fresh number per round that
     /// carries a `MaxCombine`, echoed by servers and quoted at announce
     /// time so the announcer can reject stale or crossed uploads.
-    wide_seq: AtomicU64,
+    pub(crate) wide_seq: AtomicU64,
     /// Query-id counter: one fresh id per query (and per ad-hoc facade
     /// round-trip), tagging all of that query's wire traffic so the
     /// per-link pumps can route interleaved replies.
-    query_seq: AtomicU64,
+    pub(crate) query_seq: AtomicU64,
     /// Admission layer: bounded in-flight window + per-owner fair
     /// queueing over [`NetCluster::execute_as`].
-    admission: Admission,
+    pub(crate) admission: Admission,
     /// Cross-query PSI-round cache (see [`prism_protocol::cache`]),
     /// enabled by [`NetCluster::enable_cache`]: `execute` wraps the
     /// cluster's own `ServerExec` in a `CachedExec` bound to this state,
-    /// and the upload/tamper facades keep it honest.
-    cache: Option<PsiRoundCache>,
+    /// and the upload/tamper facades keep it honest. Shared (`Arc`) so an
+    /// elastic cluster's registry can dirty a healed domain's entries
+    /// from the prober thread.
+    pub(crate) cache: Option<Arc<PsiRoundCache>>,
+    /// The control plane, present on elastic clusters built through
+    /// [`crate::registry::ClusterListener`]: node health, keep-alive
+    /// probing, and shard failover.
+    pub(crate) registry: Option<crate::registry::NodeRegistry>,
+    /// Cumulative failover count already attributed to some round's
+    /// [`ExecMeters`] — `tagged_round` swaps this against the registry's
+    /// live counter so each failover lands in exactly one round's meters
+    /// even when queries interleave.
+    pub(crate) failover_mark: AtomicU64,
 }
 
-fn transport_err(e: NetError) -> ProtocolError {
+pub(crate) fn transport_err(e: NetError) -> ProtocolError {
     ProtocolError::Transport(e.to_string())
 }
 
@@ -790,6 +826,7 @@ impl ServerExec for NetCluster {
     fn meters(&self) -> ExecMeters {
         ExecMeters {
             shard_dispatches: self.dispatches.load(Ordering::Relaxed),
+            failovers: self.registry.as_ref().map_or(0, |r| r.failovers()),
             ..ExecMeters::default()
         }
     }
@@ -882,14 +919,14 @@ impl NetCluster {
             let link = &self.links[s];
             // Register the slot before sending: the reply must never race
             // its own registration.
-            pendings.push(link.begin(id).map_err(transport_err)?);
+            pendings.push((s, link.begin(id).map_err(transport_err)?));
             link.send(id, msg).map_err(transport_err)?;
         }
         if dispatches > 0 {
             self.dispatches.fetch_add(dispatches, Ordering::Relaxed);
         }
         let mut replies = Vec::with_capacity(pendings.len());
-        for pending in &pendings {
+        for (s, pending) in &pendings {
             match pending.recv().map_err(transport_err)? {
                 Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
                 Message::Version(v) => replies.push(ServerReply::Version(v)),
@@ -904,6 +941,15 @@ impl NetCluster {
                     replies.push(ServerReply::WideForwarded { rows, width, seq })
                 }
                 Message::Fpos(rows) => replies.push(ServerReply::Fpos(rows)),
+                // A routed round hit a dead shard worker: surface the
+                // crash by name (distinct from a tamper-shaped wrong
+                // answer, which arrives well-formed and fails
+                // verification instead).
+                Message::NodeDown { node } => {
+                    return Err(transport_err(NetError::NodeDown {
+                        node: format!("d{s}/s{node}"),
+                    }))
+                }
                 _ => {
                     return Err(ProtocolError::Transport(
                         "unexpected reply to a query round".into(),
@@ -911,11 +957,23 @@ impl NetCluster {
                 }
             }
         }
+        // Attribute any failovers healed since the last round to this
+        // one: swap against the registry's live counter so each failover
+        // lands in exactly one round's meters under interleaving.
+        let failovers = match &self.registry {
+            Some(registry) => {
+                let cur = registry.failovers();
+                let prev = self.failover_mark.swap(cur, Ordering::Relaxed);
+                cur.saturating_sub(prev)
+            }
+            None => 0,
+        };
         Ok(RoundOutcome {
             replies,
             cost: t0.elapsed(),
             meters: ExecMeters {
                 shard_dispatches: dispatches,
+                failovers,
                 ..ExecMeters::default()
             },
         })
@@ -1051,6 +1109,8 @@ impl NetCluster {
             query_seq: AtomicU64::new(0),
             admission: Admission::new(Self::DEFAULT_ADMISSION_WINDOW),
             cache: None,
+            registry: None,
+            failover_mark: AtomicU64::new(0),
         })
     }
 
@@ -1062,12 +1122,26 @@ impl NetCluster {
     /// Results are bit-identical with the cache on or off; verified
     /// operations always hit the servers.
     pub fn enable_cache(&mut self) {
-        self.cache.get_or_insert_with(PsiRoundCache::new);
+        let cache = self
+            .cache
+            .get_or_insert_with(|| Arc::new(PsiRoundCache::new()));
+        if let Some(registry) = &self.registry {
+            // Failovers re-outsource rows from the prober thread; the
+            // registry must be able to dirty the healed domain's entries.
+            registry.attach_cache(Arc::clone(cache));
+        }
     }
 
     /// The PSI-round cache, when enabled.
     pub fn cache(&self) -> Option<&PsiRoundCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
+    }
+
+    /// The cluster control plane (node health, keep-alive, failover) —
+    /// present only on elastic clusters built through
+    /// [`crate::registry::ClusterListener`].
+    pub fn registry(&self) -> Option<&crate::registry::NodeRegistry> {
+        self.registry.as_ref()
     }
 
     /// Set the per-server thread count sent with queries.
@@ -1103,6 +1177,9 @@ impl NetCluster {
     fn acked(&self, link: &Arc<MuxLink>, msg: Message) -> Result<(), NetError> {
         match link.request(self.fresh_query_id(), msg)? {
             Message::Ack => Ok(()),
+            Message::NodeDown { node } => Err(NetError::NodeDown {
+                node: format!("shard worker {node}"),
+            }),
             _ => Err(NetError::Disconnected),
         }
     }
@@ -1131,6 +1208,13 @@ impl NetCluster {
         if let Some(cache) = &self.cache {
             cache.note_upload(server);
         }
+        // The registry replays recorded uploads when it re-fans a healed
+        // domain; record before sending so a crash mid-upload can only
+        // replay too much (stores are overwrite-idempotent), never too
+        // little.
+        if let Some(registry) = &self.registry {
+            registry.record_upload(server, owner, &[(column, data.clone())]);
+        }
         self.acked(
             &self.links[server],
             Message::Upload {
@@ -1155,6 +1239,9 @@ impl NetCluster {
         // server may already have mutated.
         if let Some(cache) = &self.cache {
             cache.note_upload(server);
+        }
+        if let Some(registry) = &self.registry {
+            registry.record_upload(server, owner, &columns);
         }
         self.acked(
             &self.links[server],
@@ -1206,7 +1293,7 @@ impl NetCluster {
             net: self,
             id: self.fresh_query_id(),
         };
-        let cached = self.cache.as_ref().map(|c| CachedExec::new(&view, c));
+        let cached = self.cache.as_deref().map(|c| CachedExec::new(&view, c));
         let exec: &dyn ServerExec = match &cached {
             Some(c) => c,
             None => &view,
@@ -1328,14 +1415,28 @@ impl NetCluster {
             to_announcer: self.announcer_link.stats().snapshot(),
             from_announcer: self.from_announcer_stats.snapshot(),
             server_to_announcer: snap(&self.server_to_announcer_stats),
-            cache_hits: self.cache.as_ref().map_or(0, PsiRoundCache::hits),
-            cache_misses: self.cache.as_ref().map_or(0, PsiRoundCache::misses),
-            cache_invalidations: self.cache.as_ref().map_or(0, PsiRoundCache::invalidations),
+            cache_hits: self.cache.as_deref().map_or(0, PsiRoundCache::hits),
+            cache_misses: self.cache.as_deref().map_or(0, PsiRoundCache::misses),
+            cache_invalidations: self
+                .cache
+                .as_deref()
+                .map_or(0, PsiRoundCache::invalidations),
+            nodes: self
+                .registry
+                .as_ref()
+                .map(|r| r.node_health())
+                .unwrap_or_default(),
+            failovers: self.registry.as_ref().map_or(0, |r| r.failovers()),
         }
     }
 
     /// Orderly shutdown; joins router, worker, and announcer threads.
     pub fn shutdown(mut self) -> Result<(), NetError> {
+        // Stop the keep-alive prober and attach dispatcher first so
+        // teardown-closed links are not mistaken for node deaths.
+        if let Some(registry) = self.registry.take() {
+            registry.stop();
+        }
         for link in &self.links {
             link.send_raw(&Message::Shutdown)?;
         }

@@ -22,10 +22,14 @@
 
 pub mod cluster;
 pub mod mux;
+pub mod registry;
 pub mod transport;
 pub mod wire;
 
 pub use cluster::{ClusterError, NetCluster, NetReport};
 pub use mux::{Admission, MuxLink, Pending, Permit, QueryId};
+pub use registry::{
+    AnnouncerNode, ClusterListener, Liveness, NodeHealth, NodeRegistry, RegistryConfig, ShardWorker,
+};
 pub use transport::{channel_pair, ChannelLink, Link, LinkStats, NetError, TcpLink};
-pub use wire::{Column, Message, Op, WireError};
+pub use wire::{Column, Message, NodeRole, Op, WireError};

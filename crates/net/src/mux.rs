@@ -49,6 +49,10 @@ pub struct MuxLink {
     slots: Mutex<HashMap<QueryId, Sender<Message>>>,
     rejected: AtomicU64,
     dead: AtomicBool,
+    /// Node label for crash diagnostics: when set, pump death surfaces
+    /// as [`NetError::NodeDown`] naming this node instead of a generic
+    /// disconnect, so callers can tell crash from tamper.
+    label: Option<String>,
 }
 
 /// A registered completion slot: the receive side of one query's replies
@@ -62,9 +66,22 @@ pub struct Pending {
 }
 
 impl Pending {
-    /// Block for the next reply routed to this query.
+    /// Block for the next reply routed to this query. If the wait ends
+    /// because the link's pump died, the error names the node (when the
+    /// link is labeled) so a crashed worker is not mistaken for tamper.
     pub fn recv(&self) -> Result<Message, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected)
+        self.rx.recv().map_err(|_| self.mux.dead_error())
+    }
+
+    /// Like [`Pending::recv`] but gives up after `timeout`, returning
+    /// [`NetError::Timeout`]. The registry's keep-alive prober uses this
+    /// so a wedged (not just dead) node cannot park the probe loop.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Message, NetError> {
+        use crossbeam::channel::RecvTimeoutError;
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => self.mux.dead_error(),
+        })
     }
 }
 
@@ -78,11 +95,23 @@ impl MuxLink {
     /// Wrap `link` and start its pump thread. The pump runs until the
     /// link disconnects or every handle to the `MuxLink` is gone.
     pub fn new(link: Arc<dyn Link>) -> Arc<MuxLink> {
+        MuxLink::build(link, None)
+    }
+
+    /// Like [`MuxLink::new`], but names the remote node: pump death on a
+    /// labeled link surfaces to waiters as [`NetError::NodeDown`] instead
+    /// of a generic disconnect.
+    pub fn new_labeled(link: Arc<dyn Link>, label: impl Into<String>) -> Arc<MuxLink> {
+        MuxLink::build(link, Some(label.into()))
+    }
+
+    fn build(link: Arc<dyn Link>, label: Option<String>) -> Arc<MuxLink> {
         let mux = Arc::new(MuxLink {
             link: Arc::clone(&link),
             slots: Mutex::new(HashMap::new()),
             rejected: AtomicU64::new(0),
             dead: AtomicBool::new(false),
+            label,
         });
         let weak = Arc::downgrade(&mux);
         std::thread::spawn(move || loop {
@@ -127,7 +156,7 @@ impl MuxLink {
     /// the id already has a slot (one `Pending` per query per link).
     pub fn begin(self: &Arc<MuxLink>, id: QueryId) -> Result<Pending, NetError> {
         if self.dead.load(Ordering::SeqCst) {
-            return Err(NetError::Disconnected);
+            return Err(self.dead_error());
         }
         let (tx, rx) = unbounded();
         {
@@ -144,7 +173,7 @@ impl MuxLink {
         // returns Disconnected anyway.
         if self.dead.load(Ordering::SeqCst) {
             self.slots.lock().remove(&id);
-            return Err(NetError::Disconnected);
+            return Err(self.dead_error());
         }
         Ok(Pending {
             mux: Arc::clone(self),
@@ -173,6 +202,25 @@ impl MuxLink {
         let pending = self.begin(id)?;
         self.send(id, msg)?;
         pending.recv()
+    }
+
+    /// Whether the pump has died (the peer hung up or its link broke).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// The node label this link was built with, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The error a dead link surfaces: [`NetError::NodeDown`] naming the
+    /// node when labeled, plain [`NetError::Disconnected`] otherwise.
+    pub fn dead_error(&self) -> NetError {
+        match &self.label {
+            Some(node) => NetError::NodeDown { node: node.clone() },
+            None => NetError::Disconnected,
+        }
     }
 
     /// Replies dropped because no query claimed them (unknown/finished
@@ -391,6 +439,51 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         panic!("begin kept succeeding after the pump died");
+    }
+
+    #[test]
+    fn labeled_pump_death_names_the_node() {
+        let (owner, peer) = channel_pair();
+        let mux = MuxLink::new_labeled(Arc::new(owner), "d1/s3");
+        let pending = mux.begin(2).unwrap();
+        drop(peer);
+        match pending.recv().unwrap_err() {
+            NetError::NodeDown { node } => assert_eq!(node, "d1/s3"),
+            other => panic!("expected NodeDown, got {other:?}"),
+        }
+        // New registrations fail with the same named error once the pump
+        // has marked the link dead (poll briefly — the pump races the
+        // drop).
+        for _ in 0..100 {
+            match mux.begin(3) {
+                Err(NetError::NodeDown { node }) => {
+                    assert_eq!(node, "d1/s3");
+                    return;
+                }
+                Err(other) => panic!("expected NodeDown, got {other:?}"),
+                Ok(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        }
+        panic!("begin kept succeeding after the pump died");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (owner, peer) = channel_pair();
+        let mux = MuxLink::new(Arc::new(owner));
+        let pending = mux.begin(6).unwrap();
+        assert!(matches!(
+            pending.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        ));
+        // The slot survives a timeout: a late reply still lands.
+        peer.send(&Message::Version(11).tagged(6)).unwrap();
+        assert_eq!(
+            pending
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .unwrap(),
+            Message::Version(11)
+        );
     }
 
     #[test]

@@ -1,0 +1,1413 @@
+//! Cluster control plane: remote attach, keep-alive health, and
+//! self-healing shard failover.
+//!
+//! The statically wired [`NetCluster`] constructors need every shard
+//! worker alive at build time and treat a dead worker as a permanent
+//! query failure. This module turns that topology **elastic**:
+//!
+//! * **Remote attach.** [`ClusterListener`] accepts TCP connections that
+//!   open with a [`Message::Register`] naming their role
+//!   ([`NodeRole`]): shard workers join a server domain
+//!   ([`ShardWorker::connect`]), and the announcer attaches its control
+//!   edge plus one upload edge per additive server
+//!   ([`AnnouncerNode::connect`]). [`ClusterListener::start`] blocks
+//!   until the topology is complete, then builds an ordinary
+//!   [`NetCluster`] whose domain routers read their shard fan-out from
+//!   the registry instead of a fixed link list. Workers may keep
+//!   attaching afterwards — an under-strength domain (post-failover)
+//!   absorbs them with a re-plan.
+//! * **Health.** A [`NodeRegistry`] prober thread sends
+//!   [`Message::Ping`] to every registered node each
+//!   [`RegistryConfig::probe_interval`], matching [`Message::Pong`]s by
+//!   sequence number. A non-responder turns [`Liveness::Suspect`]; after
+//!   [`RegistryConfig::miss_budget`] consecutive misses (or a hard link
+//!   death) it is confirmed [`Liveness::Dead`]. Per-node liveness,
+//!   last-seen age, and assignment generation are exported through
+//!   [`NetCluster::report`] as [`NodeHealth`] rows.
+//! * **Failover.** On confirmed death of a shard worker the registry
+//!   re-plans the domain over the survivors
+//!   ([`ShardPlan::without`]), pushes each survivor its new row range
+//!   via [`Message::Assign`] (generation-numbered, acked), and
+//!   **re-outsources** the domain by replaying every recorded owner
+//!   upload sliced under the new plan — the same store-version path as
+//!   any owner upload, so each survivor's monotonic version bumps and
+//!   the PSI-round cache invalidates exactly the re-fanned domain
+//!   (`note_upload`). Tamper detection survives re-sharding unchanged:
+//!   the domain-level tampering behaviour and finish permutations live
+//!   in the router, which the failover never touches.
+//!
+//! **Topology note.** Registry↔worker edges carry only control traffic
+//! — registration, pings, assignments, and the replayed *shares* owners
+//! already outsourced. No plaintext and no cross-server data ever flows
+//! here, so the no-server-communication property of §3.2 is preserved:
+//! workers of different domains still have no edge to each other.
+//!
+//! **Generation numbers.** Every re-plan bumps the domain's generation;
+//! `Assign` carries it and `Pong` echoes the worker's current value, so
+//! the prober detects a worker that missed a re-plan (e.g. an ack lost
+//! to a transient) and re-sends its assignment — the keep-alive loop
+//! doubles as the assignment anti-entropy loop.
+
+use crate::cluster::{announcer_loop, reply, route_batch, run_batch_on, run_wide, NetCluster};
+use crate::mux::{Admission, MuxLink};
+use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
+use crate::wire::{Column, Message, NodeRole};
+use parking_lot::{Mutex, RwLock};
+use prism_protocol::cache::PsiRoundCache;
+use prism_protocol::engine::{ServerCmd, ServerNode};
+use prism_protocol::malicious::Tamper;
+use prism_protocol::params::{AnnouncerParams, ServerParams, Setup, ADDITIVE_SERVERS};
+use prism_protocol::shard::{shard_server_params, ShardPlan, ShardSpec};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for the control plane.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// How often the prober pings every registered node.
+    pub probe_interval: Duration,
+    /// How long one ping waits for its pong before counting a miss.
+    pub probe_timeout: Duration,
+    /// Consecutive misses a node may accrue while merely *suspect*; one
+    /// more confirms it dead. A hard link death (EOF) skips the budget —
+    /// the crash is already confirmed.
+    pub miss_budget: u32,
+    /// How long [`ClusterListener::start`] waits for the full topology
+    /// (every shard worker + the announcer's three edges) to attach.
+    pub attach_timeout: Duration,
+    /// Per-message timeout during a heal (assignments, replayed
+    /// uploads): a survivor that cannot ack within this is removed too.
+    pub heal_timeout: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(500),
+            miss_budget: 3,
+            attach_timeout: Duration::from_secs(10),
+            heal_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A registered node's health as the keep-alive prober sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Answered its most recent ping.
+    Alive,
+    /// Missed at least one ping, within the miss budget.
+    Suspect,
+    /// Confirmed down (budget exhausted or hard link death); shard
+    /// workers in this state have been failed over.
+    Dead,
+}
+
+impl std::fmt::Display for Liveness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Liveness::Alive => write!(f, "alive"),
+            Liveness::Suspect => write!(f, "suspect"),
+            Liveness::Dead => write!(f, "dead"),
+        }
+    }
+}
+
+/// One row of [`NetCluster::report`]'s control-plane section.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// Registry-assigned node id.
+    pub node: u64,
+    /// Human label (`"d0/w3"` for a shard worker, `"announcer"`).
+    pub label: String,
+    /// Current liveness.
+    pub liveness: Liveness,
+    /// Time since the node last answered (registration counts).
+    pub last_seen: Duration,
+    /// The node's assignment generation (0 for the announcer).
+    pub generation: u64,
+}
+
+impl std::fmt::Display for NodeHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (node {}): {} gen={} last_seen={:?} ago",
+            self.label, self.node, self.liveness, self.generation, self.last_seen
+        )
+    }
+}
+
+/// One attached shard worker, as the registry tracks it.
+struct WorkerSlot {
+    node: u64,
+    label: String,
+    link: Arc<MuxLink>,
+    last_seen: Instant,
+    misses: u32,
+    liveness: Liveness,
+    /// Generation of the assignment this worker last acked.
+    generation: u64,
+}
+
+/// Mutable per-domain control state, shared between the elastic router
+/// (reader), the attach dispatcher, and the prober (writers). The lock
+/// is the heal barrier: a route task holds `read` for its whole
+/// fan-out, a heal holds `write` across assign + replay, so every query
+/// runs entirely before or entirely after a heal — never against a
+/// half-replayed store.
+struct DomainState {
+    params: ServerParams,
+    /// Configured shard ceiling; attaches beyond it are rejected.
+    target: usize,
+    generation: u64,
+    plan: ShardPlan,
+    workers: Vec<WorkerSlot>,
+}
+
+/// One recorded owner upload (the replay log for failover
+/// re-outsourcing). Records are replayed in arrival order; stores are
+/// overwrite-idempotent, so replaying a superseded record is harmless.
+#[derive(Clone)]
+struct UploadRecord {
+    server: usize,
+    owner: u32,
+    columns: Vec<(Column, Vec<u64>)>,
+}
+
+struct AnnouncerHealth {
+    node: u64,
+    last_seen: Instant,
+    misses: u32,
+    liveness: Liveness,
+}
+
+/// Shared control-plane state.
+struct RegistryInner {
+    cfg: RegistryConfig,
+    addr: SocketAddr,
+    domains: Vec<Arc<RwLock<DomainState>>>,
+    uploads: Mutex<Vec<UploadRecord>>,
+    /// Set by [`NetCluster::enable_cache`]; failovers dirty the healed
+    /// domain here so warm entries cannot survive a re-fan.
+    cache: Mutex<Option<Arc<PsiRoundCache>>>,
+    heal_log: Mutex<Vec<String>>,
+    /// Dead nodes kept for reporting after their slot is removed.
+    graveyard: Mutex<Vec<NodeHealth>>,
+    failovers: AtomicU64,
+    next_node: AtomicU64,
+    /// Control-plane correlation ids (pings, assigns, replays) live in
+    /// `[2^62, 2^63)`: disjoint from owner query ids (from 0) and
+    /// router-local ids (from `2^63`), so all three can share the
+    /// worker links' multiplexers.
+    corr: AtomicU64,
+    stop: AtomicBool,
+    // Announcer attach state (filled by the dispatcher, consumed by
+    // `start`, probed afterwards).
+    announcer_ctl: Mutex<Option<Arc<TcpLink>>>,
+    announcer_uploads: Mutex<Vec<Option<Arc<TcpLink>>>>,
+    announcer_mux: Mutex<Option<Arc<MuxLink>>>,
+    announcer_health: Mutex<Option<AnnouncerHealth>>,
+}
+
+impl RegistryInner {
+    fn fresh_corr(&self) -> u64 {
+        self.corr.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Public handle to the control plane, carried by elastic
+/// [`NetCluster`]s (see [`NetCluster::registry`]).
+pub struct NodeRegistry {
+    inner: Arc<RegistryInner>,
+    prober: Mutex<Option<JoinHandle<()>>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NodeRegistry {
+    /// Address workers and the announcer dial to attach.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Shard-worker failovers healed so far.
+    pub fn failovers(&self) -> u64 {
+        self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Human-readable heal log: one entry per attach, failover, and
+    /// heal-time anomaly, in order.
+    pub fn heal_log(&self) -> Vec<String> {
+        self.inner.heal_log.lock().clone()
+    }
+
+    /// Per-node liveness snapshot (live workers, dead nodes kept for the
+    /// record, and the announcer).
+    pub fn node_health(&self) -> Vec<NodeHealth> {
+        let mut out = Vec::new();
+        for domain in &self.inner.domains {
+            let st = domain.read();
+            for w in &st.workers {
+                out.push(NodeHealth {
+                    node: w.node,
+                    label: w.label.clone(),
+                    liveness: w.liveness,
+                    last_seen: w.last_seen.elapsed(),
+                    generation: w.generation,
+                });
+            }
+        }
+        out.extend(self.inner.graveyard.lock().iter().cloned());
+        if let Some(a) = self.inner.announcer_health.lock().as_ref() {
+            out.push(NodeHealth {
+                node: a.node,
+                label: "announcer".into(),
+                liveness: a.liveness,
+                last_seen: a.last_seen.elapsed(),
+                generation: 0,
+            });
+        }
+        out
+    }
+
+    /// Append one owner upload to the replay log (called by the cluster
+    /// facades before each send, so a heal can re-outsource the domain).
+    pub(crate) fn record_upload(
+        &self,
+        server: usize,
+        owner: usize,
+        columns: &[(Column, Vec<u64>)],
+    ) {
+        self.inner.uploads.lock().push(UploadRecord {
+            server,
+            owner: owner as u32,
+            columns: columns.to_vec(),
+        });
+    }
+
+    /// Bind the PSI-round cache so failovers can dirty healed domains.
+    pub(crate) fn attach_cache(&self, cache: Arc<PsiRoundCache>) {
+        *self.inner.cache.lock() = Some(cache);
+    }
+
+    /// Stop the prober and the attach dispatcher (idempotent). Called by
+    /// [`NetCluster::shutdown`] before links are torn down so teardown
+    /// is not mistaken for node death.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Wake the dispatcher out of `accept` with a throwaway dial.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(h) = self.dispatcher.lock().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRegistry")
+            .field("addr", &self.inner.addr)
+            .field("failovers", &self.failovers())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Attach listener → elastic cluster
+// ---------------------------------------------------------------------
+
+/// The registry's attach endpoint: workers and the announcer dial
+/// [`ClusterListener::addr`] and register; [`ClusterListener::start`]
+/// waits for the full topology and produces the elastic [`NetCluster`].
+pub struct ClusterListener {
+    setup: Setup,
+    shards: usize,
+    inner: Arc<RegistryInner>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl ClusterListener {
+    /// Bind the attach endpoint on an ephemeral loopback port and start
+    /// accepting registrations immediately (workers may dial before or
+    /// after [`ClusterListener::start`] is called — bring-up is racy by
+    /// nature and both orders must work). `shards` is each domain's
+    /// worker target.
+    pub fn bind(setup: Setup, shards: usize, cfg: RegistryConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let domains = setup
+            .servers
+            .iter()
+            .map(|params| {
+                let b = params.b;
+                let target = shards.clamp(1, b.max(1));
+                Arc::new(RwLock::new(DomainState {
+                    params: params.clone(),
+                    target,
+                    generation: 0,
+                    plan: ShardPlan::new(b, target),
+                    workers: Vec::new(),
+                }))
+            })
+            .collect();
+        let inner = Arc::new(RegistryInner {
+            cfg,
+            addr,
+            domains,
+            uploads: Mutex::new(Vec::new()),
+            cache: Mutex::new(None),
+            heal_log: Mutex::new(Vec::new()),
+            graveyard: Mutex::new(Vec::new()),
+            failovers: AtomicU64::new(0),
+            next_node: AtomicU64::new(0),
+            corr: AtomicU64::new(1 << 62),
+            stop: AtomicBool::new(false),
+            announcer_ctl: Mutex::new(None),
+            announcer_uploads: Mutex::new(vec![None; ADDITIVE_SERVERS]),
+            announcer_mux: Mutex::new(None),
+            announcer_health: Mutex::new(None),
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || dispatcher_loop(inner, listener))
+        };
+        Ok(ClusterListener {
+            setup,
+            shards: shards.max(1),
+            inner,
+            dispatcher,
+        })
+    }
+
+    /// The attach address to hand to [`ShardWorker::connect`] and
+    /// [`AnnouncerNode::connect`].
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Block until every domain has its target worker count and the
+    /// announcer's three edges are attached (or
+    /// [`RegistryConfig::attach_timeout`] expires), then assemble the
+    /// elastic [`NetCluster`]: one local router thread per domain
+    /// reading its shard fan-out from the registry, the keep-alive
+    /// prober, and the usual owner facades.
+    pub fn start(self) -> Result<NetCluster, NetError> {
+        let deadline = Instant::now() + self.inner.cfg.attach_timeout;
+        loop {
+            let workers_ready = self
+                .inner
+                .domains
+                .iter()
+                .all(|d| d.read().workers.len() >= d.read().target);
+            let ann_ready = self.inner.announcer_ctl.lock().is_some()
+                && self
+                    .inner
+                    .announcer_uploads
+                    .lock()
+                    .iter()
+                    .all(Option::is_some);
+            if workers_ready && ann_ready {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let mut links = Vec::new();
+        let mut handles = Vec::new();
+        let mut server_stats = Vec::new();
+        let mut server_to_announcer_stats = Vec::new();
+        let upload_ends: Vec<Arc<TcpLink>> = {
+            let mut slots = self.inner.announcer_uploads.lock();
+            slots
+                .iter_mut()
+                .map(|s| s.take().expect("readiness checked above"))
+                .collect()
+        };
+        for (k, end) in upload_ends.iter().enumerate() {
+            let _ = k;
+            server_to_announcer_stats.push(end.stats());
+        }
+        for (k, shared) in self.inner.domains.iter().enumerate() {
+            let params = shared.read().params.clone();
+            let (owner_end, server_end) = channel_pair();
+            server_stats.push(Link::stats(&server_end));
+            let shared = Arc::clone(shared);
+            let announcer: Option<Arc<dyn Link>> = if k < ADDITIVE_SERVERS {
+                Some(Arc::clone(&upload_ends[k]) as Arc<dyn Link>)
+            } else {
+                None
+            };
+            handles.push(std::thread::spawn(move || {
+                elastic_domain_loop(params, Box::new(server_end), shared, announcer)
+            }));
+            links.push(MuxLink::new(Arc::new(owner_end) as Arc<dyn Link>));
+        }
+
+        let ctl = self
+            .inner
+            .announcer_ctl
+            .lock()
+            .take()
+            .expect("readiness checked above");
+        let announcer_link = MuxLink::new_labeled(ctl as Arc<dyn Link>, "announcer");
+        *self.inner.announcer_mux.lock() = Some(Arc::clone(&announcer_link));
+
+        let prober = {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || prober_loop(inner))
+        };
+        let registry = NodeRegistry {
+            inner: Arc::clone(&self.inner),
+            prober: Mutex::new(Some(prober)),
+            dispatcher: Mutex::new(Some(self.dispatcher)),
+        };
+
+        Ok(NetCluster {
+            setup: self.setup,
+            links,
+            announcer_link,
+            handles,
+            server_stats,
+            // Worker-edge receive meters live in the worker processes;
+            // the elastic report exposes node health instead.
+            to_shard_stats: vec![Vec::new(); self.inner.domains.len()],
+            from_shard_stats: vec![Vec::new(); self.inner.domains.len()],
+            from_announcer_stats: Arc::new(LinkStats::default()),
+            server_to_announcer_stats,
+            shards: self.shards,
+            threads: 1,
+            dispatches: AtomicU64::new(0),
+            wide_seq: AtomicU64::new(0),
+            query_seq: AtomicU64::new(0),
+            admission: Admission::new(NetCluster::DEFAULT_ADMISSION_WINDOW),
+            cache: None,
+            registry: Some(registry),
+            failover_mark: AtomicU64::new(0),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher: accept + classify registrations
+// ---------------------------------------------------------------------
+
+fn dispatcher_loop(inner: Arc<RegistryInner>, listener: TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Handshakes run on their own threads so one stalled dialer
+        // cannot block every other attach.
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || handle_attach(&inner, stream));
+    }
+}
+
+fn reject(link: &TcpLink) {
+    let _ = link.send(&Message::RegisterAck {
+        accepted: false,
+        node: 0,
+        generation: 0,
+        start: 0,
+        len: 0,
+    });
+}
+
+fn handle_attach(inner: &Arc<RegistryInner>, stream: TcpStream) {
+    let link = match TcpLink::new(stream) {
+        Ok(l) => Arc::new(l),
+        Err(_) => return,
+    };
+    let msg = match link.recv() {
+        Ok(m) => m,
+        Err(_) => return, // includes the stop()-wake dummy dial
+    };
+    let Message::Register { role, domain, .. } = msg else {
+        return;
+    };
+    let d = domain as usize;
+    match role {
+        NodeRole::ShardWorker => {
+            let Some(shared) = inner.domains.get(d) else {
+                reject(&link);
+                return;
+            };
+            // Claim a slot (or reject a full domain) and ack with a
+            // provisional whole-domain range; the re-fan below assigns
+            // the real one before any query can route here.
+            let (node, b) = {
+                let st = shared.read();
+                if st.workers.len() >= st.target {
+                    drop(st);
+                    reject(&link);
+                    return;
+                }
+                (inner.next_node.fetch_add(1, Ordering::Relaxed), st.params.b)
+            };
+            let label = format!("d{d}/w{node}");
+            if link
+                .send(&Message::RegisterAck {
+                    accepted: true,
+                    node,
+                    generation: 0,
+                    start: 0,
+                    len: b as u64,
+                })
+                .is_err()
+            {
+                return;
+            }
+            let mux = MuxLink::new_labeled(Arc::clone(&link) as Arc<dyn Link>, label.clone());
+            {
+                let mut st = shared.write();
+                if st.workers.len() >= st.target {
+                    // Lost the race to a concurrent attach.
+                    return;
+                }
+                st.workers.push(WorkerSlot {
+                    node,
+                    label: label.clone(),
+                    link: mux,
+                    last_seen: Instant::now(),
+                    misses: 0,
+                    liveness: Liveness::Alive,
+                    generation: 0,
+                });
+            }
+            let survivors = refan(inner, d);
+            inner.heal_log.lock().push(format!(
+                "domain {d}: worker {label} attached; re-fanned over {survivors} worker(s)"
+            ));
+        }
+        NodeRole::AnnouncerCtl => {
+            let mut slot = inner.announcer_ctl.lock();
+            if slot.is_some() {
+                drop(slot);
+                reject(&link);
+                return;
+            }
+            let node = inner.next_node.fetch_add(1, Ordering::Relaxed);
+            if link
+                .send(&Message::RegisterAck {
+                    accepted: true,
+                    node,
+                    generation: 0,
+                    start: 0,
+                    len: 0,
+                })
+                .is_ok()
+            {
+                *slot = Some(link);
+                *inner.announcer_health.lock() = Some(AnnouncerHealth {
+                    node,
+                    last_seen: Instant::now(),
+                    misses: 0,
+                    liveness: Liveness::Alive,
+                });
+            }
+        }
+        NodeRole::AnnouncerUpload => {
+            let mut slots = inner.announcer_uploads.lock();
+            match slots.get_mut(d) {
+                Some(slot @ None) => {
+                    let node = inner.next_node.fetch_add(1, Ordering::Relaxed);
+                    if link
+                        .send(&Message::RegisterAck {
+                            accepted: true,
+                            node,
+                            generation: 0,
+                            start: 0,
+                            len: 0,
+                        })
+                        .is_ok()
+                    {
+                        *slot = Some(link);
+                    }
+                }
+                _ => {
+                    drop(slots);
+                    reject(&link);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heal: re-plan, re-assign, re-outsource
+// ---------------------------------------------------------------------
+
+/// Re-fan domain `d` over its current workers: bump the generation,
+/// re-plan, push every worker its new row range, and replay the
+/// recorded uploads sliced under the new plan. Holds the domain write
+/// lock throughout — the heal barrier: no query round can interleave
+/// with a half-replayed store. A worker that fails mid-heal is removed
+/// and the heal restarts over the remainder. Returns the surviving
+/// worker count (0 = domain offline).
+fn refan(inner: &Arc<RegistryInner>, d: usize) -> usize {
+    let shared = &inner.domains[d];
+    let mut st = shared.write();
+    loop {
+        if st.workers.is_empty() {
+            st.generation += 1;
+            inner
+                .heal_log
+                .lock()
+                .push(format!("domain {d}: no surviving workers — domain offline"));
+            return 0;
+        }
+        st.generation += 1;
+        st.plan = ShardPlan::new(st.params.b, st.workers.len());
+        match assign_and_replay(inner, &mut st, d) {
+            Ok(()) => break,
+            Err(bad) => {
+                let casualty = st.workers.remove(bad);
+                bury(inner, &casualty);
+                inner.heal_log.lock().push(format!(
+                    "domain {d}: worker {} failed mid-heal; removed",
+                    casualty.label
+                ));
+            }
+        }
+    }
+    let survivors = st.workers.len();
+    drop(st);
+    // The re-outsource mutated every survivor's store; dirty the
+    // domain's cache entries exactly like any owner upload would.
+    if let Some(cache) = inner.cache.lock().as_ref() {
+        cache.note_upload(d);
+    }
+    survivors
+}
+
+/// Push the current plan's ranges to every worker (acked, generation
+/// `st.generation`), then replay the domain's recorded uploads sliced
+/// under the new plan. `Err(i)` names the worker index that failed.
+fn assign_and_replay(
+    inner: &Arc<RegistryInner>,
+    st: &mut DomainState,
+    d: usize,
+) -> Result<(), usize> {
+    let gen = st.generation;
+    let specs: Vec<ShardSpec> = st.plan.specs().to_vec();
+    let corr = inner.fresh_corr();
+    let mut pendings = Vec::with_capacity(st.workers.len());
+    for (i, (slot, spec)) in st.workers.iter().zip(&specs).enumerate() {
+        let msg = Message::Assign {
+            generation: gen,
+            start: spec.start as u64,
+            len: spec.len as u64,
+        };
+        let p = slot.link.begin(corr).map_err(|_| i)?;
+        slot.link.send(corr, msg).map_err(|_| i)?;
+        pendings.push((i, p));
+    }
+    for (i, p) in pendings {
+        match p.recv_timeout(inner.cfg.heal_timeout) {
+            Ok(Message::Ack) => st.workers[i].generation = gen,
+            _ => return Err(i),
+        }
+    }
+    let records: Vec<UploadRecord> = inner
+        .uploads
+        .lock()
+        .iter()
+        .filter(|r| r.server == d)
+        .cloned()
+        .collect();
+    for rec in &records {
+        let corr = inner.fresh_corr();
+        let mut pendings = Vec::with_capacity(st.workers.len());
+        for (i, (slot, spec)) in st.workers.iter().zip(&specs).enumerate() {
+            let sliced: Vec<(Column, Vec<u64>)> = rec
+                .columns
+                .iter()
+                .map(|(c, data)| {
+                    let parts = st.plan.split_rows(data);
+                    (*c, parts[spec.index].to_vec())
+                })
+                .collect();
+            let p = slot.link.begin(corr).map_err(|_| i)?;
+            slot.link
+                .send(
+                    corr,
+                    Message::BulkUpload {
+                        owner: rec.owner,
+                        columns: sliced,
+                    },
+                )
+                .map_err(|_| i)?;
+            pendings.push((i, p));
+        }
+        for (i, p) in pendings {
+            match p.recv_timeout(inner.cfg.heal_timeout) {
+                Ok(Message::Ack) => {}
+                _ => return Err(i),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bury(inner: &Arc<RegistryInner>, casualty: &WorkerSlot) {
+    inner.graveyard.lock().push(NodeHealth {
+        node: casualty.node,
+        label: casualty.label.clone(),
+        liveness: Liveness::Dead,
+        last_seen: casualty.last_seen.elapsed(),
+        generation: casualty.generation,
+    });
+}
+
+/// Confirmed death of one shard worker: remove it, heal the domain, and
+/// count the failover.
+fn failover(inner: &Arc<RegistryInner>, d: usize, node: u64) {
+    let casualty = {
+        let mut st = inner.domains[d].write();
+        let Some(idx) = st.workers.iter().position(|w| w.node == node) else {
+            return; // already removed by a concurrent heal
+        };
+        st.workers.remove(idx)
+    };
+    bury(inner, &casualty);
+    let lost = {
+        let st = inner.domains[d].read();
+        st.plan
+            .lost_range(0)
+            .map(|_| st.params.b / (st.workers.len() + 1).max(1))
+            .unwrap_or(0)
+    };
+    let survivors = refan(inner, d);
+    inner.failovers.fetch_add(1, Ordering::Relaxed);
+    let generation = inner.domains[d].read().generation;
+    inner.heal_log.lock().push(format!(
+        "domain {d}: worker {} confirmed dead; re-fanned ~{lost} rows over {survivors} \
+         survivor(s) (generation {generation})",
+        casualty.label
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Prober: keep-alive loop
+// ---------------------------------------------------------------------
+
+fn prober_loop(inner: Arc<RegistryInner>) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(inner.cfg.probe_interval);
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for d in 0..inner.domains.len() {
+            // Snapshot outside the lock: a probe waits up to
+            // probe_timeout and must not block routing or heals.
+            let probes: Vec<(u64, Arc<MuxLink>, u64)> = {
+                let st = inner.domains[d].read();
+                st.workers
+                    .iter()
+                    .map(|w| (w.node, Arc::clone(&w.link), st.generation))
+                    .collect()
+            };
+            for (node, link, expected_gen) in probes {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match ping(&inner, &link) {
+                    Ok(worker_gen) => {
+                        {
+                            let mut st = inner.domains[d].write();
+                            if let Some(w) = st.workers.iter_mut().find(|w| w.node == node) {
+                                w.last_seen = Instant::now();
+                                w.misses = 0;
+                                w.liveness = Liveness::Alive;
+                            }
+                        }
+                        if worker_gen != expected_gen
+                            && worker_gen != inner.domains[d].read().generation
+                        {
+                            // The worker genuinely missed a re-plan (not
+                            // just a stale snapshot of a concurrent
+                            // heal): re-fan the whole domain — the
+                            // keep-alive doubles as anti-entropy, and a
+                            // full heal is the only resync that also
+                            // restores the worker's store.
+                            inner.heal_log.lock().push(format!(
+                                "domain {d}: node {node} reports stale generation \
+                                 {worker_gen}; re-fanning"
+                            ));
+                            refan(&inner, d);
+                        }
+                    }
+                    Err(_) => {
+                        let hard_dead = link.is_dead();
+                        let mut confirmed = false;
+                        {
+                            let mut st = inner.domains[d].write();
+                            if let Some(w) = st.workers.iter_mut().find(|w| w.node == node) {
+                                w.misses += 1;
+                                w.liveness = Liveness::Suspect;
+                                if hard_dead || w.misses > inner.cfg.miss_budget {
+                                    w.liveness = Liveness::Dead;
+                                    confirmed = true;
+                                }
+                            }
+                        }
+                        if confirmed {
+                            failover(&inner, d, node);
+                        }
+                    }
+                }
+            }
+        }
+        probe_announcer(&inner);
+    }
+}
+
+/// One ping round-trip; returns the node's assignment generation.
+fn ping(inner: &Arc<RegistryInner>, link: &Arc<MuxLink>) -> Result<u64, NetError> {
+    let seq = inner.fresh_corr();
+    let pending = link.begin(seq)?;
+    link.send(seq, Message::Ping { seq })?;
+    match pending.recv_timeout(inner.cfg.probe_timeout)? {
+        Message::Pong {
+            seq: echoed,
+            generation,
+        } if echoed == seq => Ok(generation),
+        _ => Err(NetError::Mux("mismatched pong")),
+    }
+}
+
+fn probe_announcer(inner: &Arc<RegistryInner>) {
+    let Some(link) = inner.announcer_mux.lock().clone() else {
+        return;
+    };
+    let outcome = ping(inner, &link);
+    let mut health = inner.announcer_health.lock();
+    let Some(a) = health.as_mut() else { return };
+    match outcome {
+        Ok(_) => {
+            a.last_seen = Instant::now();
+            a.misses = 0;
+            a.liveness = Liveness::Alive;
+        }
+        Err(_) => {
+            a.misses += 1;
+            a.liveness = if link.is_dead() || a.misses > inner.cfg.miss_budget {
+                // No failover target exists for the announcer — it holds
+                // no outsourced rows; wide queries fail loudly until it
+                // returns.
+                Liveness::Dead
+            } else {
+                Liveness::Suspect
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elastic domain router
+// ---------------------------------------------------------------------
+
+/// Fan an acked control message (upload slices) across the current
+/// workers. `Err(shard)` names the first worker index whose link failed
+/// — the router reports it as [`Message::NodeDown`] instead of dying.
+fn fan_acked(st: &DomainState, corr: u64, mk: impl Fn(&ShardSpec) -> Message) -> Result<(), u64> {
+    let mut pendings = Vec::with_capacity(st.workers.len());
+    for (i, (slot, spec)) in st.workers.iter().zip(st.plan.specs()).enumerate() {
+        let p = slot.link.begin(corr).map_err(|_| i as u64)?;
+        slot.link.send(corr, mk(spec)).map_err(|_| i as u64)?;
+        pendings.push((i, p));
+    }
+    for (i, p) in pendings {
+        match p.recv() {
+            Ok(Message::Ack) => {}
+            _ => return Err(i as u64),
+        }
+    }
+    Ok(())
+}
+
+/// The registry-backed sibling of `domain_loop`: one server domain's
+/// router, reading its shard fan-out (plan + worker links) from the
+/// registry's [`DomainState`] on every message instead of a fixed list.
+/// A worker-link failure answers the owner with [`Message::NodeDown`]
+/// (crash, not tamper) and keeps the router alive — the next round
+/// after a heal routes over the survivors.
+fn elastic_domain_loop(
+    params: ServerParams,
+    owner_link: Box<dyn Link>,
+    shared: Arc<RwLock<DomainState>>,
+    announcer: Option<Arc<dyn Link>>,
+) -> Result<(), NetError> {
+    let owner_link: Arc<dyn Link> = Arc::from(owner_link);
+    let wide_node = Arc::new(ServerNode::new(params.clone()));
+    let params = Arc::new(params);
+    let tamper = Arc::new(RwLock::new(Tamper::Honest));
+    let corr = AtomicU64::new(1 << 63);
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (tag, msg) = owner_link.recv()?.untag();
+        match msg {
+            Message::Upload {
+                owner,
+                column,
+                data,
+            } => {
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                let st = shared.read();
+                let outcome = fan_acked(&st, id, |spec| Message::Upload {
+                    owner,
+                    column,
+                    data: data[spec.start..spec.start + spec.len].to_vec(),
+                });
+                drop(st);
+                match outcome {
+                    Ok(()) => reply(owner_link.as_ref(), tag, Message::Ack)?,
+                    Err(node) => reply(owner_link.as_ref(), tag, Message::NodeDown { node })?,
+                }
+            }
+            Message::BulkUpload { owner, columns } => {
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                let st = shared.read();
+                let outcome = fan_acked(&st, id, |spec| {
+                    let sliced: Vec<(Column, Vec<u64>)> = columns
+                        .iter()
+                        .map(|(c, data)| (*c, data[spec.start..spec.start + spec.len].to_vec()))
+                        .collect();
+                    Message::BulkUpload {
+                        owner,
+                        columns: sliced,
+                    }
+                });
+                drop(st);
+                match outcome {
+                    Ok(()) => reply(owner_link.as_ref(), tag, Message::Ack)?,
+                    Err(node) => reply(owner_link.as_ref(), tag, Message::NodeDown { node })?,
+                }
+            }
+            Message::SetTamper(t) => {
+                *tamper.write() = t;
+                reply(owner_link.as_ref(), tag, Message::Ack)?;
+            }
+            Message::RunBatch(batch) => {
+                let shared = Arc::clone(&shared);
+                let params = Arc::clone(&params);
+                let tamper = Arc::clone(&tamper);
+                let owner_link = Arc::clone(&owner_link);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    // Hold the read side for the whole fan-out: the heal
+                    // barrier. A heal (write) waits for this round; this
+                    // round can never see a half-replayed store.
+                    let st = shared.read();
+                    let links: Vec<Arc<MuxLink>> =
+                        st.workers.iter().map(|w| Arc::clone(&w.link)).collect();
+                    let tamper_now = *tamper.read();
+                    let msg = match route_batch(&st.plan, &params, &tamper_now, &batch, &links, id)
+                    {
+                        Some(outs) => Message::Outputs(outs),
+                        None => match links.iter().position(|l| l.is_dead()) {
+                            Some(i) => Message::NodeDown { node: i as u64 },
+                            // Malformed-but-alive shard: shaped like
+                            // tamper, reported like tamper.
+                            None => Message::Outputs(Vec::new()),
+                        },
+                    };
+                    drop(st);
+                    let _ = reply(owner_link.as_ref(), tag, msg);
+                }));
+            }
+            Message::VersionProbe => {
+                let shared = Arc::clone(&shared);
+                let owner_link = Arc::clone(&owner_link);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    let st = shared.read();
+                    let probe = || -> Result<u64, u64> {
+                        let mut pendings = Vec::with_capacity(st.workers.len());
+                        for (i, w) in st.workers.iter().enumerate() {
+                            let p = w.link.begin(id).map_err(|_| i as u64)?;
+                            w.link
+                                .send(id, Message::VersionProbe)
+                                .map_err(|_| i as u64)?;
+                            pendings.push((i, p));
+                        }
+                        let mut version = 0u64;
+                        for (i, p) in pendings {
+                            match p.recv() {
+                                Ok(Message::Version(v)) => version += v,
+                                _ => return Err(i as u64),
+                            }
+                        }
+                        Ok(version)
+                    };
+                    let msg = match probe() {
+                        Ok(v) => Message::Version(v),
+                        Err(node) => Message::NodeDown { node },
+                    };
+                    drop(st);
+                    let _ = reply(owner_link.as_ref(), tag, msg);
+                }));
+            }
+            Message::MaxCombine {
+                uploads,
+                threads,
+                seq,
+            } => {
+                let wide_node = Arc::clone(&wide_node);
+                let owner_link = Arc::clone(&owner_link);
+                let ann = announcer.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = run_wide(
+                        &wide_node,
+                        ServerCmd::MaxCombine { uploads, threads },
+                        seq,
+                        tag,
+                        owner_link.as_ref(),
+                        ann.as_deref(),
+                    );
+                }));
+            }
+            Message::AssembleFpos { claims, threads } => {
+                let wide_node = Arc::clone(&wide_node);
+                let owner_link = Arc::clone(&owner_link);
+                let ann = announcer.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = run_wide(
+                        &wide_node,
+                        ServerCmd::AssembleFpos { claims, threads },
+                        0,
+                        tag,
+                        owner_link.as_ref(),
+                        ann.as_deref(),
+                    );
+                }));
+            }
+            Message::Ping { seq } => {
+                let generation = shared.read().generation;
+                reply(owner_link.as_ref(), tag, Message::Pong { seq, generation })?;
+            }
+            Message::Shutdown => {
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                let st = shared.read();
+                for w in st.workers.iter() {
+                    let _ = w.link.send_raw(&Message::Shutdown);
+                }
+                return Ok(());
+            }
+            _ => {
+                // Reply-direction messages; ignore defensively.
+            }
+        }
+        workers.retain(|h| !h.is_finished());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote nodes: shard worker + announcer
+// ---------------------------------------------------------------------
+
+/// A shard worker attached to a registry by address: holds one row
+/// range of a server domain and re-derives it on every
+/// [`Message::Assign`]. The handle owns the worker's serving thread;
+/// [`ShardWorker::kill`] slams the socket shut (chaos testing — the
+/// registry sees a hard death and fails the worker over).
+pub struct ShardWorker {
+    link: Arc<TcpLink>,
+    handle: Option<JoinHandle<Result<(), NetError>>>,
+    node: u64,
+}
+
+impl ShardWorker {
+    /// Dial `addr` (retrying until `timeout`), register as a shard
+    /// worker for `domain`, and start serving the assigned row range on
+    /// a background thread. `params` is the **full domain's**
+    /// [`ServerParams`] — the initiator provisions whole-domain views
+    /// and the worker derives its shard view locally on every
+    /// assignment ([`shard_server_params`]).
+    pub fn connect(
+        params: ServerParams,
+        domain: usize,
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<ShardWorker, NetError> {
+        let link = Arc::new(TcpLink::connect_retry(
+            addr,
+            timeout,
+            Duration::from_millis(10),
+        )?);
+        link.send(&Message::Register {
+            role: NodeRole::ShardWorker,
+            domain: domain as u32,
+            capacity: params.b as u64,
+            generation: 0,
+        })?;
+        match link.recv()? {
+            Message::RegisterAck {
+                accepted: true,
+                node,
+                generation,
+                start,
+                len,
+            } => {
+                let spec = ShardSpec {
+                    index: 0,
+                    start: start as usize,
+                    len: len as usize,
+                };
+                let serve_link = Arc::clone(&link);
+                let handle =
+                    std::thread::spawn(move || worker_loop(params, serve_link, spec, generation));
+                Ok(ShardWorker {
+                    link,
+                    handle: Some(handle),
+                    node,
+                })
+            }
+            Message::RegisterAck {
+                accepted: false, ..
+            } => Err(NetError::Mux("registration rejected")),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Registry-assigned node id.
+    pub fn node_id(&self) -> u64 {
+        self.node
+    }
+
+    /// Hard-kill the worker: both socket halves shut, mid-frame. The
+    /// registry observes EOF and fails the worker over.
+    pub fn kill(&self) {
+        self.link.shutdown();
+    }
+
+    /// Join the serving thread (clean exit after the cluster's
+    /// `Shutdown`; an error after [`ShardWorker::kill`]).
+    pub fn join(mut self) -> Result<(), NetError> {
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| NetError::Disconnected)?,
+            None => Ok(()),
+        }
+    }
+}
+
+/// The worker-side serving loop: an engine [`ServerNode`] over the
+/// assigned row range, answering the same wire commands as the
+/// statically wired `server_loop` plus the control plane's `Ping` and
+/// `Assign`.
+///
+/// `version_base` makes the domain's store version strictly increase
+/// across re-assignments: each `Assign` folds the old node's version
+/// (plus one) into the base before rebuilding, and probes answer
+/// `base + node.version()` — so a heal can never leave a domain's
+/// summed version where it was, and every stale cache entry dies.
+fn worker_loop(
+    domain_params: ServerParams,
+    link: Arc<TcpLink>,
+    spec0: ShardSpec,
+    generation0: u64,
+) -> Result<(), NetError> {
+    let link: Arc<dyn Link> = link;
+    let node = Arc::new(RwLock::new(ServerNode::new(shard_server_params(
+        &domain_params,
+        &spec0,
+    ))));
+    let mut cur_spec = spec0;
+    let mut cur_gen = generation0;
+    let mut version_base = 0u64;
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (tag, msg) = link.recv()?.untag();
+        match msg {
+            Message::Upload {
+                owner,
+                column,
+                data,
+            } => {
+                node.write().store(owner as usize, column, data);
+                reply(link.as_ref(), tag, Message::Ack)?;
+            }
+            Message::BulkUpload { owner, columns } => {
+                let mut node = node.write();
+                for (column, data) in columns {
+                    node.store(owner as usize, column, data);
+                }
+                drop(node);
+                reply(link.as_ref(), tag, Message::Ack)?;
+            }
+            Message::SetTamper(t) => {
+                node.write().set_tamper(t);
+                reply(link.as_ref(), tag, Message::Ack)?;
+            }
+            Message::VersionProbe => {
+                let v = version_base + node.read().version();
+                reply(link.as_ref(), tag, Message::Version(v))?;
+            }
+            Message::Ping { seq } => {
+                reply(
+                    link.as_ref(),
+                    tag,
+                    Message::Pong {
+                        seq,
+                        generation: cur_gen,
+                    },
+                )?;
+            }
+            Message::Assign {
+                generation: gen,
+                start,
+                len,
+            } => {
+                let spec = ShardSpec {
+                    index: 0,
+                    start: start as usize,
+                    len: len as usize,
+                };
+                // An assignment to the range already held is a pure
+                // generation bump (the replay that follows overwrites
+                // the same slices); only a *moved* range rebuilds the
+                // node. Rebuilding on a no-op re-assign would wipe the
+                // store with nothing scheduled to restore it.
+                if spec.start != cur_spec.start || spec.len != cur_spec.len {
+                    // The write lock drains in-flight query readers
+                    // before the rebuild — no round computes across it.
+                    let mut node = node.write();
+                    version_base += node.version() + 1;
+                    *node = ServerNode::new(shard_server_params(&domain_params, &spec));
+                    cur_spec = spec;
+                }
+                cur_gen = gen;
+                reply(link.as_ref(), tag, Message::Ack)?;
+            }
+            Message::RunBatch(batch) => {
+                let node = Arc::clone(&node);
+                let link = Arc::clone(&link);
+                workers.push(std::thread::spawn(move || {
+                    let outs = run_batch_on(&node.read(), batch);
+                    let _ = reply(link.as_ref(), tag, Message::Outputs(outs));
+                }));
+            }
+            Message::ShardRun { shard, batch } => {
+                let node = Arc::clone(&node);
+                let link = Arc::clone(&link);
+                workers.push(std::thread::spawn(move || {
+                    let outputs = run_batch_on(&node.read(), batch);
+                    let _ = reply(link.as_ref(), tag, Message::ShardOutputs { shard, outputs });
+                }));
+            }
+            Message::Shutdown => {
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                return Ok(());
+            }
+            _ => {
+                // Wide rounds are answered at the domain router, never
+                // at a worker; ignore stray traffic defensively.
+            }
+        }
+        workers.retain(|h| !h.is_finished());
+    }
+}
+
+/// The announcer attached to a registry by address: dials three
+/// connections — the owner↔announcer control edge plus one upload edge
+/// per additive server — registers each, and serves the ordinary
+/// `announcer_loop` over them.
+pub struct AnnouncerNode {
+    link: Arc<TcpLink>,
+    handle: Option<JoinHandle<Result<(), NetError>>>,
+}
+
+impl AnnouncerNode {
+    /// Dial and register all three announcer edges, then serve.
+    pub fn connect(
+        params: AnnouncerParams,
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<AnnouncerNode, NetError> {
+        let backoff = Duration::from_millis(10);
+        let ctl = Arc::new(TcpLink::connect_retry(addr, timeout, backoff)?);
+        register(&ctl, NodeRole::AnnouncerCtl, 0)?;
+        let mut uploads: Vec<Box<dyn Link>> = Vec::with_capacity(ADDITIVE_SERVERS);
+        for k in 0..ADDITIVE_SERVERS {
+            let l = TcpLink::connect_retry(addr, timeout, backoff)?;
+            register(&l, NodeRole::AnnouncerUpload, k)?;
+            uploads.push(Box::new(l));
+        }
+        let serve_ctl = Arc::clone(&ctl);
+        let handle = std::thread::spawn(move || {
+            announcer_loop(params, Box::new(ArcLink(serve_ctl)), uploads)
+        });
+        Ok(AnnouncerNode {
+            link: ctl,
+            handle: Some(handle),
+        })
+    }
+
+    /// Hard-kill the announcer's control edge (chaos testing).
+    pub fn kill(&self) {
+        self.link.shutdown();
+    }
+
+    /// Join the serving thread.
+    pub fn join(mut self) -> Result<(), NetError> {
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|_| NetError::Disconnected)?,
+            None => Ok(()),
+        }
+    }
+}
+
+fn register(link: &TcpLink, role: NodeRole, domain: usize) -> Result<(), NetError> {
+    link.send(&Message::Register {
+        role,
+        domain: domain as u32,
+        capacity: 0,
+        generation: 0,
+    })?;
+    match link.recv()? {
+        Message::RegisterAck { accepted: true, .. } => Ok(()),
+        Message::RegisterAck {
+            accepted: false, ..
+        } => Err(NetError::Mux("registration rejected")),
+        _ => Err(NetError::Disconnected),
+    }
+}
+
+/// A [`Link`] adaptor over a shared [`TcpLink`] (the announcer's control
+/// edge is held both by the serving loop and by the kill handle).
+struct ArcLink(Arc<TcpLink>);
+
+impl Link for ArcLink {
+    fn send(&self, msg: &Message) -> Result<(), NetError> {
+        self.0.send(msg)
+    }
+    fn recv(&self) -> Result<Message, NetError> {
+        self.0.recv()
+    }
+    fn stats(&self) -> Arc<LinkStats> {
+        self.0.stats()
+    }
+}

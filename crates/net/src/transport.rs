@@ -28,6 +28,15 @@ pub enum NetError {
     /// Multiplexer protocol violation (duplicate query slot, reply for a
     /// finished query, pump died).
     Mux(&'static str),
+    /// A specific remote node is confirmed down (its link's pump died or
+    /// the registry declared it dead). Distinct from [`NetError::Wire`] /
+    /// tamper so callers can tell crash from corruption.
+    NodeDown {
+        /// Human-readable node label (e.g. `"d0/s2"` or `"announcer"`).
+        node: String,
+    },
+    /// A bounded wait (keep-alive probe, registry attach) expired.
+    Timeout,
 }
 
 impl From<io::Error> for NetError {
@@ -49,6 +58,8 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Mux(why) => write!(f, "multiplexer error: {why}"),
+            NetError::NodeDown { node } => write!(f, "node down: {node}"),
+            NetError::Timeout => write!(f, "timed out"),
         }
     }
 }
@@ -162,6 +173,34 @@ impl TcpLink {
             writer: Mutex::new(stream),
             stats: Arc::new(LinkStats::default()),
         })
+    }
+
+    /// Dial `addr`, retrying with a fixed `backoff` until `timeout` has
+    /// elapsed. Cluster bring-up is racy by nature — a worker may start a
+    /// beat before the registry listener is bound — so every attach path
+    /// dials through this instead of a bare `TcpStream::connect`.
+    pub fn connect_retry(
+        addr: std::net::SocketAddr,
+        timeout: std::time::Duration,
+        backoff: std::time::Duration,
+    ) -> Result<TcpLink, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Ok(TcpLink::new(stream)?),
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Shut down both socket halves. Any peer blocked in `recv` observes
+    /// EOF immediately — this is how tests and the example kill a worker
+    /// without waiting for process teardown.
+    pub fn shutdown(&self) {
+        self.writer.lock().shutdown(std::net::Shutdown::Both).ok();
     }
 
     /// Create a connected pair over loopback (test/demo convenience).
@@ -289,6 +328,44 @@ mod tests {
         assert_eq!(b.recv().unwrap(), Message::VersionProbe);
         b.send(&Message::Version(3)).unwrap();
         assert_eq!(pump.join().unwrap(), Message::Version(3));
+    }
+
+    #[test]
+    fn connect_retry_waits_for_listener() {
+        // Reserve a port, drop the listener, then rebind it from a delayed
+        // thread: connect_retry must ride out the gap instead of failing
+        // on the first refused dial.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            TcpLink::new(server).unwrap()
+        });
+        let client = TcpLink::connect_retry(
+            addr,
+            std::time::Duration::from_secs(10),
+            std::time::Duration::from_millis(5),
+        )
+        .unwrap();
+        let server = h.join().unwrap();
+        client.send(&Message::Ack).unwrap();
+        assert_eq!(server.recv().unwrap(), Message::Ack);
+    }
+
+    #[test]
+    fn tcp_shutdown_unblocks_recv() {
+        let (_a, b) = TcpLink::loopback_pair().unwrap();
+        let b = std::sync::Arc::new(b);
+        let h = {
+            let b = std::sync::Arc::clone(&b);
+            std::thread::spawn(move || b.recv())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.shutdown();
+        assert!(h.join().unwrap().is_err());
     }
 
     #[test]

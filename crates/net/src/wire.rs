@@ -45,6 +45,20 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// What a remotely attaching connection wants to be, carried by
+/// [`Message::Register`]. One announcer process registers three
+/// connections: a control edge plus one upload edge per additive server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// A shard worker serving one row range of a server domain.
+    ShardWorker,
+    /// The announcer's owner↔announcer control edge.
+    AnnouncerCtl,
+    /// A server→announcer wide-round upload edge (`domain` names the
+    /// additive server it carries uploads from).
+    AnnouncerUpload,
+}
+
 fn need(buf: &mut &[u8]) -> Result<u8, WireError> {
     if !buf.has_remaining() {
         return Err(WireError::Truncated);
@@ -571,6 +585,73 @@ pub enum Message {
         /// The payload message, verbatim.
         inner: Box<Message>,
     },
+    /// Node → registry: first message on a freshly dialed connection,
+    /// announcing what this connection is. The control plane's remote
+    /// attach: workers and the announcer join a running cluster by
+    /// address instead of being wired in at construction time.
+    Register {
+        /// What the connection carries.
+        role: NodeRole,
+        /// Which server domain (0..3) the node belongs to / uploads from.
+        domain: u32,
+        /// Row capacity the node offers (informational; the planner
+        /// currently splits evenly, but the field keeps heterogeneous
+        /// splits wire-compatible).
+        capacity: u64,
+        /// The node's view of the domain's assignment generation (0 on
+        /// first attach; echoed back from a previous `Assign` on
+        /// re-attach).
+        generation: u64,
+    },
+    /// Registry → node: the verdict on a [`Message::Register`], carrying
+    /// the node id the registry will know it by and its initial row-range
+    /// assignment.
+    RegisterAck {
+        /// Whether the registration was accepted.
+        accepted: bool,
+        /// Registry-assigned node id (stable for the node's lifetime).
+        node: u64,
+        /// The domain's current assignment generation.
+        generation: u64,
+        /// First domain row of the assigned shard range.
+        start: u64,
+        /// Row count of the assigned shard range.
+        len: u64,
+    },
+    /// Registry → node: keep-alive probe.
+    Ping {
+        /// Probe sequence number, echoed in the [`Message::Pong`].
+        seq: u64,
+    },
+    /// Node → registry: keep-alive answer. `generation` is the node's
+    /// current assignment generation — a stale value tells the prober the
+    /// node missed a re-plan and needs its `Assign` re-sent.
+    Pong {
+        /// Echoed probe sequence number.
+        seq: u64,
+        /// The node's current assignment generation.
+        generation: u64,
+    },
+    /// Registry → worker: (re-)assign the worker's shard row range. Sent
+    /// on attach and again after every failover re-plan; the worker
+    /// rebuilds its store view for the new range and answers with
+    /// [`Message::Ack`].
+    Assign {
+        /// The assignment generation this range belongs to.
+        generation: u64,
+        /// First domain row of the range.
+        start: u64,
+        /// Row count of the range.
+        len: u64,
+    },
+    /// Router → owner: a routed round failed because a shard worker's
+    /// link is dead. Distinct from a tamper-shaped wrong answer — the
+    /// owner maps this to [`crate::NetError::NodeDown`] so crash and
+    /// corruption stay distinguishable.
+    NodeDown {
+        /// Index of the dead worker within its domain.
+        node: u64,
+    },
 }
 
 impl Message {
@@ -612,6 +693,12 @@ impl Message {
             Message::SetAnnouncerTamper(t) => 1 + announcer_tamper_len(t),
             Message::Version(_) => 1 + 8,
             Message::Tagged { inner, .. } => 1 + 8 + inner.encoded_len(),
+            Message::Register { .. } => 1 + 1 + 4 + 8 + 8,
+            Message::RegisterAck { .. } => 1 + 1 + 8 + 8 + 8 + 8,
+            Message::Ping { .. } => 1 + 8,
+            Message::Pong { .. } => 1 + 8 + 8,
+            Message::Assign { .. } => 1 + 8 + 8 + 8,
+            Message::NodeDown { .. } => 1 + 8,
         }
     }
 
@@ -749,6 +836,59 @@ impl Message {
                 // no intermediate encode-then-copy.
                 inner.write_to(buf);
             }
+            Message::Register {
+                role,
+                domain,
+                capacity,
+                generation,
+            } => {
+                buf.put_u8(20);
+                buf.put_u8(match role {
+                    NodeRole::ShardWorker => 0,
+                    NodeRole::AnnouncerCtl => 1,
+                    NodeRole::AnnouncerUpload => 2,
+                });
+                buf.put_u32_le(*domain);
+                buf.put_u64_le(*capacity);
+                buf.put_u64_le(*generation);
+            }
+            Message::RegisterAck {
+                accepted,
+                node,
+                generation,
+                start,
+                len,
+            } => {
+                buf.put_u8(21);
+                buf.put_u8(u8::from(*accepted));
+                buf.put_u64_le(*node);
+                buf.put_u64_le(*generation);
+                buf.put_u64_le(*start);
+                buf.put_u64_le(*len);
+            }
+            Message::Ping { seq } => {
+                buf.put_u8(22);
+                buf.put_u64_le(*seq);
+            }
+            Message::Pong { seq, generation } => {
+                buf.put_u8(23);
+                buf.put_u64_le(*seq);
+                buf.put_u64_le(*generation);
+            }
+            Message::Assign {
+                generation,
+                start,
+                len,
+            } => {
+                buf.put_u8(24);
+                buf.put_u64_le(*generation);
+                buf.put_u64_le(*start);
+                buf.put_u64_le(*len);
+            }
+            Message::NodeDown { node } => {
+                buf.put_u8(25);
+                buf.put_u64_le(*node);
+            }
         }
     }
 
@@ -850,6 +990,42 @@ impl Message {
                     inner: Box::new(Message::decode(buf)?),
                 }
             }
+            20 => {
+                let role = match need(buf)? {
+                    0 => NodeRole::ShardWorker,
+                    1 => NodeRole::AnnouncerCtl,
+                    2 => NodeRole::AnnouncerUpload,
+                    t => return Err(WireError::BadTag(t)),
+                };
+                Message::Register {
+                    role,
+                    domain: need_u32(buf)?,
+                    capacity: need_u64(buf)?,
+                    generation: need_u64(buf)?,
+                }
+            }
+            21 => Message::RegisterAck {
+                accepted: need(buf)? != 0,
+                node: need_u64(buf)?,
+                generation: need_u64(buf)?,
+                start: need_u64(buf)?,
+                len: need_u64(buf)?,
+            },
+            22 => Message::Ping {
+                seq: need_u64(buf)?,
+            },
+            23 => Message::Pong {
+                seq: need_u64(buf)?,
+                generation: need_u64(buf)?,
+            },
+            24 => Message::Assign {
+                generation: need_u64(buf)?,
+                start: need_u64(buf)?,
+                len: need_u64(buf)?,
+            },
+            25 => Message::NodeDown {
+                node: need_u64(buf)?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1028,6 +1204,47 @@ mod tests {
         roundtrip(Message::VersionProbe);
         roundtrip(Message::Version(0));
         roundtrip(Message::Version(u64::MAX));
+    }
+
+    #[test]
+    fn control_plane_messages_roundtrip() {
+        for role in [
+            NodeRole::ShardWorker,
+            NodeRole::AnnouncerCtl,
+            NodeRole::AnnouncerUpload,
+        ] {
+            roundtrip(Message::Register {
+                role,
+                domain: 2,
+                capacity: 1 << 40,
+                generation: 7,
+            });
+        }
+        roundtrip(Message::RegisterAck {
+            accepted: true,
+            node: 12,
+            generation: 3,
+            start: 128,
+            len: 64,
+        });
+        roundtrip(Message::RegisterAck {
+            accepted: false,
+            node: 0,
+            generation: 0,
+            start: 0,
+            len: 0,
+        });
+        roundtrip(Message::Ping { seq: u64::MAX });
+        roundtrip(Message::Pong {
+            seq: 41,
+            generation: 9,
+        });
+        roundtrip(Message::Assign {
+            generation: 4,
+            start: 10,
+            len: 90,
+        });
+        roundtrip(Message::NodeDown { node: 3 });
     }
 
     #[test]

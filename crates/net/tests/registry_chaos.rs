@@ -1,0 +1,396 @@
+//! Chaos e2e for the cluster control plane: a worker killed mid-run is
+//! confirmed dead by the keep-alive prober, the registry re-shards its
+//! domain over the survivors and re-outsources the lost rows, and the
+//! healed cluster answers every query **bit-identically** to a
+//! never-failed oracle. Tamper detection still fires after the heal, the
+//! PSI-round cache loses exactly the healed domain's entries (other
+//! domains stay warm), and a query in flight against the dying node
+//! errors loudly — it never hangs and never returns a wrong answer.
+
+use prism_core::Prg;
+use prism_net::{
+    AnnouncerNode, ClusterListener, Column, Liveness, NetCluster, RegistryConfig, ShardWorker,
+};
+use prism_protocol::params::{Initiator, Setup, SystemConfig};
+use prism_protocol::plans::QueryBatch;
+use prism_protocol::tables::{share_indicator, share_payload};
+use std::time::{Duration, Instant};
+
+const DOMAIN: usize = 10;
+const SHARDS: usize = 3;
+
+fn make_setup() -> Setup {
+    Initiator::new(SystemConfig::new(3, DOMAIN).with_seed(77))
+        .setup()
+        .unwrap()
+}
+
+fn rows() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(1, 100), (1, 200), (3, 300), (7, 10)],
+        vec![(1, 100), (2, 70), (7, 20)],
+        vec![(1, 300), (1, 700), (3, 500), (7, 30)],
+    ]
+}
+
+/// Full column set per owner (verified copies included), deterministic
+/// shares so the elastic cluster and the oracle hold identical stores.
+fn setup_and_upload(cluster: &NetCluster, rows: &[Vec<(u64, u64)>]) {
+    let op = cluster.setup().owner.clone();
+    for (j, owner_rows) in rows.iter().enumerate() {
+        let b = op.b;
+        let mut indicator = vec![0u64; b];
+        let mut sums = vec![0u64; b];
+        let mut counts = vec![0u64; b];
+        for &(c, x) in owner_rows {
+            let cell = (c - 1) as usize;
+            indicator[cell] = 1;
+            sums[cell] += x;
+            counts[cell] += 1;
+        }
+        let mut prg = Prg::from_seed(1000 + j as u64);
+        let ind = share_indicator(&indicator, op.delta, &mut prg);
+        let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+        let v = share_indicator(&op.pf_db1.apply(&complement), op.delta, &mut prg);
+        let c1 = share_indicator(&op.pf_db1.apply(&indicator), op.delta, &mut prg);
+        let c2 = share_indicator(&op.pf_db2.apply(&indicator), op.delta, &mut prg);
+        let p = share_payload(&sums, &op.field, &mut prg);
+        let vp = share_payload(&op.pf_db1.apply(&sums), &op.field, &mut prg);
+        let cnt = share_payload(&counts, &op.field, &mut prg);
+        for k in 0..3 {
+            let mut columns = Vec::new();
+            if k < 2 {
+                columns.push((Column::Ok, ind.shares[k].clone()));
+                columns.push((Column::VOk, v.shares[k].clone()));
+                columns.push((Column::OkDb1, c1.shares[k].clone()));
+                columns.push((Column::OkDb2, c2.shares[k].clone()));
+            }
+            columns.push((Column::Agg(0), p.shares[k].clone()));
+            columns.push((Column::VAgg(0), vp.shares[k].clone()));
+            columns.push((Column::AOk, cnt.shares[k].clone()));
+            cluster.bulk_upload(k, j, columns).unwrap();
+        }
+    }
+}
+
+/// Fast probing, generous timeouts: a killed worker is confirmed via
+/// hard link death on the next probe (~probe_interval), while a merely
+/// slow CI machine never trips a spurious failover.
+fn fast_cfg() -> RegistryConfig {
+    RegistryConfig {
+        probe_interval: Duration::from_millis(20),
+        probe_timeout: Duration::from_secs(2),
+        miss_budget: 5,
+        attach_timeout: Duration::from_secs(20),
+        heal_timeout: Duration::from_secs(5),
+    }
+}
+
+/// Bring up an elastic cluster: listener first, then every worker and
+/// the announcer attach over TCP by address.
+fn spawn_elastic(
+    setup: Setup,
+    cfg: RegistryConfig,
+) -> (NetCluster, Vec<ShardWorker>, AnnouncerNode) {
+    let listener = ClusterListener::bind(setup.clone(), SHARDS, cfg).unwrap();
+    let addr = listener.addr();
+    let dial = Duration::from_secs(10);
+    let mut workers = Vec::new();
+    for (k, params) in setup.servers.iter().enumerate() {
+        for _ in 0..SHARDS {
+            workers.push(ShardWorker::connect(params.clone(), k, addr, dial).unwrap());
+        }
+    }
+    let announcer = AnnouncerNode::connect(setup.announcer.clone(), addr, dial).unwrap();
+    let cluster = listener.start().unwrap();
+    (cluster, workers, announcer)
+}
+
+fn wait_for(what: &str, deadline: Duration, mut ok: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !ok() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The query suite both clusters run; every element must match exactly.
+fn suite(c: &NetCluster) -> (Vec<u64>, Vec<bool>, usize, Vec<u64>, String) {
+    let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
+    (
+        c.psi_verified().unwrap(),
+        c.psu().unwrap(),
+        c.psi_count().unwrap(),
+        c.psi_sum_verified(0, 5).unwrap(),
+        format!("{:?}", c.psi_query_batch(&batch, 42).unwrap().0),
+    )
+}
+
+/// Per-owner per-cell maxima columns for the max query.
+fn maxima(rows: &[Vec<(u64, u64)>]) -> Vec<Vec<u64>> {
+    rows.iter()
+        .map(|owner_rows| {
+            let mut m = vec![0u64; DOMAIN];
+            for &(c, x) in owner_rows {
+                let cell = (c - 1) as usize;
+                m[cell] = m[cell].max(x);
+            }
+            m
+        })
+        .collect()
+}
+
+#[test]
+fn failover_heals_reshards_and_matches_the_oracle() {
+    let setup = make_setup();
+
+    // Never-failed oracle: the statically wired local cluster over an
+    // identical store.
+    let oracle_cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&oracle_cluster, &rows());
+    let oracle = suite(&oracle_cluster);
+    let m = maxima(&rows());
+    let m_refs: Vec<&[u64]> = m.iter().map(Vec::as_slice).collect();
+    let oracle_max = format!("{:?}", oracle_cluster.psi_max(&m_refs, 60).unwrap());
+    oracle_cluster.shutdown().unwrap();
+
+    let (cluster, workers, announcer) = spawn_elastic(setup, fast_cfg());
+    setup_and_upload(&cluster, &rows());
+    assert_eq!(suite(&cluster), oracle, "pre-kill elastic answers");
+    assert_eq!(
+        format!("{:?}", cluster.psi_max(&m_refs, 60).unwrap()),
+        oracle_max,
+        "pre-kill max"
+    );
+
+    // Kill one of server 0's workers mid-run: both socket halves slam
+    // shut. The prober must confirm the death and heal the domain.
+    workers[1].kill();
+    let registry = cluster.registry().unwrap();
+    wait_for("failover", Duration::from_secs(10), || {
+        registry.failovers() >= 1
+    });
+
+    // Healed cluster answers the whole suite identically — the lost row
+    // range was re-outsourced to the survivors.
+    assert_eq!(suite(&cluster), oracle, "post-heal elastic answers");
+    assert_eq!(
+        format!("{:?}", cluster.psi_max(&m_refs, 60).unwrap()),
+        oracle_max,
+        "post-heal max"
+    );
+
+    // Tamper detection survives the re-shard: a dishonest healed domain
+    // is still caught, and honesty restores the suite.
+    cluster
+        .set_tamper(0, prism_protocol::malicious::Tamper::SkipReplay { src: 0 })
+        .unwrap();
+    assert!(
+        cluster.psi_verified().is_err(),
+        "tamper after heal must still be detected"
+    );
+    cluster
+        .set_tamper(0, prism_protocol::malicious::Tamper::Honest)
+        .unwrap();
+    assert_eq!(suite(&cluster), oracle, "honest-again answers");
+
+    // The control plane's paper trail: a dead node in the health rows, a
+    // heal-log entry, and the failover counter in the report.
+    let report = cluster.report();
+    assert!(report.failovers >= 1, "report must count the failover");
+    assert!(
+        report
+            .nodes
+            .iter()
+            .any(|n| n.liveness == Liveness::Dead && n.label.starts_with("d0/")),
+        "dead worker must stay on the health roster: {:?}",
+        report.nodes
+    );
+    assert!(
+        report
+            .nodes
+            .iter()
+            .filter(|n| n.liveness == Liveness::Alive && n.label.starts_with("d0/"))
+            .count()
+            >= SHARDS - 1,
+        "survivors must be alive: {:?}",
+        report.nodes
+    );
+    assert!(
+        registry
+            .heal_log()
+            .iter()
+            .any(|l| l.contains("confirmed dead")),
+        "heal log must record the failover: {:?}",
+        registry.heal_log()
+    );
+    assert!(
+        format!("{report}").contains("failovers="),
+        "NetReport Display must print the control-plane section"
+    );
+
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    for (i, w) in workers.into_iter().enumerate() {
+        // The killed worker's loop exits with an error; the rest clean.
+        let joined = w.join();
+        if i != 1 {
+            assert!(joined.is_ok(), "worker {i} must exit cleanly");
+        }
+    }
+}
+
+#[test]
+fn failover_invalidates_only_the_healed_domain() {
+    let (mut cluster, workers, announcer) = spawn_elastic(make_setup(), fast_cfg());
+    cluster.enable_cache();
+    setup_and_upload(&cluster, &rows());
+    let batch = QueryBatch::new().sum(0).count_tuples();
+
+    let (cold, cold_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(cold_stats.cache_misses, 1);
+    let (warm, warm_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(warm, cold);
+    assert_eq!(warm_stats.cache_hits, 1);
+    let warm_entries_d1 = cluster.cache().unwrap().server_entries(1);
+    assert!(warm_entries_d1 > 0, "domain 1 must hold warm entries");
+
+    // Kill a server-0 worker and let the control plane heal.
+    workers[2].kill();
+    wait_for("failover", Duration::from_secs(10), || {
+        cluster.registry().unwrap().failovers() >= 1
+    });
+
+    // Pinning: the heal re-outsourced domain 0, so *its* entries are
+    // stale — but domain 1's warm entries must survive untouched.
+    assert_eq!(
+        cluster.cache().unwrap().server_entries(1),
+        warm_entries_d1,
+        "failover in domain 0 must not evict domain 1's warm entries"
+    );
+    let (healed, healed_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(healed, cold, "healed answers must match pre-kill answers");
+    assert_eq!(
+        healed_stats.cache_hits, 0,
+        "the healed domain's stale entry must not be served"
+    );
+    assert!(
+        healed_stats.failovers >= 1,
+        "the heal must be attributed to this query's meters: {healed_stats}"
+    );
+    let report = cluster.report();
+    assert!(
+        report.cache_invalidations >= 1,
+        "the heal must show as an invalidation"
+    );
+
+    // And the cache re-warms over the healed topology.
+    let (rewarm, rewarm_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(rewarm, cold);
+    assert_eq!(rewarm_stats.cache_hits, 1, "healed domain must re-warm");
+
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+#[test]
+fn inflight_queries_error_loudly_never_hang_and_heal_recovers() {
+    // Slow the prober down so the kill window is observable: queries
+    // issued between the death and the heal must fail fast and loud.
+    let cfg = RegistryConfig {
+        probe_interval: Duration::from_millis(300),
+        ..fast_cfg()
+    };
+    let (cluster, workers, announcer) = spawn_elastic(make_setup(), cfg);
+    setup_and_upload(&cluster, &rows());
+    let oracle = suite(&cluster);
+
+    // Hammer queries from a second thread, then kill a worker under
+    // them. The in-flight query must surface a node-down error — not
+    // hang, not misroute, not fabricate an answer.
+    let cluster = std::sync::Arc::new(cluster);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let hammer = {
+        let cluster = std::sync::Arc::clone(&cluster);
+        let oracle_psi = oracle.0.clone();
+        std::thread::spawn(move || {
+            for _ in 0..1000 {
+                match cluster.psi_verified() {
+                    Ok(fop) => assert_eq!(fop, oracle_psi, "a survivor round misrouted"),
+                    Err(e) => {
+                        tx.send(e.to_string()).unwrap();
+                        return;
+                    }
+                }
+            }
+            tx.send(String::new()).unwrap();
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    workers[0].kill();
+    let err = rx
+        .recv_timeout(Duration::from_secs(15))
+        .expect("in-flight query hung on a dead node");
+    hammer.join().unwrap();
+    assert!(
+        err.contains("node down"),
+        "dying node must surface as a node-down transport error, got: {err:?}"
+    );
+
+    // After the heal, a fresh query succeeds and matches the oracle.
+    wait_for("failover", Duration::from_secs(10), || {
+        cluster.registry().unwrap().failovers() >= 1
+    });
+    assert_eq!(suite(&cluster), oracle, "post-heal answers");
+
+    let cluster = std::sync::Arc::into_inner(cluster).unwrap();
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// A late attach after a failover is absorbed: the under-strength domain
+/// re-plans over the larger worker set and keeps answering correctly.
+#[test]
+fn post_failover_reattach_rejoins_the_domain() {
+    let setup = make_setup();
+    let (cluster, workers, announcer) = spawn_elastic(setup.clone(), fast_cfg());
+    setup_and_upload(&cluster, &rows());
+    let oracle = suite(&cluster);
+
+    workers[0].kill();
+    let registry = cluster.registry().unwrap();
+    wait_for("failover", Duration::from_secs(10), || {
+        registry.failovers() >= 1
+    });
+    assert_eq!(suite(&cluster), oracle, "post-heal answers");
+
+    // A replacement dials in; the domain re-plans back to full strength
+    // and the replayed store keeps the answers identical.
+    let replacement = ShardWorker::connect(
+        setup.servers[0].clone(),
+        0,
+        registry.addr(),
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    wait_for("reattach", Duration::from_secs(10), || {
+        registry
+            .heal_log()
+            .iter()
+            .any(|l| l.contains(&format!("worker d0/w{} attached", replacement.node_id())))
+    });
+    assert_eq!(suite(&cluster), oracle, "post-reattach answers");
+
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    let _ = replacement.join();
+    for w in workers {
+        let _ = w.join();
+    }
+}

@@ -266,6 +266,10 @@ pub struct QueryStats {
     /// Cache entries dropped during this query because a store-version
     /// probe or a tamper injection proved them stale.
     pub cache_invalidations: u64,
+    /// Shard-worker failovers the backend healed while this query ran
+    /// (0 everywhere except the elastic networked cluster — see
+    /// `prism_net`'s registry).
+    pub failovers: u64,
 }
 
 impl QueryStats {
@@ -309,6 +313,11 @@ impl QueryStats {
     pub fn cache_invalidations(&self) -> u64 {
         self.cache_invalidations
     }
+
+    /// Shard-worker failovers healed while this query ran.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
 }
 
 impl std::fmt::Display for QueryStats {
@@ -319,7 +328,7 @@ impl std::fmt::Display for QueryStats {
         write!(
             f,
             "rounds={} server={:?} owner={:?} announcer={:?} shard_dispatches={} \
-             cache_hits={} cache_misses={} cache_invalidations={}",
+             cache_hits={} cache_misses={} cache_invalidations={} failovers={}",
             self.rounds,
             self.server_time,
             self.owner_time,
@@ -327,7 +336,8 @@ impl std::fmt::Display for QueryStats {
             self.shard_dispatches,
             self.cache_hits,
             self.cache_misses,
-            self.cache_invalidations
+            self.cache_invalidations,
+            self.failovers
         )
     }
 }
@@ -349,6 +359,9 @@ pub struct ExecMeters {
     pub cache_misses: u64,
     /// Cache entries dropped as stale (version mismatch or tamper).
     pub cache_invalidations: u64,
+    /// Shard-worker failovers healed since the backend was built (only
+    /// the elastic networked cluster reports these).
+    pub failovers: u64,
 }
 
 impl ExecMeters {
@@ -360,6 +373,7 @@ impl ExecMeters {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_invalidations: self.cache_invalidations + other.cache_invalidations,
+            failovers: self.failovers + other.failovers,
         }
     }
 }
@@ -1087,6 +1101,7 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
         self.stats.cache_hits += meters.cache_hits;
         self.stats.cache_misses += meters.cache_misses;
         self.stats.cache_invalidations += meters.cache_invalidations;
+        self.stats.failovers += meters.failovers;
         if meters.cache_hits == 0 {
             self.stats.rounds += 1;
         }

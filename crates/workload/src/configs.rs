@@ -161,6 +161,16 @@ pub fn serve_bench() -> (u64, usize, Vec<usize>, usize) {
     (100_000, 4, vec![1, 4, 16], 16)
 }
 
+/// Shard-failover bench: the fixed `(domain, owners, shards)` config for
+/// the control-plane heal measurement — small enough that the elastic
+/// TCP bring-up, kill, and re-outsource finish in seconds, large enough
+/// that the replayed rows are a real store and a lost shard would be
+/// visible as wrong answers (`BENCH_failover.json` asserts they never
+/// are; the heal time is the tracked number).
+pub fn failover_bench() -> (u64, usize, usize) {
+    (4_096, 3, 3)
+}
+
 /// Table 13: dataset sizes for the two-owner comparison.
 pub fn table13_sizes(scale: Scale) -> Vec<u64> {
     match scale {

@@ -1,25 +1,104 @@
-//! Distributed deployment over real TCP sockets, with sharded domains.
+//! Distributed deployment over real TCP sockets, with sharded domains
+//! and a self-healing control plane.
 //!
-//! Runs each PRISM server as a domain of **row-range shard workers**
-//! behind loopback TCP (router and workers all on their own threads, all
-//! edges real sockets — the topology a multi-machine deployment would
-//! use) plus the **announcer as a fourth node** (owner control link + a
-//! dedicated upload link from each additive server), uploads every
-//! owner's table in one `BulkUpload` round-trip per server, executes
-//! PSI / PSU / count / sum / average / max / median remotely, and prints
-//! the per-link communication report — including the per-shard fan-out
-//! meters, the announcer edges, and the defining property that the
-//! server↔server traffic is zero, because no such links exist.
+//! Deploys the cluster the way a multi-machine installation would: a
+//! [`ClusterListener`] binds first, then every **row-range shard
+//! worker** and the **announcer** (the fourth node behind max/median)
+//! dial in by address and register — nothing has to be alive at start,
+//! nodes attach. The example uploads every owner's table in one
+//! `BulkUpload` round-trip per server, executes PSI / PSU / count /
+//! sum / average / max / median remotely, then **kills a shard worker
+//! mid-run**: the registry's keep-alive prober confirms the death,
+//! re-shards the domain over the survivors, re-outsources the lost row
+//! ranges, and the whole query suite runs again — every answer
+//! identical to before the kill. It ends with the per-link
+//! communication report, the node health roster, and the defining
+//! property that server↔server traffic is zero, because no such links
+//! exist.
 //!
 //! Run with: `cargo run --example distributed_deployment`
 
 use prism::core::Prg;
-use prism::net::{Column, NetCluster};
+use prism::net::{AnnouncerNode, ClusterListener, Column, NetCluster, RegistryConfig, ShardWorker};
 use prism::protocol::params::{Initiator, SystemConfig};
 use prism::protocol::tables::{share_indicator, share_payload};
+use std::time::{Duration, Instant};
 
 const DOMAIN: usize = 1_000;
 const SHARDS: usize = 4;
+
+/// The remote query suite; returns everything it printed so the
+/// post-heal run can be compared answer-for-answer.
+fn run_queries(
+    cluster: &NetCluster,
+    owner_maxima: &[Vec<u64>],
+    owner_sums: &[Vec<u64>],
+) -> (Vec<u64>, usize, u64, String, String) {
+    let fop = cluster.psi_verified().expect("verified PSI");
+    let common: Vec<usize> = fop
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v == 1).then_some(i))
+        .collect();
+    println!("Parts stocked by all suppliers: {}", common.len());
+
+    let union = cluster.psu().expect("PSU");
+    println!(
+        "Parts stocked by any supplier:  {}",
+        union.iter().filter(|&&m| m).count()
+    );
+
+    let count = cluster.psi_count().expect("count");
+    assert_eq!(count, common.len());
+
+    let (sums, stats) = cluster
+        .execute(&prism::protocol::plans::Sum { attr: 0, seed: 42 })
+        .expect("sum");
+    let total: u64 = sums.iter().sum();
+    println!("Total stock across common parts: {total}");
+    println!("Sum query: {stats}");
+
+    let avgs = cluster.psi_avg(0, 43).expect("avg");
+    let first_common = common.first().copied().unwrap_or(0);
+    println!(
+        "Example: part {} has average stock {:.1} over {} listings",
+        first_common + 1,
+        avgs[first_common].average,
+        avgs[first_common].count
+    );
+
+    // Max/median run over the announcer node: the servers push their
+    // blinded wide matrices straight to it over dedicated links — the
+    // owner side only ever sees receipts and the final announcement.
+    let max_refs: Vec<&[u64]> = owner_maxima.iter().map(|v| v.as_slice()).collect();
+    let (maxes, holders) = cluster.psi_max(&max_refs, 44).expect("max");
+    let max_digest = format!("{maxes:?} {holders:?}");
+    if let (Some(top), Some(h)) = (maxes.first(), holders.first()) {
+        let winners: Vec<usize> = h
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &held)| held.then_some(j))
+            .collect();
+        println!(
+            "Example: part {} peaks at {} units, held by supplier(s) {:?}",
+            top.cell + 1,
+            top.max,
+            winners
+        );
+    }
+    let sum_refs: Vec<&[u64]> = owner_sums.iter().map(|v| v.as_slice()).collect();
+    let medians = cluster.psi_median(&sum_refs, 45).expect("median");
+    let median_digest = format!("{medians:?}");
+    if let Some(mid) = medians.first() {
+        println!(
+            "Example: part {} median supplier stock: {:?}",
+            mid.cell + 1,
+            mid.values
+        );
+    }
+
+    (fop, count, total, max_digest, median_digest)
+}
 
 fn main() {
     // Phase 0: the initiator derives all parameters and role views.
@@ -28,14 +107,26 @@ fn main() {
         .expect("setup");
     let op = setup.owner.clone();
 
-    // Start three server domains behind TCP sockets, each backed by four
-    // row-range shard workers (also behind TCP — a shard could live in
-    // another process or on another machine).
-    let cluster = NetCluster::start_tcp_sharded(setup, SHARDS).expect("cluster");
-    println!(
-        "deployed 3 server domains × {} shard workers over TCP",
-        cluster.shards()
-    );
+    // Bind the control plane, then attach every node by address — three
+    // server domains × four row-range shard workers plus the announcer,
+    // all dialing in over real TCP (each could live in another process
+    // or on another machine).
+    let registry_cfg = RegistryConfig {
+        probe_interval: Duration::from_millis(20),
+        ..RegistryConfig::default()
+    };
+    let listener = ClusterListener::bind(setup.clone(), SHARDS, registry_cfg).expect("bind");
+    let addr = listener.addr();
+    let dial = Duration::from_secs(10);
+    let mut workers = Vec::new();
+    for (k, params) in setup.servers.iter().enumerate() {
+        for _ in 0..SHARDS {
+            workers.push(ShardWorker::connect(params.clone(), k, addr, dial).expect("worker"));
+        }
+    }
+    let announcer = AnnouncerNode::connect(setup.announcer.clone(), addr, dial).expect("announcer");
+    let cluster = listener.start().expect("cluster");
+    println!("deployed 3 server domains × {SHARDS} shard workers over TCP (registry at {addr})");
 
     // Three suppliers with overlapping part catalogs; attribute = stock.
     let suppliers: Vec<Vec<(u64, u64)>> = (0..3)
@@ -92,73 +183,51 @@ fn main() {
     }
 
     // Phase 2–4: queries over the wire.
-    let fop = cluster.psi_verified().expect("verified PSI");
-    let common: Vec<usize> = fop
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &v)| (v == 1).then_some(i))
-        .collect();
-    println!("Parts stocked by all suppliers: {}", common.len());
+    let before = run_queries(&cluster, &owner_maxima, &owner_sums);
 
-    let union = cluster.psu().expect("PSU");
-    println!(
-        "Parts stocked by any supplier:  {}",
-        union.iter().filter(|&&m| m).count()
-    );
-
-    let count = cluster.psi_count().expect("count");
-    assert_eq!(count, common.len());
-
-    let (sums, stats) = cluster
-        .execute(&prism::protocol::plans::Sum { attr: 0, seed: 42 })
-        .expect("sum");
-    let total: u64 = sums.iter().sum();
-    println!("Total stock across common parts: {total}");
-    println!("Sum query: {stats}");
-
-    let avgs = cluster.psi_avg(0, 43).expect("avg");
-    let first_common = common.first().copied().unwrap_or(0);
-    println!(
-        "Example: part {} has average stock {:.1} over {} listings",
-        first_common + 1,
-        avgs[first_common].average,
-        avgs[first_common].count
-    );
-
-    // Max/median run over the announcer node: the servers push their
-    // blinded wide matrices straight to it over dedicated links — the
-    // owner side only ever sees receipts and the final announcement.
-    let max_refs: Vec<&[u64]> = owner_maxima.iter().map(Vec::as_slice).collect();
-    let (maxes, holders) = cluster.psi_max(&max_refs, 44).expect("max");
-    if let (Some(top), Some(h)) = (maxes.first(), holders.first()) {
-        let winners: Vec<usize> = h
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &held)| held.then_some(j))
-            .collect();
-        println!(
-            "Example: part {} peaks at {} units, held by supplier(s) {:?}",
-            top.cell + 1,
-            top.max,
-            winners
+    // Chaos: hard-kill one of server 0's shard workers. The keep-alive
+    // prober notices the dead link, the registry re-shards domain 0 over
+    // the three survivors and re-outsources the lost row ranges from its
+    // upload log — no owner involvement, no restart.
+    println!("\n--- killing shard worker d0/w0 ---");
+    workers[0].kill();
+    let registry = cluster.registry().expect("elastic cluster has a registry");
+    let t0 = Instant::now();
+    while registry.failovers() < 1 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "failover never confirmed"
         );
+        std::thread::sleep(Duration::from_millis(5));
     }
-    let sum_refs: Vec<&[u64]> = owner_sums.iter().map(Vec::as_slice).collect();
-    let medians = cluster.psi_median(&sum_refs, 45).expect("median");
-    if let Some(mid) = medians.first() {
-        println!(
-            "Example: part {} median supplier stock: {:?}",
-            mid.cell + 1,
-            mid.values
-        );
+    println!("healed in {:?}; control-plane log:", t0.elapsed());
+    for entry in registry.heal_log() {
+        println!("  {entry}");
     }
 
-    // Communication report, per owner↔server link, per shard edge, and
-    // the three announcer edges.
+    // The whole suite again, on the healed cluster — every answer must
+    // match the pre-kill run exactly.
+    println!("\n--- re-running the query suite on the healed cluster ---");
+    let after = run_queries(&cluster, &owner_maxima, &owner_sums);
+    assert_eq!(after, before, "healed cluster answered differently");
+    println!("all answers identical to the pre-kill run");
+
+    // Communication report, per owner↔server link, per shard edge, the
+    // three announcer edges — and the node health roster, including the
+    // worker the prober buried.
     let report = cluster.report();
     println!("\nPer-link traffic (owner↔domain, router↔shard, announcer):");
     print!("{report}");
     println!("server <-> server: 0 bytes (no such links exist, by construction)");
 
     cluster.shutdown().expect("shutdown");
+    let _ = announcer.join();
+    for (i, w) in workers.into_iter().enumerate() {
+        // The killed worker exits with a broken link; survivors must be clean.
+        let joined = w.join();
+        assert!(
+            i == 0 || joined.is_ok(),
+            "surviving worker {i} exited dirty"
+        );
+    }
 }

@@ -45,13 +45,17 @@ bench-check:
 # (asserting every concurrent answer matches serial) and writes
 # BENCH_serve.json; `hotpath` times the per-row server kernels in both
 # their Vec-baseline and flat in-place forms (counting allocations per
-# warm call) and writes BENCH_hotpath.json (all five JSONs are uploaded
-# as CI artifacts).
+# warm call) and writes BENCH_hotpath.json; `failover` kills a shard
+# worker on the elastic TCP deployment, times the control-plane heal
+# (asserting the healed answers match the pre-kill answers exactly) and
+# writes BENCH_failover.json (all six JSONs are uploaded as CI
+# artifacts).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache serve hotpath --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache serve hotpath failover --scale small
     grep -q '"total_cache_hits": [1-9]' BENCH_cache.json
     grep -q '"queries_per_second"' BENCH_serve.json
     grep -q '"max_speedup"' BENCH_hotpath.json
+    grep -q '"failovers": 1' BENCH_failover.json
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:
