@@ -1,10 +1,11 @@
 //! `exp_harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|failover|all]
+//! exp_harness [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|stream|serve|hotpath|failover|all]
 //!             [--scale small|medium|full] [--seed N]
 //!             [--shard-json PATH] [--netmax-json PATH] [--cache-json PATH]
-//!             [--serve-json PATH] [--hotpath-json PATH] [--failover-json PATH]
+//!             [--stream-json PATH] [--serve-json PATH] [--hotpath-json PATH]
+//!             [--failover-json PATH]
 //! ```
 //!
 //! `small` (default) finishes in seconds; `medium` in minutes; `full`
@@ -18,7 +19,10 @@
 //! networked deployment (channel + TCP, announcer as a fourth node) and
 //! writes `BENCH_netmax.json`. `cache` measures repeat-query latency
 //! through the cross-query PSI-round cache (asserting the warm passes
-//! actually hit) and writes `BENCH_cache.json`. `serve` drives the
+//! actually hit) and writes `BENCH_cache.json`. `stream` runs the
+//! streaming-append sweep (hourly delta uploads, asserting every warm
+//! windowed re-check replays both rounds from the cache) and writes
+//! `BENCH_stream.json`. `serve` drives the
 //! session multiplexer with N ∈ {1, 4, 16} concurrent query streams over
 //! one cluster (same total work per row, so N = 1 is the serial
 //! baseline), records per-query p50/p99 latency and queries/sec, and
@@ -32,7 +36,7 @@
 
 use prism_bench::{
     cacheexp, exp1, exp2, exp3, exp4, failoverexp, hotpathexp, netmax, serveexp, shardexp,
-    sharegen, table13,
+    sharegen, streamexp, table13,
 };
 use prism_workload::configs::{self, Scale};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -77,6 +81,7 @@ struct Args {
     shard_json: std::path::PathBuf,
     netmax_json: std::path::PathBuf,
     cache_json: std::path::PathBuf,
+    stream_json: std::path::PathBuf,
     serve_json: std::path::PathBuf,
     hotpath_json: std::path::PathBuf,
     failover_json: std::path::PathBuf,
@@ -89,6 +94,7 @@ fn parse_args() -> Args {
     let mut shard_json = std::path::PathBuf::from("BENCH_shard.json");
     let mut netmax_json = std::path::PathBuf::from("BENCH_netmax.json");
     let mut cache_json = std::path::PathBuf::from("BENCH_cache.json");
+    let mut stream_json = std::path::PathBuf::from("BENCH_stream.json");
     let mut serve_json = std::path::PathBuf::from("BENCH_serve.json");
     let mut hotpath_json = std::path::PathBuf::from("BENCH_hotpath.json");
     let mut failover_json = std::path::PathBuf::from("BENCH_failover.json");
@@ -126,6 +132,12 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--stream-json" => {
+                stream_json = args.next().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--stream-json needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--serve-json" => {
                 serve_json = args.next().map(Into::into).unwrap_or_else(|| {
                     eprintln!("--serve-json needs a path");
@@ -147,10 +159,10 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: exp_harness \
-                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|serve|hotpath|failover|all]* \
+                     [exp1|table12|exp2|exp3|exp4|table13|sharegen|shard|netmax|cache|stream|serve|hotpath|failover|all]* \
                      [--scale small|medium|full] [--seed N] [--shard-json PATH] \
-                     [--netmax-json PATH] [--cache-json PATH] [--serve-json PATH] \
-                     [--hotpath-json PATH] [--failover-json PATH]"
+                     [--netmax-json PATH] [--cache-json PATH] [--stream-json PATH] \
+                     [--serve-json PATH] [--hotpath-json PATH] [--failover-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -167,6 +179,7 @@ fn parse_args() -> Args {
         shard_json,
         netmax_json,
         cache_json,
+        stream_json,
         serve_json,
         hotpath_json,
         failover_json,
@@ -235,6 +248,15 @@ fn main() {
         match cacheexp::write_json(&args.cache_json, domain, owners, &sweep) {
             Ok(()) => println!("wrote {}", args.cache_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.cache_json.display()),
+        }
+    }
+    if wants("stream") {
+        let (domain, added, hours, owners) = configs::stream_bench();
+        let sweep = streamexp::run(domain, added, hours, owners, seed);
+        streamexp::print(domain, added, owners, &sweep);
+        match streamexp::write_json(&args.stream_json, domain, added, owners, &sweep) {
+            Ok(()) => println!("wrote {}", args.stream_json.display()),
+            Err(e) => eprintln!("could not write {}: {e}", args.stream_json.display()),
         }
     }
     if wants("netmax") {

@@ -270,7 +270,10 @@ mod tests {
         let sweep = run(256, 3, 3, 11);
         assert_eq!(sweep.rows.len(), 4);
         assert_eq!(sweep.failovers, 1);
-        assert_eq!(sweep.rows[1].hits, 1, "pre-kill warm pass must hit");
+        assert_eq!(
+            sweep.rows[1].hits, 2,
+            "pre-kill warm pass must hit both rounds"
+        );
         assert_eq!(
             sweep.rows[2].hits, 0,
             "post-heal pass must not serve the stale entry"
@@ -279,7 +282,7 @@ mod tests {
             sweep.rows[2].failovers >= 1,
             "the heal must land in the post-heal pass's meters"
         );
-        assert_eq!(sweep.rows[3].hits, 1, "post-heal warm pass must re-warm");
+        assert_eq!(sweep.rows[3].hits, 2, "post-heal warm pass must re-warm");
         assert!(
             sweep.heal_log.iter().any(|l| l.contains("confirmed dead")),
             "heal log must record the failover: {:?}",

@@ -14,6 +14,7 @@
 //! | [`shardexp`] | sharded-domain scaling (PSI/sum vs shard count, `BENCH_shard.json`) |
 //! | [`hotpathexp`] | hot-path kernel pairs, flat vs Vec baselines (`BENCH_hotpath.json`) |
 //! | [`cacheexp`] | cross-query PSI-round cache sweep (repeat-query latency, `BENCH_cache.json`) |
+//! | [`streamexp`] | streaming appends vs warm windowed re-checks (`BENCH_stream.json`) |
 //! | [`serveexp`] | concurrent serving through the session multiplexer (latency/throughput, `BENCH_serve.json`) |
 //! | [`failoverexp`] | control-plane self-healing: kill a shard worker, time the heal (`BENCH_failover.json`) |
 //!
@@ -37,4 +38,5 @@ pub mod report;
 pub mod serveexp;
 pub mod shardexp;
 pub mod sharegen;
+pub mod streamexp;
 pub mod table13;

@@ -1,0 +1,262 @@
+//! Streaming-append sweep: delta-upload rate vs warm windowed-query
+//! latency (`BENCH_stream.json`).
+//!
+//! The syndromic-surveillance pitch (§1) is a store that never stops
+//! growing: every hour each owner appends its new rows as a delta upload
+//! while the analyst keeps re-running the same windowed consensus query
+//! over past hours. Per-range version stamps make those two motions
+//! independent — an append only moves the appended range's stamp, so
+//! windowed entries over untouched history replay **both** protocol
+//! rounds from the PSI-round cache (round 1's PSI outputs plus round 2's
+//! pinned z-seed aggregation). This experiment measures exactly that:
+//! one cold windowed pass over the original domain, then `hours` rounds
+//! of (delta upload → warm re-check), timing both motions. The run
+//! **asserts** every re-check is fully warm and bit-identical to the
+//! cold pass — a sweep where appends chill the window is a broken stamp
+//! scheme, not a measurement — so `just bench-smoke` and CI fail loudly
+//! on a regression.
+//!
+//! `write_json` emits the `BENCH_stream.json` artifact `just
+//! bench-smoke` and CI publish, recording append cost and the warm/cold
+//! ratio per commit.
+
+use crate::build::AGG_DOMAIN_MAX;
+use crate::report::{print_table, secs};
+use prism_core::Prg;
+use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism_protocol::QueryBatch;
+use prism_workload::LineItemConfig;
+use std::time::{Duration, Instant};
+
+/// One streamed hour: the append and the warm re-check it must not
+/// chill.
+#[derive(Debug, Clone)]
+pub struct StreamRow {
+    /// Hour index (1-based; hour 0 is the bootstrap outsourcing).
+    pub hour: usize,
+    /// Wall time of the delta upload (all owners).
+    pub append: Duration,
+    /// Wall time of the warm windowed re-check after the append.
+    pub warm: Duration,
+    /// Rounds the re-check paid (must be 0).
+    pub rounds: usize,
+    /// Cache hits within the re-check (must be 2).
+    pub hits: u64,
+}
+
+/// The sweep's results.
+#[derive(Debug, Clone)]
+pub struct StreamSweep {
+    /// Cold windowed pass over the original domain (both rounds).
+    pub cold: Duration,
+    /// Per-hour append + warm re-check measurements.
+    pub rows: Vec<StreamRow>,
+    /// Total warm-window cache hits across every post-append re-check.
+    pub warm_hits_after_append: u64,
+}
+
+fn inputs(domain: u64, owners: usize, seed: u64) -> Vec<OwnerInput> {
+    let gen = LineItemConfig::full(domain, seed);
+    (0..owners)
+        .map(|j| {
+            let rows = gen.generate_owner(j);
+            OwnerInput {
+                rows: rows.iter().map(|r| (r.ok, vec![r.pk])).collect(),
+            }
+        })
+        .collect()
+}
+
+/// One owner's hourly delta: rows whose set values land in the appended
+/// window `start+1 ..= start+added`.
+fn delta(owner: usize, hour: usize, start: usize, added: usize, seed: u64) -> OwnerInput {
+    let mut prg = Prg::from_seed(seed ^ ((owner * 131 + hour) as u64).wrapping_mul(0x9E37));
+    let rows = (0..(added / 8).max(1))
+        .map(|_| {
+            let cell = start as u64 + prg.range(1, added as u64 + 1);
+            (cell, vec![prg.range(1, 900)])
+        })
+        .collect();
+    OwnerInput { rows }
+}
+
+/// Run the streaming sweep: bootstrap `domain` cells, then `hours`
+/// rounds of (append `added` cells → warm re-check of the original
+/// window). Panics if any re-check leaves the cache or drifts from the
+/// cold pass.
+pub fn run(domain: u64, added: usize, hours: usize, owners: usize, seed: u64) -> StreamSweep {
+    let mut cfg = ClusterConfig::new(domain as usize).with_cache(true);
+    cfg.seed = seed;
+    cfg.threads = 1;
+    cfg.with_verification = false;
+    cfg.agg_domain_max = AGG_DOMAIN_MAX;
+    let mut c = Cluster::build(&inputs(domain, owners, seed), cfg).expect("cluster build");
+
+    let batch = QueryBatch::new().sum(0).avg(0);
+    let window = (0u64, domain);
+    let t0 = Instant::now();
+    let (cold_result, stats) = c
+        .psi_query_batch_range(&batch, window)
+        .expect("cold window");
+    let cold = t0.elapsed();
+    assert_eq!(stats.rounds(), 2, "first windowed pass must be cold");
+
+    let mut rows = Vec::new();
+    let mut start = domain as usize;
+    for hour in 1..=hours.max(1) {
+        let deltas: Vec<OwnerInput> = (0..owners)
+            .map(|j| delta(j, hour, start, added, seed))
+            .collect();
+        let t0 = Instant::now();
+        c.append(added, &deltas).expect("delta upload");
+        let append = t0.elapsed();
+        start += added;
+
+        let t0 = Instant::now();
+        let (warm_result, stats) = c
+            .psi_query_batch_range(&batch, window)
+            .expect("warm window");
+        let warm = t0.elapsed();
+        assert_eq!(
+            warm_result, cold_result,
+            "hour {hour}'s append changed the untouched window"
+        );
+        assert_eq!(
+            (stats.rounds(), stats.cache_hits()),
+            (0, 2),
+            "hour {hour}'s re-check must replay both rounds from cache"
+        );
+        rows.push(StreamRow {
+            hour,
+            append,
+            warm,
+            rounds: stats.rounds(),
+            hits: stats.cache_hits(),
+        });
+    }
+
+    let warm_hits_after_append: u64 = rows.iter().map(|r| r.hits).sum();
+    assert!(
+        warm_hits_after_append >= 1,
+        "streaming sweep completed without a warm-range hit after an append — \
+         the per-range stamps are broken"
+    );
+    StreamSweep {
+        cold,
+        rows,
+        warm_hits_after_append,
+    }
+}
+
+/// Best warm re-check speedup over the cold windowed pass.
+pub fn speedup(sweep: &StreamSweep) -> f64 {
+    let warm = sweep
+        .rows
+        .iter()
+        .map(|r| r.warm)
+        .min()
+        .unwrap_or(Duration::MAX);
+    sweep.cold.as_secs_f64() / warm.as_secs_f64().max(1e-12)
+}
+
+/// Print the sweep, one row per streamed hour.
+pub fn print(domain: u64, added: usize, owners: usize, sweep: &StreamSweep) {
+    let table_rows: Vec<Vec<String>> = sweep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("hour {}", r.hour),
+                secs(r.append),
+                secs(r.warm),
+                r.rounds.to_string(),
+                r.hits.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "streaming append — {domain} OK cells + {added}/hour, {owners} owners, \
+             windowed re-check over the original domain"
+        ),
+        &["Hour", "Append", "Warm re-check", "Rounds", "Hits"],
+        &table_rows,
+    );
+    println!(
+        "cold window: {}, warm re-check speedup {:.2}x, warm hits after appends: {}",
+        secs(sweep.cold),
+        speedup(sweep),
+        sweep.warm_hits_after_append,
+    );
+}
+
+/// Write the sweep as a small JSON artifact (hand-rolled — the workspace
+/// vendors no JSON serializer, and the shape is fixed).
+pub fn write_json(
+    path: &std::path::Path,
+    domain: u64,
+    added: usize,
+    owners: usize,
+    sweep: &StreamSweep,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"streaming_append\",\n");
+    out.push_str(&format!("  \"domain\": {domain},\n"));
+    out.push_str(&format!("  \"added_per_hour\": {added},\n"));
+    out.push_str(&format!("  \"owners\": {owners},\n"));
+    out.push_str(&format!(
+        "  \"cold_window_seconds\": {:.6},\n",
+        sweep.cold.as_secs_f64()
+    ));
+    out.push_str("  \"hours\": [\n");
+    for (i, r) in sweep.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hour\": {}, \"append_seconds\": {:.6}, \"warm_seconds\": {:.6}, \
+             \"rounds\": {}, \"cache_hits\": {}}}{}\n",
+            r.hour,
+            r.append.as_secs_f64(),
+            r.warm.as_secs_f64(),
+            r.rounds,
+            r.hits,
+            if i + 1 == sweep.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"warm_speedup\": {:.3},\n", speedup(sweep)));
+    out.push_str(&format!(
+        "  \"warm_hits_after_append\": {}\n",
+        sweep.warm_hits_after_append
+    ));
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_stays_warm_across_appends() {
+        let sweep = run(400, 64, 2, 3, 5);
+        assert_eq!(sweep.rows.len(), 2);
+        for r in &sweep.rows {
+            assert_eq!((r.rounds, r.hits), (0, 2));
+        }
+        assert_eq!(sweep.warm_hits_after_append, 4);
+        print(400, 64, 3, &sweep);
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed_enough() {
+        let sweep = run(200, 32, 1, 2, 6);
+        let path = std::env::temp_dir().join("prism_bench_stream_test.json");
+        write_json(&path, 200, 32, 2, &sweep).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"experiment\": \"streaming_append\""));
+        assert!(text.contains("\"cache_hits\": 2"));
+        assert!(text.contains("warm_hits_after_append"));
+    }
+}

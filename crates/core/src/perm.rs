@@ -57,6 +57,12 @@ impl Permutation {
         Some(Permutation { map })
     }
 
+    /// The raw one-line destination map (what a wire encoding carries;
+    /// [`Permutation::from_map`] is its inverse).
+    pub fn as_map(&self) -> &[u32] {
+        &self.map
+    }
+
     /// Domain size.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -120,6 +126,38 @@ impl Permutation {
     pub fn apply_index(&self, i: usize) -> usize {
         self.dest(i)
     }
+
+    /// Block-diagonal concatenation: `self` acts on `[0, self.len())` and
+    /// `block` acts on the appended range `[self.len(), self.len() + block.len())`.
+    ///
+    /// This is the delta-upload extension rule: a permutation grown this way
+    /// never moves rows across the append boundary, so columns that were
+    /// stored *already permuted* under `self` stay valid — the appended
+    /// segment is simply permuted by `block` and concatenated.
+    pub fn concat(&self, block: &Permutation) -> Permutation {
+        let base = self.map.len() as u32;
+        let mut map = Vec::with_capacity(self.map.len() + block.map.len());
+        map.extend_from_slice(&self.map);
+        map.extend(block.map.iter().map(|&d| d + base));
+        Permutation { map }
+    }
+
+    /// The trailing block of a block-diagonal permutation, rebased to `0`.
+    ///
+    /// Inverse of [`Permutation::concat`]: requires that no entry of
+    /// `[start, len)` maps below `start` (i.e. `self` really is block-diagonal
+    /// at `start`); returns `None` otherwise.
+    pub fn tail_block(&self, start: usize) -> Option<Permutation> {
+        let base = start as u32;
+        let mut map = Vec::with_capacity(self.map.len() - start);
+        for &d in &self.map[start..] {
+            if d < base {
+                return None;
+            }
+            map.push(d - base);
+        }
+        Permutation::from_map(map)
+    }
 }
 
 /// The Equation-1 family: given a target `PF_i`, produce
@@ -144,6 +182,24 @@ pub struct PermutationFamily {
 }
 
 impl PermutationFamily {
+    /// Extend every member block-diagonally with the matching member of a
+    /// freshly generated `block` family (see [`Permutation::concat`]).
+    ///
+    /// Because concatenation distributes over composition and inversion
+    /// (`concat(a,b).then(concat(c,d)) == concat(a.then(c), b.then(d))`),
+    /// the Equation-1 identity holds for the grown family whenever it holds
+    /// for `self` and for `block` — so delta uploads can grow the domain
+    /// without re-permuting (or re-uploading) any existing rows.
+    pub fn concat(&self, block: &PermutationFamily) -> PermutationFamily {
+        PermutationFamily {
+            pf_s1: self.pf_s1.concat(&block.pf_s1),
+            pf_s2: self.pf_s2.concat(&block.pf_s2),
+            pf_db1: self.pf_db1.concat(&block.pf_db1),
+            pf_db2: self.pf_db2.concat(&block.pf_db2),
+            pf_i: self.pf_i.concat(&block.pf_i),
+        }
+    }
+
     /// Generate a family over `0..n`.
     pub fn generate(n: usize, prg: &mut Prg) -> Self {
         let pf_i = Permutation::random(n, prg);
@@ -254,6 +310,56 @@ mod tests {
         assert_eq!(p0.apply(&Vec::<u8>::new()), Vec::<u8>::new());
         let p1 = Permutation::random(1, &mut prg);
         assert_eq!(p1.apply(&[42]), vec![42]);
+    }
+
+    #[test]
+    fn concat_acts_blockwise() {
+        let mut prg = Prg::from_seed(7);
+        let a = Permutation::random(5, &mut prg);
+        let b = Permutation::random(3, &mut prg);
+        let grown = a.concat(&b);
+        let head: Vec<u64> = (0..5).collect();
+        let tail: Vec<u64> = (100..103).collect();
+        let full: Vec<u64> = head.iter().chain(tail.iter()).copied().collect();
+        let mut want = a.apply(&head);
+        want.extend(b.apply(&tail));
+        assert_eq!(grown.apply(&full), want);
+        assert_eq!(grown.tail_block(5).unwrap(), b);
+        // A non-block-diagonal permutation has no tail block.
+        let swap = Permutation::from_map(vec![1, 0]).unwrap();
+        assert!(swap.tail_block(1).is_none());
+    }
+
+    #[test]
+    fn concat_distributes_over_composition_and_inverse() {
+        let mut prg = Prg::from_seed(8);
+        let (a, b) = (
+            Permutation::random(16, &mut prg),
+            Permutation::random(16, &mut prg),
+        );
+        let (c, d) = (
+            Permutation::random(9, &mut prg),
+            Permutation::random(9, &mut prg),
+        );
+        assert_eq!(
+            a.concat(&c).then(&b.concat(&d)),
+            a.then(&b).concat(&c.then(&d))
+        );
+        assert_eq!(a.concat(&c).inverse(), a.inverse().concat(&c.inverse()));
+    }
+
+    #[test]
+    fn family_concat_preserves_equation_1() {
+        let mut prg = Prg::from_seed(9);
+        let base = PermutationFamily::generate(40, &mut prg);
+        let block = PermutationFamily::generate(17, &mut prg);
+        let grown = base.concat(&block);
+        assert_eq!(grown.pf_db1.then(&grown.pf_s1), grown.pf_i);
+        assert_eq!(grown.pf_db2.then(&grown.pf_s2), grown.pf_i);
+        // The grown family's server factors really are block extensions of
+        // the originals (stored permuted columns stay valid).
+        assert_eq!(grown.pf_s1.tail_block(40).unwrap(), block.pf_s1);
+        assert_eq!(grown.pf_db1.tail_block(40).unwrap(), block.pf_db1);
     }
 
     proptest! {

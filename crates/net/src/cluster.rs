@@ -38,8 +38,9 @@
 
 use crate::mux::{Admission, MuxLink, Pending, QueryId};
 use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
-use crate::wire::{Column, Message};
+use crate::wire::{recycle_vecs, Column, Message};
 use parking_lot::RwLock;
+use prism_core::Permutation;
 use prism_protocol::cache::{CachedExec, PsiRoundCache};
 use prism_protocol::engine::{
     Announcer, AnnouncerCmd, AnnouncerReply, BatchQuery, Engine, ExecMeters, Operation, QueryStats,
@@ -128,9 +129,36 @@ pub(crate) fn run_wide(
 /// `MalformedResponse` at the owner — servers are malicious in this
 /// threat model and must not panic or hang the owner).
 pub(crate) fn run_batch_on(node: &ServerNode, batch: BatchQuery) -> Vec<Vec<u64>> {
-    match node.execute(&ServerCmd::Run(batch)) {
+    let cmd = ServerCmd::Run(batch);
+    let outs = match node.execute(&cmd) {
         Ok(ServerReply::Vectors(outs)) => outs,
         _ => Vec::new(),
+    };
+    // The decoded z buffers are dead once the kernels ran; hand them back
+    // to the wire pool so the next round's decode allocates nothing.
+    if let ServerCmd::Run(batch) = cmd {
+        recycle_vecs(batch.zs);
+    }
+    outs
+}
+
+/// Decode a delta upload's permutation extensions: empty maps mean
+/// identity blocks (`None`); malformed maps poison the delta, which the
+/// node then rejects (`Some` of an impossible zero-length pair would be
+/// wrong — instead the caller skips the apply).
+pub(crate) fn decode_perm_ext(
+    pf_s1_ext: Vec<u32>,
+    pf_s2_ext: Vec<u32>,
+) -> Result<Option<(Permutation, Permutation)>, ()> {
+    if pf_s1_ext.is_empty() && pf_s2_ext.is_empty() {
+        return Ok(None);
+    }
+    match (
+        Permutation::from_map(pf_s1_ext),
+        Permutation::from_map(pf_s2_ext),
+    ) {
+        (Some(e1), Some(e2)) => Ok(Some((e1, e2))),
+        _ => Err(()),
     }
 }
 
@@ -179,6 +207,27 @@ pub(crate) fn server_loop(
                 drop(node);
                 reply(link.as_ref(), tag, Message::Ack)?;
             }
+            Message::DeltaUpload {
+                owner,
+                start,
+                columns,
+                pf_s1_ext,
+                pf_s2_ext,
+            } => {
+                // A malformed delta (bad maps, non-contiguous range) is
+                // simply not applied — the server stays on its previous
+                // store state, which verification then catches, exactly
+                // like any other misbehaving-server shape.
+                if let Ok(ext) = decode_perm_ext(pf_s1_ext, pf_s2_ext) {
+                    let _ = node.write().delta_upload(
+                        owner as usize,
+                        start as usize,
+                        columns,
+                        ext.as_ref().map(|(e1, e2)| (e1, e2)),
+                    );
+                }
+                reply(link.as_ref(), tag, Message::Ack)?;
+            }
             Message::SetTamper(t) => {
                 node.write().set_tamper(t);
                 reply(link.as_ref(), tag, Message::Ack)?;
@@ -186,6 +235,10 @@ pub(crate) fn server_loop(
             Message::VersionProbe => {
                 let v = node.read().version();
                 reply(link.as_ref(), tag, Message::Version(v))?;
+            }
+            Message::RangeVersionProbe => {
+                let v = node.read().range_versions();
+                reply(link.as_ref(), tag, Message::Versions(v))?;
             }
             Message::Ping { seq } => {
                 // Statically wired nodes have no assignment generation;
@@ -337,9 +390,13 @@ fn domain_loop(
 ) -> Result<(), NetError> {
     let owner_link: Arc<dyn Link> = Arc::from(owner_link);
     let announcer: Option<Arc<dyn Link>> = announcer.map(Arc::from);
-    let plan = ShardPlan::new(params.b, shard_links.len());
-    let wide_node = Arc::new(ServerNode::new(params.clone()));
-    let params = Arc::new(params);
+    // Plan, parameter view, and the storage-less wide node all grow on a
+    // delta upload, so they live behind locks; round dispatch snapshots
+    // them (cheap `Arc` clones), keeping the owner link's receive order
+    // as the linearization point between growth and queries.
+    let plan = RwLock::new(ShardPlan::new(params.b, shard_links.len()));
+    let wide_node = RwLock::new(Arc::new(ServerNode::new(params.clone())));
+    let params = RwLock::new(Arc::new(params));
     let shard_links = Arc::new(shard_links);
     let tamper = RwLock::new(Tamper::Honest);
     let corr = AtomicU64::new(1 << 63);
@@ -352,6 +409,7 @@ fn domain_loop(
                 column,
                 data,
             } => {
+                let plan = plan.read().clone();
                 let id = corr.fetch_add(1, Ordering::Relaxed);
                 let mut pendings = Vec::with_capacity(shard_links.len());
                 for (part, link) in plan.split_rows(&data).into_iter().zip(shard_links.iter()) {
@@ -369,6 +427,7 @@ fn domain_loop(
                 reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
             Message::BulkUpload { owner, columns } => {
+                let plan = plan.read().clone();
                 let id = corr.fetch_add(1, Ordering::Relaxed);
                 let mut pendings = Vec::with_capacity(shard_links.len());
                 for (spec, link) in plan.specs().iter().zip(shard_links.iter()) {
@@ -391,13 +450,84 @@ fn domain_loop(
                 collect_acks(pendings)?;
                 reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
+            Message::DeltaUpload {
+                owner,
+                start,
+                columns,
+                pf_s1_ext,
+                pf_s2_ext,
+            } => {
+                let start = start as usize;
+                let added = columns.first().map(|(_, d)| d.len()).unwrap_or(0);
+                let target = if added == 0 {
+                    None
+                } else {
+                    let mut p = params.write();
+                    let mut plan_w = plan.write();
+                    let grown = if start == p.b {
+                        // Growth: the router holds the domain's real
+                        // finish permutations, so the extension blocks
+                        // concatenate here; the fixed worker set means
+                        // the last shard's range always extends.
+                        match decode_perm_ext(pf_s1_ext, pf_s2_ext) {
+                            Ok(ext) => {
+                                let (e1, e2) = match ext {
+                                    Some(pair) => pair,
+                                    None => {
+                                        (Permutation::identity(added), Permutation::identity(added))
+                                    }
+                                };
+                                if e1.len() == added && e2.len() == added {
+                                    let mut np = ServerParams::clone(&p);
+                                    np.pf_s1 = np.pf_s1.concat(&e1);
+                                    np.pf_s2 = np.pf_s2.concat(&e2);
+                                    np.b += added;
+                                    *plan_w = plan_w.append(added, false);
+                                    *wide_node.write() = Arc::new(ServerNode::new(np.clone()));
+                                    *p = Arc::new(np);
+                                    true
+                                } else {
+                                    false
+                                }
+                            }
+                            Err(()) => false,
+                        }
+                    } else {
+                        // Latest-epoch re-touch: no growth, the range must
+                        // already end at the domain boundary.
+                        start + added == p.b
+                    };
+                    grown
+                        .then(|| plan_w.specs().last().copied())
+                        .flatten()
+                        .filter(|spec| spec.start <= start)
+                        .map(|spec| (spec, columns))
+                };
+                if let Some((spec, columns)) = target {
+                    let id = corr.fetch_add(1, Ordering::Relaxed);
+                    let link = &shard_links[spec.index];
+                    let pending = link.begin(id)?;
+                    link.send(
+                        id,
+                        Message::DeltaUpload {
+                            owner,
+                            start: (start - spec.start) as u64,
+                            columns,
+                            pf_s1_ext: Vec::new(),
+                            pf_s2_ext: Vec::new(),
+                        },
+                    )?;
+                    collect_acks(vec![pending])?;
+                }
+                reply(owner_link.as_ref(), tag, Message::Ack)?;
+            }
             Message::SetTamper(t) => {
                 *tamper.write() = t;
                 reply(owner_link.as_ref(), tag, Message::Ack)?;
             }
             Message::RunBatch(batch) => {
-                let plan = plan.clone();
-                let params = Arc::clone(&params);
+                let plan = plan.read().clone();
+                let params = Arc::clone(&params.read());
                 let tamper_now = *tamper.read();
                 let shard_links = Arc::clone(&shard_links);
                 let owner_link = Arc::clone(&owner_link);
@@ -406,6 +536,33 @@ fn domain_loop(
                     let outs = route_batch(&plan, &params, &tamper_now, &batch, &shard_links, id)
                         .unwrap_or_default();
                     let _ = reply(owner_link.as_ref(), tag, Message::Outputs(outs));
+                }));
+            }
+            Message::RangeVersionProbe => {
+                // Concatenate the workers' range stamps in shard order —
+                // each worker reports in global row coordinates already
+                // (its `row_offset` is folded in), matching the
+                // in-process `ShardedNode` by construction.
+                let shard_links = Arc::clone(&shard_links);
+                let owner_link = Arc::clone(&owner_link);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    let probe = || -> Result<(), NetError> {
+                        let mut pendings = Vec::with_capacity(shard_links.len());
+                        for link in shard_links.iter() {
+                            pendings.push(link.begin(id)?);
+                            link.send(id, Message::RangeVersionProbe)?;
+                        }
+                        let mut stamps = Vec::new();
+                        for pending in pendings {
+                            match pending.recv()? {
+                                Message::Versions(v) => stamps.extend(v),
+                                _ => return Err(NetError::Disconnected),
+                            }
+                        }
+                        reply(owner_link.as_ref(), tag, Message::Versions(stamps))
+                    };
+                    let _ = probe();
                 }));
             }
             Message::VersionProbe => {
@@ -439,7 +596,7 @@ fn domain_loop(
                 threads,
                 seq,
             } => {
-                let wide_node = Arc::clone(&wide_node);
+                let wide_node = Arc::clone(&wide_node.read());
                 let owner_link = Arc::clone(&owner_link);
                 let ann = announcer.clone();
                 workers.push(std::thread::spawn(move || {
@@ -454,7 +611,7 @@ fn domain_loop(
                 }));
             }
             Message::AssembleFpos { claims, threads } => {
-                let wide_node = Arc::clone(&wide_node);
+                let wide_node = Arc::clone(&wide_node.read());
                 let owner_link = Arc::clone(&owner_link);
                 let ann = announcer.clone();
                 workers.push(std::thread::spawn(move || {
@@ -915,6 +1072,7 @@ impl NetCluster {
                     Message::AssembleFpos { claims, threads }
                 }
                 ServerCmd::Version => Message::VersionProbe,
+                ServerCmd::RangeVersions => Message::RangeVersionProbe,
             };
             let link = &self.links[s];
             // Register the slot before sending: the reply must never race
@@ -930,6 +1088,7 @@ impl NetCluster {
             match pending.recv().map_err(transport_err)? {
                 Message::Outputs(outs) => replies.push(ServerReply::Vectors(outs)),
                 Message::Version(v) => replies.push(ServerReply::Version(v)),
+                Message::Versions(v) => replies.push(ServerReply::Versions(v)),
                 Message::WideForwarded { rows, width, seq } => {
                     // The receipt must belong to the round we just issued
                     // (a desynchronized server cannot smuggle an old one).
@@ -1252,6 +1411,52 @@ impl NetCluster {
         )
     }
 
+    /// Adopt a grown [`Setup`] (from [`Setup::grow`]) ahead of the delta
+    /// uploads that extend the cluster to it. The finish-permutation
+    /// extension blocks a [`NetCluster::delta_upload`] ships are cut from
+    /// this setup, so adopt first, then upload each server's delta.
+    pub fn adopt_setup(&mut self, grown: Setup) {
+        self.setup = grown;
+    }
+
+    /// Append rows to one owner's columns on one server starting at
+    /// global row `start` — growth when `start` is the current domain
+    /// size, a latest-epoch re-touch otherwise. Ships the adopted
+    /// setup's finish-permutation extension blocks alongside the rows;
+    /// the server ignores them on a re-touch, so they are always sent.
+    pub fn delta_upload(
+        &self,
+        server: usize,
+        owner: usize,
+        start: usize,
+        columns: Vec<(Column, Vec<u64>)>,
+    ) -> Result<(), NetError> {
+        // Same ordering discipline as `upload`: dirty the cache and
+        // record the delta in the registry before awaiting the ack.
+        if let Some(cache) = &self.cache {
+            cache.note_upload(server);
+        }
+        if let Some(registry) = &self.registry {
+            registry.record_delta(server, owner, start, &columns);
+        }
+        let sp = &self.setup.servers[server];
+        let ext = |p: &Permutation| {
+            p.tail_block(start)
+                .map(|b| b.as_map().to_vec())
+                .unwrap_or_default()
+        };
+        self.acked(
+            &self.links[server],
+            Message::DeltaUpload {
+                owner: owner as u32,
+                start: start as u64,
+                columns,
+                pf_s1_ext: ext(&sp.pf_s1),
+                pf_s2_ext: ext(&sp.pf_s2),
+            },
+        )
+    }
+
     /// Attach a tampering behaviour to server φ (tests): the domain
     /// applies it to every subsequent merged output, exactly like the
     /// in-memory cluster.
@@ -1399,6 +1604,33 @@ impl NetCluster {
         seed: u64,
     ) -> Result<(Vec<plans::AggResult>, QueryStats), ClusterError> {
         self.execute(&plans::Batch { batch, seed })
+    }
+
+    /// [`NetCluster::psi_query_batch`] scoped to the global row range
+    /// `[start, start+len)` — rounds ship only that slice and the cache
+    /// keys on the range, so queries over untouched ranges stay warm
+    /// across delta uploads elsewhere in the domain.
+    pub fn psi_query_batch_range(
+        &self,
+        batch: &plans::QueryBatch,
+        seed: u64,
+        range: (u64, u64),
+    ) -> Result<(Vec<plans::AggResult>, QueryStats), ClusterError> {
+        let _permit = self.admission.acquire(0);
+        let view = QueryView {
+            net: self,
+            id: self.fresh_query_id(),
+        };
+        let cached = self.cache.as_deref().map(|c| CachedExec::new(&view, c));
+        let exec: &dyn ServerExec = match &cached {
+            Some(c) => c,
+            None => &view,
+        };
+        Engine::new(&exec, &self.setup.owner)
+            .with_threads(self.threads as usize)
+            .with_range(range.0, range.1)
+            .run(&plans::Batch { batch, seed })
+            .map_err(ClusterError::Protocol)
     }
 
     /// Snapshot of bytes/messages sent in each direction, including the

@@ -53,6 +53,7 @@ use crate::mux::{Admission, MuxLink};
 use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
 use crate::wire::{Column, Message, NodeRole};
 use parking_lot::{Mutex, RwLock};
+use prism_core::Permutation;
 use prism_protocol::cache::PsiRoundCache;
 use prism_protocol::engine::{ServerCmd, ServerNode};
 use prism_protocol::malicious::Tamper;
@@ -212,6 +213,91 @@ struct RegistryInner {
     announcer_uploads: Mutex<Vec<Option<Arc<TcpLink>>>>,
     announcer_mux: Mutex<Option<Arc<MuxLink>>>,
     announcer_health: Mutex<Option<AnnouncerHealth>>,
+    /// Live announcer edges once the cluster is running: the control
+    /// edge plus one upload edge per additive server, each behind a
+    /// [`SwapLink`] so a reconnecting announcer heals in place.
+    announcer_swaps: Mutex<Option<AnnouncerSwaps>>,
+}
+
+/// The announcer's swappable edges: `(control, per-additive-server
+/// uploads)`.
+type AnnouncerSwaps = (Arc<SwapLink>, Vec<Arc<SwapLink>>);
+
+/// A [`Link`] whose underlying TCP edge can be swapped for a fresh one
+/// mid-life: `recv` on a dead edge *parks* (instead of surfacing the
+/// error) until a replacement is swapped in, then resumes on it — so the
+/// multiplexer pump and the domain routers holding this link never
+/// observe the death, and a reconnected announcer resumes exactly where
+/// the old one left the protocol.
+pub(crate) struct SwapLink {
+    /// (swap generation, current edge) — std mutex/condvar pair so a
+    /// parked `recv` can wait for the swap.
+    inner: std::sync::Mutex<(u64, Arc<TcpLink>)>,
+    swapped: std::sync::Condvar,
+    stopped: AtomicBool,
+}
+
+impl SwapLink {
+    fn new(link: Arc<TcpLink>) -> Arc<SwapLink> {
+        Arc::new(SwapLink {
+            inner: std::sync::Mutex::new((0, link)),
+            swapped: std::sync::Condvar::new(),
+            stopped: AtomicBool::new(false),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (u64, Arc<TcpLink>)> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn current(&self) -> (u64, Arc<TcpLink>) {
+        let g = self.lock();
+        (g.0, Arc::clone(&g.1))
+    }
+
+    /// Install a replacement edge and wake every parked `recv`.
+    fn swap(&self, link: Arc<TcpLink>) {
+        let mut g = self.lock();
+        g.0 += 1;
+        g.1 = link;
+        self.swapped.notify_all();
+    }
+
+    /// Release parked receivers with the underlying error (shutdown).
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.swapped.notify_all();
+    }
+}
+
+impl Link for SwapLink {
+    fn send(&self, msg: &Message) -> Result<(), NetError> {
+        self.current().1.send(msg)
+    }
+
+    fn recv(&self) -> Result<Message, NetError> {
+        loop {
+            let (generation, link) = self.current();
+            match link.recv() {
+                Ok(msg) => return Ok(msg),
+                Err(e) => {
+                    // Park until a replacement is swapped in: the edge
+                    // died but the node behind it may reconnect.
+                    let mut g = self.lock();
+                    while g.0 == generation && !self.stopped.load(Ordering::SeqCst) {
+                        g = self.swapped.wait(g).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if self.stopped.load(Ordering::SeqCst) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> Arc<LinkStats> {
+        self.current().1.stats()
+    }
 }
 
 impl RegistryInner {
@@ -289,6 +375,46 @@ impl NodeRegistry {
         });
     }
 
+    /// Fold a delta upload into the replay log: each delta column is
+    /// merged into the most recent record holding that column (truncated
+    /// to `start`, then extended), so a heal's replay always re-outsources
+    /// full-length, latest-epoch state — never a stale pre-delta column
+    /// followed by nothing.
+    pub(crate) fn record_delta(
+        &self,
+        server: usize,
+        owner: usize,
+        start: usize,
+        columns: &[(Column, Vec<u64>)],
+    ) {
+        let mut log = self.inner.uploads.lock();
+        for (c, delta) in columns {
+            let merged = log
+                .iter_mut()
+                .rev()
+                .filter(|r| r.server == server && r.owner == owner as u32)
+                .find_map(|r| r.columns.iter_mut().find(|(rc, _)| rc == c));
+            match merged {
+                Some((_, data)) => {
+                    data.resize(start, 0);
+                    data.extend_from_slice(delta);
+                }
+                None => {
+                    // A delta without a prior full upload (first epoch was
+                    // itself a delta): record it zero-padded to `start` so
+                    // the replay slicing stays full-length.
+                    let mut data = vec![0; start];
+                    data.extend_from_slice(delta);
+                    log.push(UploadRecord {
+                        server,
+                        owner: owner as u32,
+                        columns: vec![(*c, data)],
+                    });
+                }
+            }
+        }
+    }
+
     /// Bind the PSI-round cache so failovers can dirty healed domains.
     pub(crate) fn attach_cache(&self, cache: Arc<PsiRoundCache>) {
         *self.inner.cache.lock() = Some(cache);
@@ -299,6 +425,14 @@ impl NodeRegistry {
     /// is not mistaken for node death.
     pub fn stop(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
+        // Unpark any receiver waiting on an announcer reconnect, so
+        // teardown cannot hang on a heal that will never come.
+        if let Some((ctl, uploads)) = self.inner.announcer_swaps.lock().as_ref() {
+            ctl.stop();
+            for u in uploads {
+                u.stop();
+            }
+        }
         // Wake the dispatcher out of `accept` with a throwaway dial.
         let _ = TcpStream::connect(self.inner.addr);
         if let Some(h) = self.dispatcher.lock().take() {
@@ -373,6 +507,7 @@ impl ClusterListener {
             announcer_uploads: Mutex::new(vec![None; ADDITIVE_SERVERS]),
             announcer_mux: Mutex::new(None),
             announcer_health: Mutex::new(None),
+            announcer_swaps: Mutex::new(None),
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -426,16 +561,19 @@ impl ClusterListener {
         let mut handles = Vec::new();
         let mut server_stats = Vec::new();
         let mut server_to_announcer_stats = Vec::new();
-        let upload_ends: Vec<Arc<TcpLink>> = {
+        // Every announcer edge goes behind a SwapLink: when the prober
+        // confirms the announcer dead and a replacement dials in, the
+        // dispatcher swaps the fresh edges in place and the routers (and
+        // the control-link multiplexer) resume without reconstruction.
+        let upload_ends: Vec<Arc<SwapLink>> = {
             let mut slots = self.inner.announcer_uploads.lock();
             slots
                 .iter_mut()
-                .map(|s| s.take().expect("readiness checked above"))
+                .map(|s| SwapLink::new(s.take().expect("readiness checked above")))
                 .collect()
         };
-        for (k, end) in upload_ends.iter().enumerate() {
-            let _ = k;
-            server_to_announcer_stats.push(end.stats());
+        for end in upload_ends.iter() {
+            server_to_announcer_stats.push(Link::stats(end.as_ref()));
         }
         for (k, shared) in self.inner.domains.iter().enumerate() {
             let params = shared.read().params.clone();
@@ -459,7 +597,12 @@ impl ClusterListener {
             .lock()
             .take()
             .expect("readiness checked above");
-        let announcer_link = MuxLink::new_labeled(ctl as Arc<dyn Link>, "announcer");
+        let ctl_swap = SwapLink::new(ctl);
+        *self.inner.announcer_swaps.lock() = Some((
+            Arc::clone(&ctl_swap),
+            upload_ends.iter().map(Arc::clone).collect(),
+        ));
+        let announcer_link = MuxLink::new_labeled(ctl_swap as Arc<dyn Link>, "announcer");
         *self.inner.announcer_mux.lock() = Some(Arc::clone(&announcer_link));
 
         let prober = {
@@ -599,6 +742,48 @@ fn handle_attach(inner: &Arc<RegistryInner>, stream: TcpStream) {
             ));
         }
         NodeRole::AnnouncerCtl => {
+            // Reconnect path: the cluster is already running (swap links
+            // exist). Only a *confirmed-dead* announcer may be replaced —
+            // a live one re-registering is an impostor and is rejected.
+            let swap = inner
+                .announcer_swaps
+                .lock()
+                .as_ref()
+                .map(|(ctl, _)| Arc::clone(ctl));
+            if let Some(ctl_swap) = swap {
+                let dead = inner
+                    .announcer_health
+                    .lock()
+                    .as_ref()
+                    .is_some_and(|a| a.liveness == Liveness::Dead);
+                if !dead {
+                    reject(&link);
+                    return;
+                }
+                let node = inner.next_node.fetch_add(1, Ordering::Relaxed);
+                if link
+                    .send(&Message::RegisterAck {
+                        accepted: true,
+                        node,
+                        generation: 0,
+                        start: 0,
+                        len: 0,
+                    })
+                    .is_ok()
+                {
+                    ctl_swap.swap(link);
+                    *inner.announcer_health.lock() = Some(AnnouncerHealth {
+                        node,
+                        last_seen: Instant::now(),
+                        misses: 0,
+                        liveness: Liveness::Alive,
+                    });
+                    inner.heal_log.lock().push(format!(
+                        "announcer: control edge reconnected as node {node}; wide rounds resumed"
+                    ));
+                }
+                return;
+            }
             let mut slot = inner.announcer_ctl.lock();
             if slot.is_some() {
                 drop(slot);
@@ -626,6 +811,35 @@ fn handle_attach(inner: &Arc<RegistryInner>, stream: TcpStream) {
             }
         }
         NodeRole::AnnouncerUpload => {
+            // Reconnect path: a healing announcer re-dials its upload
+            // edges right after its control edge (which flipped health
+            // back to Alive), so gate on the swap links existing rather
+            // than on liveness.
+            let swap = inner
+                .announcer_swaps
+                .lock()
+                .as_ref()
+                .and_then(|(_, ups)| ups.get(d).map(Arc::clone));
+            if let Some(up_swap) = swap {
+                let node = inner.next_node.fetch_add(1, Ordering::Relaxed);
+                if link
+                    .send(&Message::RegisterAck {
+                        accepted: true,
+                        node,
+                        generation: 0,
+                        start: 0,
+                        len: 0,
+                    })
+                    .is_ok()
+                {
+                    up_swap.swap(link);
+                    inner
+                        .heal_log
+                        .lock()
+                        .push(format!("announcer: upload edge {d} reconnected"));
+                }
+                return;
+            }
             let mut slots = inner.announcer_uploads.lock();
             match slots.get_mut(d) {
                 Some(slot @ None) => {
@@ -742,8 +956,14 @@ fn assign_and_replay(
                 .columns
                 .iter()
                 .map(|(c, data)| {
-                    let parts = st.plan.split_rows(data);
-                    (*c, parts[spec.index].to_vec())
+                    // Clamp + zero-pad: a record that predates a domain
+                    // growth (no delta ever merged into it) replays
+                    // zeroes over the appended rows instead of panicking.
+                    let lo = spec.start.min(data.len());
+                    let hi = (spec.start + spec.len).min(data.len());
+                    let mut part = data[lo..hi].to_vec();
+                    part.resize(spec.len, 0);
+                    (*c, part)
                 })
                 .collect();
             let p = slot.link.begin(corr).map_err(|_| i)?;
@@ -958,11 +1178,17 @@ fn elastic_domain_loop(
     announcer: Option<Arc<dyn Link>>,
 ) -> Result<(), NetError> {
     let owner_link: Arc<dyn Link> = Arc::from(owner_link);
-    let wide_node = Arc::new(ServerNode::new(params.clone()));
-    let params = Arc::new(params);
+    // The wide node tracks the domain's (growable) parameters; routing
+    // state (plan + params) lives in the registry's DomainState, so this
+    // loop reads it fresh on every message rather than capturing it.
+    let wide_node = RwLock::new(Arc::new(ServerNode::new(params.clone())));
     let tamper = Arc::new(RwLock::new(Tamper::Honest));
     let corr = AtomicU64::new(1 << 63);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // A domain with zero surviving workers is *offline*, not empty: every
+    // data-path message answers NodeDown with this sentinel until a
+    // replacement worker attaches and the registry re-fans.
+    const NO_WORKERS: u64 = u64::MAX;
     loop {
         let (tag, msg) = owner_link.recv()?.untag();
         match msg {
@@ -973,11 +1199,15 @@ fn elastic_domain_loop(
             } => {
                 let id = corr.fetch_add(1, Ordering::Relaxed);
                 let st = shared.read();
-                let outcome = fan_acked(&st, id, |spec| Message::Upload {
-                    owner,
-                    column,
-                    data: data[spec.start..spec.start + spec.len].to_vec(),
-                });
+                let outcome = if st.workers.is_empty() {
+                    Err(NO_WORKERS)
+                } else {
+                    fan_acked(&st, id, |spec| Message::Upload {
+                        owner,
+                        column,
+                        data: data[spec.start..spec.start + spec.len].to_vec(),
+                    })
+                };
                 drop(st);
                 match outcome {
                     Ok(()) => reply(owner_link.as_ref(), tag, Message::Ack)?,
@@ -987,16 +1217,99 @@ fn elastic_domain_loop(
             Message::BulkUpload { owner, columns } => {
                 let id = corr.fetch_add(1, Ordering::Relaxed);
                 let st = shared.read();
-                let outcome = fan_acked(&st, id, |spec| {
-                    let sliced: Vec<(Column, Vec<u64>)> = columns
-                        .iter()
-                        .map(|(c, data)| (*c, data[spec.start..spec.start + spec.len].to_vec()))
-                        .collect();
-                    Message::BulkUpload {
-                        owner,
-                        columns: sliced,
+                let outcome = if st.workers.is_empty() {
+                    Err(NO_WORKERS)
+                } else {
+                    fan_acked(&st, id, |spec| {
+                        let sliced: Vec<(Column, Vec<u64>)> = columns
+                            .iter()
+                            .map(|(c, data)| (*c, data[spec.start..spec.start + spec.len].to_vec()))
+                            .collect();
+                        Message::BulkUpload {
+                            owner,
+                            columns: sliced,
+                        }
+                    })
+                };
+                drop(st);
+                match outcome {
+                    Ok(()) => reply(owner_link.as_ref(), tag, Message::Ack)?,
+                    Err(node) => reply(owner_link.as_ref(), tag, Message::NodeDown { node })?,
+                }
+            }
+            Message::DeltaUpload {
+                owner,
+                start,
+                columns,
+                pf_s1_ext,
+                pf_s2_ext,
+            } => {
+                let start = start as usize;
+                let added = columns.first().map(|(_, d)| d.len()).unwrap_or(0);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                // Write lock: growth mutates the shared plan/params the
+                // heal and every route read.
+                let mut st = shared.write();
+                let outcome: Result<(), u64> = if st.workers.is_empty() {
+                    Err(NO_WORKERS)
+                } else if added == 0 {
+                    Ok(())
+                } else {
+                    let valid = if start == st.params.b {
+                        match crate::cluster::decode_perm_ext(pf_s1_ext, pf_s2_ext) {
+                            Ok(ext) => {
+                                let (e1, e2) = ext.unwrap_or_else(|| {
+                                    (Permutation::identity(added), Permutation::identity(added))
+                                });
+                                if e1.len() == added && e2.len() == added {
+                                    st.params.pf_s1 = st.params.pf_s1.concat(&e1);
+                                    st.params.pf_s2 = st.params.pf_s2.concat(&e2);
+                                    st.params.b += added;
+                                    st.plan = st.plan.append(added, false);
+                                    *wide_node.write() =
+                                        Arc::new(ServerNode::new(st.params.clone()));
+                                    true
+                                } else {
+                                    false
+                                }
+                            }
+                            Err(()) => false,
+                        }
+                    } else {
+                        start + added == st.params.b
+                    };
+                    match valid
+                        .then(|| st.plan.specs().last().copied())
+                        .flatten()
+                        .filter(|spec| spec.start <= start)
+                    {
+                        // Malformed delta: ack without applying —
+                        // verification catches the divergence, exactly as
+                        // for a tampering server.
+                        None => Ok(()),
+                        Some(spec) => {
+                            let slot = &st.workers[spec.index];
+                            let fwd = || -> Result<(), NetError> {
+                                let p = slot.link.begin(id)?;
+                                slot.link.send(
+                                    id,
+                                    Message::DeltaUpload {
+                                        owner,
+                                        start: (start - spec.start) as u64,
+                                        columns,
+                                        pf_s1_ext: Vec::new(),
+                                        pf_s2_ext: Vec::new(),
+                                    },
+                                )?;
+                                match p.recv()? {
+                                    Message::Ack => Ok(()),
+                                    _ => Err(NetError::Disconnected),
+                                }
+                            };
+                            fwd().map_err(|_| spec.index as u64)
+                        }
                     }
-                });
+                };
                 drop(st);
                 match outcome {
                     Ok(()) => reply(owner_link.as_ref(), tag, Message::Ack)?,
@@ -1009,7 +1322,6 @@ fn elastic_domain_loop(
             }
             Message::RunBatch(batch) => {
                 let shared = Arc::clone(&shared);
-                let params = Arc::clone(&params);
                 let tamper = Arc::clone(&tamper);
                 let owner_link = Arc::clone(&owner_link);
                 let id = corr.fetch_add(1, Ordering::Relaxed);
@@ -1021,15 +1333,18 @@ fn elastic_domain_loop(
                     let links: Vec<Arc<MuxLink>> =
                         st.workers.iter().map(|w| Arc::clone(&w.link)).collect();
                     let tamper_now = *tamper.read();
-                    let msg = match route_batch(&st.plan, &params, &tamper_now, &batch, &links, id)
-                    {
-                        Some(outs) => Message::Outputs(outs),
-                        None => match links.iter().position(|l| l.is_dead()) {
-                            Some(i) => Message::NodeDown { node: i as u64 },
-                            // Malformed-but-alive shard: shaped like
-                            // tamper, reported like tamper.
-                            None => Message::Outputs(Vec::new()),
-                        },
+                    let msg = if st.workers.is_empty() {
+                        Message::NodeDown { node: NO_WORKERS }
+                    } else {
+                        match route_batch(&st.plan, &st.params, &tamper_now, &batch, &links, id) {
+                            Some(outs) => Message::Outputs(outs),
+                            None => match links.iter().position(|l| l.is_dead()) {
+                                Some(i) => Message::NodeDown { node: i as u64 },
+                                // Malformed-but-alive shard: shaped like
+                                // tamper, reported like tamper.
+                                None => Message::Outputs(Vec::new()),
+                            },
+                        }
                     };
                     drop(st);
                     let _ = reply(owner_link.as_ref(), tag, msg);
@@ -1042,6 +1357,9 @@ fn elastic_domain_loop(
                 workers.push(std::thread::spawn(move || {
                     let st = shared.read();
                     let probe = || -> Result<u64, u64> {
+                        if st.workers.is_empty() {
+                            return Err(NO_WORKERS);
+                        }
                         let mut pendings = Vec::with_capacity(st.workers.len());
                         for (i, w) in st.workers.iter().enumerate() {
                             let p = w.link.begin(id).map_err(|_| i as u64)?;
@@ -1067,12 +1385,47 @@ fn elastic_domain_loop(
                     let _ = reply(owner_link.as_ref(), tag, msg);
                 }));
             }
+            Message::RangeVersionProbe => {
+                let shared = Arc::clone(&shared);
+                let owner_link = Arc::clone(&owner_link);
+                let id = corr.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    let st = shared.read();
+                    let probe = || -> Result<Vec<(u64, u64, u64)>, u64> {
+                        if st.workers.is_empty() {
+                            return Err(NO_WORKERS);
+                        }
+                        let mut pendings = Vec::with_capacity(st.workers.len());
+                        for (i, w) in st.workers.iter().enumerate() {
+                            let p = w.link.begin(id).map_err(|_| i as u64)?;
+                            w.link
+                                .send(id, Message::RangeVersionProbe)
+                                .map_err(|_| i as u64)?;
+                            pendings.push((i, p));
+                        }
+                        let mut stamps = Vec::new();
+                        for (i, p) in pendings {
+                            match p.recv() {
+                                Ok(Message::Versions(v)) => stamps.extend(v),
+                                _ => return Err(i as u64),
+                            }
+                        }
+                        Ok(stamps)
+                    };
+                    let msg = match probe() {
+                        Ok(v) => Message::Versions(v),
+                        Err(node) => Message::NodeDown { node },
+                    };
+                    drop(st);
+                    let _ = reply(owner_link.as_ref(), tag, msg);
+                }));
+            }
             Message::MaxCombine {
                 uploads,
                 threads,
                 seq,
             } => {
-                let wide_node = Arc::clone(&wide_node);
+                let wide_node = Arc::clone(&wide_node.read());
                 let owner_link = Arc::clone(&owner_link);
                 let ann = announcer.clone();
                 workers.push(std::thread::spawn(move || {
@@ -1087,7 +1440,7 @@ fn elastic_domain_loop(
                 }));
             }
             Message::AssembleFpos { claims, threads } => {
-                let wide_node = Arc::clone(&wide_node);
+                let wide_node = Arc::clone(&wide_node.read());
                 let owner_link = Arc::clone(&owner_link);
                 let ann = announcer.clone();
                 workers.push(std::thread::spawn(move || {
@@ -1260,9 +1613,45 @@ fn worker_loop(
                 node.write().set_tamper(t);
                 reply(link.as_ref(), tag, Message::Ack)?;
             }
+            Message::DeltaUpload {
+                owner,
+                start,
+                columns,
+                ..
+            } => {
+                // Local (shard) coordinates; the finish permutations live
+                // at the router, so the shard node extends by identity
+                // (the wire extensions are ignored here). Best-effort: a
+                // malformed delta is simply not applied — verification
+                // catches the divergence.
+                let start = start as usize;
+                let added = columns.first().map(|(_, d)| d.len()).unwrap_or(0);
+                let grew = start == cur_spec.len && added > 0;
+                let applied = node
+                    .write()
+                    .delta_upload(owner as usize, start, columns, None)
+                    .is_ok();
+                if applied && grew {
+                    cur_spec.len += added;
+                }
+                reply(link.as_ref(), tag, Message::Ack)?;
+            }
             Message::VersionProbe => {
                 let v = version_base + node.read().version();
                 reply(link.as_ref(), tag, Message::Version(v))?;
+            }
+            Message::RangeVersionProbe => {
+                // Fold the re-assignment base into every stamp: a healed
+                // (rebuilt + replayed) node must never report the same
+                // per-range versions as its predecessor, or a stale cache
+                // entry could validate across the heal.
+                let v: Vec<(u64, u64, u64)> = node
+                    .read()
+                    .range_versions()
+                    .into_iter()
+                    .map(|(s, l, ver)| (s, l, ver + version_base))
+                    .collect();
+                reply(link.as_ref(), tag, Message::Versions(v))?;
             }
             Message::Ping { seq } => {
                 reply(

@@ -262,6 +262,7 @@ mod tests {
                 zs: vec![],
                 items: vec![prism_protocol::engine::BatchItem::plain(Op::Psi)],
                 threads: 2,
+                range: None,
             }),
             Message::Outputs(vec![vec![9; 50]]),
             Message::Ack,

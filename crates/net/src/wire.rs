@@ -206,6 +206,51 @@ fn put_vec(buf: &mut BytesMut, data: &[u64]) {
     }
 }
 
+/// Decode-side row-buffer pool: the serving loops decode a fresh
+/// `Vec<u64>` per row vector on every round, then drop it after the
+/// kernel ran — a steady allocate/free churn on the server hot path.
+/// Instead, [`get_vec`] draws its backing buffer from this pool and the
+/// loops hand buffers back via [`recycle_vec`] once the round's reply is
+/// encoded, so a warmed-up server decodes rounds without touching the
+/// allocator. The pool is a global `Mutex` (not thread-local) because
+/// decode and recycle happen on *different* threads — the mux pump
+/// decodes, the worker recycles — so a thread-local pool would never
+/// refill. Capped so a burst of giant rounds cannot pin memory.
+const VEC_POOL_CAP: usize = 64;
+static VEC_POOL: std::sync::Mutex<Vec<Vec<u64>>> = std::sync::Mutex::new(Vec::new());
+
+fn pooled_vec(len: usize) -> Vec<u64> {
+    let mut v = VEC_POOL
+        .lock()
+        .ok()
+        .and_then(|mut p| p.pop())
+        .unwrap_or_default();
+    v.clear();
+    v.reserve(len);
+    v
+}
+
+/// Return a decoded row buffer to the wire pool the decoder draws from.
+/// Cheap and infallible; buffers beyond the pool cap are simply dropped.
+pub fn recycle_vec(mut v: Vec<u64>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    if let Ok(mut p) = VEC_POOL.lock() {
+        if p.len() < VEC_POOL_CAP {
+            v.clear();
+            p.push(v);
+        }
+    }
+}
+
+/// Recycle a whole reply's worth of row buffers at once.
+pub fn recycle_vecs<I: IntoIterator<Item = Vec<u64>>>(vecs: I) {
+    for v in vecs {
+        recycle_vec(v);
+    }
+}
+
 fn get_vec(buf: &mut &[u8]) -> Result<Vec<u64>, WireError> {
     if buf.remaining() < 8 {
         return Err(WireError::Truncated);
@@ -216,12 +261,14 @@ fn get_vec(buf: &mut &[u8]) -> Result<Vec<u64>, WireError> {
         return Err(WireError::Truncated);
     }
     // Length is validated above, so the payload can be split off as one
-    // borrowed slice and bulk-converted — no per-element cursor stepping.
+    // borrowed slice and bulk-converted — no per-element cursor stepping,
+    // and the target buffer comes from the recycle pool when warm.
     let (rows, rest) = buf.split_at(nbytes);
-    let out = rows
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-        .collect();
+    let mut out = pooled_vec(len);
+    out.extend(
+        rows.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+    );
     *buf = rest;
     Ok(out)
 }
@@ -348,8 +395,34 @@ fn decode_announcer_tamper(buf: &mut &[u8]) -> Result<AnnouncerTamper, WireError
     })
 }
 
+/// Permutation extensions ship as raw destination maps (`u32` per row,
+/// length-prefixed) — the receiving node validates them through
+/// `Permutation::from_map`, so the wire only carries bytes.
+fn put_map(buf: &mut BytesMut, map: &[u32]) {
+    buf.put_u32_le(map.len() as u32);
+    for &d in map {
+        buf.put_u32_le(d);
+    }
+}
+
+fn get_map(buf: &mut &[u8]) -> Result<Vec<u32>, WireError> {
+    let n = need_u32(buf)? as usize;
+    if buf.remaining() < n.saturating_mul(4) {
+        return Err(WireError::Truncated);
+    }
+    (0..n).map(|_| need_u32(buf)).collect()
+}
+
 fn encode_batch(batch: &BatchQuery, buf: &mut BytesMut) {
     buf.put_u32_le(batch.threads);
+    match batch.range {
+        None => buf.put_u8(0),
+        Some((start, len)) => {
+            buf.put_u8(1);
+            buf.put_u64_le(start);
+            buf.put_u64_le(len);
+        }
+    }
     put_vecs(buf, &batch.zs);
     buf.put_u32_le(batch.items.len() as u32);
     for item in &batch.items {
@@ -366,6 +439,11 @@ fn encode_batch(batch: &BatchQuery, buf: &mut BytesMut) {
 
 fn decode_batch(buf: &mut &[u8]) -> Result<BatchQuery, WireError> {
     let threads = need_u32(buf)?;
+    let range = match need(buf)? {
+        0 => None,
+        1 => Some((need_u64(buf)?, need_u64(buf)?)),
+        t => return Err(WireError::BadTag(t)),
+    };
     let zs = get_vecs(buf)?;
     let n = need_u32(buf)? as usize;
     let mut items = Vec::with_capacity(n.min(1024));
@@ -378,7 +456,12 @@ fn decode_batch(buf: &mut &[u8]) -> Result<BatchQuery, WireError> {
         };
         items.push(BatchItem { op, z });
     }
-    Ok(BatchQuery { zs, items, threads })
+    Ok(BatchQuery {
+        zs,
+        items,
+        threads,
+        range,
+    })
 }
 
 // --- encoded-length accounting -------------------------------------------
@@ -439,8 +522,13 @@ fn announcer_tamper_len(t: &AnnouncerTamper) -> usize {
     }
 }
 
+fn map_len(map: &[u32]) -> usize {
+    4 + 4 * map.len()
+}
+
 fn batch_len(batch: &BatchQuery) -> usize {
-    4 + vecs_len(&batch.zs)
+    4 + (1 + if batch.range.is_some() { 16 } else { 0 })
+        + vecs_len(&batch.zs)
         + 4
         + batch
             .items
@@ -652,6 +740,37 @@ pub enum Message {
         /// Index of the dead worker within its domain.
         node: u64,
     },
+    /// Phase 1, incremental: append rows `[start, start + added)` to an
+    /// owner's outsourced columns without re-uploading the prefix. When
+    /// the delta grows the domain (`start == b`), the permutation
+    /// extensions carry the fresh block the server concatenates onto its
+    /// finish permutations (empty maps mean identity blocks); existing
+    /// rows, shard assignments and `row_offset`s are untouched, so only
+    /// the appended range's version stamp moves.
+    DeltaUpload {
+        /// Owner index.
+        owner: u32,
+        /// First global row of the appended range.
+        start: u64,
+        /// `(column, appended share values)` pairs, stored in order.
+        columns: Vec<(Column, Vec<u64>)>,
+        /// `PF_s1` extension block as a raw destination map (empty =
+        /// identity over the appended rows).
+        pf_s1_ext: Vec<u32>,
+        /// `PF_s2` extension block as a raw destination map (empty =
+        /// identity over the appended rows).
+        pf_s2_ext: Vec<u32>,
+    },
+    /// Owner → server: probe the store's per-range version stamps
+    /// ([`ServerCmd::RangeVersions`](prism_protocol::engine::ServerCmd)
+    /// verbatim) — what the round cache validates range-scoped entries
+    /// with. A sharded domain's router concatenates its workers' stamps
+    /// in global row order.
+    RangeVersionProbe,
+    /// Server → owner: the store's `(start, len, version)` range stamps
+    /// in global row coordinates, answering a
+    /// [`Message::RangeVersionProbe`].
+    Versions(Vec<(u64, u64, u64)>),
 }
 
 impl Message {
@@ -699,6 +818,24 @@ impl Message {
             Message::Pong { .. } => 1 + 8 + 8,
             Message::Assign { .. } => 1 + 8 + 8 + 8,
             Message::NodeDown { .. } => 1 + 8,
+            Message::DeltaUpload {
+                columns,
+                pf_s1_ext,
+                pf_s2_ext,
+                ..
+            } => {
+                1 + 4
+                    + 8
+                    + 4
+                    + columns
+                        .iter()
+                        .map(|(c, d)| column_len(c) + vec_len(d))
+                        .sum::<usize>()
+                    + map_len(pf_s1_ext)
+                    + map_len(pf_s2_ext)
+            }
+            Message::RangeVersionProbe => 1,
+            Message::Versions(stamps) => 1 + 4 + 24 * stamps.len(),
         }
     }
 
@@ -889,6 +1026,34 @@ impl Message {
                 buf.put_u8(25);
                 buf.put_u64_le(*node);
             }
+            Message::DeltaUpload {
+                owner,
+                start,
+                columns,
+                pf_s1_ext,
+                pf_s2_ext,
+            } => {
+                buf.put_u8(26);
+                buf.put_u32_le(*owner);
+                buf.put_u64_le(*start);
+                buf.put_u32_le(columns.len() as u32);
+                for (column, data) in columns {
+                    encode_column(column, buf);
+                    put_vec(buf, data);
+                }
+                put_map(buf, pf_s1_ext);
+                put_map(buf, pf_s2_ext);
+            }
+            Message::RangeVersionProbe => buf.put_u8(27),
+            Message::Versions(stamps) => {
+                buf.put_u8(28);
+                buf.put_u32_le(stamps.len() as u32);
+                for &(start, len, version) in stamps {
+                    buf.put_u64_le(start);
+                    buf.put_u64_le(len);
+                    buf.put_u64_le(version);
+                }
+            }
         }
     }
 
@@ -1026,6 +1191,36 @@ impl Message {
             25 => Message::NodeDown {
                 node: need_u64(buf)?,
             },
+            26 => {
+                let owner = need_u32(buf)?;
+                let start = need_u64(buf)?;
+                let n = need_u32(buf)? as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let column = decode_column(buf)?;
+                    let data = get_vec(buf)?;
+                    columns.push((column, data));
+                }
+                Message::DeltaUpload {
+                    owner,
+                    start,
+                    columns,
+                    pf_s1_ext: get_map(buf)?,
+                    pf_s2_ext: get_map(buf)?,
+                }
+            }
+            27 => Message::RangeVersionProbe,
+            28 => {
+                let n = need_u32(buf)? as usize;
+                if buf.remaining() < n.saturating_mul(24) {
+                    return Err(WireError::Truncated);
+                }
+                let mut stamps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    stamps.push((need_u64(buf)?, need_u64(buf)?, need_u64(buf)?));
+                }
+                Message::Versions(stamps)
+            }
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1089,6 +1284,7 @@ mod tests {
             zs: vec![],
             items: vec![BatchItem::plain(Op::Psi), BatchItem::plain(Op::PsiVerify)],
             threads: 4,
+            range: None,
         }));
         roundtrip(Message::RunBatch(BatchQuery {
             zs: vec![vec![5; 100], vec![7; 100]],
@@ -1099,6 +1295,7 @@ mod tests {
                 BatchItem::plain(Op::CountVerify(2)),
             ],
             threads: 8,
+            range: None,
         }));
         roundtrip(Message::Outputs(vec![(0..1000).collect(), vec![], vec![9]]));
         roundtrip(Message::BulkUpload {
@@ -1116,6 +1313,7 @@ mod tests {
                 zs: vec![vec![1; 8]],
                 items: vec![BatchItem::with_z(Op::Sum(0), 0)],
                 threads: 2,
+                range: None,
             },
         });
         roundtrip(Message::ShardOutputs {
@@ -1256,6 +1454,7 @@ mod tests {
                 zs: vec![vec![5; 16]],
                 items: vec![BatchItem::with_z(Op::Sum(0), 0)],
                 threads: 2,
+                range: None,
             })
             .tagged(42),
         );
@@ -1266,6 +1465,7 @@ mod tests {
                     zs: vec![],
                     items: vec![BatchItem::plain(Op::Psi)],
                     threads: 1,
+                    range: None,
                 },
             }
             .tagged(9),

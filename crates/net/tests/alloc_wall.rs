@@ -1,0 +1,117 @@
+//! Allocation wall for the wire decode hot path.
+//!
+//! The serving loops decode a fresh `Vec<u64>` per row vector on every
+//! round and drop it after the kernel ran — with the decode-side buffer
+//! pool (`wire::recycle_vec`), a warmed-up server instead reuses those
+//! buffers, so a steady-state decode touches the allocator only for O(1)
+//! bookkeeping (the outer vector and the message enum), never O(rows)
+//! or O(columns × rows). A counting global allocator pins that bound so
+//! an accidental per-row allocation on the hot path fails CI instead of
+//! silently costing throughput.
+//!
+//! Everything is asserted inside one `#[test]` so no sibling test thread
+//! can allocate mid-measurement; each measurement takes the minimum over
+//! several reps to shrug off stray harness allocations.
+
+use prism_net::wire::recycle_vecs;
+use prism_net::{Column, Message};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter bump has no effect
+// on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocation count of one call of `f`, minimized over `reps` warm calls.
+fn min_allocs_of<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    f(); // warm the pool
+    let mut min = u64::MAX;
+    for _ in 0..reps {
+        let before = allocs();
+        f();
+        min = min.min(allocs() - before);
+    }
+    min
+}
+
+const ROWS: usize = 4096;
+
+#[test]
+fn warm_decode_draws_row_buffers_from_the_pool() {
+    // --- Server reply path: a four-item Outputs frame of 4096-row
+    // vectors. Warm, the row buffers come back from the pool: only the
+    // outer vector (and enum bookkeeping) may allocate.
+    {
+        let outputs: Vec<Vec<u64>> = (0..4u64)
+            .map(|i| (0..ROWS as u64).map(|r| r * 31 + i).collect())
+            .collect();
+        let bytes = Message::Outputs(outputs.clone()).encode();
+        let warm = min_allocs_of(5, || match Message::decode(&bytes).expect("decode") {
+            Message::Outputs(got) => {
+                assert_eq!(got, outputs, "pooling corrupted a decoded row vector");
+                recycle_vecs(got);
+            }
+            other => panic!("decoded the wrong message: {other:?}"),
+        });
+        assert!(
+            warm <= 6,
+            "warm Outputs decode allocated {warm} times for {ROWS}-row vectors; \
+             expected O(1) bookkeeping, not O(rows)"
+        );
+    }
+
+    // --- Upload path: a BulkUpload frame (three 4096-row columns), the
+    // shape every delta upload rides. Same bound.
+    {
+        let columns: Vec<(Column, Vec<u64>)> = [Column::Ok, Column::Agg(0), Column::AOk]
+            .into_iter()
+            .map(|c| (c, (0..ROWS as u64).collect()))
+            .collect();
+        let bytes = Message::BulkUpload {
+            owner: 2,
+            columns: columns.clone(),
+        }
+        .encode();
+        let warm = min_allocs_of(5, || match Message::decode(&bytes).expect("decode") {
+            Message::BulkUpload {
+                owner,
+                columns: got,
+            } => {
+                assert_eq!(owner, 2);
+                assert_eq!(got, columns, "pooling corrupted a decoded column");
+                recycle_vecs(got.into_iter().map(|(_, data)| data));
+            }
+            other => panic!("decoded the wrong message: {other:?}"),
+        });
+        assert!(
+            warm <= 6,
+            "warm BulkUpload decode allocated {warm} times for three {ROWS}-row \
+             columns; expected O(1) bookkeeping, not O(columns × rows)"
+        );
+    }
+}

@@ -1,11 +1,12 @@
 //! End-to-end PSI-round cache over the wire: the acceptance path.
 //!
 //! A repeat `psi_query_batch` against an unchanged store must complete
-//! with **zero** server round-trips for round 1 — asserted both through
+//! with **zero** server round-trips — asserted both through
 //! `QueryStats.rounds` and through `NetReport`'s per-link message meters
-//! (warm round 2 is exactly one `RunBatch` per Shamir server, nothing
-//! else crosses any owner↔server link) — and any owner upload in between
-//! must restore the cold-path round count bit-identically.
+//! (round 1 replays the cached PSI outputs and round 2 replays the
+//! pinned z-seed aggregation, so nothing crosses any owner↔server link)
+//! — and any owner upload in between must restore the cold-path round
+//! count bit-identically.
 
 use prism_core::Prg;
 use prism_net::{Column, NetCluster};
@@ -75,23 +76,25 @@ fn exercise(mut cluster: NetCluster) {
     upload_all(&cluster, 7);
     let batch = QueryBatch::new().sum(0).avg(0).count_tuples();
 
-    // Cold: round 1 (PSI, additive servers) + round 2 (Shamir servers).
+    // Cold: round 1 (PSI, additive servers) + round 2 (Shamir servers);
+    // each eligible round records one miss.
     let (cold, cold_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
     assert_eq!(cold_stats.rounds, 2);
-    assert_eq!(cold_stats.cache_misses, 1);
+    assert_eq!(cold_stats.cache_misses, 2);
 
-    // Warm: zero server round-trips for round 1. The only owner↔server
-    // traffic in the whole query is round 2's one RunBatch per server.
+    // Warm: zero server round-trips for the whole query — round 1
+    // replays the cached PSI outputs, round 2 replays the pinned z-seed
+    // aggregation.
     let before = cluster.report();
     let (warm, warm_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
     let after = cluster.report();
     assert_eq!(warm, cold, "cache changed the batch results");
-    assert_eq!(warm_stats.rounds, 1, "warm batch must skip round 1");
-    assert_eq!(warm_stats.cache_hits, 1);
+    assert_eq!(warm_stats.rounds, 0, "warm batch must skip both rounds");
+    assert_eq!(warm_stats.cache_hits, 2);
     assert_eq!(
         msg_deltas(&before, &after),
-        vec![1, 1, 1],
-        "a warm query may send exactly one round-2 message per server"
+        vec![0, 0, 0],
+        "a fully warm query sends nothing to any server"
     );
     assert!(after.cache_hits >= 1, "NetReport must meter the hit");
 
@@ -131,6 +134,108 @@ fn cache_e2e_tcp() {
     exercise(NetCluster::start_tcp(make_setup()).unwrap());
 }
 
+/// The streaming acceptance path over the wire: a delta upload appends
+/// two cells; a repeat window query over the untouched original range
+/// then completes **both** rounds from the cache (zero counted rounds),
+/// and once the probe has re-confirmed the stamps an immediate repeat
+/// sends nothing at all on any owner↔server link. The grown full domain
+/// is an overlapping key — it goes cold, bit-identical to an uncached
+/// oracle cluster replaying the same delta.
+#[test]
+fn delta_upload_keeps_untouched_window_warm_over_the_wire() {
+    let mut cluster = NetCluster::start_tcp(make_setup()).unwrap();
+    cluster.enable_cache();
+    let mut oracle = NetCluster::start_local(make_setup());
+    upload_all(&cluster, 7);
+    upload_all(&oracle, 7);
+    let batch = QueryBatch::new().sum(0).avg(0);
+    let w = (0u64, DOMAIN as u64);
+    let (cold, s) = cluster.psi_query_batch_range(&batch, 42, w).unwrap();
+    assert_eq!((s.rounds, s.cache_misses), (2, 2));
+
+    // Grow by two cells; every owner's delta rows land in 11..=12 only.
+    // The delta share columns are built once, so both clusters store
+    // identical bytes.
+    let added = 2usize;
+    let grown = cluster.setup().grow(added, 1, 91).unwrap();
+    let delta_rows: Vec<Vec<(u64, u64)>> =
+        vec![vec![(11, 40)], vec![(11, 10), (12, 5)], vec![(11, 60)]];
+    let op = grown.owner.clone();
+    // owner → server → delta column set.
+    type DeltaColumns = Vec<(Column, Vec<u64>)>;
+    let mut per_owner: Vec<Vec<DeltaColumns>> = Vec::new();
+    for (j, rows) in delta_rows.iter().enumerate() {
+        let mut indicator = vec![0u64; added];
+        let mut sums = vec![0u64; added];
+        let mut counts = vec![0u64; added];
+        for &(c, x) in rows {
+            let i = (c - 1) as usize - DOMAIN;
+            indicator[i] = 1;
+            sums[i] += x;
+            counts[i] += 1;
+        }
+        let mut prg = Prg::from_seed(91 ^ (7700 + j as u64));
+        let ind = share_indicator(&indicator, op.delta, &mut prg);
+        let p = share_payload(&sums, &op.field, &mut prg);
+        let cnt = share_payload(&counts, &op.field, &mut prg);
+        per_owner.push(
+            (0..3)
+                .map(|k| {
+                    let mut columns = Vec::new();
+                    if k < 2 {
+                        columns.push((Column::Ok, ind.shares[k].clone()));
+                    }
+                    columns.push((Column::Agg(0), p.shares[k].clone()));
+                    columns.push((Column::AOk, cnt.shares[k].clone()));
+                    columns
+                })
+                .collect(),
+        );
+    }
+    cluster.adopt_setup(grown.clone());
+    oracle.adopt_setup(grown);
+    for (j, per_server) in per_owner.iter().enumerate() {
+        for (k, cols) in per_server.iter().enumerate() {
+            cluster.delta_upload(k, j, DOMAIN, cols.clone()).unwrap();
+            oracle.delta_upload(k, j, DOMAIN, cols.clone()).unwrap();
+        }
+    }
+
+    // Untouched window: both rounds replay from the cache. The first
+    // warm query pays only the range-version probe (metadata, not a
+    // counted round).
+    let (warm, s) = cluster.psi_query_batch_range(&batch, 42, w).unwrap();
+    assert_eq!(warm, cold, "delta upload corrupted the untouched window");
+    assert_eq!(
+        (s.rounds, s.cache_hits),
+        (0, 2),
+        "window must stay warm across a delta"
+    );
+    // Stamps re-confirmed: an immediate repeat sends nothing at all.
+    let before = cluster.report();
+    let (rewarm, s) = cluster.psi_query_batch_range(&batch, 42, w).unwrap();
+    let after = cluster.report();
+    assert_eq!(rewarm, cold);
+    assert_eq!((s.rounds, s.cache_hits), (0, 2));
+    assert_eq!(
+        msg_deltas(&before, &after),
+        vec![0, 0, 0],
+        "a confirmed warm window must be wire-silent"
+    );
+
+    // The grown full domain is a different (overlapping) key: cold, and
+    // bit-identical to the uncached oracle replaying the same delta.
+    let (got, s) = cluster.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(
+        s.cache_hits, 0,
+        "full-domain query must go cold after the delta"
+    );
+    let (want, _) = oracle.psi_query_batch(&batch, 42).unwrap();
+    assert_eq!(got, want, "cached cluster diverged from the oracle");
+    cluster.shutdown().unwrap();
+    oracle.shutdown().unwrap();
+}
+
 /// The warm path must stay warm across *different* eligible queries that
 /// share the PSI round, and the count round keys separately.
 #[test]
@@ -140,12 +245,14 @@ fn distinct_queries_share_the_cached_psi_round() {
     upload_all(&cluster, 9);
     let (_, s) = cluster.execute(&prism_protocol::plans::Psi).unwrap();
     assert_eq!((s.rounds, s.cache_misses), (1, 1));
-    // A sum reuses the PSI entry: only its round 2 touches the servers.
+    // A first sum reuses the PSI entry (only its round 2 touches the
+    // servers); an identical repeat is then fully warm.
     let sums = cluster.psi_sum(0, 5).unwrap();
     let (_, s) = cluster
         .execute(&prism_protocol::plans::Sum { attr: 0, seed: 5 })
         .unwrap();
-    assert_eq!(s.rounds, 1, "sum must ride the cached PSI round");
+    assert_eq!(s.rounds, 0, "repeat sum must ride both cached rounds");
+    assert_eq!(s.cache_hits, 2);
     assert_eq!(
         cluster
             .execute(&prism_protocol::plans::Sum { attr: 0, seed: 5 })

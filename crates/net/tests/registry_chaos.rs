@@ -248,10 +248,10 @@ fn failover_invalidates_only_the_healed_domain() {
     let batch = QueryBatch::new().sum(0).count_tuples();
 
     let (cold, cold_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
-    assert_eq!(cold_stats.cache_misses, 1);
+    assert_eq!(cold_stats.cache_misses, 2);
     let (warm, warm_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
     assert_eq!(warm, cold);
-    assert_eq!(warm_stats.cache_hits, 1);
+    assert_eq!(warm_stats.cache_hits, 2);
     let warm_entries_d1 = cluster.cache().unwrap().server_entries(1);
     assert!(warm_entries_d1 > 0, "domain 1 must hold warm entries");
 
@@ -287,7 +287,7 @@ fn failover_invalidates_only_the_healed_domain() {
     // And the cache re-warms over the healed topology.
     let (rewarm, rewarm_stats) = cluster.psi_query_batch(&batch, 42).unwrap();
     assert_eq!(rewarm, cold);
-    assert_eq!(rewarm_stats.cache_hits, 1, "healed domain must re-warm");
+    assert_eq!(rewarm_stats.cache_hits, 2, "healed domain must re-warm");
 
     cluster.shutdown().unwrap();
     let _ = announcer.join();
@@ -349,6 +349,154 @@ fn inflight_queries_error_loudly_never_hang_and_heal_recovers() {
     let cluster = std::sync::Arc::into_inner(cluster).unwrap();
     cluster.shutdown().unwrap();
     let _ = announcer.join();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Killing *every* worker of a domain must not wedge or panic the
+/// control plane: the domain is held down — queries and uploads against
+/// it fail loudly with a node-down transport error — while the upload
+/// log is retained, so the first replacement that dials in replays the
+/// store and the domain answers bit-identically again.
+#[test]
+fn last_worker_death_holds_the_domain_down_until_a_replacement() {
+    let setup = make_setup();
+    let (cluster, workers, announcer) = spawn_elastic(setup.clone(), fast_cfg());
+    setup_and_upload(&cluster, &rows());
+    let oracle = suite(&cluster);
+    let registry = cluster.registry().unwrap();
+
+    // Kill every one of domain 0's workers (spawn order: d0 first).
+    for w in &workers[..SHARDS] {
+        w.kill();
+    }
+    wait_for("all of d0 confirmed dead", Duration::from_secs(15), || {
+        cluster
+            .report()
+            .nodes
+            .iter()
+            .filter(|n| n.liveness == Liveness::Dead && n.label.starts_with("d0/"))
+            .count()
+            >= SHARDS
+    });
+
+    // Down, not wedged: queries and uploads error loudly and fast.
+    let err = cluster.psi_verified().unwrap_err().to_string();
+    assert!(
+        err.contains("node down"),
+        "query against a downed domain must surface node-down, got {err:?}"
+    );
+    let err = cluster
+        .bulk_upload(0, 0, vec![(Column::Ok, vec![0; DOMAIN])])
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("node down"),
+        "upload to a downed domain must surface node-down, got {err:?}"
+    );
+
+    // A replacement dials in: the retained upload log replays the store
+    // into it and the domain comes back up. (Re-upload the canonical
+    // columns afterwards so the poison upload attempted above cannot
+    // linger in the replayed store.)
+    let replacement = ShardWorker::connect(
+        setup.servers[0].clone(),
+        0,
+        registry.addr(),
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    wait_for("domain back up", Duration::from_secs(15), || {
+        cluster.psi_count().is_ok()
+    });
+    setup_and_upload(&cluster, &rows());
+    assert_eq!(suite(&cluster), oracle, "post-revival answers");
+    assert!(
+        registry
+            .heal_log()
+            .iter()
+            .any(|l| l.contains(&format!("worker d0/w{} attached", replacement.node_id()))),
+        "heal log must record the revival attach: {:?}",
+        registry.heal_log()
+    );
+
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    let _ = replacement.join();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// The announcer is a first-class roster citizen: killing it shows up as
+/// a Dead roster row, a replacement that dials back in is swapped into
+/// the live links in place (no listener restart, no re-upload), the heal
+/// log records the resume, and the wide (announcer-backed) rounds answer
+/// bit-identically afterwards.
+#[test]
+fn announcer_reconnects_and_wide_rounds_resume() {
+    let setup = make_setup();
+    let (cluster, workers, announcer) = spawn_elastic(setup.clone(), fast_cfg());
+    setup_and_upload(&cluster, &rows());
+    let oracle = suite(&cluster);
+    let m = maxima(&rows());
+    let m_refs: Vec<&[u64]> = m.iter().map(Vec::as_slice).collect();
+    let oracle_max = format!("{:?}", cluster.psi_max(&m_refs, 60).unwrap());
+    let registry = cluster.registry().unwrap();
+
+    announcer.kill();
+    wait_for("announcer confirmed dead", Duration::from_secs(15), || {
+        cluster
+            .report()
+            .nodes
+            .iter()
+            .any(|n| n.label == "announcer" && n.liveness == Liveness::Dead)
+    });
+
+    // Vector rounds never touch the announcer: still served while down.
+    assert_eq!(
+        cluster.psi_verified().unwrap(),
+        oracle.0,
+        "PSI must survive an announcer outage"
+    );
+
+    // A replacement dials in and is swapped into the live links.
+    let replacement = AnnouncerNode::connect(
+        setup.announcer.clone(),
+        registry.addr(),
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    wait_for(
+        "announcer reconnect logged",
+        Duration::from_secs(10),
+        || {
+            registry
+                .heal_log()
+                .iter()
+                .any(|l| l.contains("control edge reconnected"))
+        },
+    );
+    wait_for("announcer alive on roster", Duration::from_secs(10), || {
+        cluster
+            .report()
+            .nodes
+            .iter()
+            .any(|n| n.label == "announcer" && n.liveness == Liveness::Alive)
+    });
+
+    // Wide rounds resume bit-identically; the whole suite holds.
+    assert_eq!(
+        format!("{:?}", cluster.psi_max(&m_refs, 60).unwrap()),
+        oracle_max,
+        "post-reconnect max"
+    );
+    assert_eq!(suite(&cluster), oracle, "post-reconnect answers");
+
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    let _ = replacement.join();
     for w in workers {
         let _ = w.join();
     }

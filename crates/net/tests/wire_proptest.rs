@@ -1,5 +1,7 @@
 //! Property tests for the wire format: every message type — including the
-//! batched round-2 query, the tamper-injection control messages, and the
+//! batched round-2 query (full-domain *and* window-scoped), the
+//! streaming-append messages (`DeltaUpload`/`RangeVersionProbe`/
+//! `Versions`), the tamper-injection control messages, and the
 //! wide-share announcer envelopes (`MaxCombine`/`WideUpload`/
 //! `AnnounceRun`/`AnnounceReply`) — round-trips through encode → decode
 //! unchanged, every strict prefix of an encoding is rejected (all fields
@@ -113,8 +115,10 @@ fn build_message(
             })
             .collect(),
         threads,
+        // Exercise both the full-domain and the window-scoped encoding.
+        range: (t_sel % 2 == 1).then_some((tx, ty)),
     };
-    match sel % 19 {
+    match sel % 22 {
         0 => Message::Upload {
             owner,
             column: arb_column(col_sel, attr),
@@ -187,6 +191,25 @@ fn build_message(
         15 => Message::SetAnnouncerTamper(arb_announcer_tamper(t_sel, tx)),
         16 => Message::VersionProbe,
         17 => Message::Version(tx),
+        18 => Message::DeltaUpload {
+            owner,
+            start: tx,
+            columns: zs
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| (arb_column(col_sel.wrapping_add(i as u8), attr), d))
+                .collect(),
+            // Empty maps are the identity-extension encoding; non-empty
+            // maps carry an explicit destination per appended row.
+            pf_s1_ext: data.iter().map(|&x| x as u32).collect(),
+            pf_s2_ext: if t_sel % 2 == 0 {
+                Vec::new()
+            } else {
+                data.iter().map(|&x| (x >> 32) as u32).collect()
+            },
+        },
+        19 => Message::RangeVersionProbe,
+        20 => Message::Versions(data.chunks_exact(3).map(|c| (c[0], c[1], c[2])).collect()),
         _ => Message::Shutdown,
     }
 }

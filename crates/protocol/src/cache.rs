@@ -1,4 +1,4 @@
-//! Cross-query PSI-round caching: a transparent [`ServerExec`] decorator.
+//! Cross-query round caching: a transparent [`ServerExec`] decorator.
 //!
 //! PRISM's aggregation plans all begin with the same round-1 PSI over the
 //! additive servers, and §6's evaluation shows that round dominates
@@ -8,47 +8,67 @@
 //! extends the sharing *across* queries:
 //!
 //! * [`PsiRoundCache`] is the persistent state: per-server reply entries
-//!   keyed on the round's [`BatchItem`] list and stamped with the
-//!   server's **store version** (the monotonic counter every
-//!   [`ColumnStore::store`](crate::engine::ColumnStore::store) bumps),
-//!   plus hit/miss/invalidation meters.
+//!   keyed on the round's [`BatchItem`] list, its auxiliary `z` vectors,
+//!   and its row range, and stamped with the **per-range version
+//!   stamps** of the store ranges the round read (the
+//!   [`RangeVersion`] epochs every
+//!   [`ColumnStore`](crate::engine::ColumnStore) write moves), plus
+//!   hit/miss/invalidation meters.
 //! * [`CachedExec`] wraps any backend. A *cache-eligible* round — every
-//!   command a [`ServerCmd::Run`] whose items are all store-deterministic
-//!   round-1 operations ([`QueryOp::Psi`] / [`QueryOp::Psu`] /
-//!   [`QueryOp::Count`]) with no auxiliary vectors — is served from the
-//!   cache when every participating server's entry is stamped with its
-//!   current store version; otherwise it executes for real and the
-//!   replies are cached. Everything else passes through untouched.
+//!   command a [`ServerCmd::Run`] whose items are either all
+//!   store-deterministic round-1 operations ([`QueryOp::Psi`] /
+//!   [`QueryOp::Psu`] / [`QueryOp::Count`] with no auxiliary vectors) or
+//!   all plain Shamir aggregation rounds ([`QueryOp::Sum`] /
+//!   [`QueryOp::SumCounts`], whose replies are pure functions of the
+//!   stored columns *and* the round's `z` vectors) — is served from the
+//!   cache when every participating server's entry matches its current
+//!   per-range stamps; otherwise it executes for real and the replies
+//!   are cached. Everything else passes through untouched.
 //!
-//! **Invalidation rule (version vector).** The cache never trusts its own
-//! clock: an entry is valid only while the owning server's *confirmed*
-//! store version equals the entry's stamp. Confirmation comes from
-//! [`ServerCmd::Version`] probes — O(1) at the server, a few bytes on the
-//! wire — issued lazily whenever a server's version is unknown: at first
-//! use, and after any [`PsiRoundCache::note_upload`] (the facades call it
-//! on every `store`/`bulk_upload`, marking the touched server dirty).
-//! Between uploads the version vector is known, so a warm round is served
-//! with **zero** server round-trips; after an upload the next eligible
-//! round probes, sees the moved version, drops the stale entries
-//! (counted as invalidations) and re-executes. Servers whose stores were
-//! not touched keep their entries.
+//! **Round-2 caching and the pinned z-seed.** An aggregation round's
+//! reply depends on the `z` vectors the owner sent, so those vectors are
+//! part of the cache key: a warm hit requires the *same* query to replay
+//! with the *same* randomness. The driver makes that happen by pinning
+//! its z-seed per cluster — `z` is then a pure function of
+//! `(query, store-version)` instead of fresh per call — so a repeated
+//! aggregation replays its Shamir round without a fresh z exchange.
+//! Callers that pass a fresh seed per call simply never hit, which is the
+//! pre-pinning behaviour.
+//!
+//! **Invalidation rule (per-range version vectors).** The cache never
+//! trusts its own clock: an entry is valid only while the owning
+//! server's *confirmed* range stamps, restricted to the ranges the entry
+//! overlaps, equal the stamps it was computed against. Confirmation
+//! comes from [`ServerCmd::RangeVersions`] probes — O(#ranges) at the
+//! server, a few bytes on the wire — issued lazily whenever a server's
+//! stamps are unknown: at first use, and after any
+//! [`PsiRoundCache::note_upload`] (the facades call it on every
+//! `store`/`bulk_upload`/`delta_upload`, marking the touched server
+//! dirty). Between uploads the stamps are known, so a warm round is
+//! served with **zero** server round-trips; after an upload the next
+//! eligible round probes, drops exactly the entries whose overlapping
+//! stamps moved (counted as invalidations) and re-executes. A delta
+//! upload bumps only the appended range's stamp, so range-scoped entries
+//! over untouched rows stay warm — only whole-domain entries (which
+//! overlap every range, including the new one) re-execute.
 //!
 //! **Why caching is invisible.** Verified operations
-//! ([`QueryOp::PsiVerify`], the permuted copies, the complement binding)
-//! are *never* cached or served: their detection semantics rely on the
-//! servers recomputing under fresh scrutiny, so those rounds always hit
-//! the servers and a tamper injected after warm-up is detected exactly as
-//! it would be without the cache. Tampered servers (noted by the test
-//! facades via [`PsiRoundCache::note_tamper`]) additionally bypass the
-//! cache for *all* rounds — a tampered round is neither served from a
-//! pre-tamper entry (which would mask the tamper) nor written back (which
-//! would outlive it). The transport-conformance suite pins that the full
+//! ([`QueryOp::PsiVerify`], [`QueryOp::SumVerify`], the permuted copies,
+//! the complement binding) are *never* cached or served: their detection
+//! semantics rely on the servers recomputing under fresh scrutiny, so
+//! those rounds always hit the servers and a tamper injected after
+//! warm-up is detected exactly as it would be without the cache.
+//! Tampered servers (noted by the test facades via
+//! [`PsiRoundCache::note_tamper`]) additionally bypass the cache for
+//! *all* rounds — a tampered round is neither served from a pre-tamper
+//! entry (which would mask the tamper) nor written back (which would
+//! outlive it). The transport-conformance suite pins that the full
 //! operation matrix, honest and tampered, is bit-identical with the
 //! decorator on and off.
 
 use crate::engine::{
-    AnnouncerCmd, AnnouncerReply, BatchItem, ExecMeters, QueryOp, RoundOutcome, ServerCmd,
-    ServerExec, ServerReply,
+    AnnouncerCmd, AnnouncerReply, BatchItem, ExecMeters, QueryOp, RangeVersion, RoundOutcome,
+    ServerCmd, ServerExec, ServerReply,
 };
 use crate::error::{ProtocolError, Result};
 use std::collections::HashMap;
@@ -56,21 +76,41 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// One cached per-server round: the store version it was computed
-/// against, and the per-item output vectors.
-type Entry = (u64, Vec<Vec<u64>>);
+/// What identifies a cached per-server round: the server, the round's
+/// item list, its auxiliary `z` vectors (empty for round 1), and its row
+/// range (`None` = whole domain).
+type Key = (usize, Vec<BatchItem>, Vec<Vec<u64>>, Option<(u64, u64)>);
+
+/// One cached per-server round: the store range stamps it was computed
+/// against (restricted to the ranges the round's row range overlaps),
+/// and the per-item output vectors.
+type Entry = (Vec<RangeVersion>, Vec<Vec<u64>>);
+
+/// The range stamps a round over `range` depends on: every store epoch
+/// whose rows intersect it (all of them for a whole-domain round). A
+/// zero-length range depends on nothing and is always warm.
+fn overlapping(stamps: &[RangeVersion], range: Option<(u64, u64)>) -> Vec<RangeVersion> {
+    match range {
+        None => stamps.to_vec(),
+        Some((gs, glen)) => stamps
+            .iter()
+            .filter(|(start, len, _)| gs < start + len && *start < gs + glen)
+            .copied()
+            .collect(),
+    }
+}
 
 #[derive(Debug, Default)]
 struct CacheState {
-    /// Last server-confirmed store version per server; `None` means
+    /// Last server-confirmed store range stamps per server; `None` means
     /// unknown — never probed, or marked dirty by a noted upload.
-    versions: Vec<Option<u64>>,
+    versions: Vec<Option<Vec<RangeVersion>>>,
     /// Servers with a non-honest tamper attached (test injection); their
     /// rounds bypass the cache entirely.
     tampered: Vec<bool>,
-    /// `(server, round items)` → cached reply stamped with the store
-    /// version it was computed against.
-    entries: HashMap<(usize, Vec<BatchItem>), Entry>,
+    /// Round key → cached reply stamped with the overlapping range
+    /// versions it was computed against.
+    entries: HashMap<Key, Entry>,
 }
 
 impl CacheState {
@@ -106,10 +146,11 @@ impl PsiRoundCache {
     }
 
     /// Note that `server`'s store was (or may have been) written: its
-    /// version becomes unknown, so the next eligible round re-probes it
-    /// before serving anything. Entries are dropped lazily, when the
-    /// probe confirms the version actually moved — an upload to one
-    /// server domain never touches another domain's entries.
+    /// range stamps become unknown, so the next eligible round re-probes
+    /// them before serving anything. Entries are dropped lazily, when
+    /// the probe confirms which range stamps actually moved — an upload
+    /// to one server domain never touches another domain's entries, and
+    /// a delta upload never touches entries over untouched ranges.
     pub fn note_upload(&self, server: usize) {
         if let Ok(mut st) = self.state() {
             *CacheState::slot(&mut st.versions, server) = None;
@@ -137,15 +178,22 @@ impl PsiRoundCache {
         }
     }
 
-    /// Drop `server`'s entries — all of them, or only those whose stamp
-    /// differs from `keep_version`. Returns how many were dropped so
-    /// callers can attribute the invalidations to the query that
+    /// Drop `server`'s entries — all of them (`confirmed = None`), or
+    /// only those whose stamps disagree with the server-confirmed range
+    /// stamps over the entry's own range. Returns how many were dropped
+    /// so callers can attribute the invalidations to the query that
     /// triggered the probe (the global counter is bumped here either
     /// way).
-    fn drop_entries(&self, st: &mut CacheState, server: usize, keep_version: Option<u64>) -> u64 {
+    fn drop_entries(
+        &self,
+        st: &mut CacheState,
+        server: usize,
+        confirmed: Option<&[RangeVersion]>,
+    ) -> u64 {
         let before = st.entries.len();
-        st.entries
-            .retain(|(s, _), (v, _)| *s != server || keep_version == Some(*v));
+        st.entries.retain(|(s, _, _, range), (stamps, _)| {
+            *s != server || confirmed.is_some_and(|now| overlapping(now, *range) == *stamps)
+        });
         let dropped = (before - st.entries.len()) as u64;
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
         dropped
@@ -170,7 +218,7 @@ impl PsiRoundCache {
     /// granularity through this).
     pub fn server_entries(&self, server: usize) -> usize {
         self.state()
-            .map(|st| st.entries.keys().filter(|(s, _)| *s == server).count())
+            .map(|st| st.entries.keys().filter(|(s, ..)| *s == server).count())
             .unwrap_or(0)
     }
 
@@ -185,25 +233,34 @@ impl PsiRoundCache {
     }
 }
 
-/// Is this command a cache-eligible round-1 batch? Only operations whose
-/// reply is a pure function of the stored columns qualify: plain PSI,
-/// PSU, and the count round. Anything carrying auxiliary `z` vectors
-/// (fresh per-query randomness) or verification semantics passes through
-/// to the servers untouched.
-fn eligible_items(cmd: &ServerCmd) -> Option<&[BatchItem]> {
-    match cmd {
-        ServerCmd::Run(batch)
-            if batch.zs.is_empty()
-                && !batch.items.is_empty()
-                && batch.items.iter().all(|item| {
-                    item.z.is_none()
-                        && matches!(item.op, QueryOp::Psi | QueryOp::Psu | QueryOp::Count)
-                }) =>
-        {
-            Some(&batch.items)
-        }
-        _ => None,
+/// Is this command a cache-eligible batch? Only rounds whose reply is a
+/// pure function of the stored columns and the round's own inputs
+/// qualify: round 1 (plain PSI, PSU, and the count round, no auxiliary
+/// vectors) and plain Shamir aggregation rounds (`Sum`/`SumCounts`,
+/// whose replies are deterministic in the stored shares and the `z`
+/// vectors carried by the batch). Anything with verification semantics
+/// passes through to the servers untouched.
+/// Borrowed view of a round's cache key: its item list, its auxiliary
+/// `z` vectors, and its row range (`None` = whole domain).
+type KeyView<'c> = (&'c [BatchItem], &'c [Vec<u64>], Option<(u64, u64)>);
+
+fn eligible_key(cmd: &ServerCmd) -> Option<KeyView<'_>> {
+    let ServerCmd::Run(batch) = cmd else {
+        return None;
+    };
+    if batch.items.is_empty() {
+        return None;
     }
+    let round1 = batch.zs.is_empty()
+        && batch.items.iter().all(|item| {
+            item.z.is_none() && matches!(item.op, QueryOp::Psi | QueryOp::Psu | QueryOp::Count)
+        });
+    let round2 = !batch.zs.is_empty()
+        && batch
+            .items
+            .iter()
+            .all(|item| matches!(item.op, QueryOp::Sum(_) | QueryOp::SumCounts));
+    (round1 || round2).then_some((&batch.items, &batch.zs, batch.range))
 }
 
 /// The transparent caching decorator: a [`ServerExec`] over any inner
@@ -226,18 +283,22 @@ impl<'c, X: ServerExec> CachedExec<'c, X> {
         CachedExec { inner, cache }
     }
 
-    /// Probe the store versions of `servers` through the inner backend
-    /// (one [`ServerCmd::Version`] round) and record them, dropping any
-    /// entry whose stamp the confirmed version proves stale. Returns the
-    /// probe's server-side cost and per-call meters (the inner round's
-    /// own meters plus the invalidations the probe caused) so the caller
-    /// can charge both to the query that triggered it — the probe is a
-    /// real round-trip, just not a plan-visible round.
+    /// Probe the store range stamps of `servers` through the inner
+    /// backend (one [`ServerCmd::RangeVersions`] round) and record them,
+    /// dropping any entry whose overlapping stamps the confirmed state
+    /// proves stale. Returns the probe's server-side cost and per-call
+    /// meters (the inner round's own meters plus the invalidations the
+    /// probe caused) so the caller can charge both to the query that
+    /// triggered it — the probe is a real round-trip, just not a
+    /// plan-visible round.
     fn refresh_versions(&self, servers: &[usize]) -> Result<(Duration, ExecMeters)> {
         if servers.is_empty() {
             return Ok((Duration::ZERO, ExecMeters::default()));
         }
-        let cmds = servers.iter().map(|&s| (s, ServerCmd::Version)).collect();
+        let cmds = servers
+            .iter()
+            .map(|&s| (s, ServerCmd::RangeVersions))
+            .collect();
         let RoundOutcome {
             replies,
             cost: probe_cost,
@@ -251,14 +312,14 @@ impl<'c, X: ServerExec> CachedExec<'c, X> {
         let mut st = self.cache.state()?;
         for (&s, reply) in servers.iter().zip(replies) {
             let v = match reply {
-                ServerReply::Version(v) => v,
+                ServerReply::Versions(v) => v,
                 _ => {
                     return Err(ProtocolError::MalformedResponse(
-                        "expected a version reply to a version probe",
+                        "expected range stamps in reply to a version probe",
                     ))
                 }
             };
-            meters.cache_invalidations += self.cache.drop_entries(&mut st, s, Some(v));
+            meters.cache_invalidations += self.cache.drop_entries(&mut st, s, Some(&v));
             *CacheState::slot(&mut st.versions, s) = Some(v);
         }
         Ok((probe_cost, meters))
@@ -270,14 +331,12 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
         // The round is cacheable only if *every* command is an eligible
         // batch and no participating server is tampered — partial
         // service would split one owner↔server round in two.
-        let keys: Option<Vec<(usize, &[BatchItem])>> = {
+        let keys: Option<Vec<(usize, KeyView<'_>)>> = {
             let st = self.cache.state()?;
             cmds.iter()
                 .map(|(s, cmd)| {
                     let tampered = st.tampered.get(*s).copied().unwrap_or(false);
-                    eligible_items(cmd)
-                        .filter(|_| !tampered)
-                        .map(|items| (*s, items))
+                    eligible_key(cmd).filter(|_| !tampered).map(|key| (*s, key))
                 })
                 .collect()
         };
@@ -285,28 +344,28 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
             return self.inner.round(cmds);
         };
 
-        // Confirm the version vector: probe any participant whose store
-        // version is unknown (first use, or dirty after a noted upload).
+        // Confirm the stamp vectors: probe any participant whose range
+        // stamps are unknown (first use, or dirty after a noted upload).
         let unknown: Vec<usize> = {
             let st = self.cache.state()?;
             keys.iter()
                 .map(|&(s, _)| s)
-                .filter(|&s| st.versions.get(s).copied().flatten().is_none())
+                .filter(|&s| st.versions.get(s).map_or(true, Option::is_none))
                 .collect()
         };
         let (probe_cost, probe_meters) = self.refresh_versions(&unknown)?;
 
         // Serve the whole round iff every participant has a live entry
-        // stamped with its confirmed version.
+        // whose stamps match the confirmed state over the entry's range.
         {
             let st = self.cache.state()?;
             let served: Option<Vec<ServerReply>> = keys
                 .iter()
-                .map(|&(s, items)| {
-                    let version = st.versions.get(s).copied().flatten()?;
+                .map(|&(s, (items, zs, range))| {
+                    let confirmed = st.versions.get(s)?.as_deref()?;
                     st.entries
-                        .get(&(s, items.to_vec()))
-                        .filter(|(stamp, _)| *stamp == version)
+                        .get(&(s, items.to_vec(), zs.to_vec(), range))
+                        .filter(|(stamps, _)| overlapping(confirmed, range) == *stamps)
                         .map(|(_, outs)| ServerReply::Vectors(outs.clone()))
                 })
                 .collect();
@@ -322,18 +381,25 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
             }
         }
 
-        // Miss: execute for real, then stamp the replies with the
+        // Miss: execute for real, then stamp the replies with the range
         // versions confirmed *before* the round ran — if an upload races
-        // in between, the stamp is conservatively old and the entry dies
-        // at the next probe instead of ever serving stale rows.
-        let stamps: Vec<Option<u64>> = {
+        // in between, the stamps are conservatively old and the entry
+        // dies at the next probe instead of ever serving stale rows.
+        let stamps: Vec<Option<Vec<RangeVersion>>> = {
             let st = self.cache.state()?;
             keys.iter()
-                .map(|&(s, _)| st.versions.get(s).copied().flatten())
+                .map(|&(s, (_, _, range))| {
+                    st.versions
+                        .get(s)
+                        .and_then(|v| v.as_deref())
+                        .map(|v| overlapping(v, range))
+                })
                 .collect()
         };
-        let owned_keys: Vec<(usize, Vec<BatchItem>)> =
-            keys.iter().map(|&(s, items)| (s, items.to_vec())).collect();
+        let owned_keys: Vec<Key> = keys
+            .iter()
+            .map(|&(s, (items, zs, range))| (s, items.to_vec(), zs.to_vec(), range))
+            .collect();
         let RoundOutcome {
             replies,
             cost,
@@ -341,9 +407,9 @@ impl<X: ServerExec> ServerExec for CachedExec<'_, X> {
         } = self.inner.round(cmds)?;
         self.cache.misses.fetch_add(1, Ordering::Relaxed);
         let mut st = self.cache.state()?;
-        for (((s, items), stamp), reply) in owned_keys.into_iter().zip(stamps).zip(&replies) {
+        for ((key, stamp), reply) in owned_keys.into_iter().zip(stamps).zip(&replies) {
             if let (Some(stamp), ServerReply::Vectors(outs)) = (stamp, reply) {
-                st.entries.insert((s, items), (stamp, outs.clone()));
+                st.entries.insert(key, (stamp, outs.clone()));
             }
         }
         drop(st);
@@ -384,28 +450,63 @@ mod tests {
             zs: Vec::new(),
             items,
             threads: 1,
+            range: None,
         })
     }
 
+    fn agg_cmd(items: Vec<BatchItem>, zs: Vec<Vec<u64>>) -> ServerCmd {
+        ServerCmd::Run(BatchQuery {
+            zs,
+            items,
+            threads: 1,
+            range: None,
+        })
+    }
+
+    fn key(items: Vec<BatchItem>) -> Key {
+        (0, items, Vec::new(), None)
+    }
+
     #[test]
-    fn eligibility_is_store_deterministic_round1_only() {
-        assert!(eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::Psi)])).is_some());
-        assert!(eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::Psu)])).is_some());
-        assert!(eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::Count)])).is_some());
+    fn eligibility_covers_round1_and_plain_aggregation() {
+        assert!(eligible_key(&run_cmd(vec![BatchItem::plain(QueryOp::Psi)])).is_some());
+        assert!(eligible_key(&run_cmd(vec![BatchItem::plain(QueryOp::Psu)])).is_some());
+        assert!(eligible_key(&run_cmd(vec![BatchItem::plain(QueryOp::Count)])).is_some());
         // Verification items never qualify.
-        assert!(eligible_items(&run_cmd(vec![
+        assert!(eligible_key(&run_cmd(vec![
             BatchItem::plain(QueryOp::Psi),
             BatchItem::plain(QueryOp::PsiVerify),
         ]))
         .is_none());
-        assert!(
-            eligible_items(&run_cmd(vec![BatchItem::plain(QueryOp::CountVerify(1))])).is_none()
-        );
-        // Aggregations carry fresh z randomness.
-        assert!(eligible_items(&run_cmd(vec![BatchItem::with_z(QueryOp::Sum(0), 0)])).is_none());
+        assert!(eligible_key(&run_cmd(vec![BatchItem::plain(QueryOp::CountVerify(1))])).is_none());
+        // Plain Shamir aggregations with their z vectors qualify
+        // (round-2 caching); verified aggregations never do.
+        assert!(eligible_key(&agg_cmd(
+            vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
+            vec![vec![1, 2, 3]],
+        ))
+        .is_some());
+        assert!(eligible_key(&agg_cmd(
+            vec![BatchItem::with_z(QueryOp::SumCounts, 0)],
+            vec![vec![1, 2, 3]],
+        ))
+        .is_some());
+        assert!(eligible_key(&agg_cmd(
+            vec![
+                BatchItem::with_z(QueryOp::Sum(0), 0),
+                BatchItem::with_z(QueryOp::SumVerify(0), 1),
+            ],
+            vec![vec![1], vec![2]],
+        ))
+        .is_none());
+        // An aggregation item with no z round carries fresh state per
+        // call only through zs; zs empty + z item index means ineligible
+        // round-1 shape.
+        assert!(eligible_key(&run_cmd(vec![BatchItem::with_z(QueryOp::Sum(0), 0)])).is_none());
         // Empty batches and non-Run commands pass through.
-        assert!(eligible_items(&run_cmd(Vec::new())).is_none());
-        assert!(eligible_items(&ServerCmd::Version).is_none());
+        assert!(eligible_key(&run_cmd(Vec::new())).is_none());
+        assert!(eligible_key(&ServerCmd::Version).is_none());
+        assert!(eligible_key(&ServerCmd::RangeVersions).is_none());
     }
 
     #[test]
@@ -413,13 +514,13 @@ mod tests {
         let cache = PsiRoundCache::new();
         {
             let mut st = cache.state().unwrap();
-            *CacheState::slot(&mut st.versions, 0) = Some(3);
-            *CacheState::slot(&mut st.versions, 1) = Some(4);
+            *CacheState::slot(&mut st.versions, 0) = Some(vec![(0, 8, 3)]);
+            *CacheState::slot(&mut st.versions, 1) = Some(vec![(0, 8, 4)]);
         }
         cache.note_upload(0);
         let st = cache.state().unwrap();
         assert_eq!(st.versions[0], None);
-        assert_eq!(st.versions[1], Some(4));
+        assert_eq!(st.versions[1], Some(vec![(0, 8, 4)]));
     }
 
     #[test]
@@ -427,14 +528,14 @@ mod tests {
         let cache = PsiRoundCache::new();
         {
             let mut st = cache.state().unwrap();
-            *CacheState::slot(&mut st.versions, 0) = Some(5);
+            *CacheState::slot(&mut st.versions, 0) = Some(vec![(0, 8, 5)]);
             st.entries.insert(
-                (0, vec![BatchItem::plain(QueryOp::Psi)]),
-                (5, vec![vec![7]]),
+                key(vec![BatchItem::plain(QueryOp::Psi)]),
+                (vec![(0, 8, 5)], vec![vec![7]]),
             );
             st.entries.insert(
-                (1, vec![BatchItem::plain(QueryOp::Count)]),
-                (3, vec![vec![8]]),
+                (1, vec![BatchItem::plain(QueryOp::Count)], Vec::new(), None),
+                (vec![(0, 8, 3)], vec![vec![8]]),
             );
         }
         cache.invalidate_all();
@@ -453,17 +554,70 @@ mod tests {
         {
             let mut st = cache.state().unwrap();
             st.entries.insert(
-                (0, vec![BatchItem::plain(QueryOp::Psi)]),
-                (1, vec![vec![7]]),
+                key(vec![BatchItem::plain(QueryOp::Psi)]),
+                (vec![(0, 8, 1)], vec![vec![7]]),
             );
             st.entries.insert(
-                (1, vec![BatchItem::plain(QueryOp::Psi)]),
-                (1, vec![vec![8]]),
+                (1, vec![BatchItem::plain(QueryOp::Psi)], Vec::new(), None),
+                (vec![(0, 8, 1)], vec![vec![8]]),
             );
         }
         cache.note_tamper(0, false);
         assert_eq!(cache.server_entries(0), 0);
         assert_eq!(cache.server_entries(1), 1);
         assert_eq!(cache.invalidations(), 1);
+    }
+
+    #[test]
+    fn delta_bump_invalidates_only_overlapping_entries() {
+        let cache = PsiRoundCache::new();
+        {
+            let mut st = cache.state().unwrap();
+            // Whole-domain entry over stamps [(0,8,1)], plus a
+            // range-scoped entry over rows [0,4).
+            st.entries.insert(
+                key(vec![BatchItem::plain(QueryOp::Psi)]),
+                (vec![(0, 8, 1)], vec![vec![7]]),
+            );
+            st.entries.insert(
+                (
+                    0,
+                    vec![BatchItem::plain(QueryOp::Psi)],
+                    Vec::new(),
+                    Some((0, 4)),
+                ),
+                (vec![(0, 8, 1)], vec![vec![7, 7, 7, 7]]),
+            );
+        }
+        // A delta appended rows [8,12): the confirmed stamps gain a new
+        // epoch but the old epoch is untouched.
+        let confirmed = vec![(0u64, 8u64, 1u64), (8, 4, 1)];
+        {
+            let mut st = cache.state().unwrap();
+            let dropped = cache.drop_entries(&mut st, 0, Some(&confirmed));
+            assert_eq!(dropped, 1, "only the whole-domain entry is stale");
+        }
+        assert_eq!(cache.server_entries(0), 1);
+        // A full re-upload moves every stamp: the range entry dies too.
+        let rewritten = vec![(0u64, 8u64, 2u64), (8, 4, 2)];
+        {
+            let mut st = cache.state().unwrap();
+            let dropped = cache.drop_entries(&mut st, 0, Some(&rewritten));
+            assert_eq!(dropped, 1);
+        }
+        assert_eq!(cache.server_entries(0), 0);
+    }
+
+    #[test]
+    fn overlapping_restricts_to_intersecting_epochs() {
+        let stamps = vec![(0u64, 4u64, 2u64), (4, 4, 1), (8, 4, 1)];
+        assert_eq!(overlapping(&stamps, None), stamps);
+        assert_eq!(overlapping(&stamps, Some((0, 4))), vec![(0, 4, 2)]);
+        assert_eq!(
+            overlapping(&stamps, Some((2, 8))),
+            vec![(0, 4, 2), (4, 4, 1), (8, 4, 1)]
+        );
+        assert_eq!(overlapping(&stamps, Some((8, 4))), vec![(8, 4, 1)]);
+        assert!(overlapping(&stamps, Some((4, 0))).is_empty());
     }
 }

@@ -27,7 +27,7 @@ use crate::params::{Initiator, Setup, SystemConfig};
 use crate::plans;
 use crate::shard::{ShardedExec, ShardedNode};
 use crate::tables::{share_indicator, share_payload};
-use prism_core::Prg;
+use prism_core::{Permutation, Prg};
 
 pub use crate::engine::QueryStats;
 pub use crate::plans::{AggResult, Aggregate, PsiOutcome, QueryBatch};
@@ -231,6 +231,131 @@ fn outsource_owner(
     Ok(st)
 }
 
+/// The appended-block permutations one growth epoch shares across every
+/// owner's delta: the tails of the grown family's four permutations,
+/// which [`crate::params::Setup::grow`] guarantees are block-diagonal at
+/// the append point.
+struct DeltaBlocks {
+    db1: Permutation,
+    db2: Permutation,
+    s1: Permutation,
+    s2: Permutation,
+}
+
+impl DeltaBlocks {
+    fn of(grown: &Setup, start: usize) -> Result<DeltaBlocks> {
+        let tail = |p: &Permutation| {
+            p.tail_block(start).ok_or_else(|| {
+                ProtocolError::ParameterMismatch(
+                    "grown permutation family is not block-diagonal at the append point".into(),
+                )
+            })
+        };
+        Ok(DeltaBlocks {
+            db1: tail(&grown.family.pf_db1)?,
+            db2: tail(&grown.family.pf_db2)?,
+            s1: tail(&grown.family.pf_s1)?,
+            s2: tail(&grown.family.pf_s2)?,
+        })
+    }
+}
+
+/// Build owner `j`'s plaintext tables for the appended segment
+/// `[start, start + added)`, share them into the server nodes as a delta
+/// upload, and return the owner-side state for the segment. The column
+/// set and share-draw order mirror [`outsource_owner`] exactly, but over
+/// `added` cells; the verification copies are permuted by the appended
+/// *block* of each owner permutation (block-diagonal growth means the
+/// full permuted column's appended segment is exactly the block applied
+/// to the segment).
+#[allow(clippy::too_many_arguments)]
+fn outsource_owner_delta(
+    nodes: &mut [ShardedNode],
+    op: &OwnerParams,
+    cfg: &ClusterConfig,
+    n_attrs: usize,
+    j: usize,
+    start: usize,
+    added: usize,
+    input: &OwnerInput,
+    prg_seed: u64,
+    blocks: &DeltaBlocks,
+) -> Result<OwnerState> {
+    let mut indicator = vec![0u64; added];
+    let mut counts = vec![0u64; added];
+    let mut st = OwnerState {
+        sums: vec![vec![0; added]; n_attrs],
+        maxima: vec![vec![0; added]; n_attrs],
+    };
+    for (set_v, aggs) in &input.rows {
+        let cell = set_v
+            .checked_sub(1)
+            .map(|c| c as usize)
+            .filter(|&c| c >= start && c < start + added)
+            .ok_or_else(|| ProtocolError::OutOfDomain {
+                value: format!(
+                    "owner {j} delta: {set_v} (appended cells are {}..={})",
+                    start + 1,
+                    start + added
+                ),
+            })?;
+        let i = cell - start;
+        indicator[i] = 1;
+        counts[i] += 1;
+        for (a, &v) in aggs.iter().enumerate() {
+            st.sums[a][i] = st.sums[a][i].wrapping_add(v);
+            st.maxima[a][i] = st.maxima[a][i].max(v);
+        }
+    }
+
+    let mut prg = Prg::from_seed(prg_seed);
+    let mut cols: Vec<Vec<(Column, Vec<u64>)>> = vec![Vec::new(); nodes.len()];
+    let ind = share_indicator(&indicator, op.delta, &mut prg);
+    let [s0, s1] = ind.shares;
+    cols[0].push((Column::Ok, s0));
+    cols[1].push((Column::Ok, s1));
+    if cfg.with_verification {
+        let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+        let v = share_indicator(&blocks.db1.apply(&complement), op.delta, &mut prg);
+        let [v0, v1] = v.shares;
+        cols[0].push((Column::VOk, v0));
+        cols[1].push((Column::VOk, v1));
+        let c1 = share_indicator(&blocks.db1.apply(&indicator), op.delta, &mut prg);
+        let c2 = share_indicator(&blocks.db2.apply(&indicator), op.delta, &mut prg);
+        let [a0, a1] = c1.shares;
+        let [b0, b1] = c2.shares;
+        cols[0].push((Column::OkDb1, a0));
+        cols[1].push((Column::OkDb1, a1));
+        cols[0].push((Column::OkDb2, b0));
+        cols[1].push((Column::OkDb2, b1));
+    }
+    if cfg.with_aggregation {
+        for a in 0..n_attrs {
+            let p = share_payload(&st.sums[a], &op.field, &mut prg);
+            for (k, sh) in p.shares.into_iter().enumerate() {
+                cols[k].push((Column::Agg(a as u8), sh));
+            }
+            if cfg.with_verification {
+                let vp = share_payload(&blocks.db1.apply(&st.sums[a]), &op.field, &mut prg);
+                for (k, sh) in vp.shares.into_iter().enumerate() {
+                    cols[k].push((Column::VAgg(a as u8), sh));
+                }
+            }
+        }
+        let c = share_payload(&counts, &op.field, &mut prg);
+        for (k, sh) in c.shares.into_iter().enumerate() {
+            cols[k].push((Column::AOk, sh));
+        }
+    }
+    for (k, columns) in cols.into_iter().enumerate() {
+        if columns.is_empty() {
+            continue;
+        }
+        nodes[k].delta_upload(j, start, columns, Some((&blocks.s1, &blocks.s2)))?;
+    }
+    Ok(st)
+}
+
 impl Cluster {
     /// Phase 0 + Phase 1: set up parameters and outsource every owner's
     /// data as shares into the server nodes.
@@ -388,6 +513,68 @@ impl Cluster {
             prg_seed,
         )?;
         self.owners[owner] = st;
+        if let Some(cache) = &self.cache {
+            for server in 0..self.nodes.len() {
+                cache.note_upload(server);
+            }
+        }
+        Ok(())
+    }
+
+    /// Streaming append (delta upload): grow the domain by `added` cells
+    /// and upload every owner's rows for the appended segment (global set
+    /// values in `b+1 ..= b+added`) as share deltas. Existing rows and
+    /// their shares are untouched — only the appended range's version
+    /// moves at each server, so with [`ClusterConfig::cache`] set the
+    /// PSI-round cache *keeps* its entries for untouched ranges (they
+    /// revalidate by version probe) instead of dropping everything the
+    /// way a full [`Cluster::update_owner`] re-outsourcing does.
+    pub fn append(&mut self, added: usize, inputs: &[OwnerInput]) -> Result<()> {
+        if inputs.len() != self.owners.len() {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "append carries {} owner deltas, cluster has {} owners",
+                inputs.len(),
+                self.owners.len()
+            )));
+        }
+        for (j, input) in inputs.iter().enumerate() {
+            if input
+                .rows
+                .iter()
+                .any(|(_, aggs)| aggs.len() != self.n_attrs)
+            {
+                return Err(ProtocolError::ParameterMismatch(format!(
+                    "owner {j} delta has rows with the wrong attribute count \
+                     (cluster has {} attributes)",
+                    self.n_attrs
+                )));
+            }
+        }
+        let start = self.setup.owner.b;
+        self.updates += 1;
+        let grown = self.setup.grow(added, self.updates, self.cfg.seed)?;
+        let blocks = DeltaBlocks::of(&grown, start)?;
+        for (j, input) in inputs.iter().enumerate() {
+            let prg_seed = self.cfg.seed
+                ^ (0xDE17A + j as u64 + (self.updates << 20)).wrapping_mul(0x9E3779B97F4A7C15);
+            let st = outsource_owner_delta(
+                &mut self.nodes,
+                &grown.owner,
+                &self.cfg,
+                self.n_attrs,
+                j,
+                start,
+                added,
+                input,
+                prg_seed,
+                &blocks,
+            )?;
+            for a in 0..self.n_attrs {
+                self.owners[j].sums[a].extend_from_slice(&st.sums[a]);
+                self.owners[j].maxima[a].extend_from_slice(&st.maxima[a]);
+            }
+        }
+        self.setup = grown;
         if let Some(cache) = &self.cache {
             for server in 0..self.nodes.len() {
                 cache.note_upload(server);
@@ -557,6 +744,37 @@ impl Cluster {
             batch,
             seed: self.z_seed(),
         })
+    }
+
+    /// [`Cluster::psi_query_batch`] restricted to the row window
+    /// `[range.0, range.0 + range.1)` — the streaming-workload shape:
+    /// after an append, query just the fresh window cold while every
+    /// untouched window's rounds replay from the cache. Results are
+    /// bit-identical to slicing a full-domain query to the window.
+    pub fn psi_query_batch_range(
+        &self,
+        batch: &QueryBatch,
+        range: (u64, u64),
+    ) -> Result<(Vec<AggResult>, QueryStats)> {
+        for agg in &batch.aggs {
+            match *agg {
+                Aggregate::Sum(a) | Aggregate::Avg(a) => self.require_agg(a as usize)?,
+                Aggregate::CountTuples => self.require_agg(0)?,
+            }
+        }
+        let sharded = ShardedExec::new(&self.nodes, &self.announcer);
+        let cached = self.cache.as_ref().map(|c| CachedExec::new(&sharded, c));
+        let exec: &dyn ServerExec = match &cached {
+            Some(c) => c,
+            None => &sharded,
+        };
+        Engine::new(&exec, &self.setup.owner)
+            .with_threads(self.cfg.threads)
+            .with_range(range.0, range.1)
+            .run(&plans::Batch {
+                batch,
+                seed: self.z_seed(),
+            })
     }
 
     /// PSI maximum with the identity round (§6.3, all three rounds) and
@@ -910,6 +1128,69 @@ mod tests {
         let (_, vstats) = cached.psi_verified().unwrap();
         assert_eq!(vstats.rounds, 1);
         assert_eq!(vstats.cache_hits, 0);
+    }
+
+    #[test]
+    fn append_keeps_untouched_window_warm_and_matches_the_oracle() {
+        let mk = |cache| {
+            let mut cfg = ClusterConfig::new(3).with_cache(cache);
+            cfg.seed = 31;
+            cfg.agg_domain_max = 2000;
+            Cluster::build(&hospitals(), cfg).unwrap()
+        };
+        let mut cached = mk(true);
+        let mut oracle = mk(false);
+        let batch = QueryBatch::new().sum(0).avg(0);
+        // Warm the original window [0, 3) — both rounds.
+        let _ = cached.psi_query_batch_range(&batch, (0, 3)).unwrap();
+        // Append two cells; every owner's delta rows land in 4..=5.
+        let delta = vec![
+            OwnerInput {
+                rows: vec![(4, vec![10, 1])],
+            },
+            OwnerInput {
+                rows: vec![(4, vec![20, 2]), (5, vec![5, 5])],
+            },
+            OwnerInput {
+                rows: vec![(4, vec![30, 3])],
+            },
+        ];
+        cached.append(2, &delta).unwrap();
+        oracle.append(2, &delta).unwrap();
+        assert_eq!(cached.setup.owner.b, 5);
+        // The untouched window replays both rounds from the cache: zero
+        // server round-trips even though the append moved the stores.
+        let (got, stats) = cached.psi_query_batch_range(&batch, (0, 3)).unwrap();
+        let (want, _) = oracle.psi_query_batch_range(&batch, (0, 3)).unwrap();
+        assert_eq!(got, want, "stale window served after an append");
+        assert_eq!(stats.rounds, 0, "untouched window must replay from cache");
+        assert_eq!(stats.cache_hits, 2);
+        // Full-domain results over the grown domain match bit for bit;
+        // cell 4 is common to all three owners (sum 10+20+30).
+        let (got, _) = cached.psi_query_batch(&batch).unwrap();
+        let (want, _) = oracle.psi_query_batch(&batch).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got[0], AggResult::Sums(vec![1400, 0, 0, 60, 0]));
+        // Owner-side max/median state grew with the append.
+        let (maxes, _, _) = cached.psi_max(0).unwrap();
+        assert_eq!(
+            maxes.iter().map(|c| c.max).collect::<Vec<_>>(),
+            vec![700, 30]
+        );
+    }
+
+    #[test]
+    fn append_rejects_rows_outside_the_appended_window() {
+        let mut c = hospital_cluster(32);
+        let delta = vec![
+            OwnerInput {
+                rows: vec![(2, vec![1, 1])], // existing cell, not appended
+            },
+            OwnerInput::default(),
+            OwnerInput::default(),
+        ];
+        assert!(c.append(1, &delta).is_err());
+        assert!(c.append(0, &[]).is_err(), "empty append must be rejected");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::median::{self, MedianAnnouncement};
 use crate::params::{AnnouncerParams, OwnerParams, ServerParams};
 use crate::{psi, psu, sum};
 use prism_core::wide::WideVec;
+use prism_core::Permutation;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -149,6 +150,13 @@ pub struct BatchQuery {
     pub items: Vec<BatchItem>,
     /// Worker threads the server should use.
     pub threads: u32,
+    /// Restrict evaluation to the global row range `(start, len)`; `None`
+    /// evaluates the whole domain. Only operations without a finishing
+    /// output permutation ([`QueryOp::finish_perm`] → `None`) compose over
+    /// a sub-range — the permuted rounds shuffle the *whole* domain and a
+    /// node rejects them when a range is set. Auxiliary `zs` vectors are
+    /// range-length when a range is set.
+    pub range: Option<(u64, u64)>,
 }
 
 /// A command the owner side issues to one server within a round.
@@ -176,6 +184,11 @@ pub enum ServerCmd {
     /// ([`crate::cache`]) uses to validate its entries without rerunning
     /// any stored-column work.
     Version,
+    /// Probe the server's per-range version stamps (see
+    /// [`ColumnStore::range_versions`]) — the delta-upload-aware sibling
+    /// of [`ServerCmd::Version`], O(#epochs), reported in **global** row
+    /// coordinates so sharded backends can concatenate worker replies.
+    RangeVersions,
 }
 
 /// A server's reply to one [`ServerCmd`].
@@ -213,6 +226,10 @@ pub enum ServerReply {
     /// version. Never reaches a plan — only the caching decorator
     /// ([`crate::cache::CachedExec`]) issues version probes.
     Version(u64),
+    /// Reply to [`ServerCmd::RangeVersions`]: the store's per-range
+    /// version stamps `(start, len, version)` in global row coordinates,
+    /// ordered by start. Never reaches a plan.
+    Versions(Vec<RangeVersion>),
 }
 
 /// A request to the announcer (max/median only). The operand matrices are
@@ -406,6 +423,14 @@ impl RoundOutcome {
     }
 }
 
+/// One row-range epoch of a [`ColumnStore`]: `(start, len, version)` in
+/// this store's local row coordinates. A full (Phase-1) upload covers the
+/// whole store with one epoch; every delta upload appends (or re-touches)
+/// one more. The version stamps are the cache's invalidation signal at
+/// range granularity: an entry scoped to rows an upload never touched
+/// keeps matching its stamps and stays warm.
+pub type RangeVersion = (u64, u64, u64);
+
 /// Per-owner share columns stored at one server (the owner uploads these
 /// in Phase 1; Table 11's layout).
 #[derive(Debug, Default)]
@@ -417,12 +442,14 @@ pub struct ColumnStore {
     a_ok: Vec<Vec<u64>>,
     agg: Vec<Vec<Vec<u64>>>,
     v_agg: Vec<Vec<Vec<u64>>>,
-    /// Monotonic store version: bumped by every [`ColumnStore::store`]
-    /// (so a bulk upload bumps once per column it carries). This is the
-    /// invalidation signal the cross-query PSI-round cache keys on — any
-    /// write moves the version, so a cached round stamped with an older
-    /// version can never be served again.
-    version: u64,
+    /// Per-range version stamps, ordered by `start`. Every
+    /// [`ColumnStore::store`] bumps *all* epochs (a full-column write
+    /// dirties the whole store); [`ColumnStore::bump_range`] bumps (or
+    /// creates) exactly the appended range. The scalar
+    /// [`ColumnStore::version`] is the sum of the stamps, so it stays
+    /// monotonic: any write moves it, and a cached round stamped with an
+    /// older version can never be served again.
+    epochs: Vec<RangeVersion>,
 }
 
 impl ColumnStore {
@@ -445,19 +472,59 @@ impl ColumnStore {
     }
 
     /// Store one owner's share vector for `column`, bumping the store
-    /// version.
+    /// version (every epoch's stamp — a full-column write dirties the
+    /// whole store).
     pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
+        let len = data.len() as u64;
         let slot = self.slot(column);
         if slot.len() <= owner {
             slot.resize(owner + 1, Vec::new());
         }
         slot[owner] = data;
-        self.version += 1;
+        if self.epochs.is_empty() {
+            self.epochs.push((0, len, 0));
+        }
+        for e in &mut self.epochs {
+            e.2 += 1;
+        }
     }
 
-    /// The store's monotonic version (0 = nothing ever stored).
+    /// Append one owner's delta segment to `column` starting at local row
+    /// `start` (the column is zero-padded up to `start` if it was never
+    /// stored — servers tolerate partial uploads the same way
+    /// [`ColumnStore::store`] does). Does **not** touch the version
+    /// stamps; the caller bumps exactly once per owner-delta via
+    /// [`ColumnStore::bump_range`] after appending every column it
+    /// carries.
+    pub fn append(&mut self, owner: usize, column: Column, data: Vec<u64>, start: usize) {
+        let slot = self.slot(column);
+        if slot.len() <= owner {
+            slot.resize(owner + 1, Vec::new());
+        }
+        let col = &mut slot[owner];
+        col.resize(start, 0);
+        col.extend_from_slice(&data);
+    }
+
+    /// Bump the version stamp of the range `[start, start+len)`, creating
+    /// the epoch if this is the first delta touching it.
+    pub fn bump_range(&mut self, start: u64, len: u64) {
+        match self.epochs.iter_mut().find(|e| e.0 == start && e.1 == len) {
+            Some(e) => e.2 += 1,
+            None => self.epochs.push((start, len, 1)),
+        }
+    }
+
+    /// The store's monotonic version (0 = nothing ever stored): the sum
+    /// of the per-range stamps.
     pub fn version(&self) -> u64 {
-        self.version
+        self.epochs.iter().map(|e| e.2).sum()
+    }
+
+    /// The per-range version stamps, ordered by range start (local row
+    /// coordinates; empty = nothing ever stored).
+    pub fn range_versions(&self) -> &[RangeVersion] {
+        &self.epochs
     }
 
     fn col(&self, column: Column) -> &[Vec<u64>] {
@@ -589,9 +656,97 @@ impl ServerNode {
         self.store.store(owner, column, data);
     }
 
+    /// Append one owner's delta segment (all its columns share one
+    /// appended row range) starting at **local** row `start`.
+    ///
+    /// The first delta reaching past the current domain end grows the
+    /// node: `b` extends by the segment length and the output permutations
+    /// extend block-diagonally — with the explicit `perm_ext`
+    /// `(pf_s1, pf_s2)` blocks when the caller holds the real family
+    /// (domain-level nodes), or with identity blocks when it doesn't
+    /// (row-range shard workers, whose permutations are identity anyway;
+    /// see [`crate::shard`]). Subsequent owners' deltas for the same range
+    /// just append and re-bump that range's version stamp. Growth resets
+    /// the session-cached PSU blinding slice, which is length-dependent.
+    pub fn delta_upload(
+        &mut self,
+        owner: usize,
+        start: usize,
+        columns: Vec<(Column, Vec<u64>)>,
+        perm_ext: Option<(&Permutation, &Permutation)>,
+    ) -> Result<()> {
+        let added = match columns.first() {
+            Some((_, data)) => data.len(),
+            None => {
+                return Err(ProtocolError::ParameterMismatch(
+                    "delta upload carries no columns".into(),
+                ))
+            }
+        };
+        if added == 0 || columns.iter().any(|(_, d)| d.len() != added) {
+            return Err(ProtocolError::ParameterMismatch(
+                "delta upload columns must share one non-empty appended range".into(),
+            ));
+        }
+        if start + added > self.params.b {
+            // First delta of a new epoch: grow the domain. Appends must be
+            // contiguous — a gap would desynchronize the PSU blinding
+            // stream's global cell order.
+            if start != self.params.b {
+                return Err(ProtocolError::ParameterMismatch(format!(
+                    "delta upload at rows [{start}, {}) must append at the domain end {}",
+                    start + added,
+                    self.params.b
+                )));
+            }
+            let (e1, e2) = match perm_ext {
+                Some((e1, e2)) => {
+                    if e1.len() != added || e2.len() != added {
+                        return Err(ProtocolError::ParameterMismatch(format!(
+                            "permutation extension blocks must cover the appended range \
+                             ({added} rows, got {} and {})",
+                            e1.len(),
+                            e2.len()
+                        )));
+                    }
+                    (e1.clone(), e2.clone())
+                }
+                None => (Permutation::identity(added), Permutation::identity(added)),
+            };
+            self.params.pf_s1 = self.params.pf_s1.concat(&e1);
+            self.params.pf_s2 = self.params.pf_s2.concat(&e2);
+            self.params.b = start + added;
+            // The blinding slice covers [row_offset, row_offset + b) and
+            // must be re-drawn at the new length.
+            self.psu_rand = std::sync::OnceLock::new();
+        } else if start + added != self.params.b {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "delta upload rows [{start}, {}) do not match the latest epoch (domain end {})",
+                start + added,
+                self.params.b
+            )));
+        }
+        for (column, data) in columns {
+            self.store.append(owner, column, data, start);
+        }
+        self.store.bump_range(start as u64, added as u64);
+        Ok(())
+    }
+
     /// The node's monotonic store version (see [`ColumnStore::version`]).
     pub fn version(&self) -> u64 {
         self.store.version()
+    }
+
+    /// The node's per-range version stamps in **global** row coordinates
+    /// (the store's local epochs shifted by this node's `row_offset`).
+    pub fn range_versions(&self) -> Vec<RangeVersion> {
+        let off = self.params.row_offset as u64;
+        self.store
+            .range_versions()
+            .iter()
+            .map(|&(s, l, v)| (s + off, l, v))
+            .collect()
     }
 
     fn copy_column(&self, which: u8) -> Result<Column> {
@@ -604,7 +759,48 @@ impl ServerNode {
         }
     }
 
-    /// Evaluate one stored-column operation.
+    /// Parameters for evaluating a sub-range `[local, local+len)` of this
+    /// node's rows: domain size shrinks to the range, `row_offset` shifts
+    /// so positional streams (the PSU blinding PRG) stay globally aligned,
+    /// and the output permutations are empty — only operations without a
+    /// finishing permutation may be range-scoped, so they are never read.
+    fn range_params(&self, local: usize, len: usize) -> ServerParams {
+        let sp = &self.params;
+        ServerParams {
+            server_id: sp.server_id,
+            m: sp.m,
+            b: len,
+            delta: sp.delta,
+            g: sp.g,
+            eta_prime: sp.eta_prime,
+            m_share: sp.m_share,
+            field: sp.field,
+            pf_s1: Permutation::identity(0),
+            pf_s2: Permutation::identity(0),
+            pf_owners: sp.pf_owners.clone(),
+            psu_prg_seed: sp.psu_prg_seed,
+            wide_width: sp.wide_width,
+            row_offset: sp.row_offset + local,
+        }
+    }
+
+    /// Per-owner column slices for the optional local sub-range. A column
+    /// shorter than the requested slice yields an empty slice, which the
+    /// step kernels reject with the same shape error a wrong-length full
+    /// column produces.
+    fn col_refs(&self, column: Column, slice: Option<(usize, usize)>) -> Vec<&[u64]> {
+        let cols = self.store.col(column);
+        match slice {
+            None => refs(cols),
+            Some((s, l)) => cols
+                .iter()
+                .map(|v| v.get(s..s + l).unwrap_or(&[]))
+                .collect(),
+        }
+    }
+
+    /// Evaluate one stored-column operation, optionally scoped to the
+    /// global row range `range = (start, len)`.
     ///
     /// The node stages the evaluation as *compute → tamper → output
     /// permutation*: §5.2's threats (skipping work, replaying or
@@ -615,35 +811,78 @@ impl ServerNode {
     /// the security argument does not (and need not) cover, since a
     /// server gains nothing by corrupting the cheap final permutation of
     /// work it already performed honestly.
-    fn query(&self, op: QueryOp, z: Option<&[u64]>, threads: usize) -> Result<Vec<u64>> {
-        let sp = &self.params;
+    ///
+    /// Range-scoping composes only for the permutation-free operations
+    /// (`finish_perm` → `None`): the permuted rounds shuffle the whole
+    /// domain, so a sub-range of their output is meaningless and rejected.
+    fn query(
+        &self,
+        op: QueryOp,
+        z: Option<&[u64]>,
+        threads: usize,
+        range: Option<(u64, u64)>,
+    ) -> Result<Vec<u64>> {
+        let full_sp = &self.params;
+        // Resolve the optional global range to local coordinates and
+        // range-shaped parameters.
+        let sub_sp;
+        let (sp, slice): (&ServerParams, Option<(usize, usize)>) = match range {
+            None => (full_sp, None),
+            Some((gs, glen)) => {
+                if op.finish_perm(full_sp)?.is_some() {
+                    return Err(ProtocolError::ParameterMismatch(format!(
+                        "{op:?} carries a whole-domain output permutation and cannot be \
+                         range-scoped"
+                    )));
+                }
+                let (gs, glen) = (gs as usize, glen as usize);
+                let local = gs
+                    .checked_sub(full_sp.row_offset)
+                    .filter(|l| l + glen <= full_sp.b)
+                    .ok_or_else(|| {
+                        ProtocolError::ParameterMismatch(format!(
+                            "range [{gs}, +{glen}) lies outside this node's rows \
+                             [{}, +{})",
+                            full_sp.row_offset, full_sp.b
+                        ))
+                    })?;
+                sub_sp = self.range_params(local, glen);
+                (&sub_sp, Some((local, glen)))
+            }
+        };
         let need_z = || -> Result<&[u64]> {
             z.ok_or_else(|| {
                 ProtocolError::ParameterMismatch("aggregation op ran without a z vector".into())
             })
         };
+        fn sliced(all: &[u64], slice: Option<(usize, usize)>) -> &[u64] {
+            match slice {
+                None => all,
+                Some((s, l)) => all.get(s..s + l).unwrap_or(&[]),
+            }
+        }
         // All compute kernels write into an arena buffer in place; the
         // power table and PSU blinding slice are session-cached, so the
         // warm path performs no per-row allocation at all.
         let mut out = self.arena.take(sp.b);
         let step = match op {
             QueryOp::Psi => psi::server_psi_round_into(
-                &refs(self.store.col(Column::Ok)),
+                &self.col_refs(Column::Ok, slice),
                 sp,
                 self.power_table(),
                 &mut out,
                 threads,
             ),
             QueryOp::PsiVerify => psi::server_psi_verify_round_into(
-                &refs(self.store.col(Column::VOk)),
+                &self.col_refs(Column::VOk, slice),
                 sp,
                 self.power_table(),
                 &mut out,
                 threads,
             ),
             QueryOp::Psu => psu::server_psu_round_into(
-                &refs(self.store.col(Column::Ok)),
-                self.psu_rand(),
+                &self.col_refs(Column::Ok, slice),
+                sliced(self.psu_rand(), slice),
                 sp,
                 &mut out,
                 threads,
@@ -651,15 +890,15 @@ impl ServerNode {
             QueryOp::PsuVerify(which) => {
                 let col = self.copy_column(which)?;
                 psu::server_psu_round_into(
-                    &refs(self.store.col(col)),
-                    self.psu_rand(),
+                    &self.col_refs(col, slice),
+                    sliced(self.psu_rand(), slice),
                     sp,
                     &mut out,
                     threads,
                 )
             }
             QueryOp::Count => psi::server_psi_round_into(
-                &refs(self.store.col(Column::Ok)),
+                &self.col_refs(Column::Ok, slice),
                 sp,
                 self.power_table(),
                 &mut out,
@@ -668,7 +907,7 @@ impl ServerNode {
             QueryOp::CountVerify(which) => {
                 let col = self.copy_column(which)?;
                 psi::server_psi_round_into(
-                    &refs(self.store.col(col)),
+                    &self.col_refs(col, slice),
                     sp,
                     self.power_table(),
                     &mut out,
@@ -676,28 +915,28 @@ impl ServerNode {
                 )
             }
             QueryOp::Sum(a) => sum::server_sum_round_into(
-                &refs(self.store.col(Column::Agg(a))),
+                &self.col_refs(Column::Agg(a), slice),
                 need_z()?,
                 sp,
                 &mut out,
                 threads,
             ),
             QueryOp::SumVerify(a) => sum::server_sum_round_into(
-                &refs(self.store.col(Column::VAgg(a))),
+                &self.col_refs(Column::VAgg(a), slice),
                 need_z()?,
                 sp,
                 &mut out,
                 threads,
             ),
             QueryOp::SumCounts => sum::server_sum_round_into(
-                &refs(self.store.col(Column::AOk)),
+                &self.col_refs(Column::AOk, slice),
                 need_z()?,
                 sp,
                 &mut out,
                 threads,
             ),
             QueryOp::CountVerifyComplement => psi::server_psi_verify_round_into(
-                &refs(self.store.col(Column::VOk)),
+                &self.col_refs(Column::VOk, slice),
                 sp,
                 self.power_table(),
                 &mut out,
@@ -745,7 +984,7 @@ impl ServerNode {
                                 .as_slice(),
                         ),
                     };
-                    outs.push(self.query(item.op, z, threads)?);
+                    outs.push(self.query(item.op, z, threads, batch.range)?);
                 }
                 Ok(ServerReply::Vectors(outs))
             }
@@ -760,6 +999,7 @@ impl ServerNode {
                 )?))
             }
             ServerCmd::Version => Ok(ServerReply::Version(self.version())),
+            ServerCmd::RangeVersions => Ok(ServerReply::Versions(self.range_versions())),
         }
     }
 }
@@ -1067,6 +1307,9 @@ pub struct Ctx<'e, X: ServerExec> {
     /// the servers' [`ServerReply::WideForwarded`] receipts — what binds
     /// the following [`Ctx::announce`] to exactly that round's uploads.
     wide_seq: Option<u64>,
+    /// Global row range every [`Ctx::query`] round is scoped to (see
+    /// [`Engine::with_range`]); `None` = whole domain.
+    range: Option<(u64, u64)>,
 }
 
 impl<'e, X: ServerExec> Ctx<'e, X> {
@@ -1137,6 +1380,7 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
         zs_for: impl Fn(usize) -> Vec<Vec<u64>>,
     ) -> Result<Vec<Vec<Vec<u64>>>> {
         let threads = self.threads as u32;
+        let range = self.range;
         let cmds = servers
             .iter()
             .map(|&s| {
@@ -1146,6 +1390,7 @@ impl<'e, X: ServerExec> Ctx<'e, X> {
                         zs: zs_for(s),
                         items: items.to_vec(),
                         threads,
+                        range,
                     }),
                 )
             })
@@ -1282,6 +1527,11 @@ pub struct Engine<'e, X: ServerExec> {
     exec: &'e X,
     owner: &'e OwnerParams,
     threads: usize,
+    range: Option<(u64, u64)>,
+    /// Owner params reshaped to the range (`b` = range length) so plans'
+    /// shape logic sees the effective domain; boxed because it only
+    /// exists for range-scoped engines.
+    range_owner: Option<Box<OwnerParams>>,
 }
 
 impl<'e, X: ServerExec> Engine<'e, X> {
@@ -1291,6 +1541,8 @@ impl<'e, X: ServerExec> Engine<'e, X> {
             exec,
             owner,
             threads: 1,
+            range: None,
+            range_owner: None,
         }
     }
 
@@ -1300,14 +1552,32 @@ impl<'e, X: ServerExec> Engine<'e, X> {
         self
     }
 
+    /// Scope every round of every plan run on this engine to the global
+    /// row range `[start, start+len)`. Plans see owner parameters with
+    /// `b = len` and servers evaluate only the sub-range, so a query over
+    /// an untouched range composes with per-range cache stamps: delta
+    /// uploads elsewhere in the domain leave its cached rounds warm.
+    ///
+    /// Only plans made of permutation-free rounds (PSI/PSU membership and
+    /// the Shamir aggregations) are range-composable; a range-scoped
+    /// permuted round is rejected server-side.
+    pub fn with_range(mut self, start: u64, len: u64) -> Self {
+        let mut owner = self.owner.clone();
+        owner.b = len as usize;
+        self.range = Some((start, len));
+        self.range_owner = Some(Box::new(owner));
+        self
+    }
+
     /// Execute a plan, returning its output and the accounted stats.
     pub fn run<P: Operation>(&self, plan: &P) -> Result<(P::Output, QueryStats)> {
         let mut ctx = Ctx {
             exec: self.exec,
-            owner: self.owner,
+            owner: self.range_owner.as_deref().unwrap_or(self.owner),
             threads: self.threads,
             stats: QueryStats::default(),
             wide_seq: None,
+            range: self.range,
         };
         let out = plan.execute(&mut ctx)?;
         Ok((out, ctx.stats))

@@ -195,6 +195,61 @@ pub struct Setup {
     pub family: PermutationFamily,
 }
 
+impl Setup {
+    /// Grow the domain by `added` cells for a delta upload (epoch `epoch`,
+    /// counted from 1).
+    ///
+    /// A fresh Equation-1 family over the appended block is derived from the
+    /// master seed and the epoch number, and every distributed permutation is
+    /// extended block-diagonally ([`PermutationFamily::concat`]). Everything
+    /// else — δ, η/η′, the order polynomial, the PSU blinding seed, `m`
+    /// shares — is domain-size independent and carried over unchanged, so:
+    ///
+    /// * columns already outsourced (stored permuted under the old family)
+    ///   stay valid byte-for-byte, and
+    /// * the PSU blinding stream stays globally aligned: appended rows sit at
+    ///   global positions `[b, b+added)` and draw exactly the cells the old
+    ///   rows never consumed.
+    pub fn grow(&self, added: usize, epoch: u64, master_seed: u64) -> Result<Setup> {
+        if added == 0 {
+            return Err(ProtocolError::ParameterMismatch(
+                "delta upload must append at least one cell".into(),
+            ));
+        }
+        let mut prg = Prg::from_seed(
+            master_seed ^ 0xDE17_AB10_C0DE_0001u64 ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let block = PermutationFamily::generate(added, &mut prg);
+        let family = self.family.concat(&block);
+        let b = self.owner.b + added;
+
+        let mut owner = self.owner.clone();
+        owner.b = b;
+        owner.pf_db1 = family.pf_db1.clone();
+        owner.pf_db2 = family.pf_db2.clone();
+
+        let servers = self
+            .servers
+            .iter()
+            .map(|sv| {
+                let mut sv = sv.clone();
+                sv.b = b;
+                sv.pf_s1 = family.pf_s1.clone();
+                sv.pf_s2 = family.pf_s2.clone();
+                sv
+            })
+            .collect();
+
+        Ok(Setup {
+            owner,
+            servers,
+            announcer: self.announcer.clone(),
+            group: self.group.clone(),
+            family,
+        })
+    }
+}
+
 /// The trusted initiator / oracle (§3.2 entity 3).
 #[derive(Debug)]
 pub struct Initiator {
@@ -396,6 +451,38 @@ mod tests {
     fn servers_share_psu_seed() {
         let s = setup(3, 8);
         assert_eq!(s.servers[0].psu_prg_seed, s.servers[1].psu_prg_seed);
+    }
+
+    #[test]
+    fn grow_extends_views_block_diagonally() {
+        let seed = 0x005E_ED0F_9154; // SystemConfig::new default
+        let s = setup(3, 20);
+        let g = s.grow(12, 1, seed).unwrap();
+        assert_eq!(g.owner.b, 32);
+        assert_eq!(g.servers[0].b, 32);
+        // Static parameters carry over.
+        assert_eq!(g.owner.delta, s.owner.delta);
+        assert_eq!(g.servers[0].psu_prg_seed, s.servers[0].psu_prg_seed);
+        assert_eq!(g.servers[1].m_share, s.servers[1].m_share);
+        // The old prefix of every permutation is untouched…
+        for i in 0..20 {
+            assert_eq!(g.owner.pf_db1.dest(i), s.owner.pf_db1.dest(i));
+            assert_eq!(g.servers[0].pf_s1.dest(i), s.servers[0].pf_s1.dest(i));
+        }
+        // …the appended block never crosses the boundary…
+        assert!(g.owner.pf_db1.tail_block(20).is_some());
+        assert!(g.servers[1].pf_s2.tail_block(20).is_some());
+        // …and Equation 1 holds for the grown family.
+        assert_eq!(
+            g.owner.pf_db1.then(&g.servers[0].pf_s1),
+            g.owner.pf_db2.then(&g.servers[1].pf_s2)
+        );
+        // Growth is deterministic in (seed, epoch) and epoch-sensitive.
+        let g2 = s.grow(12, 1, seed).unwrap();
+        assert_eq!(g.owner.pf_db1, g2.owner.pf_db1);
+        let g3 = s.grow(12, 2, seed).unwrap();
+        assert_ne!(g.owner.pf_db1, g3.owner.pf_db1);
+        assert!(s.grow(0, 1, seed).is_err());
     }
 
     #[test]

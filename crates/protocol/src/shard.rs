@@ -118,31 +118,88 @@ impl ShardPlan {
             .collect()
     }
 
+    /// Grow the plan for a delta upload appending `added` rows at the
+    /// domain end: either the last shard's range extends (`open_new =
+    /// false` — what fixed-worker deployments must do) or a fresh shard
+    /// spec covering exactly the appended range opens (`open_new = true`).
+    /// Every existing spec keeps its `start` — and therefore every
+    /// existing shard node keeps its `row_offset` — so the PSU blinding
+    /// stream stays globally aligned without re-uploading a single row.
+    pub fn append(&self, added: usize, open_new: bool) -> ShardPlan {
+        let mut specs = self.specs.clone();
+        if open_new {
+            specs.push(ShardSpec {
+                index: specs.len(),
+                start: self.b,
+                len: added,
+            });
+        } else {
+            specs.last_mut().expect("plans are never empty").len += added;
+        }
+        ShardPlan {
+            b: self.b + added,
+            specs,
+        }
+    }
+
     /// Split a batched query into one sub-batch per shard: items are
     /// identical, auxiliary `z` vectors are row-sliced. Errors if any `z`
-    /// does not cover the domain (the monolithic node rejects the same
-    /// request with the same error class).
+    /// does not cover the domain — or, for a range-scoped batch, the
+    /// range (the monolithic node rejects the same request with the same
+    /// error class). A range-scoped batch yields one sub-batch per shard
+    /// with each shard's overlap of the range (possibly empty — shards
+    /// outside the range evaluate nothing and reply empty rows), so the
+    /// fan-out structure is identical for scoped and whole-domain rounds.
     pub fn split_batch(&self, batch: &BatchQuery) -> Result<Vec<BatchQuery>> {
+        let expect = match batch.range {
+            None => self.b,
+            Some((_, len)) => len as usize,
+        };
         for (i, z) in batch.zs.iter().enumerate() {
-            if z.len() != self.b {
+            if z.len() != expect {
                 return Err(ProtocolError::ParameterMismatch(format!(
                     "batch z vector {i} has {} cells, expected {}",
                     z.len(),
-                    self.b
+                    expect
                 )));
             }
         }
         Ok(self
             .specs
             .iter()
-            .map(|s| BatchQuery {
-                zs: batch
-                    .zs
-                    .iter()
-                    .map(|z| z[s.start..s.start + s.len].to_vec())
-                    .collect(),
-                items: batch.items.clone(),
-                threads: batch.threads,
+            .map(|s| match batch.range {
+                None => BatchQuery {
+                    zs: batch
+                        .zs
+                        .iter()
+                        .map(|z| z[s.start..s.start + s.len].to_vec())
+                        .collect(),
+                    items: batch.items.clone(),
+                    threads: batch.threads,
+                    range: None,
+                },
+                Some((gs, glen)) => {
+                    let (gs, glen) = (gs as usize, glen as usize);
+                    let lo = gs.max(s.start);
+                    let hi = (gs + glen).min(s.start + s.len);
+                    let (lo, len) = if lo < hi { (lo, hi - lo) } else { (s.start, 0) };
+                    // A shard fully outside the range gets an empty
+                    // sub-range anchored at its own start; its z slice is
+                    // empty, and the clamp keeps the slice arithmetic in
+                    // bounds whether the shard lies before or after the
+                    // range.
+                    let zlo = lo.saturating_sub(gs).min(glen);
+                    BatchQuery {
+                        zs: batch
+                            .zs
+                            .iter()
+                            .map(|z| z[zlo..zlo + len].to_vec())
+                            .collect(),
+                        items: batch.items.clone(),
+                        threads: batch.threads,
+                        range: Some((lo as u64, len as u64)),
+                    }
+                }
             })
             .collect())
     }
@@ -202,13 +259,17 @@ pub fn merge_shard_outputs(
             ));
         }
     }
+    let expect = match batch.range {
+        None => domain.b,
+        Some((_, len)) => len as usize,
+    };
     let mut merged = Vec::with_capacity(batch.items.len());
     for (i, item) in batch.items.iter().enumerate() {
-        let mut full = Vec::with_capacity(domain.b);
+        let mut full = Vec::with_capacity(expect);
         for outs in per_shard {
             full.extend_from_slice(&outs[i]);
         }
-        if full.len() != domain.b {
+        if full.len() != expect {
             return Err(ProtocolError::MalformedResponse(
                 "shard rows do not reassemble to the domain length",
             ));
@@ -298,6 +359,78 @@ impl ShardedNode {
         self.tamper = tamper;
     }
 
+    /// Delta upload: append `columns` rows `[start, start + added)` to an
+    /// owner's outsourced columns. Growth (`start == b`) extends the
+    /// domain's finish permutations block-diagonally with `perm_ext`
+    /// (identity blocks when `None`) and re-plans the row partition —
+    /// opening a fresh shard when the delta is at least an average
+    /// shard's worth of rows, else extending the last shard — without
+    /// moving any existing shard's `row_offset`. A re-touch of the
+    /// latest epoch (`start + added == b`) routes straight to the owning
+    /// shard. Either way only the touched shard's range version moves.
+    pub fn delta_upload(
+        &mut self,
+        owner: usize,
+        start: usize,
+        columns: Vec<(Column, Vec<u64>)>,
+        perm_ext: Option<(&Permutation, &Permutation)>,
+    ) -> Result<()> {
+        let added = match columns.first() {
+            Some((_, data)) if !data.is_empty() => data.len(),
+            _ => {
+                return Err(ProtocolError::ParameterMismatch(
+                    "delta upload carries no rows".into(),
+                ))
+            }
+        };
+        if start + added > self.params.b {
+            if start != self.params.b {
+                return Err(ProtocolError::ParameterMismatch(format!(
+                    "delta upload must append contiguously: start {start}, domain {}",
+                    self.params.b
+                )));
+            }
+            let (e1, e2) = match perm_ext {
+                Some((e1, e2)) => (e1.clone(), e2.clone()),
+                None => (Permutation::identity(added), Permutation::identity(added)),
+            };
+            if e1.len() != added || e2.len() != added {
+                return Err(ProtocolError::ParameterMismatch(format!(
+                    "permutation extension covers {} rows, delta has {added}",
+                    e1.len()
+                )));
+            }
+            self.params.pf_s1 = self.params.pf_s1.concat(&e1);
+            self.params.pf_s2 = self.params.pf_s2.concat(&e2);
+            let open_new = added * self.plan.shard_count() >= self.params.b;
+            self.params.b = start + added;
+            let plan = self.plan.append(added, open_new);
+            if open_new {
+                let spec = *plan.specs().last().expect("append added a spec");
+                self.shards
+                    .push(ServerNode::new(shard_server_params(&self.params, &spec)));
+            }
+            self.plan = plan;
+        } else if start + added != self.params.b {
+            return Err(ProtocolError::ParameterMismatch(format!(
+                "delta upload may only touch the latest epoch: start {start}, domain {}",
+                self.params.b
+            )));
+        }
+        let spec = *self
+            .plan
+            .specs()
+            .iter()
+            .find(|s| s.start <= start && start + added <= s.start + s.len)
+            .ok_or_else(|| {
+                ProtocolError::ParameterMismatch(format!(
+                    "delta range [{start}, {}) crosses a shard boundary",
+                    start + added
+                ))
+            })?;
+        self.shards[spec.index].delta_upload(owner, start - spec.start, columns, None)
+    }
+
     /// Phase 1: store one owner's share column, split across the shards by
     /// row range.
     pub fn store(&mut self, owner: usize, column: Column, data: Vec<u64>) {
@@ -335,6 +468,15 @@ impl ShardedNode {
             // Version probes are answered at the domain level: the cache
             // keys on whole-domain store state, not shard granularity.
             ServerCmd::Version => Ok(ServerReply::Version(self.version())),
+            // Range probes concatenate the shard epochs — each shard
+            // reports in global row coordinates already (its `row_offset`
+            // is folded in), and shard order is global row order.
+            ServerCmd::RangeVersions => Ok(ServerReply::Versions(
+                self.shards
+                    .iter()
+                    .flat_map(|n| n.range_versions())
+                    .collect(),
+            )),
         }
     }
 
@@ -522,6 +664,7 @@ mod tests {
             zs: vec![(0..6).collect()],
             items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
             threads: 2,
+            range: None,
         };
         let subs = plan.split_batch(&batch).unwrap();
         assert_eq!(subs.len(), 3);
@@ -532,12 +675,97 @@ mod tests {
     }
 
     #[test]
+    fn split_batch_intersects_ranges() {
+        let plan = ShardPlan::new(6, 3);
+        let batch = BatchQuery {
+            zs: vec![vec![30, 40, 50]],
+            items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
+            threads: 1,
+            range: Some((1, 3)),
+        };
+        let subs = plan.split_batch(&batch).unwrap();
+        assert_eq!(subs.len(), 3);
+        // Shard 0 owns rows [0,2): overlap is row 1 only.
+        assert_eq!(subs[0].range, Some((1, 1)));
+        assert_eq!(subs[0].zs[0], vec![30]);
+        // Shard 1 owns [2,4): fully inside the range.
+        assert_eq!(subs[1].range, Some((2, 2)));
+        assert_eq!(subs[1].zs[0], vec![40, 50]);
+        // Shard 2 owns [4,6): disjoint — empty sub-batch keeps the
+        // one-sub-per-shard fan-out shape.
+        assert_eq!(subs[2].range, Some((4, 0)));
+        assert!(subs[2].zs[0].is_empty());
+        // A z vector must cover the range, not the domain.
+        let bad = BatchQuery {
+            zs: vec![vec![1, 2]],
+            items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
+            threads: 1,
+            range: Some((1, 3)),
+        };
+        assert!(plan.split_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn split_batch_handles_shards_fully_outside_the_range() {
+        // The streaming shape: the query window is the *appended* tail,
+        // so earlier shards lie entirely before the range (their start
+        // is far below the range start — the slice arithmetic must not
+        // underflow) and the z vector only covers the window.
+        let plan = ShardPlan::new(6, 3).append(2, true);
+        let batch = BatchQuery {
+            zs: vec![vec![70, 80]],
+            items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
+            threads: 1,
+            range: Some((6, 2)),
+        };
+        let subs = plan.split_batch(&batch).unwrap();
+        assert_eq!(subs.len(), 4);
+        for sub in &subs[..3] {
+            // Shards before the window: empty sub-range at their own
+            // start, nothing to evaluate.
+            assert_eq!(sub.range.unwrap().1, 0);
+            assert!(sub.zs[0].is_empty());
+        }
+        assert_eq!(subs[3].range, Some((6, 2)));
+        assert_eq!(subs[3].zs[0], vec![70, 80]);
+    }
+
+    #[test]
+    fn append_preserves_starts_and_covers_domain() {
+        let plan = ShardPlan::new(10, 3);
+        let extended = plan.append(4, false);
+        assert_eq!(extended.domain(), 14);
+        assert_eq!(extended.shard_count(), 3);
+        for (old, new) in plan.specs().iter().zip(extended.specs()) {
+            assert_eq!(old.start, new.start);
+        }
+        assert_eq!(
+            extended.specs().last().unwrap().len,
+            plan.specs().last().unwrap().len + 4
+        );
+        let opened = plan.append(4, true);
+        assert_eq!(opened.domain(), 14);
+        assert_eq!(opened.shard_count(), 4);
+        assert_eq!(
+            opened.specs()[3],
+            ShardSpec {
+                index: 3,
+                start: 10,
+                len: 4
+            }
+        );
+        let covered: usize = opened.specs().iter().map(|s| s.len).sum();
+        assert_eq!(covered, 14);
+    }
+
+    #[test]
     fn split_batch_rejects_short_z() {
         let plan = ShardPlan::new(6, 2);
         let batch = BatchQuery {
             zs: vec![vec![1, 2, 3]],
             items: vec![BatchItem::with_z(QueryOp::Sum(0), 0)],
             threads: 1,
+            range: None,
         };
         assert!(plan.split_batch(&batch).is_err());
     }
@@ -573,6 +801,7 @@ mod tests {
             zs: vec![],
             items: vec![BatchItem::plain(QueryOp::Psi)],
             threads: 1,
+            range: None,
         };
         // Wrong item count.
         let bad = vec![vec![]];

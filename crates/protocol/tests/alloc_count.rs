@@ -110,6 +110,7 @@ fn warm_hot_paths_stay_allocation_free() {
             zs: vec![],
             items: vec![BatchItem::plain(QueryOp::Psi)],
             threads: 1,
+            range: None,
         });
         let node_allocs = min_allocs_of(5, || {
             node.execute(&batch).expect("execute");
@@ -124,6 +125,7 @@ fn warm_hot_paths_stay_allocation_free() {
             zs: vec![],
             items: vec![BatchItem::plain(QueryOp::Count)],
             threads: 1,
+            range: None,
         });
         let count_allocs = min_allocs_of(5, || {
             node.execute(&count_batch).expect("execute count");

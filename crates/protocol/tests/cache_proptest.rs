@@ -1,12 +1,16 @@
-//! Staleness property: under **any** interleaving of owner uploads and
-//! queries, the cross-query PSI-round cache never serves a stale reply —
-//! a cached cluster and an uncached oracle cluster replaying the same
-//! action sequence must agree on every query result, bit for bit.
+//! Staleness property: under **any** interleaving of owner uploads
+//! (full re-outsourcings *and* streaming delta appends) and queries, the
+//! cross-query PSI-round cache never serves a stale reply — a cached
+//! cluster and an uncached oracle cluster replaying the same action
+//! sequence must agree on every query result, bit for bit.
 //!
 //! The test also pins the cache's observable behaviour along the way:
 //! a repeat eligible query with no upload in between is a hit with zero
 //! counted rounds; any `update_owner` in between forces the cold path
-//! (and its round count) back, via a version-probe invalidation.
+//! (and its round count) back, via a version-probe invalidation; a
+//! delta `append` forces only the *overlapping* entries cold — the
+//! window-scoped batch over the untouched original window stays warm
+//! across any number of appends.
 
 use prism_protocol::driver::{Cluster, ClusterConfig, OwnerInput, QueryStats};
 use prism_protocol::QueryBatch;
@@ -21,6 +25,9 @@ const OWNERS: usize = 3;
 enum Action {
     /// Re-outsource one owner's relation (rows derived from a seed).
     Update { owner: usize, seed: u64 },
+    /// Delta upload: grow the domain by two cells, every owner's delta
+    /// rows landing in the appended window (rows derived from a seed).
+    Append { seed: u64 },
     /// Plain PSI (round 1 is cache-eligible).
     Psi,
     /// PSI count (its own eligible round key).
@@ -29,18 +36,23 @@ enum Action {
     Sum,
     /// Batched aggregations over one PSI.
     Batch,
+    /// Batched aggregations scoped to the original window `[0, DOMAIN)`
+    /// — the key whose entries a delta upload must *keep*.
+    BatchRange,
 }
 
 fn action(sel: u8, owner: u8, seed: u64) -> Action {
-    match sel % 8 {
+    match sel % 10 {
         0 | 1 => Action::Update {
             owner: owner as usize % OWNERS,
             seed,
         },
-        2 | 3 => Action::Psi,
-        4 => Action::Count,
-        5 | 6 => Action::Sum,
-        _ => Action::Batch,
+        2 => Action::Psi,
+        3 => Action::Count,
+        4 => Action::Sum,
+        5 => Action::Batch,
+        6 | 7 => Action::Append { seed },
+        _ => Action::BatchRange,
     }
 }
 
@@ -55,6 +67,20 @@ fn rows_from_seed(owner: usize, seed: u64) -> OwnerInput {
         x ^= x >> 7;
         x ^= x << 17;
         rows.push((x % DOMAIN as u64 + 1, vec![x % 97]));
+    }
+    OwnerInput { rows }
+}
+
+/// Deterministic appended-window delta for one owner: three rows whose
+/// set values land in `start+1 ..= start+added`.
+fn delta_from_seed(owner: usize, seed: u64, start: usize, added: usize) -> OwnerInput {
+    let mut rows = Vec::new();
+    let mut x = seed ^ (owner as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for _ in 0..3 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rows.push((start as u64 + x % added as u64 + 1, vec![x % 97]));
     }
     OwnerInput { rows }
 }
@@ -96,7 +122,17 @@ fn step(cached: &Cluster, oracle: &Cluster, a: &Action) -> (QueryStats, usize) {
             assert_eq!(got, want, "stale batch served");
             (stats, oracle_stats.rounds)
         }
-        Action::Update { .. } => unreachable!("updates are handled by the caller"),
+        Action::BatchRange => {
+            let batch = QueryBatch::new().sum(0).avg(0);
+            let w = (0u64, DOMAIN as u64);
+            let (got, stats) = cached.psi_query_batch_range(&batch, w).unwrap();
+            let (want, oracle_stats) = oracle.psi_query_batch_range(&batch, w).unwrap();
+            assert_eq!(got, want, "stale window batch served");
+            (stats, oracle_stats.rounds)
+        }
+        Action::Update { .. } | Action::Append { .. } => {
+            unreachable!("uploads are handled by the caller")
+        }
     }
 }
 
@@ -110,9 +146,17 @@ proptest! {
     ) {
         let mut cached = build(true, base_seed);
         let mut oracle = build(false, base_seed);
-        // Which eligible round keys are warm right now: [Psi] is shared
-        // by Psi/Sum/Batch, [Count] is Count's own.
+        // Which eligible round keys are warm right now: the round-1
+        // [Psi] entry is shared by Psi/Sum/Batch, [Count] is Count's
+        // own, and the round-2 aggregation entries (z-seed pinned) are
+        // keyed per item list — Sum's and Batch's are distinct. The
+        // window-scoped batch has its own two keys (the range is part of
+        // the key): a full re-outsourcing kills them, but a delta upload
+        // must NOT — the appended range never overlaps `[0, DOMAIN)`.
         let (mut psi_warm, mut count_warm) = (false, false);
+        let (mut sum2_warm, mut batch2_warm) = (false, false);
+        let (mut range1_warm, mut range2_warm) = (false, false);
+        let mut b = DOMAIN;
         for (sel, owner, seed) in raw {
             let a = action(sel, owner, seed);
             match a {
@@ -122,28 +166,66 @@ proptest! {
                     oracle.update_owner(owner, &input).unwrap();
                     psi_warm = false;
                     count_warm = false;
+                    sum2_warm = false;
+                    batch2_warm = false;
+                    range1_warm = false;
+                    range2_warm = false;
+                }
+                Action::Append { seed } => {
+                    let added = 2;
+                    let inputs: Vec<OwnerInput> = (0..OWNERS)
+                        .map(|j| delta_from_seed(j, seed, b, added))
+                        .collect();
+                    cached.append(added, &inputs).unwrap();
+                    oracle.append(added, &inputs).unwrap();
+                    b += added;
+                    // Full-domain entries overlap every range, including
+                    // the appended one: they go cold. The window entries
+                    // over [0, DOMAIN) survive.
+                    psi_warm = false;
+                    count_warm = false;
+                    sum2_warm = false;
+                    batch2_warm = false;
                 }
                 ref q => {
-                    let warm = match q {
-                        Action::Count => &mut count_warm,
-                        _ => &mut psi_warm,
+                    // (expected hits, eligible rounds) for this query.
+                    let (hits, eligible) = match q {
+                        Action::Psi => (u64::from(psi_warm), 1),
+                        Action::Count => (u64::from(count_warm), 1),
+                        Action::Sum => (u64::from(psi_warm) + u64::from(sum2_warm), 2),
+                        Action::Batch => (u64::from(psi_warm) + u64::from(batch2_warm), 2),
+                        Action::BatchRange => {
+                            (u64::from(range1_warm) + u64::from(range2_warm), 2)
+                        }
+                        Action::Update { .. } | Action::Append { .. } => unreachable!(),
                     };
                     let (stats, oracle_rounds) = step(&cached, &oracle, q);
-                    if *warm {
-                        prop_assert_eq!(stats.cache_hits, 1, "expected a warm hit for {:?}", q);
-                        prop_assert_eq!(
-                            stats.rounds, oracle_rounds - 1,
-                            "a warm round-1 must not be counted"
-                        );
-                    } else {
-                        prop_assert_eq!(stats.cache_hits, 0, "unexpected hit for {:?}", q);
-                        prop_assert_eq!(
-                            stats.rounds, oracle_rounds,
-                            "cold path round count must match the oracle"
-                        );
-                        prop_assert_eq!(stats.cache_misses, 1);
+                    prop_assert_eq!(stats.cache_hits, hits, "wrong hit count for {:?}", q);
+                    prop_assert_eq!(
+                        stats.rounds, oracle_rounds - hits as usize,
+                        "a warm round must not be counted"
+                    );
+                    prop_assert_eq!(
+                        stats.cache_misses, eligible - hits,
+                        "every cold eligible round records a miss"
+                    );
+                    match q {
+                        Action::Count => count_warm = true,
+                        Action::Psi => psi_warm = true,
+                        Action::Sum => {
+                            psi_warm = true;
+                            sum2_warm = true;
+                        }
+                        Action::Batch => {
+                            psi_warm = true;
+                            batch2_warm = true;
+                        }
+                        Action::BatchRange => {
+                            range1_warm = true;
+                            range2_warm = true;
+                        }
+                        Action::Update { .. } | Action::Append { .. } => unreachable!(),
                     }
-                    *warm = true;
                 }
             }
         }

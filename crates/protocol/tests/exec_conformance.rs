@@ -474,6 +474,283 @@ fn cached_surface(exec: &dyn ServerExec, fx: &Fixture) -> (Surface, Vec<usize>) 
     )
 }
 
+/// Everything the delta path shares across backends: the grown role
+/// views, every owner's delta share columns per server (built once, like
+/// [`Fixture::columns`]), the `pf_s1`/`pf_s2` extension blocks for the
+/// in-process backends, and the grown owner-side value columns.
+struct DeltaFixture {
+    grown: Setup,
+    start: usize,
+    /// `columns[owner][server]` → the appended-segment column set.
+    #[allow(clippy::type_complexity)]
+    columns: Vec<Vec<Vec<(Column, Vec<u64>)>>>,
+    e1: prism_core::Permutation,
+    e2: prism_core::Permutation,
+    maxima: Vec<Vec<u64>>,
+    sums: Vec<Vec<u64>>,
+}
+
+/// Appended-segment rows per owner, as (global cell, value): four new
+/// cells 25..=28; the delta intersection is {25, 28}.
+fn delta_rows() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(25, 40), (26, 7), (28, 3)],
+        vec![(25, 10), (27, 2), (28, 5)],
+        vec![(25, 60), (28, 1)],
+    ]
+}
+
+fn delta_fixture(fx: &Fixture) -> DeltaFixture {
+    const ADDED: usize = 4;
+    let start = DOMAIN;
+    let grown = fx.setup.grow(ADDED, 1, SEED).unwrap();
+    let bdb1 = grown.family.pf_db1.tail_block(start).unwrap();
+    let bdb2 = grown.family.pf_db2.tail_block(start).unwrap();
+    let e1 = grown.family.pf_s1.tail_block(start).unwrap();
+    let e2 = grown.family.pf_s2.tail_block(start).unwrap();
+    let op = &grown.owner;
+    let mut columns = Vec::new();
+    let mut maxima = fx.maxima.clone();
+    let mut sums = fx.sums.clone();
+    for (j, owner_rows) in delta_rows().iter().enumerate() {
+        let mut indicator = vec![0u64; ADDED];
+        let mut sum = vec![0u64; ADDED];
+        let mut max = vec![0u64; ADDED];
+        let mut counts = vec![0u64; ADDED];
+        for &(c, x) in owner_rows {
+            let i = (c - 1) as usize - start;
+            indicator[i] = 1;
+            sum[i] += x;
+            max[i] = max[i].max(x);
+            counts[i] += 1;
+        }
+        // Same column set and share-draw order as the Phase-1 fixture,
+        // over the appended segment; the verification copies are permuted
+        // by the appended *block* (block-diagonal growth).
+        let mut prg = Prg::from_seed(SEED ^ (1700 + j as u64));
+        let ind = share_indicator(&indicator, op.delta, &mut prg);
+        let complement: Vec<u64> = indicator.iter().map(|&x| 1 - x).collect();
+        let v = share_indicator(&bdb1.apply(&complement), op.delta, &mut prg);
+        let c1 = share_indicator(&bdb1.apply(&indicator), op.delta, &mut prg);
+        let c2 = share_indicator(&bdb2.apply(&indicator), op.delta, &mut prg);
+        let p = share_payload(&sum, &op.field, &mut prg);
+        let vp = share_payload(&bdb1.apply(&sum), &op.field, &mut prg);
+        let cnt = share_payload(&counts, &op.field, &mut prg);
+        columns.push(
+            (0..3)
+                .map(|k| {
+                    let mut cols = Vec::new();
+                    if k < 2 {
+                        cols.push((Column::Ok, ind.shares[k].clone()));
+                        cols.push((Column::VOk, v.shares[k].clone()));
+                        cols.push((Column::OkDb1, c1.shares[k].clone()));
+                        cols.push((Column::OkDb2, c2.shares[k].clone()));
+                    }
+                    cols.push((Column::Agg(0), p.shares[k].clone()));
+                    cols.push((Column::VAgg(0), vp.shares[k].clone()));
+                    cols.push((Column::AOk, cnt.shares[k].clone()));
+                    cols
+                })
+                .collect(),
+        );
+        maxima[j].extend_from_slice(&max);
+        sums[j].extend_from_slice(&sum);
+    }
+    DeltaFixture {
+        grown,
+        start,
+        columns,
+        e1,
+        e2,
+        maxima,
+        sums,
+    }
+}
+
+/// Like [`Backend::run`], but applies the delta uploads after Phase 1:
+/// the in-process backends through `delta_upload` with the explicit
+/// permutation-extension blocks, the networked ones through the
+/// `NetCluster::delta_upload` facade (which ships the adopted grown
+/// setup's extension blocks over the wire).
+fn run_delta<R>(
+    backend: Backend,
+    fx: &Fixture,
+    dfx: &DeltaFixture,
+    f: impl FnOnce(&dyn ServerExec) -> R,
+) -> R {
+    match backend {
+        Backend::InMemory => {
+            let mut nodes: Vec<ServerNode> = fx
+                .setup
+                .servers
+                .iter()
+                .map(|sp| ServerNode::new(sp.clone()))
+                .collect();
+            for (j, per_server) in fx.columns.iter().enumerate() {
+                for (k, cols) in per_server.iter().enumerate() {
+                    for (col, data) in cols {
+                        nodes[k].store(j, *col, data.clone());
+                    }
+                }
+            }
+            for (j, per_server) in dfx.columns.iter().enumerate() {
+                for (k, cols) in per_server.iter().enumerate() {
+                    nodes[k]
+                        .delta_upload(j, dfx.start, cols.clone(), Some((&dfx.e1, &dfx.e2)))
+                        .unwrap();
+                }
+            }
+            let announcer = Announcer::new(fx.setup.announcer.clone());
+            let exec = InMemoryExec::new(&nodes, &announcer);
+            f(&exec)
+        }
+        Backend::Sharded(shards) => {
+            let mut nodes: Vec<ShardedNode> = fx
+                .setup
+                .servers
+                .iter()
+                .map(|sp| ShardedNode::new(sp.clone(), shards))
+                .collect();
+            for (j, per_server) in fx.columns.iter().enumerate() {
+                for (k, cols) in per_server.iter().enumerate() {
+                    for (col, data) in cols {
+                        nodes[k].store(j, *col, data.clone());
+                    }
+                }
+            }
+            for (j, per_server) in dfx.columns.iter().enumerate() {
+                for (k, cols) in per_server.iter().enumerate() {
+                    nodes[k]
+                        .delta_upload(j, dfx.start, cols.clone(), Some((&dfx.e1, &dfx.e2)))
+                        .unwrap();
+                }
+            }
+            let announcer = Announcer::new(fx.setup.announcer.clone());
+            let exec = ShardedExec::new(&nodes, &announcer);
+            f(&exec)
+        }
+        Backend::Channel(shards) | Backend::Tcp(shards) => {
+            let mut cluster = match backend {
+                Backend::Channel(_) => NetCluster::start_local_sharded(fx.setup.clone(), shards),
+                _ => NetCluster::start_tcp_sharded(fx.setup.clone(), shards).unwrap(),
+            };
+            for (j, per_server) in fx.columns.iter().enumerate() {
+                for (k, cols) in per_server.iter().enumerate() {
+                    cluster.bulk_upload(k, j, cols.clone()).unwrap();
+                }
+            }
+            cluster.adopt_setup(dfx.grown.clone());
+            for (j, per_server) in dfx.columns.iter().enumerate() {
+                for (k, cols) in per_server.iter().enumerate() {
+                    cluster.delta_upload(k, j, dfx.start, cols.clone()).unwrap();
+                }
+            }
+            let out = f(&cluster);
+            cluster.shutdown().unwrap();
+            out
+        }
+    }
+}
+
+/// [`surface`] over the grown domain: same operations, grown owner
+/// params, grown owner-side value columns.
+fn delta_surface(exec: &dyn ServerExec, dfx: &DeltaFixture) -> Surface {
+    let op = &dfx.grown.owner;
+    let mut rounds = Vec::new();
+    let psi = run_plan(exec, op, &plans::Psi, &mut rounds).fop;
+    let psi_verified = run_plan(exec, op, &plans::PsiVerified, &mut rounds).fop;
+    let psu = run_plan(exec, op, &plans::Psu, &mut rounds);
+    let psu_verified = run_plan(exec, op, &plans::PsuVerified, &mut rounds);
+    let count = run_plan(exec, op, &plans::Count, &mut rounds);
+    let count_verified = run_plan(exec, op, &plans::CountVerified, &mut rounds);
+    let sum = run_plan(exec, op, &plans::Sum { attr: 0, seed: 11 }, &mut rounds);
+    let sum_verified = run_plan(
+        exec,
+        op,
+        &plans::SumVerified { attr: 0, seed: 12 },
+        &mut rounds,
+    );
+    let avg = run_plan(exec, op, &plans::Average { attr: 0, seed: 13 }, &mut rounds)
+        .iter()
+        .map(|c| (c.sum, c.count))
+        .collect();
+    let qb = QueryBatch::new().sum(0).avg(0).count_tuples();
+    let batch = run_plan(
+        exec,
+        op,
+        &plans::Batch {
+            batch: &qb,
+            seed: 14,
+        },
+        &mut rounds,
+    );
+    let max = run_plan(
+        exec,
+        op,
+        &plans::Max {
+            values: dfx.maxima.iter().map(Vec::as_slice).collect(),
+            table: None,
+            seed: 21,
+            cell_chunk: 1 << 16,
+        },
+        &mut rounds,
+    );
+    let median = median_rows(run_plan(
+        exec,
+        op,
+        &plans::Median {
+            values: dfx.sums.iter().map(Vec::as_slice).collect(),
+            table: None,
+            seed: 22,
+            cell_chunk: 1 << 16,
+        },
+        &mut rounds,
+    ));
+    Surface {
+        psi,
+        psi_verified,
+        psu,
+        psu_verified,
+        count,
+        count_verified,
+        sum,
+        sum_verified,
+        avg,
+        batch,
+        max,
+        median,
+        rounds,
+    }
+}
+
+/// Delta uploads preserve the central invariant: after appending four
+/// cells (with real, non-identity permutation-extension blocks), every
+/// operation — including the verified variants, whose permuted copies
+/// exercise the grown `pf_s1`/`pf_s2` — is bit-identical on every
+/// backend, every shard count, both transports.
+#[test]
+fn delta_uploads_bit_identical_on_every_backend() {
+    let fx = fixture();
+    let dfx = delta_fixture(&fx);
+    let reference = run_delta(Backend::InMemory, &fx, &dfx, |e| delta_surface(e, &dfx));
+    // Grown intersection: Phase-1 {1, 7, 24} plus delta {25, 28}.
+    assert_eq!(reference.count, 5);
+    let mut want_sum = vec![0u64; DOMAIN + 4];
+    for (cell, total) in [(0, 700), (6, 60), (23, 19), (24, 110), (27, 9)] {
+        want_sum[cell] = total;
+    }
+    assert_eq!(reference.sum, want_sum);
+    assert_eq!(
+        reference.rounds,
+        vec![1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 3, 2],
+        "growth must not change any round budget"
+    );
+    for backend in all_backends() {
+        let got = run_delta(backend, &fx, &dfx, |e| delta_surface(e, &dfx));
+        assert_eq!(got, reference, "{backend:?} diverged after a delta upload");
+    }
+}
+
 #[test]
 fn every_operation_bit_identical_on_every_backend() {
     let fx = fixture();
@@ -498,10 +775,11 @@ fn every_operation_bit_identical_on_every_backend() {
 fn cache_decorator_invisible_cold_and_strictly_cheaper_warm() {
     let fx = fixture();
     let reference = Backend::InMemory.run(&fx, &[], AnnouncerTamper::Honest, |e| surface(e, &fx));
-    // Warm round budget: the cache-eligible operations (plain PSI/PSU/
-    // count round 1) each save exactly one round; the verified
-    // operations always hit the servers and save nothing.
-    let expected_warm = vec![0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 2, 1];
+    // Warm round budget: the cache-eligible rounds (plain PSI/PSU/count
+    // round 1, and the z-seed-pinned plain aggregation round 2 of
+    // sum/avg/batch) each save exactly one round; the verified rounds
+    // and the wide (max/median) rounds always hit the servers.
+    let expected_warm = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 2, 1];
     for backend in all_backends() {
         let (cold, warm) = backend.run(&fx, &[], AnnouncerTamper::Honest, |e| {
             cached_surface(e, &fx)

@@ -135,6 +135,17 @@ pub fn cache_bench() -> (u64, usize, usize) {
     (1_000_000, 4, 3)
 }
 
+/// Streaming-append sweep: the fixed `(domain, added_per_hour, hours,
+/// owners)` config — 200K original OK cells plus 50K appended per
+/// streamed hour regardless of scale, so `BENCH_stream.json` stays
+/// comparable across runs and machines (the tracked numbers are the
+/// append cost and the warm-window/cold ratio, both of which only mean
+/// anything when the window is large enough for round 1 to cost
+/// something).
+pub fn stream_bench() -> (u64, usize, usize, usize) {
+    (200_000, 50_000, 3, 3)
+}
+
 /// Hot-path kernel microbench: the fixed `(cells, owners, reps)` config —
 /// 64Ki domain cells regardless of scale, so `BENCH_hotpath.json` stays
 /// comparable across runs and machines (the flat-over-baseline speedups

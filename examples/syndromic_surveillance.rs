@@ -1,24 +1,33 @@
-//! Syndromic surveillance (§1's motivating use-case).
+//! Syndromic surveillance (§1's motivating use-case), streamed.
 //!
-//! Pharmacies, hospitals and telehealth providers each observe daily
+//! Pharmacies, hospitals and telehealth providers each observe hourly
 //! signals — analgesic sales, anti-allergy prescriptions, school
-//! absenteeism calls — keyed by region code. To detect a community-wide
-//! outbreak early, they want the regions where *all* of them see elevated
-//! activity (PSI), the total signal strength there (PSI-Sum), and the
-//! strongest single reporter (PSI-Max) — without any organization
-//! revealing its raw counts.
+//! absenteeism calls — keyed by (hour, region). Reports never stop
+//! arriving: every hour each organization outsources only its **new**
+//! rows as a delta upload (`Cluster::append`), growing the shared domain
+//! without re-uploading history. The epidemiologist keeps re-running the
+//! same windowed consensus query over past hours; per-range version
+//! stamps keep those untouched windows warm in the PSI-round cache, so a
+//! re-check of hour 1 after hour 4's upload costs **zero** server
+//! round-trips — round 1 replays the cached PSI outputs, round 2 replays
+//! the pinned z-seed aggregation.
 //!
 //! Run with: `cargo run --example syndromic_surveillance`
 
 use prism::core::Prg;
-use prism::driver::{Cluster, ClusterConfig, OwnerInput};
+use prism::driver::{AggResult, Cluster, ClusterConfig, OwnerInput, QueryBatch};
 
-const REGIONS: u64 = 500; // region-code domain 1..=500
+const REGIONS: u64 = 32; // region-code domain 1..=32, one block per hour
+const HOURS: usize = 4;
+const ORGS: usize = 3;
 
-/// Generate one organization's elevated-activity report: a subset of
-/// regions with a signal strength per region.
-fn organization_report(seed: u64, elevated_fraction: f64, hotspots: &[u64]) -> OwnerInput {
-    let mut prg = Prg::from_seed(seed);
+/// One organization's elevated-activity report for one hour: a subset of
+/// regions with a signal strength per region, mapped into the hour's
+/// block of the global (hour, region) domain.
+fn hourly_report(org: usize, hour: usize, hotspots: &[u64]) -> OwnerInput {
+    let mut prg = Prg::from_seed(0x5EED + (org * HOURS + hour) as u64);
+    let elevated_fraction = [0.08, 0.10, 0.05][org];
+    let start = (hour as u64) * REGIONS; // first global cell of this hour
     let mut rows = Vec::new();
     for region in 1..=REGIONS {
         let hot = hotspots.contains(&region);
@@ -30,73 +39,122 @@ fn organization_report(seed: u64, elevated_fraction: f64, hotspots: &[u64]) -> O
             } else {
                 prg.range(50, 400)
             };
-            rows.push((region, vec![strength]));
+            rows.push((start + region, vec![strength]));
         }
     }
     OwnerInput { rows }
 }
 
+/// Consensus signal in one hour's window: total strength over the
+/// regions *every* organization flagged, plus how many orgs hit each.
+fn consensus(results: &[AggResult]) -> (u64, usize) {
+    let AggResult::Sums(sums) = &results[0] else {
+        panic!("first batch item is the sum");
+    };
+    let total: u64 = sums.iter().sum();
+    let flagged = sums.iter().filter(|&&s| s > 0).count();
+    (total, flagged)
+}
+
 fn main() {
-    // A real outbreak in regions 42, 137 and 401: every organization sees
-    // those; the rest of each report is uncorrelated noise.
-    let outbreak = [42u64, 137, 401];
-    let organizations = vec![
-        organization_report(1, 0.08, &outbreak), // pharmacy chain
-        organization_report(2, 0.10, &outbreak), // hospital network
-        organization_report(3, 0.05, &outbreak), // telehealth provider
-        organization_report(4, 0.07, &outbreak), // school district
-    ];
+    // A real outbreak in regions 7 and 19: every organization sees those
+    // every hour; the rest of each report is uncorrelated noise.
+    let outbreak = [7u64, 19];
+    let names = ["pharmacy", "hospital", "telehealth"];
 
-    let mut cfg = ClusterConfig::new(REGIONS as usize);
-    cfg.agg_domain_max = 1_000;
-    cfg.seed = 20260611;
-    let cluster = Cluster::build(&organizations, cfg).expect("cluster");
-
-    // Which regions does EVERY organization flag? (verified PSI)
-    let (psi, stats) = cluster.psi_verified().expect("verified PSI");
-    let flagged: Vec<u64> = psi.common.iter().map(|&c| c as u64 + 1).collect();
+    // Hour 0 bootstraps the cluster; later hours arrive as deltas.
+    let hour0: Vec<OwnerInput> = (0..ORGS).map(|j| hourly_report(j, 0, &outbreak)).collect();
+    let mut cfg = ClusterConfig::new(REGIONS as usize).with_cache(true);
+    cfg.agg_domain_max = 2_000;
+    cfg.seed = 20260807;
+    let mut cluster = Cluster::build(&hour0, cfg).expect("cluster");
     println!(
-        "Regions flagged by all {} organizations: {flagged:?}",
-        organizations.len()
+        "Hour 0: {} organizations outsourced their reports ({names:?})",
+        ORGS
     );
+
+    let batch = QueryBatch::new().sum(0).count_tuples();
+    let window = |h: usize| ((h as u64) * REGIONS, REGIONS);
+
+    // Cold consensus check over hour 0 — both protocol rounds run.
+    let (r, stats) = cluster
+        .psi_query_batch_range(&batch, window(0))
+        .expect("windowed batch");
+    let (total, flagged) = consensus(&r);
     println!(
-        "  (server time {:?}, owner time {:?}, verified against malicious servers)",
-        stats.server_time, stats.owner_time
+        "  consensus over hour 0: {flagged} regions, total strength {total} \
+         (rounds {}, cache hits {})",
+        stats.rounds, stats.cache_hits
     );
-    for r in outbreak {
-        assert!(flagged.contains(&r), "outbreak region {r} must be flagged");
-    }
+    assert_eq!(stats.rounds, 2, "first windowed query is cold");
+    assert!(flagged >= outbreak.len());
 
-    // Combined signal strength in the flagged regions (verified PSI-Sum).
-    let (sums, _) = cluster.psi_sum_verified(0).expect("sum");
-    println!("\nCombined signal strength in consensus regions:");
-    for &c in &psi.common {
-        println!("  region {:>3}: {:>5}", c + 1, sums[c]);
-    }
-    // The planted outbreak regions carry ≥ 4 × 800 signal.
-    for r in outbreak {
-        assert!(sums[(r - 1) as usize] >= 3200);
-    }
-
-    // Which organization reports the strongest signal per region?
-    let (maxes, holders, _) = cluster.psi_max(0).expect("max");
-    println!("\nStrongest single reporter per consensus region:");
-    let names = ["pharmacy", "hospital", "telehealth", "schools"];
-    for (k, m) in maxes.iter().enumerate() {
-        let who: Vec<&str> = holders[k]
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &h)| h.then_some(names[j]))
+    // Stream the remaining hours: one delta upload per hour, then
+    // re-check every *past* hour's window. The appends only stamp the
+    // new range, so previously-run windows replay entirely from cache.
+    let mut hour_totals = vec![total];
+    for hour in 1..HOURS {
+        let delta: Vec<OwnerInput> = (0..ORGS)
+            .map(|j| hourly_report(j, hour, &outbreak))
             .collect();
+        cluster
+            .append(REGIONS as usize, &delta)
+            .expect("delta upload");
+        println!("\nHour {hour}: delta uploads appended {REGIONS} cells per org");
+
+        // Fresh hour: a cold windowed query (new range, new cache key).
+        let (r, stats) = cluster
+            .psi_query_batch_range(&batch, window(hour))
+            .expect("windowed batch");
+        let (total, flagged) = consensus(&r);
+        hour_totals.push(total);
         println!(
-            "  region {:>3}: strength {:>4} reported by {who:?}",
-            m.cell + 1,
-            m.max
+            "  hour {hour} consensus: {flagged} regions, total strength {total} \
+             (rounds {}, cold)",
+            stats.rounds
+        );
+
+        // Every earlier hour replays warm — zero server round-trips even
+        // though the stores just grew.
+        for past in 0..hour {
+            let (r, stats) = cluster
+                .psi_query_batch_range(&batch, window(past))
+                .expect("warm re-check");
+            let (retotal, _) = consensus(&r);
+            assert_eq!(
+                retotal, hour_totals[past],
+                "hour {past} consensus drifted after an append"
+            );
+            assert_eq!(
+                (stats.rounds, stats.cache_hits),
+                (0, 2),
+                "hour {past} window must stay warm across hour {hour}'s append"
+            );
+            println!(
+                "  re-check hour {past}: total {retotal} unchanged \
+                 (rounds 0, cache hits 2 — no server contact)"
+            );
+        }
+    }
+
+    // The outbreak regions show up in every hour's consensus.
+    let (r, _) = cluster
+        .psi_query_batch_range(&batch, window(HOURS - 1))
+        .expect("final window");
+    let AggResult::Sums(sums) = &r[0] else {
+        panic!("first batch item is the sum");
+    };
+    for region in outbreak {
+        let s = sums[(region - 1) as usize];
+        assert!(
+            s >= 800 * ORGS as u64,
+            "outbreak region {region} must run hot (got {s})"
         );
     }
 
     println!(
-        "\nNo organization revealed its raw report; servers saw only shares;\n\
-         the querier learned only the consensus regions and their aggregates."
+        "\nNo organization re-uploaded history or revealed raw reports; each\n\
+         hour cost one delta upload per org, and every past-hour re-check\n\
+         was answered from the PSI-round cache without touching a server."
     );
 }

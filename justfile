@@ -40,19 +40,25 @@ bench-check:
 # deployment (channel + TCP, announcer as a fourth node) and writes
 # BENCH_netmax.json; `cache` runs the repeat-query PSI-round cache sweep
 # and writes BENCH_cache.json — the sweep *asserts* at least one cache
-# hit, so a cache regression fails the smoke run; `serve` drives N ∈
-# {1,4,16} concurrent query streams through the session multiplexer
+# hit, so a cache regression fails the smoke run; `stream` runs the
+# streaming-append sweep (hourly delta uploads against warm windowed
+# re-checks) and writes BENCH_stream.json — the sweep *asserts* every
+# post-append re-check replays both rounds from the cache, and the grep
+# re-checks at least one warm-range hit landed after an append; `serve`
+# drives N ∈ {1,4,16} concurrent query streams through the session
+# multiplexer
 # (asserting every concurrent answer matches serial) and writes
 # BENCH_serve.json; `hotpath` times the per-row server kernels in both
 # their Vec-baseline and flat in-place forms (counting allocations per
 # warm call) and writes BENCH_hotpath.json; `failover` kills a shard
 # worker on the elastic TCP deployment, times the control-plane heal
 # (asserting the healed answers match the pre-kill answers exactly) and
-# writes BENCH_failover.json (all six JSONs are uploaded as CI
+# writes BENCH_failover.json (all seven JSONs are uploaded as CI
 # artifacts).
 bench-smoke: bench-check
-    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache serve hotpath failover --scale small
+    cargo run --release -p prism_bench --bin exp_harness -- exp1 sharegen shard netmax cache stream serve hotpath failover --scale small
     grep -q '"total_cache_hits": [1-9]' BENCH_cache.json
+    grep -q '"warm_hits_after_append": [1-9]' BENCH_stream.json
     grep -q '"queries_per_second"' BENCH_serve.json
     grep -q '"max_speedup"' BENCH_hotpath.json
     grep -q '"failovers": 1' BENCH_failover.json
