@@ -279,9 +279,11 @@ fn main() {
     }
     if wants("failover") {
         let (domain, owners, shards) = configs::failover_bench();
-        let sweep = failoverexp::run(domain, owners, shards, seed);
-        failoverexp::print(domain, owners, shards, &sweep);
-        match failoverexp::write_json(&args.failover_json, domain, owners, shards, &sweep) {
+        let sweeps = failoverexp::run_all(domain, owners, shards, seed);
+        for sweep in &sweeps {
+            failoverexp::print(domain, owners, shards, sweep);
+        }
+        match failoverexp::write_json(&args.failover_json, domain, owners, shards, &sweeps) {
             Ok(()) => println!("wrote {}", args.failover_json.display()),
             Err(e) => eprintln!("could not write {}: {e}", args.failover_json.display()),
         }

@@ -756,6 +756,9 @@ pub struct NetReport {
     pub nodes: Vec<crate::registry::NodeHealth>,
     /// Shard-worker failovers the registry has healed so far.
     pub failovers: u64,
+    /// Failovers that healed as metadata-only replica promotions (no
+    /// upload-log replay; a subset of `failovers`).
+    pub promotions: u64,
 }
 
 impl NetReport {
@@ -877,7 +880,11 @@ impl std::fmt::Display for NetReport {
             self.cache_hits, self.cache_misses, self.cache_invalidations
         )?;
         if !self.nodes.is_empty() {
-            writeln!(f, "control plane: failovers={}", self.failovers)?;
+            writeln!(
+                f,
+                "control plane: failovers={} promotions={}",
+                self.failovers, self.promotions
+            )?;
             for n in &self.nodes {
                 writeln!(f, "  {n}")?;
             }
@@ -1659,6 +1666,7 @@ impl NetCluster {
                 .map(|r| r.node_health())
                 .unwrap_or_default(),
             failovers: self.registry.as_ref().map_or(0, |r| r.failovers()),
+            promotions: self.registry.as_ref().map_or(0, |r| r.promotions()),
         }
     }
 

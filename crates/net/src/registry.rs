@@ -24,11 +24,26 @@
 //!   death) it is confirmed [`Liveness::Dead`]. Per-node liveness,
 //!   last-seen age, and assignment generation are exported through
 //!   [`NetCluster::report`] as [`NodeHealth`] rows.
+//! * **Replication.** [`RegistryConfig::replication`] stores every row
+//!   range on `rf` workers (round-robin over attach order,
+//!   [`ShardPlan::replica_sets`]): the first holder of each range is
+//!   its **primary**, the rest are standbys holding the identical
+//!   shares. Uploads fan to every holder; query rounds read from the
+//!   primary and fail over to a standby **only on a link-level failure**
+//!   (`NodeDown`) — a well-formed-but-wrong reply is tamper-shaped and
+//!   is never retried, so a corrupt replica cannot be masked by an
+//!   honest one. Replicas add no leakage surface: each holds shares the
+//!   same server domain already held, and workers of different domains
+//!   still have no edge to each other.
 //! * **Failover.** On confirmed death of a shard worker the registry
-//!   re-plans the domain over the survivors
-//!   ([`ShardPlan::without`]), pushes each survivor its new row range
+//!   first tries **promotion**: if every row range still has a live
+//!   holder, the heal is metadata-only — generation bump, re-`Assign`
+//!   of unchanged ranges (a no-op on the worker stores), and cache
+//!   invalidation of exactly the healed domain. Zero upload-log
+//!   replay. Only when a range lost its *last* holder does the registry
+//!   re-plan the domain over the survivors, push each its new row range
 //!   via [`Message::Assign`] (generation-numbered, acked), and
-//!   **re-outsources** the domain by replaying every recorded owner
+//!   **re-outsource** the domain by replaying every recorded owner
 //!   upload sliced under the new plan — the same store-version path as
 //!   any owner upload, so each survivor's monotonic version bumps and
 //!   the PSI-round cache invalidates exactly the re-fanned domain
@@ -48,17 +63,17 @@
 //! to a transient) and re-sends its assignment — the keep-alive loop
 //! doubles as the assignment anti-entropy loop.
 
-use crate::cluster::{announcer_loop, reply, route_batch, run_batch_on, run_wide, NetCluster};
-use crate::mux::{Admission, MuxLink};
+use crate::cluster::{announcer_loop, reply, run_batch_on, run_wide, NetCluster};
+use crate::mux::{Admission, MuxLink, Pending};
 use crate::transport::{channel_pair, Link, LinkStats, NetError, TcpLink};
 use crate::wire::{Column, Message, NodeRole};
 use parking_lot::{Mutex, RwLock};
 use prism_core::Permutation;
 use prism_protocol::cache::PsiRoundCache;
-use prism_protocol::engine::{ServerCmd, ServerNode};
+use prism_protocol::engine::{BatchQuery, ServerCmd, ServerNode};
 use prism_protocol::malicious::Tamper;
 use prism_protocol::params::{AnnouncerParams, ServerParams, Setup, ADDITIVE_SERVERS};
-use prism_protocol::shard::{shard_server_params, ShardPlan, ShardSpec};
+use prism_protocol::shard::{merge_shard_outputs, shard_server_params, ShardPlan, ShardSpec};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -72,9 +87,10 @@ pub struct RegistryConfig {
     pub probe_interval: Duration,
     /// How long one ping waits for its pong before counting a miss.
     pub probe_timeout: Duration,
-    /// Consecutive misses a node may accrue while merely *suspect*; one
-    /// more confirms it dead. A hard link death (EOF) skips the budget —
-    /// the crash is already confirmed.
+    /// Consecutive misses that confirm a node dead: misses below the
+    /// budget leave it merely *suspect*; reaching the budget kills it.
+    /// A hard link death (EOF) skips the budget — the crash is already
+    /// confirmed.
     pub miss_budget: u32,
     /// How long [`ClusterListener::start`] waits for the full topology
     /// (every shard worker + the announcer's three edges) to attach.
@@ -82,6 +98,13 @@ pub struct RegistryConfig {
     /// Per-message timeout during a heal (assignments, replayed
     /// uploads): a survivor that cannot ack within this is removed too.
     pub heal_timeout: Duration,
+    /// Replication factor: how many workers hold each row range
+    /// (primary + `replication - 1` standbys). Each domain's worker
+    /// target becomes `shards × replication`. `1` (the default) is the
+    /// unreplicated plan; values ≥ 2 turn worker death into a
+    /// metadata-only promotion whenever the dead worker's range has a
+    /// surviving holder.
+    pub replication: usize,
 }
 
 impl Default for RegistryConfig {
@@ -92,7 +115,19 @@ impl Default for RegistryConfig {
             miss_budget: 3,
             attach_timeout: Duration::from_secs(10),
             heal_timeout: Duration::from_secs(5),
+            replication: 1,
         }
+    }
+}
+
+impl RegistryConfig {
+    /// Whether a probe failure confirms a node dead: a hard link death
+    /// is immediately fatal; otherwise death is confirmed once the node
+    /// has accrued `miss_budget` consecutive misses — the budget is the
+    /// miss count that kills, not one less (the historical `>` here let
+    /// every node linger one probe interval past its documented budget).
+    pub fn confirms_death(&self, misses: u32, hard_dead: bool) -> bool {
+        hard_dead || misses >= self.miss_budget
     }
 }
 
@@ -153,6 +188,11 @@ struct WorkerSlot {
     liveness: Liveness,
     /// Generation of the assignment this worker last acked.
     generation: u64,
+    /// Index into the domain plan's specs of the row range this worker
+    /// holds. Several workers share a range under replication; holder
+    /// order within [`DomainState::workers`] breaks the tie — the first
+    /// holder of a range is its primary.
+    range: usize,
 }
 
 /// Mutable per-domain control state, shared between the elastic router
@@ -163,11 +203,45 @@ struct WorkerSlot {
 /// half-replayed store.
 struct DomainState {
     params: ServerParams,
-    /// Configured shard ceiling; attaches beyond it are rejected.
+    /// Configured worker ceiling (`ranges × rf`); attaches beyond it
+    /// are rejected.
     target: usize,
+    /// Replication factor each row range is stored at (when enough
+    /// workers are attached).
+    rf: usize,
     generation: u64,
     plan: ShardPlan,
     workers: Vec<WorkerSlot>,
+}
+
+impl DomainState {
+    /// Worker indices holding plan range `r`, in attach order — the
+    /// first is the range's primary.
+    fn holders_of(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(move |(_, w)| w.range == r)
+            .map(|(i, _)| i)
+    }
+
+    /// True iff every range of the current plan still has at least one
+    /// holder — the promotion precondition: no row range was lost.
+    fn covered(&self) -> bool {
+        (0..self.plan.shard_count()).all(|r| self.holders_of(r).next().is_some())
+    }
+
+    /// Per-range holder *links*, primary first — the fan-out a route
+    /// task snapshots under the read lock.
+    fn holder_links(&self) -> Vec<Vec<Arc<MuxLink>>> {
+        (0..self.plan.shard_count())
+            .map(|r| {
+                self.holders_of(r)
+                    .map(|i| Arc::clone(&self.workers[i].link))
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 /// One recorded owner upload (the replay log for failover
@@ -200,6 +274,12 @@ struct RegistryInner {
     /// Dead nodes kept for reporting after their slot is removed.
     graveyard: Mutex<Vec<NodeHealth>>,
     failovers: AtomicU64,
+    /// Heals that completed as metadata-only replica promotions (a
+    /// subset of `failovers`).
+    promotions: AtomicU64,
+    /// Upload-log records replayed across all heals — stays at zero as
+    /// long as every heal promotes.
+    replayed: AtomicU64,
     next_node: AtomicU64,
     /// Control-plane correlation ids (pings, assigns, replays) live in
     /// `[2^62, 2^63)`: disjoint from owner query ids (from 0) and
@@ -320,9 +400,23 @@ impl NodeRegistry {
         self.inner.addr
     }
 
-    /// Shard-worker failovers healed so far.
+    /// Shard-worker failovers healed so far (promotions included).
     pub fn failovers(&self) -> u64 {
         self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Heals that completed as metadata-only replica promotions: the
+    /// dead worker's every range had a surviving holder, so no upload
+    /// was replayed.
+    pub fn promotions(&self) -> u64 {
+        self.inner.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Upload-log records replayed across all heals so far. With a
+    /// replication factor ≥ 2 a single worker death heals by promotion
+    /// and this stays exactly where it was.
+    pub fn replayed_records(&self) -> u64 {
+        self.inner.replayed.load(Ordering::Relaxed)
     }
 
     /// Human-readable heal log: one entry per attach, failover, and
@@ -472,21 +566,24 @@ impl ClusterListener {
     /// accepting registrations immediately (workers may dial before or
     /// after [`ClusterListener::start`] is called — bring-up is racy by
     /// nature and both orders must work). `shards` is each domain's
-    /// worker target.
+    /// *row-range* target; the worker target is `shards ×`
+    /// [`RegistryConfig::replication`].
     pub fn bind(setup: Setup, shards: usize, cfg: RegistryConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        let rf = cfg.replication.max(1);
         let domains = setup
             .servers
             .iter()
             .map(|params| {
                 let b = params.b;
-                let target = shards.clamp(1, b.max(1));
+                let ranges = shards.clamp(1, b.max(1));
                 Arc::new(RwLock::new(DomainState {
                     params: params.clone(),
-                    target,
+                    target: ranges * rf,
+                    rf,
                     generation: 0,
-                    plan: ShardPlan::new(b, target),
+                    plan: ShardPlan::new(b, ranges),
                     workers: Vec::new(),
                 }))
             })
@@ -500,6 +597,8 @@ impl ClusterListener {
             heal_log: Mutex::new(Vec::new()),
             graveyard: Mutex::new(Vec::new()),
             failovers: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
             next_node: AtomicU64::new(0),
             corr: AtomicU64::new(1 << 62),
             stop: AtomicBool::new(false),
@@ -734,6 +833,9 @@ fn handle_attach(inner: &Arc<RegistryInner>, stream: TcpStream) {
                     misses: 0,
                     liveness: Liveness::Alive,
                     generation: 0,
+                    // Provisional; the re-fan below computes the real
+                    // round-robin range before any query can route here.
+                    range: 0,
                 });
             }
             let survivors = refan(inner, d);
@@ -871,7 +973,8 @@ fn handle_attach(inner: &Arc<RegistryInner>, stream: TcpStream) {
 // ---------------------------------------------------------------------
 
 /// Re-fan domain `d` over its current workers: bump the generation,
-/// re-plan, push every worker its new row range, and replay the
+/// re-plan (carving [`ShardPlan::ranges_for`] ranges so every range
+/// keeps `rf` holders), push every worker its row range, and replay the
 /// recorded uploads sliced under the new plan. Holds the domain write
 /// lock throughout — the heal barrier: no query round can interleave
 /// with a half-replayed store. A worker that fails mid-heal is removed
@@ -890,7 +993,13 @@ fn refan(inner: &Arc<RegistryInner>, d: usize) -> usize {
             return 0;
         }
         st.generation += 1;
-        st.plan = ShardPlan::new(st.params.b, st.workers.len());
+        let ranges = ShardPlan::ranges_for(st.workers.len(), st.rf, st.params.b);
+        st.plan = ShardPlan::new(st.params.b, ranges);
+        for (r, holders) in st.plan.replica_sets(st.workers.len()).iter().enumerate() {
+            for &w in holders {
+                st.workers[w].range = r;
+            }
+        }
         match assign_and_replay(inner, &mut st, d) {
             Ok(()) => break,
             Err(bad) => {
@@ -913,19 +1022,56 @@ fn refan(inner: &Arc<RegistryInner>, d: usize) -> usize {
     survivors
 }
 
-/// Push the current plan's ranges to every worker (acked, generation
-/// `st.generation`), then replay the domain's recorded uploads sliced
-/// under the new plan. `Err(i)` names the worker index that failed.
-fn assign_and_replay(
-    inner: &Arc<RegistryInner>,
-    st: &mut DomainState,
-    d: usize,
-) -> Result<(), usize> {
+/// Metadata-only heal of domain `d`: every range of the *current* plan
+/// still has a live holder, so no row range was lost with the casualty
+/// — bump the generation and re-`Assign` each survivor the range it
+/// already holds (a pure generation bump on the worker side; stores are
+/// untouched and nothing is replayed), then dirty exactly this domain's
+/// cache entries so warm rounds revalidate against the promoted
+/// primaries. Returns `false` when a range lost its last holder or a
+/// survivor failed its promotion assign — the caller falls back to the
+/// replay heal over whoever remains.
+fn promote(inner: &Arc<RegistryInner>, d: usize) -> bool {
+    let shared = &inner.domains[d];
+    let mut st = shared.write();
+    loop {
+        if st.workers.is_empty() || !st.covered() {
+            return false;
+        }
+        st.generation += 1;
+        match assign_current(inner, &mut st) {
+            Ok(()) => break,
+            Err(bad) => {
+                let casualty = st.workers.remove(bad);
+                bury(inner, &casualty);
+                inner.heal_log.lock().push(format!(
+                    "domain {d}: worker {} failed mid-promotion; removed",
+                    casualty.label
+                ));
+            }
+        }
+    }
+    drop(st);
+    // Nothing was replayed, but the primary of the healed range changed:
+    // dirty the domain so warm entries re-probe (and revive if the
+    // promoted holder reports the stamps they were cut against).
+    if let Some(cache) = inner.cache.lock().as_ref() {
+        cache.note_upload(d);
+    }
+    inner.promotions.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Push every worker the range it currently holds (acked, generation
+/// `st.generation`). Assigning the unchanged range is deliberately a
+/// pure generation bump on the worker side — no store wipe, no replay.
+/// `Err(i)` names the worker index that failed.
+fn assign_current(inner: &Arc<RegistryInner>, st: &mut DomainState) -> Result<(), usize> {
     let gen = st.generation;
-    let specs: Vec<ShardSpec> = st.plan.specs().to_vec();
     let corr = inner.fresh_corr();
     let mut pendings = Vec::with_capacity(st.workers.len());
-    for (i, (slot, spec)) in st.workers.iter().zip(&specs).enumerate() {
+    for (i, slot) in st.workers.iter().enumerate() {
+        let spec = st.plan.specs()[slot.range];
         let msg = Message::Assign {
             generation: gen,
             start: spec.start as u64,
@@ -941,6 +1087,19 @@ fn assign_and_replay(
             _ => return Err(i),
         }
     }
+    Ok(())
+}
+
+/// Push the current plan's ranges to every worker (acked, generation
+/// `st.generation`), then replay the domain's recorded uploads sliced
+/// under the new plan — every holder of a range receives its slice.
+/// `Err(i)` names the worker index that failed.
+fn assign_and_replay(
+    inner: &Arc<RegistryInner>,
+    st: &mut DomainState,
+    d: usize,
+) -> Result<(), usize> {
+    assign_current(inner, st)?;
     let records: Vec<UploadRecord> = inner
         .uploads
         .lock()
@@ -951,7 +1110,8 @@ fn assign_and_replay(
     for rec in &records {
         let corr = inner.fresh_corr();
         let mut pendings = Vec::with_capacity(st.workers.len());
-        for (i, (slot, spec)) in st.workers.iter().zip(&specs).enumerate() {
+        for (i, slot) in st.workers.iter().enumerate() {
+            let spec = st.plan.specs()[slot.range];
             let sliced: Vec<(Column, Vec<u64>)> = rec
                 .columns
                 .iter()
@@ -985,6 +1145,9 @@ fn assign_and_replay(
             }
         }
     }
+    inner
+        .replayed
+        .fetch_add(records.len() as u64, Ordering::Relaxed);
     Ok(())
 }
 
@@ -999,7 +1162,10 @@ fn bury(inner: &Arc<RegistryInner>, casualty: &WorkerSlot) {
 }
 
 /// Confirmed death of one shard worker: remove it, heal the domain, and
-/// count the failover.
+/// count the failover. The cheap heal is tried first — if every row
+/// range the casualty co-held still has a live replica, the heal is a
+/// metadata-only *promotion*; only a range that lost its last holder
+/// forces the replay re-fan.
 fn failover(inner: &Arc<RegistryInner>, d: usize, node: u64) {
     let casualty = {
         let mut st = inner.domains[d].write();
@@ -1009,19 +1175,22 @@ fn failover(inner: &Arc<RegistryInner>, d: usize, node: u64) {
         st.workers.remove(idx)
     };
     bury(inner, &casualty);
-    let lost = {
-        let st = inner.domains[d].read();
-        st.plan
-            .lost_range(0)
-            .map(|_| st.params.b / (st.workers.len() + 1).max(1))
-            .unwrap_or(0)
+    let promoted = promote(inner, d);
+    let survivors = if promoted {
+        inner.domains[d].read().workers.len()
+    } else {
+        refan(inner, d)
     };
-    let survivors = refan(inner, d);
     inner.failovers.fetch_add(1, Ordering::Relaxed);
     let generation = inner.domains[d].read().generation;
+    let heal = if promoted {
+        "promoted surviving replica(s), zero replay"
+    } else {
+        "re-fanned the upload log"
+    };
     inner.heal_log.lock().push(format!(
-        "domain {d}: worker {} confirmed dead; re-fanned ~{lost} rows over {survivors} \
-         survivor(s) (generation {generation})",
+        "domain {d}: worker {} confirmed dead; {heal} over {survivors} survivor(s) \
+         (generation {generation})",
         casualty.label
     ));
 }
@@ -1084,7 +1253,7 @@ fn prober_loop(inner: Arc<RegistryInner>) {
                             if let Some(w) = st.workers.iter_mut().find(|w| w.node == node) {
                                 w.misses += 1;
                                 w.liveness = Liveness::Suspect;
-                                if hard_dead || w.misses > inner.cfg.miss_budget {
+                                if inner.cfg.confirms_death(w.misses, hard_dead) {
                                     w.liveness = Liveness::Dead;
                                     confirmed = true;
                                 }
@@ -1130,7 +1299,7 @@ fn probe_announcer(inner: &Arc<RegistryInner>) {
         }
         Err(_) => {
             a.misses += 1;
-            a.liveness = if link.is_dead() || a.misses > inner.cfg.miss_budget {
+            a.liveness = if inner.cfg.confirms_death(a.misses, link.is_dead()) {
                 // No failover target exists for the announcer — it holds
                 // no outsourced rows; wide queries fail loudly until it
                 // returns.
@@ -1146,23 +1315,131 @@ fn probe_announcer(inner: &Arc<RegistryInner>) {
 // Elastic domain router
 // ---------------------------------------------------------------------
 
-/// Fan an acked control message (upload slices) across the current
-/// workers. `Err(shard)` names the first worker index whose link failed
-/// — the router reports it as [`Message::NodeDown`] instead of dying.
+/// Fan an acked control message (upload slices) to **every holder** of
+/// every range, each sliced for the range it holds. The fan is tolerant
+/// per range: a holder whose link fails mid-upload is survivable as
+/// long as *some* holder of that range acked — link death is sticky, so
+/// the lagging holder can never serve a query again and the prober will
+/// reap it. `Err(shard)` (reported as [`Message::NodeDown`]) means some
+/// range got no ack at all.
 fn fan_acked(st: &DomainState, corr: u64, mk: impl Fn(&ShardSpec) -> Message) -> Result<(), u64> {
     let mut pendings = Vec::with_capacity(st.workers.len());
-    for (i, (slot, spec)) in st.workers.iter().zip(st.plan.specs()).enumerate() {
-        let p = slot.link.begin(corr).map_err(|_| i as u64)?;
-        slot.link.send(corr, mk(spec)).map_err(|_| i as u64)?;
-        pendings.push((i, p));
-    }
-    for (i, p) in pendings {
-        match p.recv() {
-            Ok(Message::Ack) => {}
-            _ => return Err(i as u64),
+    let mut failed: Option<u64> = None;
+    for (i, slot) in st.workers.iter().enumerate() {
+        let spec = st.plan.specs()[slot.range];
+        let sent = slot
+            .link
+            .begin(corr)
+            .and_then(|p| slot.link.send(corr, mk(&spec)).map(|()| p));
+        match sent {
+            Ok(p) => pendings.push((i, p)),
+            Err(_) => failed = Some(i as u64),
         }
     }
-    Ok(())
+    let mut acked = vec![0usize; st.plan.shard_count()];
+    for (i, p) in pendings {
+        match p.recv() {
+            Ok(Message::Ack) => acked[st.workers[i].range] += 1,
+            _ => failed = Some(i as u64),
+        }
+    }
+    if acked.iter().all(|&n| n > 0) {
+        Ok(())
+    } else {
+        Err(failed.unwrap_or(u64::MAX))
+    }
+}
+
+/// Outcome of a replicated route: a link-level loss of every holder of
+/// one range (`Down`, reported as [`Message::NodeDown`] — crash, not
+/// tamper), or a reply that arrived but was malformed (`Malformed`,
+/// reported as an empty output list — tamper-shaped, **never** retried
+/// on a replica: a standby must not be able to mask what verification
+/// would catch).
+enum RouteFail {
+    Down(u64),
+    Malformed,
+}
+
+/// Fan one batched round over the replicated holder sets: each range's
+/// sub-batch ships to its primary (first holder) concurrently; a
+/// *link-level* failure — begin/send refused or the pump dead — retries
+/// the next replica of that range in holder order. A well-formed reply
+/// is final, right or wrong.
+fn route_batch_replicated(
+    plan: &ShardPlan,
+    params: &ServerParams,
+    tamper: &Tamper,
+    batch: &BatchQuery,
+    holders: &[Vec<Arc<MuxLink>>],
+    corr: u64,
+) -> Result<Vec<Vec<u64>>, RouteFail> {
+    let subs = plan.split_batch(batch).map_err(|_| RouteFail::Malformed)?;
+    let ship = |r: usize, h: usize| -> Option<Pending> {
+        let link = holders[r].get(h)?;
+        let p = link.begin(corr).ok()?;
+        link.send(
+            corr,
+            Message::ShardRun {
+                shard: r as u32,
+                batch: subs[r].clone(),
+            },
+        )
+        .ok()?;
+        Some(p)
+    };
+    // Primary fan-out first — the failure-free fast path keeps every
+    // range's round-trip concurrent.
+    let firsts: Vec<Option<Pending>> = (0..subs.len()).map(|r| ship(r, 0)).collect();
+    let mut per_shard = Vec::with_capacity(subs.len());
+    for (r, first) in firsts.into_iter().enumerate() {
+        let mut outcome = Err(RouteFail::Down(r as u64));
+        let mut pending = first;
+        let mut next_holder = 1;
+        loop {
+            if let Some(p) = pending {
+                match p.recv() {
+                    Ok(Message::ShardOutputs { shard, outputs }) if shard as usize == r => {
+                        outcome = Ok(outputs);
+                        break;
+                    }
+                    // Crossed or malformed reply from a live holder:
+                    // final, tamper-shaped.
+                    Ok(_) => {
+                        outcome = Err(RouteFail::Malformed);
+                        break;
+                    }
+                    // Link died mid-round: fall through to the next
+                    // replica of this range.
+                    Err(_) => {}
+                }
+            }
+            if next_holder >= holders[r].len() {
+                break; // every holder of this range is down
+            }
+            pending = ship(r, next_holder);
+            next_holder += 1;
+        }
+        per_shard.push(outcome?);
+    }
+    merge_shard_outputs(&per_shard, batch, params, tamper).map_err(|_| RouteFail::Malformed)
+}
+
+/// One request/reply round-trip against the first live holder of a
+/// range: holders are tried in primary order, moving on only on a
+/// link-level failure. `None` means every holder is down.
+fn ask_range(holders: &[Arc<MuxLink>], corr: u64, msg: &Message) -> Option<Message> {
+    for link in holders {
+        let attempt = || -> Result<Message, NetError> {
+            let p = link.begin(corr)?;
+            link.send(corr, msg.clone())?;
+            p.recv()
+        };
+        if let Ok(reply) = attempt() {
+            return Some(reply);
+        }
+    }
+    None
 }
 
 /// The registry-backed sibling of `domain_loop`: one server domain's
@@ -1288,25 +1565,42 @@ fn elastic_domain_loop(
                         // for a tampering server.
                         None => Ok(()),
                         Some(spec) => {
-                            let slot = &st.workers[spec.index];
-                            let fwd = || -> Result<(), NetError> {
-                                let p = slot.link.begin(id)?;
-                                slot.link.send(
-                                    id,
-                                    Message::DeltaUpload {
-                                        owner,
-                                        start: (start - spec.start) as u64,
-                                        columns,
-                                        pf_s1_ext: Vec::new(),
-                                        pf_s2_ext: Vec::new(),
-                                    },
-                                )?;
-                                match p.recv()? {
-                                    Message::Ack => Ok(()),
-                                    _ => Err(NetError::Disconnected),
+                            // Every holder of the tail range applies the
+                            // delta; like the bulk fan, one surviving ack
+                            // suffices (a holder whose link failed is
+                            // sticky-dead and will be reaped, never
+                            // promoted into serving stale rows).
+                            let mut acked = 0usize;
+                            let mut failed = u64::MAX;
+                            for i in st.holders_of(spec.index).collect::<Vec<_>>() {
+                                let slot = &st.workers[i];
+                                let fwd = || -> Result<(), NetError> {
+                                    let p = slot.link.begin(id)?;
+                                    slot.link.send(
+                                        id,
+                                        Message::DeltaUpload {
+                                            owner,
+                                            start: (start - spec.start) as u64,
+                                            columns: columns.clone(),
+                                            pf_s1_ext: Vec::new(),
+                                            pf_s2_ext: Vec::new(),
+                                        },
+                                    )?;
+                                    match p.recv()? {
+                                        Message::Ack => Ok(()),
+                                        _ => Err(NetError::Disconnected),
+                                    }
+                                };
+                                match fwd() {
+                                    Ok(()) => acked += 1,
+                                    Err(_) => failed = i as u64,
                                 }
-                            };
-                            fwd().map_err(|_| spec.index as u64)
+                            }
+                            if acked > 0 {
+                                Ok(())
+                            } else {
+                                Err(failed)
+                            }
                         }
                     }
                 };
@@ -1330,20 +1624,25 @@ fn elastic_domain_loop(
                     // barrier. A heal (write) waits for this round; this
                     // round can never see a half-replayed store.
                     let st = shared.read();
-                    let links: Vec<Arc<MuxLink>> =
-                        st.workers.iter().map(|w| Arc::clone(&w.link)).collect();
+                    let holders = st.holder_links();
                     let tamper_now = *tamper.read();
                     let msg = if st.workers.is_empty() {
                         Message::NodeDown { node: NO_WORKERS }
                     } else {
-                        match route_batch(&st.plan, &st.params, &tamper_now, &batch, &links, id) {
-                            Some(outs) => Message::Outputs(outs),
-                            None => match links.iter().position(|l| l.is_dead()) {
-                                Some(i) => Message::NodeDown { node: i as u64 },
-                                // Malformed-but-alive shard: shaped like
-                                // tamper, reported like tamper.
-                                None => Message::Outputs(Vec::new()),
-                            },
+                        match route_batch_replicated(
+                            &st.plan,
+                            &st.params,
+                            &tamper_now,
+                            &batch,
+                            &holders,
+                            id,
+                        ) {
+                            Ok(outs) => Message::Outputs(outs),
+                            // Crash: every holder of some range is gone.
+                            Err(RouteFail::Down(node)) => Message::NodeDown { node },
+                            // Malformed-but-alive shard: shaped like
+                            // tamper, reported like tamper.
+                            Err(RouteFail::Malformed) => Message::Outputs(Vec::new()),
                         }
                     };
                     drop(st);
@@ -1356,23 +1655,19 @@ fn elastic_domain_loop(
                 let id = corr.fetch_add(1, Ordering::Relaxed);
                 workers.push(std::thread::spawn(move || {
                     let st = shared.read();
+                    // Primary-per-range probe (replica fallback on link
+                    // failure only): versions are a per-holder notion —
+                    // summing every replica would double-count ranges.
                     let probe = || -> Result<u64, u64> {
                         if st.workers.is_empty() {
                             return Err(NO_WORKERS);
                         }
-                        let mut pendings = Vec::with_capacity(st.workers.len());
-                        for (i, w) in st.workers.iter().enumerate() {
-                            let p = w.link.begin(id).map_err(|_| i as u64)?;
-                            w.link
-                                .send(id, Message::VersionProbe)
-                                .map_err(|_| i as u64)?;
-                            pendings.push((i, p));
-                        }
+                        let holders = st.holder_links();
                         let mut version = 0u64;
-                        for (i, p) in pendings {
-                            match p.recv() {
-                                Ok(Message::Version(v)) => version += v,
-                                _ => return Err(i as u64),
+                        for (r, hs) in holders.iter().enumerate() {
+                            match ask_range(hs, id, &Message::VersionProbe) {
+                                Some(Message::Version(v)) => version += v,
+                                _ => return Err(r as u64),
                             }
                         }
                         Ok(version)
@@ -1391,23 +1686,24 @@ fn elastic_domain_loop(
                 let id = corr.fetch_add(1, Ordering::Relaxed);
                 workers.push(std::thread::spawn(move || {
                     let st = shared.read();
+                    // Stamps come from each range's primary (replica
+                    // fallback on link failure only); range order is
+                    // global row order, exactly as with one holder per
+                    // range. Replica stamps may differ (their rebuild
+                    // histories fold different `version_base`s), which is
+                    // safe: a promotion dirties the domain and entries
+                    // cut against the old primary re-probe — they only
+                    // revive if the new primary agrees.
                     let probe = || -> Result<Vec<(u64, u64, u64)>, u64> {
                         if st.workers.is_empty() {
                             return Err(NO_WORKERS);
                         }
-                        let mut pendings = Vec::with_capacity(st.workers.len());
-                        for (i, w) in st.workers.iter().enumerate() {
-                            let p = w.link.begin(id).map_err(|_| i as u64)?;
-                            w.link
-                                .send(id, Message::RangeVersionProbe)
-                                .map_err(|_| i as u64)?;
-                            pendings.push((i, p));
-                        }
+                        let holders = st.holder_links();
                         let mut stamps = Vec::new();
-                        for (i, p) in pendings {
-                            match p.recv() {
-                                Ok(Message::Versions(v)) => stamps.extend(v),
-                                _ => return Err(i as u64),
+                        for (r, hs) in holders.iter().enumerate() {
+                            match ask_range(hs, id, &Message::RangeVersionProbe) {
+                                Some(Message::Versions(v)) => stamps.extend(v),
+                                _ => return Err(r as u64),
                             }
                         }
                         Ok(stamps)
@@ -1504,6 +1800,32 @@ impl ShardWorker {
         addr: SocketAddr,
         timeout: Duration,
     ) -> Result<ShardWorker, NetError> {
+        ShardWorker::connect_inner(params, domain, addr, timeout, Tamper::Honest)
+    }
+
+    /// [`ShardWorker::connect`] with a tampering behaviour pre-installed
+    /// on the worker's node — and re-installed across every rebuild, so
+    /// it survives re-assignments. Chaos testing: a corrupt *replica*
+    /// must still be caught by verification if a promotion ever makes
+    /// it primary; the routers' replica retry fires only on `NodeDown`,
+    /// never to paper over a wrong answer.
+    pub fn connect_tampered(
+        params: ServerParams,
+        domain: usize,
+        addr: SocketAddr,
+        timeout: Duration,
+        tamper: Tamper,
+    ) -> Result<ShardWorker, NetError> {
+        ShardWorker::connect_inner(params, domain, addr, timeout, tamper)
+    }
+
+    fn connect_inner(
+        params: ServerParams,
+        domain: usize,
+        addr: SocketAddr,
+        timeout: Duration,
+        tamper: Tamper,
+    ) -> Result<ShardWorker, NetError> {
         let link = Arc::new(TcpLink::connect_retry(
             addr,
             timeout,
@@ -1529,8 +1851,9 @@ impl ShardWorker {
                     len: len as usize,
                 };
                 let serve_link = Arc::clone(&link);
-                let handle =
-                    std::thread::spawn(move || worker_loop(params, serve_link, spec, generation));
+                let handle = std::thread::spawn(move || {
+                    worker_loop(params, serve_link, spec, generation, tamper)
+                });
                 Ok(ShardWorker {
                     link,
                     handle: Some(handle),
@@ -1580,12 +1903,17 @@ fn worker_loop(
     link: Arc<TcpLink>,
     spec0: ShardSpec,
     generation0: u64,
+    tamper0: Tamper,
 ) -> Result<(), NetError> {
     let link: Arc<dyn Link> = link;
-    let node = Arc::new(RwLock::new(ServerNode::new(shard_server_params(
-        &domain_params,
-        &spec0,
-    ))));
+    let fresh_node = |spec: &ShardSpec| {
+        let mut n = ServerNode::new(shard_server_params(&domain_params, spec));
+        // A worker born tampered (chaos testing) stays tampered across
+        // rebuilds; honest workers get the identity.
+        n.set_tamper(tamper0);
+        n
+    };
+    let node = Arc::new(RwLock::new(fresh_node(&spec0)));
     let mut cur_spec = spec0;
     let mut cur_gen = generation0;
     let mut version_base = 0u64;
@@ -1683,7 +2011,7 @@ fn worker_loop(
                     // before the rebuild — no round computes across it.
                     let mut node = node.write();
                     version_base += node.version() + 1;
-                    *node = ServerNode::new(shard_server_params(&domain_params, &spec));
+                    *node = fresh_node(&spec);
                     cur_spec = spec;
                 }
                 cur_gen = gen;
@@ -1798,5 +2126,28 @@ impl Link for ArcLink {
     }
     fn stats(&self) -> Arc<LinkStats> {
         self.0.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_budget_confirms_death_at_the_budget_not_one_past() {
+        let cfg = RegistryConfig {
+            miss_budget: 3,
+            ..RegistryConfig::default()
+        };
+        // Below the budget: merely suspect.
+        assert!(!cfg.confirms_death(1, false));
+        assert!(!cfg.confirms_death(2, false));
+        // "After miss_budget consecutive misses ... it is confirmed":
+        // the third miss kills, not the fourth.
+        assert!(cfg.confirms_death(3, false));
+        assert!(cfg.confirms_death(4, false));
+        // A hard link death (EOF) skips the budget entirely.
+        assert!(cfg.confirms_death(0, true));
+        assert!(cfg.confirms_death(1, true));
     }
 }

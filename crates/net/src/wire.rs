@@ -215,15 +215,40 @@ fn put_vec(buf: &mut BytesMut, data: &[u64]) {
 /// allocator. The pool is a global `Mutex` (not thread-local) because
 /// decode and recycle happen on *different* threads — the mux pump
 /// decodes, the worker recycles — so a thread-local pool would never
-/// refill. Capped so a burst of giant rounds cannot pin memory.
+/// refill. Capped on buffer count, per-buffer bytes, *and* total
+/// retained bytes, so a burst of giant rounds cannot pin memory: a
+/// count-only cap would let 64 multi-MB buffers pin hundreds of MB
+/// forever after one large round.
 const VEC_POOL_CAP: usize = 64;
-static VEC_POOL: std::sync::Mutex<Vec<Vec<u64>>> = std::sync::Mutex::new(Vec::new());
+/// Largest single buffer the pool retains (bytes of backing capacity).
+/// Generous enough to recycle per-shard row vectors at paper scale
+/// (2M rows = 16 MiB); anything bigger is freed on recycle.
+pub const VEC_POOL_MAX_BUFFER_BYTES: usize = 16 << 20;
+/// Ceiling on the total bytes the pool may pin across all retained
+/// buffers. Recycles past this budget drop their buffer instead.
+pub const VEC_POOL_MAX_TOTAL_BYTES: usize = 64 << 20;
+
+struct VecPool {
+    bytes: usize,
+    bufs: Vec<Vec<u64>>,
+}
+
+static VEC_POOL: std::sync::Mutex<VecPool> = std::sync::Mutex::new(VecPool {
+    bytes: 0,
+    bufs: Vec::new(),
+});
 
 fn pooled_vec(len: usize) -> Vec<u64> {
     let mut v = VEC_POOL
         .lock()
         .ok()
-        .and_then(|mut p| p.pop())
+        .and_then(|mut p| {
+            let v = p.bufs.pop();
+            if let Some(v) = &v {
+                p.bytes = p.bytes.saturating_sub(v.capacity().saturating_mul(8));
+            }
+            v
+        })
         .unwrap_or_default();
     v.clear();
     v.reserve(len);
@@ -231,17 +256,28 @@ fn pooled_vec(len: usize) -> Vec<u64> {
 }
 
 /// Return a decoded row buffer to the wire pool the decoder draws from.
-/// Cheap and infallible; buffers beyond the pool cap are simply dropped.
+/// Cheap and infallible; buffers beyond the count, per-buffer, or
+/// total-byte caps are simply dropped.
 pub fn recycle_vec(mut v: Vec<u64>) {
-    if v.capacity() == 0 {
+    let bytes = v.capacity().saturating_mul(8);
+    if bytes == 0 || bytes > VEC_POOL_MAX_BUFFER_BYTES {
         return;
     }
     if let Ok(mut p) = VEC_POOL.lock() {
-        if p.len() < VEC_POOL_CAP {
+        if p.bufs.len() < VEC_POOL_CAP && p.bytes + bytes <= VEC_POOL_MAX_TOTAL_BYTES {
             v.clear();
-            p.push(v);
+            p.bytes += bytes;
+            p.bufs.push(v);
         }
     }
+}
+
+/// Pool introspection for tests and ops: `(buffers, retained_bytes)`.
+pub fn vec_pool_stats() -> (usize, usize) {
+    VEC_POOL
+        .lock()
+        .map(|p| (p.bufs.len(), p.bytes))
+        .unwrap_or((0, 0))
 }
 
 /// Recycle a whole reply's worth of row buffers at once.

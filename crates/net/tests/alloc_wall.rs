@@ -114,4 +114,34 @@ fn warm_decode_draws_row_buffers_from_the_pool() {
              columns; expected O(1) bookkeeping, not O(columns × rows)"
         );
     }
+
+    // --- Pool byte caps: the pool is bounded in *bytes*, not just in
+    // buffer count, so a burst of huge frames cannot pin unbounded
+    // memory behind the 64-slot limit.
+    {
+        use prism_net::wire::{
+            recycle_vec, vec_pool_stats, VEC_POOL_MAX_BUFFER_BYTES, VEC_POOL_MAX_TOTAL_BYTES,
+        };
+
+        // An over-sized buffer is dropped, not pooled.
+        let (_, bytes_before) = vec_pool_stats();
+        recycle_vec(Vec::with_capacity(VEC_POOL_MAX_BUFFER_BYTES / 8 + 1));
+        let (_, bytes_after) = vec_pool_stats();
+        assert_eq!(
+            bytes_after, bytes_before,
+            "a buffer over VEC_POOL_MAX_BUFFER_BYTES must not enter the pool"
+        );
+
+        // Recycling a stream of max-size buffers saturates at the total
+        // byte cap instead of filling all 64 slots.
+        for _ in 0..64 {
+            recycle_vec(Vec::with_capacity(VEC_POOL_MAX_BUFFER_BYTES / 8));
+        }
+        let (bufs, bytes) = vec_pool_stats();
+        assert!(
+            bytes <= VEC_POOL_MAX_TOTAL_BYTES,
+            "pool holds {bytes} bytes, over the {VEC_POOL_MAX_TOTAL_BYTES}-byte cap"
+        );
+        assert!(bufs <= 64, "pool holds {bufs} buffers, over the slot cap");
+    }
 }

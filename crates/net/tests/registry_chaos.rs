@@ -83,7 +83,36 @@ fn fast_cfg() -> RegistryConfig {
         miss_budget: 5,
         attach_timeout: Duration::from_secs(20),
         heal_timeout: Duration::from_secs(5),
+        replication: 1,
     }
+}
+
+/// Replicated variant: every row range is held by `RF` workers.
+fn rf2_cfg() -> RegistryConfig {
+    RegistryConfig {
+        replication: RF,
+        ..fast_cfg()
+    }
+}
+
+const RF: usize = 2;
+const RF2_RANGES: usize = 2;
+
+/// Bring up an rf=2 elastic cluster: `RF2_RANGES * RF` workers per
+/// server domain, so every range has a primary and one standby replica.
+fn spawn_elastic_rf2(setup: Setup) -> (NetCluster, Vec<ShardWorker>, AnnouncerNode) {
+    let listener = ClusterListener::bind(setup.clone(), RF2_RANGES, rf2_cfg()).unwrap();
+    let addr = listener.addr();
+    let dial = Duration::from_secs(10);
+    let mut workers = Vec::new();
+    for (k, params) in setup.servers.iter().enumerate() {
+        for _ in 0..RF2_RANGES * RF {
+            workers.push(ShardWorker::connect(params.clone(), k, addr, dial).unwrap());
+        }
+    }
+    let announcer = AnnouncerNode::connect(setup.announcer.clone(), addr, dial).unwrap();
+    let cluster = listener.start().unwrap();
+    (cluster, workers, announcer)
 }
 
 /// Bring up an elastic cluster: listener first, then every worker and
@@ -540,5 +569,178 @@ fn post_failover_reattach_rejoins_the_domain() {
     let _ = replacement.join();
     for w in workers {
         let _ = w.join();
+    }
+}
+
+/// With rf=2 a worker death is absorbed twice over: queries in flight
+/// retry the range's live replica (zero errors, zero wrong answers),
+/// and the confirmed death heals as a metadata-only *promotion* — zero
+/// upload-log replay. Only when the last holder of a range dies does the
+/// control plane fall back to a replay heal, and only when *every*
+/// holder of a range is dead does the domain surface `node down`.
+#[test]
+fn rf2_worker_death_heals_by_promotion_with_zero_replay() {
+    let setup = make_setup();
+
+    let oracle_cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&oracle_cluster, &rows());
+    let oracle = suite(&oracle_cluster);
+    oracle_cluster.shutdown().unwrap();
+
+    let (cluster, workers, announcer) = spawn_elastic_rf2(setup);
+    setup_and_upload(&cluster, &rows());
+    assert_eq!(suite(&cluster), oracle, "pre-kill answers");
+
+    // Hammer queries from a second thread while range 0's primary dies.
+    // Its replica holds the same shares, so the router must absorb the
+    // death transparently: zero errors, zero wrong answers.
+    let cluster = std::sync::Arc::new(cluster);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer = {
+        let cluster = std::sync::Arc::clone(&cluster);
+        let stop = std::sync::Arc::clone(&stop);
+        let oracle_psi = oracle.0.clone();
+        std::thread::spawn(move || -> Vec<String> {
+            let mut errors = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match cluster.psi_verified() {
+                    Ok(fop) => assert_eq!(fop, oracle_psi, "a replicated round misrouted"),
+                    Err(e) => errors.push(e.to_string()),
+                }
+            }
+            errors
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    // Spawn order per domain is attach order, and holders are assigned
+    // round-robin: d0's workers 0..4 hold ranges 0,1,0,1 — workers[0]
+    // is range 0's primary, workers[2] its replica.
+    workers[0].kill();
+    wait_for("promotion", Duration::from_secs(10), || {
+        cluster.registry().unwrap().promotions() >= 1
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let errors = hammer.join().unwrap();
+    assert!(
+        errors.is_empty(),
+        "queries across a replicated primary's death must not error: {errors:?}"
+    );
+    assert_eq!(
+        cluster.registry().unwrap().replayed_records(),
+        0,
+        "a promotion heal must not replay the upload log"
+    );
+    assert_eq!(suite(&cluster), oracle, "post-promotion answers");
+    let heal_log = cluster.registry().unwrap().heal_log();
+    assert!(
+        heal_log
+            .iter()
+            .any(|l| l.contains("confirmed dead") && l.contains("zero replay")),
+        "heal log must record the promotion: {heal_log:?}"
+    );
+
+    // Kill the promoted holder too: range 0 now has no replica left, so
+    // the heal must fall back to re-fanning the upload log.
+    workers[2].kill();
+    wait_for("replay failover", Duration::from_secs(10), || {
+        cluster.registry().unwrap().failovers() >= 2
+    });
+    assert!(
+        cluster.registry().unwrap().replayed_records() > 0,
+        "losing a range's last holder must replay the upload log"
+    );
+    assert_eq!(suite(&cluster), oracle, "post-replay answers");
+
+    // Only once *every* holder of the domain is dead does it go down.
+    workers[1].kill();
+    workers[3].kill();
+    wait_for("all of d0 confirmed dead", Duration::from_secs(15), || {
+        cluster
+            .report()
+            .nodes
+            .iter()
+            .filter(|n| n.liveness == Liveness::Dead && n.label.starts_with("d0/"))
+            .count()
+            >= RF2_RANGES * RF
+    });
+    let err = cluster.psi_verified().unwrap_err().to_string();
+    assert!(
+        err.contains("node down"),
+        "a fully dead domain must surface node-down, got {err:?}"
+    );
+
+    let cluster = std::sync::Arc::into_inner(cluster).unwrap();
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Crash ≠ tamper: a replica only ever stands in for a *dead* link. A
+/// tampered primary answers with well-formed wrong replies, so the
+/// router must NOT retry its honest replica — verification has to
+/// surface the lie, exactly as without replication. Killing the liar
+/// then promotes the honest replica and the domain answers honestly
+/// again with zero replay.
+#[test]
+fn rf2_tampered_primary_is_detected_never_retried_around() {
+    let setup = make_setup();
+
+    let oracle_cluster = NetCluster::start_local(make_setup());
+    setup_and_upload(&oracle_cluster, &rows());
+    let oracle = suite(&oracle_cluster);
+    oracle_cluster.shutdown().unwrap();
+
+    // Same topology as `spawn_elastic_rf2`, but d0's first worker — the
+    // primary of range 0 — cheats on every run; its replica is honest.
+    let listener = ClusterListener::bind(setup.clone(), RF2_RANGES, rf2_cfg()).unwrap();
+    let addr = listener.addr();
+    let dial = Duration::from_secs(10);
+    let mut workers = Vec::new();
+    for (k, params) in setup.servers.iter().enumerate() {
+        for s in 0..RF2_RANGES * RF {
+            workers.push(if k == 0 && s == 0 {
+                ShardWorker::connect_tampered(
+                    params.clone(),
+                    k,
+                    addr,
+                    dial,
+                    prism_protocol::malicious::Tamper::SkipReplay { src: 0 },
+                )
+                .unwrap()
+            } else {
+                ShardWorker::connect(params.clone(), k, addr, dial).unwrap()
+            });
+        }
+    }
+    let announcer = AnnouncerNode::connect(setup.announcer.clone(), addr, dial).unwrap();
+    let cluster = listener.start().unwrap();
+    setup_and_upload(&cluster, &rows());
+
+    let err = cluster.psi_verified().unwrap_err().to_string();
+    assert!(
+        !err.contains("node down"),
+        "tamper must surface as a verification failure, never be masked \
+         by a replica retry: {err:?}"
+    );
+
+    workers[0].kill();
+    let registry = cluster.registry().unwrap();
+    wait_for("promotion", Duration::from_secs(10), || {
+        registry.promotions() >= 1
+    });
+    assert_eq!(
+        registry.replayed_records(),
+        0,
+        "promoting the honest replica must not replay the upload log"
+    );
+    assert_eq!(suite(&cluster), oracle, "post-promotion answers");
+
+    cluster.shutdown().unwrap();
+    let _ = announcer.join();
+    for (i, w) in workers.into_iter().enumerate() {
+        let joined = w.join();
+        assert!(i == 0 || joined.is_ok(), "worker {i} must exit cleanly");
     }
 }

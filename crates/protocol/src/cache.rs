@@ -151,6 +151,13 @@ impl PsiRoundCache {
     /// the probe confirms which range stamps actually moved — an upload
     /// to one server domain never touches another domain's entries, and
     /// a delta upload never touches entries over untouched ranges.
+    ///
+    /// The control plane also calls this on every heal of `server`'s
+    /// domain: a replay re-outsource moves every range stamp (entries
+    /// die), while a replica *promotion* merely re-points range
+    /// primaries — stamps must be re-probed against the promoted holder
+    /// and entries revive only if it reports the stamps they were cut
+    /// against. Either way exactly the healed domain revalidates.
     pub fn note_upload(&self, server: usize) {
         if let Ok(mut st) = self.state() {
             *CacheState::slot(&mut st.versions, server) = None;

@@ -125,9 +125,12 @@ impl ShardPlan {
     /// Every existing spec keeps its `start` — and therefore every
     /// existing shard node keeps its `row_offset` — so the PSU blinding
     /// stream stays globally aligned without re-uploading a single row.
+    /// A zero-row append never opens a shard: every spec in a plan is
+    /// non-empty by construction, and an empty trailing shard would be a
+    /// node holding nothing.
     pub fn append(&self, added: usize, open_new: bool) -> ShardPlan {
         let mut specs = self.specs.clone();
-        if open_new {
+        if open_new && added > 0 {
             specs.push(ShardSpec {
                 index: specs.len(),
                 start: self.b,
@@ -140,6 +143,34 @@ impl ShardPlan {
             b: self.b + added,
             specs,
         }
+    }
+
+    /// How many distinct row ranges a domain should carve when `workers`
+    /// nodes are live and every range must be held by (up to) `rf`
+    /// replicas: `ceil(workers / rf)`, clamped to `1..=b` like
+    /// [`ShardPlan::new`]. With `rf = 1` this is the classic
+    /// one-range-per-worker plan; with `rf = 2` six workers carve three
+    /// ranges, each stored twice. When workers don't divide evenly the
+    /// extra nodes thicken early ranges' replica sets rather than
+    /// leaving any range uncovered.
+    pub fn ranges_for(workers: usize, rf: usize, b: usize) -> usize {
+        let rf = rf.max(1);
+        workers.max(1).div_ceil(rf).clamp(1, b.max(1))
+    }
+
+    /// Round-robin replica assignment of `workers` nodes (by attach
+    /// order) over this plan's ranges: worker `w` holds range
+    /// `w % shard_count`. Returns one holder list per range, in worker
+    /// order — the **first** holder of each range is its primary, the
+    /// rest are standby replicas a router may fail over to. Whenever
+    /// `workers >= shard_count` every range has at least one holder, and
+    /// holder counts are balanced to within one.
+    pub fn replica_sets(&self, workers: usize) -> Vec<Vec<usize>> {
+        let mut holders = vec![Vec::new(); self.specs.len()];
+        for w in 0..workers {
+            holders[w % self.specs.len()].push(w);
+        }
+        holders
     }
 
     /// Split a batched query into one sub-batch per shard: items are
@@ -756,6 +787,60 @@ mod tests {
         );
         let covered: usize = opened.specs().iter().map(|s| s.len).sum();
         assert_eq!(covered, 14);
+    }
+
+    #[test]
+    fn replica_sets_cover_every_range_with_balanced_holders() {
+        for b in 1usize..=24 {
+            for rf in 1usize..=3 {
+                for workers in 1usize..=9 {
+                    let ranges = ShardPlan::ranges_for(workers, rf, b);
+                    assert!(ranges >= 1 && ranges <= b, "b={b} rf={rf} w={workers}");
+                    let plan = ShardPlan::new(b, ranges);
+                    let sets = plan.replica_sets(workers);
+                    assert_eq!(sets.len(), plan.shard_count());
+                    // Every worker holds exactly one range; every range has
+                    // at least one holder whenever workers >= ranges (which
+                    // ranges_for guarantees by construction).
+                    let mut seen = vec![false; workers];
+                    for (r, hs) in sets.iter().enumerate() {
+                        assert!(
+                            !hs.is_empty(),
+                            "b={b} rf={rf} w={workers} range {r} uncovered"
+                        );
+                        for &w in hs {
+                            assert!(!seen[w]);
+                            seen[w] = true;
+                        }
+                    }
+                    assert!(seen.iter().all(|&s| s));
+                    // Balanced to within one holder.
+                    let counts: Vec<usize> = sets.iter().map(Vec::len).collect();
+                    let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+                    assert!(
+                        max - min <= 1,
+                        "b={b} rf={rf} w={workers} counts={counts:?}"
+                    );
+                }
+            }
+        }
+        // rf = 1 degenerates to one range per worker (the pre-replication plan).
+        assert_eq!(ShardPlan::ranges_for(5, 1, 100), 5);
+        // rf = 2: six workers carve three ranges, each held twice.
+        assert_eq!(ShardPlan::ranges_for(6, 2, 100), 3);
+        let sets = ShardPlan::new(100, 3).replica_sets(6);
+        assert_eq!(sets, vec![vec![0, 3], vec![1, 4], vec![2, 5]]);
+    }
+
+    #[test]
+    fn append_zero_rows_never_opens_an_empty_shard() {
+        let plan = ShardPlan::new(10, 3);
+        for open_new in [false, true] {
+            let same = plan.append(0, open_new);
+            assert_eq!(same.domain(), 10);
+            assert_eq!(same.shard_count(), 3);
+            assert!(same.specs().iter().all(|s| s.len > 0));
+        }
     }
 
     #[test]

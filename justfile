@@ -51,7 +51,8 @@ bench-check:
 # BENCH_serve.json; `hotpath` times the per-row server kernels in both
 # their Vec-baseline and flat in-place forms (counting allocations per
 # warm call) and writes BENCH_hotpath.json; `failover` kills a shard
-# worker on the elastic TCP deployment, times the control-plane heal
+# worker on the elastic TCP deployment at rf=1 (replay heal) and rf=2
+# (replica-promotion heal, zero upload-log replay), times both heals
 # (asserting the healed answers match the pre-kill answers exactly) and
 # writes BENCH_failover.json (all seven JSONs are uploaded as CI
 # artifacts).
@@ -62,6 +63,7 @@ bench-smoke: bench-check
     grep -q '"queries_per_second"' BENCH_serve.json
     grep -q '"max_speedup"' BENCH_hotpath.json
     grep -q '"failovers": 1' BENCH_failover.json
+    grep -q '"heal": "promotion"' BENCH_failover.json
 
 # Run the full criterion bench suite (small fixed sizes, minutes).
 bench:
